@@ -1,0 +1,106 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. simplification (DCE/const-fold/copy-prop) on vs. off for a perfectly
+//!    nested program — the mechanism that removes redundant forward sweeps;
+//! 2. the loop strip-mining factor — the §4.3 time/space trade-off;
+//! 3. the special-case `+` reduce rule vs. the general scan-based rule.
+
+use ad_bench::{header, ms, ratio, row, time_secs};
+use fir::builder::Builder;
+use fir::ir::Atom;
+use fir::types::Type;
+use futhark_ad::{stripmine_loops, vjp};
+use interp::{Interp, Value};
+use workloads::adbench;
+
+fn main() {
+    let interp = Interp::new();
+    let seq = Interp::sequential();
+    let reps = 3;
+
+    // --- Ablation 1: simplification of the redundant forward sweep --------
+    header(
+        "Ablation 1: simplification of vjp output (perfect map nest)",
+        &["variant", "statements", "runtime"],
+    );
+    let mut b = Builder::new();
+    let nest = b.build_fun("nest", &[Type::arr_f64(2)], |b, ps| {
+        let sq = b.map1(Type::arr_f64(2), &[ps[0]], |b, rows| {
+            let r = b.map1(Type::arr_f64(1), &[rows[0]], |b, es| {
+                let e = b.fexp(es[0].into());
+                vec![b.fmul(e, es[0].into())]
+            });
+            vec![Atom::Var(r)]
+        });
+        let sums = b.map1(Type::arr_f64(1), &[sq], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
+        vec![Atom::Var(b.sum(sums))]
+    });
+    let dnest = vjp(&nest);
+    let simplified = fir_opt::simplify(&dnest);
+    let data = Value::Arr(interp::Array::from_f64(
+        vec![200, 200],
+        (0..200 * 200).map(|i| (i as f64 * 0.001).sin()).collect(),
+    ));
+    let args = [data, Value::F64(1.0)];
+    let t_raw = time_secs(reps, || {
+        let _ = interp.run(&dnest, &args);
+    });
+    let t_simpl = time_secs(reps, || {
+        let _ = interp.run(&simplified, &args);
+    });
+    row(&["vjp output (raw)".into(), fir_opt::count_stms(&dnest).to_string(), ms(t_raw)]);
+    row(&["vjp output + simplify".into(), fir_opt::count_stms(&simplified).to_string(), ms(t_simpl)]);
+
+    // --- Ablation 2: strip-mining factor -----------------------------------
+    header(
+        "Ablation 2: loop strip-mining factor (D-LSTM recurrence)",
+        &["factor", "gradient runtime", "relative to factor 1"],
+    );
+    let dl = adbench::DlstmData::generate(64, 16, 16, 9);
+    let fun = adbench::dlstm_objective_ir(dl.h);
+    let mut base_time = 0.0;
+    for factor in [1i64, 2, 4, 8] {
+        let f = if factor == 1 { fun.clone() } else { stripmine_loops(&fun, factor) };
+        let df = vjp(&f);
+        let mut args = dl.ir_args();
+        args.push(Value::F64(1.0));
+        let t = time_secs(reps, || {
+            let _ = seq.run(&df, &args);
+        });
+        if factor == 1 {
+            base_time = t;
+        }
+        row(&[format!("{factor}"), ms(t), ratio(t / base_time)]);
+    }
+
+    // --- Ablation 3: special-case vs. general reduce rule -------------------
+    header(
+        "Ablation 3: + reduce special case vs. general (scan-based) rule",
+        &["rule", "gradient runtime"],
+    );
+    let n = 200_000;
+    let xs = Value::from((0..n).map(|i| 1.0 + (i as f64 * 1e-5)).collect::<Vec<f64>>());
+    // Special case: recognized `+` operator.
+    let mut b = Builder::new();
+    let sum_special = b.build_fun("sum_special", &[Type::arr_f64(1)], |b, ps| {
+        vec![Atom::Var(b.sum(ps[0]))]
+    });
+    // General: an operator the recognizer does not match (a + b + 0*a).
+    let mut b = Builder::new();
+    let sum_general = b.build_fun("sum_general", &[Type::arr_f64(1)], |b, ps| {
+        let r = b.reduce(&[Type::F64], &[Atom::f64(0.0)], &[ps[0]], |b, es| {
+            let s = b.fadd(es[0].into(), es[1].into());
+            let z = b.fmul(es[0].into(), Atom::f64(0.0));
+            vec![b.fadd(s, z)]
+        });
+        vec![r[0].into()]
+    });
+    for (name, fun) in [("special (+)", &sum_special), ("general (scan-based)", &sum_general)] {
+        let df = vjp(fun);
+        let args = [xs.clone(), Value::F64(1.0)];
+        let t = time_secs(reps, || {
+            let _ = interp.run(&df, &args);
+        });
+        row(&[name.into(), ms(t)]);
+    }
+}

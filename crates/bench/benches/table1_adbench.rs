@@ -1,0 +1,97 @@
+//! Table 1: ADBench, sequential CPU execution.
+//!
+//! For BA, D-LSTM, GMM and HAND (complicated and simple) we report the time
+//! to compute the full gradient relative to the time to compute the
+//! objective, for three tools: this crate's reverse AD ("Futhark" column),
+//! the tape-based baseline ("Tapenade" column) and the hand-written
+//! derivative ("Manual" column). Lower is better. Dataset sizes are scaled
+//! to CPU-interpreter scale; the measured quantity (the ratio) matches the
+//! paper's.
+
+use ad_bench::{header, ratio, row, time_secs};
+use futhark_ad::vjp;
+use interp::{Interp, Value};
+use workloads::{adbench, gmm};
+
+fn bench_problem(
+    name: &str,
+    fun: &fir::ir::Fun,
+    args: &[Value],
+    manual_grad: Option<&mut dyn FnMut()>,
+    reps: usize,
+) {
+    let interp = Interp::sequential();
+    let obj_t = time_secs(reps, || {
+        let _ = interp.run(fun, args);
+    });
+    // Futhark-style reverse AD (redundant execution, no tape).
+    let dfun = vjp(fun);
+    let mut grad_args = args.to_vec();
+    grad_args.push(Value::F64(1.0));
+    let ad_t = time_secs(reps, || {
+        let _ = interp.run(&dfun, &grad_args);
+    });
+    // Tapenade-style tape AD.
+    let tape_t = time_secs(reps, || {
+        let _ = tape_ad::gradient(fun, args);
+    });
+    let manual_cell = match manual_grad {
+        Some(f) => {
+            let t = time_secs(reps, f);
+            ratio(t / obj_t)
+        }
+        None => "n/a".to_string(),
+    };
+    row(&[
+        name.to_string(),
+        ratio(ad_t / obj_t),
+        ratio(tape_t / obj_t),
+        manual_cell,
+    ]);
+}
+
+fn main() {
+    header(
+        "Table 1: full gradient time relative to objective time (sequential CPU)",
+        &["benchmark", "Futhark (this work)", "Tapenade (tape)", "Manual"],
+    );
+    let reps = 3;
+
+    // BA
+    let ba = adbench::BaData::generate(20, 200, 2000, 1);
+    let ba_fun = adbench::ba_objective_ir();
+    let mut ba_manual = || {
+        let _ = adbench::ba_manual(&ba);
+    };
+    bench_problem("BA", &ba_fun, &ba.ir_args(), Some(&mut ba_manual), reps);
+
+    // D-LSTM
+    let dl = adbench::DlstmData::generate(30, 16, 16, 2);
+    let dl_fun = adbench::dlstm_objective_ir(dl.h);
+    let mut dl_manual = || {
+        let _ = adbench::dlstm_manual(&dl);
+    };
+    bench_problem("D-LSTM", &dl_fun, &dl.ir_args(), Some(&mut dl_manual), reps);
+
+    // GMM
+    let gm = gmm::GmmData::generate(300, 16, 10, 3);
+    let gm_fun = gmm::objective_ir();
+    let mut gm_manual = || {
+        let _ = gmm::gradient_manual(&gm);
+    };
+    bench_problem("GMM", &gm_fun, &gm.ir_args(), Some(&mut gm_manual), reps);
+
+    // HAND
+    let hd = adbench::HandData::generate(200, 12, 4);
+    for complicated in [true, false] {
+        let fun = adbench::hand_objective_ir(complicated);
+        let mut manual = || {
+            let _ = adbench::hand_manual(&hd, complicated);
+        };
+        let name = if complicated { "HAND (complicated)" } else { "HAND (simple)" };
+        bench_problem(name, &fun, &hd.ir_args(complicated), Some(&mut manual), reps);
+    }
+
+    println!();
+    println!("(Paper, Table 1: Futhark 13.0x/3.2x/5.1x/49.8x/45.4x; Tapenade 10.3x/4.5x/5.4x/3758.7x/59.2x; Manual 8.6x/6.2x/4.6x/4.6x/4.4x.)");
+}

@@ -1,0 +1,62 @@
+//! Table 2: RSBench and XSBench — the overhead of one reverse-mode forward
+//! plus return sweep over the un-differentiated program, on the parallel
+//! executor. The paper compares against the overheads Enzyme reports for the
+//! same applications (4.2x and 3.2x); those reference numbers are printed
+//! alongside the measured ones.
+
+use ad_bench::{header, ms, ratio, row, time_secs};
+use futhark_ad::vjp;
+use interp::{Interp, Value};
+use workloads::mc;
+
+fn main() {
+    header(
+        "Table 2: RSBench / XSBench reverse-AD overhead (parallel executor)",
+        &["benchmark", "primal runtime", "AD runtime", "overhead (this work)", "Enzyme overhead (paper)"],
+    );
+    let interp = Interp::new();
+    let reps = 3;
+
+    // RSBench-like windowed multipole lookups.
+    let rs = mc::RsData::generate(8, 16, 12, 5_000, 1);
+    let rs_fun = mc::rsbench_ir(rs.windows, rs.poles);
+    let rs_primal = time_secs(reps, || {
+        let _ = interp.run(&rs_fun, &rs.ir_args());
+    });
+    let rs_vjp = vjp(&rs_fun);
+    let mut rs_args = rs.ir_args();
+    rs_args.push(Value::F64(1.0));
+    let rs_ad = time_secs(reps, || {
+        let _ = interp.run(&rs_vjp, &rs_args);
+    });
+    row(&[
+        "RSBench".into(),
+        ms(rs_primal),
+        ms(rs_ad),
+        ratio(rs_ad / rs_primal),
+        "4.2x".into(),
+    ]);
+
+    // XSBench-like nuclide grid lookups.
+    let xs = mc::XsData::generate(256, 32, 10_000, 2);
+    let xs_fun = mc::xsbench_ir(xs.g);
+    let xs_primal = time_secs(reps, || {
+        let _ = interp.run(&xs_fun, &xs.ir_args());
+    });
+    let xs_vjp = vjp(&xs_fun);
+    let mut xs_args = xs.ir_args();
+    xs_args.push(Value::F64(1.0));
+    let xs_ad = time_secs(reps, || {
+        let _ = interp.run(&xs_vjp, &xs_args);
+    });
+    row(&[
+        "XSBench".into(),
+        ms(xs_primal),
+        ms(xs_ad),
+        ratio(xs_ad / xs_primal),
+        "3.2x".into(),
+    ]);
+
+    println!();
+    println!("(Paper, Table 2: Futhark overheads 3.6x (RSBench) and 2.6x (XSBench).)");
+}

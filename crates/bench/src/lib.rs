@@ -1,0 +1,41 @@
+//! Shared infrastructure for the benchmark harnesses that regenerate the
+//! paper's tables. Each `benches/table*.rs` binary prints the same rows the
+//! corresponding table in the paper reports (with CPU-scaled dataset sizes,
+//! documented in EXPERIMENTS.md).
+
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f` (after one warm-up run).
+pub fn time_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Format seconds as milliseconds with three significant digits.
+pub fn ms(secs: f64) -> String {
+    format!("{:.3} ms", secs * 1e3)
+}
+
+/// Format a ratio (`x` times).
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Print a table header with a title and column names.
+pub fn header(title: &str, cols: &[&str]) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", cols.join(" | "));
+}
+
+/// Print one row of a table.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join(" | "));
+}

@@ -1,0 +1,574 @@
+//! Forward-mode AD (`jvp`).
+//!
+//! Forward mode is the straightforward application of the tangent rule
+//! (Eq. 2 of the paper): every statement is followed by statements computing
+//! the tangents of the values it binds, and SOAC lambdas are lifted to
+//! operate on (value, tangent) bundles. The transformation also handles the
+//! accumulator constructs produced by reverse mode, so `jvp` can be nested
+//! around `vjp` output (used to compute Hessians, e.g. for the k-means
+//! Newton solver of the paper's case study 1).
+
+use std::collections::HashMap;
+
+use fir::builder::Builder;
+use fir::ir::{Atom, BinOp, Body, Exp, Fun, Lambda, Param, ReduceOp, Stm, UnOp, VarId};
+use fir::types::Type;
+
+use crate::helpers::{register_fun_types, zero_like};
+
+/// Apply forward-mode AD to a function.
+///
+/// For `f : (x_1, ..., x_n) -> (y_1, ..., y_m)` the result is
+///
+/// `f_jvp : (x_1, ..., x_n, ẋ_1, ..., ẋ_j) -> (y_1, ..., y_m, ẏ_1, ..., ẏ_k)`
+///
+/// with one tangent parameter per differentiable parameter and one tangent
+/// result per differentiable result.
+pub fn jvp(fun: &Fun) -> Fun {
+    let mut b = Builder::for_fun(fun);
+    register_fun_types(&mut b, fun);
+    let mut fwd = Fwd { b, tan: HashMap::new() };
+
+    let mut tangent_params: Vec<Param> = Vec::new();
+    for p in &fun.params {
+        if p.ty.is_differentiable() {
+            let t = fwd.b.fresh(p.ty);
+            tangent_params.push(Param::new(t, p.ty));
+            fwd.tan.insert(p.var, t);
+        }
+    }
+
+    fwd.b.begin_scope();
+    fwd.jvp_stms(&fun.body.stms);
+    let mut result = fun.body.result.clone();
+    let mut ret = fun.ret.clone();
+    for (a, rt) in fun.body.result.iter().zip(&fun.ret) {
+        if rt.is_differentiable() {
+            let t = fwd.tangent_of_atom(*a);
+            result.push(t);
+            ret.push(*rt);
+        }
+    }
+    let stms = fwd.b.end_scope();
+
+    let mut params = fun.params.clone();
+    params.extend(tangent_params);
+    Fun { name: format!("{}_jvp", fun.name), params, body: Body::new(stms, result), ret }
+}
+
+struct Fwd {
+    b: Builder,
+    /// Tangent variable of each differentiable variable.
+    tan: HashMap<VarId, VarId>,
+}
+
+impl Fwd {
+    fn tangent_of(&mut self, v: VarId) -> Atom {
+        if let Some(t) = self.tan.get(&v) {
+            return Atom::Var(*t);
+        }
+        let ty = self.b.ty_of(v);
+        if ty == Type::F64 {
+            Atom::f64(0.0)
+        } else {
+            let z = zero_like(&mut self.b, v);
+            self.tan.insert(v, z);
+            Atom::Var(z)
+        }
+    }
+
+    fn tangent_of_atom(&mut self, a: Atom) -> Atom {
+        match a {
+            Atom::Var(v) => self.tangent_of(v),
+            Atom::Const(_) => Atom::f64(0.0),
+        }
+    }
+
+    fn set_tangent(&mut self, v: VarId, t: VarId) {
+        self.tan.insert(v, t);
+    }
+
+    fn bind_tangent(&mut self, v: VarId, ty: Type, exp: Exp) {
+        let t = self.b.bind1(ty, exp);
+        self.set_tangent(v, t);
+    }
+
+    fn jvp_stms(&mut self, stms: &[Stm]) {
+        for s in stms {
+            self.jvp_stm(s);
+        }
+    }
+
+    /// Emit the statement and the statements computing the tangents of what
+    /// it binds.
+    fn jvp_stm(&mut self, stm: &Stm) {
+        match &stm.exp {
+            Exp::If { .. } | Exp::Loop { .. } | Exp::Map { .. } | Exp::Reduce { .. }
+            | Exp::Scan { .. } | Exp::WithAcc { .. } => {
+                // Structured constructs are rebuilt wholesale (the original
+                // statement is subsumed by the dual version).
+                self.jvp_structured(stm);
+                return;
+            }
+            _ => {}
+        }
+        self.b.push_stm(stm.clone());
+        let p = &stm.pat[0];
+        match &stm.exp {
+            Exp::Atom(a) => {
+                if p.ty.is_differentiable() {
+                    let t = self.tangent_of_atom(*a);
+                    self.bind_tangent(p.var, p.ty, Exp::Atom(t));
+                }
+            }
+            Exp::UnOp(op, a) => self.jvp_unop(p, *op, *a),
+            Exp::BinOp(op, x, y) => self.jvp_binop(p, *op, *x, *y),
+            Exp::Select { cond, t, f } => {
+                if p.ty.is_differentiable() {
+                    let tt = self.tangent_of_atom(*t);
+                    let tf = self.tangent_of_atom(*f);
+                    self.bind_tangent(p.var, p.ty, Exp::Select { cond: *cond, t: tt, f: tf });
+                }
+            }
+            Exp::Index { arr, idx } => {
+                if p.ty.is_differentiable() {
+                    let t = self.tangent_of(*arr).expect_var();
+                    self.bind_tangent(p.var, p.ty, Exp::Index { arr: t, idx: idx.clone() });
+                }
+            }
+            Exp::Update { arr, idx, val } => {
+                if p.ty.is_differentiable() {
+                    let ta = self.tangent_of(*arr).expect_var();
+                    let tv = self.tangent_of_atom(*val);
+                    self.bind_tangent(p.var, p.ty, Exp::Update { arr: ta, idx: idx.clone(), val: tv });
+                }
+            }
+            Exp::Len(_) | Exp::Iota(_) => {}
+            Exp::Replicate { n, val } => {
+                if p.ty.is_differentiable() {
+                    let tv = self.tangent_of_atom(*val);
+                    self.bind_tangent(p.var, p.ty, Exp::Replicate { n: *n, val: tv });
+                }
+            }
+            Exp::Reverse(v) => {
+                if p.ty.is_differentiable() {
+                    let t = self.tangent_of(*v).expect_var();
+                    self.bind_tangent(p.var, p.ty, Exp::Reverse(t));
+                }
+            }
+            Exp::Copy(v) => {
+                if p.ty.is_differentiable() {
+                    let t = self.tangent_of(*v).expect_var();
+                    self.bind_tangent(p.var, p.ty, Exp::Copy(t));
+                }
+            }
+            Exp::Hist { op, num_bins, inds, vals } => {
+                if p.ty.is_differentiable() {
+                    assert_eq!(*op, ReduceOp::Add, "jvp: only + histograms are supported");
+                    let tv = self.tangent_of(*vals).expect_var();
+                    self.bind_tangent(
+                        p.var,
+                        p.ty,
+                        Exp::Hist { op: *op, num_bins: *num_bins, inds: *inds, vals: tv },
+                    );
+                }
+            }
+            Exp::Scatter { dest, inds, vals } => {
+                if p.ty.is_differentiable() {
+                    let td = self.tangent_of(*dest).expect_var();
+                    let tv = self.tangent_of(*vals).expect_var();
+                    self.bind_tangent(p.var, p.ty, Exp::Scatter { dest: td, inds: *inds, vals: tv });
+                }
+            }
+            Exp::UpdAcc { acc, idx, val } => {
+                // Tangent accumulators mirror the primal ones.
+                let tacc = self.tangent_of(*acc).expect_var();
+                let tval = self.tangent_of_atom(*val);
+                let t = self.b.bind1(
+                    self.b.ty_of(tacc),
+                    Exp::UpdAcc { acc: tacc, idx: idx.clone(), val: tval },
+                );
+                self.set_tangent(p.var, t);
+            }
+            Exp::If { .. } | Exp::Loop { .. } | Exp::Map { .. } | Exp::Reduce { .. }
+            | Exp::Scan { .. } | Exp::WithAcc { .. } => unreachable!(),
+        }
+    }
+
+    fn jvp_unop(&mut self, p: &Param, op: UnOp, a: Atom) {
+        if p.ty != Type::F64 {
+            return;
+        }
+        let x = Atom::Var(p.var);
+        let da = self.tangent_of_atom(a);
+        let t = match op {
+            UnOp::Neg => self.b.fneg(da),
+            UnOp::Sin => {
+                let c = self.b.fcos(a);
+                self.b.fmul(c, da)
+            }
+            UnOp::Cos => {
+                let s = self.b.fsin(a);
+                let ns = self.b.fneg(s);
+                self.b.fmul(ns, da)
+            }
+            UnOp::Exp => self.b.fmul(x, da),
+            UnOp::Log => self.b.fdiv(da, a),
+            UnOp::Sqrt => {
+                let twox = self.b.fmul(Atom::f64(2.0), x);
+                self.b.fdiv(da, twox)
+            }
+            UnOp::Tanh => {
+                let xx = self.b.fmul(x, x);
+                let om = self.b.fsub(Atom::f64(1.0), xx);
+                self.b.fmul(om, da)
+            }
+            UnOp::Sigmoid => {
+                let om = self.b.fsub(Atom::f64(1.0), x);
+                let sx = self.b.fmul(x, om);
+                self.b.fmul(sx, da)
+            }
+            UnOp::Abs => {
+                let cond = self.b.ge(a, Atom::f64(0.0));
+                let nd = self.b.fneg(da);
+                self.b.select(cond, da, nd)
+            }
+            UnOp::Recip => {
+                let xx = self.b.fmul(x, x);
+                let nxx = self.b.fneg(xx);
+                self.b.fmul(nxx, da)
+            }
+            UnOp::Not | UnOp::ToF64 | UnOp::ToI64 => return,
+        };
+        let tv = match t {
+            Atom::Var(v) => v,
+            _ => self.b.bind1(Type::F64, Exp::Atom(t)),
+        };
+        self.set_tangent(p.var, tv);
+    }
+
+    fn jvp_binop(&mut self, p: &Param, op: BinOp, x: Atom, y: Atom) {
+        if p.ty != Type::F64 {
+            return;
+        }
+        let r = Atom::Var(p.var);
+        let dx = self.tangent_of_atom(x);
+        let dy = self.tangent_of_atom(y);
+        let t = match op {
+            BinOp::Add => self.b.fadd(dx, dy),
+            BinOp::Sub => self.b.fsub(dx, dy),
+            BinOp::Mul => {
+                let a = self.b.fmul(dx, y);
+                let b2 = self.b.fmul(x, dy);
+                self.b.fadd(a, b2)
+            }
+            BinOp::Div => {
+                let rdy = self.b.fmul(r, dy);
+                let num = self.b.fsub(dx, rdy);
+                self.b.fdiv(num, y)
+            }
+            BinOp::Pow => {
+                let ym1 = self.b.fsub(y, Atom::f64(1.0));
+                let pm1 = self.b.fpow(x, ym1);
+                let t1 = self.b.fmul(y, pm1);
+                let t1 = self.b.fmul(t1, dx);
+                let lx = self.b.flog(x);
+                let t2 = self.b.fmul(r, lx);
+                let t2 = self.b.fmul(t2, dy);
+                self.b.fadd(t1, t2)
+            }
+            BinOp::Min | BinOp::Max => {
+                let cond = if op == BinOp::Min { self.b.le(x, y) } else { self.b.ge(x, y) };
+                self.b.select(cond, dx, dy)
+            }
+            BinOp::Rem => dx,
+            _ => return,
+        };
+        let tv = match t {
+            Atom::Var(v) => v,
+            _ => self.b.bind1(Type::F64, Exp::Atom(t)),
+        };
+        self.set_tangent(p.var, tv);
+    }
+
+    // -----------------------------------------------------------------
+    // Structured constructs: rebuilt as dual versions.
+    // -----------------------------------------------------------------
+
+    fn jvp_structured(&mut self, stm: &Stm) {
+        match &stm.exp {
+            Exp::If { cond, then_br, else_br } => {
+                let diff: Vec<usize> =
+                    (0..stm.pat.len()).filter(|j| stm.pat[*j].ty.is_differentiable()).collect();
+                let then_b = self.jvp_branch(then_br, &diff);
+                let else_b = self.jvp_branch(else_br, &diff);
+                let mut pat = stm.pat.clone();
+                let mut tangent_vars = Vec::new();
+                for j in &diff {
+                    let t = self.b.fresh(stm.pat[*j].ty);
+                    pat.push(Param::new(t, stm.pat[*j].ty));
+                    tangent_vars.push((stm.pat[*j].var, t));
+                }
+                self.b.push_stm(Stm::new(pat, Exp::If { cond: *cond, then_br: then_b, else_br: else_b }));
+                for (v, t) in tangent_vars {
+                    self.set_tangent(v, t);
+                }
+            }
+            Exp::Loop { params, index, count, body } => {
+                let diff: Vec<usize> =
+                    (0..params.len()).filter(|j| params[*j].0.ty.is_differentiable()).collect();
+                // Tangent loop parameters, initialized with the tangents of
+                // the initial values.
+                let mut new_params = params.clone();
+                let mut dual_params = Vec::new();
+                for j in &diff {
+                    let (p, init) = &params[*j];
+                    let tinit = self.tangent_of_atom(*init);
+                    let tp = self.b.fresh(p.ty);
+                    new_params.push((Param::new(tp, p.ty), tinit));
+                    dual_params.push((p.var, tp));
+                }
+                self.b.begin_scope();
+                for (v, t) in &dual_params {
+                    self.set_tangent(*v, *t);
+                }
+                self.jvp_stms(&body.stms);
+                let mut result = body.result.clone();
+                for j in &diff {
+                    let t = self.tangent_of_atom(body.result[*j]);
+                    result.push(t);
+                }
+                let stms = self.b.end_scope();
+                let mut pat = stm.pat.clone();
+                let mut tangent_vars = Vec::new();
+                for j in &diff {
+                    let t = self.b.fresh(stm.pat[*j].ty);
+                    pat.push(Param::new(t, stm.pat[*j].ty));
+                    tangent_vars.push((stm.pat[*j].var, t));
+                }
+                self.b.push_stm(Stm::new(
+                    pat,
+                    Exp::Loop {
+                        params: new_params,
+                        index: *index,
+                        count: *count,
+                        body: Body::new(stms, result),
+                    },
+                ));
+                for (v, t) in tangent_vars {
+                    self.set_tangent(v, t);
+                }
+            }
+            Exp::Map { lam, args } => {
+                let (dual_lam, extra_args, n_extra_out) = self.dual_lambda(lam, args, 0);
+                let mut new_args = args.to_vec();
+                new_args.extend(extra_args);
+                let mut pat = stm.pat.clone();
+                let mut tangent_vars = Vec::new();
+                for j in 0..stm.pat.len() {
+                    if stm.pat[j].ty.is_differentiable() || stm.pat[j].ty.is_acc() {
+                        let t = self.b.fresh(stm.pat[j].ty);
+                        pat.push(Param::new(t, stm.pat[j].ty));
+                        tangent_vars.push((stm.pat[j].var, t));
+                    }
+                }
+                assert_eq!(tangent_vars.len(), n_extra_out);
+                self.b.push_stm(Stm::new(pat, Exp::Map { lam: dual_lam, args: new_args }));
+                for (v, t) in tangent_vars {
+                    self.set_tangent(v, t);
+                }
+            }
+            Exp::Reduce { lam, neutral, args } | Exp::Scan { lam, neutral, args } => {
+                let is_scan = matches!(stm.exp, Exp::Scan { .. });
+                let k = args.len();
+                let diff: Vec<usize> =
+                    (0..k).filter(|j| self.b.ty_of(args[*j]).is_differentiable()).collect();
+                // Dual operator: accumulator group then element group, each
+                // extended with tangents of the differentiable positions.
+                let dual = self.dual_fold_operator(lam, k, &diff);
+                let mut new_args = args.to_vec();
+                for j in &diff {
+                    new_args.push(self.tangent_of(args[*j]).expect_var());
+                }
+                let mut new_neutral = neutral.to_vec();
+                for j in &diff {
+                    let t = self.tangent_of_atom(neutral[*j]);
+                    new_neutral.push(t);
+                }
+                let mut pat = stm.pat.clone();
+                let mut tangent_vars = Vec::new();
+                for j in &diff {
+                    let ty = stm.pat[*j].ty;
+                    let t = self.b.fresh(ty);
+                    pat.push(Param::new(t, ty));
+                    tangent_vars.push((stm.pat[*j].var, t));
+                }
+                let exp = if is_scan {
+                    Exp::Scan { lam: dual, neutral: new_neutral, args: new_args }
+                } else {
+                    Exp::Reduce { lam: dual, neutral: new_neutral, args: new_args }
+                };
+                self.b.push_stm(Stm::new(pat, exp));
+                for (v, t) in tangent_vars {
+                    self.set_tangent(v, t);
+                }
+            }
+            Exp::WithAcc { arrs, lam } => {
+                let k = arrs.len();
+                // Tangent arrays accompany the primal ones.
+                let d_arrs: Vec<VarId> =
+                    arrs.iter().map(|a| self.tangent_of(*a).expect_var()).collect();
+                // Dual lambda over 2k accumulators.
+                let mut params = lam.params.clone();
+                let mut acc_tangents = Vec::new();
+                for p in &lam.params[..k] {
+                    let t = self.b.fresh(p.ty);
+                    params.push(Param::new(t, p.ty));
+                    acc_tangents.push((p.var, t));
+                }
+                self.b.begin_scope();
+                for (v, t) in &acc_tangents {
+                    self.set_tangent(*v, *t);
+                }
+                self.jvp_stms(&lam.body.stms);
+                // Result: primal accs, tangent accs, secondary results and
+                // their tangents.
+                let mut result: Vec<Atom> = lam.body.result[..k].to_vec();
+                let mut ret: Vec<Type> = lam.ret[..k].to_vec();
+                for a in &lam.body.result[..k] {
+                    let t = self.tangent_of_atom(*a);
+                    result.push(t);
+                    ret.push(self.b.ty_of_atom(&t));
+                }
+                for (a, rt) in lam.body.result[k..].iter().zip(&lam.ret[k..]) {
+                    result.push(*a);
+                    ret.push(*rt);
+                    if rt.is_differentiable() {
+                        let t = self.tangent_of_atom(*a);
+                        result.push(t);
+                        ret.push(*rt);
+                    }
+                }
+                let stms = self.b.end_scope();
+                let dual_lam = Lambda { params, body: Body::new(stms, result), ret };
+                let mut new_arrs = arrs.to_vec();
+                new_arrs.extend(d_arrs);
+                // Output pattern: primal arrays, tangent arrays, secondary
+                // (+ tangents).
+                let mut pat: Vec<Param> = stm.pat[..k].to_vec();
+                let mut tangent_vars = Vec::new();
+                for p in &stm.pat[..k] {
+                    let t = self.b.fresh(p.ty);
+                    pat.push(Param::new(t, p.ty));
+                    tangent_vars.push((p.var, t));
+                }
+                for p in &stm.pat[k..] {
+                    pat.push(*p);
+                    if p.ty.is_differentiable() {
+                        let t = self.b.fresh(p.ty);
+                        pat.push(Param::new(t, p.ty));
+                        tangent_vars.push((p.var, t));
+                    }
+                }
+                self.b.push_stm(Stm::new(pat, Exp::WithAcc { arrs: new_arrs, lam: dual_lam }));
+                for (v, t) in tangent_vars {
+                    self.set_tangent(v, t);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Transform a branch body: original results followed by the tangents of
+    /// the differentiable results (positions `diff`).
+    fn jvp_branch(&mut self, body: &Body, diff: &[usize]) -> Body {
+        self.b.begin_scope();
+        self.jvp_stms(&body.stms);
+        let mut result = body.result.clone();
+        for j in diff {
+            let t = self.tangent_of_atom(body.result[*j]);
+            result.push(t);
+        }
+        let stms = self.b.end_scope();
+        Body::new(stms, result)
+    }
+
+    /// Build the dual version of a `map` lambda: parameters are extended
+    /// with tangents of differentiable/accumulator arguments, results with
+    /// tangents of differentiable/accumulator results. Returns the lambda,
+    /// the extra (tangent) map arguments, and the number of extra outputs.
+    fn dual_lambda(&mut self, lam: &Lambda, args: &[VarId], _k: usize) -> (Lambda, Vec<VarId>, usize) {
+        let mut params = lam.params.clone();
+        let mut extra_args = Vec::new();
+        let mut param_tangents = Vec::new();
+        for (p, a) in lam.params.iter().zip(args) {
+            let ty = self.b.ty_of(*a);
+            if ty.is_differentiable() || ty.is_acc() {
+                let t = self.b.fresh(p.ty);
+                params.push(Param::new(t, p.ty));
+                param_tangents.push((p.var, t));
+                extra_args.push(self.tangent_of(*a).expect_var());
+            }
+        }
+        self.b.begin_scope();
+        for (v, t) in &param_tangents {
+            self.set_tangent(*v, *t);
+        }
+        self.jvp_stms(&lam.body.stms);
+        let mut result = lam.body.result.clone();
+        let mut ret = lam.ret.clone();
+        let mut n_extra = 0;
+        for (a, rt) in lam.body.result.iter().zip(&lam.ret) {
+            if rt.is_differentiable() || rt.is_acc() {
+                let t = self.tangent_of_atom(*a);
+                result.push(t);
+                ret.push(*rt);
+                n_extra += 1;
+            }
+        }
+        let stms = self.b.end_scope();
+        (Lambda { params, body: Body::new(stms, result), ret }, extra_args, n_extra)
+    }
+
+    /// Build the dual operator of a reduce/scan: the parameter list
+    /// `[accs..., elems...]` becomes
+    /// `[accs..., acc-tangents..., elems..., elem-tangents...]`.
+    fn dual_fold_operator(&mut self, lam: &Lambda, k: usize, diff: &[usize]) -> Lambda {
+        let mut params: Vec<Param> = Vec::new();
+        let mut tangents = Vec::new();
+        // Accumulator group.
+        for p in &lam.params[..k] {
+            params.push(*p);
+        }
+        for j in diff {
+            let p = lam.params[*j];
+            let t = self.b.fresh(p.ty);
+            params.push(Param::new(t, p.ty));
+            tangents.push((p.var, t));
+        }
+        // Element group.
+        for p in &lam.params[k..] {
+            params.push(*p);
+        }
+        for j in diff {
+            let p = lam.params[k + *j];
+            let t = self.b.fresh(p.ty);
+            params.push(Param::new(t, p.ty));
+            tangents.push((p.var, t));
+        }
+        self.b.begin_scope();
+        for (v, t) in &tangents {
+            self.set_tangent(*v, *t);
+        }
+        self.jvp_stms(&lam.body.stms);
+        let mut result = lam.body.result.clone();
+        let mut ret = lam.ret.clone();
+        for j in diff {
+            let t = self.tangent_of_atom(lam.body.result[*j]);
+            result.push(t);
+            ret.push(lam.ret[*j]);
+        }
+        let stms = self.b.end_scope();
+        Lambda { params, body: Body::new(stms, result), ret }
+    }
+}

@@ -1,0 +1,127 @@
+//! Gradient checking against central finite differences.
+//!
+//! Used throughout the test suites to validate both AD modes on every
+//! workload: the reverse-mode gradient of a scalar-valued program is
+//! compared entry-by-entry against `(f(x+h) - f(x-h)) / 2h`.
+
+use fir::ir::Fun;
+use interp::{Array, Interp, Value};
+
+/// Flatten the `f64` content of a value into `out`.
+fn flatten(v: &Value, out: &mut Vec<f64>) {
+    match v {
+        Value::F64(x) => out.push(*x),
+        Value::Arr(a) if a.elem() == fir::types::ScalarType::F64 => out.extend_from_slice(a.f64s()),
+        _ => {}
+    }
+}
+
+/// Replace the `f64` content of a value from a flat slice, returning the
+/// number of entries consumed.
+fn unflatten(v: &Value, flat: &[f64]) -> (Value, usize) {
+    match v {
+        Value::F64(_) => (Value::F64(flat[0]), 1),
+        Value::Arr(a) if a.elem() == fir::types::ScalarType::F64 => {
+            let n = a.f64s().len();
+            (Value::Arr(Array::from_f64(a.shape.clone(), flat[..n].to_vec())), n)
+        }
+        other => (other.clone(), 0),
+    }
+}
+
+/// The number of `f64` entries in the differentiable arguments.
+pub fn num_inputs(args: &[Value]) -> usize {
+    let mut flat = Vec::new();
+    for a in args {
+        flatten(a, &mut flat);
+    }
+    flat.len()
+}
+
+/// Evaluate a scalar-valued function (first result must be an `f64`).
+pub fn eval_scalar(interp: &Interp, fun: &Fun, args: &[Value]) -> f64 {
+    interp.run(fun, args)[0].as_f64()
+}
+
+/// The gradient of a scalar-valued function by central finite differences,
+/// flattened over all differentiable (`f64`) inputs.
+pub fn finite_diff_gradient(interp: &Interp, fun: &Fun, args: &[Value], h: f64) -> Vec<f64> {
+    let mut flat = Vec::new();
+    for a in args {
+        flatten(a, &mut flat);
+    }
+    let rebuild = |flat: &[f64]| -> Vec<Value> {
+        let mut out = Vec::with_capacity(args.len());
+        let mut off = 0;
+        for a in args {
+            let (v, used) = unflatten(a, &flat[off..]);
+            off += used;
+            out.push(v);
+        }
+        out
+    };
+    let mut grad = Vec::with_capacity(flat.len());
+    for i in 0..flat.len() {
+        let mut plus = flat.clone();
+        plus[i] += h;
+        let mut minus = flat.clone();
+        minus[i] -= h;
+        let fp = eval_scalar(interp, fun, &rebuild(&plus));
+        let fm = eval_scalar(interp, fun, &rebuild(&minus));
+        grad.push((fp - fm) / (2.0 * h));
+    }
+    grad
+}
+
+/// Flatten the gradient values returned by a `vjp`-transformed scalar
+/// function (the adjoints of the differentiable parameters).
+pub fn flatten_gradient(vals: &[Value]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for v in vals {
+        flatten(v, &mut out);
+    }
+    out
+}
+
+/// Run the reverse-mode gradient of a scalar-valued function: the function
+/// is transformed with [`crate::vjp`], executed with seed 1.0, and the
+/// parameter adjoints are returned flattened (in parameter order).
+pub fn reverse_gradient(interp: &Interp, fun: &Fun, args: &[Value]) -> (f64, Vec<f64>) {
+    assert_eq!(fun.ret.len(), 1, "reverse_gradient expects a single result");
+    let dfun = crate::vjp(fun);
+    let mut all_args = args.to_vec();
+    all_args.push(Value::F64(1.0));
+    let out = interp.run(&dfun, &all_args);
+    let primal = out[0].as_f64();
+    let grads = flatten_gradient(&out[1..]);
+    (primal, grads)
+}
+
+/// Maximum relative error between two gradients (with an absolute floor to
+/// avoid blowing up near zero).
+pub fn max_rel_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "gradient length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let denom = x.abs().max(y.abs()).max(1e-6);
+            (x - y).abs() / denom
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Assert that reverse-mode AD matches finite differences on a scalar
+/// function, within a relative tolerance.
+pub fn assert_gradients_match(fun: &Fun, args: &[Value], tol: f64) {
+    let interp = Interp::sequential();
+    let (_, ad) = reverse_gradient(&interp, fun, args);
+    let fd = finite_diff_gradient(&interp, fun, args, 1e-5);
+    let err = max_rel_error(&ad, &fd);
+    assert!(
+        err <= tol,
+        "gradient mismatch for {}: max relative error {err:.3e} (tol {tol:.1e})\n  ad: {:?}\n  fd: {:?}",
+        fun.name,
+        &ad[..ad.len().min(16)],
+        &fd[..fd.len().min(16)]
+    );
+}

@@ -1,0 +1,217 @@
+//! IR-building utilities shared by the forward- and reverse-mode
+//! transformations: zero values, vectorized additions, gathers, and type
+//! registration for existing program fragments.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, BinOp, Body, Exp, Fun, Lambda, Stm, VarId};
+use fir::types::Type;
+
+/// Register in the builder the types of every variable bound anywhere in a
+/// body (patterns, lambda parameters, loop parameters and indices).
+/// Transformation passes call this once on the input program so `ty_of`
+/// works for every original variable.
+pub fn register_body_types(b: &mut Builder, body: &Body) {
+    for Stm { pat, exp } in &body.stms {
+        for p in pat {
+            b.set_type(p.var, p.ty);
+        }
+        register_exp_types(b, exp);
+    }
+}
+
+fn register_lambda_types(b: &mut Builder, lam: &Lambda) {
+    for p in &lam.params {
+        b.set_type(p.var, p.ty);
+    }
+    register_body_types(b, &lam.body);
+}
+
+fn register_exp_types(b: &mut Builder, exp: &Exp) {
+    match exp {
+        Exp::If { then_br, else_br, .. } => {
+            register_body_types(b, then_br);
+            register_body_types(b, else_br);
+        }
+        Exp::Loop { params, index, body, .. } => {
+            for (p, _) in params {
+                b.set_type(p.var, p.ty);
+            }
+            b.set_type(*index, Type::I64);
+            register_body_types(b, body);
+        }
+        Exp::Map { lam, .. } => register_lambda_types(b, lam),
+        Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => register_lambda_types(b, lam),
+        Exp::WithAcc { lam, .. } => register_lambda_types(b, lam),
+        _ => {}
+    }
+}
+
+/// Register the types of everything in a function.
+pub fn register_fun_types(b: &mut Builder, f: &Fun) {
+    for p in &f.params {
+        b.set_type(p.var, p.ty);
+    }
+    register_body_types(b, &f.body);
+}
+
+/// Emit a zero value with the same type and shape as `v` (which must be
+/// differentiable: an `f64` scalar or array). For arrays this is a nest of
+/// maps producing zeros, so the shape is taken from the runtime value of `v`.
+pub fn zero_like(b: &mut Builder, v: VarId) -> VarId {
+    let ty = b.ty_of(v);
+    match ty {
+        Type::Scalar(_) => b.bind1(Type::F64, Exp::Atom(Atom::f64(0.0))),
+        Type::Array { rank, .. } => zero_array_like(b, v, rank),
+        Type::Acc { .. } => panic!("zero_like of an accumulator"),
+    }
+}
+
+fn zero_array_like(b: &mut Builder, v: VarId, rank: usize) -> VarId {
+    if rank == 1 {
+        b.map1(Type::arr_f64(1), &[v], |_b, _es| vec![Atom::f64(0.0)])
+    } else {
+        b.map1(Type::arr_f64(rank), &[v], |b, es| {
+            let inner = zero_array_like(b, es[0], rank - 1);
+            vec![Atom::Var(inner)]
+        })
+    }
+}
+
+/// Emit the elementwise sum of two equally-shaped `f64` values (scalars or
+/// arrays of any rank). Returns an atom of the same type.
+pub fn add_values(b: &mut Builder, x: Atom, y: Atom) -> Atom {
+    let tx = b.ty_of_atom(&x);
+    match tx {
+        Type::Scalar(_) => b.fadd(x, y),
+        Type::Array { rank, .. } => {
+            let xv = x.expect_var();
+            let yv = y.expect_var();
+            Atom::Var(add_arrays(b, xv, yv, rank))
+        }
+        Type::Acc { .. } => panic!("add_values on accumulator"),
+    }
+}
+
+fn add_arrays(b: &mut Builder, x: VarId, y: VarId, rank: usize) -> VarId {
+    if rank == 1 {
+        b.map1(Type::arr_f64(1), &[x, y], |b, es| vec![b.fadd(es[0].into(), es[1].into())])
+    } else {
+        b.map1(Type::arr_f64(rank), &[x, y], |b, es| {
+            let inner = add_arrays(b, es[0], es[1], rank - 1);
+            vec![Atom::Var(inner)]
+        })
+    }
+}
+
+/// Emit `map (\i -> arr[i]) inds` (a gather).
+pub fn gather(b: &mut Builder, arr: VarId, inds: VarId) -> VarId {
+    let out_ty = match b.ty_of(arr) {
+        Type::Array { elem, rank } => Type::Array { elem, rank },
+        t => panic!("gather from non-array {t}"),
+    };
+    b.map1(out_ty, &[inds], |b, es| {
+        let v = b.bind1(out_ty.peel(), Exp::Index { arr, idx: vec![es[0].into()] });
+        vec![Atom::Var(v)]
+    })
+}
+
+/// Emit an `f64` array of zeros with the same outer length as `arr` and the
+/// same element shape as `arr`'s elements.
+pub fn zeros_like_outer(b: &mut Builder, arr: VarId) -> VarId {
+    zero_like(b, arr)
+}
+
+/// Emit a sum-reduction of a rank-1 `f64` array.
+pub fn sum_vec(b: &mut Builder, arr: VarId) -> Atom {
+    Atom::Var(b.sum(arr))
+}
+
+/// Emit the scalar multiplication `a * b` (both `f64` atoms).
+pub fn mul(b: &mut Builder, a: Atom, c: Atom) -> Atom {
+    b.fmul(a, c)
+}
+
+/// Recognize a lambda as a single-array reduction with a known commutative
+/// operator (`+`, `*`, `min`, `max`) over `f64` scalars. The lambda must
+/// have exactly two parameters and one result which is a single binary
+/// operation (possibly after trivial copies).
+pub fn recognize_reduce_op(lam: &Lambda) -> Option<fir::ir::ReduceOp> {
+    use fir::ir::ReduceOp;
+    if lam.params.len() != 2 || lam.ret.len() != 1 || lam.ret[0] != Type::F64 {
+        return None;
+    }
+    let a = lam.params[0].var;
+    let c = lam.params[1].var;
+    // The body must be a single binop statement over the two parameters (in
+    // either order) whose result is returned.
+    if lam.body.stms.len() != 1 {
+        return None;
+    }
+    let stm = &lam.body.stms[0];
+    if lam.body.result != vec![Atom::Var(stm.pat[0].var)] {
+        return None;
+    }
+    let (op, x, y) = match &stm.exp {
+        Exp::BinOp(op, x, y) => (*op, *x, *y),
+        _ => return None,
+    };
+    let uses_params = (x == Atom::Var(a) && y == Atom::Var(c)) || (x == Atom::Var(c) && y == Atom::Var(a));
+    if !uses_params {
+        return None;
+    }
+    match op {
+        BinOp::Add => Some(ReduceOp::Add),
+        BinOp::Mul => Some(ReduceOp::Mul),
+        BinOp::Min => Some(ReduceOp::Min),
+        BinOp::Max => Some(ReduceOp::Max),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::ir::ReduceOp;
+
+    #[test]
+    fn recognizes_standard_operators() {
+        let mut b = Builder::new();
+        let lam_add = b.lambda(&[Type::F64, Type::F64], |b, ps| {
+            vec![b.fadd(ps[0].into(), ps[1].into())]
+        });
+        assert_eq!(recognize_reduce_op(&lam_add), Some(ReduceOp::Add));
+        let lam_max = b.lambda(&[Type::F64, Type::F64], |b, ps| {
+            vec![b.fmax(ps[1].into(), ps[0].into())]
+        });
+        assert_eq!(recognize_reduce_op(&lam_max), Some(ReduceOp::Max));
+        let lam_weird = b.lambda(&[Type::F64, Type::F64], |b, ps| {
+            let t = b.fmul(ps[0].into(), ps[1].into());
+            vec![b.fadd(t, Atom::f64(1.0))]
+        });
+        assert_eq!(recognize_reduce_op(&lam_weird), None);
+    }
+
+    #[test]
+    fn zero_like_scalar_and_array() {
+        let mut b = Builder::new();
+        b.begin_scope();
+        let x = b.fresh(Type::F64);
+        let z = zero_like(&mut b, x);
+        assert_eq!(b.ty_of(z), Type::F64);
+        let a = b.fresh(Type::arr_f64(2));
+        let za = zero_like(&mut b, a);
+        assert_eq!(b.ty_of(za), Type::arr_f64(2));
+        let _ = b.end_scope();
+    }
+
+    #[test]
+    fn add_values_matches_types() {
+        let mut b = Builder::new();
+        b.begin_scope();
+        let x = b.fresh(Type::arr_f64(1));
+        let y = b.fresh(Type::arr_f64(1));
+        let s = add_values(&mut b, x.into(), y.into());
+        assert_eq!(b.ty_of_atom(&s), Type::arr_f64(1));
+        let _ = b.end_scope();
+    }
+}

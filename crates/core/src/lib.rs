@@ -1,0 +1,50 @@
+//! `futhark-ad` — forward- and reverse-mode automatic differentiation for
+//! the `fir` nested-parallel array IR.
+//!
+//! This crate is the reproduction of the core contribution of *"AD for an
+//! Array Language with Nested Parallelism"* (SC 2022):
+//!
+//! * [`vjp`] — reverse-mode AD by redundant execution: tape-free, scope-wise
+//!   forward re-execution, loop checkpointing, and per-SOAC rewrite rules
+//!   (reduce, scan, histogram, scatter, map-with-accumulators).
+//! * [`jvp`] — forward-mode AD by tangent interleaving, including support
+//!   for the accumulator constructs produced by `vjp` so the two can be
+//!   nested (`jvp ∘ vjp`) to compute Hessians.
+//! * [`stripmine`] — the user-directed loop strip-mining transformation that
+//!   realises the time/space trade-off of §4.3.
+//! * [`gradcheck`] — finite-difference validation helpers used by the test
+//!   suites and benchmarks.
+//!
+//! # Example: the gradient of a dot product
+//!
+//! ```
+//! use fir::builder::Builder;
+//! use fir::types::Type;
+//! use futhark_ad::vjp;
+//! use interp::{Interp, Value};
+//!
+//! let mut b = Builder::new();
+//! let dot = b.build_fun("dot", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+//!     let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+//!         vec![b.fmul(es[0].into(), es[1].into())]
+//!     });
+//!     vec![b.sum(prods).into()]
+//! });
+//! let ddot = vjp(&dot);
+//! let xs = Value::from(vec![1.0, 2.0, 3.0]);
+//! let ys = Value::from(vec![4.0, 5.0, 6.0]);
+//! let out = Interp::new().run(&ddot, &[xs, ys, Value::F64(1.0)]);
+//! assert_eq!(out[0].as_f64(), 32.0);                      // primal
+//! assert_eq!(out[1].as_arr().f64s(), &[4.0, 5.0, 6.0]);   // d/dxs = ys
+//! assert_eq!(out[2].as_arr().f64s(), &[1.0, 2.0, 3.0]);   // d/dys = xs
+//! ```
+
+pub mod forward;
+pub mod gradcheck;
+pub mod helpers;
+pub mod reverse;
+pub mod stripmine;
+
+pub use forward::jvp;
+pub use reverse::vjp;
+pub use stripmine::stripmine_loops;

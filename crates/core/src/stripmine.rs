@@ -1,0 +1,201 @@
+//! Loop strip-mining (§4.3): the practical time/space trade-off.
+//!
+//! Strip-mining a loop of trip count `n` by a factor `k` turns it into a
+//! nest of two loops of trip counts `⌈n/k⌉` and `k`. After reverse-mode AD,
+//! only the *per-loop* loop-variant values are checkpointed, so the memory
+//! needed for checkpointing drops from `n` copies to `⌈n/k⌉ + k` copies, at
+//! the price of one extra forward re-execution of the inner loop body. The
+//! paper exposes this as a user annotation; here it is a standalone
+//! IR-to-IR pass applied before [`crate::vjp`].
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Body, Exp, Fun, Lambda, Param, Stm, VarId};
+use fir::types::Type;
+
+use crate::helpers::register_fun_types;
+
+/// Strip-mine every sequential loop in the function by `factor` (≥ 2).
+/// Loops whose trip count is not known to be positive are still correct:
+/// iterations past the original count are guarded by an `if` that passes the
+/// loop-variant values through unchanged.
+pub fn stripmine_loops(fun: &Fun, factor: i64) -> Fun {
+    assert!(factor >= 2, "strip-mining factor must be at least 2");
+    let mut b = Builder::for_fun(fun);
+    register_fun_types(&mut b, fun);
+    let mut ctx = Strip { b, factor };
+    let body = ctx.body(&fun.body);
+    Fun { name: fun.name.clone(), params: fun.params.clone(), body, ret: fun.ret.clone() }
+}
+
+struct Strip {
+    b: Builder,
+    factor: i64,
+}
+
+impl Strip {
+    fn body(&mut self, body: &Body) -> Body {
+        self.b.begin_scope();
+        for stm in &body.stms {
+            self.stm(stm);
+        }
+        let stms = self.b.end_scope();
+        Body::new(stms, body.result.clone())
+    }
+
+    fn lambda(&mut self, lam: &Lambda) -> Lambda {
+        Lambda { params: lam.params.clone(), body: self.body(&lam.body), ret: lam.ret.clone() }
+    }
+
+    fn stm(&mut self, stm: &Stm) {
+        match &stm.exp {
+            Exp::Loop { params, index, count, body } => {
+                let inner_body = self.body(body);
+                self.emit_stripmined(stm, params, *index, *count, &inner_body);
+            }
+            Exp::If { cond, then_br, else_br } => {
+                let t = self.body(then_br);
+                let e = self.body(else_br);
+                self.b.push_stm(Stm::new(
+                    stm.pat.clone(),
+                    Exp::If { cond: *cond, then_br: t, else_br: e },
+                ));
+            }
+            Exp::Map { lam, args } => {
+                let lam = self.lambda(lam);
+                self.b.push_stm(Stm::new(stm.pat.clone(), Exp::Map { lam, args: args.clone() }));
+            }
+            _ => self.b.push_stm(stm.clone()),
+        }
+    }
+
+    /// Emit the two-level loop nest replacing a single loop.
+    fn emit_stripmined(
+        &mut self,
+        stm: &Stm,
+        params: &[(Param, Atom)],
+        index: VarId,
+        count: Atom,
+        body: &Body,
+    ) {
+        let k = Atom::i64(self.factor);
+        // outer_count = (count + k - 1) / k
+        let km1 = self.b.isub(k, Atom::i64(1));
+        let cpk = self.b.iadd(count, km1);
+        let outer_count = self.b.idiv(cpk, k);
+
+        let tys: Vec<Type> = params.iter().map(|(p, _)| p.ty).collect();
+
+        // Inner loop: fresh parameters that shadow nothing; the guarded body
+        // either runs the original body or passes the values through.
+        let inner_params: Vec<Param> = tys.iter().map(|t| Param::new(self.b.fresh(*t), *t)).collect();
+        let inner_index = self.b.fresh(Type::I64);
+        // Outer loop parameters reuse the original parameter variables so the
+        // (unchanged) body can keep referring to them via the inner copies.
+        let outer_params: Vec<(Param, Atom)> = params.to_vec();
+        let outer_index = self.b.fresh(Type::I64);
+
+        // Build the inner loop body. The original body is alpha-renamed so
+        // that the original loop parameters and index map to the inner
+        // loop's variables without shadowing (reverse AD keys adjoints by
+        // variable name, so shadowing in differentiated code must be
+        // avoided).
+        self.b.begin_scope();
+        let ok = self.b.imul(Atom::Var(outer_index), k);
+        let i = self.b.iadd(ok, Atom::Var(inner_index));
+        let ivar = self.b.bind1(Type::I64, Exp::Atom(i));
+        let mut ren = fir::rename::Renamer::new();
+        ren.insert(index, ivar);
+        for ((p, _), ip) in params.iter().zip(&inner_params) {
+            ren.insert(p.var, ip.var);
+        }
+        let renamed_body = ren.body(&mut self.b, body);
+        let in_range = self.b.lt(i, count);
+        let guarded = self.b.bind(
+            &tys,
+            Exp::If {
+                cond: in_range,
+                then_br: renamed_body,
+                else_br: Body::new(vec![], inner_params.iter().map(|p| Atom::Var(p.var)).collect()),
+            },
+        );
+        let inner_stms = self.b.end_scope();
+        let inner_body =
+            Body::new(inner_stms, guarded.iter().map(|v| Atom::Var(*v)).collect());
+
+        // Build the outer loop body: run the inner loop starting from the
+        // outer loop-variant values.
+        self.b.begin_scope();
+        let inner_inits: Vec<(Param, Atom)> = inner_params
+            .iter()
+            .zip(params)
+            .map(|(ip, (p, _))| (*ip, Atom::Var(p.var)))
+            .collect();
+        let inner_out = self.b.bind(
+            &tys,
+            Exp::Loop { params: inner_inits, index: inner_index, count: k, body: inner_body },
+        );
+        let outer_stms = self.b.end_scope();
+        let outer_body =
+            Body::new(outer_stms, inner_out.iter().map(|v| Atom::Var(*v)).collect());
+
+        self.b.push_stm(Stm::new(
+            stm.pat.clone(),
+            Exp::Loop {
+                params: outer_params,
+                index: outer_index,
+                count: outer_count,
+                body: outer_body,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::typecheck::check_fun;
+    use interp::{Interp, Value};
+
+    fn sum_loop_fun() -> Fun {
+        let mut b = Builder::new();
+        b.build_fun("iter", &[Type::F64, Type::I64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let n = Atom::Var(ps[1]);
+            let r = b.loop_(&[(Type::F64, Atom::f64(0.0))], n, |b, i, acc| {
+                let fi = b.to_f64(i.into());
+                let t = b.fmul(fi, x);
+                vec![b.fadd(acc[0].into(), t)]
+            });
+            vec![r[0].into()]
+        })
+    }
+
+    #[test]
+    fn stripmined_loop_computes_the_same_value() {
+        let fun = sum_loop_fun();
+        let sm = stripmine_loops(&fun, 4);
+        check_fun(&sm).unwrap();
+        let interp = Interp::sequential();
+        for n in [0i64, 1, 3, 4, 7, 16, 17] {
+            let args = [Value::F64(1.5), Value::I64(n)];
+            let a = interp.run(&fun, &args)[0].as_f64();
+            let b = interp.run(&sm, &args)[0].as_f64();
+            assert!((a - b).abs() < 1e-12, "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stripmined_gradient_matches_plain_gradient() {
+        let fun = sum_loop_fun();
+        let sm = stripmine_loops(&fun, 3);
+        let interp = Interp::sequential();
+        let args = [Value::F64(2.0), Value::I64(10)];
+        let (p1, g1) = crate::gradcheck::reverse_gradient(&interp, &fun, &args);
+        let (p2, g2) = crate::gradcheck::reverse_gradient(&interp, &sm, &args);
+        assert!((p1 - p2).abs() < 1e-12);
+        assert_eq!(g1.len(), g2.len());
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! End-to-end correctness of reverse- and forward-mode AD: every generated
+//! derivative is validated against central finite differences, and the
+//! generated IR is re-checked by the type checker.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun, ReduceOp};
+use fir::typecheck::check_fun;
+use fir::types::Type;
+use futhark_ad::gradcheck::{
+    assert_gradients_match, finite_diff_gradient, max_rel_error, reverse_gradient,
+};
+use futhark_ad::{jvp, vjp};
+use interp::{Array, Interp, Value};
+
+fn vec_f64(v: Vec<f64>) -> Value {
+    Value::from(v)
+}
+
+fn mat(shape: [usize; 2], v: Vec<f64>) -> Value {
+    Value::Arr(Array::from_f64(shape.to_vec(), v))
+}
+
+fn checked_vjp(fun: &Fun) -> Fun {
+    check_fun(fun).expect("primal function ill-typed");
+    let d = vjp(fun);
+    check_fun(&d).unwrap_or_else(|e| panic!("vjp({}) ill-typed: {e}\n{d}", fun.name));
+    d
+}
+
+// ---------------------------------------------------------------------
+// Scalar programs
+// ---------------------------------------------------------------------
+
+#[test]
+fn scalar_chain_matches_fd() {
+    let mut b = Builder::new();
+    let f = b.build_fun("chain", &[Type::F64, Type::F64], |b, ps| {
+        let x = Atom::Var(ps[0]);
+        let y = Atom::Var(ps[1]);
+        let s = b.fsin(x);
+        let e = b.fexp(s);
+        let q = b.fmul(e, y);
+        let l = b.flog(y);
+        let t = b.fadd(q, l);
+        let r = b.fdiv(t, x);
+        vec![r]
+    });
+    let _ = checked_vjp(&f);
+    assert_gradients_match(&f, &[Value::F64(1.3), Value::F64(2.7)], 1e-5);
+}
+
+#[test]
+fn figure1_example_adjoints() {
+    // The running example of Fig. 1: f(x0, x1) = (x1 * sin(x0), x0 * x1).
+    let mut b = Builder::new();
+    let f = b.build_fun("fig1", &[Type::F64, Type::F64], |b, ps| {
+        let x0 = Atom::Var(ps[0]);
+        let x1 = Atom::Var(ps[1]);
+        let w0 = b.fsin(x0);
+        let w1 = b.fmul(x1, w0);
+        let w2 = b.fmul(x0, x1);
+        vec![w1, w2]
+    });
+    let d = checked_vjp(&f);
+    let (x0, x1) = (0.7, -1.9);
+    let (y0b, y1b) = (0.3, 1.1);
+    let out = Interp::sequential().run(
+        &d,
+        &[Value::F64(x0), Value::F64(x1), Value::F64(y0b), Value::F64(y1b)],
+    );
+    // Analytic vjp: x̄0 = ȳ0·x1·cos(x0) + ȳ1·x1 ; x̄1 = ȳ0·sin(x0) + ȳ1·x0.
+    let want_x0 = y0b * x1 * x0.cos() + y1b * x1;
+    let want_x1 = y0b * x0.sin() + y1b * x0;
+    assert!((out[2].as_f64() - want_x0).abs() < 1e-12);
+    assert!((out[3].as_f64() - want_x1).abs() < 1e-12);
+}
+
+#[test]
+fn scalar_special_functions() {
+    let mut b = Builder::new();
+    let f = b.build_fun("specials", &[Type::F64], |b, ps| {
+        let x = Atom::Var(ps[0]);
+        let t = b.ftanh(x);
+        let s = b.fsigmoid(x);
+        let q = b.fsqrt(x);
+        let a = b.fabs(x);
+        let r = b.frecip(x);
+        let p = b.fpow(x, Atom::f64(2.5));
+        let m1 = b.fadd(t, s);
+        let m2 = b.fadd(q, a);
+        let m3 = b.fadd(r, p);
+        let m4 = b.fadd(m1, m2);
+        vec![b.fadd(m3, m4)]
+    });
+    assert_gradients_match(&f, &[Value::F64(0.8)], 1e-5);
+}
+
+#[test]
+fn min_max_select_gradients() {
+    let mut b = Builder::new();
+    let f = b.build_fun("minmax", &[Type::F64, Type::F64], |b, ps| {
+        let x = Atom::Var(ps[0]);
+        let y = Atom::Var(ps[1]);
+        let mn = b.fmin(x, y);
+        let mx = b.fmax(x, y);
+        let c = b.lt(x, y);
+        let s = b.select(c, mx, mn);
+        let t = b.fmul(mn, mx);
+        vec![b.fadd(s, t)]
+    });
+    assert_gradients_match(&f, &[Value::F64(1.5), Value::F64(-2.5)], 1e-5);
+    assert_gradients_match(&f, &[Value::F64(-0.5), Value::F64(3.0)], 1e-5);
+}
+
+// ---------------------------------------------------------------------
+// map / reduce
+// ---------------------------------------------------------------------
+
+#[test]
+fn sum_of_squares_gradient() {
+    let mut b = Builder::new();
+    let f = b.build_fun("sumsq", &[Type::arr_f64(1)], |b, ps| {
+        let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            vec![b.fmul(es[0].into(), es[0].into())]
+        });
+        vec![Atom::Var(b.sum(sq))]
+    });
+    let d = checked_vjp(&f);
+    let xs = vec![1.0, -2.0, 3.0, 0.5];
+    let out = Interp::sequential().run(&d, &[vec_f64(xs.clone()), Value::F64(1.0)]);
+    let grad = out[1].as_arr().f64s().to_vec();
+    for (g, x) in grad.iter().zip(&xs) {
+        assert!((g - 2.0 * x).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn dot_product_gradient() {
+    let mut b = Builder::new();
+    let f = b.build_fun("dot", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+        let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+            vec![b.fmul(es[0].into(), es[1].into())]
+        });
+        vec![Atom::Var(b.sum(prods))]
+    });
+    assert_gradients_match(
+        &f,
+        &[vec_f64(vec![1.0, 2.0, -3.0]), vec_f64(vec![0.5, -1.5, 2.5])],
+        1e-5,
+    );
+}
+
+#[test]
+fn map_with_free_scalar_variable() {
+    // f(xs, c) = sum (map (\x -> x * c + c*c) xs): the free scalar c gets a
+    // reduced per-element contribution.
+    let mut b = Builder::new();
+    let f = b.build_fun("freescalar", &[Type::arr_f64(1), Type::F64], |b, ps| {
+        let c = Atom::Var(ps[1]);
+        let ys = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            let t = b.fmul(es[0].into(), c);
+            let cc = b.fmul(c, c);
+            vec![b.fadd(t, cc)]
+        });
+        vec![Atom::Var(b.sum(ys))]
+    });
+    assert_gradients_match(&f, &[vec_f64(vec![1.0, 2.0, 3.0]), Value::F64(0.7)], 1e-5);
+}
+
+#[test]
+fn map_with_free_array_indexing_becomes_accumulator() {
+    // f(xs, is) = sum (map (\i -> xs[i] * xs[i]) is): reads of the free array
+    // turn into accumulator updates in the reverse sweep. Duplicate indices
+    // exercise the atomic accumulation.
+    let mut b = Builder::new();
+    let f = b.build_fun("gathersq", &[Type::arr_f64(1), Type::arr_i64(1)], |b, ps| {
+        let xs = ps[0];
+        let ys = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
+            let x = b.index(xs, &[es[0].into()]);
+            vec![b.fmul(x.into(), x.into())]
+        });
+        vec![Atom::Var(b.sum(ys))]
+    });
+    let d = checked_vjp(&f);
+    let xs = vec![1.0, 2.0, 3.0, 4.0];
+    let inds = Value::from(vec![0i64, 2, 2, 3]);
+    let out = Interp::sequential().run(&d, &[vec_f64(xs.clone()), inds.clone(), Value::F64(1.0)]);
+    let grad = out[1].as_arr().f64s().to_vec();
+    // d/dx_j = 2*x_j * (#occurrences of j in is)
+    assert_eq!(grad, vec![2.0, 0.0, 12.0, 8.0]);
+    // And agrees with finite differences of the (f64-only) inputs.
+    let interp = Interp::sequential();
+    let fd = finite_diff_gradient(&interp, &f, &[vec_f64(xs.clone()), inds.clone()], 1e-5);
+    let (_, ad) = reverse_gradient(&interp, &f, &[vec_f64(xs), inds]);
+    assert!(max_rel_error(&ad, &fd) < 1e-5);
+}
+
+#[test]
+fn nested_map_matrix_gradient() {
+    // f(xss) = sum (map (\row -> sum (map (\x -> x*x*x) row)) xss)
+    let mut b = Builder::new();
+    let f = b.build_fun("matcube", &[Type::arr_f64(2)], |b, ps| {
+        let rows = b.map1(Type::arr_f64(1), &[ps[0]], |b, rs| {
+            let cubes = b.map1(Type::arr_f64(1), &[rs[0]], |b, es| {
+                let x2 = b.fmul(es[0].into(), es[0].into());
+                vec![b.fmul(x2, es[0].into())]
+            });
+            vec![Atom::Var(b.sum(cubes))]
+        });
+        vec![Atom::Var(b.sum(rows))]
+    });
+    let d = checked_vjp(&f);
+    let data = vec![1.0, -2.0, 0.5, 3.0, 1.5, -1.0];
+    let out = Interp::sequential().run(&d, &[mat([2, 3], data.clone()), Value::F64(1.0)]);
+    let grad = out[1].as_arr().f64s().to_vec();
+    for (g, x) in grad.iter().zip(&data) {
+        assert!((g - 3.0 * x * x).abs() < 1e-10, "{g} vs {}", 3.0 * x * x);
+    }
+}
+
+#[test]
+fn matrix_multiply_gradient() {
+    // The §6.1 running example: c = a · b, objective = sum of all entries.
+    let mut b = Builder::new();
+    let f = b.build_fun("matmul_obj", &[Type::arr_f64(2), Type::arr_f64(2)], |b, ps| {
+        let a = ps[0];
+        let bm = ps[1];
+        let m = b.len(a);
+        let rows_i = b.iota(m);
+        let c = b.map1(Type::arr_f64(2), &[rows_i], |b, iv| {
+            let i = iv[0];
+            let arow = b.index(a, &[i.into()]);
+            let b0 = b.index(bm, &[Atom::i64(0)]);
+            let n = b.len(b0);
+            let cols_j = b.iota(n);
+            let row = b.map1(Type::arr_f64(1), &[cols_j], |b, jv| {
+                let j = jv[0];
+                let k = b.len(arow);
+                let ks = b.iota(k);
+                let prods = b.map1(Type::arr_f64(1), &[ks], |b, kv| {
+                    let aik = b.index(arow, &[kv[0].into()]);
+                    let bkj = b.index(bm, &[kv[0].into(), j.into()]);
+                    vec![b.fmul(aik.into(), bkj.into())]
+                });
+                vec![Atom::Var(b.sum(prods))]
+            });
+            vec![Atom::Var(row)]
+        });
+        let row_sums = b.map1(Type::arr_f64(1), &[c], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
+        vec![Atom::Var(b.sum(row_sums))]
+    });
+    let a = mat([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let bm = mat([3, 2], vec![0.5, -1.0, 2.0, 1.5, -0.5, 1.0]);
+    assert_gradients_match(&f, &[a, bm], 1e-4);
+}
+
+#[test]
+fn reduce_max_and_min_gradients() {
+    let mut b = Builder::new();
+    let f = b.build_fun("extrema", &[Type::arr_f64(1)], |b, ps| {
+        let mx = b.maximum(ps[0]);
+        let mn = b.minimum(ps[0]);
+        vec![b.fsub(mx.into(), mn.into())]
+    });
+    let d = checked_vjp(&f);
+    let out = Interp::sequential().run(&d, &[vec_f64(vec![3.0, -1.0, 7.0, 2.0]), Value::F64(1.0)]);
+    assert_eq!(out[1].as_arr().f64s(), &[0.0, -1.0, 1.0, 0.0]);
+    assert_gradients_match(&f, &[vec_f64(vec![3.0, -1.0, 7.0, 2.0])], 1e-5);
+}
+
+#[test]
+fn general_reduce_operator_gradient() {
+    // A non-standard (but associative) operator: a ⊙ b = a + b + a*b.
+    let mut b = Builder::new();
+    let f = b.build_fun("oddreduce", &[Type::arr_f64(1)], |b, ps| {
+        let r = b.reduce(&[Type::F64], &[Atom::f64(0.0)], &[ps[0]], |b, es| {
+            let s = b.fadd(es[0].into(), es[1].into());
+            let p = b.fmul(es[0].into(), es[1].into());
+            vec![b.fadd(s, p)]
+        });
+        vec![r[0].into()]
+    });
+    assert_gradients_match(&f, &[vec_f64(vec![0.1, 0.4, -0.2, 0.3, 0.25])], 1e-4);
+}
+
+#[test]
+fn product_reduce_gradient_via_general_rule() {
+    let mut b = Builder::new();
+    let f = b.build_fun("prod", &[Type::arr_f64(1)], |b, ps| {
+        let r = b.reduce_op(ReduceOp::Mul, ps[0]);
+        vec![r.into()]
+    });
+    let d = checked_vjp(&f);
+    let xs = vec![1.5, -2.0, 0.5, 3.0];
+    let out = Interp::sequential().run(&d, &[vec_f64(xs.clone()), Value::F64(1.0)]);
+    let grad = out[1].as_arr().f64s().to_vec();
+    let prod: f64 = xs.iter().product();
+    for (g, x) in grad.iter().zip(&xs) {
+        assert!((g - prod / x).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn multi_value_reduce_is_lowered_to_loop() {
+    // reduce over pairs (sum, sum of squares) — exercises the loop-lowering
+    // fallback for multi-value reductions.
+    let mut b = Builder::new();
+    let f = b.build_fun("pairred", &[Type::arr_f64(1)], |b, ps| {
+        let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            vec![b.fmul(es[0].into(), es[0].into())]
+        });
+        let r = b.reduce(
+            &[Type::F64, Type::F64],
+            &[Atom::f64(0.0), Atom::f64(0.0)],
+            &[ps[0], sq],
+            |b, es| {
+                let s = b.fadd(es[0].into(), es[2].into());
+                let q = b.fadd(es[1].into(), es[3].into());
+                vec![s, q]
+            },
+        );
+        vec![b.fmul(r[0].into(), r[1].into())]
+    });
+    assert_gradients_match(&f, &[vec_f64(vec![1.0, 2.0, 3.0])], 1e-5);
+}
+
+// ---------------------------------------------------------------------
+// scan
+// ---------------------------------------------------------------------
+
+#[test]
+fn scan_add_gradient() {
+    // f(xs) = sum (map (*w_i) (scan (+) xs)) with weights from the index.
+    let mut b = Builder::new();
+    let f = b.build_fun("scanadd", &[Type::arr_f64(1)], |b, ps| {
+        let s = b.scan_add(ps[0]);
+        let n = b.len(s);
+        let iot = b.iota(n);
+        let weighted = b.map1(Type::arr_f64(1), &[s, iot], |b, es| {
+            let w = b.to_f64(es[1].into());
+            let w1 = b.fadd(w, Atom::f64(1.0));
+            vec![b.fmul(es[0].into(), w1)]
+        });
+        vec![Atom::Var(b.sum(weighted))]
+    });
+    assert_gradients_match(&f, &[vec_f64(vec![0.5, -1.0, 2.0, 3.0])], 1e-5);
+}
+
+#[test]
+fn scan_general_operator_gradient() {
+    // scan with a non-additive operator: a ⊙ b = a*b + b (associative? not
+    // necessarily — but the rule only relies on the recurrence structure).
+    let mut b = Builder::new();
+    let f = b.build_fun("scanmul", &[Type::arr_f64(1)], |b, ps| {
+        let s = b.scan(&[Type::arr_f64(1)], &[Atom::f64(1.0)], &[ps[0]], |b, es| {
+            vec![b.fmul(es[0].into(), es[1].into())]
+        });
+        vec![Atom::Var(b.sum(s[0]))]
+    });
+    assert_gradients_match(&f, &[vec_f64(vec![1.2, 0.8, 1.5, 0.9, 1.1])], 1e-4);
+}
+
+// ---------------------------------------------------------------------
+// Histogram, scatter, in-place updates
+// ---------------------------------------------------------------------
+
+#[test]
+fn histogram_add_gradient() {
+    // f(vals) = sum (map (^2) (hist (+) inds vals))
+    let mut b = Builder::new();
+    let f = b.build_fun("histsq", &[Type::arr_f64(1), Type::arr_i64(1)], |b, ps| {
+        let h = b.hist(ReduceOp::Add, Atom::i64(3), ps[1], ps[0]);
+        let sq = b.map1(Type::arr_f64(1), &[h], |b, es| {
+            vec![b.fmul(es[0].into(), es[0].into())]
+        });
+        vec![Atom::Var(b.sum(sq))]
+    });
+    let inds = Value::from(vec![0i64, 1, 0, 2, 1, 7]);
+    assert_gradients_match(&f, &[vec_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]), inds], 1e-5);
+}
+
+#[test]
+fn histogram_max_gradient_via_loop_lowering() {
+    let mut b = Builder::new();
+    let f = b.build_fun("histmax", &[Type::arr_f64(1), Type::arr_i64(1)], |b, ps| {
+        let h = b.hist(ReduceOp::Max, Atom::i64(2), ps[1], ps[0]);
+        vec![Atom::Var(b.sum(h))]
+    });
+    let inds = Value::from(vec![0i64, 1, 0, 1]);
+    assert_gradients_match(&f, &[vec_f64(vec![1.0, 5.0, 3.0, 2.0]), inds], 1e-5);
+}
+
+#[test]
+fn scatter_gradient() {
+    let mut b = Builder::new();
+    let f = b.build_fun(
+        "scattersum",
+        &[Type::arr_f64(1), Type::arr_f64(1), Type::arr_i64(1)],
+        |b, ps| {
+            let dest = b.copy(ps[0]);
+            let s = b.scatter(dest, ps[2], ps[1]);
+            let sq = b.map1(Type::arr_f64(1), &[s], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            vec![Atom::Var(b.sum(sq))]
+        },
+    );
+    let inds = Value::from(vec![1i64, 3]);
+    assert_gradients_match(
+        &f,
+        &[vec_f64(vec![1.0, 2.0, 3.0, 4.0]), vec_f64(vec![10.0, 20.0]), inds],
+        1e-5,
+    );
+}
+
+#[test]
+fn inplace_update_and_index_gradient() {
+    let mut b = Builder::new();
+    let f = b.build_fun("updidx", &[Type::arr_f64(1), Type::F64], |b, ps| {
+        let xs = b.copy(ps[0]);
+        let v2 = b.fmul(Atom::Var(ps[1]), Atom::Var(ps[1]));
+        let xs2 = b.update(xs, &[Atom::i64(1)], v2);
+        let a = b.index(xs2, &[Atom::i64(0)]);
+        let c = b.index(xs2, &[Atom::i64(1)]);
+        let t = b.fmul(a.into(), c.into());
+        vec![t]
+    });
+    assert_gradients_match(&f, &[vec_f64(vec![2.0, 3.0, 4.0]), Value::F64(1.5)], 1e-5);
+}
+
+// ---------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------
+
+#[test]
+fn branch_gradients_both_sides() {
+    let mut b = Builder::new();
+    let f = b.build_fun("branchy", &[Type::F64, Type::F64], |b, ps| {
+        let x = Atom::Var(ps[0]);
+        let y = Atom::Var(ps[1]);
+        let c = b.lt(x, Atom::f64(0.0));
+        let r = b.if_(
+            c,
+            &[Type::F64],
+            |b| {
+                let t = b.fmul(x, x);
+                vec![b.fmul(t, y)]
+            },
+            |b| {
+                let s = b.fsin(x);
+                vec![b.fadd(s, y)]
+            },
+        );
+        vec![r[0].into()]
+    });
+    assert_gradients_match(&f, &[Value::F64(-1.5), Value::F64(2.0)], 1e-5);
+    assert_gradients_match(&f, &[Value::F64(1.5), Value::F64(2.0)], 1e-5);
+}
+
+#[test]
+fn loop_power_gradient() {
+    let mut b = Builder::new();
+    let f = b.build_fun("power", &[Type::F64, Type::I64], |b, ps| {
+        let x = Atom::Var(ps[0]);
+        let n = Atom::Var(ps[1]);
+        let r = b.loop_(&[(Type::F64, Atom::f64(1.0))], n, |b, _i, acc| {
+            vec![b.fmul(acc[0].into(), x)]
+        });
+        vec![r[0].into()]
+    });
+    let d = checked_vjp(&f);
+    let out = Interp::sequential().run(&d, &[Value::F64(1.1), Value::I64(5), Value::F64(1.0)]);
+    // d/dx x^5 = 5 x^4
+    assert!((out[1].as_f64() - 5.0 * 1.1f64.powi(4)).abs() < 1e-10);
+}
+
+#[test]
+fn loop_with_array_state_gradient() {
+    // An iterative smoothing loop over an array: x_{t+1}[i] = x_t[i] * 0.9 + c.
+    let mut b = Builder::new();
+    let f = b.build_fun("smooth", &[Type::arr_f64(1), Type::F64, Type::I64], |b, ps| {
+        let c = Atom::Var(ps[1]);
+        let n = Atom::Var(ps[2]);
+        let r = b.loop_(&[(Type::arr_f64(1), Atom::Var(ps[0]))], n, |b, _i, state| {
+            let next = b.map1(Type::arr_f64(1), &[state[0]], |b, es| {
+                let t = b.fmul(es[0].into(), Atom::f64(0.9));
+                vec![b.fadd(t, c)]
+            });
+            vec![Atom::Var(next)]
+        });
+        vec![Atom::Var(b.sum(r[0]))]
+    });
+    assert_gradients_match(
+        &f,
+        &[vec_f64(vec![1.0, -2.0, 0.5]), Value::F64(0.3), Value::I64(4)],
+        1e-5,
+    );
+}
+
+#[test]
+fn loop_inside_map_gradient() {
+    // Nested parallelism with an inner sequential loop, as in RS/XSBench.
+    let mut b = Builder::new();
+    let f = b.build_fun("maploop", &[Type::arr_f64(1), Type::I64], |b, ps| {
+        let n = Atom::Var(ps[1]);
+        let ys = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            let r = b.loop_(&[(Type::F64, es[0].into())], n, |b, _i, acc| {
+                let t = b.fmul(acc[0].into(), Atom::f64(0.5));
+                vec![b.fadd(t, Atom::f64(1.0))]
+            });
+            vec![r[0].into()]
+        });
+        vec![Atom::Var(b.sum(ys))]
+    });
+    assert_gradients_match(&f, &[vec_f64(vec![1.0, 2.0, 3.0]), Value::I64(3)], 1e-5);
+}
+
+#[test]
+fn perfect_nest_example_from_fig2() {
+    // map (\c as -> if c then as else map (a -> a*a) as) cs ass
+    let mut b = Builder::new();
+    let f = b.build_fun("fig2", &[Type::arr_bool(1), Type::arr_f64(2)], |b, ps| {
+        let xss = b.map1(Type::arr_f64(2), &[ps[0], ps[1]], |b, es| {
+            let c = es[0];
+            let as_ = es[1];
+            let r = b.if_(
+                c.into(),
+                &[Type::arr_f64(1)],
+                |b| {
+                    let doubled = b.map1(Type::arr_f64(1), &[as_], |b, xs| {
+                        vec![b.fmul(xs[0].into(), Atom::f64(2.0))]
+                    });
+                    vec![Atom::Var(doubled)]
+                },
+                |b| {
+                    let sq = b.map1(Type::arr_f64(1), &[as_], |b, xs| {
+                        vec![b.fmul(xs[0].into(), xs[0].into())]
+                    });
+                    vec![Atom::Var(sq)]
+                },
+            );
+            vec![r[0].into()]
+        });
+        let sums = b.map1(Type::arr_f64(1), &[xss], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
+        vec![Atom::Var(b.sum(sums))]
+    });
+    let cs = Value::Arr(Array::from_bool(vec![2], vec![true, false]));
+    let ass = mat([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let interp = Interp::sequential();
+    let fd = finite_diff_gradient(&interp, &f, &[cs.clone(), ass.clone()], 1e-5);
+    let (_, ad) = reverse_gradient(&interp, &f, &[cs, ass]);
+    assert!(max_rel_error(&ad, &fd) < 1e-5);
+}
+
+// ---------------------------------------------------------------------
+// Forward mode and nesting
+// ---------------------------------------------------------------------
+
+#[test]
+fn jvp_matches_directional_finite_difference() {
+    let mut b = Builder::new();
+    let f = b.build_fun("fwd", &[Type::arr_f64(1)], |b, ps| {
+        let s = b.scan_add(ps[0]);
+        let sq = b.map1(Type::arr_f64(1), &[s], |b, es| {
+            let e = b.fexp(es[0].into());
+            vec![b.fmul(e, es[0].into())]
+        });
+        vec![Atom::Var(b.sum(sq))]
+    });
+    check_fun(&f).unwrap();
+    let df = jvp(&f);
+    check_fun(&df).unwrap_or_else(|e| panic!("jvp ill-typed: {e}\n{df}"));
+    let xs = vec![0.3, -0.2, 0.5];
+    let dir = vec![1.0, -0.5, 2.0];
+    let interp = Interp::sequential();
+    let out = interp.run(&df, &[vec_f64(xs.clone()), vec_f64(dir.clone())]);
+    let jvp_val = out[1].as_f64();
+    // Directional finite difference.
+    let h = 1e-6;
+    let plus: Vec<f64> = xs.iter().zip(&dir).map(|(x, d)| x + h * d).collect();
+    let minus: Vec<f64> = xs.iter().zip(&dir).map(|(x, d)| x - h * d).collect();
+    let fp = interp.run(&f, &[vec_f64(plus)])[0].as_f64();
+    let fm = interp.run(&f, &[vec_f64(minus)])[0].as_f64();
+    let fd = (fp - fm) / (2.0 * h);
+    assert!((jvp_val - fd).abs() < 1e-5, "{jvp_val} vs {fd}");
+}
+
+#[test]
+fn jvp_over_vjp_computes_hessian_diagonal() {
+    // f(x) = sum(x_i^3): Hessian diagonal is 6*x_i. Computed as
+    // jvp(vjp(f)) applied to basis directions (forward over reverse).
+    let mut b = Builder::new();
+    let f = b.build_fun("cubes", &[Type::arr_f64(1)], |b, ps| {
+        let c = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            let x2 = b.fmul(es[0].into(), es[0].into());
+            vec![b.fmul(x2, es[0].into())]
+        });
+        vec![Atom::Var(b.sum(c))]
+    });
+    let grad_f = vjp(&f);
+    check_fun(&grad_f).unwrap();
+    let hess = jvp(&grad_f);
+    check_fun(&hess).unwrap_or_else(|e| panic!("jvp(vjp) ill-typed: {e}"));
+    let xs = vec![1.0, 2.0, -3.0];
+    let n = xs.len();
+    let interp = Interp::sequential();
+    for i in 0..n {
+        let mut dx = vec![0.0; n];
+        dx[i] = 1.0;
+        // Arguments: xs, seed (=1), tangent of xs, tangent of seed (=0).
+        let out = interp.run(
+            &hess,
+            &[vec_f64(xs.clone()), Value::F64(1.0), vec_f64(dx), Value::F64(0.0)],
+        );
+        // Outputs: primal, grad, d(primal), d(grad). The tangent of the
+        // gradient in direction e_i is the i-th Hessian column.
+        let dgrad = out[3].as_arr().f64s().to_vec();
+        for (j, g) in dgrad.iter().enumerate() {
+            let want = if i == j { 6.0 * xs[i] } else { 0.0 };
+            assert!((g - want).abs() < 1e-9, "H[{i},{j}] = {g}, want {want}");
+        }
+    }
+}
+
+#[test]
+fn vjp_preserves_primal_results() {
+    let mut b = Builder::new();
+    let f = b.build_fun("primal", &[Type::arr_f64(1)], |b, ps| {
+        let s = b.sum(ps[0]);
+        let m = b.maximum(ps[0]);
+        vec![Atom::Var(s), Atom::Var(m)]
+    });
+    let d = checked_vjp(&f);
+    let out = Interp::sequential().run(
+        &d,
+        &[vec_f64(vec![1.0, 5.0, 2.0]), Value::F64(1.0), Value::F64(0.0)],
+    );
+    assert_eq!(out[0].as_f64(), 8.0);
+    assert_eq!(out[1].as_f64(), 5.0);
+    // Gradient of sum with seed (1, 0) is all ones.
+    assert_eq!(out[2].as_arr().f64s(), &[1.0, 1.0, 1.0]);
+}

@@ -1,0 +1,612 @@
+//! A convenience layer for constructing ANF programs.
+//!
+//! The [`Builder`] keeps a stack of open scopes (statement lists), a supply
+//! of fresh variable names and a type environment for every variable it has
+//! bound. Workload definitions (`workloads` crate) and the AD transformation
+//! (`futhark-ad` crate) both construct IR through it.
+
+use std::collections::HashMap;
+
+use crate::ir::{Atom, BinOp, Body, Exp, Fun, Lambda, Param, ReduceOp, Stm, UnOp, VarId};
+use crate::types::Type;
+
+/// An IR construction context.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    next: u32,
+    scopes: Vec<Vec<Stm>>,
+    types: HashMap<VarId, Type>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    /// A new builder with no open scope.
+    pub fn new() -> Builder {
+        Builder { next: 0, scopes: vec![], types: HashMap::new() }
+    }
+
+    /// A builder whose fresh names start above every name used in `f`,
+    /// seeded with the types of the function parameters. Used by
+    /// transformation passes that extend an existing function.
+    pub fn for_fun(f: &Fun) -> Builder {
+        let mut b = Builder { next: f.max_var() + 1, scopes: vec![], types: HashMap::new() };
+        for p in &f.params {
+            b.types.insert(p.var, p.ty);
+        }
+        b
+    }
+
+    /// Generate a fresh variable of the given type.
+    pub fn fresh(&mut self, ty: Type) -> VarId {
+        let v = VarId(self.next);
+        self.next += 1;
+        self.types.insert(v, ty);
+        v
+    }
+
+    /// Record (or overwrite) the type of a variable.
+    pub fn set_type(&mut self, v: VarId, ty: Type) {
+        self.types.insert(v, ty);
+    }
+
+    /// The recorded type of a variable. Panics if unknown.
+    pub fn ty_of(&self, v: VarId) -> Type {
+        *self
+            .types
+            .get(&v)
+            .unwrap_or_else(|| panic!("Builder::ty_of: unknown variable {v}"))
+    }
+
+    /// The type of an atom (constants carry their own type).
+    pub fn ty_of_atom(&self, a: &Atom) -> Type {
+        match a {
+            Atom::Var(v) => self.ty_of(*v),
+            Atom::Const(c) => c.ty(),
+        }
+    }
+
+    /// Open a new scope; statements bound until the matching
+    /// [`Builder::end_scope`] belong to it.
+    pub fn begin_scope(&mut self) {
+        self.scopes.push(vec![]);
+    }
+
+    /// Close the innermost scope and return its statements.
+    pub fn end_scope(&mut self) -> Vec<Stm> {
+        self.scopes.pop().expect("Builder::end_scope: no open scope")
+    }
+
+    /// Append a pre-built statement to the innermost scope, recording the
+    /// types of the variables it binds.
+    pub fn push_stm(&mut self, stm: Stm) {
+        for p in &stm.pat {
+            self.types.insert(p.var, p.ty);
+        }
+        self.scopes
+            .last_mut()
+            .expect("Builder::push_stm: no open scope")
+            .push(stm);
+    }
+
+    /// Bind a multi-valued expression, returning one fresh variable per
+    /// result type.
+    pub fn bind(&mut self, tys: &[Type], exp: Exp) -> Vec<VarId> {
+        let pat: Vec<Param> = tys.iter().map(|t| Param::new(self.fresh(*t), *t)).collect();
+        let vars = pat.iter().map(|p| p.var).collect();
+        self.push_stm(Stm::new(pat, exp));
+        vars
+    }
+
+    /// Bind a single-valued expression.
+    pub fn bind1(&mut self, ty: Type, exp: Exp) -> VarId {
+        self.bind(&[ty], exp)[0]
+    }
+
+    // ---------------------------------------------------------------
+    // Scalar helpers (return atoms)
+    // ---------------------------------------------------------------
+
+    fn unop(&mut self, op: UnOp, a: Atom, ty: Type) -> Atom {
+        Atom::Var(self.bind1(ty, Exp::UnOp(op, a)))
+    }
+
+    fn binop(&mut self, op: BinOp, a: Atom, b: Atom, ty: Type) -> Atom {
+        Atom::Var(self.bind1(ty, Exp::BinOp(op, a, b)))
+    }
+
+    /// `a + b` on `f64`.
+    pub fn fadd(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Add, a, b, Type::F64)
+    }
+    /// `a - b` on `f64`.
+    pub fn fsub(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Sub, a, b, Type::F64)
+    }
+    /// `a * b` on `f64`.
+    pub fn fmul(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Mul, a, b, Type::F64)
+    }
+    /// `a / b` on `f64`.
+    pub fn fdiv(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Div, a, b, Type::F64)
+    }
+    /// `a.powf(b)`.
+    pub fn fpow(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Pow, a, b, Type::F64)
+    }
+    /// `a.max(b)` on `f64`.
+    pub fn fmax(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Max, a, b, Type::F64)
+    }
+    /// `a.min(b)` on `f64`.
+    pub fn fmin(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Min, a, b, Type::F64)
+    }
+    /// `-a` on `f64`.
+    pub fn fneg(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Neg, a, Type::F64)
+    }
+    /// `exp a`.
+    pub fn fexp(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Exp, a, Type::F64)
+    }
+    /// `log a`.
+    pub fn flog(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Log, a, Type::F64)
+    }
+    /// `sqrt a`.
+    pub fn fsqrt(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Sqrt, a, Type::F64)
+    }
+    /// `sin a`.
+    pub fn fsin(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Sin, a, Type::F64)
+    }
+    /// `cos a`.
+    pub fn fcos(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Cos, a, Type::F64)
+    }
+    /// `tanh a`.
+    pub fn ftanh(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Tanh, a, Type::F64)
+    }
+    /// Logistic sigmoid.
+    pub fn fsigmoid(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Sigmoid, a, Type::F64)
+    }
+    /// `abs a` on `f64`.
+    pub fn fabs(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Abs, a, Type::F64)
+    }
+    /// `1 / a`.
+    pub fn frecip(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Recip, a, Type::F64)
+    }
+
+    /// `a + b` on `i64`.
+    pub fn iadd(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Add, a, b, Type::I64)
+    }
+    /// `a - b` on `i64`.
+    pub fn isub(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Sub, a, b, Type::I64)
+    }
+    /// `a * b` on `i64`.
+    pub fn imul(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Mul, a, b, Type::I64)
+    }
+    /// `a % b` on `i64`.
+    pub fn irem(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Rem, a, b, Type::I64)
+    }
+    /// `a / b` on `i64`.
+    pub fn idiv(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Div, a, b, Type::I64)
+    }
+    /// `a.min(b)` on `i64`.
+    pub fn imin(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Min, a, b, Type::I64)
+    }
+
+    /// Comparison helpers (result `bool`).
+    pub fn lt(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Lt, a, b, Type::BOOL)
+    }
+    pub fn le(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Le, a, b, Type::BOOL)
+    }
+    pub fn gt(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Gt, a, b, Type::BOOL)
+    }
+    pub fn ge(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Ge, a, b, Type::BOOL)
+    }
+    pub fn eq(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Eq, a, b, Type::BOOL)
+    }
+    pub fn and(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::And, a, b, Type::BOOL)
+    }
+    pub fn or(&mut self, a: Atom, b: Atom) -> Atom {
+        self.binop(BinOp::Or, a, b, Type::BOOL)
+    }
+    pub fn not(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::Not, a, Type::BOOL)
+    }
+
+    /// `i64` → `f64` conversion.
+    pub fn to_f64(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::ToF64, a, Type::F64)
+    }
+    /// `f64` → `i64` conversion (truncation).
+    pub fn to_i64(&mut self, a: Atom) -> Atom {
+        self.unop(UnOp::ToI64, a, Type::I64)
+    }
+
+    /// Scalar `if cond then t else f` (no scope).
+    pub fn select(&mut self, cond: Atom, t: Atom, f: Atom) -> Atom {
+        let ty = self.ty_of_atom(&t);
+        Atom::Var(self.bind1(ty, Exp::Select { cond, t, f }))
+    }
+
+    // ---------------------------------------------------------------
+    // Array helpers
+    // ---------------------------------------------------------------
+
+    /// `arr[idx...]`.
+    pub fn index(&mut self, arr: VarId, idx: &[Atom]) -> VarId {
+        let ty = self.ty_of(arr).index(idx.len());
+        self.bind1(ty, Exp::Index { arr, idx: idx.to_vec() })
+    }
+
+    /// `arr with [idx...] <- val`.
+    pub fn update(&mut self, arr: VarId, idx: &[Atom], val: Atom) -> VarId {
+        let ty = self.ty_of(arr);
+        self.bind1(ty, Exp::Update { arr, idx: idx.to_vec(), val })
+    }
+
+    /// Outer length of an array.
+    pub fn len(&mut self, arr: VarId) -> Atom {
+        Atom::Var(self.bind1(Type::I64, Exp::Len(arr)))
+    }
+
+    /// `iota n`.
+    pub fn iota(&mut self, n: Atom) -> VarId {
+        self.bind1(Type::arr_i64(1), Exp::Iota(n))
+    }
+
+    /// `replicate n val`.
+    pub fn replicate(&mut self, n: Atom, val: Atom) -> VarId {
+        let ty = self.ty_of_atom(&val).lift();
+        self.bind1(ty, Exp::Replicate { n, val })
+    }
+
+    /// Reverse an array along its outer dimension.
+    pub fn reverse(&mut self, arr: VarId) -> VarId {
+        let ty = self.ty_of(arr);
+        self.bind1(ty, Exp::Reverse(arr))
+    }
+
+    /// Explicit copy.
+    pub fn copy(&mut self, arr: VarId) -> VarId {
+        let ty = self.ty_of(arr);
+        self.bind1(ty, Exp::Copy(arr))
+    }
+
+    // ---------------------------------------------------------------
+    // Structured constructs
+    // ---------------------------------------------------------------
+
+    /// Build a lambda with the given parameter types. The closure receives
+    /// the parameter variables and returns the result atoms; `ret` types are
+    /// inferred from those atoms.
+    pub fn lambda(
+        &mut self,
+        param_tys: &[Type],
+        f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+    ) -> Lambda {
+        let params: Vec<Param> = param_tys.iter().map(|t| Param::new(self.fresh(*t), *t)).collect();
+        let vars: Vec<VarId> = params.iter().map(|p| p.var).collect();
+        self.begin_scope();
+        let result = f(self, &vars);
+        let stms = self.end_scope();
+        let ret = result.iter().map(|a| self.ty_of_atom(a)).collect();
+        Lambda { params, body: Body::new(stms, result), ret }
+    }
+
+    /// `if cond then ... else ...` returning values of types `ret`.
+    pub fn if_(
+        &mut self,
+        cond: Atom,
+        ret: &[Type],
+        then_f: impl FnOnce(&mut Builder) -> Vec<Atom>,
+        else_f: impl FnOnce(&mut Builder) -> Vec<Atom>,
+    ) -> Vec<VarId> {
+        self.begin_scope();
+        let tres = then_f(self);
+        let tstms = self.end_scope();
+        self.begin_scope();
+        let eres = else_f(self);
+        let estms = self.end_scope();
+        self.bind(
+            ret,
+            Exp::If {
+                cond,
+                then_br: Body::new(tstms, tres),
+                else_br: Body::new(estms, eres),
+            },
+        )
+    }
+
+    /// A sequential loop. `inits` gives the loop-variant parameters (type
+    /// and initial value); the closure receives the iteration index and the
+    /// current parameter values and returns their next values.
+    pub fn loop_(
+        &mut self,
+        inits: &[(Type, Atom)],
+        count: Atom,
+        f: impl FnOnce(&mut Builder, VarId, &[VarId]) -> Vec<Atom>,
+    ) -> Vec<VarId> {
+        let params: Vec<(Param, Atom)> = inits
+            .iter()
+            .map(|(t, init)| (Param::new(self.fresh(*t), *t), *init))
+            .collect();
+        let index = self.fresh(Type::I64);
+        let vars: Vec<VarId> = params.iter().map(|(p, _)| p.var).collect();
+        self.begin_scope();
+        let result = f(self, index, &vars);
+        let stms = self.end_scope();
+        let tys: Vec<Type> = inits.iter().map(|(t, _)| *t).collect();
+        self.bind(
+            &tys,
+            Exp::Loop { params, index, count, body: Body::new(stms, result) },
+        )
+    }
+
+    /// `map` with any number of inputs and outputs. `out_tys` are the types
+    /// of the *result arrays*; the closure receives the element variables.
+    pub fn map(
+        &mut self,
+        out_tys: &[Type],
+        args: &[VarId],
+        f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+    ) -> Vec<VarId> {
+        // Accumulator arguments are passed through unpeeled: an array of
+        // accumulators is implicitly the accumulator itself (§5.4).
+        let elem_tys: Vec<Type> = args
+            .iter()
+            .map(|a| {
+                let t = self.ty_of(*a);
+                if t.is_acc() {
+                    t
+                } else {
+                    t.peel()
+                }
+            })
+            .collect();
+        let lam = self.lambda(&elem_tys, f);
+        self.bind(out_tys, Exp::Map { lam, args: args.to_vec() })
+    }
+
+    /// `map` with a single result array.
+    pub fn map1(
+        &mut self,
+        out_ty: Type,
+        args: &[VarId],
+        f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+    ) -> VarId {
+        self.map(&[out_ty], args, f)[0]
+    }
+
+    /// General `reduce` with an explicit binary lambda. The lambda receives
+    /// `2 * k` parameters for `k` reduced arrays.
+    pub fn reduce(
+        &mut self,
+        out_tys: &[Type],
+        neutral: &[Atom],
+        args: &[VarId],
+        f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+    ) -> Vec<VarId> {
+        let elem_tys: Vec<Type> = args.iter().map(|a| self.ty_of(*a).peel()).collect();
+        let mut lam_tys = elem_tys.clone();
+        lam_tys.extend(elem_tys);
+        let lam = self.lambda(&lam_tys, f);
+        self.bind(out_tys, Exp::Reduce { lam, neutral: neutral.to_vec(), args: args.to_vec() })
+    }
+
+    /// `reduce` of a single `f64` array with a recognized commutative
+    /// operator.
+    pub fn reduce_op(&mut self, op: ReduceOp, arr: VarId) -> VarId {
+        let ne = Atom::f64(op.neutral_f64());
+        self.reduce(&[Type::F64], &[ne], &[arr], |b, ps| {
+            vec![b.binop(op.binop(), ps[0].into(), ps[1].into(), Type::F64)]
+        })[0]
+    }
+
+    /// Sum of a `f64` array.
+    pub fn sum(&mut self, arr: VarId) -> VarId {
+        self.reduce_op(ReduceOp::Add, arr)
+    }
+
+    /// Maximum of a `f64` array.
+    pub fn maximum(&mut self, arr: VarId) -> VarId {
+        self.reduce_op(ReduceOp::Max, arr)
+    }
+
+    /// Minimum of a `f64` array.
+    pub fn minimum(&mut self, arr: VarId) -> VarId {
+        self.reduce_op(ReduceOp::Min, arr)
+    }
+
+    /// Inclusive `scan` with an explicit binary lambda.
+    pub fn scan(
+        &mut self,
+        out_tys: &[Type],
+        neutral: &[Atom],
+        args: &[VarId],
+        f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+    ) -> Vec<VarId> {
+        let elem_tys: Vec<Type> = args.iter().map(|a| self.ty_of(*a).peel()).collect();
+        let mut lam_tys = elem_tys.clone();
+        lam_tys.extend(elem_tys);
+        let lam = self.lambda(&lam_tys, f);
+        self.bind(out_tys, Exp::Scan { lam, neutral: neutral.to_vec(), args: args.to_vec() })
+    }
+
+    /// Inclusive prefix sum of a `f64` array.
+    pub fn scan_add(&mut self, arr: VarId) -> VarId {
+        let ty = self.ty_of(arr);
+        self.scan(&[ty], &[Atom::f64(0.0)], &[arr], |b, ps| {
+            vec![b.fadd(ps[0].into(), ps[1].into())]
+        })[0]
+    }
+
+    /// `reduce_by_index` (generalized histogram).
+    pub fn hist(&mut self, op: ReduceOp, num_bins: Atom, inds: VarId, vals: VarId) -> VarId {
+        let ty = self.ty_of(vals);
+        self.bind1(ty, Exp::Hist { op, num_bins, inds, vals })
+    }
+
+    /// `scatter dest inds vals`.
+    pub fn scatter(&mut self, dest: VarId, inds: VarId, vals: VarId) -> VarId {
+        let ty = self.ty_of(dest);
+        self.bind1(ty, Exp::Scatter { dest, inds, vals })
+    }
+
+    /// `withacc arrs lam` where the lambda is built by the closure; the
+    /// closure receives the accumulator variables. Only the updated arrays
+    /// are returned (no secondary results).
+    pub fn with_acc(
+        &mut self,
+        arrs: &[VarId],
+        f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+    ) -> Vec<VarId> {
+        let acc_tys: Vec<Type> = arrs.iter().map(|a| self.ty_of(*a).to_acc()).collect();
+        let lam = self.lambda(&acc_tys, f);
+        let out_tys: Vec<Type> = arrs.iter().map(|a| self.ty_of(*a)).collect();
+        self.bind(&out_tys, Exp::WithAcc { arrs: arrs.to_vec(), lam })
+    }
+
+    /// `upd_acc acc idx val`.
+    pub fn upd_acc(&mut self, acc: VarId, idx: &[Atom], val: Atom) -> VarId {
+        let ty = self.ty_of(acc);
+        self.bind1(ty, Exp::UpdAcc { acc, idx: idx.to_vec(), val })
+    }
+
+    // ---------------------------------------------------------------
+    // Functions
+    // ---------------------------------------------------------------
+
+    /// Build a complete function. The closure receives the parameter
+    /// variables and returns the result atoms.
+    pub fn build_fun(
+        &mut self,
+        name: &str,
+        param_tys: &[Type],
+        f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+    ) -> Fun {
+        let params: Vec<Param> = param_tys.iter().map(|t| Param::new(self.fresh(*t), *t)).collect();
+        let vars: Vec<VarId> = params.iter().map(|p| p.var).collect();
+        self.begin_scope();
+        let result = f(self, &vars);
+        let stms = self.end_scope();
+        let ret = result.iter().map(|a| self.ty_of_atom(a)).collect();
+        Fun { name: name.to_string(), params, body: Body::new(stms, result), ret }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_function() {
+        let mut b = Builder::new();
+        let f = b.build_fun("poly", &[Type::F64, Type::F64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let y = Atom::Var(ps[1]);
+            let xy = b.fmul(x, y);
+            let s = b.fsin(x);
+            vec![b.fadd(xy, s)]
+        });
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, vec![Type::F64]);
+        assert_eq!(f.body.stms.len(), 3);
+    }
+
+    #[test]
+    fn nested_map_types() {
+        let mut b = Builder::new();
+        let f = b.build_fun("mss", &[Type::arr_f64(2)], |b, ps| {
+            let xss = ps[0];
+            let out = b.map1(Type::arr_f64(2), &[xss], |b, rows| {
+                let row = rows[0];
+                let r = b.map1(Type::arr_f64(1), &[row], |b, xs| {
+                    let x = Atom::Var(xs[0]);
+                    vec![b.fmul(x, x)]
+                });
+                vec![Atom::Var(r)]
+            });
+            vec![Atom::Var(out)]
+        });
+        assert_eq!(f.ret, vec![Type::arr_f64(2)]);
+        // A single map statement at the top level.
+        assert_eq!(f.body.stms.len(), 1);
+        match &f.body.stms[0].exp {
+            Exp::Map { lam, .. } => {
+                assert_eq!(lam.params[0].ty, Type::arr_f64(1));
+                assert_eq!(lam.ret, vec![Type::arr_f64(1)]);
+            }
+            other => panic!("expected map, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn loop_builds_params() {
+        let mut b = Builder::new();
+        let f = b.build_fun("powloop", &[Type::F64, Type::I64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let n = Atom::Var(ps[1]);
+            let r = b.loop_(&[(Type::F64, Atom::f64(1.0))], n, |b, _i, acc| {
+                vec![b.fmul(acc[0].into(), x)]
+            });
+            vec![r[0].into()]
+        });
+        match &f.body.stms[0].exp {
+            Exp::Loop { params, .. } => assert_eq!(params.len(), 1),
+            other => panic!("expected loop, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn builder_tracks_types() {
+        let mut b = Builder::new();
+        b.begin_scope();
+        let xs = b.fresh(Type::arr_f64(2));
+        let row = b.index(xs, &[Atom::i64(0)]);
+        assert_eq!(b.ty_of(row), Type::arr_f64(1));
+        let x = b.index(row, &[Atom::i64(1)]);
+        assert_eq!(b.ty_of(x), Type::F64);
+        let _ = b.end_scope();
+    }
+
+    #[test]
+    fn reduce_and_scan_helpers() {
+        let mut b = Builder::new();
+        let f = b.build_fun("redscan", &[Type::arr_f64(1)], |b, ps| {
+            let xs = ps[0];
+            let s = b.sum(xs);
+            let m = b.maximum(xs);
+            let ps_ = b.scan_add(xs);
+            let first = b.index(ps_, &[Atom::i64(0)]);
+            let t = b.fadd(s.into(), m.into());
+            vec![b.fadd(t, first.into())]
+        });
+        assert_eq!(f.ret, vec![Type::F64]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Free-variable analysis.
+//!
+//! Reverse-mode AD uses `FV(body)` to decide which adjoints a scope must
+//! return (rule `vjp_body` in Fig. 3 of the paper), and the optimizer uses
+//! it for dead-code elimination and for splitting map nests.
+
+use std::collections::BTreeSet;
+
+use crate::ir::{Atom, Body, Exp, Lambda, Stm, VarId};
+
+/// The set of variables free in a value of the IR.
+pub trait FreeVars {
+    /// Insert this value's free variables into `out`, treating `bound` as
+    /// already bound.
+    fn free_vars_into(&self, bound: &mut BTreeSet<VarId>, out: &mut BTreeSet<VarId>);
+
+    /// The free variables, in ascending `VarId` order.
+    fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut bound = BTreeSet::new();
+        let mut out = BTreeSet::new();
+        self.free_vars_into(&mut bound, &mut out);
+        out
+    }
+}
+
+fn use_var(v: VarId, bound: &BTreeSet<VarId>, out: &mut BTreeSet<VarId>) {
+    if !bound.contains(&v) {
+        out.insert(v);
+    }
+}
+
+fn use_atom(a: &Atom, bound: &BTreeSet<VarId>, out: &mut BTreeSet<VarId>) {
+    if let Atom::Var(v) = a {
+        use_var(*v, bound, out);
+    }
+}
+
+impl FreeVars for Atom {
+    fn free_vars_into(&self, bound: &mut BTreeSet<VarId>, out: &mut BTreeSet<VarId>) {
+        use_atom(self, bound, out);
+    }
+}
+
+impl FreeVars for Body {
+    fn free_vars_into(&self, bound: &mut BTreeSet<VarId>, out: &mut BTreeSet<VarId>) {
+        // Track which variables we newly bind so we can restore `bound`
+        // afterwards (sibling scopes must not see them).
+        let mut newly_bound = Vec::new();
+        for Stm { pat, exp } in &self.stms {
+            exp.free_vars_into(bound, out);
+            for p in pat {
+                if bound.insert(p.var) {
+                    newly_bound.push(p.var);
+                }
+            }
+        }
+        for r in &self.result {
+            use_atom(r, bound, out);
+        }
+        for v in newly_bound {
+            bound.remove(&v);
+        }
+    }
+}
+
+impl FreeVars for Lambda {
+    fn free_vars_into(&self, bound: &mut BTreeSet<VarId>, out: &mut BTreeSet<VarId>) {
+        let mut newly_bound = Vec::new();
+        for p in &self.params {
+            if bound.insert(p.var) {
+                newly_bound.push(p.var);
+            }
+        }
+        self.body.free_vars_into(bound, out);
+        for v in newly_bound {
+            bound.remove(&v);
+        }
+    }
+}
+
+impl FreeVars for Exp {
+    fn free_vars_into(&self, bound: &mut BTreeSet<VarId>, out: &mut BTreeSet<VarId>) {
+        match self {
+            Exp::Atom(a) | Exp::UnOp(_, a) | Exp::Iota(a) => use_atom(a, bound, out),
+            Exp::BinOp(_, a, b) => {
+                use_atom(a, bound, out);
+                use_atom(b, bound, out);
+            }
+            Exp::Select { cond, t, f } => {
+                use_atom(cond, bound, out);
+                use_atom(t, bound, out);
+                use_atom(f, bound, out);
+            }
+            Exp::Index { arr, idx } => {
+                use_var(*arr, bound, out);
+                idx.iter().for_each(|a| use_atom(a, bound, out));
+            }
+            Exp::Update { arr, idx, val } => {
+                use_var(*arr, bound, out);
+                idx.iter().for_each(|a| use_atom(a, bound, out));
+                use_atom(val, bound, out);
+            }
+            Exp::Len(v) | Exp::Reverse(v) | Exp::Copy(v) => use_var(*v, bound, out),
+            Exp::Replicate { n, val } => {
+                use_atom(n, bound, out);
+                use_atom(val, bound, out);
+            }
+            Exp::If { cond, then_br, else_br } => {
+                use_atom(cond, bound, out);
+                then_br.free_vars_into(bound, out);
+                else_br.free_vars_into(bound, out);
+            }
+            Exp::Loop { params, index, count, body } => {
+                for (_, init) in params {
+                    use_atom(init, bound, out);
+                }
+                use_atom(count, bound, out);
+                let mut newly_bound = Vec::new();
+                for (p, _) in params {
+                    if bound.insert(p.var) {
+                        newly_bound.push(p.var);
+                    }
+                }
+                if bound.insert(*index) {
+                    newly_bound.push(*index);
+                }
+                body.free_vars_into(bound, out);
+                for v in newly_bound {
+                    bound.remove(&v);
+                }
+            }
+            Exp::Map { lam, args } => {
+                lam.free_vars_into(bound, out);
+                args.iter().for_each(|v| use_var(*v, bound, out));
+            }
+            Exp::Reduce { lam, neutral, args } | Exp::Scan { lam, neutral, args } => {
+                lam.free_vars_into(bound, out);
+                neutral.iter().for_each(|a| use_atom(a, bound, out));
+                args.iter().for_each(|v| use_var(*v, bound, out));
+            }
+            Exp::Hist { num_bins, inds, vals, .. } => {
+                use_atom(num_bins, bound, out);
+                use_var(*inds, bound, out);
+                use_var(*vals, bound, out);
+            }
+            Exp::Scatter { dest, inds, vals } => {
+                use_var(*dest, bound, out);
+                use_var(*inds, bound, out);
+                use_var(*vals, bound, out);
+            }
+            Exp::WithAcc { arrs, lam } => {
+                arrs.iter().for_each(|v| use_var(*v, bound, out));
+                lam.free_vars_into(bound, out);
+            }
+            Exp::UpdAcc { acc, idx, val } => {
+                use_var(*acc, bound, out);
+                idx.iter().for_each(|a| use_atom(a, bound, out));
+                use_atom(val, bound, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::Type;
+
+    #[test]
+    fn lambda_params_are_bound() {
+        let mut b = Builder::new();
+        b.begin_scope();
+        let free = b.fresh(Type::F64);
+        let lam = b.lambda(&[Type::F64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            vec![b.fmul(x, Atom::Var(free))]
+        });
+        let _ = b.end_scope();
+        let fv = lam.free_vars();
+        assert!(fv.contains(&free));
+        assert!(!fv.contains(&lam.params[0].var));
+        // Intermediates bound inside the lambda body are not free.
+        assert_eq!(fv.len(), 1);
+    }
+
+    #[test]
+    fn body_bindings_do_not_leak() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("f", &[Type::F64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let y = b.fadd(x, Atom::f64(1.0));
+            vec![b.fmul(y, y)]
+        });
+        let fv = fun.body.free_vars();
+        assert_eq!(fv.len(), 1);
+        assert!(fv.contains(&fun.params[0].var));
+    }
+
+    #[test]
+    fn loop_free_vars_exclude_loop_params() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("f", &[Type::F64, Type::I64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let n = Atom::Var(ps[1]);
+            let r = b.loop_(&[(Type::F64, Atom::f64(0.0))], n, |b, _i, acc| {
+                vec![b.fadd(acc[0].into(), x)]
+            });
+            vec![r[0].into()]
+        });
+        let loop_exp = &fun.body.stms.last().unwrap().exp;
+        match loop_exp {
+            Exp::Loop { params, .. } => {
+                let fv = loop_exp.free_vars();
+                assert!(fv.contains(&fun.params[0].var));
+                assert!(!fv.contains(&params[0].0.var));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

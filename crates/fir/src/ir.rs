@@ -1,0 +1,549 @@
+//! The IR proper: variables, atoms, primitive operators, expressions,
+//! statements, bodies, lambdas and functions.
+//!
+//! The representation is in A-normal form: operands of every expression are
+//! [`Atom`]s (variables or constants); compound expressions appear only on
+//! the right-hand side of a statement. Bodies are sequences of statements
+//! followed by a (multi-valued) result, exactly as in the paper.
+
+use crate::types::{ScalarType, Type};
+
+/// A variable name. Variables are identified by a `u32`; re-binding the same
+/// identifier in an inner scope has shadowing semantics (the IR is purely
+/// functional, so this is only a notational convenience).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl std::fmt::Display for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A scalar constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Const {
+    F64(f64),
+    I64(i64),
+    Bool(bool),
+}
+
+impl Const {
+    /// The type of the constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Const::F64(_) => Type::Scalar(ScalarType::F64),
+            Const::I64(_) => Type::Scalar(ScalarType::I64),
+            Const::Bool(_) => Type::Scalar(ScalarType::Bool),
+        }
+    }
+
+    /// The `f64` payload, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Const::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The `i64` payload, if any.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Const::I64(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// An atom: a variable or a constant. All operands in ANF are atoms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Atom {
+    Var(VarId),
+    Const(Const),
+}
+
+impl Atom {
+    /// Shorthand for an `f64` constant atom.
+    pub fn f64(x: f64) -> Atom {
+        Atom::Const(Const::F64(x))
+    }
+
+    /// Shorthand for an `i64` constant atom.
+    pub fn i64(x: i64) -> Atom {
+        Atom::Const(Const::I64(x))
+    }
+
+    /// Shorthand for a `bool` constant atom.
+    pub fn bool(x: bool) -> Atom {
+        Atom::Const(Const::Bool(x))
+    }
+
+    /// The variable inside, if this is a variable atom.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Atom::Var(v) => Some(*v),
+            Atom::Const(_) => None,
+        }
+    }
+
+    /// The variable inside; panics on constants.
+    pub fn expect_var(&self) -> VarId {
+        self.as_var().expect("Atom::expect_var on a constant")
+    }
+}
+
+impl From<VarId> for Atom {
+    fn from(v: VarId) -> Atom {
+        Atom::Var(v)
+    }
+}
+
+impl From<f64> for Atom {
+    fn from(x: f64) -> Atom {
+        Atom::f64(x)
+    }
+}
+
+impl From<i64> for Atom {
+    fn from(x: i64) -> Atom {
+        Atom::i64(x)
+    }
+}
+
+impl From<bool> for Atom {
+    fn from(x: bool) -> Atom {
+        Atom::bool(x)
+    }
+}
+
+/// Unary scalar primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation (f64 or i64).
+    Neg,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    Sqrt,
+    Tanh,
+    /// The logistic function `1 / (1 + exp(-x))`.
+    Sigmoid,
+    Abs,
+    /// Multiplicative inverse `1/x`.
+    Recip,
+    /// Boolean negation.
+    Not,
+    /// Integer to float conversion.
+    ToF64,
+    /// Float to integer conversion (truncation).
+    ToI64,
+}
+
+impl UnOp {
+    /// Whether the operator maps floats to floats (and so has a derivative).
+    pub fn is_float_op(self) -> bool {
+        !matches!(self, UnOp::Not | UnOp::ToF64 | UnOp::ToI64)
+    }
+}
+
+/// Binary scalar primitives. Arithmetic operators are overloaded over `f64`
+/// and `i64`; comparisons yield `bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// `a.powf(b)` on floats, `a.pow(b)` on ints.
+    Pow,
+    Min,
+    Max,
+    /// Remainder.
+    Rem,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Whether the result is a boolean (comparison / logical operators).
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+}
+
+/// The restricted set of operators accepted by `reduce_by_index`
+/// ([`Exp::Hist`]) and recognized as special cases when differentiating
+/// `reduce` (§5.1.1 / §5.1.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    /// The neutral element of the operator for `f64` data.
+    pub fn neutral_f64(self) -> f64 {
+        match self {
+            ReduceOp::Add => 0.0,
+            ReduceOp::Mul => 1.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Apply the operator to two `f64` values.
+    pub fn apply_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Add => a + b,
+            ReduceOp::Mul => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// The corresponding scalar [`BinOp`].
+    pub fn binop(self) -> BinOp {
+        match self {
+            ReduceOp::Add => BinOp::Add,
+            ReduceOp::Mul => BinOp::Mul,
+            ReduceOp::Min => BinOp::Min,
+            ReduceOp::Max => BinOp::Max,
+        }
+    }
+}
+
+/// A typed formal parameter (of a function, lambda, loop or pattern).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Param {
+    pub var: VarId,
+    pub ty: Type,
+}
+
+impl Param {
+    pub fn new(var: VarId, ty: Type) -> Param {
+        Param { var, ty }
+    }
+}
+
+/// An anonymous first-order function; lambdas appear only syntactically as
+/// arguments of SOACs and `withacc` and are not values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lambda {
+    pub params: Vec<Param>,
+    pub body: Body,
+    /// Types of the values returned by `body.result`.
+    pub ret: Vec<Type>,
+}
+
+/// A single binding: `let (p1, ..., pk) = exp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stm {
+    pub pat: Vec<Param>,
+    pub exp: Exp,
+}
+
+impl Stm {
+    pub fn new(pat: Vec<Param>, exp: Exp) -> Stm {
+        Stm { pat, exp }
+    }
+}
+
+/// A body: a sequence of statements followed by a multi-valued result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Body {
+    pub stms: Vec<Stm>,
+    pub result: Vec<Atom>,
+}
+
+impl Body {
+    pub fn new(stms: Vec<Stm>, result: Vec<Atom>) -> Body {
+        Body { stms, result }
+    }
+}
+
+/// Expressions. Compound operands are always atoms or variables; nested
+/// computation lives in the bodies of `if`, `loop` and lambdas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Exp {
+    /// A copy/alias of an atom.
+    Atom(Atom),
+    /// Unary scalar primitive.
+    UnOp(UnOp, Atom),
+    /// Binary scalar primitive.
+    BinOp(BinOp, Atom, Atom),
+    /// Scalar selection `if cond then t else f` without introducing a scope.
+    Select { cond: Atom, t: Atom, f: Atom },
+    /// `arr[i_1, ..., i_k]` — partial indexing yields a lower-rank array.
+    Index { arr: VarId, idx: Vec<Atom> },
+    /// `arr with [i_1, ..., i_k] <- val` — functional in-place update.
+    Update { arr: VarId, idx: Vec<Atom>, val: Atom },
+    /// Outer length of an array.
+    Len(VarId),
+    /// `iota n` = `[0, 1, ..., n-1] : []i64`.
+    Iota(Atom),
+    /// `replicate n v`.
+    Replicate { n: Atom, val: Atom },
+    /// Reverse an array along its outer dimension.
+    Reverse(VarId),
+    /// An explicit copy (used to break aliasing before in-place updates).
+    Copy(VarId),
+    /// `if cond then ... else ...` over full bodies (multi-valued).
+    If { cond: Atom, then_br: Body, else_br: Body },
+    /// A sequential loop:
+    /// `loop (p_1 = init_1, ...) for index < count do body`,
+    /// where `body` returns the next values of the `p_i`.
+    Loop {
+        params: Vec<(Param, Atom)>,
+        index: VarId,
+        count: Atom,
+        body: Body,
+    },
+    /// `map lam arrs` — the lambda consumes one element of each array.
+    Map { lam: Lambda, args: Vec<VarId> },
+    /// `reduce lam neutral arrs` with an associative operator.
+    Reduce { lam: Lambda, neutral: Vec<Atom>, args: Vec<VarId> },
+    /// Inclusive `scan lam neutral arrs`.
+    Scan { lam: Lambda, neutral: Vec<Atom>, args: Vec<VarId> },
+    /// `reduce_by_index` (generalized histogram) with a recognized operator:
+    /// `hist op num_bins inds vals`.
+    Hist { op: ReduceOp, num_bins: Atom, inds: VarId, vals: VarId },
+    /// `scatter dest inds vals` — in-place scattered update of `dest`
+    /// (consumed); out-of-bounds indices are ignored.
+    Scatter { dest: VarId, inds: VarId, vals: VarId },
+    /// `withacc arrs lam`: temporarily turn the arrays into accumulators,
+    /// run the lambda (whose first `arrs.len()` parameters are the
+    /// accumulators and whose first `arrs.len()` results are the final
+    /// accumulators), and return the updated arrays followed by any
+    /// secondary results of the lambda.
+    WithAcc { arrs: Vec<VarId>, lam: Lambda },
+    /// `upd_acc acc idx val`: add `val` into the accumulator at `idx`
+    /// (vectorized addition if `val` is an array), returning the accumulator.
+    UpdAcc { acc: VarId, idx: Vec<Atom>, val: Atom },
+}
+
+impl Exp {
+    /// A short name for the expression constructor, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Exp::Atom(_) => "atom",
+            Exp::UnOp(..) => "unop",
+            Exp::BinOp(..) => "binop",
+            Exp::Select { .. } => "select",
+            Exp::Index { .. } => "index",
+            Exp::Update { .. } => "update",
+            Exp::Len(_) => "len",
+            Exp::Iota(_) => "iota",
+            Exp::Replicate { .. } => "replicate",
+            Exp::Reverse(_) => "reverse",
+            Exp::Copy(_) => "copy",
+            Exp::If { .. } => "if",
+            Exp::Loop { .. } => "loop",
+            Exp::Map { .. } => "map",
+            Exp::Reduce { .. } => "reduce",
+            Exp::Scan { .. } => "scan",
+            Exp::Hist { .. } => "hist",
+            Exp::Scatter { .. } => "scatter",
+            Exp::WithAcc { .. } => "withacc",
+            Exp::UpdAcc { .. } => "upd_acc",
+        }
+    }
+
+    /// Does this expression open one or more nested scopes (bodies)?
+    pub fn has_nested_bodies(&self) -> bool {
+        matches!(
+            self,
+            Exp::If { .. }
+                | Exp::Loop { .. }
+                | Exp::Map { .. }
+                | Exp::Reduce { .. }
+                | Exp::Scan { .. }
+                | Exp::WithAcc { .. }
+        )
+    }
+}
+
+/// A top-level function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fun {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Body,
+    /// Types of the returned values.
+    pub ret: Vec<Type>,
+}
+
+impl Fun {
+    /// The highest variable id used anywhere in the function (used by
+    /// transformation passes to generate fresh names).
+    pub fn max_var(&self) -> u32 {
+        fn atom(a: &Atom, m: &mut u32) {
+            if let Atom::Var(v) = a {
+                *m = (*m).max(v.0);
+            }
+        }
+        fn body(b: &Body, m: &mut u32) {
+            for s in &b.stms {
+                for p in &s.pat {
+                    *m = (*m).max(p.var.0);
+                }
+                exp(&s.exp, m);
+            }
+            for r in &b.result {
+                atom(r, m);
+            }
+        }
+        fn lambda(l: &Lambda, m: &mut u32) {
+            for p in &l.params {
+                *m = (*m).max(p.var.0);
+            }
+            body(&l.body, m);
+        }
+        fn exp(e: &Exp, m: &mut u32) {
+            match e {
+                Exp::Atom(a) | Exp::UnOp(_, a) | Exp::Iota(a) => atom(a, m),
+                Exp::BinOp(_, a, b) => {
+                    atom(a, m);
+                    atom(b, m);
+                }
+                Exp::Select { cond, t, f } => {
+                    atom(cond, m);
+                    atom(t, m);
+                    atom(f, m);
+                }
+                Exp::Index { arr, idx } => {
+                    *m = (*m).max(arr.0);
+                    idx.iter().for_each(|a| atom(a, m));
+                }
+                Exp::Update { arr, idx, val } => {
+                    *m = (*m).max(arr.0);
+                    idx.iter().for_each(|a| atom(a, m));
+                    atom(val, m);
+                }
+                Exp::Len(v) | Exp::Reverse(v) | Exp::Copy(v) => *m = (*m).max(v.0),
+                Exp::Replicate { n, val } => {
+                    atom(n, m);
+                    atom(val, m);
+                }
+                Exp::If { cond, then_br, else_br } => {
+                    atom(cond, m);
+                    body(then_br, m);
+                    body(else_br, m);
+                }
+                Exp::Loop { params, index, count, body: b } => {
+                    for (p, init) in params {
+                        *m = (*m).max(p.var.0);
+                        atom(init, m);
+                    }
+                    *m = (*m).max(index.0);
+                    atom(count, m);
+                    body(b, m);
+                }
+                Exp::Map { lam, args } => {
+                    lambda(lam, m);
+                    args.iter().for_each(|v| *m = (*m).max(v.0));
+                }
+                Exp::Reduce { lam, neutral, args } | Exp::Scan { lam, neutral, args } => {
+                    lambda(lam, m);
+                    neutral.iter().for_each(|a| atom(a, m));
+                    args.iter().for_each(|v| *m = (*m).max(v.0));
+                }
+                Exp::Hist { num_bins, inds, vals, .. } => {
+                    atom(num_bins, m);
+                    *m = (*m).max(inds.0);
+                    *m = (*m).max(vals.0);
+                }
+                Exp::Scatter { dest, inds, vals } => {
+                    *m = (*m).max(dest.0);
+                    *m = (*m).max(inds.0);
+                    *m = (*m).max(vals.0);
+                }
+                Exp::WithAcc { arrs, lam } => {
+                    arrs.iter().for_each(|v| *m = (*m).max(v.0));
+                    lambda(lam, m);
+                }
+                Exp::UpdAcc { acc, idx, val } => {
+                    *m = (*m).max(acc.0);
+                    idx.iter().for_each(|a| atom(a, m));
+                    atom(val, m);
+                }
+            }
+        }
+        let mut m = 0;
+        for p in &self.params {
+            m = m.max(p.var.0);
+        }
+        body(&self.body, &mut m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_conversions() {
+        assert_eq!(Atom::from(2.0f64), Atom::Const(Const::F64(2.0)));
+        assert_eq!(Atom::from(3i64), Atom::Const(Const::I64(3)));
+        assert_eq!(Atom::from(VarId(7)), Atom::Var(VarId(7)));
+        assert_eq!(Atom::Var(VarId(7)).as_var(), Some(VarId(7)));
+        assert_eq!(Atom::f64(1.0).as_var(), None);
+    }
+
+    #[test]
+    fn reduce_op_neutrals() {
+        assert_eq!(ReduceOp::Add.neutral_f64(), 0.0);
+        assert_eq!(ReduceOp::Mul.neutral_f64(), 1.0);
+        assert!(ReduceOp::Min.neutral_f64().is_infinite());
+        assert_eq!(ReduceOp::Max.apply_f64(2.0, 5.0), 5.0);
+        assert_eq!(ReduceOp::Min.apply_f64(2.0, 5.0), 2.0);
+    }
+
+    #[test]
+    fn binop_predicates() {
+        assert!(BinOp::Lt.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+    }
+
+    #[test]
+    fn max_var_scans_nested_structures() {
+        // let y = loop (acc = x0) for i < 3 do acc * acc  -- with ids spread out
+        let body = Body::new(
+            vec![Stm::new(
+                vec![Param::new(VarId(10), Type::F64)],
+                Exp::Loop {
+                    params: vec![(Param::new(VarId(5), Type::F64), Atom::Var(VarId(1)))],
+                    index: VarId(42),
+                    count: Atom::i64(3),
+                    body: Body::new(
+                        vec![Stm::new(
+                            vec![Param::new(VarId(6), Type::F64)],
+                            Exp::BinOp(BinOp::Mul, Atom::Var(VarId(5)), Atom::Var(VarId(5))),
+                        )],
+                        vec![Atom::Var(VarId(6))],
+                    ),
+                },
+            )],
+            vec![Atom::Var(VarId(10))],
+        );
+        let f = Fun {
+            name: "t".into(),
+            params: vec![Param::new(VarId(1), Type::F64)],
+            body,
+            ret: vec![Type::F64],
+        };
+        assert_eq!(f.max_var(), 42);
+    }
+}

@@ -1,0 +1,52 @@
+//! `fir` — a functional, A-normal-form intermediate representation for a
+//! data-parallel array language with *nested parallelism*, modelled on the
+//! core IR of the Futhark compiler as described in
+//! "AD for an Array Language with Nested Parallelism" (SC 2022).
+//!
+//! The IR supports:
+//!
+//! * scalars (`f64`, `i64`, `bool`) and regular multi-dimensional arrays,
+//! * scalar primitives (arithmetic, transcendental, comparisons),
+//! * second-order array combinators (SOACs): [`Exp::Map`], [`Exp::Reduce`],
+//!   [`Exp::Scan`], [`Exp::Hist`] (reduce-by-index / generalized histogram)
+//!   and [`Exp::Scatter`],
+//! * sequential `loop`s with the semantics of tail-recursive functions,
+//! * `if`/`then`/`else`, array indexing, in-place updates, and
+//! * *accumulators* ([`Exp::WithAcc`] / [`Exp::UpdAcc`]) — the write-only
+//!   array views introduced by reverse-mode AD for free variables of `map`.
+//!
+//! Programs are built with [`builder::Builder`], checked with
+//! [`typecheck::check_fun`], pretty-printed via `Display`, and executed by
+//! the `interp` crate. The `futhark-ad` crate implements forward- and
+//! reverse-mode AD as IR-to-IR transformations over this representation.
+//!
+//! # Example
+//!
+//! ```
+//! use fir::builder::Builder;
+//! use fir::types::Type;
+//!
+//! // f(xs) = sum (map (\x -> x*x) xs)
+//! let mut b = Builder::new();
+//! let fun = b.build_fun("sum_squares", &[Type::arr_f64(1)], |b, params| {
+//!     let xs = params[0];
+//!     let squared = b.map1(Type::arr_f64(1), &[xs], |b, elems| {
+//!         let x = elems[0];
+//!         vec![b.fmul(x.into(), x.into())]
+//!     });
+//!     let s = b.sum(squared);
+//!     vec![s.into()]
+//! });
+//! assert_eq!(fun.params.len(), 1);
+//! ```
+
+pub mod builder;
+pub mod free_vars;
+pub mod ir;
+pub mod pretty;
+pub mod rename;
+pub mod typecheck;
+pub mod types;
+
+pub use ir::{Atom, BinOp, Body, Const, Exp, Fun, Lambda, Param, ReduceOp, Stm, UnOp, VarId};
+pub use types::{ScalarType, Type};

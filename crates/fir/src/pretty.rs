@@ -1,0 +1,270 @@
+//! Pretty-printing of the IR in a Futhark-flavoured concrete syntax.
+//!
+//! The output is intended for debugging and for the golden tests in the AD
+//! crate; it is not meant to be parsed back.
+
+use std::fmt::{self, Write as _};
+
+use crate::ir::{Atom, BinOp, Body, Const, Exp, Fun, Lambda, ReduceOp, Stm, UnOp};
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn atom_str(a: &Atom) -> String {
+    match a {
+        Atom::Var(v) => v.to_string(),
+        Atom::Const(Const::F64(x)) => format!("{x:?}"),
+        Atom::Const(Const::I64(x)) => format!("{x}i64"),
+        Atom::Const(Const::Bool(x)) => format!("{x}"),
+    }
+}
+
+fn atoms_str(atoms: &[Atom]) -> String {
+    atoms.iter().map(atom_str).collect::<Vec<_>>().join(", ")
+}
+
+fn unop_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Sin => "sin",
+        UnOp::Cos => "cos",
+        UnOp::Exp => "exp",
+        UnOp::Log => "log",
+        UnOp::Sqrt => "sqrt",
+        UnOp::Tanh => "tanh",
+        UnOp::Sigmoid => "sigmoid",
+        UnOp::Abs => "abs",
+        UnOp::Recip => "recip",
+        UnOp::Not => "not",
+        UnOp::ToF64 => "f64",
+        UnOp::ToI64 => "i64",
+    }
+}
+
+fn binop_sym(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Pow => "**",
+        BinOp::Min => "`min`",
+        BinOp::Max => "`max`",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Neq => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn reduce_op_name(op: ReduceOp) -> &'static str {
+    match op {
+        ReduceOp::Add => "(+)",
+        ReduceOp::Mul => "(*)",
+        ReduceOp::Min => "min",
+        ReduceOp::Max => "max",
+    }
+}
+
+fn write_lambda(out: &mut String, lam: &Lambda, level: usize) {
+    out.push_str("(\\");
+    let params: Vec<String> = lam.params.iter().map(|p| format!("{}: {}", p.var, p.ty)).collect();
+    out.push_str(&params.join(" "));
+    out.push_str(" ->\n");
+    write_body(out, &lam.body, level + 1);
+    indent(out, level);
+    out.push(')');
+}
+
+fn write_exp(out: &mut String, e: &Exp, level: usize) {
+    match e {
+        Exp::Atom(a) => out.push_str(&atom_str(a)),
+        Exp::UnOp(op, a) => {
+            let _ = write!(out, "{} {}", unop_name(*op), atom_str(a));
+        }
+        Exp::BinOp(op, a, b) => {
+            let _ = write!(out, "{} {} {}", atom_str(a), binop_sym(*op), atom_str(b));
+        }
+        Exp::Select { cond, t, f } => {
+            let _ = write!(out, "select {} {} {}", atom_str(cond), atom_str(t), atom_str(f));
+        }
+        Exp::Index { arr, idx } => {
+            let _ = write!(out, "{arr}[{}]", atoms_str(idx));
+        }
+        Exp::Update { arr, idx, val } => {
+            let _ = write!(out, "{arr} with [{}] <- {}", atoms_str(idx), atom_str(val));
+        }
+        Exp::Len(v) => {
+            let _ = write!(out, "length {v}");
+        }
+        Exp::Iota(n) => {
+            let _ = write!(out, "iota {}", atom_str(n));
+        }
+        Exp::Replicate { n, val } => {
+            let _ = write!(out, "replicate {} {}", atom_str(n), atom_str(val));
+        }
+        Exp::Reverse(v) => {
+            let _ = write!(out, "reverse {v}");
+        }
+        Exp::Copy(v) => {
+            let _ = write!(out, "copy {v}");
+        }
+        Exp::If { cond, then_br, else_br } => {
+            let _ = write!(out, "if {}\n", atom_str(cond));
+            indent(out, level);
+            out.push_str("then\n");
+            write_body(out, then_br, level + 1);
+            indent(out, level);
+            out.push_str("else\n");
+            write_body(out, else_br, level + 1);
+            indent(out, level);
+        }
+        Exp::Loop { params, index, count, body } => {
+            let binds: Vec<String> =
+                params.iter().map(|(p, init)| format!("{} = {}", p.var, atom_str(init))).collect();
+            let _ = write!(out, "loop ({}) for {index} < {} do\n", binds.join(", "), atom_str(count));
+            write_body(out, body, level + 1);
+            indent(out, level);
+        }
+        Exp::Map { lam, args } => {
+            out.push_str("map ");
+            write_lambda(out, lam, level);
+            for a in args {
+                let _ = write!(out, " {a}");
+            }
+        }
+        Exp::Reduce { lam, neutral, args } => {
+            out.push_str("reduce ");
+            write_lambda(out, lam, level);
+            let _ = write!(out, " ({})", atoms_str(neutral));
+            for a in args {
+                let _ = write!(out, " {a}");
+            }
+        }
+        Exp::Scan { lam, neutral, args } => {
+            out.push_str("scan ");
+            write_lambda(out, lam, level);
+            let _ = write!(out, " ({})", atoms_str(neutral));
+            for a in args {
+                let _ = write!(out, " {a}");
+            }
+        }
+        Exp::Hist { op, num_bins, inds, vals } => {
+            let _ = write!(
+                out,
+                "reduce_by_index {} {} {inds} {vals}",
+                reduce_op_name(*op),
+                atom_str(num_bins)
+            );
+        }
+        Exp::Scatter { dest, inds, vals } => {
+            let _ = write!(out, "scatter {dest} {inds} {vals}");
+        }
+        Exp::WithAcc { arrs, lam } => {
+            out.push_str("withacc [");
+            let names: Vec<String> = arrs.iter().map(|v| v.to_string()).collect();
+            out.push_str(&names.join(", "));
+            out.push_str("] ");
+            write_lambda(out, lam, level);
+        }
+        Exp::UpdAcc { acc, idx, val } => {
+            let _ = write!(out, "upd_acc {acc} [{}] {}", atoms_str(idx), atom_str(val));
+        }
+    }
+}
+
+fn write_body(out: &mut String, b: &Body, level: usize) {
+    for Stm { pat, exp } in &b.stms {
+        indent(out, level);
+        let names: Vec<String> = pat.iter().map(|p| p.var.to_string()).collect();
+        if names.len() == 1 {
+            let _ = write!(out, "let {} = ", names[0]);
+        } else {
+            let _ = write!(out, "let ({}) = ", names.join(", "));
+        }
+        write_exp(out, exp, level);
+        out.push('\n');
+    }
+    indent(out, level);
+    let _ = write!(out, "in ({})\n", atoms_str(&b.result));
+}
+
+impl fmt::Display for Fun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params: Vec<String> =
+            self.params.iter().map(|p| format!("({}: {})", p.var, p.ty)).collect();
+        let rets: Vec<String> = self.ret.iter().map(|t| t.to_string()).collect();
+        writeln!(f, "def {} {} : ({}) =", self.name, params.join(" "), rets.join(", "))?;
+        let mut out = String::new();
+        write_body(&mut out, &self.body, 1);
+        write!(f, "{out}")
+    }
+}
+
+impl fmt::Display for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_body(&mut out, self, 0);
+        write!(f, "{out}")
+    }
+}
+
+impl fmt::Display for Exp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_exp(&mut out, self, 0);
+        write!(f, "{out}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::Builder;
+    use crate::ir::Atom;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_a_function() {
+        let mut b = Builder::new();
+        let f = b.build_fun("square_sum", &[Type::arr_f64(1)], |b, ps| {
+            let xs = ps[0];
+            let sq = b.map1(Type::arr_f64(1), &[xs], |b, es| {
+                let x = Atom::Var(es[0]);
+                vec![b.fmul(x, x)]
+            });
+            vec![Atom::Var(b.sum(sq))]
+        });
+        let s = f.to_string();
+        assert!(s.contains("def square_sum"));
+        assert!(s.contains("map"));
+        assert!(s.contains("reduce"));
+        assert!(s.contains("in ("));
+    }
+
+    #[test]
+    fn prints_control_flow() {
+        let mut b = Builder::new();
+        let f = b.build_fun("ctrl", &[Type::F64, Type::I64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let n = Atom::Var(ps[1]);
+            let cond = b.lt(x, Atom::f64(0.0));
+            let y = b.if_(cond, &[Type::F64], |b| vec![b.fneg(x)], |_b| vec![x]);
+            let l = b.loop_(&[(Type::F64, y[0].into())], n, |b, _i, acc| {
+                vec![b.fmul(acc[0].into(), x)]
+            });
+            vec![l[0].into()]
+        });
+        let s = f.to_string();
+        assert!(s.contains("if "));
+        assert!(s.contains("loop ("));
+        assert!(s.contains("for "));
+    }
+}

@@ -1,0 +1,210 @@
+//! Alpha-renaming: produce a copy of an IR fragment in which every *bound*
+//! variable is replaced by a fresh name, leaving free variables untouched.
+//!
+//! Transformation passes use this when they need to inline the same lambda
+//! body more than once into a single scope (e.g. the general reduce rule of
+//! reverse AD composes the operator with itself), or when strip-mining
+//! duplicates a loop body.
+
+use std::collections::HashMap;
+
+use crate::builder::Builder;
+use crate::ir::{Atom, Body, Exp, Lambda, Param, Stm, VarId};
+
+/// A renaming context: a substitution from old bound names to fresh names.
+#[derive(Debug, Default, Clone)]
+pub struct Renamer {
+    map: HashMap<VarId, VarId>,
+}
+
+impl Renamer {
+    /// An empty renamer (no substitutions yet).
+    pub fn new() -> Renamer {
+        Renamer::default()
+    }
+
+    /// Pre-seed a substitution (used to redirect a lambda parameter to an
+    /// existing variable rather than a fresh one).
+    pub fn insert(&mut self, from: VarId, to: VarId) {
+        self.map.insert(from, to);
+    }
+
+    fn fresh_param(&mut self, b: &mut Builder, p: &Param) -> Param {
+        let v = b.fresh(p.ty);
+        self.map.insert(p.var, v);
+        Param::new(v, p.ty)
+    }
+
+    fn var(&self, v: VarId) -> VarId {
+        self.map.get(&v).copied().unwrap_or(v)
+    }
+
+    fn atom(&self, a: &Atom) -> Atom {
+        match a {
+            Atom::Var(v) => Atom::Var(self.var(*v)),
+            c => *c,
+        }
+    }
+
+    /// Rename a body, freshening every binding it introduces.
+    pub fn body(&mut self, b: &mut Builder, body: &Body) -> Body {
+        let stms = body.stms.iter().map(|s| self.stm(b, s)).collect();
+        let result = body.result.iter().map(|a| self.atom(a)).collect();
+        Body { stms, result }
+    }
+
+    /// Rename a statement, freshening the variables it binds.
+    pub fn stm(&mut self, b: &mut Builder, s: &Stm) -> Stm {
+        let exp = self.exp(b, &s.exp);
+        let pat = s.pat.iter().map(|p| self.fresh_param(b, p)).collect();
+        Stm { pat, exp }
+    }
+
+    /// Rename a lambda, freshening its parameters and all inner bindings.
+    pub fn lambda(&mut self, b: &mut Builder, lam: &Lambda) -> Lambda {
+        let params = lam.params.iter().map(|p| self.fresh_param(b, p)).collect();
+        let body = self.body(b, &lam.body);
+        Lambda { params, body, ret: lam.ret.clone() }
+    }
+
+    fn exp(&mut self, b: &mut Builder, e: &Exp) -> Exp {
+        match e {
+            Exp::Atom(a) => Exp::Atom(self.atom(a)),
+            Exp::UnOp(op, a) => Exp::UnOp(*op, self.atom(a)),
+            Exp::BinOp(op, x, y) => Exp::BinOp(*op, self.atom(x), self.atom(y)),
+            Exp::Select { cond, t, f } => Exp::Select {
+                cond: self.atom(cond),
+                t: self.atom(t),
+                f: self.atom(f),
+            },
+            Exp::Index { arr, idx } => Exp::Index {
+                arr: self.var(*arr),
+                idx: idx.iter().map(|a| self.atom(a)).collect(),
+            },
+            Exp::Update { arr, idx, val } => Exp::Update {
+                arr: self.var(*arr),
+                idx: idx.iter().map(|a| self.atom(a)).collect(),
+                val: self.atom(val),
+            },
+            Exp::Len(v) => Exp::Len(self.var(*v)),
+            Exp::Iota(n) => Exp::Iota(self.atom(n)),
+            Exp::Replicate { n, val } => {
+                Exp::Replicate { n: self.atom(n), val: self.atom(val) }
+            }
+            Exp::Reverse(v) => Exp::Reverse(self.var(*v)),
+            Exp::Copy(v) => Exp::Copy(self.var(*v)),
+            Exp::If { cond, then_br, else_br } => Exp::If {
+                cond: self.atom(cond),
+                then_br: self.body(b, then_br),
+                else_br: self.body(b, else_br),
+            },
+            Exp::Loop { params, index, count, body } => {
+                let count = self.atom(count);
+                let params: Vec<(Param, Atom)> = params
+                    .iter()
+                    .map(|(p, init)| {
+                        let init = self.atom(init);
+                        (self.fresh_param(b, p), init)
+                    })
+                    .collect();
+                let new_index = b.fresh(crate::types::Type::I64);
+                self.map.insert(*index, new_index);
+                let body = self.body(b, body);
+                Exp::Loop { params, index: new_index, count, body }
+            }
+            Exp::Map { lam, args } => Exp::Map {
+                lam: self.lambda(b, lam),
+                args: args.iter().map(|v| self.var(*v)).collect(),
+            },
+            Exp::Reduce { lam, neutral, args } => Exp::Reduce {
+                lam: self.lambda(b, lam),
+                neutral: neutral.iter().map(|a| self.atom(a)).collect(),
+                args: args.iter().map(|v| self.var(*v)).collect(),
+            },
+            Exp::Scan { lam, neutral, args } => Exp::Scan {
+                lam: self.lambda(b, lam),
+                neutral: neutral.iter().map(|a| self.atom(a)).collect(),
+                args: args.iter().map(|v| self.var(*v)).collect(),
+            },
+            Exp::Hist { op, num_bins, inds, vals } => Exp::Hist {
+                op: *op,
+                num_bins: self.atom(num_bins),
+                inds: self.var(*inds),
+                vals: self.var(*vals),
+            },
+            Exp::Scatter { dest, inds, vals } => Exp::Scatter {
+                dest: self.var(*dest),
+                inds: self.var(*inds),
+                vals: self.var(*vals),
+            },
+            Exp::WithAcc { arrs, lam } => Exp::WithAcc {
+                arrs: arrs.iter().map(|v| self.var(*v)).collect(),
+                lam: self.lambda(b, lam),
+            },
+            Exp::UpdAcc { acc, idx, val } => Exp::UpdAcc {
+                acc: self.var(*acc),
+                idx: idx.iter().map(|a| self.atom(a)).collect(),
+                val: self.atom(val),
+            },
+        }
+    }
+}
+
+/// Convenience wrapper: a fresh copy of a lambda with all bound names
+/// renamed (free variables preserved).
+pub fn refresh_lambda(b: &mut Builder, lam: &Lambda) -> Lambda {
+    Renamer::new().lambda(b, lam)
+}
+
+/// Convenience wrapper: a fresh copy of a body.
+pub fn refresh_body(b: &mut Builder, body: &Body) -> Body {
+    Renamer::new().body(b, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::free_vars::FreeVars;
+    use crate::types::Type;
+
+    #[test]
+    fn refreshed_lambda_keeps_free_vars_and_renames_bound() {
+        let mut b = Builder::new();
+        b.begin_scope();
+        let free = b.fresh(Type::F64);
+        let lam = b.lambda(&[Type::F64], |b, ps| {
+            let t = b.fmul(ps[0].into(), Atom::Var(free));
+            vec![b.fadd(t, Atom::f64(1.0))]
+        });
+        let _ = b.end_scope();
+        let fresh = refresh_lambda(&mut b, &lam);
+        assert_ne!(fresh.params[0].var, lam.params[0].var);
+        assert_eq!(fresh.ret, lam.ret);
+        let fv: Vec<_> = fresh.free_vars().into_iter().collect();
+        assert_eq!(fv, vec![free]);
+        // Inner bindings are disjoint from the original's.
+        let orig_bound: Vec<_> = lam.body.stms.iter().flat_map(|s| s.pat.iter().map(|p| p.var)).collect();
+        for s in &fresh.body.stms {
+            for p in &s.pat {
+                assert!(!orig_bound.contains(&p.var));
+            }
+        }
+    }
+
+    #[test]
+    fn refreshed_loop_renames_index() {
+        let mut b = Builder::new();
+        let f = b.build_fun("f", &[Type::F64, Type::I64], |b, ps| {
+            let r = b.loop_(&[(Type::F64, ps[0].into())], ps[1].into(), |b, i, acc| {
+                let fi = b.to_f64(i.into());
+                vec![b.fadd(acc[0].into(), fi)]
+            });
+            vec![r[0].into()]
+        });
+        let body2 = refresh_body(&mut b, &f.body);
+        match (&f.body.stms[0].exp, &body2.stms[0].exp) {
+            (Exp::Loop { index: i1, .. }, Exp::Loop { index: i2, .. }) => assert_ne!(i1, i2),
+            _ => panic!("expected loops"),
+        }
+    }
+}

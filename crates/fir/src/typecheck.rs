@@ -1,0 +1,504 @@
+//! A structural type checker for the IR.
+//!
+//! The checker validates that every variable is bound before use, that
+//! operand ranks/element types are consistent, that SOAC lambdas have the
+//! right arity, and that accumulators are only updated (never read). It is
+//! used as a sanity check on the output of the AD and optimization passes
+//! in tests and debug builds.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::{Atom, BinOp, Body, Exp, Fun, Lambda, Param, Stm, UnOp, VarId};
+use crate::types::{ScalarType, Type};
+
+/// A type error with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+macro_rules! bail {
+    ($($arg:tt)*) => {
+        return Err(TypeError(format!($($arg)*)))
+    };
+}
+
+/// The typing environment: a map from variables to types.
+#[derive(Debug, Default, Clone)]
+pub struct Env {
+    vars: HashMap<VarId, Type>,
+}
+
+impl Env {
+    fn bind(&mut self, p: &Param) {
+        self.vars.insert(p.var, p.ty);
+    }
+
+    fn lookup(&self, v: VarId) -> Result<Type, TypeError> {
+        self.vars.get(&v).copied().ok_or_else(|| TypeError(format!("unbound variable {v}")))
+    }
+
+    fn atom(&self, a: &Atom) -> Result<Type, TypeError> {
+        match a {
+            Atom::Var(v) => self.lookup(*v),
+            Atom::Const(c) => Ok(c.ty()),
+        }
+    }
+}
+
+fn expect_scalar(t: Type, what: &str) -> Result<ScalarType, TypeError> {
+    match t {
+        Type::Scalar(s) => Ok(s),
+        _ => Err(TypeError(format!("{what}: expected a scalar, got {t}"))),
+    }
+}
+
+fn expect_array(t: Type, what: &str) -> Result<(ScalarType, usize), TypeError> {
+    match t {
+        Type::Array { elem, rank } => Ok((elem, rank)),
+        _ => Err(TypeError(format!("{what}: expected an array, got {t}"))),
+    }
+}
+
+fn check_index(env: &Env, idx: &[Atom], what: &str) -> Result<(), TypeError> {
+    for a in idx {
+        let t = env.atom(a)?;
+        if t != Type::I64 {
+            bail!("{what}: index must be i64, got {t}");
+        }
+    }
+    Ok(())
+}
+
+/// Check a lambda against the given argument element types; returns its
+/// declared result types.
+fn check_lambda(env: &Env, lam: &Lambda, expected_params: &[Type], what: &str) -> Result<Vec<Type>, TypeError> {
+    if lam.params.len() != expected_params.len() {
+        bail!(
+            "{what}: lambda takes {} parameters, expected {}",
+            lam.params.len(),
+            expected_params.len()
+        );
+    }
+    for (p, want) in lam.params.iter().zip(expected_params) {
+        if p.ty != *want {
+            bail!("{what}: lambda parameter {} has type {}, expected {want}", p.var, p.ty);
+        }
+    }
+    let mut inner = env.clone();
+    for p in &lam.params {
+        inner.bind(p);
+    }
+    let got = check_body(&inner, &lam.body)?;
+    if got != lam.ret {
+        bail!("{what}: lambda body returns {:?}, declared {:?}", got, lam.ret);
+    }
+    Ok(lam.ret.clone())
+}
+
+/// Infer the types of the values produced by an expression.
+fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
+    match e {
+        Exp::Atom(a) => Ok(vec![env.atom(a)?]),
+        Exp::UnOp(op, a) => {
+            let t = env.atom(a)?;
+            let s = expect_scalar(t, "unop operand")?;
+            let out = match op {
+                UnOp::Not => {
+                    if s != ScalarType::Bool {
+                        bail!("not: expected bool, got {t}");
+                    }
+                    ScalarType::Bool
+                }
+                UnOp::ToF64 => ScalarType::F64,
+                UnOp::ToI64 => ScalarType::I64,
+                UnOp::Neg | UnOp::Abs => s,
+                _ => {
+                    if s != ScalarType::F64 {
+                        bail!("float unop on {t}");
+                    }
+                    ScalarType::F64
+                }
+            };
+            Ok(vec![Type::Scalar(out)])
+        }
+        Exp::BinOp(op, a, b) => {
+            let ta = env.atom(a)?;
+            let tb = env.atom(b)?;
+            let sa = expect_scalar(ta, "binop lhs")?;
+            let sb = expect_scalar(tb, "binop rhs")?;
+            if sa != sb {
+                bail!("binop operand types differ: {ta} vs {tb}");
+            }
+            if matches!(op, BinOp::And | BinOp::Or) && sa != ScalarType::Bool {
+                bail!("logical operator on {ta}");
+            }
+            let out = if op.is_predicate() { ScalarType::Bool } else { sa };
+            Ok(vec![Type::Scalar(out)])
+        }
+        Exp::Select { cond, t, f } => {
+            let tc = env.atom(cond)?;
+            if tc != Type::BOOL {
+                bail!("select condition must be bool, got {tc}");
+            }
+            let tt = env.atom(t)?;
+            let tf = env.atom(f)?;
+            if tt != tf {
+                bail!("select branches differ: {tt} vs {tf}");
+            }
+            Ok(vec![tt])
+        }
+        Exp::Index { arr, idx } => {
+            let t = env.lookup(*arr)?;
+            let (elem, rank) = expect_array(t, "index target")?;
+            if idx.is_empty() || idx.len() > rank {
+                bail!("indexing rank-{rank} array with {} indices", idx.len());
+            }
+            check_index(env, idx, "index")?;
+            Ok(vec![Type::Array { elem, rank }.index(idx.len())])
+        }
+        Exp::Update { arr, idx, val } => {
+            let t = env.lookup(*arr)?;
+            let (elem, rank) = expect_array(t, "update target")?;
+            if idx.is_empty() || idx.len() > rank {
+                bail!("updating rank-{rank} array with {} indices", idx.len());
+            }
+            check_index(env, idx, "update")?;
+            let tv = env.atom(val)?;
+            let expect = Type::Array { elem, rank }.index(idx.len());
+            if tv != expect {
+                bail!("update value has type {tv}, expected {expect}");
+            }
+            Ok(vec![t])
+        }
+        Exp::Len(v) => {
+            expect_array(env.lookup(*v)?, "length")?;
+            Ok(vec![Type::I64])
+        }
+        Exp::Iota(n) => {
+            if env.atom(n)? != Type::I64 {
+                bail!("iota count must be i64");
+            }
+            Ok(vec![Type::arr_i64(1)])
+        }
+        Exp::Replicate { n, val } => {
+            if env.atom(n)? != Type::I64 {
+                bail!("replicate count must be i64");
+            }
+            let tv = env.atom(val)?;
+            if tv.is_acc() {
+                bail!("cannot replicate an accumulator");
+            }
+            Ok(vec![tv.lift()])
+        }
+        Exp::Reverse(v) | Exp::Copy(v) => {
+            let t = env.lookup(*v)?;
+            expect_array(t, "reverse/copy")?;
+            Ok(vec![t])
+        }
+        Exp::If { cond, then_br, else_br } => {
+            if env.atom(cond)? != Type::BOOL {
+                bail!("if condition must be bool");
+            }
+            let tt = check_body(env, then_br)?;
+            let tf = check_body(env, else_br)?;
+            if tt != tf {
+                bail!("if branches return {:?} vs {:?}", tt, tf);
+            }
+            Ok(tt)
+        }
+        Exp::Loop { params, index, count, body } => {
+            if env.atom(count)? != Type::I64 {
+                bail!("loop count must be i64");
+            }
+            let mut inner = env.clone();
+            for (p, init) in params {
+                let ti = env.atom(init)?;
+                if ti != p.ty {
+                    bail!("loop parameter {} has type {}, initializer has {ti}", p.var, p.ty);
+                }
+                inner.bind(p);
+            }
+            inner.bind(&Param::new(*index, Type::I64));
+            let got = check_body(&inner, body)?;
+            let want: Vec<Type> = params.iter().map(|(p, _)| p.ty).collect();
+            if got != want {
+                bail!("loop body returns {:?}, parameters are {:?}", got, want);
+            }
+            Ok(want)
+        }
+        Exp::Map { lam, args } => {
+            if args.is_empty() {
+                bail!("map with no arguments");
+            }
+            let mut elem_tys = Vec::new();
+            for a in args {
+                let t = env.lookup(*a)?;
+                if t.is_acc() {
+                    // Arrays of accumulators are implicitly converted
+                    // (paper §5.4); the element is the accumulator itself.
+                    elem_tys.push(t);
+                } else {
+                    expect_array(t, "map argument")?;
+                    elem_tys.push(t.peel());
+                }
+            }
+            let ret = check_lambda(env, lam, &elem_tys, "map")?;
+            Ok(ret
+                .iter()
+                .map(|t| if t.is_acc() { *t } else { t.lift() })
+                .collect())
+        }
+        Exp::Reduce { lam, neutral, args } | Exp::Scan { lam, neutral, args } => {
+            let is_scan = matches!(e, Exp::Scan { .. });
+            if args.is_empty() {
+                bail!("reduce/scan with no arguments");
+            }
+            let mut elem_tys = Vec::new();
+            for a in args {
+                let t = env.lookup(*a)?;
+                expect_array(t, "reduce/scan argument")?;
+                elem_tys.push(t.peel());
+            }
+            if neutral.len() != elem_tys.len() {
+                bail!("reduce/scan has {} neutral elements for {} arrays", neutral.len(), elem_tys.len());
+            }
+            for (ne, t) in neutral.iter().zip(&elem_tys) {
+                let tn = env.atom(ne)?;
+                if tn != *t {
+                    bail!("neutral element has type {tn}, expected {t}");
+                }
+            }
+            let mut lam_params = elem_tys.clone();
+            lam_params.extend(elem_tys.iter().copied());
+            let ret = check_lambda(env, lam, &lam_params, "reduce/scan")?;
+            if ret != elem_tys {
+                bail!("reduce/scan operator returns {:?}, expected {:?}", ret, elem_tys);
+            }
+            if is_scan {
+                Ok(ret.iter().map(|t| t.lift()).collect())
+            } else {
+                Ok(ret)
+            }
+        }
+        Exp::Hist { num_bins, inds, vals, .. } => {
+            if env.atom(num_bins)? != Type::I64 {
+                bail!("hist bin count must be i64");
+            }
+            let ti = env.lookup(*inds)?;
+            if ti != Type::arr_i64(1) {
+                bail!("hist indices must be []i64, got {ti}");
+            }
+            let tv = env.lookup(*vals)?;
+            let (elem, _) = expect_array(tv, "hist values")?;
+            if elem != ScalarType::F64 {
+                bail!("hist values must be f64 arrays");
+            }
+            Ok(vec![tv])
+        }
+        Exp::Scatter { dest, inds, vals } => {
+            let td = env.lookup(*dest)?;
+            expect_array(td, "scatter destination")?;
+            let ti = env.lookup(*inds)?;
+            if ti != Type::arr_i64(1) {
+                bail!("scatter indices must be []i64, got {ti}");
+            }
+            let tv = env.lookup(*vals)?;
+            expect_array(tv, "scatter values")?;
+            if tv != td {
+                bail!("scatter values ({tv}) must match destination ({td})");
+            }
+            Ok(vec![td])
+        }
+        Exp::WithAcc { arrs, lam } => {
+            let mut arr_tys = Vec::new();
+            for a in arrs {
+                let t = env.lookup(*a)?;
+                expect_array(t, "withacc array")?;
+                arr_tys.push(t);
+            }
+            let acc_tys: Vec<Type> = arr_tys.iter().map(|t| t.to_acc()).collect();
+            let ret = check_lambda(env, lam, &acc_tys, "withacc")?;
+            if ret.len() < arrs.len() {
+                bail!("withacc lambda must return at least {} accumulators", arrs.len());
+            }
+            for (r, want) in ret.iter().take(arrs.len()).zip(&acc_tys) {
+                if r != want {
+                    bail!("withacc lambda result {r} does not match accumulator {want}");
+                }
+            }
+            let mut out = arr_tys;
+            out.extend(ret.into_iter().skip(out.len()));
+            Ok(out)
+        }
+        Exp::UpdAcc { acc, idx, val } => {
+            let t = env.lookup(*acc)?;
+            let (elem, rank) = match t {
+                Type::Acc { elem, rank } => (elem, rank),
+                _ => bail!("upd_acc target must be an accumulator, got {t}"),
+            };
+            if idx.len() > rank {
+                bail!("upd_acc on rank-{rank} accumulator with {} indices", idx.len());
+            }
+            check_index(env, idx, "upd_acc")?;
+            let tv = env.atom(val)?;
+            let want = Type::Array { elem, rank }.index(idx.len());
+            if tv != want {
+                bail!("upd_acc value has type {tv}, expected {want}");
+            }
+            Ok(vec![t])
+        }
+    }
+}
+
+/// Check a body, returning the types of its results.
+fn check_body(env: &Env, b: &Body) -> Result<Vec<Type>, TypeError> {
+    let mut env = env.clone();
+    for Stm { pat, exp } in &b.stms {
+        let tys = check_exp(&env, exp)?;
+        if tys.len() != pat.len() {
+            bail!(
+                "pattern binds {} variables but `{}` produces {} values",
+                pat.len(),
+                exp.kind(),
+                tys.len()
+            );
+        }
+        for (p, t) in pat.iter().zip(&tys) {
+            if p.ty != *t {
+                bail!("variable {} declared {} but bound to {}", p.var, p.ty, t);
+            }
+            env.bind(p);
+        }
+    }
+    b.result.iter().map(|a| env.atom(a)).collect()
+}
+
+/// Type-check a whole function.
+pub fn check_fun(f: &Fun) -> Result<(), TypeError> {
+    let mut env = Env::default();
+    for p in &f.params {
+        env.bind(p);
+    }
+    let got = check_body(&env, &f.body)?;
+    if got != f.ret {
+        bail!("function {} returns {:?}, declared {:?}", f.name, got, f.ret);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::ir::Atom;
+
+    #[test]
+    fn accepts_wellformed_function() {
+        let mut b = Builder::new();
+        let f = b.build_fun("dot", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+            let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+                vec![b.fmul(es[0].into(), es[1].into())]
+            });
+            vec![Atom::Var(b.sum(prods))]
+        });
+        check_fun(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        use crate::ir::{Body, Exp, Param, Stm};
+        let f = Fun {
+            name: "bad".into(),
+            params: vec![],
+            body: Body::new(
+                vec![Stm::new(
+                    vec![Param::new(VarId(1), Type::F64)],
+                    Exp::UnOp(UnOp::Sin, Atom::Var(VarId(99))),
+                )],
+                vec![Atom::Var(VarId(1))],
+            ),
+            ret: vec![Type::F64],
+        };
+        assert!(check_fun(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_binop() {
+        use crate::ir::{Body, Exp, Param, Stm};
+        let f = Fun {
+            name: "bad".into(),
+            params: vec![Param::new(VarId(0), Type::F64)],
+            body: Body::new(
+                vec![Stm::new(
+                    vec![Param::new(VarId(1), Type::F64)],
+                    Exp::BinOp(BinOp::Add, Atom::Var(VarId(0)), Atom::i64(1)),
+                )],
+                vec![Atom::Var(VarId(1))],
+            ),
+            ret: vec![Type::F64],
+        };
+        assert!(check_fun(&f).is_err());
+    }
+
+    #[test]
+    fn checks_control_flow_and_soacs() {
+        let mut b = Builder::new();
+        let f = b.build_fun("mixed", &[Type::arr_f64(2), Type::I64], |b, ps| {
+            let xss = ps[0];
+            let n = Atom::Var(ps[1]);
+            let sums = b.map1(Type::arr_f64(1), &[xss], |b, rows| {
+                vec![Atom::Var(b.sum(rows[0]))]
+            });
+            let total = b.sum(sums);
+            let doubled = b.loop_(&[(Type::F64, total.into())], n, |b, _i, acc| {
+                vec![b.fadd(acc[0].into(), acc[0].into())]
+            });
+            let cond = b.gt(doubled[0].into(), Atom::f64(1.0));
+            let r = b.if_(cond, &[Type::F64], |_b| vec![doubled[0].into()], |_b| vec![Atom::f64(0.0)]);
+            vec![r[0].into()]
+        });
+        check_fun(&f).unwrap();
+    }
+
+    #[test]
+    fn checks_withacc_and_updacc() {
+        let mut b = Builder::new();
+        let f = b.build_fun("accum", &[Type::arr_f64(1), Type::arr_i64(1)], |b, ps| {
+            let dst = ps[0];
+            let inds = ps[1];
+            let out = b.with_acc(&[dst], |b, accs| {
+                let acc = accs[0];
+                let upd = b.map1(b.ty_of(acc), &[inds, acc], |b, es| {
+                    let i = es[0];
+                    let a = es[1];
+                    let a2 = b.upd_acc(a, &[i.into()], Atom::f64(1.0));
+                    vec![a2.into()]
+                });
+                vec![upd.into()]
+            });
+            vec![out[0].into()]
+        });
+        check_fun(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_scatter_type_mismatch() {
+        let mut b = Builder::new();
+        let f = b.build_fun("bad_scatter", &[Type::arr_f64(1), Type::arr_i64(1), Type::arr_i64(1)], |b, ps| {
+            let out = b.bind1(
+                Type::arr_f64(1),
+                Exp::Scatter { dest: ps[0], inds: ps[1], vals: ps[2] },
+            );
+            vec![out.into()]
+        });
+        assert!(check_fun(&f).is_err());
+    }
+}

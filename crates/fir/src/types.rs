@@ -1,0 +1,230 @@
+//! Types of the IR: scalars, regular arrays of a given rank, and
+//! accumulators (write-only array views used by reverse-mode AD).
+
+use std::fmt;
+
+/// Element types of scalars and arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 64-bit IEEE-754 float — the only differentiable scalar type.
+    F64,
+    /// 64-bit signed integer (indices, counts, bins).
+    I64,
+    /// Booleans (branch conditions, masks).
+    Bool,
+}
+
+impl ScalarType {
+    /// True for the differentiable scalar type (`f64`).
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F64)
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarType::F64 => write!(f, "f64"),
+            ScalarType::I64 => write!(f, "i64"),
+            ScalarType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// The type of an IR value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A scalar of the given element type.
+    Scalar(ScalarType),
+    /// A regular (rectangular) array of the given element type and rank ≥ 1.
+    Array { elem: ScalarType, rank: usize },
+    /// An accumulator: a write-only view of an array of the given element
+    /// type and rank. Accumulators only appear in code produced by
+    /// reverse-mode AD (or hand-written equivalents) and have no runtime
+    /// representation beyond the underlying array.
+    Acc { elem: ScalarType, rank: usize },
+}
+
+impl Type {
+    /// Scalar `f64`.
+    pub const F64: Type = Type::Scalar(ScalarType::F64);
+    /// Scalar `i64`.
+    pub const I64: Type = Type::Scalar(ScalarType::I64);
+    /// Scalar `bool`.
+    pub const BOOL: Type = Type::Scalar(ScalarType::Bool);
+
+    /// An `f64` array of the given rank.
+    pub fn arr_f64(rank: usize) -> Type {
+        Type::Array { elem: ScalarType::F64, rank }
+    }
+
+    /// An `i64` array of the given rank.
+    pub fn arr_i64(rank: usize) -> Type {
+        Type::Array { elem: ScalarType::I64, rank }
+    }
+
+    /// A `bool` array of the given rank.
+    pub fn arr_bool(rank: usize) -> Type {
+        Type::Array { elem: ScalarType::Bool, rank }
+    }
+
+    /// An accumulator over an `f64` array of the given rank.
+    pub fn acc_f64(rank: usize) -> Type {
+        Type::Acc { elem: ScalarType::F64, rank }
+    }
+
+    /// The element type of this type (its own type if scalar).
+    pub fn elem(&self) -> ScalarType {
+        match *self {
+            Type::Scalar(e) | Type::Array { elem: e, .. } | Type::Acc { elem: e, .. } => e,
+        }
+    }
+
+    /// Rank: 0 for scalars, array rank otherwise.
+    pub fn rank(&self) -> usize {
+        match *self {
+            Type::Scalar(_) => 0,
+            Type::Array { rank, .. } | Type::Acc { rank, .. } => rank,
+        }
+    }
+
+    /// Is this a scalar type?
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Scalar(_))
+    }
+
+    /// Is this an array type?
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array { .. })
+    }
+
+    /// Is this an accumulator type?
+    pub fn is_acc(&self) -> bool {
+        matches!(self, Type::Acc { .. })
+    }
+
+    /// Does the type carry `f64` data (and therefore has a nontrivial
+    /// derivative)?
+    pub fn is_differentiable(&self) -> bool {
+        self.elem().is_float() && !self.is_acc()
+    }
+
+    /// The type of one element obtained by indexing along the outermost
+    /// dimension. Panics on scalars.
+    pub fn peel(&self) -> Type {
+        match *self {
+            Type::Array { elem, rank } => {
+                if rank == 1 {
+                    Type::Scalar(elem)
+                } else {
+                    Type::Array { elem, rank: rank - 1 }
+                }
+            }
+            Type::Acc { elem, rank } => {
+                if rank == 1 {
+                    Type::Scalar(elem)
+                } else {
+                    Type::Acc { elem, rank: rank - 1 }
+                }
+            }
+            Type::Scalar(_) => panic!("Type::peel on a scalar"),
+        }
+    }
+
+    /// The type of an array of elements of this type. Panics on accumulators.
+    pub fn lift(&self) -> Type {
+        match *self {
+            Type::Scalar(elem) => Type::Array { elem, rank: 1 },
+            Type::Array { elem, rank } => Type::Array { elem, rank: rank + 1 },
+            Type::Acc { .. } => panic!("Type::lift on an accumulator"),
+        }
+    }
+
+    /// The type obtained after indexing with `n` indices.
+    pub fn index(&self, n: usize) -> Type {
+        let mut t = *self;
+        for _ in 0..n {
+            t = t.peel();
+        }
+        t
+    }
+
+    /// The corresponding accumulator type (same elem/rank). Panics on scalars.
+    pub fn to_acc(&self) -> Type {
+        match *self {
+            Type::Array { elem, rank } => Type::Acc { elem, rank },
+            Type::Acc { elem, rank } => Type::Acc { elem, rank },
+            Type::Scalar(_) => panic!("Type::to_acc on a scalar"),
+        }
+    }
+
+    /// The corresponding array type for an accumulator; identity otherwise.
+    pub fn from_acc(&self) -> Type {
+        match *self {
+            Type::Acc { elem, rank } => Type::Array { elem, rank },
+            t => t,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Type::Scalar(e) => write!(f, "{e}"),
+            Type::Array { elem, rank } => {
+                for _ in 0..rank {
+                    write!(f, "[]")?;
+                }
+                write!(f, "{elem}")
+            }
+            Type::Acc { elem, rank } => {
+                write!(f, "acc(")?;
+                for _ in 0..rank {
+                    write!(f, "[]")?;
+                }
+                write!(f, "{elem})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peel_and_lift_are_inverse() {
+        let t = Type::arr_f64(3);
+        assert_eq!(t.peel().lift(), t);
+        assert_eq!(Type::F64.lift().peel(), Type::F64);
+    }
+
+    #[test]
+    fn index_reduces_rank() {
+        let t = Type::arr_f64(2);
+        assert_eq!(t.index(1), Type::arr_f64(1));
+        assert_eq!(t.index(2), Type::F64);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::arr_f64(2).to_string(), "[][]f64");
+        assert_eq!(Type::I64.to_string(), "i64");
+        assert_eq!(Type::acc_f64(1).to_string(), "acc([]f64)");
+    }
+
+    #[test]
+    fn differentiability() {
+        assert!(Type::F64.is_differentiable());
+        assert!(Type::arr_f64(2).is_differentiable());
+        assert!(!Type::I64.is_differentiable());
+        assert!(!Type::acc_f64(1).is_differentiable());
+    }
+
+    #[test]
+    fn acc_conversions() {
+        let t = Type::arr_f64(2);
+        assert_eq!(t.to_acc(), Type::Acc { elem: ScalarType::F64, rank: 2 });
+        assert_eq!(t.to_acc().from_acc(), t);
+    }
+}

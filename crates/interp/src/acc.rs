@@ -1,0 +1,168 @@
+//! Accumulators: shared, atomically-updated `f64` buffers.
+//!
+//! Accumulators are the runtime realization of the paper's `withacc`/`upd`
+//! constructs (§5.4): a write-only view of an array into which many parallel
+//! threads may add contributions. On GPUs these become `atomicAdd`; here we
+//! implement the same semantics with a CAS loop over the `f64` bit pattern
+//! stored in an `AtomicU64`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::value::Array;
+
+/// The shared buffer behind an accumulator.
+#[derive(Debug)]
+struct AccBuf {
+    shape: Vec<usize>,
+    cells: Vec<AtomicU64>,
+}
+
+/// A handle on an accumulator. Cloning the handle shares the buffer, which
+/// is exactly the behaviour needed when an accumulator is passed (as "an
+/// array of accumulators") to every iteration of a `map`.
+#[derive(Debug, Clone)]
+pub struct Accum {
+    buf: Arc<AccBuf>,
+}
+
+impl Accum {
+    /// Create an accumulator initialized with the contents of an `f64` array.
+    pub fn from_array(a: &Array) -> Accum {
+        let cells = a.f64s().iter().map(|x| AtomicU64::new(x.to_bits())).collect();
+        Accum { buf: Arc::new(AccBuf { shape: a.shape.clone(), cells }) }
+    }
+
+    /// Create a zero-initialized accumulator of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Accum {
+        let n: usize = shape.iter().product();
+        let cells = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+        Accum { buf: Arc::new(AccBuf { shape, cells }) }
+    }
+
+    /// The shape of the underlying array.
+    pub fn shape(&self) -> &[usize] {
+        &self.buf.shape
+    }
+
+    /// Number of scalar cells.
+    pub fn len(&self) -> usize {
+        self.buf.cells.len()
+    }
+
+    /// True when the accumulator has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.buf.cells.is_empty()
+    }
+
+    /// Atomically add `v` to the cell at flat offset `off`.
+    pub fn add_at(&self, off: usize, v: f64) {
+        if v == 0.0 {
+            return;
+        }
+        let cell = &self.buf.cells[off];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomically add a contiguous slice starting at flat offset `off`
+    /// (vectorized accumulation of a sub-array contribution).
+    pub fn add_slice(&self, off: usize, vs: &[f64]) {
+        for (k, v) in vs.iter().enumerate() {
+            self.add_at(off + k, *v);
+        }
+    }
+
+    /// The flat offset corresponding to a (partial) multi-dimensional index,
+    /// together with the number of scalars it addresses.
+    pub fn offset_of(&self, idx: &[usize]) -> (usize, usize) {
+        assert!(idx.len() <= self.buf.shape.len(), "too many indices for accumulator");
+        let mut off = 0;
+        let mut stride: usize = self.buf.shape.iter().product();
+        for (k, &i) in idx.iter().enumerate() {
+            stride /= self.buf.shape[k];
+            off += i * stride;
+        }
+        (off, stride)
+    }
+
+    /// Whether a (partial) index is within bounds.
+    pub fn in_bounds(&self, idx: &[usize]) -> bool {
+        idx.iter().zip(&self.buf.shape).all(|(i, d)| i < d)
+    }
+
+    /// Snapshot the accumulator into an ordinary array (the end of its
+    /// lifetime in `withacc`).
+    pub fn to_array(&self) -> Array {
+        let data: Vec<f64> =
+            self.buf.cells.iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect();
+        Array::from_f64(self.buf.shape.clone(), data)
+    }
+
+    /// Whether two handles share the same buffer.
+    pub fn same_buffer(&self, other: &Accum) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_snapshot() {
+        let acc = Accum::zeros(vec![4]);
+        acc.add_at(1, 2.5);
+        acc.add_at(1, 0.5);
+        acc.add_at(3, -1.0);
+        assert_eq!(acc.to_array().f64s(), &[0.0, 3.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn from_array_preserves_contents() {
+        let a = Array::vec_f64(vec![1.0, 2.0]);
+        let acc = Accum::from_array(&a);
+        acc.add_at(0, 1.0);
+        assert_eq!(acc.to_array().f64s(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn partial_index_offsets() {
+        let acc = Accum::zeros(vec![2, 3]);
+        let (off, n) = acc.offset_of(&[1]);
+        assert_eq!((off, n), (3, 3));
+        let (off, n) = acc.offset_of(&[1, 2]);
+        assert_eq!((off, n), (5, 1));
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let acc = Accum::zeros(vec![1]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let acc = acc.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        acc.add_at(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(acc.to_array().f64s()[0], 8000.0);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let acc = Accum::zeros(vec![2]);
+        let acc2 = acc.clone();
+        acc2.add_at(0, 5.0);
+        assert!(acc.same_buffer(&acc2));
+        assert_eq!(acc.to_array().f64s()[0], 5.0);
+    }
+}

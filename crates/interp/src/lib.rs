@@ -1,0 +1,34 @@
+//! `interp` — a multi-threaded bulk-parallel evaluator for the `fir` IR.
+//!
+//! This crate is the reproduction's stand-in for the Futhark GPU backend:
+//! SOACs are executed as bulk-parallel operations over OS threads,
+//! accumulator updates become atomic adds (the CPU analogue of `atomicAdd`),
+//! and sequential loops run sequentially. The AD transformation in the
+//! `futhark-ad` crate is purely IR-to-IR; this crate is what gives those
+//! transformed programs an executable (and measurable) semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use fir::builder::Builder;
+//! use fir::types::Type;
+//! use interp::{Interp, Value};
+//!
+//! let mut b = Builder::new();
+//! let dot = b.build_fun("dot", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+//!     let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+//!         vec![b.fmul(es[0].into(), es[1].into())]
+//!     });
+//!     vec![b.sum(prods).into()]
+//! });
+//! let out = Interp::new().run(&dot, &[Value::from(vec![1.0, 2.0]), Value::from(vec![3.0, 4.0])]);
+//! assert_eq!(out[0].as_f64(), 11.0);
+//! ```
+
+pub mod acc;
+pub mod eval;
+pub mod value;
+
+pub use acc::Accum;
+pub use eval::{ExecConfig, Interp};
+pub use value::{Array, Data, Value};

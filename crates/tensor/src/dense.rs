@@ -1,0 +1,248 @@
+//! Dense 2-D tensors (row-major) with the small set of operations the
+//! PyTorch-style baseline needs. Matrix multiplication is parallelised over
+//! row blocks with OS threads, mirroring an eager tensor framework's use of
+//! a multi-threaded BLAS.
+
+use std::sync::Arc;
+
+/// A dense row-major matrix (vectors are `n × 1` or `1 × n`).
+#[derive(Debug, Clone)]
+pub struct Tensor {
+    pub rows: usize,
+    pub cols: usize,
+    data: Arc<Vec<f64>>,
+}
+
+impl Tensor {
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Tensor {
+        assert_eq!(rows * cols, data.len(), "tensor shape/data mismatch");
+        Tensor { rows, cols, data: Arc::new(data) }
+    }
+
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor::new(rows, cols, vec![0.0; rows * cols])
+    }
+
+    pub fn scalar(x: f64) -> Tensor {
+        Tensor::new(1, 1, vec![x])
+    }
+
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn numel(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.numel(), 1, "item() on non-scalar tensor");
+        self.data[0]
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    fn same_shape(&self, other: &Tensor) -> bool {
+        self.rows == other.rows && self.cols == other.cols
+    }
+
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor::new(self.rows, self.cols, self.data.iter().map(|x| f(*x)).collect())
+    }
+
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert!(self.same_shape(other), "shape mismatch in elementwise op");
+        Tensor::new(
+            self.rows,
+            self.cols,
+            self.data.iter().zip(other.data.iter()).map(|(a, b)| f(*a, *b)).collect(),
+        )
+    }
+
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    pub fn scale(&self, s: f64) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0; self.numel()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Tensor::new(self.cols, self.rows, out)
+    }
+
+    /// Broadcast a column vector (`rows × 1`) and a row vector (`1 × cols`)
+    /// onto this matrix: `out[r,c] = self[r,c] + col[r] + row[c]`.
+    pub fn add_col_row(&self, col: &Tensor, row: &Tensor) -> Tensor {
+        assert_eq!(col.rows, self.rows);
+        assert_eq!(row.cols, self.cols);
+        let mut out = vec![0.0; self.numel()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[r * self.cols + c] = self.data[r * self.cols + c] + col.data[r] + row.data[c];
+            }
+        }
+        Tensor::new(self.rows, self.cols, out)
+    }
+
+    /// Row-wise minimum, returning the values (`rows × 1`) and argmin
+    /// column indices.
+    pub fn min_dim1(&self) -> (Tensor, Vec<usize>) {
+        let mut vals = Vec::with_capacity(self.rows);
+        let mut args = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let (mut bi, mut bv) = (0usize, f64::INFINITY);
+            for (c, x) in row.iter().enumerate() {
+                if *x < bv {
+                    bv = *x;
+                    bi = c;
+                }
+            }
+            vals.push(bv);
+            args.push(bi);
+        }
+        (Tensor::new(self.rows, 1, vals), args)
+    }
+
+    /// Row-wise log-sum-exp (`rows × 1`).
+    pub fn logsumexp_dim1(&self) -> Tensor {
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let s: f64 = row.iter().map(|x| (x - m).exp()).sum();
+            out.push(m + s.ln());
+        }
+        Tensor::new(self.rows, 1, out)
+    }
+
+    /// Row-wise sum of squares (`rows × 1`).
+    pub fn row_sq_norms(&self) -> Tensor {
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out.push(row.iter().map(|x| x * x).sum());
+        }
+        Tensor::new(self.rows, 1, out)
+    }
+
+    /// Dense matrix multiplication, parallelised over row blocks.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let a = &self.data;
+        let b = &other.data;
+        let nthreads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+        let rows_per = n.div_ceil(nthreads.max(1)).max(1);
+        let mut out = vec![0.0; n * m];
+        if n * k * m < 64 * 64 * 64 {
+            matmul_block(a, b, &mut out, 0, n, k, m);
+        } else {
+            std::thread::scope(|s| {
+                let mut rest: &mut [f64] = &mut out;
+                let mut lo = 0usize;
+                let mut handles = Vec::new();
+                while lo < n {
+                    let hi = (lo + rows_per).min(n);
+                    let (chunk, tail) = rest.split_at_mut((hi - lo) * m);
+                    rest = tail;
+                    let lo_c = lo;
+                    handles.push(s.spawn(move || {
+                        matmul_block_into(a, b, chunk, lo_c, hi, k, m);
+                    }));
+                    lo = hi;
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        }
+        Tensor::new(n, m, out)
+    }
+}
+
+fn matmul_block(a: &[f64], b: &[f64], out: &mut [f64], lo: usize, hi: usize, k: usize, m: usize) {
+    for r in lo..hi {
+        for kk in 0..k {
+            let av = a[r * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * m..(kk + 1) * m];
+            let orow = &mut out[r * m..(r + 1) * m];
+            for c in 0..m {
+                orow[c] += av * brow[c];
+            }
+        }
+    }
+}
+
+fn matmul_block_into(a: &[f64], b: &[f64], chunk: &mut [f64], lo: usize, hi: usize, k: usize, m: usize) {
+    for (ri, r) in (lo..hi).enumerate() {
+        for kk in 0..k {
+            let av = a[r * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * m..(kk + 1) * m];
+            let orow = &mut chunk[ri * m..(ri + 1) * m];
+            for c in 0..m {
+                orow[c] += av * brow[c];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::new(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let x = Tensor::new(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let col = Tensor::new(2, 1, vec![10.0, 20.0]);
+        let row = Tensor::new(1, 2, vec![100.0, 200.0]);
+        let y = x.add_col_row(&col, &row);
+        assert_eq!(y.data(), &[111.0, 212.0, 123.0, 224.0]);
+        let (mins, args) = y.min_dim1();
+        assert_eq!(mins.data(), &[111.0, 123.0]);
+        assert_eq!(args, vec![0, 0]);
+        assert!((x.logsumexp_dim1().data()[0] - (1f64.exp() + 2f64.exp()).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose().transpose();
+        assert_eq!(a.data(), t.data());
+    }
+}

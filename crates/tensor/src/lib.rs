@@ -1,0 +1,17 @@
+//! `tensor` — an eager, operator-granular autograd tensor library.
+//!
+//! This crate is the reproduction's stand-in for PyTorch in the paper's
+//! evaluation (Tables 3–6): dense and CSR tensors, a small set of vectorised
+//! operators, and a dynamic tape that materialises one gradient per
+//! recorded operator on the backward pass. It intentionally shares the
+//! qualitative cost profile of an eager framework — per-operator dispatch,
+//! materialised intermediates, no cross-operator fusion — which is what the
+//! paper's comparisons exercise.
+
+pub mod autograd;
+pub mod dense;
+pub mod sparse;
+
+pub use autograd::{Graph, Var};
+pub use dense::Tensor;
+pub use sparse::CsrMatrix;

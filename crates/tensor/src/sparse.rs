@@ -1,0 +1,117 @@
+//! CSR sparse matrices for the sparse k-means baseline (the paper's
+//! PyTorch implementation is forced into COO by AD limitations; we keep CSR
+//! and note the substitution in EXPERIMENTS.md — the measured quantity is
+//! the sparse-times-dense product either way).
+
+use crate::dense::Tensor;
+
+/// A CSR (compressed sparse row) matrix.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub row_ptr: Vec<usize>,
+    pub col_idx: Vec<usize>,
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> CsrMatrix {
+        assert_eq!(row_ptr.len(), rows + 1);
+        assert_eq!(col_idx.len(), values.len());
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row-wise squared norms (`rows × 1`).
+    pub fn row_sq_norms(&self) -> Tensor {
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out[r] += self.values[k] * self.values[k];
+            }
+        }
+        Tensor::new(self.rows, 1, out)
+    }
+
+    /// Sparse × dense product: `[rows × cols] · [cols × m] -> [rows × m]`.
+    pub fn spmm(&self, dense: &Tensor) -> Tensor {
+        assert_eq!(self.cols, dense.rows, "spmm shape mismatch");
+        let m = dense.cols;
+        let mut out = vec![0.0; self.rows * m];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                let drow = &dense.data()[c * m..(c + 1) * m];
+                let orow = &mut out[r * m..(r + 1) * m];
+                for j in 0..m {
+                    orow[j] += v * drow[j];
+                }
+            }
+        }
+        Tensor::new(self.rows, m, out)
+    }
+
+    /// Transposed sparse × dense product: `Aᵀ · B`, used for the backward
+    /// pass of `spmm` with respect to the dense operand.
+    pub fn spmm_transpose(&self, dense: &Tensor) -> Tensor {
+        assert_eq!(self.rows, dense.rows, "spmm_transpose shape mismatch");
+        let m = dense.cols;
+        let mut out = vec![0.0; self.cols * m];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                let drow = &dense.data()[r * m..(r + 1) * m];
+                let orow = &mut out[c * m..(c + 1) * m];
+                for j in 0..m {
+                    orow[j] += v * drow[j];
+                }
+            }
+        }
+        Tensor::new(self.cols, m, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [[1, 0, 2], [0, 3, 0]]
+        CsrMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = small();
+        let d = Tensor::new(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = a.spmm(&d);
+        assert_eq!(out.data(), &[11.0, 14.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense_transpose() {
+        let a = small();
+        let d = Tensor::new(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = a.spmm_transpose(&d);
+        // Aᵀ = [[1,0],[0,3],[2,0]]; Aᵀ·d = [[1,2],[9,12],[2,4]]
+        assert_eq!(out.data(), &[1.0, 2.0, 9.0, 12.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn row_norms() {
+        let a = small();
+        assert_eq!(a.row_sq_norms().data(), &[5.0, 9.0]);
+    }
+}

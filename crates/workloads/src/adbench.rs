@@ -1,0 +1,518 @@
+//! The remaining ADBench problems of Table 1: BA (bundle adjustment), HAND
+//! (hand tracking, simple and complicated) and D-LSTM (a recurrent sequence
+//! model). Each problem provides
+//!
+//! * an IR objective differentiated by `futhark_ad::vjp` (the "Futhark"
+//!   column),
+//! * the same objective for `tape_ad::gradient` (the "Tapenade" column), and
+//! * a hand-written Rust gradient (the "Manual" column), validated against
+//!   AD in the unit tests.
+//!
+//! The geometric models are simplified relative to ADBench (linearised
+//! rotations for BA, planar bone rotations for HAND, a tanh-RNN cell for
+//! D-LSTM); the simplifications are documented in EXPERIMENTS.md. The
+//! structural properties that matter for AD — indirect indexing of shared
+//! parameter arrays (BA), many-to-one weighted blends (HAND), a sequential
+//! recurrence (D-LSTM) — are preserved.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun};
+use fir::types::Type;
+use interp::{Array, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// BA — bundle adjustment
+// ---------------------------------------------------------------------
+
+/// A bundle-adjustment instance: `m` cameras (7 parameters each: rotation
+/// vector, translation, focal length), `p` 3-D points, `o` observations.
+#[derive(Debug, Clone)]
+pub struct BaData {
+    pub m: usize,
+    pub p: usize,
+    pub o: usize,
+    pub cams: Vec<f64>,    // m × 7
+    pub points: Vec<f64>,  // p × 3
+    pub cam_idx: Vec<i64>, // o
+    pub pt_idx: Vec<i64>,  // o
+    pub meas: Vec<f64>,    // o × 2
+}
+
+impl BaData {
+    pub fn generate(m: usize, p: usize, o: usize, seed: u64) -> BaData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        BaData {
+            m,
+            p,
+            o,
+            cams: (0..m * 7).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            points: (0..p * 3).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            cam_idx: (0..o).map(|_| rng.gen_range(0..m) as i64).collect(),
+            pt_idx: (0..o).map(|_| rng.gen_range(0..p) as i64).collect(),
+            meas: (0..o * 2).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        }
+    }
+
+    pub fn ir_args(&self) -> Vec<Value> {
+        vec![
+            Value::Arr(Array::from_f64(vec![self.m, 7], self.cams.clone())),
+            Value::Arr(Array::from_f64(vec![self.p, 3], self.points.clone())),
+            Value::from(self.cam_idx.clone()),
+            Value::from(self.pt_idx.clone()),
+            Value::Arr(Array::from_f64(vec![self.o, 2], self.meas.clone())),
+        ]
+    }
+}
+
+/// `ba(cams, points, cam_idx, pt_idx, meas) -> f64` — the total squared
+/// reprojection error, with a linearised rotation `R(r)·x ≈ x + r × x` and
+/// an orthographic projection `proj = f · (P_x, P_y)`.
+pub fn ba_objective_ir() -> Fun {
+    let mut b = Builder::new();
+    b.build_fun(
+        "ba_objective",
+        &[Type::arr_f64(2), Type::arr_f64(2), Type::arr_i64(1), Type::arr_i64(1), Type::arr_f64(2)],
+        |b, ps| {
+            let cams = ps[0];
+            let points = ps[1];
+            let cam_idx = ps[2];
+            let pt_idx = ps[3];
+            let meas = ps[4];
+            let errs = b.map1(Type::arr_f64(1), &[cam_idx, pt_idx, meas], |b, es| {
+                let ci = es[0];
+                let pi = es[1];
+                let ms = es[2];
+                let cam = b.index(cams, &[ci.into()]);
+                let pt = b.index(points, &[pi.into()]);
+                let r0 = b.index(cam, &[Atom::i64(0)]);
+                let r1 = b.index(cam, &[Atom::i64(1)]);
+                let r2 = b.index(cam, &[Atom::i64(2)]);
+                let t0 = b.index(cam, &[Atom::i64(3)]);
+                let t1 = b.index(cam, &[Atom::i64(4)]);
+                let f = b.index(cam, &[Atom::i64(6)]);
+                let x0 = b.index(pt, &[Atom::i64(0)]);
+                let x1 = b.index(pt, &[Atom::i64(1)]);
+                let x2 = b.index(pt, &[Atom::i64(2)]);
+                // P = x + r × x + t  (only the first two components matter).
+                let r1x2 = b.fmul(r1.into(), x2.into());
+                let r2x1 = b.fmul(r2.into(), x1.into());
+                let cross0 = b.fsub(r1x2, r2x1);
+                let r2x0 = b.fmul(r2.into(), x0.into());
+                let r0x2 = b.fmul(r0.into(), x2.into());
+                let cross1 = b.fsub(r2x0, r0x2);
+                let p0a = b.fadd(x0.into(), cross0);
+                let p0 = b.fadd(p0a, t0.into());
+                let p1a = b.fadd(x1.into(), cross1);
+                let p1 = b.fadd(p1a, t1.into());
+                let proj0 = b.fmul(f.into(), p0);
+                let proj1 = b.fmul(f.into(), p1);
+                let m0 = b.index(ms, &[Atom::i64(0)]);
+                let m1 = b.index(ms, &[Atom::i64(1)]);
+                let e0 = b.fsub(proj0, m0.into());
+                let e1 = b.fsub(proj1, m1.into());
+                let e0sq = b.fmul(e0, e0);
+                let e1sq = b.fmul(e1, e1);
+                vec![b.fadd(e0sq, e1sq)]
+            });
+            vec![Atom::Var(b.sum(errs))]
+        },
+    )
+}
+
+/// Hand-written BA objective and gradient (w.r.t. cameras and points).
+pub fn ba_manual(data: &BaData) -> (f64, Vec<f64>, Vec<f64>) {
+    let mut cost = 0.0;
+    let mut d_cams = vec![0.0; data.m * 7];
+    let mut d_pts = vec![0.0; data.p * 3];
+    for k in 0..data.o {
+        let c = data.cam_idx[k] as usize;
+        let q = data.pt_idx[k] as usize;
+        let cam = &data.cams[c * 7..(c + 1) * 7];
+        let x = &data.points[q * 3..(q + 1) * 3];
+        let (r0, r1, r2, t0, t1, f) = (cam[0], cam[1], cam[2], cam[3], cam[4], cam[6]);
+        let p0 = x[0] + r1 * x[2] - r2 * x[1] + t0;
+        let p1 = x[1] + r2 * x[0] - r0 * x[2] + t1;
+        let e0 = f * p0 - data.meas[k * 2];
+        let e1 = f * p1 - data.meas[k * 2 + 1];
+        cost += e0 * e0 + e1 * e1;
+        let (g0, g1) = (2.0 * e0, 2.0 * e1);
+        // Camera gradients.
+        d_cams[c * 7] += g1 * f * (-x[2]); // r0 (only P1 depends on it)
+        d_cams[c * 7 + 1] += g0 * f * x[2]; // r1
+        d_cams[c * 7 + 2] += g0 * f * (-x[1]) + g1 * f * x[0]; // r2
+        d_cams[c * 7 + 3] += g0 * f; // t0
+        d_cams[c * 7 + 4] += g1 * f; // t1
+        d_cams[c * 7 + 6] += g0 * p0 + g1 * p1; // focal
+        // Point gradients.
+        d_pts[q * 3] += g0 * f + g1 * f * r2;
+        d_pts[q * 3 + 1] += g0 * f * (-r2) + g1 * f;
+        d_pts[q * 3 + 2] += g0 * f * r1 + g1 * f * (-r0);
+    }
+    (cost, d_cams, d_pts)
+}
+
+// ---------------------------------------------------------------------
+// HAND — hand tracking
+// ---------------------------------------------------------------------
+
+/// A hand-tracking instance: `n` vertices blended over `bones` planar bone
+/// rotations. The "complicated" variant adds a per-vertex scale parameter
+/// `us` whose gradient is also required.
+#[derive(Debug, Clone)]
+pub struct HandData {
+    pub n: usize,
+    pub bones: usize,
+    pub theta: Vec<f64>,   // bones
+    pub base: Vec<f64>,    // n × 3
+    pub weights: Vec<f64>, // n × bones
+    pub targets: Vec<f64>, // n × 3
+    pub us: Vec<f64>,      // n (complicated variant only)
+}
+
+impl HandData {
+    pub fn generate(n: usize, bones: usize, seed: u64) -> HandData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut weights = vec![0.0; n * bones];
+        for i in 0..n {
+            let mut total = 0.0;
+            for b in 0..bones {
+                let w: f64 = rng.gen_range(0.0..1.0);
+                weights[i * bones + b] = w;
+                total += w;
+            }
+            for b in 0..bones {
+                weights[i * bones + b] /= total;
+            }
+        }
+        HandData {
+            n,
+            bones,
+            theta: (0..bones).map(|_| rng.gen_range(-0.8..0.8)).collect(),
+            base: (0..n * 3).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            weights,
+            targets: (0..n * 3).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            us: (0..n).map(|_| rng.gen_range(-0.2..0.2)).collect(),
+        }
+    }
+
+    pub fn ir_args(&self, complicated: bool) -> Vec<Value> {
+        let mut args = vec![
+            Value::from(self.theta.clone()),
+            Value::Arr(Array::from_f64(vec![self.n, 3], self.base.clone())),
+            Value::Arr(Array::from_f64(vec![self.n, self.bones], self.weights.clone())),
+            Value::Arr(Array::from_f64(vec![self.n, 3], self.targets.clone())),
+        ];
+        if complicated {
+            args.push(Value::from(self.us.clone()));
+        }
+        args
+    }
+}
+
+/// `hand(theta, base, weights, targets[, us]) -> f64`.
+pub fn hand_objective_ir(complicated: bool) -> Fun {
+    let mut b = Builder::new();
+    let mut params = vec![Type::arr_f64(1), Type::arr_f64(2), Type::arr_f64(2), Type::arr_f64(2)];
+    if complicated {
+        params.push(Type::arr_f64(1));
+    }
+    b.build_fun(
+        if complicated { "hand_complicated" } else { "hand_simple" },
+        &params,
+        |b, ps| {
+            let theta = ps[0];
+            let base = ps[1];
+            let weights = ps[2];
+            let targets = ps[3];
+            let us = if complicated { Some(ps[4]) } else { None };
+            let per_vertex_args: Vec<_> = if let Some(u) = us {
+                vec![base, weights, targets, u]
+            } else {
+                vec![base, weights, targets]
+            };
+            let errs = b.map1(Type::arr_f64(1), &per_vertex_args, |b, es| {
+                let bp = es[0];
+                let ws = es[1];
+                let tg = es[2];
+                let x = b.index(bp, &[Atom::i64(0)]);
+                let y = b.index(bp, &[Atom::i64(1)]);
+                let z = b.index(bp, &[Atom::i64(2)]);
+                // Blend the planar bone rotations with the vertex weights.
+                let blended = b.map(
+                    &[Type::arr_f64(1), Type::arr_f64(1), Type::arr_f64(1)],
+                    &[theta, ws],
+                    |b, ts| {
+                        let th = ts[0];
+                        let w = ts[1];
+                        let c = b.fcos(th.into());
+                        let s = b.fsin(th.into());
+                        let cx = b.fmul(c, x.into());
+                        let sy = b.fmul(s, y.into());
+                        let vx = b.fsub(cx, sy);
+                        let sx = b.fmul(s, x.into());
+                        let cy = b.fmul(c, y.into());
+                        let vy = b.fadd(sx, cy);
+                        vec![
+                            b.fmul(w.into(), vx),
+                            b.fmul(w.into(), vy),
+                            b.fmul(w.into(), z.into()),
+                        ]
+                    },
+                );
+                let vx = b.sum(blended[0]);
+                let vy = b.sum(blended[1]);
+                let vz = b.sum(blended[2]);
+                let (vx, vy, vz) = if let Some(u) = us {
+                    let _ = u;
+                    let uv = es[3];
+                    let scale = b.fadd(Atom::f64(1.0), uv.into());
+                    (
+                        b.fmul(scale, vx.into()),
+                        b.fmul(scale, vy.into()),
+                        b.fmul(scale, vz.into()),
+                    )
+                } else {
+                    (vx.into(), vy.into(), vz.into())
+                };
+                let t0 = b.index(tg, &[Atom::i64(0)]);
+                let t1 = b.index(tg, &[Atom::i64(1)]);
+                let t2 = b.index(tg, &[Atom::i64(2)]);
+                let e0 = b.fsub(vx, t0.into());
+                let e1 = b.fsub(vy, t1.into());
+                let e2 = b.fsub(vz, t2.into());
+                let s0 = b.fmul(e0, e0);
+                let s1 = b.fmul(e1, e1);
+                let s2 = b.fmul(e2, e2);
+                let s01 = b.fadd(s0, s1);
+                vec![b.fadd(s01, s2)]
+            });
+            vec![Atom::Var(b.sum(errs))]
+        },
+    )
+}
+
+/// Hand-written HAND objective and gradient w.r.t. `theta` (and `us` in the
+/// complicated variant).
+pub fn hand_manual(data: &HandData, complicated: bool) -> (f64, Vec<f64>, Vec<f64>) {
+    let mut cost = 0.0;
+    let mut d_theta = vec![0.0; data.bones];
+    let mut d_us = vec![0.0; data.n];
+    for i in 0..data.n {
+        let base = &data.base[i * 3..(i + 1) * 3];
+        let tgt = &data.targets[i * 3..(i + 1) * 3];
+        let scale = if complicated { 1.0 + data.us[i] } else { 1.0 };
+        let mut v = [0.0; 3];
+        for bn in 0..data.bones {
+            let w = data.weights[i * data.bones + bn];
+            let (c, s) = (data.theta[bn].cos(), data.theta[bn].sin());
+            v[0] += w * (c * base[0] - s * base[1]);
+            v[1] += w * (s * base[0] + c * base[1]);
+            v[2] += w * base[2];
+        }
+        let vs = [v[0] * scale, v[1] * scale, v[2] * scale];
+        let e = [vs[0] - tgt[0], vs[1] - tgt[1], vs[2] - tgt[2]];
+        cost += e.iter().map(|x| x * x).sum::<f64>();
+        for bn in 0..data.bones {
+            let w = data.weights[i * data.bones + bn];
+            let (c, s) = (data.theta[bn].cos(), data.theta[bn].sin());
+            let dvx = w * (-s * base[0] - c * base[1]) * scale;
+            let dvy = w * (c * base[0] - s * base[1]) * scale;
+            d_theta[bn] += 2.0 * (e[0] * dvx + e[1] * dvy);
+        }
+        if complicated {
+            d_us[i] += 2.0 * (e[0] * v[0] + e[1] * v[1] + e[2] * v[2]);
+        }
+    }
+    (cost, d_theta, d_us)
+}
+
+// ---------------------------------------------------------------------
+// D-LSTM — a recurrent sequence model (tanh RNN cell)
+// ---------------------------------------------------------------------
+
+/// A D-LSTM (recurrent sequence model) instance.
+#[derive(Debug, Clone)]
+pub struct DlstmData {
+    pub seq: usize,
+    pub d: usize,
+    pub h: usize,
+    pub xs: Vec<f64>, // seq × d
+    pub w: Vec<f64>,  // h × h
+    pub u: Vec<f64>,  // h × d
+    pub b: Vec<f64>,  // h
+}
+
+impl DlstmData {
+    pub fn generate(seq: usize, d: usize, h: usize, seed: u64) -> DlstmData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = |len: usize, s: f64| -> Vec<f64> {
+            (0..len).map(|_| rng.gen_range(-1.0..1.0) * s).collect()
+        };
+        DlstmData { seq, d, h, xs: gen(seq * d, 1.0), w: gen(h * h, 0.4), u: gen(h * d, 0.4), b: gen(h, 0.1) }
+    }
+
+    pub fn ir_args(&self) -> Vec<Value> {
+        vec![
+            Value::Arr(Array::from_f64(vec![self.seq, self.d], self.xs.clone())),
+            Value::Arr(Array::from_f64(vec![self.h, self.h], self.w.clone())),
+            Value::Arr(Array::from_f64(vec![self.h, self.d], self.u.clone())),
+            Value::from(self.b.clone()),
+        ]
+    }
+}
+
+/// `dlstm(xs, w, u, b) -> f64`: `h_{t+1} = tanh(W h_t + U x_t + b)`, loss is
+/// the sum of squared hidden states over time.
+pub fn dlstm_objective_ir(h: usize) -> Fun {
+    let mut b = Builder::new();
+    b.build_fun(
+        "dlstm_objective",
+        &[Type::arr_f64(2), Type::arr_f64(2), Type::arr_f64(2), Type::arr_f64(1)],
+        |b, ps| {
+            let xs = ps[0];
+            let w = ps[1];
+            let u = ps[2];
+            let bias = ps[3];
+            let seq = b.len(xs);
+            let hn = Atom::i64(h as i64);
+            let h0 = b.replicate(hn, Atom::f64(0.0));
+            let out = b.loop_(
+                &[(Type::arr_f64(1), Atom::Var(h0)), (Type::F64, Atom::f64(0.0))],
+                seq,
+                |b, t, state| {
+                    let hprev = state[0];
+                    let loss = state[1];
+                    let xt = b.index(xs, &[t.into()]);
+                    let hnew = b.map1(Type::arr_f64(1), &[w, u, bias], |b, rows| {
+                        let wrow = rows[0];
+                        let urow = rows[1];
+                        let bj = rows[2];
+                        let wh = b.map1(Type::arr_f64(1), &[wrow, hprev], |b, es| {
+                            vec![b.fmul(es[0].into(), es[1].into())]
+                        });
+                        let ux = b.map1(Type::arr_f64(1), &[urow, xt], |b, es| {
+                            vec![b.fmul(es[0].into(), es[1].into())]
+                        });
+                        let s1 = b.sum(wh);
+                        let s2 = b.sum(ux);
+                        let s = b.fadd(s1.into(), s2.into());
+                        let pre = b.fadd(s, bj.into());
+                        vec![b.ftanh(pre)]
+                    });
+                    let sq = b.map1(Type::arr_f64(1), &[hnew], |b, es| {
+                        vec![b.fmul(es[0].into(), es[0].into())]
+                    });
+                    let step = b.sum(sq);
+                    let loss2 = b.fadd(loss.into(), step.into());
+                    vec![Atom::Var(hnew), loss2]
+                },
+            );
+            vec![out[1].into()]
+        },
+    )
+}
+
+/// Hand-written BPTT gradient for the D-LSTM (w.r.t. `w`, `u`, `b`).
+pub fn dlstm_manual(data: &DlstmData) -> (f64, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let DlstmData { seq, d, h, xs, w, u, b } = data;
+    let (seq, d, h) = (*seq, *d, *h);
+    // Forward pass, storing hidden states and pre-activations.
+    let mut hs = vec![vec![0.0; h]];
+    let mut loss = 0.0;
+    for t in 0..seq {
+        let x = &xs[t * d..(t + 1) * d];
+        let prev = hs[t].clone();
+        let mut cur = vec![0.0; h];
+        for j in 0..h {
+            let mut pre = b[j];
+            for l in 0..h {
+                pre += w[j * h + l] * prev[l];
+            }
+            for l in 0..d {
+                pre += u[j * d + l] * x[l];
+            }
+            cur[j] = pre.tanh();
+            loss += cur[j] * cur[j];
+        }
+        hs.push(cur);
+    }
+    // Backward pass.
+    let mut dw = vec![0.0; h * h];
+    let mut du = vec![0.0; h * d];
+    let mut db = vec![0.0; h];
+    let mut dh_next = vec![0.0; h];
+    for t in (0..seq).rev() {
+        let x = &xs[t * d..(t + 1) * d];
+        let prev = &hs[t];
+        let cur = &hs[t + 1];
+        let mut dh_prev = vec![0.0; h];
+        for j in 0..h {
+            let dh = dh_next[j] + 2.0 * cur[j];
+            let dpre = dh * (1.0 - cur[j] * cur[j]);
+            db[j] += dpre;
+            for l in 0..h {
+                dw[j * h + l] += dpre * prev[l];
+                dh_prev[l] += dpre * w[j * h + l];
+            }
+            for l in 0..d {
+                du[j * d + l] += dpre * x[l];
+            }
+        }
+        dh_next = dh_prev;
+    }
+    (loss, dw, du, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futhark_ad::gradcheck::{max_rel_error, reverse_gradient};
+    use interp::Interp;
+
+    #[test]
+    fn ba_gradient_matches_manual() {
+        let data = BaData::generate(3, 5, 12, 1);
+        let fun = ba_objective_ir();
+        let interp = Interp::sequential();
+        let (val, ad) = reverse_gradient(&interp, &fun, &data.ir_args());
+        let (cost, d_cams, d_pts) = ba_manual(&data);
+        assert!((val - cost).abs() < 1e-9);
+        let manual: Vec<f64> = d_cams.into_iter().chain(d_pts).collect();
+        // Adjoints come back in parameter order: cams, points, then meas
+        // (the measurements' adjoint is not compared).
+        let want_len = data.m * 7 + data.p * 3;
+        assert!(max_rel_error(&ad[..want_len], &manual) < 1e-7);
+    }
+
+    #[test]
+    fn hand_gradients_match_manual() {
+        let data = HandData::generate(6, 3, 2);
+        for complicated in [false, true] {
+            let fun = hand_objective_ir(complicated);
+            let interp = Interp::sequential();
+            let (val, ad) = reverse_gradient(&interp, &fun, &data.ir_args(complicated));
+            let (cost, d_theta, d_us) = hand_manual(&data, complicated);
+            assert!((val - cost).abs() < 1e-9);
+            assert!(max_rel_error(&ad[..data.bones], &d_theta) < 1e-7);
+            if complicated {
+                let tail = &ad[ad.len() - data.n..];
+                assert!(max_rel_error(tail, &d_us) < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn dlstm_gradient_matches_manual_bptt() {
+        let data = DlstmData::generate(4, 3, 3, 5);
+        let fun = dlstm_objective_ir(data.h);
+        let interp = Interp::sequential();
+        let (val, ad) = reverse_gradient(&interp, &fun, &data.ir_args());
+        let (loss, dw, du, db) = dlstm_manual(&data);
+        assert!((val - loss).abs() < 1e-9);
+        let offset = data.seq * data.d;
+        let manual: Vec<f64> = dw.into_iter().chain(du).chain(db).collect();
+        assert!(max_rel_error(&ad[offset..], &manual) < 1e-7);
+    }
+}

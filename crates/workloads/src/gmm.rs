@@ -1,0 +1,285 @@
+//! The GMM (Gaussian Mixture Model) log-likelihood objective of ADBench,
+//! with diagonal covariances.
+//!
+//! The ADBench GMM parameterises covariances with an inverse Cholesky
+//! factor (`Q` matrices); we substitute diagonal covariances (log standard
+//! deviations), which keeps the same computational structure — an `n × K`
+//! map of per-component quadratic forms followed by a log-sum-exp reduction
+//! — while making the hand-written gradient (the "Manual" column) tractable.
+//! The substitution is recorded in EXPERIMENTS.md.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun};
+use fir::types::Type;
+use interp::{Array, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ir_util::logsumexp;
+
+/// A GMM problem instance: `n` points of dimension `d`, `k` components.
+#[derive(Debug, Clone)]
+pub struct GmmData {
+    pub n: usize,
+    pub d: usize,
+    pub k: usize,
+    pub xs: Vec<f64>,          // n × d
+    pub alphas: Vec<f64>,      // k
+    pub means: Vec<f64>,       // k × d
+    pub log_sigmas: Vec<f64>,  // k × d
+}
+
+impl GmmData {
+    /// Generate a synthetic instance with the given shape (matching the
+    /// parameter counts of the ADBench datasets of Table 5a).
+    pub fn generate(n: usize, d: usize, k: usize, seed: u64) -> GmmData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let gen = |rng: &mut SmallRng, len: usize, scale: f64| -> Vec<f64> {
+            (0..len).map(|_| rng.gen_range(-1.0..1.0) * scale).collect()
+        };
+        GmmData {
+            n,
+            d,
+            k,
+            xs: gen(&mut rng, n * d, 2.0),
+            alphas: gen(&mut rng, k, 1.0),
+            means: gen(&mut rng, k * d, 1.5),
+            log_sigmas: gen(&mut rng, k * d, 0.3),
+        }
+    }
+
+    /// Arguments in the order expected by [`objective_ir`]: `xs`, `alphas`,
+    /// `means`, `log_sigmas`.
+    pub fn ir_args(&self) -> Vec<Value> {
+        vec![
+            Value::Arr(Array::from_f64(vec![self.n, self.d], self.xs.clone())),
+            Value::from(self.alphas.clone()),
+            Value::Arr(Array::from_f64(vec![self.k, self.d], self.means.clone())),
+            Value::Arr(Array::from_f64(vec![self.k, self.d], self.log_sigmas.clone())),
+        ]
+    }
+
+    /// Number of differentiable parameters (alphas, means, log_sigmas — the
+    /// data points are inputs, not parameters, but the IR formulation also
+    /// returns their adjoints which the harness simply ignores).
+    pub fn num_params(&self) -> usize {
+        self.k + 2 * self.k * self.d
+    }
+}
+
+/// Build the GMM log-likelihood as an IR function
+/// `gmm(xs, alphas, means, log_sigmas) -> f64`.
+pub fn objective_ir() -> Fun {
+    let mut b = Builder::new();
+    b.build_fun(
+        "gmm_objective",
+        &[Type::arr_f64(2), Type::arr_f64(1), Type::arr_f64(2), Type::arr_f64(2)],
+        |b, ps| {
+            let xs = ps[0];
+            let alphas = ps[1];
+            let means = ps[2];
+            let log_sigmas = ps[3];
+            // Per-point log-likelihood.
+            let lls = b.map1(Type::arr_f64(1), &[xs], |b, xrow| {
+                let x = xrow[0];
+                let comps = b.map1(Type::arr_f64(1), &[alphas, means, log_sigmas], |b, es| {
+                    let alpha = es[0];
+                    let mu = es[1];
+                    let ls = es[2];
+                    // Mahalanobis-like quadratic form with diagonal sigma.
+                    let terms = b.map1(Type::arr_f64(1), &[x, mu, ls], |b, ts| {
+                        let diff = b.fsub(ts[0].into(), ts[1].into());
+                        let nls = b.fneg(ts[2].into());
+                        let inv_sigma = b.fexp(nls);
+                        let z = b.fmul(diff, inv_sigma);
+                        vec![b.fmul(z, z)]
+                    });
+                    let quad = b.sum(terms);
+                    let slog = b.sum(ls);
+                    let half = b.fmul(Atom::f64(0.5), quad.into());
+                    let t = b.fsub(alpha.into(), slog.into());
+                    vec![b.fsub(t, half)]
+                });
+                vec![logsumexp(b, comps)]
+            });
+            let total = b.sum(lls);
+            // Normalisation term: n * logsumexp(alphas).
+            let n = b.len(xs);
+            let nf = b.to_f64(n);
+            let lse_alpha = logsumexp(b, alphas);
+            let norm = b.fmul(nf, lse_alpha);
+            vec![b.fsub(total.into(), norm)]
+        },
+    )
+}
+
+/// The objective evaluated directly in Rust (reference / "Manual" primal).
+pub fn objective_manual(data: &GmmData) -> f64 {
+    let GmmData { n, d, k, xs, alphas, means, log_sigmas } = data;
+    let (n, d, k) = (*n, *d, *k);
+    let mut total = 0.0;
+    for i in 0..n {
+        let x = &xs[i * d..(i + 1) * d];
+        let mut comps = Vec::with_capacity(k);
+        for c in 0..k {
+            let mu = &means[c * d..(c + 1) * d];
+            let ls = &log_sigmas[c * d..(c + 1) * d];
+            let mut quad = 0.0;
+            let mut slog = 0.0;
+            for j in 0..d {
+                let z = (x[j] - mu[j]) * (-ls[j]).exp();
+                quad += z * z;
+                slog += ls[j];
+            }
+            comps.push(alphas[c] - slog - 0.5 * quad);
+        }
+        total += logsumexp_slice(&comps);
+    }
+    total - n as f64 * logsumexp_slice(alphas)
+}
+
+/// Hand-written gradient with respect to (alphas, means, log_sigmas) — the
+/// "Manual" column of Table 1.
+pub fn gradient_manual(data: &GmmData) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let GmmData { n, d, k, xs, alphas, means, log_sigmas } = data;
+    let (n, d, k) = (*n, *d, *k);
+    let mut d_alpha = vec![0.0; k];
+    let mut d_mu = vec![0.0; k * d];
+    let mut d_ls = vec![0.0; k * d];
+    for i in 0..n {
+        let x = &xs[i * d..(i + 1) * d];
+        let mut comps = Vec::with_capacity(k);
+        for c in 0..k {
+            let mu = &means[c * d..(c + 1) * d];
+            let ls = &log_sigmas[c * d..(c + 1) * d];
+            let mut quad = 0.0;
+            let mut slog = 0.0;
+            for j in 0..d {
+                let z = (x[j] - mu[j]) * (-ls[j]).exp();
+                quad += z * z;
+                slog += ls[j];
+            }
+            comps.push(alphas[c] - slog - 0.5 * quad);
+        }
+        let lse = logsumexp_slice(&comps);
+        for c in 0..k {
+            let w = (comps[c] - lse).exp(); // softmax weight
+            d_alpha[c] += w;
+            let mu = &means[c * d..(c + 1) * d];
+            let ls = &log_sigmas[c * d..(c + 1) * d];
+            for j in 0..d {
+                let inv2 = (-2.0 * ls[j]).exp();
+                let diff = x[j] - mu[j];
+                d_mu[c * d + j] += w * diff * inv2;
+                d_ls[c * d + j] += w * (diff * diff * inv2 - 1.0);
+            }
+        }
+    }
+    // Gradient of the -n * logsumexp(alphas) term.
+    let lse_a = logsumexp_slice(alphas);
+    for c in 0..k {
+        d_alpha[c] -= n as f64 * (alphas[c] - lse_a).exp();
+    }
+    (d_alpha, d_mu, d_ls)
+}
+
+/// The objective and gradient computed with the PyTorch-like `tensor`
+/// baseline (vectorised, operator-granular tape).
+pub fn gradient_tensor(data: &GmmData) -> (f64, Vec<f64>) {
+    use tensor::{Graph, Tensor};
+    let GmmData { n, d, k, xs, alphas, means, log_sigmas } = data;
+    let (n, d, k) = (*n, *d, *k);
+    let g = Graph::new();
+    let x = g.leaf(Tensor::new(n, d, xs.clone()));
+    let x2 = g.mul(x, x);
+    let a = g.leaf(Tensor::new(1, k, alphas.clone()));
+    let mu = g.leaf(Tensor::new(k, d, means.clone()));
+    let ls = g.leaf(Tensor::new(k, d, log_sigmas.clone()));
+    // A = exp(-2*ls), per-component inverse variances.
+    let m2ls = g.scale(ls, -2.0);
+    let inv_var = g.exp(m2ls);
+    // quad[i,c] = sum_j (x_ij - mu_cj)^2 * invvar_cj
+    //           = X² · Aᵀ - 2 X · (mu ⊙ A)ᵀ + rowvec(sum_j mu² A)
+    let inv_var_t = g.transpose(inv_var);
+    let t1 = g.matmul(x2, inv_var_t);
+    let mu_a = g.mul(mu, inv_var);
+    let mu_a_t = g.transpose(mu_a);
+    let t2 = g.matmul(x, mu_a_t);
+    let t2 = g.scale(t2, -2.0);
+    let mu2a = g.mul(mu, mu_a);
+    let mu2a_sum = g.sum_dim1(mu2a); // [k,1]
+    let mu2a_row = g.transpose(mu2a_sum); // [1,k]
+    let zeros_col = g.leaf(Tensor::zeros(n, 1));
+    let t12 = g.add(t1, t2);
+    let quad = g.add_col_row(t12, zeros_col, mu2a_row);
+    // ll[i,c] = alpha_c - sum_j ls_cj - 0.5 quad[i,c]
+    let slog = g.sum_dim1(ls); // [k,1]
+    let slog_row = g.transpose(slog);
+    let neg_slog_row = g.scale(slog_row, -1.0);
+    let half_quad = g.scale(quad, -0.5);
+    let a_minus = g.add(a, neg_slog_row); // [1,k]
+    let zeros_col2 = g.leaf(Tensor::zeros(n, 1));
+    let ll = g.add_col_row(half_quad, zeros_col2, a_minus);
+    let per_point = g.logsumexp_dim1(ll);
+    let total = g.sum(per_point);
+    // - n * logsumexp(alphas)
+    let lse_a = g.logsumexp_dim1(a); // [1,1]
+    let norm = g.scale(lse_a, -(n as f64));
+    let norm_s = g.sum(norm);
+    let obj = g.add(total, norm_s);
+    let grads = g.backward(obj);
+    let mut flat = Vec::with_capacity(data.num_params());
+    flat.extend_from_slice(g.grad(&grads, a).data());
+    flat.extend_from_slice(g.grad(&grads, mu).data());
+    flat.extend_from_slice(g.grad(&grads, ls).data());
+    (g.value(obj).item(), flat)
+}
+
+fn logsumexp_slice(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futhark_ad::gradcheck::{finite_diff_gradient, max_rel_error, reverse_gradient};
+    use interp::Interp;
+
+    #[test]
+    fn ir_objective_matches_manual() {
+        let data = GmmData::generate(7, 3, 4, 1);
+        let fun = objective_ir();
+        let out = Interp::sequential().run(&fun, &data.ir_args());
+        let want = objective_manual(&data);
+        assert!((out[0].as_f64() - want).abs() < 1e-9, "{} vs {want}", out[0].as_f64());
+    }
+
+    #[test]
+    fn ad_gradient_matches_manual_and_fd() {
+        let data = GmmData::generate(5, 2, 3, 2);
+        let fun = objective_ir();
+        let interp = Interp::sequential();
+        let args = data.ir_args();
+        let (_, ad) = reverse_gradient(&interp, &fun, &args);
+        // The first n*d entries are the adjoint of the data points; the
+        // remaining entries are the parameter gradients.
+        let offset = data.n * data.d;
+        let (da, dm, dl) = gradient_manual(&data);
+        let manual: Vec<f64> = da.into_iter().chain(dm).chain(dl).collect();
+        let ad_params = &ad[offset..];
+        assert!(max_rel_error(ad_params, &manual) < 1e-7);
+        let fd = finite_diff_gradient(&interp, &fun, &args, 1e-5);
+        assert!(max_rel_error(&ad, &fd) < 1e-4);
+    }
+
+    #[test]
+    fn tensor_baseline_matches_manual() {
+        let data = GmmData::generate(6, 3, 2, 3);
+        let (val, grad) = gradient_tensor(&data);
+        assert!((val - objective_manual(&data)).abs() < 1e-9);
+        let (da, dm, dl) = gradient_manual(&data);
+        let manual: Vec<f64> = da.into_iter().chain(dm).chain(dl).collect();
+        assert!(max_rel_error(&grad, &manual) < 1e-8);
+    }
+}

@@ -1,0 +1,128 @@
+//! Small IR-building helpers shared by the workload definitions: matrix
+//! products, elementwise maps, log-sum-exp, squared distances.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, VarId};
+use fir::types::Type;
+
+/// `logsumexp xs = m + log (sum (map (\a -> exp (a - m)) xs))` with
+/// `m = maximum xs` — the numerically stable formulation used by GMM.
+pub fn logsumexp(b: &mut Builder, xs: VarId) -> Atom {
+    let m = b.maximum(xs);
+    let shifted = b.map1(Type::arr_f64(1), &[xs], |b, es| {
+        let d = b.fsub(es[0].into(), m.into());
+        vec![b.fexp(d)]
+    });
+    let s = b.sum(shifted);
+    let l = b.flog(s.into());
+    b.fadd(m.into(), l)
+}
+
+/// Squared Euclidean distance between two rank-1 arrays of equal length.
+pub fn sq_distance(b: &mut Builder, x: VarId, y: VarId) -> Atom {
+    let sq = b.map1(Type::arr_f64(1), &[x, y], |b, es| {
+        let d = b.fsub(es[0].into(), es[1].into());
+        vec![b.fmul(d, d)]
+    });
+    Atom::Var(b.sum(sq))
+}
+
+/// Dense matrix product `a · bm` where `a : [m][k]f64` and `bm : [k][n]f64`,
+/// written as the nested map/reduce nest of §6.1.
+pub fn matmul(b: &mut Builder, a: VarId, bm: VarId) -> VarId {
+    b.map1(Type::arr_f64(2), &[a], |b, rows| {
+        let arow = rows[0];
+        let b0 = b.index(bm, &[Atom::i64(0)]);
+        let n = b.len(b0);
+        let cols = b.iota(n);
+        let out_row = b.map1(Type::arr_f64(1), &[cols], |b, jv| {
+            let j = jv[0];
+            let k = b.len(arow);
+            let ks = b.iota(k);
+            let prods = b.map1(Type::arr_f64(1), &[ks], |b, kv| {
+                let aik = b.index(arow, &[kv[0].into()]);
+                let bkj = b.index(bm, &[kv[0].into(), j.into()]);
+                vec![b.fmul(aik.into(), bkj.into())]
+            });
+            vec![Atom::Var(b.sum(prods))]
+        });
+        vec![Atom::Var(out_row)]
+    })
+}
+
+/// Elementwise binary map over two equally-shaped matrices.
+pub fn mat_map2(
+    b: &mut Builder,
+    x: VarId,
+    y: VarId,
+    f: impl Fn(&mut Builder, Atom, Atom) -> Atom + Copy,
+) -> VarId {
+    b.map1(Type::arr_f64(2), &[x, y], |b, rows| {
+        let r = b.map1(Type::arr_f64(1), &[rows[0], rows[1]], |b, es| {
+            vec![f(b, es[0].into(), es[1].into())]
+        });
+        vec![Atom::Var(r)]
+    })
+}
+
+/// Elementwise unary map over a matrix.
+pub fn mat_map(
+    b: &mut Builder,
+    x: VarId,
+    f: impl Fn(&mut Builder, Atom) -> Atom + Copy,
+) -> VarId {
+    b.map1(Type::arr_f64(2), &[x], |b, rows| {
+        let r = b.map1(Type::arr_f64(1), &[rows[0]], |b, es| vec![f(b, es[0].into())]);
+        vec![Atom::Var(r)]
+    })
+}
+
+/// Add a column-vector bias to every column of a matrix: `out[r][c] =
+/// x[r][c] + bias[r]`.
+pub fn add_bias(b: &mut Builder, x: VarId, bias: VarId) -> VarId {
+    b.map1(Type::arr_f64(2), &[x, bias], |b, es| {
+        let row = es[0];
+        let bi = es[1];
+        let r = b.map1(Type::arr_f64(1), &[row], |b, rs| {
+            vec![b.fadd(rs[0].into(), bi.into())]
+        });
+        vec![Atom::Var(r)]
+    })
+}
+
+/// Sum of all entries of a matrix.
+pub fn mat_sum(b: &mut Builder, x: VarId) -> Atom {
+    let rows = b.map1(Type::arr_f64(1), &[x], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
+    Atom::Var(b.sum(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::{Array, Interp, Value};
+
+    #[test]
+    fn matmul_ir_matches_reference() {
+        let mut b = Builder::new();
+        let f = b.build_fun("mm", &[Type::arr_f64(2), Type::arr_f64(2)], |b, ps| {
+            let c = matmul(b, ps[0], ps[1]);
+            vec![Atom::Var(c)]
+        });
+        let a = Value::Arr(Array::from_f64(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let bm = Value::Arr(Array::from_f64(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]));
+        let out = Interp::sequential().run(&f, &[a, bm]);
+        assert_eq!(out[0].as_arr().f64s(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn logsumexp_is_stable_and_correct() {
+        let mut b = Builder::new();
+        let f = b.build_fun("lse", &[Type::arr_f64(1)], |b, ps| {
+            vec![logsumexp(b, ps[0])]
+        });
+        let xs = vec![1.0, 2.0, 3.0];
+        let want = (xs.iter().map(|x: &f64| x.exp()).sum::<f64>()).ln();
+        let out = Interp::sequential().run(&f, &[Value::from(xs)]);
+        assert!((out[0].as_f64() - want).abs() < 1e-12);
+    }
+}

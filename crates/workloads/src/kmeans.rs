@@ -1,0 +1,388 @@
+//! Dense and sparse (CSR) k-means clustering cost functions — the paper's
+//! case studies 1 and 2 (Tables 3 and 4).
+//!
+//! The cost is `f(C) = Σ_p min_k ‖p − c_k‖²`. Newton's method needs the
+//! gradient (reverse mode) and the Hessian diagonal, which — following §7.4
+//! of the paper — is obtained with a *single* invocation of forward mode
+//! nested around reverse mode (`jvp(vjp(f))` applied to the all-ones
+//! direction), because the Hessian of `f` is diagonal.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun};
+use fir::types::Type;
+use interp::{Array, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ir_util::sq_distance;
+
+// ---------------------------------------------------------------------
+// Dense k-means
+// ---------------------------------------------------------------------
+
+/// A dense k-means instance: `n` points of dimension `d`, `k` centroids.
+#[derive(Debug, Clone)]
+pub struct KmeansData {
+    pub n: usize,
+    pub d: usize,
+    pub k: usize,
+    pub points: Vec<f64>,   // n × d
+    pub centers: Vec<f64>,  // k × d
+}
+
+impl KmeansData {
+    pub fn generate(n: usize, d: usize, k: usize, seed: u64) -> KmeansData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let points = (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let centers = (0..k * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        KmeansData { n, d, k, points, centers }
+    }
+
+    /// Arguments for [`dense_objective_ir`]: `points`, `centers`.
+    pub fn ir_args(&self) -> Vec<Value> {
+        vec![
+            Value::Arr(Array::from_f64(vec![self.n, self.d], self.points.clone())),
+            Value::Arr(Array::from_f64(vec![self.k, self.d], self.centers.clone())),
+        ]
+    }
+}
+
+/// `kmeans(points, centers) -> f64` as nested map/reduce over the IR.
+pub fn dense_objective_ir() -> Fun {
+    let mut b = Builder::new();
+    b.build_fun("kmeans_cost", &[Type::arr_f64(2), Type::arr_f64(2)], |b, ps| {
+        let points = ps[0];
+        let centers = ps[1];
+        let per_point = b.map1(Type::arr_f64(1), &[points], |b, prow| {
+            let p = prow[0];
+            let dists = b.map1(Type::arr_f64(1), &[centers], |b, crow| {
+                vec![sq_distance(b, p, crow[0])]
+            });
+            vec![Atom::Var(b.minimum(dists))]
+        });
+        vec![Atom::Var(b.sum(per_point))]
+    })
+}
+
+/// Hand-written cost, gradient and Hessian diagonal (the histogram-style
+/// manual implementation of §7.4): assign each point to its nearest centre,
+/// then accumulate per-centre sums.
+pub fn dense_manual(data: &KmeansData) -> (f64, Vec<f64>, Vec<f64>) {
+    let KmeansData { n, d, k, points, centers } = data;
+    let (n, d, k) = (*n, *d, *k);
+    let mut cost = 0.0;
+    let mut grad = vec![0.0; k * d];
+    let mut hess = vec![0.0; k * d];
+    for i in 0..n {
+        let p = &points[i * d..(i + 1) * d];
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let cc = &centers[c * d..(c + 1) * d];
+            let dist: f64 = p.iter().zip(cc).map(|(a, b)| (a - b) * (a - b)).sum();
+            if dist < best_d {
+                best_d = dist;
+                best = c;
+            }
+        }
+        cost += best_d;
+        let cc = &centers[best * d..(best + 1) * d];
+        for j in 0..d {
+            grad[best * d + j] += 2.0 * (cc[j] - p[j]);
+            hess[best * d + j] += 2.0;
+        }
+    }
+    (cost, grad, hess)
+}
+
+/// The PyTorch-like baseline: expanded pairwise distances (as the paper's
+/// PyTorch implementation does to avoid broadcasting blow-up), row-wise
+/// minimum, sum; gradient by the tape.
+pub fn dense_tensor_gradient(data: &KmeansData) -> (f64, Vec<f64>) {
+    use tensor::{Graph, Tensor};
+    let KmeansData { n, d, k, points, centers } = data;
+    let (n, d, k) = (*n, *d, *k);
+    let g = Graph::new();
+    let p = g.leaf(Tensor::new(n, d, points.clone()));
+    let c = g.leaf(Tensor::new(k, d, centers.clone()));
+    // ‖p − c‖² = ‖p‖² + ‖c‖² − 2 p·cᵀ
+    let p2 = g.mul(p, p);
+    let p2s = g.sum_dim1(p2); // [n,1]
+    let c2 = g.mul(c, c);
+    let c2s = g.sum_dim1(c2); // [k,1]
+    let c2row = g.transpose(c2s); // [1,k]
+    let ct = g.transpose(c);
+    let cross = g.matmul(p, ct); // [n,k]
+    let cross2 = g.scale(cross, -2.0);
+    let dists = g.add_col_row(cross2, p2s, c2row);
+    let mins = g.min_dim1(dists);
+    let cost = g.sum(mins);
+    let grads = g.backward(cost);
+    (g.value(cost).item(), g.grad(&grads, c).data().to_vec())
+}
+
+// ---------------------------------------------------------------------
+// Sparse k-means (CSR data, dense centroids)
+// ---------------------------------------------------------------------
+
+/// A sparse k-means instance in CSR format.
+#[derive(Debug, Clone)]
+pub struct SparseKmeansData {
+    pub n: usize,
+    pub d: usize,
+    pub k: usize,
+    pub values: Vec<f64>,
+    pub col_idx: Vec<i64>,
+    pub row_ptr: Vec<i64>,
+    pub centers: Vec<f64>, // k × d
+}
+
+impl SparseKmeansData {
+    /// Generate a synthetic CSR matrix with roughly `nnz_per_row` non-zeros
+    /// per row (the shape proxy for the paper's NLP workloads).
+    pub fn generate(n: usize, d: usize, k: usize, nnz_per_row: usize, seed: u64) -> SparseKmeansData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut values = Vec::new();
+        let mut col_idx = Vec::new();
+        let mut row_ptr = vec![0i64];
+        for _ in 0..n {
+            let nnz = 1 + rng.gen_range(0..nnz_per_row.max(1));
+            let mut cols: Vec<i64> = (0..nnz).map(|_| rng.gen_range(0..d) as i64).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            for c in cols {
+                col_idx.push(c);
+                values.push(rng.gen_range(0.1..1.0));
+            }
+            row_ptr.push(col_idx.len() as i64);
+        }
+        let centers = (0..k * d).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        SparseKmeansData { n, d, k, values, col_idx, row_ptr, centers }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arguments for [`sparse_objective_ir`]: `values`, `col_idx`,
+    /// `row_ptr`, `centers`.
+    pub fn ir_args(&self) -> Vec<Value> {
+        vec![
+            Value::from(self.values.clone()),
+            Value::from(self.col_idx.clone()),
+            Value::from(self.row_ptr.clone()),
+            Value::Arr(Array::from_f64(vec![self.k, self.d], self.centers.clone())),
+        ]
+    }
+}
+
+/// `kmeans_sparse(values, col_idx, row_ptr, centers) -> f64`.
+///
+/// Per row: `‖p‖² − 2 p·c_k + ‖c_k‖²` where the sparse dot products are
+/// accumulated with a sequential loop over the row's non-zeros (an inner
+/// loop nested inside the parallel map over rows — the nesting pattern the
+/// paper's technique is designed for).
+pub fn sparse_objective_ir() -> Fun {
+    let mut b = Builder::new();
+    b.build_fun(
+        "kmeans_sparse_cost",
+        &[Type::arr_f64(1), Type::arr_i64(1), Type::arr_i64(1), Type::arr_f64(2)],
+        |b, ps| {
+            let values = ps[0];
+            let col_idx = ps[1];
+            let row_ptr = ps[2];
+            let centers = ps[3];
+            // Per-centre squared norms.
+            let cnorms = b.map1(Type::arr_f64(1), &[centers], |b, crow| {
+                let sq = b.map1(Type::arr_f64(1), &[crow[0]], |b, es| {
+                    vec![b.fmul(es[0].into(), es[0].into())]
+                });
+                vec![Atom::Var(b.sum(sq))]
+            });
+            let nrows = b.len(row_ptr);
+            let n = b.isub(nrows, Atom::i64(1));
+            let rows = b.iota(n);
+            let per_row = b.map1(Type::arr_f64(1), &[rows], |b, iv| {
+                let i = iv[0];
+                let start = b.index(row_ptr, &[i.into()]);
+                let ip1 = b.iadd(i.into(), Atom::i64(1));
+                let stop = b.index(row_ptr, &[ip1]);
+                let nnz = b.isub(stop.into(), start.into());
+                let kcount = b.len(centers);
+                let zero_dots = b.replicate(kcount, Atom::f64(0.0));
+                // Accumulate ‖p‖² and p·c_k for every centre over the
+                // non-zeros of this row.
+                let acc = b.loop_(
+                    &[(Type::F64, Atom::f64(0.0)), (Type::arr_f64(1), Atom::Var(zero_dots))],
+                    nnz,
+                    |b, j, state| {
+                        let pnorm = state[0];
+                        let dots = state[1];
+                        let idx = b.iadd(start.into(), j.into());
+                        let v = b.index(values, &[idx]);
+                        let col = b.index(col_idx, &[idx]);
+                        let vv = b.fmul(v.into(), v.into());
+                        let pnorm2 = b.fadd(pnorm.into(), vv);
+                        let dots2 = b.map1(Type::arr_f64(1), &[centers, dots], |b, es| {
+                            let c_col = b.index(es[0], &[col.into()]);
+                            let contrib = b.fmul(v.into(), c_col.into());
+                            vec![b.fadd(es[1].into(), contrib)]
+                        });
+                        vec![pnorm2, Atom::Var(dots2)]
+                    },
+                );
+                let pnorm = acc[0];
+                let dots = acc[1];
+                // dist_k = pnorm − 2 dots_k + cnorm_k, then take the minimum.
+                let dists = b.map1(Type::arr_f64(1), &[dots, cnorms], |b, es| {
+                    let two = b.fmul(Atom::f64(2.0), es[0].into());
+                    let t = b.fsub(Atom::Var(pnorm), two);
+                    vec![b.fadd(t, es[1].into())]
+                });
+                vec![Atom::Var(b.minimum(dists))]
+            });
+            vec![Atom::Var(b.sum(per_row))]
+        },
+    )
+}
+
+/// Hand-written sparse k-means cost and gradient.
+pub fn sparse_manual(data: &SparseKmeansData) -> (f64, Vec<f64>) {
+    let SparseKmeansData { n, d, k, values, col_idx, row_ptr, centers } = data;
+    let (n, d, k) = (*n, *d, *k);
+    let cnorms: Vec<f64> = (0..k)
+        .map(|c| centers[c * d..(c + 1) * d].iter().map(|x| x * x).sum())
+        .collect();
+    let mut cost = 0.0;
+    let mut grad = vec![0.0; k * d];
+    for i in 0..n {
+        let (lo, hi) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+        let mut pnorm = 0.0;
+        let mut dots = vec![0.0; k];
+        for j in lo..hi {
+            let v = values[j];
+            let col = col_idx[j] as usize;
+            pnorm += v * v;
+            for (c, dot) in dots.iter_mut().enumerate() {
+                *dot += v * centers[c * d + col];
+            }
+        }
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let dist = pnorm - 2.0 * dots[c] + cnorms[c];
+            if dist < best_d {
+                best_d = dist;
+                best = c;
+            }
+        }
+        cost += best_d;
+        // d/dc of (−2 p·c + ‖c‖²) for the winning centre.
+        for j in lo..hi {
+            let col = col_idx[j] as usize;
+            grad[best * d + col] -= 2.0 * values[j];
+        }
+        for j in 0..d {
+            grad[best * d + j] += 2.0 * centers[best * d + j];
+        }
+    }
+    (cost, grad)
+}
+
+/// The PyTorch-like sparse baseline: CSR × dense products on the tape.
+pub fn sparse_tensor_gradient(data: &SparseKmeansData) -> (f64, Vec<f64>) {
+    use tensor::{CsrMatrix, Graph, Tensor};
+    let SparseKmeansData { n, d, k, values, col_idx, row_ptr, centers } = data;
+    let (n, d, k) = (*n, *d, *k);
+    let csr = CsrMatrix::new(
+        n,
+        d,
+        row_ptr.iter().map(|x| *x as usize).collect(),
+        col_idx.iter().map(|x| *x as usize).collect(),
+        values.clone(),
+    );
+    let g = Graph::new();
+    let c = g.leaf(Tensor::new(k, d, centers.clone()));
+    let c2 = g.mul(c, c);
+    let c2s = g.sum_dim1(c2);
+    let c2row = g.transpose(c2s);
+    let ct = g.transpose(c);
+    let cross = g.spmm(&csr, ct); // [n,k]
+    let cross2 = g.scale(cross, -2.0);
+    let pnorm = g.leaf(csr.row_sq_norms()); // constant w.r.t. centres
+    let dists = g.add_col_row(cross2, pnorm, c2row);
+    let mins = g.min_dim1(dists);
+    let cost = g.sum(mins);
+    let grads = g.backward(cost);
+    (g.value(cost).item(), g.grad(&grads, c).data().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futhark_ad::gradcheck::{max_rel_error, reverse_gradient};
+    use futhark_ad::{jvp, vjp};
+    use interp::Interp;
+
+    #[test]
+    fn dense_ir_matches_manual() {
+        let data = KmeansData::generate(20, 3, 4, 1);
+        let fun = dense_objective_ir();
+        let out = Interp::sequential().run(&fun, &data.ir_args());
+        let (cost, _, _) = dense_manual(&data);
+        assert!((out[0].as_f64() - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_ad_gradient_matches_manual_and_tensor() {
+        let data = KmeansData::generate(15, 2, 3, 2);
+        let fun = dense_objective_ir();
+        let interp = Interp::sequential();
+        let (_, ad) = reverse_gradient(&interp, &fun, &data.ir_args());
+        let offset = data.n * data.d; // skip the adjoint of the points
+        let (_, manual, _) = dense_manual(&data);
+        assert!(max_rel_error(&ad[offset..], &manual) < 1e-8);
+        let (_, tgrad) = dense_tensor_gradient(&data);
+        assert!(max_rel_error(&tgrad, &manual) < 1e-8);
+    }
+
+    #[test]
+    fn dense_hessian_diagonal_via_jvp_of_vjp() {
+        let data = KmeansData::generate(10, 2, 3, 3);
+        let fun = dense_objective_ir();
+        let grad_fun = vjp(&fun);
+        let hess_fun = jvp(&grad_fun);
+        let interp = Interp::sequential();
+        // Arguments: points, centers, seed=1, tangent(points)=0, tangent(centers)=ones, tangent(seed)=0.
+        let mut args = data.ir_args();
+        args.push(Value::F64(1.0));
+        args.push(Value::Arr(Array::zeros(fir::types::ScalarType::F64, vec![data.n, data.d])));
+        args.push(Value::Arr(Array::from_f64(
+            vec![data.k, data.d],
+            vec![1.0; data.k * data.d],
+        )));
+        args.push(Value::F64(0.0));
+        let out = interp.run(&hess_fun, &args);
+        // Output layout: cost, d_points, d_centers, then tangents of each
+        // differentiable output: d(cost), d(d_points), d(d_centers).
+        let hess_diag = out.last().unwrap().as_arr().f64s().to_vec();
+        let (_, _, manual_h) = dense_manual(&data);
+        assert!(max_rel_error(&hess_diag, &manual_h) < 1e-8);
+    }
+
+    #[test]
+    fn sparse_ir_matches_manual_gradient() {
+        let data = SparseKmeansData::generate(12, 8, 3, 4, 4);
+        let fun = sparse_objective_ir();
+        let interp = Interp::sequential();
+        let out = interp.run(&fun, &data.ir_args());
+        let (cost, manual) = sparse_manual(&data);
+        assert!((out[0].as_f64() - cost).abs() < 1e-9);
+        let (_, ad) = reverse_gradient(&interp, &fun, &data.ir_args());
+        let offset = data.nnz(); // adjoint of the CSR values comes first
+        assert!(max_rel_error(&ad[offset..], &manual) < 1e-7);
+        let (tcost, tgrad) = sparse_tensor_gradient(&data);
+        assert!((tcost - cost).abs() < 1e-9);
+        assert!(max_rel_error(&tgrad, &manual) < 1e-8);
+    }
+}

@@ -1,0 +1,22 @@
+//! `workloads` — the nine benchmarks of the paper's evaluation as IR
+//! programs, with data generators, hand-written ("Manual") derivatives and
+//! PyTorch-like tensor baselines.
+//!
+//! | Module | Paper benchmark | Used by |
+//! |---|---|---|
+//! | [`gmm`] | GMM (ADBench / Table 5) | Tables 1, 5 |
+//! | [`adbench`] | BA, HAND, D-LSTM | Table 1 |
+//! | [`kmeans`] | dense & sparse k-means | Tables 3, 4 |
+//! | [`lstm`] | LSTM sequence model | Table 6 |
+//! | [`mc`] | RSBench / XSBench ports | Table 2 |
+//!
+//! Every hand-written gradient is validated against the AD-generated one in
+//! this crate's unit tests, and every IR objective is gradient-checked
+//! against finite differences.
+
+pub mod adbench;
+pub mod gmm;
+pub mod ir_util;
+pub mod kmeans;
+pub mod lstm;
+pub mod mc;

@@ -1,0 +1,203 @@
+//! RSBench- and XSBench-like Monte Carlo neutron-transport lookup kernels
+//! (Table 2). Both are a single large `map` over lookups whose body contains
+//! sequential loops, data-dependent branching and indirect indexing —
+//! exactly the structure the paper ports to Futhark to compare against
+//! Enzyme. The nuclear data is synthetic; the differentiated quantity is the
+//! total macroscopic cross-section with respect to the nuclide data.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun};
+use fir::types::Type;
+use interp::{Array, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An XSBench-like instance: a unionised energy grid of `g` points,
+/// `nuclides` nuclides with pointwise cross sections, and `lookups` random
+/// (energy, material-density) queries.
+#[derive(Debug, Clone)]
+pub struct XsData {
+    pub g: usize,
+    pub nuclides: usize,
+    pub lookups: usize,
+    pub xs_data: Vec<f64>,   // nuclides × g
+    pub densities: Vec<f64>, // nuclides
+    pub energies: Vec<f64>,  // lookups in [0, 1)
+}
+
+impl XsData {
+    pub fn generate(g: usize, nuclides: usize, lookups: usize, seed: u64) -> XsData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        XsData {
+            g,
+            nuclides,
+            lookups,
+            xs_data: (0..nuclides * g).map(|_| rng.gen_range(0.1..2.0)).collect(),
+            densities: (0..nuclides).map(|_| rng.gen_range(0.01..1.0)).collect(),
+            energies: (0..lookups).map(|_| rng.gen_range(0.0..1.0)).collect(),
+        }
+    }
+
+    pub fn ir_args(&self) -> Vec<Value> {
+        vec![
+            Value::Arr(Array::from_f64(vec![self.nuclides, self.g], self.xs_data.clone())),
+            Value::from(self.densities.clone()),
+            Value::from(self.energies.clone()),
+        ]
+    }
+}
+
+/// `xsbench(xs_data, densities, energies) -> f64`: for every lookup, find
+/// the grid interval of its energy, interpolate each nuclide's cross
+/// section, weight by density and accumulate; the result is the sum over
+/// lookups of the macroscopic cross sections.
+pub fn xsbench_ir(g: usize) -> Fun {
+    let mut b = Builder::new();
+    b.build_fun(
+        "xsbench",
+        &[Type::arr_f64(2), Type::arr_f64(1), Type::arr_f64(1)],
+        |b, ps| {
+            let xs_data = ps[0];
+            let densities = ps[1];
+            let energies = ps[2];
+            let gm1 = Atom::f64((g - 1) as f64);
+            let per_lookup = b.map1(Type::arr_f64(1), &[energies], |b, es| {
+                let e = es[0];
+                // Grid interval and interpolation weight.
+                let scaled = b.fmul(e.into(), gm1);
+                let idx_f = b.to_i64(scaled);
+                let idx = b.imin(idx_f, Atom::i64((g - 2) as i64));
+                let idx_f64 = b.to_f64(idx);
+                let frac = b.fsub(scaled, idx_f64);
+                let idx1 = b.iadd(idx, Atom::i64(1));
+                // Sum over nuclides: density-weighted interpolated xs, with a
+                // branch that zeroes out negligible densities (the control
+                // flow the original kernels exhibit).
+                let contribs = b.map1(Type::arr_f64(1), &[xs_data, densities], |b, ns| {
+                    let row = ns[0];
+                    let dens = ns[1];
+                    let lo = b.index(row, &[idx]);
+                    let hi = b.index(row, &[idx1]);
+                    let diff = b.fsub(hi.into(), lo.into());
+                    let interp = b.fmul(frac, diff);
+                    let xs = b.fadd(lo.into(), interp);
+                    let is_small = b.lt(dens.into(), Atom::f64(0.05));
+                    let weighted = b.fmul(dens.into(), xs);
+                    let r = b.if_(is_small, &[Type::F64], |_b| vec![Atom::f64(0.0)], |_b| vec![weighted]);
+                    vec![r[0].into()]
+                });
+                vec![Atom::Var(b.sum(contribs))]
+            });
+            vec![Atom::Var(b.sum(per_lookup))]
+        },
+    )
+}
+
+/// An RSBench-like instance: windowed multipole resonances. Each nuclide
+/// has `windows` windows of `poles` poles; a lookup evaluates the resonance
+/// contribution of every pole in the window its energy falls into.
+#[derive(Debug, Clone)]
+pub struct RsData {
+    pub nuclides: usize,
+    pub windows: usize,
+    pub poles: usize,
+    pub lookups: usize,
+    pub amplitudes: Vec<f64>, // nuclides × windows × poles
+    pub centers: Vec<f64>,    // nuclides × windows × poles
+    pub widths: Vec<f64>,     // nuclides × windows × poles
+    pub energies: Vec<f64>,   // lookups
+}
+
+impl RsData {
+    pub fn generate(nuclides: usize, windows: usize, poles: usize, lookups: usize, seed: u64) -> RsData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let total = nuclides * windows * poles;
+        RsData {
+            nuclides,
+            windows,
+            poles,
+            lookups,
+            amplitudes: (0..total).map(|_| rng.gen_range(0.1..1.0)).collect(),
+            centers: (0..total).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            widths: (0..total).map(|_| rng.gen_range(0.05..0.3)).collect(),
+            energies: (0..lookups).map(|_| rng.gen_range(0.0..1.0)).collect(),
+        }
+    }
+
+    pub fn ir_args(&self) -> Vec<Value> {
+        let shape = vec![self.nuclides, self.windows, self.poles];
+        vec![
+            Value::Arr(Array::from_f64(shape.clone(), self.amplitudes.clone())),
+            Value::Arr(Array::from_f64(shape.clone(), self.centers.clone())),
+            Value::Arr(Array::from_f64(shape, self.widths.clone())),
+            Value::from(self.energies.clone()),
+        ]
+    }
+}
+
+/// `rsbench(amplitudes, centers, widths, energies) -> f64`: for every lookup
+/// and nuclide, evaluate the Lorentzian contribution of every pole in the
+/// energy's window with an inner sequential loop.
+pub fn rsbench_ir(windows: usize, poles: usize) -> Fun {
+    let mut b = Builder::new();
+    b.build_fun(
+        "rsbench",
+        &[Type::arr_f64(3), Type::arr_f64(3), Type::arr_f64(3), Type::arr_f64(1)],
+        |b, ps| {
+            let amps = ps[0];
+            let centers = ps[1];
+            let widths = ps[2];
+            let energies = ps[3];
+            let per_lookup = b.map1(Type::arr_f64(1), &[energies], |b, es| {
+                let e = es[0];
+                let scaled = b.fmul(e.into(), Atom::f64(windows as f64));
+                let w_f = b.to_i64(scaled);
+                let w = b.imin(w_f, Atom::i64((windows - 1) as i64));
+                let per_nuclide = b.map1(Type::arr_f64(1), &[amps, centers, widths], |b, ns| {
+                    let arow = b.index(ns[0], &[w.into()]);
+                    let crow = b.index(ns[1], &[w.into()]);
+                    let wrow = b.index(ns[2], &[w.into()]);
+                    // Inner sequential loop over the poles of the window.
+                    let acc = b.loop_(
+                        &[(Type::F64, Atom::f64(0.0))],
+                        Atom::i64(poles as i64),
+                        |b, p, state| {
+                            let a = b.index(arow, &[p.into()]);
+                            let c = b.index(crow, &[p.into()]);
+                            let wd = b.index(wrow, &[p.into()]);
+                            let de = b.fsub(e.into(), c.into());
+                            let de2 = b.fmul(de, de);
+                            let w2 = b.fmul(wd.into(), wd.into());
+                            let denom = b.fadd(de2, w2);
+                            let contrib = b.fdiv(a.into(), denom);
+                            vec![b.fadd(state[0].into(), contrib)]
+                        },
+                    );
+                    vec![acc[0].into()]
+                });
+                vec![Atom::Var(b.sum(per_nuclide))]
+            });
+            vec![Atom::Var(b.sum(per_lookup))]
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futhark_ad::gradcheck::assert_gradients_match;
+
+    #[test]
+    fn xsbench_gradient_matches_finite_differences() {
+        let data = XsData::generate(16, 4, 10, 1);
+        let fun = xsbench_ir(data.g);
+        assert_gradients_match(&fun, &data.ir_args(), 1e-4);
+    }
+
+    #[test]
+    fn rsbench_gradient_matches_finite_differences() {
+        let data = RsData::generate(3, 4, 3, 8, 2);
+        let fun = rsbench_ir(data.windows, data.poles);
+        assert_gradients_match(&fun, &data.ir_args(), 1e-4);
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build a small array program, differentiate it with reverse
+//! mode, and evaluate both on the parallel interpreter.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use fir::builder::Builder;
+use fir::types::Type;
+use futhark_ad::{jvp, vjp};
+use interp::{Interp, Value};
+
+fn main() {
+    // f(xs, ys) = sum (map2 (\x y -> sin x * y) xs ys)
+    let mut b = Builder::new();
+    let f = b.build_fun("objective", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+        let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+            let s = b.fsin(es[0].into());
+            vec![b.fmul(s, es[1].into())]
+        });
+        vec![b.sum(prods).into()]
+    });
+    println!("Primal program:\n{f}");
+
+    let xs = Value::from(vec![0.1, 0.2, 0.3, 0.4]);
+    let ys = Value::from(vec![1.0, -1.0, 2.0, 0.5]);
+    let interp = Interp::new();
+    let out = interp.run(&f, &[xs.clone(), ys.clone()]);
+    println!("f(xs, ys) = {}", out[0].as_f64());
+
+    // Reverse mode: one pass gives the gradient with respect to both arrays.
+    let df = vjp(&f);
+    let out = interp.run(&df, &[xs.clone(), ys.clone(), Value::F64(1.0)]);
+    println!("d f / d xs = {:?}", out[1].as_arr().f64s());
+    println!("d f / d ys = {:?}", out[2].as_arr().f64s());
+
+    // Forward mode: a directional derivative.
+    let jf = jvp(&f);
+    let dir = Value::from(vec![1.0, 0.0, 0.0, 0.0]);
+    let zero = Value::from(vec![0.0; 4]);
+    let out = interp.run(&jf, &[xs, ys, dir, zero]);
+    println!("directional derivative along e_0 = {}", out[1].as_f64());
+}

@@ -1,0 +1,22 @@
+//! `futhark-ad-repro` — umbrella crate for the reproduction of
+//! *"AD for an Array Language with Nested Parallelism"* (SC 2022).
+//!
+//! The crates of the workspace are re-exported here so examples and
+//! integration tests have a single import point:
+//!
+//! * [`fir`] — the nested-parallel array IR,
+//! * [`interp`] — the bulk-parallel evaluator (the GPU-backend stand-in),
+//! * [`futhark_ad`] — forward (`jvp`) and reverse (`vjp`) AD (the paper's
+//!   contribution),
+//! * [`fir_opt`] — simplification passes,
+//! * [`tape_ad`] — the tape-based (Tapenade-like) baseline,
+//! * [`tensor`] — the eager autograd (PyTorch-like) baseline,
+//! * [`workloads`] — the nine evaluation benchmarks.
+
+pub use fir;
+pub use fir_opt;
+pub use futhark_ad;
+pub use interp;
+pub use tape_ad;
+pub use tensor;
+pub use workloads;

@@ -1,0 +1,125 @@
+//! Property-based tests (proptest): randomized programs and inputs, with
+//! reverse-mode AD checked against finite differences and against the
+//! tape-based baseline, and the interpreter checked for
+//! parallel/sequential agreement.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun};
+use fir::types::Type;
+use futhark_ad::gradcheck::{finite_diff_gradient, max_rel_error, reverse_gradient};
+use interp::{ExecConfig, Interp, Value};
+use proptest::prelude::*;
+
+/// A small random scalar expression DAG over two inputs, interpreted as a
+/// chain of binary operations chosen by `ops`.
+fn build_scalar_chain(ops: &[u8]) -> Fun {
+    let mut b = Builder::new();
+    b.build_fun("chain", &[Type::F64, Type::F64], |b, ps| {
+        let mut vals = vec![Atom::Var(ps[0]), Atom::Var(ps[1])];
+        for (i, op) in ops.iter().enumerate() {
+            let a = vals[i % vals.len()];
+            let c = vals[(i + 1) % vals.len()];
+            let v = match op % 6 {
+                0 => b.fadd(a, c),
+                1 => b.fmul(a, c),
+                2 => b.fsub(a, c),
+                3 => {
+                    let s = b.fsin(a);
+                    b.fadd(s, c)
+                }
+                4 => {
+                    let e = b.fmul(a, Atom::f64(0.25));
+                    let ex = b.fexp(e);
+                    b.fadd(ex, c)
+                }
+                _ => {
+                    let m = b.fmax(a, c);
+                    b.fadd(m, Atom::f64(0.5))
+                }
+            };
+            vals.push(v);
+        }
+        vec![*vals.last().unwrap()]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reverse_ad_matches_finite_differences_on_random_scalar_chains(
+        ops in proptest::collection::vec(any::<u8>(), 1..12),
+        x in -1.5f64..1.5,
+        y in -1.5f64..1.5,
+    ) {
+        let fun = build_scalar_chain(&ops);
+        let args = [Value::F64(x), Value::F64(y)];
+        let interp = Interp::sequential();
+        let (_, ad) = reverse_gradient(&interp, &fun, &args);
+        let fd = finite_diff_gradient(&interp, &fun, &args, 1e-6);
+        prop_assert!(max_rel_error(&ad, &fd) < 1e-3);
+    }
+
+    #[test]
+    fn reverse_ad_matches_tape_baseline_on_array_programs(
+        xs in proptest::collection::vec(-2.0f64..2.0, 1..24),
+        c in -1.0f64..1.0,
+    ) {
+        let mut b = Builder::new();
+        let fun = b.build_fun("arrprog", &[Type::arr_f64(1), Type::F64], |b, ps| {
+            let cv = Atom::Var(ps[1]);
+            let ys = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                let t = b.ftanh(es[0].into());
+                vec![b.fmul(t, cv)]
+            });
+            let s = b.scan_add(ys);
+            let m = b.maximum(s);
+            let total = b.sum(s);
+            vec![b.fadd(m.into(), total.into())]
+        });
+        let args = [Value::from(xs), Value::F64(c)];
+        let interp = Interp::sequential();
+        let (v1, g1) = reverse_gradient(&interp, &fun, &args);
+        let tape = tape_ad::gradient(&fun, &args);
+        prop_assert!((v1 - tape.value).abs() < 1e-9);
+        prop_assert!(max_rel_error(&g1, &tape.gradient) < 1e-7);
+    }
+
+    #[test]
+    fn parallel_and_sequential_execution_agree(
+        xs in proptest::collection::vec(-1.0f64..1.0, 8..64),
+    ) {
+        let mut b = Builder::new();
+        let fun = b.build_fun("sumexp", &[Type::arr_f64(1)], |b, ps| {
+            let ys = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                let e = b.fexp(es[0].into());
+                vec![b.fmul(e, es[0].into())]
+            });
+            vec![b.sum(ys).into()]
+        });
+        let args = [Value::from(xs)];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let p = Interp::with_config(ExecConfig { parallel: true, num_threads: 4, parallel_threshold: 4 })
+            .run(&fun, &args)[0].as_f64();
+        prop_assert!((a - p).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn simplification_preserves_random_program_semantics(
+        ops in proptest::collection::vec(any::<u8>(), 1..10),
+        x in -1.0f64..1.0,
+        y in -1.0f64..1.0,
+    ) {
+        let fun = build_scalar_chain(&ops);
+        let dfun = futhark_ad::vjp(&fun);
+        let simplified = fir_opt::simplify(&dfun);
+        fir::typecheck::check_fun(&simplified).unwrap();
+        let args = [Value::F64(x), Value::F64(y), Value::F64(1.0)];
+        let interp = Interp::sequential();
+        let a = interp.run(&dfun, &args);
+        let b2 = interp.run(&simplified, &args);
+        for (u, v) in a.iter().zip(&b2) {
+            prop_assert!((u.as_f64() - v.as_f64()).abs() < 1e-12);
+        }
+    }
+}
