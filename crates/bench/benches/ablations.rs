@@ -5,7 +5,7 @@
 //! 2. the loop strip-mining factor — the §4.3 time/space trade-off;
 //! 3. the special-case `+` reduce rule vs. the general scan-based rule.
 
-use ad_bench::{header, ms, ratio, row, time_secs};
+use ad_bench::{compare_backends, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
 use fir::builder::Builder;
 use fir::ir::Atom;
 use fir::types::Type;
@@ -17,6 +17,7 @@ fn main() {
     let interp = Interp::new();
     let seq = Interp::sequential();
     let reps = 3;
+    let mut report = Report::new("ablations");
 
     // --- Ablation 1: simplification of the redundant forward sweep --------
     header(
@@ -32,7 +33,9 @@ fn main() {
             });
             vec![Atom::Var(r)]
         });
-        let sums = b.map1(Type::arr_f64(1), &[sq], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
+        let sums = b.map1(Type::arr_f64(1), &[sq], |b, rs| {
+            vec![Atom::Var(b.sum(rs[0]))]
+        });
         vec![Atom::Var(b.sum(sums))]
     });
     let dnest = vjp(&nest);
@@ -41,6 +44,7 @@ fn main() {
         vec![200, 200],
         (0..200 * 200).map(|i| (i as f64 * 0.001).sin()).collect(),
     ));
+    let args_nest = vec![data.clone()];
     let args = [data, Value::F64(1.0)];
     let t_raw = time_secs(reps, || {
         let _ = interp.run(&dnest, &args);
@@ -48,8 +52,25 @@ fn main() {
     let t_simpl = time_secs(reps, || {
         let _ = interp.run(&simplified, &args);
     });
-    row(&["vjp output (raw)".into(), fir_opt::count_stms(&dnest).to_string(), ms(t_raw)]);
-    row(&["vjp output + simplify".into(), fir_opt::count_stms(&simplified).to_string(), ms(t_simpl)]);
+    row(&[
+        "vjp output (raw)".into(),
+        fir_opt::count_stms(&dnest).to_string(),
+        ms(t_raw),
+    ]);
+    row(&[
+        "vjp output + simplify".into(),
+        fir_opt::count_stms(&simplified).to_string(),
+        ms(t_simpl),
+    ]);
+    report.add(
+        "simplify",
+        &[
+            ("raw_stms", fir_opt::count_stms(&dnest) as f64),
+            ("simplified_stms", fir_opt::count_stms(&simplified) as f64),
+            ("raw_s", t_raw),
+            ("simplified_s", t_simpl),
+        ],
+    );
 
     // --- Ablation 2: strip-mining factor -----------------------------------
     header(
@@ -60,7 +81,11 @@ fn main() {
     let fun = adbench::dlstm_objective_ir(dl.h);
     let mut base_time = 0.0;
     for factor in [1i64, 2, 4, 8] {
-        let f = if factor == 1 { fun.clone() } else { stripmine_loops(&fun, factor) };
+        let f = if factor == 1 {
+            fun.clone()
+        } else {
+            stripmine_loops(&fun, factor)
+        };
         let df = vjp(&f);
         let mut args = dl.ir_args();
         args.push(Value::F64(1.0));
@@ -71,6 +96,10 @@ fn main() {
             base_time = t;
         }
         row(&[format!("{factor}"), ms(t), ratio(t / base_time)]);
+        report.add(
+            &format!("stripmine:{factor}"),
+            &[("grad_s", t), ("rel", t / base_time)],
+        );
     }
 
     // --- Ablation 3: special-case vs. general reduce rule -------------------
@@ -79,7 +108,11 @@ fn main() {
         &["rule", "gradient runtime"],
     );
     let n = 200_000;
-    let xs = Value::from((0..n).map(|i| 1.0 + (i as f64 * 1e-5)).collect::<Vec<f64>>());
+    let xs = Value::from(
+        (0..n)
+            .map(|i| 1.0 + (i as f64 * 1e-5))
+            .collect::<Vec<f64>>(),
+    );
     // Special case: recognized `+` operator.
     let mut b = Builder::new();
     let sum_special = b.build_fun("sum_special", &[Type::arr_f64(1)], |b, ps| {
@@ -95,12 +128,24 @@ fn main() {
         });
         vec![r[0].into()]
     });
-    for (name, fun) in [("special (+)", &sum_special), ("general (scan-based)", &sum_general)] {
+    for (name, fun) in [
+        ("special (+)", &sum_special),
+        ("general (scan-based)", &sum_general),
+    ] {
         let df = vjp(fun);
         let args = [xs.clone(), Value::F64(1.0)];
         let t = time_secs(reps, || {
             let _ = interp.run(&df, &args);
         });
         row(&[name.into(), ms(t)]);
+        report.add(&format!("reduce:{name}"), &[("grad_s", t)]);
     }
+
+    // --- Ablation 4: execution backend (tree-walking interp vs firvm) ------
+    header(
+        "Ablation 4: execution backend on the perfect map nest",
+        &BACKEND_COLS,
+    );
+    compare_backends(&mut report, "map nest 200x200", &nest, &args_nest, reps);
+    report.write();
 }

@@ -8,12 +8,13 @@
 //! to CPU-interpreter scale; the measured quantity (the ratio) matches the
 //! paper's.
 
-use ad_bench::{header, ratio, row, time_secs};
+use ad_bench::{compare_backends, header, ratio, row, time_secs, Report, BACKEND_COLS};
 use futhark_ad::vjp;
 use interp::{Interp, Value};
 use workloads::{adbench, gmm};
 
 fn bench_problem(
+    report: &mut Report,
     name: &str,
     fun: &fir::ir::Fun,
     args: &[Value],
@@ -35,12 +36,12 @@ fn bench_problem(
     let tape_t = time_secs(reps, || {
         let _ = tape_ad::gradient(fun, args);
     });
-    let manual_cell = match manual_grad {
+    let (manual_cell, manual_rel) = match manual_grad {
         Some(f) => {
             let t = time_secs(reps, f);
-            ratio(t / obj_t)
+            (ratio(t / obj_t), t / obj_t)
         }
-        None => "n/a".to_string(),
+        None => ("n/a".to_string(), f64::NAN),
     };
     row(&[
         name.to_string(),
@@ -48,14 +49,29 @@ fn bench_problem(
         ratio(tape_t / obj_t),
         manual_cell,
     ]);
+    report.add(
+        name,
+        &[
+            ("objective_s", obj_t),
+            ("futhark_rel", ad_t / obj_t),
+            ("tapenade_rel", tape_t / obj_t),
+            ("manual_rel", manual_rel),
+        ],
+    );
 }
 
 fn main() {
     header(
         "Table 1: full gradient time relative to objective time (sequential CPU)",
-        &["benchmark", "Futhark (this work)", "Tapenade (tape)", "Manual"],
+        &[
+            "benchmark",
+            "Futhark (this work)",
+            "Tapenade (tape)",
+            "Manual",
+        ],
     );
     let reps = 3;
+    let mut report = Report::new("table1_adbench");
 
     // BA
     let ba = adbench::BaData::generate(20, 200, 2000, 1);
@@ -63,7 +79,14 @@ fn main() {
     let mut ba_manual = || {
         let _ = adbench::ba_manual(&ba);
     };
-    bench_problem("BA", &ba_fun, &ba.ir_args(), Some(&mut ba_manual), reps);
+    bench_problem(
+        &mut report,
+        "BA",
+        &ba_fun,
+        &ba.ir_args(),
+        Some(&mut ba_manual),
+        reps,
+    );
 
     // D-LSTM
     let dl = adbench::DlstmData::generate(30, 16, 16, 2);
@@ -71,7 +94,14 @@ fn main() {
     let mut dl_manual = || {
         let _ = adbench::dlstm_manual(&dl);
     };
-    bench_problem("D-LSTM", &dl_fun, &dl.ir_args(), Some(&mut dl_manual), reps);
+    bench_problem(
+        &mut report,
+        "D-LSTM",
+        &dl_fun,
+        &dl.ir_args(),
+        Some(&mut dl_manual),
+        reps,
+    );
 
     // GMM
     let gm = gmm::GmmData::generate(300, 16, 10, 3);
@@ -79,7 +109,14 @@ fn main() {
     let mut gm_manual = || {
         let _ = gmm::gradient_manual(&gm);
     };
-    bench_problem("GMM", &gm_fun, &gm.ir_args(), Some(&mut gm_manual), reps);
+    bench_problem(
+        &mut report,
+        "GMM",
+        &gm_fun,
+        &gm.ir_args(),
+        Some(&mut gm_manual),
+        reps,
+    );
 
     // HAND
     let hd = adbench::HandData::generate(200, 12, 4);
@@ -88,10 +125,30 @@ fn main() {
         let mut manual = || {
             let _ = adbench::hand_manual(&hd, complicated);
         };
-        let name = if complicated { "HAND (complicated)" } else { "HAND (simple)" };
-        bench_problem(name, &fun, &hd.ir_args(complicated), Some(&mut manual), reps);
+        let name = if complicated {
+            "HAND (complicated)"
+        } else {
+            "HAND (simple)"
+        };
+        bench_problem(
+            &mut report,
+            name,
+            &fun,
+            &hd.ir_args(complicated),
+            Some(&mut manual),
+            reps,
+        );
     }
 
     println!();
     println!("(Paper, Table 1: Futhark 13.0x/3.2x/5.1x/49.8x/45.4x; Tapenade 10.3x/4.5x/5.4x/3758.7x/59.2x; Manual 8.6x/6.2x/4.6x/4.6x/4.4x.)");
+
+    header(
+        "Table 1 backends: tree-walking interp vs firvm bytecode VM",
+        &BACKEND_COLS,
+    );
+    compare_backends(&mut report, "BA", &ba_fun, &ba.ir_args(), reps);
+    compare_backends(&mut report, "D-LSTM", &dl_fun, &dl.ir_args(), reps);
+    compare_backends(&mut report, "GMM", &gm_fun, &gm.ir_args(), reps);
+    report.write();
 }

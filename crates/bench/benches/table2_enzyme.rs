@@ -4,7 +4,7 @@
 //! same applications (4.2x and 3.2x); those reference numbers are printed
 //! alongside the measured ones.
 
-use ad_bench::{header, ms, ratio, row, time_secs};
+use ad_bench::{compare_backends, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
 use futhark_ad::vjp;
 use interp::{Interp, Value};
 use workloads::mc;
@@ -12,10 +12,17 @@ use workloads::mc;
 fn main() {
     header(
         "Table 2: RSBench / XSBench reverse-AD overhead (parallel executor)",
-        &["benchmark", "primal runtime", "AD runtime", "overhead (this work)", "Enzyme overhead (paper)"],
+        &[
+            "benchmark",
+            "primal runtime",
+            "AD runtime",
+            "overhead (this work)",
+            "Enzyme overhead (paper)",
+        ],
     );
     let interp = Interp::new();
     let reps = 3;
+    let mut report = Report::new("table2_enzyme");
 
     // RSBench-like windowed multipole lookups.
     let rs = mc::RsData::generate(8, 16, 12, 5_000, 1);
@@ -36,6 +43,14 @@ fn main() {
         ratio(rs_ad / rs_primal),
         "4.2x".into(),
     ]);
+    report.add(
+        "RSBench",
+        &[
+            ("primal_s", rs_primal),
+            ("ad_s", rs_ad),
+            ("overhead", rs_ad / rs_primal),
+        ],
+    );
 
     // XSBench-like nuclide grid lookups.
     let xs = mc::XsData::generate(256, 32, 10_000, 2);
@@ -56,7 +71,23 @@ fn main() {
         ratio(xs_ad / xs_primal),
         "3.2x".into(),
     ]);
+    report.add(
+        "XSBench",
+        &[
+            ("primal_s", xs_primal),
+            ("ad_s", xs_ad),
+            ("overhead", xs_ad / xs_primal),
+        ],
+    );
 
     println!();
     println!("(Paper, Table 2: Futhark overheads 3.6x (RSBench) and 2.6x (XSBench).)");
+
+    header(
+        "Table 2 backends: tree-walking interp vs firvm bytecode VM",
+        &BACKEND_COLS,
+    );
+    compare_backends(&mut report, "RSBench", &rs_fun, &rs.ir_args(), reps);
+    compare_backends(&mut report, "XSBench", &xs_fun, &xs.ir_args(), reps);
+    report.write();
 }

@@ -6,12 +6,12 @@
 //! baseline ("PyTorch"). Workload shapes are scaled-down versions of the
 //! paper's (k, n, d) = (5, 494019, 35) and (1024, 10000, 256).
 
-use ad_bench::{header, ms, row, time_secs};
+use ad_bench::{compare_backends, header, ms, row, time_secs, Report, BACKEND_COLS};
 use futhark_ad::{jvp, vjp};
 use interp::{Array, Interp, Value};
 use workloads::kmeans;
 
-fn bench(name: &str, k: usize, n: usize, d: usize, reps: usize) {
+fn bench(report: &mut Report, name: &str, k: usize, n: usize, d: usize, reps: usize) {
     let data = kmeans::KmeansData::generate(n, d, k, 42);
     let interp = Interp::new();
 
@@ -28,7 +28,10 @@ fn bench(name: &str, k: usize, n: usize, d: usize, reps: usize) {
     let mut grad_args = data.ir_args();
     grad_args.push(Value::F64(1.0));
     let mut hess_args = grad_args.clone();
-    hess_args.push(Value::Arr(Array::zeros(fir::types::ScalarType::F64, vec![n, d])));
+    hess_args.push(Value::Arr(Array::zeros(
+        fir::types::ScalarType::F64,
+        vec![n, d],
+    )));
     hess_args.push(Value::Arr(Array::from_f64(vec![k, d], vec![1.0; k * d])));
     hess_args.push(Value::F64(0.0));
     let ad_t = time_secs(reps, || {
@@ -44,6 +47,14 @@ fn bench(name: &str, k: usize, n: usize, d: usize, reps: usize) {
     });
 
     row(&[name.to_string(), ms(manual_t), ms(ad_t), ms(torch_t)]);
+    report.add(
+        name,
+        &[
+            ("manual_s", manual_t),
+            ("ad_s", ad_t),
+            ("pytorch_s", torch_t),
+        ],
+    );
 }
 
 fn main() {
@@ -52,8 +63,37 @@ fn main() {
         &["(k, n, d)", "Manual", "AD (this work)", "PyTorch-like"],
     );
     let reps = 3;
-    bench("(5, 5000, 35)   [paper: (5, 494019, 35)]", 5, 5_000, 35, reps);
-    bench("(64, 1000, 64)   [paper: (1024, 10000, 256)]", 64, 1_000, 64, reps);
+    let mut report = Report::new("table3_kmeans_dense");
+    bench(
+        &mut report,
+        "(5, 5000, 35)   [paper: (5, 494019, 35)]",
+        5,
+        5_000,
+        35,
+        reps,
+    );
+    bench(
+        &mut report,
+        "(64, 1000, 64)   [paper: (1024, 10000, 256)]",
+        64,
+        1_000,
+        64,
+        reps,
+    );
     println!();
     println!("(Paper, Table 3 on A100: manual 9.3/9.9 ms, AD 36.6/9.6 ms, PyTorch 44.9/11.2 ms.)");
+
+    header(
+        "Table 3 backends: tree-walking interp vs firvm bytecode VM",
+        &BACKEND_COLS,
+    );
+    let big = kmeans::KmeansData::generate(5_000, 35, 5, 42);
+    compare_backends(
+        &mut report,
+        "kmeans-dense (5, 5000, 35)",
+        &kmeans::dense_objective_ir(),
+        &big.ir_args(),
+        reps,
+    );
+    report.write();
 }

@@ -4,12 +4,12 @@
 //! sequential loop over each row's non-zeros nested in the parallel map over
 //! rows), and the PyTorch-like sparse tensor baseline.
 
-use ad_bench::{header, ms, row, time_secs};
+use ad_bench::{compare_backends, header, ms, row, time_secs, Report, BACKEND_COLS};
 use futhark_ad::vjp;
 use interp::{Interp, Value};
 use workloads::kmeans;
 
-fn bench(name: &str, n: usize, d: usize, nnz_per_row: usize, reps: usize) {
+fn bench(report: &mut Report, name: &str, n: usize, d: usize, nnz_per_row: usize, reps: usize) {
     let k = 10;
     let data = kmeans::SparseKmeansData::generate(n, d, k, nnz_per_row, 7);
     let interp = Interp::new();
@@ -31,17 +31,70 @@ fn bench(name: &str, n: usize, d: usize, nnz_per_row: usize, reps: usize) {
     });
 
     row(&[name.to_string(), ms(manual_t), ms(ad_t), ms(torch_t)]);
+    report.add(
+        name,
+        &[
+            ("manual_s", manual_t),
+            ("ad_s", ad_t),
+            ("pytorch_s", torch_t),
+        ],
+    );
 }
 
 fn main() {
     header(
         "Table 4: sparse k-means (CSR), k = 10",
-        &["workload (scaled)", "Manual", "AD (this work)", "PyTorch-like"],
+        &[
+            "workload (scaled)",
+            "Manual",
+            "AD (this work)",
+            "PyTorch-like",
+        ],
     );
     let reps = 3;
-    bench("movielens-like  (2000 x 2000, ~25 nnz/row)", 2_000, 2_000, 25, reps);
-    bench("nytimes-like    (1500 x 5000, ~50 nnz/row)", 1_500, 5_000, 50, reps);
-    bench("scrna-like      (1000 x 8000, ~80 nnz/row)", 1_000, 8_000, 80, reps);
+    let mut report = Report::new("table4_kmeans_sparse");
+    bench(
+        &mut report,
+        "movielens-like  (2000 x 2000, ~25 nnz/row)",
+        2_000,
+        2_000,
+        25,
+        reps,
+    );
+    bench(
+        &mut report,
+        "nytimes-like    (1500 x 5000, ~50 nnz/row)",
+        1_500,
+        5_000,
+        50,
+        reps,
+    );
+    bench(
+        &mut report,
+        "scrna-like      (1000 x 8000, ~80 nnz/row)",
+        1_000,
+        8_000,
+        80,
+        reps,
+    );
     println!();
     println!("(Paper, Table 4 on A100: manual 61/83/156 ms, AD 152/300/579 ms, PyTorch 61223/226896/367799 ms.)");
+
+    header(
+        "Table 4 backends: tree-walking interp vs firvm bytecode VM",
+        &BACKEND_COLS,
+    );
+    // The movielens-like shape: the tree-walking gradient already takes
+    // ~a minute per run on it, so the larger shapes would push this bench
+    // past half an hour for no extra information (the >= 2x largest-dataset
+    // criterion is measured on table 5).
+    let cmp = kmeans::SparseKmeansData::generate(2_000, 2_000, 10, 25, 7);
+    compare_backends(
+        &mut report,
+        "kmeans-sparse movielens-like",
+        &kmeans::sparse_objective_ir(),
+        &cmp.ir_args(),
+        1,
+    );
+    report.write();
 }

@@ -4,7 +4,7 @@
 //! hand-written GPU kernel library and has no CPU analogue here; the paper's
 //! reported factors are printed for reference.
 
-use ad_bench::{header, ms, ratio, row, time_secs};
+use ad_bench::{compare_backends, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
 use futhark_ad::vjp;
 use interp::{Interp, Value};
 use workloads::lstm;
@@ -12,7 +12,13 @@ use workloads::lstm;
 fn main() {
     header(
         "Table 6: LSTM gradient (scaled datasets)",
-        &["dataset (bs, seq, d, h)", "PyTorch-like Jacobian", "Futhark speedup", "PyTorch overhead", "Futhark overhead"],
+        &[
+            "dataset (bs, seq, d, h)",
+            "PyTorch-like Jacobian",
+            "Futhark speedup",
+            "PyTorch overhead",
+            "Futhark overhead",
+        ],
     );
     // Scaled versions of D0 = (1024, 20, 300, 192) and D1 = (1024, 300, 80, 256).
     let datasets: &[(&str, usize, usize, usize, usize)] = &[
@@ -20,6 +26,7 @@ fn main() {
         ("D1 (16, 20, 12, 16)", 16, 20, 12, 16),
     ];
     let reps = 2;
+    let mut report = Report::new("table6_lstm");
     let interp = Interp::new();
     for (name, bs, seq, d, h) in datasets {
         let data = lstm::LstmData::generate(*seq, *d, *h, *bs, 21);
@@ -53,7 +60,31 @@ fn main() {
             ratio(torch_grad / torch_obj),
             ratio(fut_grad / fut_obj),
         ]);
+        report.add(
+            name,
+            &[
+                ("pytorch_grad_s", torch_grad),
+                ("futhark_grad_s", fut_grad),
+                ("futhark_speedup", torch_grad / fut_grad),
+                ("pytorch_overhead", torch_grad / torch_obj),
+                ("futhark_overhead", fut_grad / fut_obj),
+            ],
+        );
     }
     println!();
     println!("(Paper, Table 6: Futhark ~3x faster than PyTorch on both systems; cuDNN (hand-written) a further 8–25x faster; overheads 2–4x.)");
+
+    header(
+        "Table 6 backends: tree-walking interp vs firvm bytecode VM",
+        &BACKEND_COLS,
+    );
+    let big = lstm::LstmData::generate(20, 12, 16, 16, 21);
+    compare_backends(
+        &mut report,
+        "LSTM D1 (16, 20, 12, 16)",
+        &lstm::objective_ir(big.h, big.bs),
+        &big.ir_args(),
+        reps,
+    );
+    report.write();
 }

@@ -1,9 +1,17 @@
 //! Shared infrastructure for the benchmark harnesses that regenerate the
 //! paper's tables. Each `benches/table*.rs` binary prints the same rows the
 //! corresponding table in the paper reports (with CPU-scaled dataset sizes,
-//! documented in EXPERIMENTS.md).
+//! documented in EXPERIMENTS.md), adds an interp-vs-`firvm` backend
+//! comparison, and writes a machine-readable `BENCH_<table>.json` so the
+//! repository accumulates a performance trajectory across PRs.
 
+use std::io::Write as _;
 use std::time::Instant;
+
+use fir::ir::Fun;
+use firvm::Vm;
+use futhark_ad::vjp;
+use interp::{Backend, Interp, Value};
 
 /// Median wall-clock seconds of `reps` runs of `f` (after one warm-up run).
 pub fn time_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -38,4 +46,211 @@ pub fn header(title: &str, cols: &[&str]) {
 /// Print one row of a table.
 pub fn row(cells: &[String]) {
     println!("{}", cells.join(" | "));
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable reports
+// ---------------------------------------------------------------------
+
+/// A machine-readable benchmark report, written as `BENCH_<name>.json` in
+/// `BENCH_OUT_DIR` (default: the current directory). The format is
+/// deliberately flat — one object per row, numeric cells keyed by name — so
+/// future PRs can diff performance trajectories with a few lines of jq.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    rows: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl Report {
+    /// A new report named `name` (e.g. `"table5_gmm"`).
+    pub fn new(name: &str) -> Report {
+        Report {
+            name: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row: a label plus named numeric cells (seconds, ratios…).
+    pub fn add(&mut self, label: &str, cells: &[(&str, f64)]) {
+        self.rows.push((
+            label.to_string(),
+            cells.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        ));
+    }
+
+    /// Serialize to JSON (hand-rolled; the workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.9}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", esc(&self.name)));
+        out.push_str("  \"rows\": [\n");
+        for (i, (label, cells)) in self.rows.iter().enumerate() {
+            out.push_str(&format!("    {{\"label\": \"{}\"", esc(label)));
+            for (k, v) in cells {
+                out.push_str(&format!(", \"{}\": {}", esc(k), num(*v)));
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<name>.json`; prints the path. I/O failures are
+    /// reported but do not abort the bench (the printed table remains).
+    pub fn write(&self) {
+        let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{}.json", self.name);
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(self.to_json().as_bytes()))
+        {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend comparison (interp vs firvm)
+// ---------------------------------------------------------------------
+
+/// Timings of one workload on one backend: primal and full vjp gradient.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendTiming {
+    pub primal_secs: f64,
+    pub grad_secs: f64,
+}
+
+/// Time `fun`'s primal and reverse-mode gradient on a backend.
+pub fn time_backend(
+    backend: &dyn Backend,
+    fun: &Fun,
+    dfun: &Fun,
+    args: &[Value],
+    reps: usize,
+) -> BackendTiming {
+    let mut grad_args = args.to_vec();
+    grad_args.push(Value::F64(1.0));
+    let primal_secs = time_secs(reps, || {
+        let _ = backend.run(fun, args);
+    });
+    let grad_secs = time_secs(reps, || {
+        let _ = backend.run(dfun, &grad_args);
+    });
+    BackendTiming {
+        primal_secs,
+        grad_secs,
+    }
+}
+
+/// Print (and record) the interp-vs-VM comparison for one workload: primal
+/// and gradient wall-clock on both backends plus the VM speedups. Returns
+/// the gradient-time speedup of the VM over the interpreter.
+pub fn compare_backends(
+    report: &mut Report,
+    label: &str,
+    fun: &Fun,
+    args: &[Value],
+    reps: usize,
+) -> f64 {
+    let dfun = vjp(fun);
+    let interp = Interp::sequential();
+    let vm = Vm::sequential();
+    let ti = time_backend(&interp, fun, &dfun, args, reps);
+    let tv = time_backend(&vm, fun, &dfun, args, reps);
+    let primal_speedup = ti.primal_secs / tv.primal_secs;
+    let grad_speedup = ti.grad_secs / tv.grad_secs;
+    row(&[
+        label.to_string(),
+        ms(ti.primal_secs),
+        ms(tv.primal_secs),
+        ratio(primal_speedup),
+        ms(ti.grad_secs),
+        ms(tv.grad_secs),
+        ratio(grad_speedup),
+    ]);
+    report.add(
+        &format!("backend:{label}"),
+        &[
+            ("interp_primal_s", ti.primal_secs),
+            ("vm_primal_s", tv.primal_secs),
+            ("vm_primal_speedup", primal_speedup),
+            ("interp_grad_s", ti.grad_secs),
+            ("vm_grad_s", tv.grad_secs),
+            ("vm_grad_speedup", grad_speedup),
+        ],
+    );
+    grad_speedup
+}
+
+/// The column names matching [`compare_backends`] rows.
+pub const BACKEND_COLS: [&str; 7] = [
+    "workload",
+    "interp primal",
+    "vm primal",
+    "vm primal speedup",
+    "interp grad",
+    "vm grad",
+    "vm grad speedup",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = Report::new("table0_test");
+        r.add("row \"one\"", &[("a", 1.5), ("b", f64::NAN)]);
+        r.add("row2", &[]);
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"table0_test\""));
+        assert!(json.contains("\"label\": \"row \\\"one\\\"\""));
+        assert!(json.contains("\"a\": 1.500000000"));
+        assert!(json.contains("\"b\": null"));
+        assert!(json.contains("{\"label\": \"row2\"}"));
+    }
+
+    #[test]
+    fn time_secs_returns_positive_median() {
+        let t = time_secs(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn compare_backends_smoke() {
+        use fir::builder::Builder;
+        use fir::types::Type;
+        let mut b = Builder::new();
+        let f = b.build_fun("cmp", &[Type::arr_f64(1)], |b, ps| {
+            let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            vec![b.sum(sq).into()]
+        });
+        let mut rep = Report::new("smoke");
+        let speedup = compare_backends(&mut rep, "smoke", &f, &[Value::from(vec![0.5; 64])], 1);
+        assert!(speedup.is_finite() && speedup > 0.0);
+        assert!(rep.to_json().contains("backend:smoke"));
+    }
 }

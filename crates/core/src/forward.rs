@@ -27,7 +27,10 @@ use crate::helpers::{register_fun_types, zero_like};
 pub fn jvp(fun: &Fun) -> Fun {
     let mut b = Builder::for_fun(fun);
     register_fun_types(&mut b, fun);
-    let mut fwd = Fwd { b, tan: HashMap::new() };
+    let mut fwd = Fwd {
+        b,
+        tan: HashMap::new(),
+    };
 
     let mut tangent_params: Vec<Param> = Vec::new();
     for p in &fun.params {
@@ -53,7 +56,12 @@ pub fn jvp(fun: &Fun) -> Fun {
 
     let mut params = fun.params.clone();
     params.extend(tangent_params);
-    Fun { name: format!("{}_jvp", fun.name), params, body: Body::new(stms, result), ret }
+    Fun {
+        name: format!("{}_jvp", fun.name),
+        params,
+        body: Body::new(stms, result),
+        ret,
+    }
 }
 
 struct Fwd {
@@ -103,8 +111,12 @@ impl Fwd {
     /// it binds.
     fn jvp_stm(&mut self, stm: &Stm) {
         match &stm.exp {
-            Exp::If { .. } | Exp::Loop { .. } | Exp::Map { .. } | Exp::Reduce { .. }
-            | Exp::Scan { .. } | Exp::WithAcc { .. } => {
+            Exp::If { .. }
+            | Exp::Loop { .. }
+            | Exp::Map { .. }
+            | Exp::Reduce { .. }
+            | Exp::Scan { .. }
+            | Exp::WithAcc { .. } => {
                 // Structured constructs are rebuilt wholesale (the original
                 // statement is subsumed by the dual version).
                 self.jvp_structured(stm);
@@ -127,20 +139,43 @@ impl Fwd {
                 if p.ty.is_differentiable() {
                     let tt = self.tangent_of_atom(*t);
                     let tf = self.tangent_of_atom(*f);
-                    self.bind_tangent(p.var, p.ty, Exp::Select { cond: *cond, t: tt, f: tf });
+                    self.bind_tangent(
+                        p.var,
+                        p.ty,
+                        Exp::Select {
+                            cond: *cond,
+                            t: tt,
+                            f: tf,
+                        },
+                    );
                 }
             }
             Exp::Index { arr, idx } => {
                 if p.ty.is_differentiable() {
                     let t = self.tangent_of(*arr).expect_var();
-                    self.bind_tangent(p.var, p.ty, Exp::Index { arr: t, idx: idx.clone() });
+                    self.bind_tangent(
+                        p.var,
+                        p.ty,
+                        Exp::Index {
+                            arr: t,
+                            idx: idx.clone(),
+                        },
+                    );
                 }
             }
             Exp::Update { arr, idx, val } => {
                 if p.ty.is_differentiable() {
                     let ta = self.tangent_of(*arr).expect_var();
                     let tv = self.tangent_of_atom(*val);
-                    self.bind_tangent(p.var, p.ty, Exp::Update { arr: ta, idx: idx.clone(), val: tv });
+                    self.bind_tangent(
+                        p.var,
+                        p.ty,
+                        Exp::Update {
+                            arr: ta,
+                            idx: idx.clone(),
+                            val: tv,
+                        },
+                    );
                 }
             }
             Exp::Len(_) | Exp::Iota(_) => {}
@@ -162,14 +197,24 @@ impl Fwd {
                     self.bind_tangent(p.var, p.ty, Exp::Copy(t));
                 }
             }
-            Exp::Hist { op, num_bins, inds, vals } => {
+            Exp::Hist {
+                op,
+                num_bins,
+                inds,
+                vals,
+            } => {
                 if p.ty.is_differentiable() {
                     assert_eq!(*op, ReduceOp::Add, "jvp: only + histograms are supported");
                     let tv = self.tangent_of(*vals).expect_var();
                     self.bind_tangent(
                         p.var,
                         p.ty,
-                        Exp::Hist { op: *op, num_bins: *num_bins, inds: *inds, vals: tv },
+                        Exp::Hist {
+                            op: *op,
+                            num_bins: *num_bins,
+                            inds: *inds,
+                            vals: tv,
+                        },
                     );
                 }
             }
@@ -177,7 +222,15 @@ impl Fwd {
                 if p.ty.is_differentiable() {
                     let td = self.tangent_of(*dest).expect_var();
                     let tv = self.tangent_of(*vals).expect_var();
-                    self.bind_tangent(p.var, p.ty, Exp::Scatter { dest: td, inds: *inds, vals: tv });
+                    self.bind_tangent(
+                        p.var,
+                        p.ty,
+                        Exp::Scatter {
+                            dest: td,
+                            inds: *inds,
+                            vals: tv,
+                        },
+                    );
                 }
             }
             Exp::UpdAcc { acc, idx, val } => {
@@ -186,12 +239,20 @@ impl Fwd {
                 let tval = self.tangent_of_atom(*val);
                 let t = self.b.bind1(
                     self.b.ty_of(tacc),
-                    Exp::UpdAcc { acc: tacc, idx: idx.clone(), val: tval },
+                    Exp::UpdAcc {
+                        acc: tacc,
+                        idx: idx.clone(),
+                        val: tval,
+                    },
                 );
                 self.set_tangent(p.var, t);
             }
-            Exp::If { .. } | Exp::Loop { .. } | Exp::Map { .. } | Exp::Reduce { .. }
-            | Exp::Scan { .. } | Exp::WithAcc { .. } => unreachable!(),
+            Exp::If { .. }
+            | Exp::Loop { .. }
+            | Exp::Map { .. }
+            | Exp::Reduce { .. }
+            | Exp::Scan { .. }
+            | Exp::WithAcc { .. } => unreachable!(),
         }
     }
 
@@ -278,7 +339,11 @@ impl Fwd {
                 self.b.fadd(t1, t2)
             }
             BinOp::Min | BinOp::Max => {
-                let cond = if op == BinOp::Min { self.b.le(x, y) } else { self.b.ge(x, y) };
+                let cond = if op == BinOp::Min {
+                    self.b.le(x, y)
+                } else {
+                    self.b.ge(x, y)
+                };
                 self.b.select(cond, dx, dy)
             }
             BinOp::Rem => dx,
@@ -297,9 +362,14 @@ impl Fwd {
 
     fn jvp_structured(&mut self, stm: &Stm) {
         match &stm.exp {
-            Exp::If { cond, then_br, else_br } => {
-                let diff: Vec<usize> =
-                    (0..stm.pat.len()).filter(|j| stm.pat[*j].ty.is_differentiable()).collect();
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => {
+                let diff: Vec<usize> = (0..stm.pat.len())
+                    .filter(|j| stm.pat[*j].ty.is_differentiable())
+                    .collect();
                 let then_b = self.jvp_branch(then_br, &diff);
                 let else_b = self.jvp_branch(else_br, &diff);
                 let mut pat = stm.pat.clone();
@@ -309,14 +379,27 @@ impl Fwd {
                     pat.push(Param::new(t, stm.pat[*j].ty));
                     tangent_vars.push((stm.pat[*j].var, t));
                 }
-                self.b.push_stm(Stm::new(pat, Exp::If { cond: *cond, then_br: then_b, else_br: else_b }));
+                self.b.push_stm(Stm::new(
+                    pat,
+                    Exp::If {
+                        cond: *cond,
+                        then_br: then_b,
+                        else_br: else_b,
+                    },
+                ));
                 for (v, t) in tangent_vars {
                     self.set_tangent(v, t);
                 }
             }
-            Exp::Loop { params, index, count, body } => {
-                let diff: Vec<usize> =
-                    (0..params.len()).filter(|j| params[*j].0.ty.is_differentiable()).collect();
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => {
+                let diff: Vec<usize> = (0..params.len())
+                    .filter(|j| params[*j].0.ty.is_differentiable())
+                    .collect();
                 // Tangent loop parameters, initialized with the tangents of
                 // the initial values.
                 let mut new_params = params.clone();
@@ -373,7 +456,13 @@ impl Fwd {
                     }
                 }
                 assert_eq!(tangent_vars.len(), n_extra_out);
-                self.b.push_stm(Stm::new(pat, Exp::Map { lam: dual_lam, args: new_args }));
+                self.b.push_stm(Stm::new(
+                    pat,
+                    Exp::Map {
+                        lam: dual_lam,
+                        args: new_args,
+                    },
+                ));
                 for (v, t) in tangent_vars {
                     self.set_tangent(v, t);
                 }
@@ -381,8 +470,9 @@ impl Fwd {
             Exp::Reduce { lam, neutral, args } | Exp::Scan { lam, neutral, args } => {
                 let is_scan = matches!(stm.exp, Exp::Scan { .. });
                 let k = args.len();
-                let diff: Vec<usize> =
-                    (0..k).filter(|j| self.b.ty_of(args[*j]).is_differentiable()).collect();
+                let diff: Vec<usize> = (0..k)
+                    .filter(|j| self.b.ty_of(args[*j]).is_differentiable())
+                    .collect();
                 // Dual operator: accumulator group then element group, each
                 // extended with tangents of the differentiable positions.
                 let dual = self.dual_fold_operator(lam, k, &diff);
@@ -404,9 +494,17 @@ impl Fwd {
                     tangent_vars.push((stm.pat[*j].var, t));
                 }
                 let exp = if is_scan {
-                    Exp::Scan { lam: dual, neutral: new_neutral, args: new_args }
+                    Exp::Scan {
+                        lam: dual,
+                        neutral: new_neutral,
+                        args: new_args,
+                    }
                 } else {
-                    Exp::Reduce { lam: dual, neutral: new_neutral, args: new_args }
+                    Exp::Reduce {
+                        lam: dual,
+                        neutral: new_neutral,
+                        args: new_args,
+                    }
                 };
                 self.b.push_stm(Stm::new(pat, exp));
                 for (v, t) in tangent_vars {
@@ -416,8 +514,10 @@ impl Fwd {
             Exp::WithAcc { arrs, lam } => {
                 let k = arrs.len();
                 // Tangent arrays accompany the primal ones.
-                let d_arrs: Vec<VarId> =
-                    arrs.iter().map(|a| self.tangent_of(*a).expect_var()).collect();
+                let d_arrs: Vec<VarId> = arrs
+                    .iter()
+                    .map(|a| self.tangent_of(*a).expect_var())
+                    .collect();
                 // Dual lambda over 2k accumulators.
                 let mut params = lam.params.clone();
                 let mut acc_tangents = Vec::new();
@@ -450,7 +550,11 @@ impl Fwd {
                     }
                 }
                 let stms = self.b.end_scope();
-                let dual_lam = Lambda { params, body: Body::new(stms, result), ret };
+                let dual_lam = Lambda {
+                    params,
+                    body: Body::new(stms, result),
+                    ret,
+                };
                 let mut new_arrs = arrs.to_vec();
                 new_arrs.extend(d_arrs);
                 // Output pattern: primal arrays, tangent arrays, secondary
@@ -470,7 +574,13 @@ impl Fwd {
                         tangent_vars.push((p.var, t));
                     }
                 }
-                self.b.push_stm(Stm::new(pat, Exp::WithAcc { arrs: new_arrs, lam: dual_lam }));
+                self.b.push_stm(Stm::new(
+                    pat,
+                    Exp::WithAcc {
+                        arrs: new_arrs,
+                        lam: dual_lam,
+                    },
+                ));
                 for (v, t) in tangent_vars {
                     self.set_tangent(v, t);
                 }
@@ -497,7 +607,12 @@ impl Fwd {
     /// with tangents of differentiable/accumulator arguments, results with
     /// tangents of differentiable/accumulator results. Returns the lambda,
     /// the extra (tangent) map arguments, and the number of extra outputs.
-    fn dual_lambda(&mut self, lam: &Lambda, args: &[VarId], _k: usize) -> (Lambda, Vec<VarId>, usize) {
+    fn dual_lambda(
+        &mut self,
+        lam: &Lambda,
+        args: &[VarId],
+        _k: usize,
+    ) -> (Lambda, Vec<VarId>, usize) {
         let mut params = lam.params.clone();
         let mut extra_args = Vec::new();
         let mut param_tangents = Vec::new();
@@ -527,7 +642,15 @@ impl Fwd {
             }
         }
         let stms = self.b.end_scope();
-        (Lambda { params, body: Body::new(stms, result), ret }, extra_args, n_extra)
+        (
+            Lambda {
+                params,
+                body: Body::new(stms, result),
+                ret,
+            },
+            extra_args,
+            n_extra,
+        )
     }
 
     /// Build the dual operator of a reduce/scan: the parameter list
@@ -569,6 +692,10 @@ impl Fwd {
             ret.push(lam.ret[*j]);
         }
         let stms = self.b.end_scope();
-        Lambda { params, body: Body::new(stms, result), ret }
+        Lambda {
+            params,
+            body: Body::new(stms, result),
+            ret,
+        }
     }
 }

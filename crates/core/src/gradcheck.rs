@@ -5,7 +5,7 @@
 //! compared entry-by-entry against `(f(x+h) - f(x-h)) / 2h`.
 
 use fir::ir::Fun;
-use interp::{Array, Interp, Value};
+use interp::{Array, Backend, Interp, Value};
 
 /// Flatten the `f64` content of a value into `out`.
 fn flatten(v: &Value, out: &mut Vec<f64>) {
@@ -23,7 +23,10 @@ fn unflatten(v: &Value, flat: &[f64]) -> (Value, usize) {
         Value::F64(_) => (Value::F64(flat[0]), 1),
         Value::Arr(a) if a.elem() == fir::types::ScalarType::F64 => {
             let n = a.f64s().len();
-            (Value::Arr(Array::from_f64(a.shape.clone(), flat[..n].to_vec())), n)
+            (
+                Value::Arr(Array::from_f64(a.shape.clone(), flat[..n].to_vec())),
+                n,
+            )
         }
         other => (other.clone(), 0),
     }
@@ -38,14 +41,20 @@ pub fn num_inputs(args: &[Value]) -> usize {
     flat.len()
 }
 
-/// Evaluate a scalar-valued function (first result must be an `f64`).
-pub fn eval_scalar(interp: &Interp, fun: &Fun, args: &[Value]) -> f64 {
-    interp.run(fun, args)[0].as_f64()
+/// Evaluate a scalar-valued function (first result must be an `f64`) on any
+/// execution backend.
+pub fn eval_scalar<B: Backend + ?Sized>(backend: &B, fun: &Fun, args: &[Value]) -> f64 {
+    backend.run(fun, args)[0].as_f64()
 }
 
 /// The gradient of a scalar-valued function by central finite differences,
 /// flattened over all differentiable (`f64`) inputs.
-pub fn finite_diff_gradient(interp: &Interp, fun: &Fun, args: &[Value], h: f64) -> Vec<f64> {
+pub fn finite_diff_gradient<B: Backend + ?Sized>(
+    backend: &B,
+    fun: &Fun,
+    args: &[Value],
+    h: f64,
+) -> Vec<f64> {
     let mut flat = Vec::new();
     for a in args {
         flatten(a, &mut flat);
@@ -66,8 +75,8 @@ pub fn finite_diff_gradient(interp: &Interp, fun: &Fun, args: &[Value], h: f64) 
         plus[i] += h;
         let mut minus = flat.clone();
         minus[i] -= h;
-        let fp = eval_scalar(interp, fun, &rebuild(&plus));
-        let fm = eval_scalar(interp, fun, &rebuild(&minus));
+        let fp = eval_scalar(backend, fun, &rebuild(&plus));
+        let fm = eval_scalar(backend, fun, &rebuild(&minus));
         grad.push((fp - fm) / (2.0 * h));
     }
     grad
@@ -86,12 +95,16 @@ pub fn flatten_gradient(vals: &[Value]) -> Vec<f64> {
 /// Run the reverse-mode gradient of a scalar-valued function: the function
 /// is transformed with [`crate::vjp`], executed with seed 1.0, and the
 /// parameter adjoints are returned flattened (in parameter order).
-pub fn reverse_gradient(interp: &Interp, fun: &Fun, args: &[Value]) -> (f64, Vec<f64>) {
+pub fn reverse_gradient<B: Backend + ?Sized>(
+    backend: &B,
+    fun: &Fun,
+    args: &[Value],
+) -> (f64, Vec<f64>) {
     assert_eq!(fun.ret.len(), 1, "reverse_gradient expects a single result");
     let dfun = crate::vjp(fun);
     let mut all_args = args.to_vec();
     all_args.push(Value::F64(1.0));
-    let out = interp.run(&dfun, &all_args);
+    let out = backend.run(&dfun, &all_args);
     let primal = out[0].as_f64();
     let grads = flatten_gradient(&out[1..]);
     (primal, grads)
@@ -100,7 +113,13 @@ pub fn reverse_gradient(interp: &Interp, fun: &Fun, args: &[Value]) -> (f64, Vec
 /// Maximum relative error between two gradients (with an absolute floor to
 /// avoid blowing up near zero).
 pub fn max_rel_error(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "gradient length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "gradient length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b)
         .map(|(x, y)| {

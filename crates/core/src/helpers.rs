@@ -28,11 +28,18 @@ fn register_lambda_types(b: &mut Builder, lam: &Lambda) {
 
 fn register_exp_types(b: &mut Builder, exp: &Exp) {
     match exp {
-        Exp::If { then_br, else_br, .. } => {
+        Exp::If {
+            then_br, else_br, ..
+        } => {
             register_body_types(b, then_br);
             register_body_types(b, else_br);
         }
-        Exp::Loop { params, index, body, .. } => {
+        Exp::Loop {
+            params,
+            index,
+            body,
+            ..
+        } => {
             for (p, _) in params {
                 b.set_type(p.var, p.ty);
             }
@@ -94,7 +101,9 @@ pub fn add_values(b: &mut Builder, x: Atom, y: Atom) -> Atom {
 
 fn add_arrays(b: &mut Builder, x: VarId, y: VarId, rank: usize) -> VarId {
     if rank == 1 {
-        b.map1(Type::arr_f64(1), &[x, y], |b, es| vec![b.fadd(es[0].into(), es[1].into())])
+        b.map1(Type::arr_f64(1), &[x, y], |b, es| {
+            vec![b.fadd(es[0].into(), es[1].into())]
+        })
     } else {
         b.map1(Type::arr_f64(rank), &[x, y], |b, es| {
             let inner = add_arrays(b, es[0], es[1], rank - 1);
@@ -110,7 +119,13 @@ pub fn gather(b: &mut Builder, arr: VarId, inds: VarId) -> VarId {
         t => panic!("gather from non-array {t}"),
     };
     b.map1(out_ty, &[inds], |b, es| {
-        let v = b.bind1(out_ty.peel(), Exp::Index { arr, idx: vec![es[0].into()] });
+        let v = b.bind1(
+            out_ty.peel(),
+            Exp::Index {
+                arr,
+                idx: vec![es[0].into()],
+            },
+        );
         vec![Atom::Var(v)]
     })
 }
@@ -155,7 +170,8 @@ pub fn recognize_reduce_op(lam: &Lambda) -> Option<fir::ir::ReduceOp> {
         Exp::BinOp(op, x, y) => (*op, *x, *y),
         _ => return None,
     };
-    let uses_params = (x == Atom::Var(a) && y == Atom::Var(c)) || (x == Atom::Var(c) && y == Atom::Var(a));
+    let uses_params =
+        (x == Atom::Var(a) && y == Atom::Var(c)) || (x == Atom::Var(c) && y == Atom::Var(a));
     if !uses_params {
         return None;
     }

@@ -39,6 +39,10 @@
 //! assert_eq!(out[2].as_arr().f64s(), &[1.0, 2.0, 3.0]);   // d/dys = xs
 //! ```
 
+// Index-based loops in this crate mirror the (row, col)/(i, j) math of
+// the reference implementations; iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+
 pub mod forward;
 pub mod gradcheck;
 pub mod helpers;

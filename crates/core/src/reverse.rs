@@ -47,7 +47,10 @@ use crate::helpers::{add_values, recognize_reduce_op, register_fun_types, zero_l
 pub fn vjp(fun: &Fun) -> Fun {
     let mut b = Builder::for_fun(fun);
     register_fun_types(&mut b, fun);
-    let mut rev = Rev { b, adj: HashMap::new() };
+    let mut rev = Rev {
+        b,
+        adj: HashMap::new(),
+    };
 
     // Seed parameters: one adjoint per differentiable result.
     let mut seed_params: Vec<Param> = Vec::new();
@@ -75,13 +78,21 @@ pub fn vjp(fun: &Fun) -> Fun {
 
     let mut result = fun.body.result.clone();
     let mut ret = fun.ret.clone();
-    for (adj, p) in param_adjs.iter().zip(fun.params.iter().filter(|p| p.ty.is_differentiable())) {
+    for (adj, p) in param_adjs
+        .iter()
+        .zip(fun.params.iter().filter(|p| p.ty.is_differentiable()))
+    {
         result.push(Atom::Var(*adj));
         ret.push(p.ty);
     }
     let mut params = fun.params.clone();
     params.extend(seed_params);
-    Fun { name: format!("{}_vjp", fun.name), params, body: Body::new(stms, result), ret }
+    Fun {
+        name: format!("{}_vjp", fun.name),
+        params,
+        body: Body::new(stms, result),
+        ret,
+    }
 }
 
 /// Bookkeeping produced by the forward sweep of a single statement and
@@ -139,7 +150,14 @@ impl Rev {
             Some(old) => {
                 let old_ty = self.b.ty_of(old);
                 if old_ty.is_acc() {
-                    let new = self.b.bind1(old_ty, Exp::UpdAcc { acc: old, idx: vec![], val: contrib });
+                    let new = self.b.bind1(
+                        old_ty,
+                        Exp::UpdAcc {
+                            acc: old,
+                            idx: vec![],
+                            val: contrib,
+                        },
+                    );
                     self.adj.insert(v, new);
                 } else {
                     let sum = add_values(&mut self.b, Atom::Var(old), contrib);
@@ -164,14 +182,33 @@ impl Rev {
         let adj = self.adjoint_or_zero(v);
         let adj_ty = self.b.ty_of(adj);
         if adj_ty.is_acc() {
-            let new =
-                self.b.bind1(adj_ty, Exp::UpdAcc { acc: adj, idx: idx.to_vec(), val: contrib });
+            let new = self.b.bind1(
+                adj_ty,
+                Exp::UpdAcc {
+                    acc: adj,
+                    idx: idx.to_vec(),
+                    val: contrib,
+                },
+            );
             self.adj.insert(v, new);
         } else {
             let elem_ty = adj_ty.index(idx.len());
-            let old = self.b.bind1(elem_ty, Exp::Index { arr: adj, idx: idx.to_vec() });
+            let old = self.b.bind1(
+                elem_ty,
+                Exp::Index {
+                    arr: adj,
+                    idx: idx.to_vec(),
+                },
+            );
             let new = add_values(&mut self.b, Atom::Var(old), contrib);
-            let upd = self.b.bind1(adj_ty, Exp::Update { arr: adj, idx: idx.to_vec(), val: new });
+            let upd = self.b.bind1(
+                adj_ty,
+                Exp::Update {
+                    arr: adj,
+                    idx: idx.to_vec(),
+                    val: new,
+                },
+            );
             self.adj.insert(v, upd);
         }
     }
@@ -230,9 +267,12 @@ impl Rev {
         match &stm.exp {
             Exp::Loop { .. } => self.fwd_loop(stm.clone()),
             Exp::Reduce { lam, args, .. } => {
-                let scalar_single = args.len() == 1 && stm.pat.len() == 1 && stm.pat[0].ty == Type::F64;
-                let op_has_diff_free =
-                    lam.free_vars().iter().any(|v| self.b.ty_of(*v).is_differentiable());
+                let scalar_single =
+                    args.len() == 1 && stm.pat.len() == 1 && stm.pat[0].ty == Type::F64;
+                let op_has_diff_free = lam
+                    .free_vars()
+                    .iter()
+                    .any(|v| self.b.ty_of(*v).is_differentiable());
                 if !scalar_single || op_has_diff_free {
                     let lowered = self.lower_reduce_to_loop(stm);
                     return self.fwd_loop(lowered);
@@ -257,8 +297,10 @@ impl Rev {
             Exp::Scan { lam, args, .. } => {
                 let scalar_single =
                     args.len() == 1 && stm.pat.len() == 1 && stm.pat[0].ty == Type::arr_f64(1);
-                let op_has_diff_free =
-                    lam.free_vars().iter().any(|v| self.b.ty_of(*v).is_differentiable());
+                let op_has_diff_free = lam
+                    .free_vars()
+                    .iter()
+                    .any(|v| self.b.ty_of(*v).is_differentiable());
                 assert!(
                     scalar_single && !op_has_diff_free,
                     "vjp: only single-array scans over f64 scalars with closed operators are supported"
@@ -289,20 +331,31 @@ impl Rev {
     /// value of every loop parameter at the entry of each iteration.
     fn fwd_loop(&mut self, stm: Stm) -> FwdInfo {
         let (params, index, count, body) = match &stm.exp {
-            Exp::Loop { params, index, count, body } => {
-                (params.clone(), *index, *count, body.clone())
-            }
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => (params.clone(), *index, *count, body.clone()),
             _ => unreachable!("fwd_loop on non-loop"),
         };
         // Allocate the checkpoint arrays (shape: one slot per iteration).
         let mut ckpt_inits: Vec<(Type, VarId)> = Vec::new();
         for (p, init) in &params {
             let arr_ty = p.ty.lift();
-            let c0 = self.b.bind1(arr_ty, Exp::Replicate { n: count, val: *init });
+            let c0 = self.b.bind1(
+                arr_ty,
+                Exp::Replicate {
+                    n: count,
+                    val: *init,
+                },
+            );
             ckpt_inits.push((arr_ty, c0));
         }
-        let ckpt_params: Vec<Param> =
-            ckpt_inits.iter().map(|(t, _)| Param::new(self.b.fresh(*t), *t)).collect();
+        let ckpt_params: Vec<Param> = ckpt_inits
+            .iter()
+            .map(|(t, _)| Param::new(self.b.fresh(*t), *t))
+            .collect();
         // The checkpointing body: record each parameter, then run the
         // original body.
         let mut stms: Vec<Stm> = Vec::new();
@@ -311,7 +364,11 @@ impl Rev {
             let upd = self.b.fresh(cp.ty);
             stms.push(Stm::new(
                 vec![Param::new(upd, cp.ty)],
-                Exp::Update { arr: cp.var, idx: vec![Atom::Var(index)], val: Atom::Var(p.var) },
+                Exp::Update {
+                    arr: cp.var,
+                    idx: vec![Atom::Var(index)],
+                    val: Atom::Var(p.var),
+                },
             ));
             ckpt_results.push(Atom::Var(upd));
         }
@@ -330,9 +387,17 @@ impl Rev {
         }
         self.b.push_stm(Stm::new(
             pat,
-            Exp::Loop { params: new_params, index, count, body: new_body },
+            Exp::Loop {
+                params: new_params,
+                index,
+                count,
+                body: new_body,
+            },
         ));
-        FwdInfo::CheckpointedLoop { stm, checkpoints: ckpt_out }
+        FwdInfo::CheckpointedLoop {
+            stm,
+            checkpoints: ckpt_out,
+        }
     }
 
     /// Compute the index of the extremal element of a rank-1 `f64` array
@@ -367,7 +432,11 @@ impl Rev {
         let neutral = vec![Atom::f64(op.neutral_f64()), Atom::i64(-1)];
         let out = self.b.bind(
             &[Type::F64, Type::I64],
-            Exp::Reduce { lam, neutral, args: vec![arr, iot] },
+            Exp::Reduce {
+                lam,
+                neutral,
+                args: vec![arr, iot],
+            },
         );
         out[1]
     }
@@ -382,8 +451,11 @@ impl Rev {
         let k = args.len();
         let n = self.b.bind1(Type::I64, Exp::Len(args[0]));
         let index = self.b.fresh(Type::I64);
-        let acc_params: Vec<Param> =
-            lam.ret.iter().map(|t| Param::new(self.b.fresh(*t), *t)).collect();
+        let acc_params: Vec<Param> = lam
+            .ret
+            .iter()
+            .map(|t| Param::new(self.b.fresh(*t), *t))
+            .collect();
         let mut ren = Renamer::new();
         let fresh = ren.lambda(&mut self.b, lam);
         let mut stms: Vec<Stm> = Vec::new();
@@ -393,25 +465,50 @@ impl Rev {
         }
         for j in 0..k {
             let p = fresh.params[k + j];
-            stms.push(Stm::new(vec![p], Exp::Index { arr: args[j], idx: vec![Atom::Var(index)] }));
+            stms.push(Stm::new(
+                vec![p],
+                Exp::Index {
+                    arr: args[j],
+                    idx: vec![Atom::Var(index)],
+                },
+            ));
         }
         stms.extend(fresh.body.stms);
         let body = Body::new(stms, fresh.body.result);
-        let params: Vec<(Param, Atom)> =
-            acc_params.into_iter().zip(neutral.iter().copied()).collect();
-        Stm::new(stm.pat.clone(), Exp::Loop { params, index, count: Atom::Var(n), body })
+        let params: Vec<(Param, Atom)> = acc_params
+            .into_iter()
+            .zip(neutral.iter().copied())
+            .collect();
+        Stm::new(
+            stm.pat.clone(),
+            Exp::Loop {
+                params,
+                index,
+                count: Atom::Var(n),
+                body,
+            },
+        )
     }
 
     /// Lower a `reduce_by_index` with a non-`+` operator to a sequential
     /// loop of in-place updates (the fallback discussed in §5.1.2).
     fn lower_hist_to_loop(&mut self, stm: &Stm) -> Stm {
         let (op, num_bins, inds, vals) = match &stm.exp {
-            Exp::Hist { op, num_bins, inds, vals } => (*op, *num_bins, *inds, *vals),
+            Exp::Hist {
+                op,
+                num_bins,
+                inds,
+                vals,
+            } => (*op, *num_bins, *inds, *vals),
             _ => unreachable!(),
         };
-        let init = self
-            .b
-            .bind1(Type::arr_f64(1), Exp::Replicate { n: num_bins, val: Atom::f64(op.neutral_f64()) });
+        let init = self.b.bind1(
+            Type::arr_f64(1),
+            Exp::Replicate {
+                n: num_bins,
+                val: Atom::f64(op.neutral_f64()),
+            },
+        );
         let n = self.b.bind1(Type::I64, Exp::Len(inds));
         let hs = Param::new(self.b.fresh(Type::arr_f64(1)), Type::arr_f64(1));
         let index = self.b.fresh(Type::I64);
@@ -421,19 +518,49 @@ impl Rev {
         let comb = self.b.fresh(Type::F64);
         let upd = self.b.fresh(Type::arr_f64(1));
         let stms = vec![
-            Stm::new(vec![Param::new(bin, Type::I64)], Exp::Index { arr: inds, idx: vec![Atom::Var(index)] }),
-            Stm::new(vec![Param::new(v, Type::F64)], Exp::Index { arr: vals, idx: vec![Atom::Var(index)] }),
-            Stm::new(vec![Param::new(cur, Type::F64)], Exp::Index { arr: hs.var, idx: vec![Atom::Var(bin)] }),
-            Stm::new(vec![Param::new(comb, Type::F64)], Exp::BinOp(op.binop(), Atom::Var(cur), Atom::Var(v))),
+            Stm::new(
+                vec![Param::new(bin, Type::I64)],
+                Exp::Index {
+                    arr: inds,
+                    idx: vec![Atom::Var(index)],
+                },
+            ),
+            Stm::new(
+                vec![Param::new(v, Type::F64)],
+                Exp::Index {
+                    arr: vals,
+                    idx: vec![Atom::Var(index)],
+                },
+            ),
+            Stm::new(
+                vec![Param::new(cur, Type::F64)],
+                Exp::Index {
+                    arr: hs.var,
+                    idx: vec![Atom::Var(bin)],
+                },
+            ),
+            Stm::new(
+                vec![Param::new(comb, Type::F64)],
+                Exp::BinOp(op.binop(), Atom::Var(cur), Atom::Var(v)),
+            ),
             Stm::new(
                 vec![Param::new(upd, Type::arr_f64(1))],
-                Exp::Update { arr: hs.var, idx: vec![Atom::Var(bin)], val: Atom::Var(comb) },
+                Exp::Update {
+                    arr: hs.var,
+                    idx: vec![Atom::Var(bin)],
+                    val: Atom::Var(comb),
+                },
             ),
         ];
         let body = Body::new(stms, vec![Atom::Var(upd)]);
         Stm::new(
             stm.pat.clone(),
-            Exp::Loop { params: vec![(hs, Atom::Var(init))], index, count: Atom::Var(n), body },
+            Exp::Loop {
+                params: vec![(hs, Atom::Var(init))],
+                index,
+                count: Atom::Var(n),
+                body,
+            },
         )
     }
 
@@ -443,7 +570,10 @@ impl Rev {
 
     fn rev_stm(&mut self, stm: &Stm, info: &FwdInfo) {
         match info {
-            FwdInfo::CheckpointedLoop { stm: loop_stm, checkpoints } => {
+            FwdInfo::CheckpointedLoop {
+                stm: loop_stm,
+                checkpoints,
+            } => {
                 self.rev_loop(loop_stm, checkpoints);
                 return;
             }
@@ -481,7 +611,13 @@ impl Rev {
                 if let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) {
                     // Contribution to the written value.
                     let elem_ty = stm.pat[0].ty.index(idx.len());
-                    let g = self.b.bind1(elem_ty, Exp::Index { arr: adj, idx: idx.clone() });
+                    let g = self.b.bind1(
+                        elem_ty,
+                        Exp::Index {
+                            arr: adj,
+                            idx: idx.clone(),
+                        },
+                    );
                     self.add_to_atom_adjoint(*val, Atom::Var(g));
                     // Contribution to the array: the adjoint with the
                     // written position zeroed out.
@@ -490,8 +626,14 @@ impl Rev {
                     } else {
                         Atom::Var(zero_like(&mut self.b, g))
                     };
-                    let zeroed =
-                        self.b.bind1(stm.pat[0].ty, Exp::Update { arr: adj, idx: idx.clone(), val: zero });
+                    let zeroed = self.b.bind1(
+                        stm.pat[0].ty,
+                        Exp::Update {
+                            arr: adj,
+                            idx: idx.clone(),
+                            val: zero,
+                        },
+                    );
                     self.add_to_adjoint(*arr, Atom::Var(zeroed));
                 }
             }
@@ -512,9 +654,13 @@ impl Rev {
                             let acc = Param::new(self.b.fresh(val_ty), val_ty);
                             let idx = self.b.fresh(Type::I64);
                             self.b.begin_scope();
-                            let slice = self
-                                .b
-                                .bind1(val_ty, Exp::Index { arr: adj, idx: vec![Atom::Var(idx)] });
+                            let slice = self.b.bind1(
+                                val_ty,
+                                Exp::Index {
+                                    arr: adj,
+                                    idx: vec![Atom::Var(idx)],
+                                },
+                            );
                             let s = add_values(&mut self.b, Atom::Var(acc.var), Atom::Var(slice));
                             let stms = self.b.end_scope();
                             let out = self.b.bind1(
@@ -542,7 +688,11 @@ impl Rev {
                     self.add_to_adjoint(*v, Atom::Var(adj));
                 }
             }
-            Exp::If { cond, then_br, else_br } => self.rev_if(stm, *cond, then_br, else_br),
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => self.rev_if(stm, *cond, then_br, else_br),
             Exp::Map { lam, args } => self.rev_map(stm, lam, args),
             Exp::Reduce { lam, neutral, args } => {
                 // Only the scalar single-array case reaches here.
@@ -555,7 +705,12 @@ impl Rev {
                 Some(ReduceOp::Add) => self.rev_scan_add(stm, args[0]),
                 _ => self.rev_scan_general(stm, lam, &neutral[0], args[0]),
             },
-            Exp::Hist { num_bins, inds, vals, .. } => {
+            Exp::Hist {
+                num_bins,
+                inds,
+                vals,
+                ..
+            } => {
                 // Only the `+` operator reaches here: v̄als_k += h̄s[inds_k],
                 // with out-of-range bins contributing nothing (they were
                 // ignored by the forward histogram as well).
@@ -568,7 +723,13 @@ impl Rev {
                     let ok = self.b.and(nonneg, below);
                     let zero = self.b.bind1(Type::I64, Exp::Atom(Atom::i64(0)));
                     let safe = self.b.select(ok, Atom::Var(pi), Atom::Var(zero));
-                    let h = self.b.bind1(Type::F64, Exp::Index { arr: adj, idx: vec![safe] });
+                    let h = self.b.bind1(
+                        Type::F64,
+                        Exp::Index {
+                            arr: adj,
+                            idx: vec![safe],
+                        },
+                    );
                     let out = self.b.select(ok, Atom::Var(h), Atom::f64(0.0));
                     let stms = self.b.end_scope();
                     let lam = Lambda {
@@ -576,7 +737,13 @@ impl Rev {
                         body: Body::new(stms, vec![out]),
                         ret: vec![Type::F64],
                     };
-                    let g = self.b.bind1(Type::arr_f64(1), Exp::Map { lam, args: vec![*inds] });
+                    let g = self.b.bind1(
+                        Type::arr_f64(1),
+                        Exp::Map {
+                            lam,
+                            args: vec![*inds],
+                        },
+                    );
                     self.add_to_adjoint(*vals, Atom::Var(g));
                 }
             }
@@ -588,9 +755,14 @@ impl Rev {
                     // Contribution to the destination: the result adjoint
                     // with the scattered positions zeroed out.
                     let zeros = zero_like(&mut self.b, *vals);
-                    let zeroed = self
-                        .b
-                        .bind1(stm.pat[0].ty, Exp::Scatter { dest: adj, inds: *inds, vals: zeros });
+                    let zeroed = self.b.bind1(
+                        stm.pat[0].ty,
+                        Exp::Scatter {
+                            dest: adj,
+                            inds: *inds,
+                            vals: zeros,
+                        },
+                    );
                     self.add_to_adjoint(*dest, Atom::Var(zeroed));
                 }
             }
@@ -604,7 +776,9 @@ impl Rev {
         if stm.pat[0].ty != Type::F64 {
             return;
         }
-        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else { return };
+        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else {
+            return;
+        };
         let x = Atom::Var(stm.pat[0].var); // primal result, in scope
         let adj = Atom::Var(adj);
         let contrib = match op {
@@ -655,7 +829,9 @@ impl Rev {
         if stm.pat[0].ty != Type::F64 {
             return;
         }
-        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else { return };
+        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else {
+            return;
+        };
         let r = Atom::Var(stm.pat[0].var);
         let adj = Atom::Var(adj);
         match op {
@@ -694,7 +870,11 @@ impl Rev {
                 self.add_to_atom_adjoint(y, cy);
             }
             BinOp::Min | BinOp::Max => {
-                let cond = if op == BinOp::Min { self.b.le(x, y) } else { self.b.ge(x, y) };
+                let cond = if op == BinOp::Min {
+                    self.b.le(x, y)
+                } else {
+                    self.b.ge(x, y)
+                };
                 let cx = self.b.select(cond, adj, Atom::f64(0.0));
                 self.add_to_atom_adjoint(x, cx);
                 let cy = self.b.select(cond, Atom::f64(0.0), adj);
@@ -713,8 +893,11 @@ impl Rev {
 
     fn rev_if(&mut self, stm: &Stm, cond: Atom, then_br: &Body, else_br: &Body) {
         // Adjoints of the branch results.
-        let res_adj: Vec<Option<Atom>> =
-            stm.pat.iter().map(|p| self.adjoint_of_pat(p).map(Atom::Var)).collect();
+        let res_adj: Vec<Option<Atom>> = stm
+            .pat
+            .iter()
+            .map(|p| self.adjoint_of_pat(p).map(Atom::Var))
+            .collect();
         if res_adj.iter().all(Option::is_none) {
             return;
         }
@@ -743,7 +926,14 @@ impl Rev {
         let else_stms = self.b.end_scope();
         let else_body = Body::new(else_stms, adjs_e.iter().map(|v| Atom::Var(*v)).collect());
         self.adj = saved;
-        let outs = self.b.bind(&then_tys, Exp::If { cond, then_br: then_body, else_br: else_body });
+        let outs = self.b.bind(
+            &then_tys,
+            Exp::If {
+                cond,
+                then_br: then_body,
+                else_br: else_body,
+            },
+        );
         for (w, o) in wanted.iter().zip(outs) {
             self.adj.insert(*w, o);
         }
@@ -755,14 +945,22 @@ impl Rev {
 
     fn rev_loop(&mut self, stm: &Stm, checkpoints: &[VarId]) {
         let (params, _index, count, body) = match &stm.exp {
-            Exp::Loop { params, index, count, body } => (params, *index, *count, body),
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => (params, *index, *count, body),
             _ => unreachable!(),
         };
         // Which loop parameters carry derivatives.
-        let diff_idx: Vec<usize> =
-            (0..params.len()).filter(|j| params[*j].0.ty.is_differentiable()).collect();
+        let diff_idx: Vec<usize> = (0..params.len())
+            .filter(|j| params[*j].0.ty.is_differentiable())
+            .collect();
         // Adjoints of the loop outputs (order: differentiable params only).
-        let out_adj_exists = diff_idx.iter().any(|j| self.adjoint_of_pat(&stm.pat[*j]).is_some());
+        let out_adj_exists = diff_idx
+            .iter()
+            .any(|j| self.adjoint_of_pat(&stm.pat[*j]).is_some());
         // Free differentiable variables of the loop body (excluding params/index).
         let mut fvs: Vec<VarId> = stm
             .exp
@@ -775,8 +973,10 @@ impl Rev {
             return;
         }
         // Initial values of the loop-carried adjoints.
-        let init_out_adj: Vec<VarId> =
-            diff_idx.iter().map(|j| self.adjoint_or_zero(stm.pat[*j].var)).collect();
+        let init_out_adj: Vec<VarId> = diff_idx
+            .iter()
+            .map(|j| self.adjoint_or_zero(stm.pat[*j].var))
+            .collect();
         let init_fv_adj: Vec<VarId> = fvs.iter().map(|v| self.adjoint_or_zero(*v)).collect();
 
         // Loop-carried adjoint parameters.
@@ -805,12 +1005,18 @@ impl Rev {
         let i = self.b.isub(cm1, Atom::Var(ridx));
         // Re-install the checkpointed loop parameters for iteration i.
         for ((p, _), ck) in params.iter().zip(checkpoints) {
-            let stm_reinstall =
-                Stm::new(vec![*p], Exp::Index { arr: *ck, idx: vec![i] });
+            let stm_reinstall = Stm::new(
+                vec![*p],
+                Exp::Index {
+                    arr: *ck,
+                    idx: vec![i],
+                },
+            );
             self.b.push_stm(stm_reinstall);
         }
         // Bind the original loop index to i as well.
-        self.b.push_stm(Stm::new(vec![Param::new(_index, Type::I64)], Exp::Atom(i)));
+        self.b
+            .push_stm(Stm::new(vec![Param::new(_index, Type::I64)], Exp::Atom(i)));
         // Adjoint environment for the loop body scope.
         self.adj = HashMap::new();
         for (fv, fp) in fvs.iter().zip(&fvbar_params) {
@@ -839,7 +1045,12 @@ impl Rev {
         let out_tys: Vec<Type> = rev_params.iter().map(|(p, _)| p.ty).collect();
         let outs = self.b.bind(
             &out_tys,
-            Exp::Loop { params: rev_params, index: ridx, count, body: rev_body },
+            Exp::Loop {
+                params: rev_params,
+                index: ridx,
+                count,
+                body: rev_body,
+            },
         );
         // The first group of outputs are the adjoints of the loop-variant
         // initializers; the rest are the final free-variable adjoints. The
@@ -862,14 +1073,20 @@ impl Rev {
 
     fn rev_map(&mut self, stm: &Stm, lam: &Lambda, args: &[VarId]) {
         // Adjoints of the map outputs.
-        let diff_out: Vec<usize> =
-            (0..stm.pat.len()).filter(|j| stm.pat[*j].ty.is_differentiable()).collect();
-        if diff_out.is_empty() || diff_out.iter().all(|j| self.adjoint_of_pat(&stm.pat[*j]).is_none())
+        let diff_out: Vec<usize> = (0..stm.pat.len())
+            .filter(|j| stm.pat[*j].ty.is_differentiable())
+            .collect();
+        if diff_out.is_empty()
+            || diff_out
+                .iter()
+                .all(|j| self.adjoint_of_pat(&stm.pat[*j]).is_none())
         {
             return;
         }
-        let out_adj: Vec<VarId> =
-            diff_out.iter().map(|j| self.adjoint_or_zero(stm.pat[*j].var)).collect();
+        let out_adj: Vec<VarId> = diff_out
+            .iter()
+            .map(|j| self.adjoint_or_zero(stm.pat[*j].var))
+            .collect();
 
         // Free differentiable variables of the lambda.
         let mut fvs: Vec<VarId> = lam
@@ -878,8 +1095,16 @@ impl Rev {
             .filter(|v| self.b.ty_of(*v).is_differentiable())
             .collect();
         fvs.sort();
-        let sfv: Vec<VarId> = fvs.iter().copied().filter(|v| self.b.ty_of(*v).is_scalar()).collect();
-        let afv: Vec<VarId> = fvs.iter().copied().filter(|v| self.b.ty_of(*v).is_array()).collect();
+        let sfv: Vec<VarId> = fvs
+            .iter()
+            .copied()
+            .filter(|v| self.b.ty_of(*v).is_scalar())
+            .collect();
+        let afv: Vec<VarId> = fvs
+            .iter()
+            .copied()
+            .filter(|v| self.b.ty_of(*v).is_array())
+            .collect();
         // Partition array free variables: those whose adjoint is already an
         // accumulator are passed through; the rest get wrapped in `withacc`.
         let mut wrap: Vec<VarId> = Vec::new();
@@ -935,7 +1160,8 @@ impl Rev {
         // Bind the original lambda parameters to the element parameters so
         // the re-executed body refers to the right values.
         for (orig, elem) in lam.params.iter().zip(&elem_params) {
-            self.b.push_stm(Stm::new(vec![*orig], Exp::Atom(Atom::Var(elem.var))));
+            self.b
+                .push_stm(Stm::new(vec![*orig], Exp::Atom(Atom::Var(elem.var))));
         }
         // Adjoint environment for this scope: only the accumulators.
         self.adj = HashMap::new();
@@ -992,7 +1218,13 @@ impl Rev {
             let mut map_args: Vec<VarId> = args.to_vec();
             map_args.extend(out_adj.iter().copied());
             map_args.extend(pass.iter().map(|(_, a)| *a));
-            let outs = self.b.bind(&map_out_tys, Exp::Map { lam: inner_lam, args: map_args });
+            let outs = self.b.bind(
+                &map_out_tys,
+                Exp::Map {
+                    lam: inner_lam,
+                    args: map_args,
+                },
+            );
             self.finish_map_adjoints(&outs, &diff_args, args, &sfv, n_arg, n_sfv);
             // Passed-through accumulators: keep the freshest handle.
             for (k, (v, _)) in pass.iter().enumerate() {
@@ -1012,7 +1244,13 @@ impl Rev {
             map_args.extend(out_adj.iter().copied());
             map_args.extend(acc_lam_params.iter().map(|p| p.var));
             map_args.extend(pass.iter().map(|(_, a)| *a));
-            let map_outs = self.b.bind(&map_out_tys, Exp::Map { lam: inner_lam, args: map_args });
+            let map_outs = self.b.bind(
+                &map_out_tys,
+                Exp::Map {
+                    lam: inner_lam,
+                    args: map_args,
+                },
+            );
             let with_stms = self.b.end_scope();
             // withacc lambda result: the wrapped accumulators first, then the
             // secondary (array) results.
@@ -1039,9 +1277,13 @@ impl Rev {
             for k in 0..n_arg + n_sfv {
                 with_out_tys.push(self.b.ty_of(map_outs[k]));
             }
-            let outs = self
-                .b
-                .bind(&with_out_tys, Exp::WithAcc { arrs: wrap_adj.clone(), lam: with_lam });
+            let outs = self.b.bind(
+                &with_out_tys,
+                Exp::WithAcc {
+                    arrs: wrap_adj.clone(),
+                    lam: with_lam,
+                },
+            );
             // Updated adjoints of the wrapped free variables.
             for (k, v) in wrap.iter().enumerate() {
                 self.adj.insert(*v, outs[k]);
@@ -1079,11 +1321,16 @@ impl Rev {
     // -----------------------------------------------------------------
 
     fn rev_reduce_add(&mut self, stm: &Stm, arr: VarId) {
-        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else { return };
+        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else {
+            return;
+        };
         let n = self.b.bind1(Type::I64, Exp::Len(arr));
         let rep = self.b.bind1(
             Type::arr_f64(1),
-            Exp::Replicate { n: Atom::Var(n), val: Atom::Var(adj) },
+            Exp::Replicate {
+                n: Atom::Var(n),
+                val: Atom::Var(adj),
+            },
         );
         self.add_to_adjoint(arr, Atom::Var(rep));
     }
@@ -1093,21 +1340,31 @@ impl Rev {
             Exp::Reduce { args, .. } => args[0],
             _ => unreachable!(),
         };
-        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else { return };
+        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else {
+            return;
+        };
         self.add_index_to_adjoint(arr, &[Atom::Var(iext)], Atom::Var(adj));
     }
 
     /// The general reduce rule: exclusive prefix products from the left and
     /// right, then a map applying the operator's vjp per element (§5.1).
     fn rev_reduce_general(&mut self, stm: &Stm, lam: &Lambda, neutral: &Atom, arr: VarId) {
-        let Some(yadj) = self.adjoint_of_pat(&stm.pat[0]) else { return };
+        let Some(yadj) = self.adjoint_of_pat(&stm.pat[0]) else {
+            return;
+        };
         let ne = *neutral;
         let n = self.b.bind1(Type::I64, Exp::Len(arr));
         // ls_i = a_0 ⊙ ... ⊙ a_{i-1}   (exclusive scan from the left)
         let mut ren = Renamer::new();
         let lam1 = ren.lambda(&mut self.b, lam);
-        let incl =
-            self.b.bind1(Type::arr_f64(1), Exp::Scan { lam: lam1, neutral: vec![ne], args: vec![arr] });
+        let incl = self.b.bind1(
+            Type::arr_f64(1),
+            Exp::Scan {
+                lam: lam1,
+                neutral: vec![ne],
+                args: vec![arr],
+            },
+        );
         let iot = self.b.bind1(Type::arr_i64(1), Exp::Iota(Atom::Var(n)));
         let ls = self.exclusive_from_inclusive(incl, iot, ne, true, n);
         // rs_i = a_{i+1} ⊙ ... ⊙ a_{n-1}  (exclusive scan from the right,
@@ -1116,7 +1373,11 @@ impl Rev {
         let flipped = self.flip_operator(lam);
         let rincl = self.b.bind1(
             Type::arr_f64(1),
-            Exp::Scan { lam: flipped, neutral: vec![ne], args: vec![rarr] },
+            Exp::Scan {
+                lam: flipped,
+                neutral: vec![ne],
+                args: vec![rarr],
+            },
         );
         let rs = self.exclusive_from_right(rincl, iot, ne, n);
         // Per-element contribution: vjp of (\l a r -> (l ⊙ a) ⊙ r) w.r.t. a.
@@ -1138,8 +1399,16 @@ impl Rev {
         self.b.begin_scope();
         let is_first = self.b.eq(Atom::Var(pi), Atom::i64(0));
         let im1 = self.b.isub(Atom::Var(pi), Atom::i64(1));
-        let clamped = self.b.bind1(Type::I64, Exp::BinOp(BinOp::Max, im1, Atom::i64(0)));
-        let prev = self.b.bind1(Type::F64, Exp::Index { arr: incl, idx: vec![Atom::Var(clamped)] });
+        let clamped = self
+            .b
+            .bind1(Type::I64, Exp::BinOp(BinOp::Max, im1, Atom::i64(0)));
+        let prev = self.b.bind1(
+            Type::F64,
+            Exp::Index {
+                arr: incl,
+                idx: vec![Atom::Var(clamped)],
+            },
+        );
         let out = self.b.select(is_first, ne, Atom::Var(prev));
         let stms = self.b.end_scope();
         let lam = Lambda {
@@ -1147,7 +1416,13 @@ impl Rev {
             body: Body::new(stms, vec![out]),
             ret: vec![Type::F64],
         };
-        self.b.bind1(Type::arr_f64(1), Exp::Map { lam, args: vec![iot] })
+        self.b.bind1(
+            Type::arr_f64(1),
+            Exp::Map {
+                lam,
+                args: vec![iot],
+            },
+        )
     }
 
     /// rs_i = a_{i+1} ⊙ ... ⊙ a_{n-1} from the inclusive flipped scan of the
@@ -1159,8 +1434,16 @@ impl Rev {
         let is_last = self.b.eq(Atom::Var(pi), nm1);
         let nm2 = self.b.isub(Atom::Var(n), Atom::i64(2));
         let idx = self.b.isub(nm2, Atom::Var(pi));
-        let clamped = self.b.bind1(Type::I64, Exp::BinOp(BinOp::Max, idx, Atom::i64(0)));
-        let v = self.b.bind1(Type::F64, Exp::Index { arr: rincl, idx: vec![Atom::Var(clamped)] });
+        let clamped = self
+            .b
+            .bind1(Type::I64, Exp::BinOp(BinOp::Max, idx, Atom::i64(0)));
+        let v = self.b.bind1(
+            Type::F64,
+            Exp::Index {
+                arr: rincl,
+                idx: vec![Atom::Var(clamped)],
+            },
+        );
         let out = self.b.select(is_last, ne, Atom::Var(v));
         let stms = self.b.end_scope();
         let lam = Lambda {
@@ -1168,7 +1451,13 @@ impl Rev {
             body: Body::new(stms, vec![out]),
             ret: vec![Type::F64],
         };
-        self.b.bind1(Type::arr_f64(1), Exp::Map { lam, args: vec![iot] })
+        self.b.bind1(
+            Type::arr_f64(1),
+            Exp::Map {
+                lam,
+                args: vec![iot],
+            },
+        )
     }
 
     /// `λ x y -> y ⊙ x` for a binary scalar operator lambda.
@@ -1233,7 +1522,13 @@ impl Rev {
             body: Body::new(inner_stms, vec![Atom::Var(adjs[0])]),
             ret: vec![Type::F64],
         };
-        self.b.bind1(Type::arr_f64(1), Exp::Map { lam: inner, args: vec![ls, arr, rs] })
+        self.b.bind1(
+            Type::arr_f64(1),
+            Exp::Map {
+                lam: inner,
+                args: vec![ls, arr, rs],
+            },
+        )
     }
 
     // -----------------------------------------------------------------
@@ -1241,7 +1536,9 @@ impl Rev {
     // -----------------------------------------------------------------
 
     fn rev_scan_add(&mut self, stm: &Stm, arr: VarId) {
-        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else { return };
+        let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) else {
+            return;
+        };
         // as̄ += reverse (scan (+) 0 (reverse ȳs))
         let r = self.b.bind1(Type::arr_f64(1), Exp::Reverse(adj));
         let s = self.b.scan_add(r);
@@ -1253,7 +1550,9 @@ impl Rev {
     /// `r̄s_i = ȳs_i + c_i · r̄s_{i+1}` with a scan over linear-function
     /// composition (`lin_o`), then map the operator's vjp over the elements.
     fn rev_scan_general(&mut self, stm: &Stm, lam: &Lambda, _neutral: &Atom, arr: VarId) {
-        let Some(yadj) = self.adjoint_of_pat(&stm.pat[0]) else { return };
+        let Some(yadj) = self.adjoint_of_pat(&stm.pat[0]) else {
+            return;
+        };
         let ys = stm.pat[0].var; // primal scan result, in scope
         let n = self.b.bind1(Type::I64, Exp::Len(arr));
         let iot = self.b.bind1(Type::arr_i64(1), Exp::Iota(Atom::Var(n)));
@@ -1265,11 +1564,29 @@ impl Rev {
         let saved = self.adj.clone();
         self.b.begin_scope();
         let is_last = self.b.eq(Atom::Var(pi), nm1);
-        let d_here = self.b.bind1(Type::F64, Exp::Index { arr: yadj, idx: vec![Atom::Var(pi)] });
-        let y_here = self.b.bind1(Type::F64, Exp::Index { arr: ys, idx: vec![Atom::Var(pi)] });
+        let d_here = self.b.bind1(
+            Type::F64,
+            Exp::Index {
+                arr: yadj,
+                idx: vec![Atom::Var(pi)],
+            },
+        );
+        let y_here = self.b.bind1(
+            Type::F64,
+            Exp::Index {
+                arr: ys,
+                idx: vec![Atom::Var(pi)],
+            },
+        );
         let ip1 = self.b.iadd(Atom::Var(pi), Atom::i64(1));
         let ip1c = self.b.bind1(Type::I64, Exp::BinOp(BinOp::Min, ip1, nm1));
-        let a_next = self.b.bind1(Type::F64, Exp::Index { arr, idx: vec![Atom::Var(ip1c)] });
+        let a_next = self.b.bind1(
+            Type::F64,
+            Exp::Index {
+                arr,
+                idx: vec![Atom::Var(ip1c)],
+            },
+        );
         // c = ∂(y ⊙ a_next)/∂y with seed 1.
         self.adj = HashMap::new();
         let (dx, _dy) = self.op_partials(lam, Atom::Var(y_here), Atom::Var(a_next), Atom::f64(1.0));
@@ -1284,7 +1601,10 @@ impl Rev {
         };
         let dc = self.b.bind(
             &[Type::arr_f64(1), Type::arr_f64(1)],
-            Exp::Map { lam: dclam, args: vec![iot] },
+            Exp::Map {
+                lam: dclam,
+                args: vec![iot],
+            },
         );
         let (ds, cs) = (dc[0], dc[1]);
 
@@ -1295,10 +1615,20 @@ impl Rev {
         let lin = self.lin_o_operator();
         let scanned = self.b.bind(
             &[Type::arr_f64(1), Type::arr_f64(1)],
-            Exp::Scan { lam: lin, neutral: vec![Atom::f64(0.0), Atom::f64(1.0)], args: vec![rds, rcs] },
+            Exp::Scan {
+                lam: lin,
+                neutral: vec![Atom::f64(0.0), Atom::f64(1.0)],
+                args: vec![rds, rcs],
+            },
         );
         // r̄s = reverse (map (\d c -> d + c * ȳs[n-1]) scanned)
-        let ylast = self.b.bind1(Type::F64, Exp::Index { arr: yadj, idx: vec![nm1] });
+        let ylast = self.b.bind1(
+            Type::F64,
+            Exp::Index {
+                arr: yadj,
+                idx: vec![nm1],
+            },
+        );
         let pd = self.b.fresh(Type::F64);
         let pc = self.b.fresh(Type::F64);
         self.b.begin_scope();
@@ -1310,8 +1640,13 @@ impl Rev {
             body: Body::new(stms, vec![o]),
             ret: vec![Type::F64],
         };
-        let rbar_rev =
-            self.b.bind1(Type::arr_f64(1), Exp::Map { lam: finlam, args: vec![scanned[0], scanned[1]] });
+        let rbar_rev = self.b.bind1(
+            Type::arr_f64(1),
+            Exp::Map {
+                lam: finlam,
+                args: vec![scanned[0], scanned[1]],
+            },
+        );
         let rbar = self.b.bind1(Type::arr_f64(1), Exp::Reverse(rbar_rev));
 
         // ās_i += if i == 0 then r̄s_0 else ∂(ys_{i-1} ⊙ a_i)/∂a_i · r̄s_i
@@ -1320,9 +1655,23 @@ impl Rev {
         self.b.begin_scope();
         let is_first = self.b.eq(Atom::Var(qi), Atom::i64(0));
         let im1 = self.b.isub(Atom::Var(qi), Atom::i64(1));
-        let im1c = self.b.bind1(Type::I64, Exp::BinOp(BinOp::Max, im1, Atom::i64(0)));
-        let y_prev = self.b.bind1(Type::F64, Exp::Index { arr: ys, idx: vec![Atom::Var(im1c)] });
-        let r_here = self.b.bind1(Type::F64, Exp::Index { arr: rbar, idx: vec![Atom::Var(qi)] });
+        let im1c = self
+            .b
+            .bind1(Type::I64, Exp::BinOp(BinOp::Max, im1, Atom::i64(0)));
+        let y_prev = self.b.bind1(
+            Type::F64,
+            Exp::Index {
+                arr: ys,
+                idx: vec![Atom::Var(im1c)],
+            },
+        );
+        let r_here = self.b.bind1(
+            Type::F64,
+            Exp::Index {
+                arr: rbar,
+                idx: vec![Atom::Var(qi)],
+            },
+        );
         self.adj = HashMap::new();
         let (_dx, dy) = self.op_partials(lam, Atom::Var(y_prev), Atom::Var(qa), Atom::Var(r_here));
         self.adj = saved.clone();
@@ -1334,8 +1683,13 @@ impl Rev {
             body: Body::new(stms, vec![out]),
             ret: vec![Type::F64],
         };
-        let contrib =
-            self.b.bind1(Type::arr_f64(1), Exp::Map { lam: contriblam, args: vec![iot, arr] });
+        let contrib = self.b.bind1(
+            Type::arr_f64(1),
+            Exp::Map {
+                lam: contriblam,
+                args: vec![iot, arr],
+            },
+        );
         self.add_to_adjoint(arr, Atom::Var(contrib));
     }
 

@@ -24,7 +24,12 @@ pub fn stripmine_loops(fun: &Fun, factor: i64) -> Fun {
     register_fun_types(&mut b, fun);
     let mut ctx = Strip { b, factor };
     let body = ctx.body(&fun.body);
-    Fun { name: fun.name.clone(), params: fun.params.clone(), body, ret: fun.ret.clone() }
+    Fun {
+        name: fun.name.clone(),
+        params: fun.params.clone(),
+        body,
+        ret: fun.ret.clone(),
+    }
 }
 
 struct Strip {
@@ -43,26 +48,49 @@ impl Strip {
     }
 
     fn lambda(&mut self, lam: &Lambda) -> Lambda {
-        Lambda { params: lam.params.clone(), body: self.body(&lam.body), ret: lam.ret.clone() }
+        Lambda {
+            params: lam.params.clone(),
+            body: self.body(&lam.body),
+            ret: lam.ret.clone(),
+        }
     }
 
     fn stm(&mut self, stm: &Stm) {
         match &stm.exp {
-            Exp::Loop { params, index, count, body } => {
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => {
                 let inner_body = self.body(body);
                 self.emit_stripmined(stm, params, *index, *count, &inner_body);
             }
-            Exp::If { cond, then_br, else_br } => {
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => {
                 let t = self.body(then_br);
                 let e = self.body(else_br);
                 self.b.push_stm(Stm::new(
                     stm.pat.clone(),
-                    Exp::If { cond: *cond, then_br: t, else_br: e },
+                    Exp::If {
+                        cond: *cond,
+                        then_br: t,
+                        else_br: e,
+                    },
                 ));
             }
             Exp::Map { lam, args } => {
                 let lam = self.lambda(lam);
-                self.b.push_stm(Stm::new(stm.pat.clone(), Exp::Map { lam, args: args.clone() }));
+                self.b.push_stm(Stm::new(
+                    stm.pat.clone(),
+                    Exp::Map {
+                        lam,
+                        args: args.clone(),
+                    },
+                ));
             }
             _ => self.b.push_stm(stm.clone()),
         }
@@ -87,7 +115,10 @@ impl Strip {
 
         // Inner loop: fresh parameters that shadow nothing; the guarded body
         // either runs the original body or passes the values through.
-        let inner_params: Vec<Param> = tys.iter().map(|t| Param::new(self.b.fresh(*t), *t)).collect();
+        let inner_params: Vec<Param> = tys
+            .iter()
+            .map(|t| Param::new(self.b.fresh(*t), *t))
+            .collect();
         let inner_index = self.b.fresh(Type::I64);
         // Outer loop parameters reuse the original parameter variables so the
         // (unchanged) body can keep referring to them via the inner copies.
@@ -115,12 +146,14 @@ impl Strip {
             Exp::If {
                 cond: in_range,
                 then_br: renamed_body,
-                else_br: Body::new(vec![], inner_params.iter().map(|p| Atom::Var(p.var)).collect()),
+                else_br: Body::new(
+                    vec![],
+                    inner_params.iter().map(|p| Atom::Var(p.var)).collect(),
+                ),
             },
         );
         let inner_stms = self.b.end_scope();
-        let inner_body =
-            Body::new(inner_stms, guarded.iter().map(|v| Atom::Var(*v)).collect());
+        let inner_body = Body::new(inner_stms, guarded.iter().map(|v| Atom::Var(*v)).collect());
 
         // Build the outer loop body: run the inner loop starting from the
         // outer loop-variant values.
@@ -132,11 +165,18 @@ impl Strip {
             .collect();
         let inner_out = self.b.bind(
             &tys,
-            Exp::Loop { params: inner_inits, index: inner_index, count: k, body: inner_body },
+            Exp::Loop {
+                params: inner_inits,
+                index: inner_index,
+                count: k,
+                body: inner_body,
+            },
         );
         let outer_stms = self.b.end_scope();
-        let outer_body =
-            Body::new(outer_stms, inner_out.iter().map(|v| Atom::Var(*v)).collect());
+        let outer_body = Body::new(
+            outer_stms,
+            inner_out.iter().map(|v| Atom::Var(*v)).collect(),
+        );
 
         self.b.push_stm(Stm::new(
             stm.pat.clone(),

@@ -66,7 +66,12 @@ fn figure1_example_adjoints() {
     let (y0b, y1b) = (0.3, 1.1);
     let out = Interp::sequential().run(
         &d,
-        &[Value::F64(x0), Value::F64(x1), Value::F64(y0b), Value::F64(y1b)],
+        &[
+            Value::F64(x0),
+            Value::F64(x1),
+            Value::F64(y0b),
+            Value::F64(y1b),
+        ],
     );
     // Analytic vjp: x̄0 = ȳ0·x1·cos(x0) + ȳ1·x1 ; x̄1 = ȳ0·sin(x0) + ȳ1·x0.
     let want_x0 = y0b * x1 * x0.cos() + y1b * x1;
@@ -173,14 +178,18 @@ fn map_with_free_array_indexing_becomes_accumulator() {
     // turn into accumulator updates in the reverse sweep. Duplicate indices
     // exercise the atomic accumulation.
     let mut b = Builder::new();
-    let f = b.build_fun("gathersq", &[Type::arr_f64(1), Type::arr_i64(1)], |b, ps| {
-        let xs = ps[0];
-        let ys = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
-            let x = b.index(xs, &[es[0].into()]);
-            vec![b.fmul(x.into(), x.into())]
-        });
-        vec![Atom::Var(b.sum(ys))]
-    });
+    let f = b.build_fun(
+        "gathersq",
+        &[Type::arr_f64(1), Type::arr_i64(1)],
+        |b, ps| {
+            let xs = ps[0];
+            let ys = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
+                let x = b.index(xs, &[es[0].into()]);
+                vec![b.fmul(x.into(), x.into())]
+            });
+            vec![Atom::Var(b.sum(ys))]
+        },
+    );
     let d = checked_vjp(&f);
     let xs = vec![1.0, 2.0, 3.0, 4.0];
     let inds = Value::from(vec![0i64, 2, 2, 3]);
@@ -222,33 +231,39 @@ fn nested_map_matrix_gradient() {
 fn matrix_multiply_gradient() {
     // The §6.1 running example: c = a · b, objective = sum of all entries.
     let mut b = Builder::new();
-    let f = b.build_fun("matmul_obj", &[Type::arr_f64(2), Type::arr_f64(2)], |b, ps| {
-        let a = ps[0];
-        let bm = ps[1];
-        let m = b.len(a);
-        let rows_i = b.iota(m);
-        let c = b.map1(Type::arr_f64(2), &[rows_i], |b, iv| {
-            let i = iv[0];
-            let arow = b.index(a, &[i.into()]);
-            let b0 = b.index(bm, &[Atom::i64(0)]);
-            let n = b.len(b0);
-            let cols_j = b.iota(n);
-            let row = b.map1(Type::arr_f64(1), &[cols_j], |b, jv| {
-                let j = jv[0];
-                let k = b.len(arow);
-                let ks = b.iota(k);
-                let prods = b.map1(Type::arr_f64(1), &[ks], |b, kv| {
-                    let aik = b.index(arow, &[kv[0].into()]);
-                    let bkj = b.index(bm, &[kv[0].into(), j.into()]);
-                    vec![b.fmul(aik.into(), bkj.into())]
+    let f = b.build_fun(
+        "matmul_obj",
+        &[Type::arr_f64(2), Type::arr_f64(2)],
+        |b, ps| {
+            let a = ps[0];
+            let bm = ps[1];
+            let m = b.len(a);
+            let rows_i = b.iota(m);
+            let c = b.map1(Type::arr_f64(2), &[rows_i], |b, iv| {
+                let i = iv[0];
+                let arow = b.index(a, &[i.into()]);
+                let b0 = b.index(bm, &[Atom::i64(0)]);
+                let n = b.len(b0);
+                let cols_j = b.iota(n);
+                let row = b.map1(Type::arr_f64(1), &[cols_j], |b, jv| {
+                    let j = jv[0];
+                    let k = b.len(arow);
+                    let ks = b.iota(k);
+                    let prods = b.map1(Type::arr_f64(1), &[ks], |b, kv| {
+                        let aik = b.index(arow, &[kv[0].into()]);
+                        let bkj = b.index(bm, &[kv[0].into(), j.into()]);
+                        vec![b.fmul(aik.into(), bkj.into())]
+                    });
+                    vec![Atom::Var(b.sum(prods))]
                 });
-                vec![Atom::Var(b.sum(prods))]
+                vec![Atom::Var(row)]
             });
-            vec![Atom::Var(row)]
-        });
-        let row_sums = b.map1(Type::arr_f64(1), &[c], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
-        vec![Atom::Var(b.sum(row_sums))]
-    });
+            let row_sums = b.map1(Type::arr_f64(1), &[c], |b, rs| {
+                vec![Atom::Var(b.sum(rs[0]))]
+            });
+            vec![Atom::Var(b.sum(row_sums))]
+        },
+    );
     let a = mat([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     let bm = mat([3, 2], vec![0.5, -1.0, 2.0, 1.5, -0.5, 1.0]);
     assert_gradients_match(&f, &[a, bm], 1e-4);
@@ -376,7 +391,11 @@ fn histogram_add_gradient() {
         vec![Atom::Var(b.sum(sq))]
     });
     let inds = Value::from(vec![0i64, 1, 0, 2, 1, 7]);
-    assert_gradients_match(&f, &[vec_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]), inds], 1e-5);
+    assert_gradients_match(
+        &f,
+        &[vec_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]), inds],
+        1e-5,
+    );
 }
 
 #[test]
@@ -408,7 +427,11 @@ fn scatter_gradient() {
     let inds = Value::from(vec![1i64, 3]);
     assert_gradients_match(
         &f,
-        &[vec_f64(vec![1.0, 2.0, 3.0, 4.0]), vec_f64(vec![10.0, 20.0]), inds],
+        &[
+            vec_f64(vec![1.0, 2.0, 3.0, 4.0]),
+            vec_f64(vec![10.0, 20.0]),
+            inds,
+        ],
         1e-5,
     );
 }
@@ -478,21 +501,33 @@ fn loop_power_gradient() {
 fn loop_with_array_state_gradient() {
     // An iterative smoothing loop over an array: x_{t+1}[i] = x_t[i] * 0.9 + c.
     let mut b = Builder::new();
-    let f = b.build_fun("smooth", &[Type::arr_f64(1), Type::F64, Type::I64], |b, ps| {
-        let c = Atom::Var(ps[1]);
-        let n = Atom::Var(ps[2]);
-        let r = b.loop_(&[(Type::arr_f64(1), Atom::Var(ps[0]))], n, |b, _i, state| {
-            let next = b.map1(Type::arr_f64(1), &[state[0]], |b, es| {
-                let t = b.fmul(es[0].into(), Atom::f64(0.9));
-                vec![b.fadd(t, c)]
-            });
-            vec![Atom::Var(next)]
-        });
-        vec![Atom::Var(b.sum(r[0]))]
-    });
+    let f = b.build_fun(
+        "smooth",
+        &[Type::arr_f64(1), Type::F64, Type::I64],
+        |b, ps| {
+            let c = Atom::Var(ps[1]);
+            let n = Atom::Var(ps[2]);
+            let r = b.loop_(
+                &[(Type::arr_f64(1), Atom::Var(ps[0]))],
+                n,
+                |b, _i, state| {
+                    let next = b.map1(Type::arr_f64(1), &[state[0]], |b, es| {
+                        let t = b.fmul(es[0].into(), Atom::f64(0.9));
+                        vec![b.fadd(t, c)]
+                    });
+                    vec![Atom::Var(next)]
+                },
+            );
+            vec![Atom::Var(b.sum(r[0]))]
+        },
+    );
     assert_gradients_match(
         &f,
-        &[vec_f64(vec![1.0, -2.0, 0.5]), Value::F64(0.3), Value::I64(4)],
+        &[
+            vec_f64(vec![1.0, -2.0, 0.5]),
+            Value::F64(0.3),
+            Value::I64(4),
+        ],
         1e-5,
     );
 }
@@ -541,7 +576,9 @@ fn perfect_nest_example_from_fig2() {
             );
             vec![r[0].into()]
         });
-        let sums = b.map1(Type::arr_f64(1), &[xss], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
+        let sums = b.map1(Type::arr_f64(1), &[xss], |b, rs| {
+            vec![Atom::Var(b.sum(rs[0]))]
+        });
         vec![Atom::Var(b.sum(sums))]
     });
     let cs = Value::Arr(Array::from_bool(vec![2], vec![true, false]));
@@ -610,7 +647,12 @@ fn jvp_over_vjp_computes_hessian_diagonal() {
         // Arguments: xs, seed (=1), tangent of xs, tangent of seed (=0).
         let out = interp.run(
             &hess,
-            &[vec_f64(xs.clone()), Value::F64(1.0), vec_f64(dx), Value::F64(0.0)],
+            &[
+                vec_f64(xs.clone()),
+                Value::F64(1.0),
+                vec_f64(dx),
+                Value::F64(0.0),
+            ],
         );
         // Outputs: primal, grad, d(primal), d(grad). The tangent of the
         // gradient in direction e_i is the i-th Hessian column.
@@ -633,7 +675,11 @@ fn vjp_preserves_primal_results() {
     let d = checked_vjp(&f);
     let out = Interp::sequential().run(
         &d,
-        &[vec_f64(vec![1.0, 5.0, 2.0]), Value::F64(1.0), Value::F64(0.0)],
+        &[
+            vec_f64(vec![1.0, 5.0, 2.0]),
+            Value::F64(1.0),
+            Value::F64(0.0),
+        ],
     );
     assert_eq!(out[0].as_f64(), 8.0);
     assert_eq!(out[1].as_f64(), 5.0);

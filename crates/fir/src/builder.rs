@@ -27,14 +27,22 @@ impl Default for Builder {
 impl Builder {
     /// A new builder with no open scope.
     pub fn new() -> Builder {
-        Builder { next: 0, scopes: vec![], types: HashMap::new() }
+        Builder {
+            next: 0,
+            scopes: vec![],
+            types: HashMap::new(),
+        }
     }
 
     /// A builder whose fresh names start above every name used in `f`,
     /// seeded with the types of the function parameters. Used by
     /// transformation passes that extend an existing function.
     pub fn for_fun(f: &Fun) -> Builder {
-        let mut b = Builder { next: f.max_var() + 1, scopes: vec![], types: HashMap::new() };
+        let mut b = Builder {
+            next: f.max_var() + 1,
+            scopes: vec![],
+            types: HashMap::new(),
+        };
         for p in &f.params {
             b.types.insert(p.var, p.ty);
         }
@@ -78,7 +86,9 @@ impl Builder {
 
     /// Close the innermost scope and return its statements.
     pub fn end_scope(&mut self) -> Vec<Stm> {
-        self.scopes.pop().expect("Builder::end_scope: no open scope")
+        self.scopes
+            .pop()
+            .expect("Builder::end_scope: no open scope")
     }
 
     /// Append a pre-built statement to the innermost scope, recording the
@@ -261,13 +271,26 @@ impl Builder {
     /// `arr[idx...]`.
     pub fn index(&mut self, arr: VarId, idx: &[Atom]) -> VarId {
         let ty = self.ty_of(arr).index(idx.len());
-        self.bind1(ty, Exp::Index { arr, idx: idx.to_vec() })
+        self.bind1(
+            ty,
+            Exp::Index {
+                arr,
+                idx: idx.to_vec(),
+            },
+        )
     }
 
     /// `arr with [idx...] <- val`.
     pub fn update(&mut self, arr: VarId, idx: &[Atom], val: Atom) -> VarId {
         let ty = self.ty_of(arr);
-        self.bind1(ty, Exp::Update { arr, idx: idx.to_vec(), val })
+        self.bind1(
+            ty,
+            Exp::Update {
+                arr,
+                idx: idx.to_vec(),
+                val,
+            },
+        )
     }
 
     /// Outer length of an array.
@@ -310,13 +333,20 @@ impl Builder {
         param_tys: &[Type],
         f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
     ) -> Lambda {
-        let params: Vec<Param> = param_tys.iter().map(|t| Param::new(self.fresh(*t), *t)).collect();
+        let params: Vec<Param> = param_tys
+            .iter()
+            .map(|t| Param::new(self.fresh(*t), *t))
+            .collect();
         let vars: Vec<VarId> = params.iter().map(|p| p.var).collect();
         self.begin_scope();
         let result = f(self, &vars);
         let stms = self.end_scope();
         let ret = result.iter().map(|a| self.ty_of_atom(a)).collect();
-        Lambda { params, body: Body::new(stms, result), ret }
+        Lambda {
+            params,
+            body: Body::new(stms, result),
+            ret,
+        }
     }
 
     /// `if cond then ... else ...` returning values of types `ret`.
@@ -364,7 +394,12 @@ impl Builder {
         let tys: Vec<Type> = inits.iter().map(|(t, _)| *t).collect();
         self.bind(
             &tys,
-            Exp::Loop { params, index, count, body: Body::new(stms, result) },
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body: Body::new(stms, result),
+            },
         )
     }
 
@@ -390,7 +425,13 @@ impl Builder {
             })
             .collect();
         let lam = self.lambda(&elem_tys, f);
-        self.bind(out_tys, Exp::Map { lam, args: args.to_vec() })
+        self.bind(
+            out_tys,
+            Exp::Map {
+                lam,
+                args: args.to_vec(),
+            },
+        )
     }
 
     /// `map` with a single result array.
@@ -416,7 +457,14 @@ impl Builder {
         let mut lam_tys = elem_tys.clone();
         lam_tys.extend(elem_tys);
         let lam = self.lambda(&lam_tys, f);
-        self.bind(out_tys, Exp::Reduce { lam, neutral: neutral.to_vec(), args: args.to_vec() })
+        self.bind(
+            out_tys,
+            Exp::Reduce {
+                lam,
+                neutral: neutral.to_vec(),
+                args: args.to_vec(),
+            },
+        )
     }
 
     /// `reduce` of a single `f64` array with a recognized commutative
@@ -455,7 +503,14 @@ impl Builder {
         let mut lam_tys = elem_tys.clone();
         lam_tys.extend(elem_tys);
         let lam = self.lambda(&lam_tys, f);
-        self.bind(out_tys, Exp::Scan { lam, neutral: neutral.to_vec(), args: args.to_vec() })
+        self.bind(
+            out_tys,
+            Exp::Scan {
+                lam,
+                neutral: neutral.to_vec(),
+                args: args.to_vec(),
+            },
+        )
     }
 
     /// Inclusive prefix sum of a `f64` array.
@@ -469,7 +524,15 @@ impl Builder {
     /// `reduce_by_index` (generalized histogram).
     pub fn hist(&mut self, op: ReduceOp, num_bins: Atom, inds: VarId, vals: VarId) -> VarId {
         let ty = self.ty_of(vals);
-        self.bind1(ty, Exp::Hist { op, num_bins, inds, vals })
+        self.bind1(
+            ty,
+            Exp::Hist {
+                op,
+                num_bins,
+                inds,
+                vals,
+            },
+        )
     }
 
     /// `scatter dest inds vals`.
@@ -489,13 +552,26 @@ impl Builder {
         let acc_tys: Vec<Type> = arrs.iter().map(|a| self.ty_of(*a).to_acc()).collect();
         let lam = self.lambda(&acc_tys, f);
         let out_tys: Vec<Type> = arrs.iter().map(|a| self.ty_of(*a)).collect();
-        self.bind(&out_tys, Exp::WithAcc { arrs: arrs.to_vec(), lam })
+        self.bind(
+            &out_tys,
+            Exp::WithAcc {
+                arrs: arrs.to_vec(),
+                lam,
+            },
+        )
     }
 
     /// `upd_acc acc idx val`.
     pub fn upd_acc(&mut self, acc: VarId, idx: &[Atom], val: Atom) -> VarId {
         let ty = self.ty_of(acc);
-        self.bind1(ty, Exp::UpdAcc { acc, idx: idx.to_vec(), val })
+        self.bind1(
+            ty,
+            Exp::UpdAcc {
+                acc,
+                idx: idx.to_vec(),
+                val,
+            },
+        )
     }
 
     // ---------------------------------------------------------------
@@ -510,13 +586,21 @@ impl Builder {
         param_tys: &[Type],
         f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
     ) -> Fun {
-        let params: Vec<Param> = param_tys.iter().map(|t| Param::new(self.fresh(*t), *t)).collect();
+        let params: Vec<Param> = param_tys
+            .iter()
+            .map(|t| Param::new(self.fresh(*t), *t))
+            .collect();
         let vars: Vec<VarId> = params.iter().map(|p| p.var).collect();
         self.begin_scope();
         let result = f(self, &vars);
         let stms = self.end_scope();
         let ret = result.iter().map(|a| self.ty_of_atom(a)).collect();
-        Fun { name: name.to_string(), params, body: Body::new(stms, result), ret }
+        Fun {
+            name: name.to_string(),
+            params,
+            body: Body::new(stms, result),
+            ret,
+        }
     }
 }
 

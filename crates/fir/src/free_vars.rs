@@ -105,12 +105,21 @@ impl FreeVars for Exp {
                 use_atom(n, bound, out);
                 use_atom(val, bound, out);
             }
-            Exp::If { cond, then_br, else_br } => {
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => {
                 use_atom(cond, bound, out);
                 then_br.free_vars_into(bound, out);
                 else_br.free_vars_into(bound, out);
             }
-            Exp::Loop { params, index, count, body } => {
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => {
                 for (_, init) in params {
                     use_atom(init, bound, out);
                 }
@@ -138,7 +147,12 @@ impl FreeVars for Exp {
                 neutral.iter().for_each(|a| use_atom(a, bound, out));
                 args.iter().for_each(|v| use_var(*v, bound, out));
             }
-            Exp::Hist { num_bins, inds, vals, .. } => {
+            Exp::Hist {
+                num_bins,
+                inds,
+                vals,
+                ..
+            } => {
                 use_atom(num_bins, bound, out);
                 use_var(*inds, bound, out);
                 use_var(*vals, bound, out);

@@ -176,7 +176,14 @@ impl BinOp {
     pub fn is_predicate(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Neq
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -288,7 +295,11 @@ pub enum Exp {
     /// `arr[i_1, ..., i_k]` — partial indexing yields a lower-rank array.
     Index { arr: VarId, idx: Vec<Atom> },
     /// `arr with [i_1, ..., i_k] <- val` — functional in-place update.
-    Update { arr: VarId, idx: Vec<Atom>, val: Atom },
+    Update {
+        arr: VarId,
+        idx: Vec<Atom>,
+        val: Atom,
+    },
     /// Outer length of an array.
     Len(VarId),
     /// `iota n` = `[0, 1, ..., n-1] : []i64`.
@@ -300,7 +311,11 @@ pub enum Exp {
     /// An explicit copy (used to break aliasing before in-place updates).
     Copy(VarId),
     /// `if cond then ... else ...` over full bodies (multi-valued).
-    If { cond: Atom, then_br: Body, else_br: Body },
+    If {
+        cond: Atom,
+        then_br: Body,
+        else_br: Body,
+    },
     /// A sequential loop:
     /// `loop (p_1 = init_1, ...) for index < count do body`,
     /// where `body` returns the next values of the `p_i`.
@@ -313,15 +328,32 @@ pub enum Exp {
     /// `map lam arrs` — the lambda consumes one element of each array.
     Map { lam: Lambda, args: Vec<VarId> },
     /// `reduce lam neutral arrs` with an associative operator.
-    Reduce { lam: Lambda, neutral: Vec<Atom>, args: Vec<VarId> },
+    Reduce {
+        lam: Lambda,
+        neutral: Vec<Atom>,
+        args: Vec<VarId>,
+    },
     /// Inclusive `scan lam neutral arrs`.
-    Scan { lam: Lambda, neutral: Vec<Atom>, args: Vec<VarId> },
+    Scan {
+        lam: Lambda,
+        neutral: Vec<Atom>,
+        args: Vec<VarId>,
+    },
     /// `reduce_by_index` (generalized histogram) with a recognized operator:
     /// `hist op num_bins inds vals`.
-    Hist { op: ReduceOp, num_bins: Atom, inds: VarId, vals: VarId },
+    Hist {
+        op: ReduceOp,
+        num_bins: Atom,
+        inds: VarId,
+        vals: VarId,
+    },
     /// `scatter dest inds vals` — in-place scattered update of `dest`
     /// (consumed); out-of-bounds indices are ignored.
-    Scatter { dest: VarId, inds: VarId, vals: VarId },
+    Scatter {
+        dest: VarId,
+        inds: VarId,
+        vals: VarId,
+    },
     /// `withacc arrs lam`: temporarily turn the arrays into accumulators,
     /// run the lambda (whose first `arrs.len()` parameters are the
     /// accumulators and whose first `arrs.len()` results are the final
@@ -330,7 +362,11 @@ pub enum Exp {
     WithAcc { arrs: Vec<VarId>, lam: Lambda },
     /// `upd_acc acc idx val`: add `val` into the accumulator at `idx`
     /// (vectorized addition if `val` is an array), returning the accumulator.
-    UpdAcc { acc: VarId, idx: Vec<Atom>, val: Atom },
+    UpdAcc {
+        acc: VarId,
+        idx: Vec<Atom>,
+        val: Atom,
+    },
 }
 
 impl Exp {
@@ -436,12 +472,21 @@ impl Fun {
                     atom(n, m);
                     atom(val, m);
                 }
-                Exp::If { cond, then_br, else_br } => {
+                Exp::If {
+                    cond,
+                    then_br,
+                    else_br,
+                } => {
                     atom(cond, m);
                     body(then_br, m);
                     body(else_br, m);
                 }
-                Exp::Loop { params, index, count, body: b } => {
+                Exp::Loop {
+                    params,
+                    index,
+                    count,
+                    body: b,
+                } => {
                     for (p, init) in params {
                         *m = (*m).max(p.var.0);
                         atom(init, m);
@@ -459,7 +504,12 @@ impl Fun {
                     neutral.iter().for_each(|a| atom(a, m));
                     args.iter().for_each(|v| *m = (*m).max(v.0));
                 }
-                Exp::Hist { num_bins, inds, vals, .. } => {
+                Exp::Hist {
+                    num_bins,
+                    inds,
+                    vals,
+                    ..
+                } => {
                     atom(num_bins, m);
                     *m = (*m).max(inds.0);
                     *m = (*m).max(vals.0);

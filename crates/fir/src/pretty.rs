@@ -76,7 +76,11 @@ fn reduce_op_name(op: ReduceOp) -> &'static str {
 
 fn write_lambda(out: &mut String, lam: &Lambda, level: usize) {
     out.push_str("(\\");
-    let params: Vec<String> = lam.params.iter().map(|p| format!("{}: {}", p.var, p.ty)).collect();
+    let params: Vec<String> = lam
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.var, p.ty))
+        .collect();
     out.push_str(&params.join(" "));
     out.push_str(" ->\n");
     write_body(out, &lam.body, level + 1);
@@ -94,7 +98,13 @@ fn write_exp(out: &mut String, e: &Exp, level: usize) {
             let _ = write!(out, "{} {} {}", atom_str(a), binop_sym(*op), atom_str(b));
         }
         Exp::Select { cond, t, f } => {
-            let _ = write!(out, "select {} {} {}", atom_str(cond), atom_str(t), atom_str(f));
+            let _ = write!(
+                out,
+                "select {} {} {}",
+                atom_str(cond),
+                atom_str(t),
+                atom_str(f)
+            );
         }
         Exp::Index { arr, idx } => {
             let _ = write!(out, "{arr}[{}]", atoms_str(idx));
@@ -117,8 +127,12 @@ fn write_exp(out: &mut String, e: &Exp, level: usize) {
         Exp::Copy(v) => {
             let _ = write!(out, "copy {v}");
         }
-        Exp::If { cond, then_br, else_br } => {
-            let _ = write!(out, "if {}\n", atom_str(cond));
+        Exp::If {
+            cond,
+            then_br,
+            else_br,
+        } => {
+            let _ = writeln!(out, "if {}", atom_str(cond));
             indent(out, level);
             out.push_str("then\n");
             write_body(out, then_br, level + 1);
@@ -127,10 +141,22 @@ fn write_exp(out: &mut String, e: &Exp, level: usize) {
             write_body(out, else_br, level + 1);
             indent(out, level);
         }
-        Exp::Loop { params, index, count, body } => {
-            let binds: Vec<String> =
-                params.iter().map(|(p, init)| format!("{} = {}", p.var, atom_str(init))).collect();
-            let _ = write!(out, "loop ({}) for {index} < {} do\n", binds.join(", "), atom_str(count));
+        Exp::Loop {
+            params,
+            index,
+            count,
+            body,
+        } => {
+            let binds: Vec<String> = params
+                .iter()
+                .map(|(p, init)| format!("{} = {}", p.var, atom_str(init)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "loop ({}) for {index} < {} do",
+                binds.join(", "),
+                atom_str(count)
+            );
             write_body(out, body, level + 1);
             indent(out, level);
         }
@@ -157,7 +183,12 @@ fn write_exp(out: &mut String, e: &Exp, level: usize) {
                 let _ = write!(out, " {a}");
             }
         }
-        Exp::Hist { op, num_bins, inds, vals } => {
+        Exp::Hist {
+            op,
+            num_bins,
+            inds,
+            vals,
+        } => {
             let _ = write!(
                 out,
                 "reduce_by_index {} {} {inds} {vals}",
@@ -194,15 +225,24 @@ fn write_body(out: &mut String, b: &Body, level: usize) {
         out.push('\n');
     }
     indent(out, level);
-    let _ = write!(out, "in ({})\n", atoms_str(&b.result));
+    let _ = writeln!(out, "in ({})", atoms_str(&b.result));
 }
 
 impl fmt::Display for Fun {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let params: Vec<String> =
-            self.params.iter().map(|p| format!("({}: {})", p.var, p.ty)).collect();
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| format!("({}: {})", p.var, p.ty))
+            .collect();
         let rets: Vec<String> = self.ret.iter().map(|t| t.to_string()).collect();
-        writeln!(f, "def {} {} : ({}) =", self.name, params.join(" "), rets.join(", "))?;
+        writeln!(
+            f,
+            "def {} {} : ({}) =",
+            self.name,
+            params.join(" "),
+            rets.join(", ")
+        )?;
         let mut out = String::new();
         write_body(&mut out, &self.body, 1);
         write!(f, "{out}")

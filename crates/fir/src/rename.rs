@@ -64,7 +64,11 @@ impl Renamer {
     pub fn lambda(&mut self, b: &mut Builder, lam: &Lambda) -> Lambda {
         let params = lam.params.iter().map(|p| self.fresh_param(b, p)).collect();
         let body = self.body(b, &lam.body);
-        Lambda { params, body, ret: lam.ret.clone() }
+        Lambda {
+            params,
+            body,
+            ret: lam.ret.clone(),
+        }
     }
 
     fn exp(&mut self, b: &mut Builder, e: &Exp) -> Exp {
@@ -88,17 +92,27 @@ impl Renamer {
             },
             Exp::Len(v) => Exp::Len(self.var(*v)),
             Exp::Iota(n) => Exp::Iota(self.atom(n)),
-            Exp::Replicate { n, val } => {
-                Exp::Replicate { n: self.atom(n), val: self.atom(val) }
-            }
+            Exp::Replicate { n, val } => Exp::Replicate {
+                n: self.atom(n),
+                val: self.atom(val),
+            },
             Exp::Reverse(v) => Exp::Reverse(self.var(*v)),
             Exp::Copy(v) => Exp::Copy(self.var(*v)),
-            Exp::If { cond, then_br, else_br } => Exp::If {
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => Exp::If {
                 cond: self.atom(cond),
                 then_br: self.body(b, then_br),
                 else_br: self.body(b, else_br),
             },
-            Exp::Loop { params, index, count, body } => {
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => {
                 let count = self.atom(count);
                 let params: Vec<(Param, Atom)> = params
                     .iter()
@@ -110,7 +124,12 @@ impl Renamer {
                 let new_index = b.fresh(crate::types::Type::I64);
                 self.map.insert(*index, new_index);
                 let body = self.body(b, body);
-                Exp::Loop { params, index: new_index, count, body }
+                Exp::Loop {
+                    params,
+                    index: new_index,
+                    count,
+                    body,
+                }
             }
             Exp::Map { lam, args } => Exp::Map {
                 lam: self.lambda(b, lam),
@@ -126,7 +145,12 @@ impl Renamer {
                 neutral: neutral.iter().map(|a| self.atom(a)).collect(),
                 args: args.iter().map(|v| self.var(*v)).collect(),
             },
-            Exp::Hist { op, num_bins, inds, vals } => Exp::Hist {
+            Exp::Hist {
+                op,
+                num_bins,
+                inds,
+                vals,
+            } => Exp::Hist {
                 op: *op,
                 num_bins: self.atom(num_bins),
                 inds: self.var(*inds),
@@ -183,7 +207,12 @@ mod tests {
         let fv: Vec<_> = fresh.free_vars().into_iter().collect();
         assert_eq!(fv, vec![free]);
         // Inner bindings are disjoint from the original's.
-        let orig_bound: Vec<_> = lam.body.stms.iter().flat_map(|s| s.pat.iter().map(|p| p.var)).collect();
+        let orig_bound: Vec<_> = lam
+            .body
+            .stms
+            .iter()
+            .flat_map(|s| s.pat.iter().map(|p| p.var))
+            .collect();
         for s in &fresh.body.stms {
             for p in &s.pat {
                 assert!(!orig_bound.contains(&p.var));

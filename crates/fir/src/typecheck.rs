@@ -42,7 +42,10 @@ impl Env {
     }
 
     fn lookup(&self, v: VarId) -> Result<Type, TypeError> {
-        self.vars.get(&v).copied().ok_or_else(|| TypeError(format!("unbound variable {v}")))
+        self.vars
+            .get(&v)
+            .copied()
+            .ok_or_else(|| TypeError(format!("unbound variable {v}")))
     }
 
     fn atom(&self, a: &Atom) -> Result<Type, TypeError> {
@@ -79,7 +82,12 @@ fn check_index(env: &Env, idx: &[Atom], what: &str) -> Result<(), TypeError> {
 
 /// Check a lambda against the given argument element types; returns its
 /// declared result types.
-fn check_lambda(env: &Env, lam: &Lambda, expected_params: &[Type], what: &str) -> Result<Vec<Type>, TypeError> {
+fn check_lambda(
+    env: &Env,
+    lam: &Lambda,
+    expected_params: &[Type],
+    what: &str,
+) -> Result<Vec<Type>, TypeError> {
     if lam.params.len() != expected_params.len() {
         bail!(
             "{what}: lambda takes {} parameters, expected {}",
@@ -89,7 +97,11 @@ fn check_lambda(env: &Env, lam: &Lambda, expected_params: &[Type], what: &str) -
     }
     for (p, want) in lam.params.iter().zip(expected_params) {
         if p.ty != *want {
-            bail!("{what}: lambda parameter {} has type {}, expected {want}", p.var, p.ty);
+            bail!(
+                "{what}: lambda parameter {} has type {}, expected {want}",
+                p.var,
+                p.ty
+            );
         }
     }
     let mut inner = env.clone();
@@ -98,7 +110,11 @@ fn check_lambda(env: &Env, lam: &Lambda, expected_params: &[Type], what: &str) -
     }
     let got = check_body(&inner, &lam.body)?;
     if got != lam.ret {
-        bail!("{what}: lambda body returns {:?}, declared {:?}", got, lam.ret);
+        bail!(
+            "{what}: lambda body returns {:?}, declared {:?}",
+            got,
+            lam.ret
+        );
     }
     Ok(lam.ret.clone())
 }
@@ -140,7 +156,11 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
             if matches!(op, BinOp::And | BinOp::Or) && sa != ScalarType::Bool {
                 bail!("logical operator on {ta}");
             }
-            let out = if op.is_predicate() { ScalarType::Bool } else { sa };
+            let out = if op.is_predicate() {
+                ScalarType::Bool
+            } else {
+                sa
+            };
             Ok(vec![Type::Scalar(out)])
         }
         Exp::Select { cond, t, f } => {
@@ -203,7 +223,11 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
             expect_array(t, "reverse/copy")?;
             Ok(vec![t])
         }
-        Exp::If { cond, then_br, else_br } => {
+        Exp::If {
+            cond,
+            then_br,
+            else_br,
+        } => {
             if env.atom(cond)? != Type::BOOL {
                 bail!("if condition must be bool");
             }
@@ -214,7 +238,12 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
             }
             Ok(tt)
         }
-        Exp::Loop { params, index, count, body } => {
+        Exp::Loop {
+            params,
+            index,
+            count,
+            body,
+        } => {
             if env.atom(count)? != Type::I64 {
                 bail!("loop count must be i64");
             }
@@ -222,7 +251,11 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
             for (p, init) in params {
                 let ti = env.atom(init)?;
                 if ti != p.ty {
-                    bail!("loop parameter {} has type {}, initializer has {ti}", p.var, p.ty);
+                    bail!(
+                        "loop parameter {} has type {}, initializer has {ti}",
+                        p.var,
+                        p.ty
+                    );
                 }
                 inner.bind(p);
             }
@@ -268,7 +301,11 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
                 elem_tys.push(t.peel());
             }
             if neutral.len() != elem_tys.len() {
-                bail!("reduce/scan has {} neutral elements for {} arrays", neutral.len(), elem_tys.len());
+                bail!(
+                    "reduce/scan has {} neutral elements for {} arrays",
+                    neutral.len(),
+                    elem_tys.len()
+                );
             }
             for (ne, t) in neutral.iter().zip(&elem_tys) {
                 let tn = env.atom(ne)?;
@@ -280,7 +317,11 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
             lam_params.extend(elem_tys.iter().copied());
             let ret = check_lambda(env, lam, &lam_params, "reduce/scan")?;
             if ret != elem_tys {
-                bail!("reduce/scan operator returns {:?}, expected {:?}", ret, elem_tys);
+                bail!(
+                    "reduce/scan operator returns {:?}, expected {:?}",
+                    ret,
+                    elem_tys
+                );
             }
             if is_scan {
                 Ok(ret.iter().map(|t| t.lift()).collect())
@@ -288,7 +329,12 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
                 Ok(ret)
             }
         }
-        Exp::Hist { num_bins, inds, vals, .. } => {
+        Exp::Hist {
+            num_bins,
+            inds,
+            vals,
+            ..
+        } => {
             if env.atom(num_bins)? != Type::I64 {
                 bail!("hist bin count must be i64");
             }
@@ -327,7 +373,10 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
             let acc_tys: Vec<Type> = arr_tys.iter().map(|t| t.to_acc()).collect();
             let ret = check_lambda(env, lam, &acc_tys, "withacc")?;
             if ret.len() < arrs.len() {
-                bail!("withacc lambda must return at least {} accumulators", arrs.len());
+                bail!(
+                    "withacc lambda must return at least {} accumulators",
+                    arrs.len()
+                );
             }
             for (r, want) in ret.iter().take(arrs.len()).zip(&acc_tys) {
                 if r != want {
@@ -345,7 +394,10 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
                 _ => bail!("upd_acc target must be an accumulator, got {t}"),
             };
             if idx.len() > rank {
-                bail!("upd_acc on rank-{rank} accumulator with {} indices", idx.len());
+                bail!(
+                    "upd_acc on rank-{rank} accumulator with {} indices",
+                    idx.len()
+                );
             }
             check_index(env, idx, "upd_acc")?;
             let tv = env.atom(val)?;
@@ -389,7 +441,12 @@ pub fn check_fun(f: &Fun) -> Result<(), TypeError> {
     }
     let got = check_body(&env, &f.body)?;
     if got != f.ret {
-        bail!("function {} returns {:?}, declared {:?}", f.name, got, f.ret);
+        bail!(
+            "function {} returns {:?}, declared {:?}",
+            f.name,
+            got,
+            f.ret
+        );
     }
     Ok(())
 }
@@ -462,7 +519,12 @@ mod tests {
                 vec![b.fadd(acc[0].into(), acc[0].into())]
             });
             let cond = b.gt(doubled[0].into(), Atom::f64(1.0));
-            let r = b.if_(cond, &[Type::F64], |_b| vec![doubled[0].into()], |_b| vec![Atom::f64(0.0)]);
+            let r = b.if_(
+                cond,
+                &[Type::F64],
+                |_b| vec![doubled[0].into()],
+                |_b| vec![Atom::f64(0.0)],
+            );
             vec![r[0].into()]
         });
         check_fun(&f).unwrap();
@@ -492,13 +554,21 @@ mod tests {
     #[test]
     fn rejects_scatter_type_mismatch() {
         let mut b = Builder::new();
-        let f = b.build_fun("bad_scatter", &[Type::arr_f64(1), Type::arr_i64(1), Type::arr_i64(1)], |b, ps| {
-            let out = b.bind1(
-                Type::arr_f64(1),
-                Exp::Scatter { dest: ps[0], inds: ps[1], vals: ps[2] },
-            );
-            vec![out.into()]
-        });
+        let f = b.build_fun(
+            "bad_scatter",
+            &[Type::arr_f64(1), Type::arr_i64(1), Type::arr_i64(1)],
+            |b, ps| {
+                let out = b.bind1(
+                    Type::arr_f64(1),
+                    Exp::Scatter {
+                        dest: ps[0],
+                        inds: ps[1],
+                        vals: ps[2],
+                    },
+                );
+                vec![out.into()]
+            },
+        );
         assert!(check_fun(&f).is_err());
     }
 }

@@ -55,22 +55,34 @@ impl Type {
 
     /// An `f64` array of the given rank.
     pub fn arr_f64(rank: usize) -> Type {
-        Type::Array { elem: ScalarType::F64, rank }
+        Type::Array {
+            elem: ScalarType::F64,
+            rank,
+        }
     }
 
     /// An `i64` array of the given rank.
     pub fn arr_i64(rank: usize) -> Type {
-        Type::Array { elem: ScalarType::I64, rank }
+        Type::Array {
+            elem: ScalarType::I64,
+            rank,
+        }
     }
 
     /// A `bool` array of the given rank.
     pub fn arr_bool(rank: usize) -> Type {
-        Type::Array { elem: ScalarType::Bool, rank }
+        Type::Array {
+            elem: ScalarType::Bool,
+            rank,
+        }
     }
 
     /// An accumulator over an `f64` array of the given rank.
     pub fn acc_f64(rank: usize) -> Type {
-        Type::Acc { elem: ScalarType::F64, rank }
+        Type::Acc {
+            elem: ScalarType::F64,
+            rank,
+        }
     }
 
     /// The element type of this type (its own type if scalar).
@@ -117,14 +129,20 @@ impl Type {
                 if rank == 1 {
                     Type::Scalar(elem)
                 } else {
-                    Type::Array { elem, rank: rank - 1 }
+                    Type::Array {
+                        elem,
+                        rank: rank - 1,
+                    }
                 }
             }
             Type::Acc { elem, rank } => {
                 if rank == 1 {
                     Type::Scalar(elem)
                 } else {
-                    Type::Acc { elem, rank: rank - 1 }
+                    Type::Acc {
+                        elem,
+                        rank: rank - 1,
+                    }
                 }
             }
             Type::Scalar(_) => panic!("Type::peel on a scalar"),
@@ -135,7 +153,10 @@ impl Type {
     pub fn lift(&self) -> Type {
         match *self {
             Type::Scalar(elem) => Type::Array { elem, rank: 1 },
-            Type::Array { elem, rank } => Type::Array { elem, rank: rank + 1 },
+            Type::Array { elem, rank } => Type::Array {
+                elem,
+                rank: rank + 1,
+            },
             Type::Acc { .. } => panic!("Type::lift on an accumulator"),
         }
     }
@@ -224,7 +245,13 @@ mod tests {
     #[test]
     fn acc_conversions() {
         let t = Type::arr_f64(2);
-        assert_eq!(t.to_acc(), Type::Acc { elem: ScalarType::F64, rank: 2 });
+        assert_eq!(
+            t.to_acc(),
+            Type::Acc {
+                elem: ScalarType::F64,
+                rank: 2
+            }
+        );
         assert_eq!(t.to_acc().from_acc(), t);
     }
 }

@@ -1,0 +1,179 @@
+//! The register bytecode.
+//!
+//! A [`Program`] is the unit of compilation: one flat instruction stream for
+//! the function body ([`CodeObject`]) plus one pre-compiled
+//! [`Kernel`](crate::kernel::Kernel) per SOAC lambda anywhere in the
+//! function. Registers are dense `u32` slots into a per-invocation frame of
+//! [`Value`](interp::Value)s — variable lookups cost an array index instead
+//! of a hash-map probe, and control flow (`if`, `loop`) is lowered to jumps
+//! inside the same frame, so no environments are allocated at runtime.
+
+use fir::ir::{BinOp, ReduceOp, UnOp};
+
+use crate::kernel::Kernel;
+
+/// A register index into the current frame.
+pub type Reg = u32;
+
+/// An instruction operand: a register or an immediate scalar constant.
+/// Immediates keep constants out of the register file entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Opnd {
+    /// Read the register.
+    Reg(Reg),
+    /// An `f64` immediate.
+    F64(f64),
+    /// An `i64` immediate.
+    I64(i64),
+    /// A `bool` immediate.
+    Bool(bool),
+}
+
+/// One bytecode instruction. SOAC instructions reference kernels by index
+/// into [`Program::kernels`]; `captures` lists the registers whose values
+/// the kernel's free variables take, copied into the kernel frame once per
+/// SOAC invocation (not once per element, as the tree-walking interpreter
+/// effectively does via environment chains).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst <- src`.
+    Mov { dst: Reg, src: Opnd },
+    /// `dst <- take src`: move the value out of `src`, leaving a
+    /// placeholder. Emitted for loop/branch result moves of locally-bound
+    /// values so no stale `Arc` clone survives in a dead register — a stale
+    /// clone would force copy-on-write on every consuming `Update` of a
+    /// loop-carried array, turning O(iterations) in-place updates into
+    /// O(iterations × length) copies.
+    Take { dst: Reg, src: Reg },
+    /// `dst <- op a`.
+    Un { op: UnOp, dst: Reg, a: Opnd },
+    /// `dst <- a op b`.
+    Bin {
+        op: BinOp,
+        dst: Reg,
+        a: Opnd,
+        b: Opnd,
+    },
+    /// `dst <- if cond then t else f` (both operands already evaluated).
+    Select {
+        dst: Reg,
+        cond: Opnd,
+        t: Opnd,
+        f: Opnd,
+    },
+    /// `dst <- arr[idx...]` (partial indexing yields a sub-array).
+    Index {
+        dst: Reg,
+        arr: Reg,
+        idx: Box<[Opnd]>,
+    },
+    /// `dst <- arr with [idx...] <- val`. When `consume` is set (decided by
+    /// the compiler's uniqueness analysis) the source register is moved out,
+    /// so a uniquely-held buffer is updated in place without copying;
+    /// otherwise the value is cloned and copy-on-write applies.
+    Update {
+        dst: Reg,
+        arr: Reg,
+        idx: Box<[Opnd]>,
+        val: Opnd,
+        consume: bool,
+    },
+    /// `dst <- length arr`.
+    Len { dst: Reg, arr: Reg },
+    /// `dst <- iota n`.
+    Iota { dst: Reg, n: Opnd },
+    /// `dst <- replicate n val`.
+    Replicate { dst: Reg, n: Opnd, val: Opnd },
+    /// `dst <- reverse arr`.
+    Reverse { dst: Reg, arr: Reg },
+    /// Unconditional jump to an instruction index.
+    Jmp { target: usize },
+    /// Jump when `cond` is false.
+    JmpIfNot { cond: Opnd, target: usize },
+    /// Bulk-parallel `map` of a kernel over the outer dimension of `args`.
+    Map {
+        kernel: usize,
+        dsts: Box<[Reg]>,
+        args: Box<[Reg]>,
+        captures: Box<[Reg]>,
+    },
+    /// `reduce` with a kernel operator and neutral element(s).
+    Reduce {
+        kernel: usize,
+        dsts: Box<[Reg]>,
+        neutral: Box<[Opnd]>,
+        args: Box<[Reg]>,
+        captures: Box<[Reg]>,
+    },
+    /// Inclusive `scan`.
+    Scan {
+        kernel: usize,
+        dsts: Box<[Reg]>,
+        neutral: Box<[Opnd]>,
+        args: Box<[Reg]>,
+        captures: Box<[Reg]>,
+    },
+    /// `reduce_by_index` with a recognized operator.
+    Hist {
+        op: ReduceOp,
+        dst: Reg,
+        num_bins: Opnd,
+        inds: Reg,
+        vals: Reg,
+    },
+    /// `scatter` — `dest` is consumed (or cloned) like `Update`'s array.
+    Scatter {
+        dst: Reg,
+        dest: Reg,
+        inds: Reg,
+        vals: Reg,
+        consume: bool,
+    },
+    /// `withacc`: turn `arrs` into accumulators, run the kernel once, write
+    /// the final arrays (and secondary kernel results) to `dsts`.
+    WithAcc {
+        kernel: usize,
+        dsts: Box<[Reg]>,
+        arrs: Box<[Reg]>,
+        captures: Box<[Reg]>,
+    },
+    /// `upd_acc acc idx val`.
+    UpdAcc {
+        dst: Reg,
+        acc: Reg,
+        idx: Box<[Opnd]>,
+        val: Opnd,
+    },
+}
+
+/// A compiled body: a flat instruction stream over `num_regs` registers,
+/// returning the values of `ret` when execution falls off the end.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CodeObject {
+    pub instrs: Vec<Instr>,
+    pub num_regs: usize,
+    /// Operands of the (multi-valued) result.
+    pub ret: Vec<Opnd>,
+}
+
+/// A fully compiled function: the main code object, every SOAC kernel it
+/// (transitively) contains, and the parameter count for frame setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub name: String,
+    pub main: CodeObject,
+    pub kernels: Vec<Kernel>,
+    pub num_params: usize,
+}
+
+impl Program {
+    /// Total instruction count, kernels included (diagnostics/tests).
+    pub fn num_instrs(&self) -> usize {
+        self.main.instrs.len()
+            + self
+                .kernels
+                .iter()
+                .map(|k| k.code.instrs.len())
+                .sum::<usize>()
+    }
+}

@@ -1,0 +1,44 @@
+//! Compiled SOAC kernels.
+//!
+//! Every lambda appearing as a SOAC operand (`map`, `reduce`, `scan`,
+//! `withacc`) is compiled **once** into a [`Kernel`]: a code object whose
+//! first registers are the lambda's explicit parameters, followed by one
+//! register per captured free variable. The capture registers are filled
+//! once per SOAC invocation; the per-element loop then only writes the
+//! element parameters and re-runs the flat instruction stream — the body is
+//! never re-walked as a tree, and no per-element environments exist.
+
+use fir::types::Type;
+use interp::Value;
+
+use crate::bytecode::CodeObject;
+
+/// A compiled SOAC lambda.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// The compiled body. Registers `0..num_params` are the lambda
+    /// parameters; registers `num_params..num_params + num_captures` are the
+    /// captured free variables (in ascending `VarId` order).
+    pub code: CodeObject,
+    /// Number of explicit lambda parameters.
+    pub num_params: usize,
+    /// Number of captured free variables.
+    pub num_captures: usize,
+    /// Result types of the lambda (drives output assembly: scalar results
+    /// are written to flat buffers, array results are stacked, accumulator
+    /// results collapse to the shared handle).
+    pub ret: Vec<Type>,
+}
+
+impl Kernel {
+    /// A fresh frame for this kernel with the capture registers populated
+    /// from `captures`. Element parameters are written by the caller.
+    pub fn new_frame(&self, captures: &[Value]) -> Vec<Value> {
+        debug_assert_eq!(captures.len(), self.num_captures);
+        let mut frame = vec![Value::I64(0); self.code.num_regs];
+        for (k, v) in captures.iter().enumerate() {
+            frame[self.num_params + k] = v.clone();
+        }
+        frame
+    }
+}

@@ -1,0 +1,73 @@
+//! Parallel scheduling of compiled SOACs.
+//!
+//! The VM shares the persistent [`WorkerPool`] with the tree-walking
+//! interpreter — one process-wide pool, spawned once, serving both
+//! backends. This module adds the chunking policy: a SOAC of outer size `n`
+//! becomes at most `cfg.num_threads` contiguous chunks, and SOACs below the
+//! configured threshold (or with parallelism disabled) run inline on the
+//! submitting thread with zero scheduling overhead.
+
+pub use interp::pool::WorkerPool;
+
+use interp::ExecConfig;
+
+/// Whether a SOAC of outer size `n` should be parallelized under `cfg`
+/// (delegates to the single policy on [`ExecConfig`]).
+pub fn should_parallelize(cfg: &ExecConfig, n: usize) -> bool {
+    cfg.should_parallelize(n)
+}
+
+/// Run `f(lo, hi)` over a chunking of `0..n`, on the shared pool when
+/// worthwhile and inline otherwise. Chunk results come back in order.
+pub fn run_chunked<R: Send>(
+    cfg: &ExecConfig,
+    n: usize,
+    f: &(dyn Fn(usize, usize) -> R + Sync),
+) -> Vec<R> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if !should_parallelize(cfg, n) {
+        return vec![f(0, n)];
+    }
+    WorkerPool::global().run_chunked(n, cfg.num_threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_soacs_run_inline_as_one_chunk() {
+        let cfg = ExecConfig {
+            parallel: true,
+            num_threads: 4,
+            parallel_threshold: 100,
+        };
+        let chunks = run_chunked(&cfg, 10, &|lo, hi| (lo, hi));
+        assert_eq!(chunks, vec![(0, 10)]);
+    }
+
+    #[test]
+    fn large_soacs_are_chunked_in_order() {
+        let cfg = ExecConfig {
+            parallel: true,
+            num_threads: 4,
+            parallel_threshold: 8,
+        };
+        let chunks = run_chunked(&cfg, 100, &|lo, hi| (lo, hi));
+        assert!(chunks.len() > 1);
+        let mut expect = 0;
+        for (lo, hi) in chunks {
+            assert_eq!(lo, expect);
+            expect = hi;
+        }
+        assert_eq!(expect, 100);
+    }
+
+    #[test]
+    fn sequential_config_never_parallelizes() {
+        let cfg = ExecConfig::sequential();
+        assert!(!should_parallelize(&cfg, 1 << 20));
+    }
+}

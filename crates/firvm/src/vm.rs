@@ -1,0 +1,600 @@
+//! The bytecode executor.
+//!
+//! Straight-line code is a tight `match` over [`Instr`] with register reads
+//! and writes; control flow is jump-based within one frame. SOAC
+//! instructions set up their kernel frame **once** (captures included) and
+//! then drive the compiled kernel body per element or per chunk, scheduling
+//! chunks on the shared persistent worker pool. Scalar kernel outputs are
+//! written to flat typed buffers, so a `map` producing `f64`s never boxes
+//! per-element values.
+
+use fir::ir::ReduceOp;
+use fir::types::{ScalarType, Type};
+use interp::eval::{eval_binop, eval_unop, replicate};
+use interp::{Accum, Array, ExecConfig, Value};
+
+use crate::bytecode::{CodeObject, Instr, Opnd, Program, Reg};
+use crate::kernel::Kernel;
+use crate::pool::run_chunked;
+
+/// Everything an executing frame needs to reach besides its registers.
+pub(crate) struct ExecCtx<'a> {
+    pub prog: &'a Program,
+    pub cfg: &'a ExecConfig,
+}
+
+/// Run a compiled program on argument values.
+pub fn run_program(prog: &Program, cfg: &ExecConfig, args: &[Value]) -> Vec<Value> {
+    assert_eq!(
+        prog.num_params,
+        args.len(),
+        "{}: expected {} arguments, got {}",
+        prog.name,
+        prog.num_params,
+        args.len()
+    );
+    let ctx = ExecCtx { prog, cfg };
+    let mut regs = new_frame(prog.main.num_regs);
+    regs[..args.len()].clone_from_slice(args);
+    exec(&ctx, &prog.main, &mut regs);
+    read_ret(&prog.main, &regs)
+}
+
+fn new_frame(num_regs: usize) -> Vec<Value> {
+    vec![Value::I64(0); num_regs]
+}
+
+fn read(regs: &[Value], o: &Opnd) -> Value {
+    match o {
+        Opnd::Reg(r) => regs[*r as usize].clone(),
+        Opnd::F64(x) => Value::F64(*x),
+        Opnd::I64(x) => Value::I64(*x),
+        Opnd::Bool(x) => Value::Bool(*x),
+    }
+}
+
+fn read_ret(code: &CodeObject, regs: &[Value]) -> Vec<Value> {
+    code.ret.iter().map(|o| read(regs, o)).collect()
+}
+
+fn read_usizes(regs: &[Value], idx: &[Opnd]) -> Vec<usize> {
+    idx.iter()
+        .map(|o| {
+            let i = read(regs, o).as_i64();
+            assert!(i >= 0, "negative index {i}");
+            i as usize
+        })
+        .collect()
+}
+
+/// Take an array out of a register (consume) or clone it, per the compiled
+/// uniqueness decision.
+fn take_arr(regs: &mut [Value], r: Reg, consume: bool) -> Array {
+    if consume {
+        std::mem::replace(&mut regs[r as usize], Value::I64(0)).into_arr()
+    } else {
+        regs[r as usize].as_arr().clone()
+    }
+}
+
+/// Execute a code object over the given frame until it falls off the end.
+pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
+    let mut pc = 0usize;
+    let instrs = &code.instrs;
+    while pc < instrs.len() {
+        match &instrs[pc] {
+            Instr::Mov { dst, src } => regs[*dst as usize] = read(regs, src),
+            Instr::Take { dst, src } => {
+                let v = std::mem::replace(&mut regs[*src as usize], Value::I64(0));
+                regs[*dst as usize] = v;
+            }
+            Instr::Un { op, dst, a } => {
+                regs[*dst as usize] = eval_unop(*op, read(regs, a));
+            }
+            Instr::Bin { op, dst, a, b } => {
+                regs[*dst as usize] = eval_binop(*op, read(regs, a), read(regs, b));
+            }
+            Instr::Select { dst, cond, t, f } => {
+                let c = read(regs, cond).as_bool();
+                regs[*dst as usize] = if c { read(regs, t) } else { read(regs, f) };
+            }
+            Instr::Index { dst, arr, idx } => {
+                let idx = read_usizes(regs, idx);
+                let v = regs[*arr as usize].as_arr().index(&idx);
+                regs[*dst as usize] = v;
+            }
+            Instr::Update {
+                dst,
+                arr,
+                idx,
+                val,
+                consume,
+            } => {
+                let idx = read_usizes(regs, idx);
+                let v = read(regs, val);
+                let mut a = take_arr(regs, *arr, *consume);
+                a.write(&idx, &v);
+                regs[*dst as usize] = Value::Arr(a);
+            }
+            Instr::Len { dst, arr } => {
+                let n = regs[*arr as usize].as_arr().len() as i64;
+                regs[*dst as usize] = Value::I64(n);
+            }
+            Instr::Iota { dst, n } => {
+                let n = read(regs, n).as_i64().max(0);
+                regs[*dst as usize] = Value::Arr(Array::vec_i64((0..n).collect()));
+            }
+            Instr::Replicate { dst, n, val } => {
+                let n = read(regs, n).as_i64().max(0) as usize;
+                let v = read(regs, val);
+                regs[*dst as usize] = Value::Arr(replicate(n, &v));
+            }
+            Instr::Reverse { dst, arr } => {
+                let v = Value::Arr(regs[*arr as usize].as_arr().reverse());
+                regs[*dst as usize] = v;
+            }
+            Instr::Jmp { target } => {
+                pc = *target;
+                continue;
+            }
+            Instr::JmpIfNot { cond, target } => {
+                if !read(regs, cond).as_bool() {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::Map {
+                kernel,
+                dsts,
+                args,
+                captures,
+            } => {
+                let outs = exec_map(ctx, *kernel, args, captures, regs);
+                for (d, v) in dsts.iter().zip(outs) {
+                    regs[*d as usize] = v;
+                }
+            }
+            Instr::Reduce {
+                kernel,
+                dsts,
+                neutral,
+                args,
+                captures,
+            } => {
+                let outs = exec_reduce(ctx, *kernel, neutral, args, captures, regs);
+                for (d, v) in dsts.iter().zip(outs) {
+                    regs[*d as usize] = v;
+                }
+            }
+            Instr::Scan {
+                kernel,
+                dsts,
+                neutral,
+                args,
+                captures,
+            } => {
+                let outs = exec_scan(ctx, *kernel, neutral, args, captures, regs);
+                for (d, v) in dsts.iter().zip(outs) {
+                    regs[*d as usize] = v;
+                }
+            }
+            Instr::Hist {
+                op,
+                dst,
+                num_bins,
+                inds,
+                vals,
+            } => {
+                let v = exec_hist(ctx, *op, num_bins, *inds, *vals, regs);
+                regs[*dst as usize] = v;
+            }
+            Instr::Scatter {
+                dst,
+                dest,
+                inds,
+                vals,
+                consume,
+            } => {
+                let inds = regs[*inds as usize].as_arr().clone();
+                let vals = regs[*vals as usize].as_arr().clone();
+                let mut dest = take_arr(regs, *dest, *consume);
+                let n = inds.len().min(vals.len());
+                for k in 0..n {
+                    let j = inds.i64s()[k];
+                    if j >= 0 && (j as usize) < dest.len() {
+                        dest.write(&[j as usize], &vals.index(&[k]));
+                    }
+                }
+                regs[*dst as usize] = Value::Arr(dest);
+            }
+            Instr::WithAcc {
+                kernel,
+                dsts,
+                arrs,
+                captures,
+            } => {
+                let outs = exec_withacc(ctx, *kernel, arrs, captures, regs);
+                for (d, v) in dsts.iter().zip(outs) {
+                    regs[*d as usize] = v;
+                }
+            }
+            Instr::UpdAcc { dst, acc, idx, val } => {
+                let handle = regs[*acc as usize].as_acc().clone();
+                let idx = read_usizes(regs, idx);
+                if handle.in_bounds(&idx) {
+                    let (off, span) = handle.offset_of(&idx);
+                    match read(regs, val) {
+                        Value::F64(x) => {
+                            debug_assert_eq!(span, 1);
+                            handle.add_at(off, x);
+                        }
+                        Value::Arr(a) => {
+                            debug_assert_eq!(span, a.f64s().len());
+                            handle.add_slice(off, a.f64s());
+                        }
+                        other => panic!("upd_acc with non-float value {other:?}"),
+                    }
+                }
+                regs[*dst as usize] = Value::Acc(handle);
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// A typed per-output buffer for SOAC results: scalar outputs go to flat
+/// vectors (no per-element `Value` boxing); array outputs are stacked;
+/// accumulator outputs collapse to the shared handle.
+enum OutBuf {
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+    Bool(Vec<bool>),
+    Vals(Vec<Value>),
+    Acc(Option<Accum>),
+}
+
+impl OutBuf {
+    fn for_type(ty: &Type, cap: usize) -> OutBuf {
+        match ty {
+            Type::Acc { .. } => OutBuf::Acc(None),
+            Type::Scalar(ScalarType::F64) => OutBuf::F64(Vec::with_capacity(cap)),
+            Type::Scalar(ScalarType::I64) => OutBuf::I64(Vec::with_capacity(cap)),
+            Type::Scalar(ScalarType::Bool) => OutBuf::Bool(Vec::with_capacity(cap)),
+            Type::Array { .. } => OutBuf::Vals(Vec::with_capacity(cap)),
+        }
+    }
+
+    fn push(&mut self, v: Value) {
+        match self {
+            OutBuf::F64(buf) => buf.push(v.as_f64()),
+            OutBuf::I64(buf) => buf.push(v.as_i64()),
+            OutBuf::Bool(buf) => buf.push(v.as_bool()),
+            OutBuf::Vals(buf) => buf.push(v),
+            OutBuf::Acc(slot) => {
+                if slot.is_none() {
+                    match v {
+                        Value::Acc(a) => *slot = Some(a),
+                        other => panic!("kernel declared accumulator result, got {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merge per-chunk buffers of one output into its final value. `n` is the
+/// SOAC's outer size.
+fn assemble_output(ty: &Type, n: usize, chunks: Vec<OutBuf>) -> Value {
+    if matches!(ty, Type::Acc { .. }) {
+        let handle = chunks
+            .into_iter()
+            .find_map(|c| match c {
+                OutBuf::Acc(h) => h,
+                _ => None,
+            })
+            .expect("map with accumulator result over an empty array");
+        return Value::Acc(handle);
+    }
+    if n == 0 {
+        return Value::Arr(Array::zeros(ty.elem(), vec![0]));
+    }
+    match &chunks[0] {
+        OutBuf::F64(_) => {
+            let mut data = Vec::with_capacity(n);
+            for c in chunks {
+                match c {
+                    OutBuf::F64(mut v) => data.append(&mut v),
+                    _ => unreachable!("mixed chunk buffer types"),
+                }
+            }
+            Value::Arr(Array::from_f64(vec![n], data))
+        }
+        OutBuf::I64(_) => {
+            let mut data = Vec::with_capacity(n);
+            for c in chunks {
+                match c {
+                    OutBuf::I64(mut v) => data.append(&mut v),
+                    _ => unreachable!("mixed chunk buffer types"),
+                }
+            }
+            Value::Arr(Array::from_i64(vec![n], data))
+        }
+        OutBuf::Bool(_) => {
+            let mut data = Vec::with_capacity(n);
+            for c in chunks {
+                match c {
+                    OutBuf::Bool(mut v) => data.append(&mut v),
+                    _ => unreachable!("mixed chunk buffer types"),
+                }
+            }
+            Value::Arr(Array::from_bool(vec![n], data))
+        }
+        OutBuf::Vals(_) => {
+            let mut vals = Vec::with_capacity(n);
+            for c in chunks {
+                match c {
+                    OutBuf::Vals(mut v) => vals.append(&mut v),
+                    _ => unreachable!("mixed chunk buffer types"),
+                }
+            }
+            Value::Arr(Array::stack(&vals))
+        }
+        OutBuf::Acc(_) => unreachable!("handled above"),
+    }
+}
+
+/// Clone SOAC argument values and capture values out of the frame.
+fn gather(regs: &[Value], rs: &[Reg]) -> Vec<Value> {
+    rs.iter().map(|r| regs[*r as usize].clone()).collect()
+}
+
+/// Write one element's parameters into a kernel frame: arrays are indexed at
+/// `i`, accumulators pass their (shared) handle through.
+fn write_elem_params(frame: &mut [Value], argvals: &[Value], i: usize) {
+    for (p, v) in argvals.iter().enumerate() {
+        frame[p] = match v {
+            Value::Arr(a) => a.index(&[i]),
+            Value::Acc(acc) => Value::Acc(acc.clone()),
+            other => panic!("map over non-array {other:?}"),
+        };
+    }
+}
+
+fn exec_map(
+    ctx: &ExecCtx,
+    kernel: usize,
+    args: &[Reg],
+    captures: &[Reg],
+    regs: &[Value],
+) -> Vec<Value> {
+    let k = &ctx.prog.kernels[kernel];
+    let argvals = gather(regs, args);
+    let caps = gather(regs, captures);
+    let n = argvals
+        .iter()
+        .find_map(|v| match v {
+            Value::Arr(a) => Some(a.len()),
+            _ => None,
+        })
+        .expect("map needs at least one array argument");
+    let chunk_bufs: Vec<Vec<OutBuf>> = run_chunked(ctx.cfg, n, &|lo, hi| {
+        let mut frame = k.new_frame(&caps);
+        let mut bufs: Vec<OutBuf> = k.ret.iter().map(|t| OutBuf::for_type(t, hi - lo)).collect();
+        for i in lo..hi {
+            write_elem_params(&mut frame, &argvals, i);
+            exec(ctx, &k.code, &mut frame);
+            for (j, o) in k.code.ret.iter().enumerate() {
+                bufs[j].push(read(&frame, o));
+            }
+        }
+        bufs
+    });
+    collect_columns(k, n, chunk_bufs)
+}
+
+/// Transpose chunk-major buffers into one final value per kernel output.
+fn collect_columns(k: &Kernel, n: usize, chunk_bufs: Vec<Vec<OutBuf>>) -> Vec<Value> {
+    let width = k.ret.len();
+    let mut columns: Vec<Vec<OutBuf>> = (0..width).map(|_| Vec::new()).collect();
+    for chunk in chunk_bufs {
+        for (j, buf) in chunk.into_iter().enumerate() {
+            columns[j].push(buf);
+        }
+    }
+    k.ret
+        .iter()
+        .zip(columns)
+        .map(|(ty, chunks)| {
+            if chunks.is_empty() {
+                // n == 0: no chunks ran at all.
+                assemble_output(ty, 0, vec![OutBuf::for_type(ty, 0)])
+            } else {
+                assemble_output(ty, n, chunks)
+            }
+        })
+        .collect()
+}
+
+/// Fold `args[lo..hi]` through the kernel starting from the neutral values.
+fn fold_range(
+    ctx: &ExecCtx,
+    k: &Kernel,
+    frame: &mut [Value],
+    ne: &[Value],
+    argarrs: &[Array],
+    lo: usize,
+    hi: usize,
+) -> Vec<Value> {
+    let width = ne.len();
+    let mut acc: Vec<Value> = ne.to_vec();
+    for i in lo..hi {
+        for (j, a) in acc.drain(..).enumerate() {
+            frame[j] = a;
+        }
+        for (j, arr) in argarrs.iter().enumerate() {
+            frame[width + j] = arr.index(&[i]);
+        }
+        exec(ctx, &k.code, frame);
+        acc = read_ret(&k.code, frame);
+    }
+    acc
+}
+
+fn exec_reduce(
+    ctx: &ExecCtx,
+    kernel: usize,
+    neutral: &[Opnd],
+    args: &[Reg],
+    captures: &[Reg],
+    regs: &[Value],
+) -> Vec<Value> {
+    let k = &ctx.prog.kernels[kernel];
+    let caps = gather(regs, captures);
+    let argarrs: Vec<Array> = args
+        .iter()
+        .map(|r| regs[*r as usize].as_arr().clone())
+        .collect();
+    let ne: Vec<Value> = neutral.iter().map(|o| read(regs, o)).collect();
+    let n = argarrs[0].len();
+    let partials: Vec<Vec<Value>> = run_chunked(ctx.cfg, n, &|lo, hi| {
+        let mut frame = k.new_frame(&caps);
+        fold_range(ctx, k, &mut frame, &ne, &argarrs, lo, hi)
+    });
+    if partials.len() == 1 {
+        return partials.into_iter().next().unwrap();
+    }
+    // Combine per-chunk partials with the same (associative) operator.
+    let width = ne.len();
+    let mut frame = k.new_frame(&caps);
+    let mut acc = ne;
+    for p in partials {
+        for (j, a) in acc.drain(..).enumerate() {
+            frame[j] = a;
+        }
+        for (j, v) in p.into_iter().enumerate() {
+            frame[width + j] = v;
+        }
+        exec(ctx, &k.code, &mut frame);
+        acc = read_ret(&k.code, &frame);
+    }
+    acc
+}
+
+fn exec_scan(
+    ctx: &ExecCtx,
+    kernel: usize,
+    neutral: &[Opnd],
+    args: &[Reg],
+    captures: &[Reg],
+    regs: &[Value],
+) -> Vec<Value> {
+    let k = &ctx.prog.kernels[kernel];
+    let caps = gather(regs, captures);
+    let argarrs: Vec<Array> = args
+        .iter()
+        .map(|r| regs[*r as usize].as_arr().clone())
+        .collect();
+    let mut acc: Vec<Value> = neutral.iter().map(|o| read(regs, o)).collect();
+    let width = acc.len();
+    let n = argarrs[0].len();
+    let mut frame = k.new_frame(&caps);
+    let mut bufs: Vec<OutBuf> = k.ret.iter().map(|t| OutBuf::for_type(t, n)).collect();
+    for i in 0..n {
+        for (j, a) in acc.drain(..).enumerate() {
+            frame[j] = a;
+        }
+        for (j, arr) in argarrs.iter().enumerate() {
+            frame[width + j] = arr.index(&[i]);
+        }
+        exec(ctx, &k.code, &mut frame);
+        acc = read_ret(&k.code, &frame);
+        for (j, v) in acc.iter().enumerate() {
+            bufs[j].push(v.clone());
+        }
+    }
+    if n == 0 {
+        // Empty scans are empty rank-1 arrays of the result element type
+        // (matching the interpreter and the n > 0 result type).
+        return k
+            .ret
+            .iter()
+            .map(|ty| Value::Arr(Array::zeros(ty.elem(), vec![0])))
+            .collect();
+    }
+    k.ret
+        .iter()
+        .zip(bufs)
+        .map(|(ty, buf)| assemble_output(ty, n, vec![buf]))
+        .collect()
+}
+
+fn exec_hist(
+    ctx: &ExecCtx,
+    op: ReduceOp,
+    num_bins: &Opnd,
+    inds: Reg,
+    vals: Reg,
+    regs: &[Value],
+) -> Value {
+    let m = read(regs, num_bins).as_i64().max(0) as usize;
+    let inds = regs[inds as usize].as_arr().clone();
+    let vals = regs[vals as usize].as_arr().clone();
+    let stride = vals.stride();
+    let mut shape = vals.shape.clone();
+    shape[0] = m;
+    let n = inds.len().min(vals.len());
+    let idata = inds.i64s();
+    let vdata = vals.f64s();
+    if op == ReduceOp::Add && crate::pool::should_parallelize(ctx.cfg, n) {
+        // Parallel histogram with atomic adds, as generated for GPUs.
+        let acc = Accum::zeros(shape);
+        run_chunked(ctx.cfg, n, &|lo, hi| {
+            for kk in lo..hi {
+                let bin = idata[kk];
+                if bin >= 0 && (bin as usize) < m {
+                    acc.add_slice(
+                        bin as usize * stride,
+                        &vdata[kk * stride..(kk + 1) * stride],
+                    );
+                }
+            }
+        });
+        return Value::Arr(acc.to_array());
+    }
+    let total: usize = shape.iter().product();
+    let mut out = vec![op.neutral_f64(); total];
+    for kk in 0..n {
+        let bin = idata[kk];
+        if bin >= 0 && (bin as usize) < m {
+            let off = bin as usize * stride;
+            for j in 0..stride {
+                out[off + j] = op.apply_f64(out[off + j], vdata[kk * stride + j]);
+            }
+        }
+    }
+    Value::Arr(Array::from_f64(shape, out))
+}
+
+fn exec_withacc(
+    ctx: &ExecCtx,
+    kernel: usize,
+    arrs: &[Reg],
+    captures: &[Reg],
+    regs: &[Value],
+) -> Vec<Value> {
+    let k = &ctx.prog.kernels[kernel];
+    let caps = gather(regs, captures);
+    let accs: Vec<Accum> = arrs
+        .iter()
+        .map(|r| Accum::from_array(regs[*r as usize].as_arr()))
+        .collect();
+    let mut frame = k.new_frame(&caps);
+    for (j, a) in accs.iter().enumerate() {
+        frame[j] = Value::Acc(a.clone());
+    }
+    exec(ctx, &k.code, &mut frame);
+    let results = read_ret(&k.code, &frame);
+    let mut out: Vec<Value> = accs.iter().map(|a| Value::Arr(a.to_array())).collect();
+    out.extend(results.into_iter().skip(arrs.len()));
+    out
+}

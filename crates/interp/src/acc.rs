@@ -29,15 +29,26 @@ pub struct Accum {
 impl Accum {
     /// Create an accumulator initialized with the contents of an `f64` array.
     pub fn from_array(a: &Array) -> Accum {
-        let cells = a.f64s().iter().map(|x| AtomicU64::new(x.to_bits())).collect();
-        Accum { buf: Arc::new(AccBuf { shape: a.shape.clone(), cells }) }
+        let cells = a
+            .f64s()
+            .iter()
+            .map(|x| AtomicU64::new(x.to_bits()))
+            .collect();
+        Accum {
+            buf: Arc::new(AccBuf {
+                shape: a.shape.clone(),
+                cells,
+            }),
+        }
     }
 
     /// Create a zero-initialized accumulator of the given shape.
     pub fn zeros(shape: Vec<usize>) -> Accum {
         let n: usize = shape.iter().product();
         let cells = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
-        Accum { buf: Arc::new(AccBuf { shape, cells }) }
+        Accum {
+            buf: Arc::new(AccBuf { shape, cells }),
+        }
     }
 
     /// The shape of the underlying array.
@@ -82,7 +93,10 @@ impl Accum {
     /// The flat offset corresponding to a (partial) multi-dimensional index,
     /// together with the number of scalars it addresses.
     pub fn offset_of(&self, idx: &[usize]) -> (usize, usize) {
-        assert!(idx.len() <= self.buf.shape.len(), "too many indices for accumulator");
+        assert!(
+            idx.len() <= self.buf.shape.len(),
+            "too many indices for accumulator"
+        );
         let mut off = 0;
         let mut stride: usize = self.buf.shape.iter().product();
         for (k, &i) in idx.iter().enumerate() {
@@ -100,8 +114,12 @@ impl Accum {
     /// Snapshot the accumulator into an ordinary array (the end of its
     /// lifetime in `withacc`).
     pub fn to_array(&self) -> Array {
-        let data: Vec<f64> =
-            self.buf.cells.iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect();
+        let data: Vec<f64> = self
+            .buf
+            .cells
+            .iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+            .collect();
         Array::from_f64(self.buf.shape.clone(), data)
     }
 

@@ -1,0 +1,68 @@
+//! The execution-backend abstraction.
+//!
+//! The paper's evaluation hinges on executing AD-transformed IR with an
+//! aggressively optimizing parallel backend; this reproduction has two:
+//! the tree-walking [`Interp`](crate::Interp) in this crate and the
+//! compiled bytecode VM in the `firvm` crate. Both implement [`Backend`],
+//! so workloads, benchmarks and examples can be written once and pointed
+//! at either (or at future backends — sharded, batched, remote…).
+
+use fir::ir::Fun;
+
+use crate::value::Value;
+use crate::Interp;
+
+/// An executor of type-checked `fir` functions.
+pub trait Backend: Send + Sync {
+    /// A short human-readable backend name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Run `fun` on `args`, returning its results. Panics on malformed
+    /// programs, like the interpreter does.
+    fn run(&self, fun: &Fun, args: &[Value]) -> Vec<Value>;
+
+    /// Run a single-result scalar function and return the `f64`.
+    fn run_scalar(&self, fun: &Fun, args: &[Value]) -> f64 {
+        self.run(fun, args)[0].as_f64()
+    }
+}
+
+impl Backend for Interp {
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+
+    fn run(&self, fun: &Fun, args: &[Value]) -> Vec<Value> {
+        Interp::run(self, fun, args)
+    }
+}
+
+/// Select a backend by name: `"interp"` for the tree-walking interpreter.
+/// (The `firvm` crate registers itself under `"vm"` via its own
+/// `backend_by_name`; this function only knows the backends defined here.)
+pub fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
+    match name {
+        "interp" => Some(Box::new(Interp::new())),
+        "interp-seq" => Some(Box::new(Interp::sequential())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::Builder;
+    use fir::types::Type;
+
+    #[test]
+    fn interp_implements_backend() {
+        let mut b = Builder::new();
+        let f = b.build_fun("sq", &[Type::F64], |b, ps| {
+            vec![b.fmul(ps[0].into(), ps[0].into())]
+        });
+        let backend: Box<dyn Backend> = backend_by_name("interp").unwrap();
+        assert_eq!(backend.name(), "interp");
+        assert_eq!(backend.run_scalar(&f, &[Value::F64(3.0)]), 9.0);
+        assert!(backend_by_name("no-such-backend").is_none());
+    }
+}

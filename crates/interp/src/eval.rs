@@ -29,7 +29,9 @@ impl Default for ExecConfig {
     fn default() -> ExecConfig {
         ExecConfig {
             parallel: true,
-            num_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             parallel_threshold: 2048,
         }
     }
@@ -39,7 +41,18 @@ impl ExecConfig {
     /// A configuration that always runs sequentially (used for the
     /// "sequential CPU" rows of the evaluation, e.g. ADBench Table 1).
     pub fn sequential() -> ExecConfig {
-        ExecConfig { parallel: false, num_threads: 1, parallel_threshold: usize::MAX }
+        ExecConfig {
+            parallel: false,
+            num_threads: 1,
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    /// Whether a bulk operation of outer size `n` should be spread over the
+    /// worker pool under this configuration. The single gating policy for
+    /// every backend.
+    pub fn should_parallelize(&self, n: usize) -> bool {
+        self.parallel && self.num_threads > 1 && n >= self.parallel_threshold
     }
 }
 
@@ -52,11 +65,17 @@ struct Env<'p> {
 
 impl<'p> Env<'p> {
     fn root() -> Env<'static> {
-        Env { parent: None, vars: HashMap::new() }
+        Env {
+            parent: None,
+            vars: HashMap::new(),
+        }
     }
 
     fn child(&'p self) -> Env<'p> {
-        Env { parent: Some(self), vars: HashMap::new() }
+        Env {
+            parent: Some(self),
+            vars: HashMap::new(),
+        }
     }
 
     fn bind(&mut self, v: VarId, val: Value) {
@@ -96,12 +115,16 @@ pub struct Interp {
 impl Interp {
     /// An interpreter with the default (parallel) configuration.
     pub fn new() -> Interp {
-        Interp { cfg: ExecConfig::default() }
+        Interp {
+            cfg: ExecConfig::default(),
+        }
     }
 
     /// An interpreter that runs everything sequentially.
     pub fn sequential() -> Interp {
-        Interp { cfg: ExecConfig::sequential() }
+        Interp {
+            cfg: ExecConfig::sequential(),
+        }
     }
 
     /// An interpreter with an explicit configuration.
@@ -161,7 +184,9 @@ impl Interp {
     }
 
     /// Run `f` for every index in `0..n`, in parallel when allowed and
-    /// worthwhile, returning the results in index order.
+    /// worthwhile, returning the results in index order. Parallel execution
+    /// is chunked over the persistent [`WorkerPool`](crate::WorkerPool) —
+    /// no threads are spawned per SOAC.
     fn par_map<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -170,25 +195,15 @@ impl Interp {
         if !self.cfg.parallel || n < self.cfg.parallel_threshold || self.cfg.num_threads <= 1 {
             return (0..n).map(f).collect();
         }
-        let nthreads = self.cfg.num_threads.min(n);
-        let chunk = n.div_ceil(nthreads);
-        let f = &f;
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(nthreads);
-            for t in 0..nthreads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                if lo >= hi {
-                    break;
-                }
-                handles.push(s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>()));
-            }
-            let mut out = Vec::with_capacity(n);
-            for h in handles {
-                out.extend(h.join().expect("worker thread panicked"));
-            }
-            out
-        })
+        let chunks =
+            crate::pool::WorkerPool::global().run_chunked(n, self.cfg.num_threads, &|lo, hi| {
+                (lo..hi).map(&f).collect::<Vec<R>>()
+            });
+        let mut out = Vec::with_capacity(n);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
     }
 
     fn index_values(&self, env: &Env, idx: &[Atom]) -> Vec<usize> {
@@ -210,7 +225,11 @@ impl Interp {
             }
             Exp::Select { cond, t, f } => {
                 let c = self.atom(env, cond).as_bool();
-                vec![if c { self.atom(env, t) } else { self.atom(env, f) }]
+                vec![if c {
+                    self.atom(env, t)
+                } else {
+                    self.atom(env, f)
+                }]
             }
             Exp::Index { arr, idx } => {
                 let a = env.lookup(*arr).as_arr().clone();
@@ -236,17 +255,28 @@ impl Interp {
             }
             Exp::Reverse(v) => vec![Value::Arr(env.lookup(*v).as_arr().reverse())],
             Exp::Copy(v) => vec![env.lookup(*v).clone()],
-            Exp::If { cond, then_br, else_br } => {
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => {
                 if self.atom(env, cond).as_bool() {
                     self.eval_in_child(env, then_br)
                 } else {
                     self.eval_in_child(env, else_br)
                 }
             }
-            Exp::Loop { params, index, count, body } => {
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => {
                 let n = self.atom(env, count).as_i64().max(0);
-                let mut state: Vec<Value> =
-                    params.iter().map(|(_, init)| self.atom(env, init)).collect();
+                let mut state: Vec<Value> = params
+                    .iter()
+                    .map(|(_, init)| self.atom(env, init))
+                    .collect();
                 for i in 0..n {
                     // Loop-variant values are *moved* into the iteration's
                     // frame so in-place updates on them need not copy.
@@ -262,9 +292,12 @@ impl Interp {
             Exp::Map { lam, args } => self.eval_map(env, lam, args),
             Exp::Reduce { lam, neutral, args } => self.eval_reduce(env, lam, neutral, args),
             Exp::Scan { lam, neutral, args } => self.eval_scan(env, lam, neutral, args),
-            Exp::Hist { op, num_bins, inds, vals } => {
-                self.eval_hist(env, *op, num_bins, *inds, *vals)
-            }
+            Exp::Hist {
+                op,
+                num_bins,
+                inds,
+                vals,
+            } => self.eval_hist(env, *op, num_bins, *inds, *vals),
             Exp::Scatter { dest, inds, vals } => {
                 let inds = env.lookup(*inds).as_arr().clone();
                 let vals = env.lookup(*vals).as_arr().clone();
@@ -342,15 +375,11 @@ impl Interp {
         out
     }
 
-    fn eval_reduce(
-        &self,
-        env: &Env,
-        lam: &Lambda,
-        neutral: &[Atom],
-        args: &[VarId],
-    ) -> Vec<Value> {
-        let argvals: Vec<Array> =
-            args.iter().map(|v| env.lookup(*v).as_arr().clone()).collect();
+    fn eval_reduce(&self, env: &Env, lam: &Lambda, neutral: &[Atom], args: &[VarId]) -> Vec<Value> {
+        let argvals: Vec<Array> = args
+            .iter()
+            .map(|v| env.lookup(*v).as_arr().clone())
+            .collect();
         let n = argvals[0].len();
         let ne: Vec<Value> = neutral.iter().map(|a| self.atom(env, a)).collect();
         let fold_range = |lo: usize, hi: usize| -> Vec<Value> {
@@ -362,23 +391,15 @@ impl Interp {
             }
             acc
         };
-        if !self.cfg.parallel || n < self.cfg.parallel_threshold || self.cfg.num_threads <= 1 {
+        if !self.cfg.should_parallelize(n) {
             return fold_range(0, n);
         }
         // Parallel tree reduction: fold chunks independently (starting from
         // the neutral element), then combine the per-chunk results with the
         // same operator. Requires associativity, as the language does.
-        let nthreads = self.cfg.num_threads.min(n);
-        let chunk = n.div_ceil(nthreads);
-        let partials: Vec<Vec<Value>> = self.par_map(nthreads, |t| {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            if lo >= hi {
-                ne.clone()
-            } else {
-                fold_range(lo, hi)
-            }
-        });
+        let partials: Vec<Vec<Value>> =
+            crate::pool::WorkerPool::global()
+                .run_chunked(n, self.cfg.num_threads, &|lo, hi| fold_range(lo, hi));
         let mut acc = ne.clone();
         for p in partials {
             let mut lam_args = acc;
@@ -388,15 +409,11 @@ impl Interp {
         acc
     }
 
-    fn eval_scan(
-        &self,
-        env: &Env,
-        lam: &Lambda,
-        neutral: &[Atom],
-        args: &[VarId],
-    ) -> Vec<Value> {
-        let argvals: Vec<Array> =
-            args.iter().map(|v| env.lookup(*v).as_arr().clone()).collect();
+    fn eval_scan(&self, env: &Env, lam: &Lambda, neutral: &[Atom], args: &[VarId]) -> Vec<Value> {
+        let argvals: Vec<Array> = args
+            .iter()
+            .map(|v| env.lookup(*v).as_arr().clone())
+            .collect();
         let n = argvals[0].len();
         let mut acc: Vec<Value> = neutral.iter().map(|a| self.atom(env, a)).collect();
         let width = acc.len();
@@ -410,9 +427,10 @@ impl Interp {
             }
         }
         cols.into_iter()
-            .map(|col| {
+            .zip(&lam.ret)
+            .map(|(col, ty)| {
                 if col.is_empty() {
-                    Value::Arr(Array::zeros(ScalarType::F64, vec![0]))
+                    Value::Arr(Array::zeros(ty.elem(), vec![0]))
                 } else {
                     Value::Arr(Array::stack(&col))
                 }
@@ -465,8 +483,10 @@ impl Interp {
     }
 
     fn eval_withacc(&self, env: &Env, arrs: &[VarId], lam: &Lambda) -> Vec<Value> {
-        let accs: Vec<Accum> =
-            arrs.iter().map(|v| Accum::from_array(env.lookup(*v).as_arr())).collect();
+        let accs: Vec<Accum> = arrs
+            .iter()
+            .map(|v| Accum::from_array(env.lookup(*v).as_arr()))
+            .collect();
         let lam_args: Vec<Value> = accs.iter().map(|a| Value::Acc(a.clone())).collect();
         let results = self.eval_lambda(env, lam, lam_args);
         let mut out: Vec<Value> = accs.iter().map(|a| Value::Arr(a.to_array())).collect();
@@ -475,7 +495,8 @@ impl Interp {
     }
 }
 
-fn replicate(n: usize, v: &Value) -> Array {
+/// `replicate n v` as a fresh array (shared with the bytecode VM).
+pub fn replicate(n: usize, v: &Value) -> Array {
     match v {
         Value::F64(x) => Array::vec_f64(vec![*x; n]),
         Value::I64(x) => Array::vec_i64(vec![*x; n]),
@@ -484,9 +505,7 @@ fn replicate(n: usize, v: &Value) -> Array {
             let mut shape = vec![n];
             shape.extend_from_slice(&a.shape);
             match a.elem() {
-                ScalarType::F64 => {
-                    Array::from_f64(shape, a.f64s().repeat(n))
-                }
+                ScalarType::F64 => Array::from_f64(shape, a.f64s().repeat(n)),
                 ScalarType::I64 => Array::from_i64(shape, a.i64s().repeat(n)),
                 ScalarType::Bool => Array::from_bool(shape, a.bools().repeat(n)),
             }
@@ -495,7 +514,8 @@ fn replicate(n: usize, v: &Value) -> Array {
     }
 }
 
-fn eval_unop(op: UnOp, a: Value) -> Value {
+/// Apply a unary scalar primitive (shared with the bytecode VM).
+pub fn eval_unop(op: UnOp, a: Value) -> Value {
     match (op, a) {
         (UnOp::Neg, Value::F64(x)) => Value::F64(-x),
         (UnOp::Neg, Value::I64(x)) => Value::I64(-x),
@@ -518,7 +538,8 @@ fn eval_unop(op: UnOp, a: Value) -> Value {
     }
 }
 
-fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
+/// Apply a binary scalar primitive (shared with the bytecode VM).
+pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
     use BinOp::*;
     match (a, b) {
         (Value::F64(x), Value::F64(y)) => match op {
@@ -636,7 +657,10 @@ mod tests {
             });
             vec![r[0].into()]
         });
-        assert_eq!(run1(&f, &[Value::F64(2.0), Value::I64(10)]).as_f64(), 1024.0);
+        assert_eq!(
+            run1(&f, &[Value::F64(2.0), Value::I64(10)]).as_f64(),
+            1024.0
+        );
     }
 
     #[test]
@@ -700,22 +724,26 @@ mod tests {
     #[test]
     fn withacc_updacc_accumulates() {
         let mut b = Builder::new();
-        let f = b.build_fun("acc", &[Type::arr_f64(1), Type::arr_i64(1), Type::arr_f64(1)], |b, ps| {
-            let dst = ps[0];
-            let inds = ps[1];
-            let vals = ps[2];
-            let out = b.with_acc(&[dst], |b, accs| {
-                let acc = accs[0];
-                let r = b.map1(b.ty_of(acc), &[inds, vals, acc], |b, es| {
-                    let i = es[0];
-                    let v = es[1];
-                    let a = es[2];
-                    vec![b.upd_acc(a, &[i.into()], v.into()).into()]
+        let f = b.build_fun(
+            "acc",
+            &[Type::arr_f64(1), Type::arr_i64(1), Type::arr_f64(1)],
+            |b, ps| {
+                let dst = ps[0];
+                let inds = ps[1];
+                let vals = ps[2];
+                let out = b.with_acc(&[dst], |b, accs| {
+                    let acc = accs[0];
+                    let r = b.map1(b.ty_of(acc), &[inds, vals, acc], |b, es| {
+                        let i = es[0];
+                        let v = es[1];
+                        let a = es[2];
+                        vec![b.upd_acc(a, &[i.into()], v.into()).into()]
+                    });
+                    vec![r.into()]
                 });
-                vec![r.into()]
-            });
-            vec![out[0].into()]
-        });
+                vec![out[0].into()]
+            },
+        );
         let dst = Value::from(vec![1.0, 1.0, 1.0]);
         let inds = Value::from(vec![0i64, 2, 0]);
         let vals = Value::from(vec![5.0, 7.0, 3.0]);
@@ -732,7 +760,10 @@ mod tests {
             });
             vec![Atom::Var(sums)]
         });
-        let m = Value::Arr(Array::from_f64(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let m = Value::Arr(Array::from_f64(
+            vec![2, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        ));
         let out = run1(&f, &[m]);
         assert_eq!(out.as_arr().f64s(), &[6.0, 15.0]);
     }

@@ -26,9 +26,13 @@
 //! ```
 
 pub mod acc;
+pub mod backend;
 pub mod eval;
+pub mod pool;
 pub mod value;
 
 pub use acc::Accum;
+pub use backend::Backend;
 pub use eval::{ExecConfig, Interp};
+pub use pool::WorkerPool;
 pub use value::{Array, Data, Value};

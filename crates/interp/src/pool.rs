@@ -1,0 +1,291 @@
+//! A persistent worker pool for bulk-parallel SOAC execution.
+//!
+//! The seed interpreter spawned fresh `std::thread::scope` threads for every
+//! parallel SOAC, paying thread creation and teardown on each `map`/`reduce`
+//! — inner loops of AD-transformed programs execute thousands of SOACs, so
+//! that overhead dominated. This pool spawns its workers once (lazily, on
+//! first parallel SOAC) and keeps them parked between calls, which is the
+//! CPU analogue of a GPU runtime keeping its streams alive across kernel
+//! launches. Both the tree-walking interpreter and the `firvm` bytecode VM
+//! schedule their data-parallel chunks on the same shared pool.
+//!
+//! Scheduling is deliberately simple: a shared FIFO of erased jobs plus a
+//! condvar. Two properties matter for correctness:
+//!
+//! * **Scoped tasks.** [`WorkerPool::run_tasks`] lets tasks borrow from the
+//!   caller's stack. The lifetime is erased with `unsafe` and re-established
+//!   by blocking until every task of the batch has completed (panics
+//!   included) before returning.
+//! * **No nested-parallelism deadlock.** While waiting for its batch, the
+//!   submitting thread *helps*: it pops and runs pending jobs from the same
+//!   queue. A SOAC nested inside another SOAC's task therefore always makes
+//!   progress even when every worker is busy with (or blocked on) outer
+//!   tasks.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A task's outcome slot: the result or the payload of its panic.
+type TaskSlot<R> = Mutex<Option<Result<R, Box<dyn std::any::Any + Send>>>>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    work_cv: Condvar,
+}
+
+/// A persistent pool of worker threads executing scoped task batches.
+pub struct WorkerPool {
+    shared: &'static Shared,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Completion tracking for one `run_tasks` batch.
+struct Batch {
+    pending: AtomicUsize,
+    done_cv: Condvar,
+    done_mu: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Create a pool with `workers` background threads (at least one). The
+    /// threads (and the queue they serve) are leaked intentionally: the pool
+    /// lives for the whole process, exactly like a GPU context.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("fir-worker-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+        }
+        WorkerPool { shared, workers }
+    }
+
+    /// The process-wide pool, sized to the available parallelism, created on
+    /// first use.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            WorkerPool::new(n)
+        })
+    }
+
+    /// Number of background worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `tasks(i)` for every `i in 0..n` on the pool and return the
+    /// results in index order. Blocks until every task has finished; the
+    /// submitting thread helps drain the queue while it waits. Panics from
+    /// tasks are propagated after the whole batch has completed.
+    pub fn run_tasks<R: Send>(&self, n: usize, task: &(dyn Fn(usize) -> R + Sync)) -> Vec<R> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![task(0)];
+        }
+        let results: Vec<TaskSlot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // The batch is heap-allocated and co-owned by every job: a worker
+        // finishing the last task may still be touching the condvar *after*
+        // the submitter has observed `pending == 0` and returned, so the
+        // batch must not live on the submitter's stack.
+        let batch = Arc::new(Batch {
+            pending: AtomicUsize::new(n),
+            done_cv: Condvar::new(),
+            done_mu: Mutex::new(()),
+        });
+
+        {
+            // Erase the borrow of `task` and `results`: sound because this
+            // function does not return (and the erased jobs cannot run) past
+            // the completion wait below — `results` writes and the `task`
+            // call happen before the `pending` decrement the waiter
+            // synchronizes on.
+            let results_ref = &results;
+            let submit = |i: usize| -> Job {
+                let batch = Arc::clone(&batch);
+                let job = move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| task(i)));
+                    *results_ref[i].lock().unwrap() = Some(out.map_err(|e| e as _));
+                    if batch.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let _guard = batch.done_mu.lock().unwrap();
+                        batch.done_cv.notify_all();
+                    }
+                };
+                let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(job);
+                // SAFETY: the job is dropped (after running) before
+                // `run_tasks` returns, so the erased borrows stay valid.
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(boxed) }
+            };
+            let mut queue = self.shared.queue.lock().unwrap();
+            for i in 0..n {
+                queue.push_back(submit(i));
+            }
+            drop(queue);
+            if n >= self.workers {
+                self.shared.work_cv.notify_all();
+            } else {
+                for _ in 0..n {
+                    self.shared.work_cv.notify_one();
+                }
+            }
+        }
+
+        // Help until the batch completes. Helping may execute jobs from
+        // *other* batches (nested parallelism); that is fine — they are the
+        // same kind of CPU work and it prevents deadlock.
+        loop {
+            if batch.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let job = self.shared.queue.lock().unwrap().pop_front();
+            match job {
+                Some(job) => job(),
+                None => {
+                    let guard = batch.done_mu.lock().unwrap();
+                    if batch.pending.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    // Timed wait: a worker finishing our last job may notify
+                    // between the pending check and the wait.
+                    let _unused = batch.done_cv.wait_timeout(guard, Duration::from_millis(1));
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in results {
+            match slot.into_inner().unwrap().expect("pool task did not run") {
+                Ok(r) => out.push(r),
+                Err(e) => panic = Some(e),
+            }
+        }
+        if let Some(e) = panic {
+            resume_unwind(e);
+        }
+        out
+    }
+
+    /// Split `0..n` into at most `max_chunks` contiguous chunks and run
+    /// `f(lo, hi)` for each on the pool, returning per-chunk results in
+    /// order. `f` runs inline when a single chunk suffices.
+    pub fn run_chunked<R: Send>(
+        &self,
+        n: usize,
+        max_chunks: usize,
+        f: &(dyn Fn(usize, usize) -> R + Sync),
+    ) -> Vec<R> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let nchunks = max_chunks.clamp(1, n);
+        let chunk = n.div_ceil(nchunks);
+        let nchunks = n.div_ceil(chunk);
+        self.run_tasks(nchunks, &|t| {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            f(lo, hi)
+        })
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.work_cv.wait(queue).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let pool = WorkerPool::global();
+        let out = pool.run_tasks(100, &|i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_covers_every_index_once() {
+        let pool = WorkerPool::global();
+        let hits = AtomicU64::new(0);
+        let spans = pool.run_chunked(1000, 7, &|lo, hi| {
+            hits.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+            (lo, hi)
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        let mut expect = 0;
+        for (lo, hi) in spans {
+            assert_eq!(lo, expect);
+            expect = hi;
+        }
+        assert_eq!(expect, 1000);
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        let pool = WorkerPool::global();
+        let out = pool.run_tasks(8, &|i| {
+            let inner = pool.run_tasks(8, &|j| i * 8 + j);
+            inner.into_iter().sum::<usize>()
+        });
+        let want: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn panics_propagate_after_batch_completion() {
+        let pool = WorkerPool::global();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_tasks(4, &|i| {
+                if i == 2 {
+                    panic!("task failure");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool stays usable afterwards.
+        assert_eq!(pool.run_tasks(3, &|i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let pool = WorkerPool::global();
+        assert_eq!(pool.run_tasks(0, &|i| i), Vec::<usize>::new());
+        assert_eq!(pool.run_tasks(1, &|i| i + 41), vec![41]);
+    }
+}

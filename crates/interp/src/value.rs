@@ -55,20 +55,41 @@ pub struct Array {
 impl Array {
     /// Construct an `f64` array; panics if `data.len() != product(shape)`.
     pub fn from_f64(shape: Vec<usize>, data: Vec<f64>) -> Array {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
-        Array { shape, data: Data::F64(Arc::new(data)) }
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Array {
+            shape,
+            data: Data::F64(Arc::new(data)),
+        }
     }
 
     /// Construct an `i64` array.
     pub fn from_i64(shape: Vec<usize>, data: Vec<i64>) -> Array {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
-        Array { shape, data: Data::I64(Arc::new(data)) }
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Array {
+            shape,
+            data: Data::I64(Arc::new(data)),
+        }
     }
 
     /// Construct a `bool` array.
     pub fn from_bool(shape: Vec<usize>, data: Vec<bool>) -> Array {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
-        Array { shape, data: Data::Bool(Arc::new(data)) }
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Array {
+            shape,
+            data: Data::Bool(Arc::new(data)),
+        }
     }
 
     /// A rank-1 `f64` array.
@@ -174,7 +195,11 @@ impl Array {
         let mut off = 0;
         let mut stride: usize = self.shape.iter().product();
         for (k, &i) in idx.iter().enumerate() {
-            assert!(i < self.shape[k], "index {i} out of bounds for dim of size {}", self.shape[k]);
+            assert!(
+                i < self.shape[k],
+                "index {i} out of bounds for dim of size {}",
+                self.shape[k]
+            );
             stride /= self.shape[k];
             off += i * stride;
         }
@@ -197,7 +222,10 @@ impl Array {
                 Data::I64(v) => Data::I64(Arc::new(v[off..off + n].to_vec())),
                 Data::Bool(v) => Data::Bool(Arc::new(v[off..off + n].to_vec())),
             };
-            Value::Arr(Array { shape: sub_shape, data })
+            Value::Arr(Array {
+                shape: sub_shape,
+                data,
+            })
         }
     }
 
@@ -238,7 +266,10 @@ impl Array {
             Data::I64(v) => Data::I64(Arc::new(rev(v, n, stride))),
             Data::Bool(v) => Data::Bool(Arc::new(rev(v, n, stride))),
         };
-        Array { shape: self.shape.clone(), data }
+        Array {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Stack `n` equally-shaped element values into an array with outer
@@ -267,21 +298,30 @@ impl Array {
                         for v in elems {
                             data.extend_from_slice(v.as_arr().f64s());
                         }
-                        Array { shape, data: Data::F64(Arc::new(data)) }
+                        Array {
+                            shape,
+                            data: Data::F64(Arc::new(data)),
+                        }
                     }
                     Data::I64(_) => {
                         let mut data = Vec::with_capacity(shape.iter().product());
                         for v in elems {
                             data.extend_from_slice(v.as_arr().i64s());
                         }
-                        Array { shape, data: Data::I64(Arc::new(data)) }
+                        Array {
+                            shape,
+                            data: Data::I64(Arc::new(data)),
+                        }
                     }
                     Data::Bool(_) => {
                         let mut data = Vec::with_capacity(shape.iter().product());
                         for v in elems {
                             data.extend_from_slice(v.as_arr().bools());
                         }
-                        Array { shape, data: Data::Bool(Arc::new(data)) }
+                        Array {
+                            shape,
+                            data: Data::Bool(Arc::new(data)),
+                        }
                     }
                 }
             }
@@ -356,8 +396,14 @@ impl Value {
             Value::F64(_) => Type::F64,
             Value::I64(_) => Type::I64,
             Value::Bool(_) => Type::BOOL,
-            Value::Arr(a) => Type::Array { elem: a.elem(), rank: a.rank() },
-            Value::Acc(a) => Type::Acc { elem: ScalarType::F64, rank: a.shape().len() },
+            Value::Arr(a) => Type::Array {
+                elem: a.elem(),
+                rank: a.rank(),
+            },
+            Value::Acc(a) => Type::Acc {
+                elem: ScalarType::F64,
+                rank: a.shape().len(),
+            },
         }
     }
 

@@ -46,7 +46,9 @@ pub fn count_stms(fun: &Fun) -> usize {
     }
     fn exp(e: &Exp) -> usize {
         match e {
-            Exp::If { then_br, else_br, .. } => body(then_br) + body(else_br),
+            Exp::If {
+                then_br, else_br, ..
+            } => body(then_br) + body(else_br),
             Exp::Loop { body: b, .. } => body(b),
             Exp::Map { lam, .. }
             | Exp::Reduce { lam, .. }
@@ -67,7 +69,12 @@ pub fn count_stms(fun: &Fun) -> usize {
 /// dead; side-effect-free by construction (the IR is pure).
 pub fn dead_code_elimination(fun: &Fun) -> Fun {
     let body = dce_body(&fun.body);
-    Fun { name: fun.name.clone(), params: fun.params.clone(), body, ret: fun.ret.clone() }
+    Fun {
+        name: fun.name.clone(),
+        params: fun.params.clone(),
+        body,
+        ret: fun.ret.clone(),
+    }
 }
 
 fn dce_body(body: &Body) -> Body {
@@ -96,30 +103,53 @@ fn dce_body(body: &Body) -> Body {
 }
 
 fn dce_lambda(lam: &Lambda) -> Lambda {
-    Lambda { params: lam.params.clone(), body: dce_body(&lam.body), ret: lam.ret.clone() }
+    Lambda {
+        params: lam.params.clone(),
+        body: dce_body(&lam.body),
+        ret: lam.ret.clone(),
+    }
 }
 
 fn dce_exp(e: &Exp) -> Exp {
     match e {
-        Exp::If { cond, then_br, else_br } => Exp::If {
+        Exp::If {
+            cond,
+            then_br,
+            else_br,
+        } => Exp::If {
             cond: *cond,
             then_br: dce_body(then_br),
             else_br: dce_body(else_br),
         },
-        Exp::Loop { params, index, count, body } => Exp::Loop {
+        Exp::Loop {
+            params,
+            index,
+            count,
+            body,
+        } => Exp::Loop {
             params: params.clone(),
             index: *index,
             count: *count,
             body: dce_body(body),
         },
-        Exp::Map { lam, args } => Exp::Map { lam: dce_lambda(lam), args: args.clone() },
-        Exp::Reduce { lam, neutral, args } => {
-            Exp::Reduce { lam: dce_lambda(lam), neutral: neutral.clone(), args: args.clone() }
-        }
-        Exp::Scan { lam, neutral, args } => {
-            Exp::Scan { lam: dce_lambda(lam), neutral: neutral.clone(), args: args.clone() }
-        }
-        Exp::WithAcc { arrs, lam } => Exp::WithAcc { arrs: arrs.clone(), lam: dce_lambda(lam) },
+        Exp::Map { lam, args } => Exp::Map {
+            lam: dce_lambda(lam),
+            args: args.clone(),
+        },
+        Exp::Reduce { lam, neutral, args } => Exp::Reduce {
+            lam: dce_lambda(lam),
+            neutral: neutral.clone(),
+            args: args.clone(),
+        },
+        Exp::Scan { lam, neutral, args } => Exp::Scan {
+            lam: dce_lambda(lam),
+            neutral: neutral.clone(),
+            args: args.clone(),
+        },
+        Exp::WithAcc { arrs, lam } => Exp::WithAcc {
+            arrs: arrs.clone(),
+            lam: dce_lambda(lam),
+        },
         other => other.clone(),
     }
 }
@@ -132,7 +162,12 @@ fn dce_exp(e: &Exp) -> Exp {
 pub fn copy_propagation(fun: &Fun) -> Fun {
     let mut subst: HashMap<VarId, Atom> = HashMap::new();
     let body = cp_body(&fun.body, &mut subst);
-    Fun { name: fun.name.clone(), params: fun.params.clone(), body, ret: fun.ret.clone() }
+    Fun {
+        name: fun.name.clone(),
+        params: fun.params.clone(),
+        body,
+        ret: fun.ret.clone(),
+    }
 }
 
 fn cp_atom(a: &Atom, subst: &HashMap<VarId, Atom>) -> Atom {
@@ -166,7 +201,11 @@ fn cp_var(v: VarId, subst: &HashMap<VarId, Atom>) -> VarId {
 }
 
 fn cp_lambda(lam: &Lambda, subst: &mut HashMap<VarId, Atom>) -> Lambda {
-    Lambda { params: lam.params.clone(), body: cp_body(&lam.body, subst), ret: lam.ret.clone() }
+    Lambda {
+        params: lam.params.clone(),
+        body: cp_body(&lam.body, subst),
+        ret: lam.ret.clone(),
+    }
 }
 
 fn cp_exp(e: &Exp, subst: &mut HashMap<VarId, Atom>) -> Exp {
@@ -175,9 +214,11 @@ fn cp_exp(e: &Exp, subst: &mut HashMap<VarId, Atom>) -> Exp {
         Exp::Atom(a) => Exp::Atom(at(a, subst)),
         Exp::UnOp(op, a) => Exp::UnOp(*op, at(a, subst)),
         Exp::BinOp(op, a, b) => Exp::BinOp(*op, at(a, subst), at(b, subst)),
-        Exp::Select { cond, t, f } => {
-            Exp::Select { cond: at(cond, subst), t: at(t, subst), f: at(f, subst) }
-        }
+        Exp::Select { cond, t, f } => Exp::Select {
+            cond: at(cond, subst),
+            t: at(t, subst),
+            f: at(f, subst),
+        },
         Exp::Index { arr, idx } => Exp::Index {
             arr: cp_var(*arr, subst),
             idx: idx.iter().map(|a| at(a, subst)).collect(),
@@ -189,16 +230,31 @@ fn cp_exp(e: &Exp, subst: &mut HashMap<VarId, Atom>) -> Exp {
         },
         Exp::Len(v) => Exp::Len(cp_var(*v, subst)),
         Exp::Iota(n) => Exp::Iota(at(n, subst)),
-        Exp::Replicate { n, val } => Exp::Replicate { n: at(n, subst), val: at(val, subst) },
+        Exp::Replicate { n, val } => Exp::Replicate {
+            n: at(n, subst),
+            val: at(val, subst),
+        },
         Exp::Reverse(v) => Exp::Reverse(cp_var(*v, subst)),
         Exp::Copy(v) => Exp::Copy(cp_var(*v, subst)),
-        Exp::If { cond, then_br, else_br } => Exp::If {
+        Exp::If {
+            cond,
+            then_br,
+            else_br,
+        } => Exp::If {
             cond: at(cond, subst),
             then_br: cp_body(then_br, subst),
             else_br: cp_body(else_br, subst),
         },
-        Exp::Loop { params, index, count, body } => Exp::Loop {
-            params: params.iter().map(|(p, init)| (*p, at(init, subst))).collect(),
+        Exp::Loop {
+            params,
+            index,
+            count,
+            body,
+        } => Exp::Loop {
+            params: params
+                .iter()
+                .map(|(p, init)| (*p, at(init, subst)))
+                .collect(),
             index: *index,
             count: at(count, subst),
             body: cp_body(body, subst),
@@ -217,7 +273,12 @@ fn cp_exp(e: &Exp, subst: &mut HashMap<VarId, Atom>) -> Exp {
             neutral: neutral.iter().map(|a| at(a, subst)).collect(),
             args: args.iter().map(|v| cp_var(*v, subst)).collect(),
         },
-        Exp::Hist { op, num_bins, inds, vals } => Exp::Hist {
+        Exp::Hist {
+            op,
+            num_bins,
+            inds,
+            vals,
+        } => Exp::Hist {
             op: *op,
             num_bins: at(num_bins, subst),
             inds: cp_var(*inds, subst),
@@ -249,7 +310,12 @@ fn cp_exp(e: &Exp, subst: &mut HashMap<VarId, Atom>) -> Exp {
 /// abundance).
 pub fn constant_fold(fun: &Fun) -> Fun {
     let body = cf_body(&fun.body);
-    Fun { name: fun.name.clone(), params: fun.params.clone(), body, ret: fun.ret.clone() }
+    Fun {
+        name: fun.name.clone(),
+        params: fun.params.clone(),
+        body,
+        ret: fun.ret.clone(),
+    }
 }
 
 fn cf_body(body: &Body) -> Body {
@@ -262,7 +328,11 @@ fn cf_body(body: &Body) -> Body {
 }
 
 fn cf_lambda(lam: &Lambda) -> Lambda {
-    Lambda { params: lam.params.clone(), body: cf_body(&lam.body), ret: lam.ret.clone() }
+    Lambda {
+        params: lam.params.clone(),
+        body: cf_body(&lam.body),
+        ret: lam.ret.clone(),
+    }
 }
 
 fn f64_of(a: &Atom) -> Option<f64> {
@@ -272,6 +342,9 @@ fn f64_of(a: &Atom) -> Option<f64> {
     }
 }
 
+// The `x if x == 0.0` guards are deliberate: float-literal patterns would
+// be equivalent here but read worse for the 0.0/1.0 algebraic identities.
+#[allow(clippy::redundant_guards)]
 fn cf_exp(e: &Exp) -> Exp {
     match e {
         Exp::BinOp(op, a, b) => {
@@ -325,25 +398,44 @@ fn cf_exp(e: &Exp) -> Exp {
             Atom::Const(Const::Bool(false)) => Exp::Atom(*f),
             _ => e.clone(),
         },
-        Exp::If { cond, then_br, else_br } => Exp::If {
+        Exp::If {
+            cond,
+            then_br,
+            else_br,
+        } => Exp::If {
             cond: *cond,
             then_br: cf_body(then_br),
             else_br: cf_body(else_br),
         },
-        Exp::Loop { params, index, count, body } => Exp::Loop {
+        Exp::Loop {
+            params,
+            index,
+            count,
+            body,
+        } => Exp::Loop {
             params: params.clone(),
             index: *index,
             count: *count,
             body: cf_body(body),
         },
-        Exp::Map { lam, args } => Exp::Map { lam: cf_lambda(lam), args: args.clone() },
-        Exp::Reduce { lam, neutral, args } => {
-            Exp::Reduce { lam: cf_lambda(lam), neutral: neutral.clone(), args: args.clone() }
-        }
-        Exp::Scan { lam, neutral, args } => {
-            Exp::Scan { lam: cf_lambda(lam), neutral: neutral.clone(), args: args.clone() }
-        }
-        Exp::WithAcc { arrs, lam } => Exp::WithAcc { arrs: arrs.clone(), lam: cf_lambda(lam) },
+        Exp::Map { lam, args } => Exp::Map {
+            lam: cf_lambda(lam),
+            args: args.clone(),
+        },
+        Exp::Reduce { lam, neutral, args } => Exp::Reduce {
+            lam: cf_lambda(lam),
+            neutral: neutral.clone(),
+            args: args.clone(),
+        },
+        Exp::Scan { lam, neutral, args } => Exp::Scan {
+            lam: cf_lambda(lam),
+            neutral: neutral.clone(),
+            args: args.clone(),
+        },
+        Exp::WithAcc { arrs, lam } => Exp::WithAcc {
+            arrs: arrs.clone(),
+            lam: cf_lambda(lam),
+        },
         other => other.clone(),
     }
 }
@@ -397,7 +489,9 @@ mod tests {
                 });
                 vec![Atom::Var(r)]
             });
-            let sums = b.map1(Type::arr_f64(1), &[out], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
+            let sums = b.map1(Type::arr_f64(1), &[out], |b, rs| {
+                vec![Atom::Var(b.sum(rs[0]))]
+            });
             vec![Atom::Var(b.sum(sums))]
         });
         let dfun = futhark_ad::vjp(&fun);
@@ -406,7 +500,10 @@ mod tests {
         assert!(count_stms(&simplified) <= count_stms(&dfun));
         // Semantics preserved.
         let args = [
-            Value::Arr(interp::Array::from_f64(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])),
+            Value::Arr(interp::Array::from_f64(
+                vec![2, 2],
+                vec![1.0, 2.0, 3.0, 4.0],
+            )),
             Value::F64(1.0),
         ];
         let a = Interp::sequential().run(&dfun, &args);

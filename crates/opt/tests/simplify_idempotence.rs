@@ -1,0 +1,88 @@
+//! Property test: `simplify` is idempotent — simplifying an
+//! already-simplified program changes nothing — and preserves semantics on
+//! randomly generated programs, including the redundant-execution output of
+//! reverse-mode AD (the very code the simplifier exists to clean up).
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun};
+use fir::types::Type;
+use interp::{Interp, Value};
+use proptest::prelude::*;
+
+/// A random scalar/array program over one array and one scalar input,
+/// shaped by the `ops` byte string.
+fn build_random_fun(ops: &[u8]) -> Fun {
+    let mut b = Builder::new();
+    b.build_fun("rand_prog", &[Type::arr_f64(1), Type::F64], |b, ps| {
+        let xs = ps[0];
+        let c = Atom::Var(ps[1]);
+        let mut arr = xs;
+        let mut scalar = c;
+        for op in ops {
+            match op % 5 {
+                0 => {
+                    let s = scalar;
+                    arr = b.map1(Type::arr_f64(1), &[arr], |b, es| {
+                        let t = b.ftanh(es[0].into());
+                        vec![b.fmul(t, s)]
+                    });
+                }
+                1 => scalar = Atom::Var(b.sum(arr)),
+                2 => arr = b.scan_add(arr),
+                3 => {
+                    let m = b.maximum(arr);
+                    scalar = b.fadd(scalar, m.into());
+                }
+                _ => {
+                    // Dead code the simplifier should erase without
+                    // changing anything observable.
+                    let dead = b.fmul(scalar, Atom::f64(0.0));
+                    let _unused = b.fadd(dead, Atom::f64(1.0));
+                }
+            }
+        }
+        let total = b.sum(arr);
+        vec![b.fadd(scalar, total.into())]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simplify_is_idempotent_on_random_programs(
+        ops in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let fun = build_random_fun(&ops);
+        let once = fir_opt::simplify(&fun);
+        let twice = fir_opt::simplify(&once);
+        prop_assert_eq!(&once, &twice);
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_vjp_output(
+        ops in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let dfun = futhark_ad::vjp(&build_random_fun(&ops));
+        let once = fir_opt::simplify(&dfun);
+        let twice = fir_opt::simplify(&once);
+        prop_assert_eq!(&once, &twice);
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_and_never_grows(
+        ops in proptest::collection::vec(any::<u8>(), 1..10),
+        xs in proptest::collection::vec(-1.0f64..1.0, 1..12),
+        c in -1.0f64..1.0,
+    ) {
+        let fun = build_random_fun(&ops);
+        let simplified = fir_opt::simplify(&fun);
+        fir::typecheck::check_fun(&simplified).unwrap();
+        prop_assert!(fir_opt::count_stms(&simplified) <= fir_opt::count_stms(&fun));
+        let args = [Value::from(xs), Value::F64(c)];
+        let interp = Interp::sequential();
+        let a = interp.run(&fun, &args)[0].as_f64();
+        let b = interp.run(&simplified, &args)[0].as_f64();
+        prop_assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{} vs {}", a, b);
+    }
+}

@@ -1,0 +1,316 @@
+//! An offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no crates.io registry, so the
+//! real `proptest` cannot be resolved. This crate reimplements the subset of
+//! its surface the test suites use — the [`proptest!`] and
+//! [`prop_assert!`]/[`prop_assert_eq!`] macros, `any::<T>()`, range
+//! strategies over `f64`/integers, and `collection::vec` — with the same
+//! syntax. Cases are generated from a fixed-seed splitmix64 stream, so test
+//! runs are deterministic; there is no shrinking (a failing case panics with
+//! the generated inputs printed).
+
+/// A deterministic case-generation RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with a fixed seed (deterministic test runs).
+    pub fn deterministic() -> TestRng {
+        TestRng {
+            state: 0x5eed_5eed_5eed_5eed,
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty size range");
+        lo + ((self.next_u64() as u128 * (hi - lo) as u128) >> 64) as usize
+    }
+}
+
+/// A value generator. The real proptest separates strategies from value
+/// trees to support shrinking; this stand-in only generates.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical strategy (subset of `proptest::arbitrary`).
+pub trait Arbitrary {
+    /// Generate an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty integer range strategy");
+                let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `collection::vec(elem, lo..hi)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.below(self.size.start, self.size.end);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate and run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The error type produced by failing `prop_assert!`s.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// The prelude, as in the real crate: everything the macros need.
+pub mod prelude {
+    /// Module alias so `proptest::collection::vec` resolves inside
+    /// `use proptest::prelude::*` scopes too.
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the case's
+/// inputs are reported by the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        let cond: bool = $cond;
+        if !cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        let cond: bool = $cond;
+        if !cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+}
+
+/// The test-defining macro. Supports the same shape as the real crate:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_test(x in -1.0f64..1.0, v in collection::vec(any::<u8>(), 1..8)) {
+///         prop_assert!(x.abs() <= 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic();
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&$strat, &mut rng); )*
+                    // Render the inputs up front: the body may move them.
+                    let inputs =
+                        String::new() $( + &format!("\n    {} = {:?}", stringify!($arg), $arg) )*;
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err($crate::TestCaseError(msg)) = result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs:{}",
+                            case + 1,
+                            config.cases,
+                            msg,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $( $arg in $strat ),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(x in -2.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(b in any::<bool>()) {
+            let truthy = if b { b } else { !b };
+            prop_assert!(truthy);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x = {x} is not negative");
+            }
+        }
+        inner();
+    }
+}

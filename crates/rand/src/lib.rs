@@ -1,0 +1,169 @@
+//! An offline, dependency-free stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no crates.io registry, so the
+//! real `rand` cannot be resolved. The workloads only use a tiny slice of
+//! its API — `SmallRng::seed_from_u64` plus `Rng::gen_range` over `f64`,
+//! `usize` and `i64` ranges — which this crate reimplements with the same
+//! signatures on top of xoshiro256++ seeded via splitmix64. Determinism per
+//! seed is all the workloads need (synthetic data generation); the streams
+//! do not match the real `rand`'s.
+
+use std::ops::Range;
+
+/// Core random-number-generator interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of RNGs from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create an RNG deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can parameterize `Rng::gen_range` (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw a value in the range from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        // 53 uniformly random mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded sampling; the modulo bias over a
+                // 128-bit product is negligible for synthetic data.
+                let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+/// User-facing convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniformly random value in the given (half-open) range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random `f64` in `[0, 1)`.
+    fn gen(&mut self) -> f64 {
+        self.gen_range(0.0..1.0)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++ (the same
+    /// algorithm family the real `SmallRng` uses on 64-bit platforms).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+    }
+
+    #[test]
+    fn float_ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_are_respected_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let i = rng.gen_range(0..5usize);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let i = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -158,7 +158,11 @@ struct TapeInterp<'a> {
 impl TapeInterp<'_> {
     fn atom(&mut self, a: &Atom) -> TVal {
         match a {
-            Atom::Var(v) => self.env.get(v).unwrap_or_else(|| panic!("unbound {v}")).clone(),
+            Atom::Var(v) => self
+                .env
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound {v}"))
+                .clone(),
             Atom::Const(Const::F64(x)) => TVal::F64(self.tape.constant(*x)),
             Atom::Const(Const::I64(x)) => TVal::I64(*x),
             Atom::Const(Const::Bool(x)) => TVal::Bool(*x),
@@ -261,14 +265,23 @@ impl TapeInterp<'_> {
                 vec![self.stack(&parts)]
             }
             Exp::Copy(v) => vec![self.env[v].clone()],
-            Exp::If { cond, then_br, else_br } => {
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => {
                 if self.atom(cond).as_bool() {
                     self.body(then_br)
                 } else {
                     self.body(else_br)
                 }
             }
-            Exp::Loop { params, index, count, body } => {
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => {
                 let n = self.atom(count).as_i64().max(0);
                 let mut state: Vec<TVal> = params.iter().map(|(_, i)| self.atom(i)).collect();
                 for i in 0..n {
@@ -321,8 +334,17 @@ impl TapeInterp<'_> {
                 }
                 cols.iter().map(|c| self.stack(c)).collect()
             }
-            Exp::Hist { op, num_bins, inds, vals } => {
-                assert_eq!(*op, ReduceOp::Add, "tape-ad: only + histograms are supported");
+            Exp::Hist {
+                op,
+                num_bins,
+                inds,
+                vals,
+            } => {
+                assert_eq!(
+                    *op,
+                    ReduceOp::Add,
+                    "tape-ad: only + histograms are supported"
+                );
                 let m = self.atom(num_bins).as_i64().max(0) as usize;
                 let inds = match &self.env[inds] {
                     TVal::ArrI64(d, _) => d.clone(),
@@ -365,15 +387,18 @@ impl TapeInterp<'_> {
     fn stack(&self, parts: &[TVal]) -> TVal {
         assert!(!parts.is_empty(), "stack of zero values");
         match &parts[0] {
-            TVal::F64(_) => {
-                TVal::ArrF64(parts.iter().map(|p| p.as_f64()).collect(), vec![parts.len()])
-            }
-            TVal::I64(_) => {
-                TVal::ArrI64(parts.iter().map(|p| p.as_i64()).collect(), vec![parts.len()])
-            }
-            TVal::Bool(_) => {
-                TVal::ArrBool(parts.iter().map(|p| p.as_bool()).collect(), vec![parts.len()])
-            }
+            TVal::F64(_) => TVal::ArrF64(
+                parts.iter().map(|p| p.as_f64()).collect(),
+                vec![parts.len()],
+            ),
+            TVal::I64(_) => TVal::ArrI64(
+                parts.iter().map(|p| p.as_i64()).collect(),
+                vec![parts.len()],
+            ),
+            TVal::Bool(_) => TVal::ArrBool(
+                parts.iter().map(|p| p.as_bool()).collect(),
+                vec![parts.len()],
+            ),
             TVal::ArrF64(_, s) => {
                 let mut shape = vec![parts.len()];
                 shape.extend(s.clone());
@@ -616,13 +641,20 @@ pub fn gradient(fun: &Fun, args: &[Value]) -> TapeGradient {
         }
         env.insert(p.var, tv);
     }
-    let mut ti = TapeInterp { tape: &mut tape, env };
+    let mut ti = TapeInterp {
+        tape: &mut tape,
+        env,
+    };
     let out = ti.body(&fun.body);
     let out_idx = out[0].as_f64();
     let value = tape.vals[out_idx];
     let adj = tape.reverse(out_idx, 1.0);
     let gradient = input_slots.iter().map(|i| adj[*i]).collect();
-    TapeGradient { value, gradient, tape_len: tape.len() }
+    TapeGradient {
+        value,
+        gradient,
+        tape_len: tape.len(),
+    }
 }
 
 /// Evaluate only the primal value with the same sequential evaluator (used
@@ -650,7 +682,10 @@ mod tests {
         });
         let g = gradient(
             &f,
-            &[Value::from(vec![1.0, 2.0, 3.0]), Value::from(vec![4.0, 5.0, 6.0])],
+            &[
+                Value::from(vec![1.0, 2.0, 3.0]),
+                Value::from(vec![4.0, 5.0, 6.0]),
+            ],
         );
         assert_eq!(g.value, 32.0);
         assert_eq!(g.gradient, vec![4.0, 5.0, 6.0, 1.0, 2.0, 3.0]);
@@ -681,7 +716,11 @@ mod tests {
             });
             vec![r[0].into()]
         });
-        let args = [Value::from(vec![0.1, 0.5, 0.9, 1.3]), Value::F64(0.7), Value::I64(3)];
+        let args = [
+            Value::from(vec![0.1, 0.5, 0.9, 1.3]),
+            Value::F64(0.7),
+            Value::I64(3),
+        ];
         let g = gradient(&f, &args);
         // Cross-check against the redundant-execution AD.
         let interp = interp::Interp::sequential();

@@ -46,7 +46,11 @@ impl Graph {
 
     fn push(&self, value: Tensor, parents: Vec<usize>, backward: Option<BackFn>) -> Var {
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { value, parents, backward });
+        nodes.push(Node {
+            value,
+            parents,
+            backward,
+        });
         Var(nodes.len() - 1)
     }
 
@@ -60,7 +64,12 @@ impl Graph {
         self.push(t, vec![], None)
     }
 
-    fn unary(&self, a: Var, value: Tensor, back: impl Fn(&Tensor, &[Tensor]) -> Vec<Tensor> + 'static) -> Var {
+    fn unary(
+        &self,
+        a: Var,
+        value: Tensor,
+        back: impl Fn(&Tensor, &[Tensor]) -> Vec<Tensor> + 'static,
+    ) -> Var {
         self.push(value, vec![a.0], Some(Box::new(back)))
     }
 
@@ -107,13 +116,17 @@ impl Graph {
     pub fn tanh(&self, a: Var) -> Var {
         let v = self.value(a).map(f64::tanh);
         let vc = v.clone();
-        self.unary(a, v, move |g, _| vec![g.zip(&vc, |gi, ti| gi * (1.0 - ti * ti))])
+        self.unary(a, v, move |g, _| {
+            vec![g.zip(&vc, |gi, ti| gi * (1.0 - ti * ti))]
+        })
     }
 
     pub fn sigmoid(&self, a: Var) -> Var {
         let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
         let vc = v.clone();
-        self.unary(a, v, move |g, _| vec![g.zip(&vc, |gi, si| gi * si * (1.0 - si))])
+        self.unary(a, v, move |g, _| {
+            vec![g.zip(&vc, |gi, si| gi * si * (1.0 - si))]
+        })
     }
 
     pub fn matmul(&self, a: Var, b: Var) -> Var {
@@ -166,7 +179,9 @@ impl Graph {
 
     /// `x + col ⊕ row` broadcast (used for the expanded pairwise distances).
     pub fn add_col_row(&self, x: Var, col: Var, row: Var) -> Var {
-        let v = self.value(x).add_col_row(&self.value(col), &self.value(row));
+        let v = self
+            .value(x)
+            .add_col_row(&self.value(col), &self.value(row));
         self.push(
             v,
             vec![x.0, col.0, row.0],
@@ -243,8 +258,11 @@ impl Graph {
             let Some(g) = grads[i].clone() else { continue };
             let node = &nodes[i];
             let Some(back) = &node.backward else { continue };
-            let parent_vals: Vec<Tensor> =
-                node.parents.iter().map(|p| nodes[*p].value.clone()).collect();
+            let parent_vals: Vec<Tensor> = node
+                .parents
+                .iter()
+                .map(|p| nodes[*p].value.clone())
+                .collect();
             let pgrads = back(&g, &parent_vals);
             for (p, pg) in node.parents.iter().zip(pgrads) {
                 grads[*p] = Some(match grads[*p].take() {

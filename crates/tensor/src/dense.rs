@@ -16,7 +16,11 @@ pub struct Tensor {
 impl Tensor {
     pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Tensor {
         assert_eq!(rows * cols, data.len(), "tensor shape/data mismatch");
-        Tensor { rows, cols, data: Arc::new(data) }
+        Tensor {
+            rows,
+            cols,
+            data: Arc::new(data),
+        }
     }
 
     pub fn zeros(rows: usize, cols: usize) -> Tensor {
@@ -49,7 +53,11 @@ impl Tensor {
     }
 
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor::new(self.rows, self.cols, self.data.iter().map(|x| f(*x)).collect())
+        Tensor::new(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|x| f(*x)).collect(),
+        )
     }
 
     pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
@@ -57,7 +65,11 @@ impl Tensor {
         Tensor::new(
             self.rows,
             self.cols,
-            self.data.iter().zip(other.data.iter()).map(|(a, b)| f(*a, *b)).collect(),
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
         )
     }
 
@@ -153,7 +165,9 @@ impl Tensor {
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let a = &self.data;
         let b = &other.data;
-        let nthreads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+        let nthreads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(4);
         let rows_per = n.div_ceil(nthreads.max(1)).max(1);
         let mut out = vec![0.0; n * m];
         if n * k * m < 64 * 64 * 64 {
@@ -198,7 +212,15 @@ fn matmul_block(a: &[f64], b: &[f64], out: &mut [f64], lo: usize, hi: usize, k: 
     }
 }
 
-fn matmul_block_into(a: &[f64], b: &[f64], chunk: &mut [f64], lo: usize, hi: usize, k: usize, m: usize) {
+fn matmul_block_into(
+    a: &[f64],
+    b: &[f64],
+    chunk: &mut [f64],
+    lo: usize,
+    hi: usize,
+    k: usize,
+    m: usize,
+) {
     for (ri, r) in (lo..hi).enumerate() {
         for kk in 0..k {
             let av = a[r * k + kk];

@@ -8,6 +8,10 @@
 //! materialised intermediates, no cross-operator fusion — which is what the
 //! paper's comparisons exercise.
 
+// Index-based loops in this crate mirror the (row, col)/(i, j) math of
+// the reference implementations; iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+
 pub mod autograd;
 pub mod dense;
 pub mod sparse;

@@ -25,7 +25,13 @@ impl CsrMatrix {
     ) -> CsrMatrix {
         assert_eq!(row_ptr.len(), rows + 1);
         assert_eq!(col_idx.len(), values.len());
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     pub fn nnz(&self) -> usize {

@@ -73,7 +73,13 @@ pub fn ba_objective_ir() -> Fun {
     let mut b = Builder::new();
     b.build_fun(
         "ba_objective",
-        &[Type::arr_f64(2), Type::arr_f64(2), Type::arr_i64(1), Type::arr_i64(1), Type::arr_f64(2)],
+        &[
+            Type::arr_f64(2),
+            Type::arr_f64(2),
+            Type::arr_i64(1),
+            Type::arr_i64(1),
+            Type::arr_f64(2),
+        ],
         |b, ps| {
             let cams = ps[0];
             let points = ps[1];
@@ -145,7 +151,7 @@ pub fn ba_manual(data: &BaData) -> (f64, Vec<f64>, Vec<f64>) {
         d_cams[c * 7 + 3] += g0 * f; // t0
         d_cams[c * 7 + 4] += g1 * f; // t1
         d_cams[c * 7 + 6] += g0 * p0 + g1 * p1; // focal
-        // Point gradients.
+                                                // Point gradients.
         d_pts[q * 3] += g0 * f + g1 * f * r2;
         d_pts[q * 3 + 1] += g0 * f * (-r2) + g1 * f;
         d_pts[q * 3 + 2] += g0 * f * r1 + g1 * f * (-r0);
@@ -201,7 +207,10 @@ impl HandData {
         let mut args = vec![
             Value::from(self.theta.clone()),
             Value::Arr(Array::from_f64(vec![self.n, 3], self.base.clone())),
-            Value::Arr(Array::from_f64(vec![self.n, self.bones], self.weights.clone())),
+            Value::Arr(Array::from_f64(
+                vec![self.n, self.bones],
+                self.weights.clone(),
+            )),
             Value::Arr(Array::from_f64(vec![self.n, 3], self.targets.clone())),
         ];
         if complicated {
@@ -214,12 +223,21 @@ impl HandData {
 /// `hand(theta, base, weights, targets[, us]) -> f64`.
 pub fn hand_objective_ir(complicated: bool) -> Fun {
     let mut b = Builder::new();
-    let mut params = vec![Type::arr_f64(1), Type::arr_f64(2), Type::arr_f64(2), Type::arr_f64(2)];
+    let mut params = vec![
+        Type::arr_f64(1),
+        Type::arr_f64(2),
+        Type::arr_f64(2),
+        Type::arr_f64(2),
+    ];
     if complicated {
         params.push(Type::arr_f64(1));
     }
     b.build_fun(
-        if complicated { "hand_complicated" } else { "hand_simple" },
+        if complicated {
+            "hand_complicated"
+        } else {
+            "hand_simple"
+        },
         &params,
         |b, ps| {
             let theta = ps[0];
@@ -350,7 +368,15 @@ impl DlstmData {
         let mut gen = |len: usize, s: f64| -> Vec<f64> {
             (0..len).map(|_| rng.gen_range(-1.0..1.0) * s).collect()
         };
-        DlstmData { seq, d, h, xs: gen(seq * d, 1.0), w: gen(h * h, 0.4), u: gen(h * d, 0.4), b: gen(h, 0.1) }
+        DlstmData {
+            seq,
+            d,
+            h,
+            xs: gen(seq * d, 1.0),
+            w: gen(h * h, 0.4),
+            u: gen(h * d, 0.4),
+            b: gen(h, 0.1),
+        }
     }
 
     pub fn ir_args(&self) -> Vec<Value> {
@@ -369,7 +395,12 @@ pub fn dlstm_objective_ir(h: usize) -> Fun {
     let mut b = Builder::new();
     b.build_fun(
         "dlstm_objective",
-        &[Type::arr_f64(2), Type::arr_f64(2), Type::arr_f64(2), Type::arr_f64(1)],
+        &[
+            Type::arr_f64(2),
+            Type::arr_f64(2),
+            Type::arr_f64(2),
+            Type::arr_f64(1),
+        ],
         |b, ps| {
             let xs = ps[0];
             let w = ps[1];
@@ -379,7 +410,10 @@ pub fn dlstm_objective_ir(h: usize) -> Fun {
             let hn = Atom::i64(h as i64);
             let h0 = b.replicate(hn, Atom::f64(0.0));
             let out = b.loop_(
-                &[(Type::arr_f64(1), Atom::Var(h0)), (Type::F64, Atom::f64(0.0))],
+                &[
+                    (Type::arr_f64(1), Atom::Var(h0)),
+                    (Type::F64, Atom::f64(0.0)),
+                ],
                 seq,
                 |b, t, state| {
                     let hprev = state[0];
@@ -416,7 +450,15 @@ pub fn dlstm_objective_ir(h: usize) -> Fun {
 
 /// Hand-written BPTT gradient for the D-LSTM (w.r.t. `w`, `u`, `b`).
 pub fn dlstm_manual(data: &DlstmData) -> (f64, Vec<f64>, Vec<f64>, Vec<f64>) {
-    let DlstmData { seq, d, h, xs, w, u, b } = data;
+    let DlstmData {
+        seq,
+        d,
+        h,
+        xs,
+        w,
+        u,
+        b,
+    } = data;
     let (seq, d, h) = (*seq, *d, *h);
     // Forward pass, storing hidden states and pre-activations.
     let mut hs = vec![vec![0.0; h]];

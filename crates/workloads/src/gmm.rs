@@ -23,10 +23,10 @@ pub struct GmmData {
     pub n: usize,
     pub d: usize,
     pub k: usize,
-    pub xs: Vec<f64>,          // n × d
-    pub alphas: Vec<f64>,      // k
-    pub means: Vec<f64>,       // k × d
-    pub log_sigmas: Vec<f64>,  // k × d
+    pub xs: Vec<f64>,         // n × d
+    pub alphas: Vec<f64>,     // k
+    pub means: Vec<f64>,      // k × d
+    pub log_sigmas: Vec<f64>, // k × d
 }
 
 impl GmmData {
@@ -55,7 +55,10 @@ impl GmmData {
             Value::Arr(Array::from_f64(vec![self.n, self.d], self.xs.clone())),
             Value::from(self.alphas.clone()),
             Value::Arr(Array::from_f64(vec![self.k, self.d], self.means.clone())),
-            Value::Arr(Array::from_f64(vec![self.k, self.d], self.log_sigmas.clone())),
+            Value::Arr(Array::from_f64(
+                vec![self.k, self.d],
+                self.log_sigmas.clone(),
+            )),
         ]
     }
 
@@ -73,7 +76,12 @@ pub fn objective_ir() -> Fun {
     let mut b = Builder::new();
     b.build_fun(
         "gmm_objective",
-        &[Type::arr_f64(2), Type::arr_f64(1), Type::arr_f64(2), Type::arr_f64(2)],
+        &[
+            Type::arr_f64(2),
+            Type::arr_f64(1),
+            Type::arr_f64(2),
+            Type::arr_f64(2),
+        ],
         |b, ps| {
             let xs = ps[0];
             let alphas = ps[1];
@@ -115,7 +123,15 @@ pub fn objective_ir() -> Fun {
 
 /// The objective evaluated directly in Rust (reference / "Manual" primal).
 pub fn objective_manual(data: &GmmData) -> f64 {
-    let GmmData { n, d, k, xs, alphas, means, log_sigmas } = data;
+    let GmmData {
+        n,
+        d,
+        k,
+        xs,
+        alphas,
+        means,
+        log_sigmas,
+    } = data;
     let (n, d, k) = (*n, *d, *k);
     let mut total = 0.0;
     for i in 0..n {
@@ -141,7 +157,15 @@ pub fn objective_manual(data: &GmmData) -> f64 {
 /// Hand-written gradient with respect to (alphas, means, log_sigmas) — the
 /// "Manual" column of Table 1.
 pub fn gradient_manual(data: &GmmData) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-    let GmmData { n, d, k, xs, alphas, means, log_sigmas } = data;
+    let GmmData {
+        n,
+        d,
+        k,
+        xs,
+        alphas,
+        means,
+        log_sigmas,
+    } = data;
     let (n, d, k) = (*n, *d, *k);
     let mut d_alpha = vec![0.0; k];
     let mut d_mu = vec![0.0; k * d];
@@ -187,7 +211,15 @@ pub fn gradient_manual(data: &GmmData) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
 /// baseline (vectorised, operator-granular tape).
 pub fn gradient_tensor(data: &GmmData) -> (f64, Vec<f64>) {
     use tensor::{Graph, Tensor};
-    let GmmData { n, d, k, xs, alphas, means, log_sigmas } = data;
+    let GmmData {
+        n,
+        d,
+        k,
+        xs,
+        alphas,
+        means,
+        log_sigmas,
+    } = data;
     let (n, d, k) = (*n, *d, *k);
     let g = Graph::new();
     let x = g.leaf(Tensor::new(n, d, xs.clone()));
@@ -252,7 +284,11 @@ mod tests {
         let fun = objective_ir();
         let out = Interp::sequential().run(&fun, &data.ir_args());
         let want = objective_manual(&data);
-        assert!((out[0].as_f64() - want).abs() < 1e-9, "{} vs {want}", out[0].as_f64());
+        assert!(
+            (out[0].as_f64() - want).abs() < 1e-9,
+            "{} vs {want}",
+            out[0].as_f64()
+        );
     }
 
     #[test]

@@ -66,13 +66,11 @@ pub fn mat_map2(
 }
 
 /// Elementwise unary map over a matrix.
-pub fn mat_map(
-    b: &mut Builder,
-    x: VarId,
-    f: impl Fn(&mut Builder, Atom) -> Atom + Copy,
-) -> VarId {
+pub fn mat_map(b: &mut Builder, x: VarId, f: impl Fn(&mut Builder, Atom) -> Atom + Copy) -> VarId {
     b.map1(Type::arr_f64(2), &[x], |b, rows| {
-        let r = b.map1(Type::arr_f64(1), &[rows[0]], |b, es| vec![f(b, es[0].into())]);
+        let r = b.map1(Type::arr_f64(1), &[rows[0]], |b, es| {
+            vec![f(b, es[0].into())]
+        });
         vec![Atom::Var(r)]
     })
 }
@@ -92,7 +90,9 @@ pub fn add_bias(b: &mut Builder, x: VarId, bias: VarId) -> VarId {
 
 /// Sum of all entries of a matrix.
 pub fn mat_sum(b: &mut Builder, x: VarId) -> Atom {
-    let rows = b.map1(Type::arr_f64(1), &[x], |b, rs| vec![Atom::Var(b.sum(rs[0]))]);
+    let rows = b.map1(Type::arr_f64(1), &[x], |b, rs| {
+        vec![Atom::Var(b.sum(rs[0]))]
+    });
     Atom::Var(b.sum(rows))
 }
 
@@ -108,8 +108,14 @@ mod tests {
             let c = matmul(b, ps[0], ps[1]);
             vec![Atom::Var(c)]
         });
-        let a = Value::Arr(Array::from_f64(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
-        let bm = Value::Arr(Array::from_f64(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]));
+        let a = Value::Arr(Array::from_f64(
+            vec![2, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        ));
+        let bm = Value::Arr(Array::from_f64(
+            vec![3, 2],
+            vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0],
+        ));
         let out = Interp::sequential().run(&f, &[a, bm]);
         assert_eq!(out[0].as_arr().f64s(), &[58.0, 64.0, 139.0, 154.0]);
     }

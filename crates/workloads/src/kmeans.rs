@@ -26,8 +26,8 @@ pub struct KmeansData {
     pub n: usize,
     pub d: usize,
     pub k: usize,
-    pub points: Vec<f64>,   // n × d
-    pub centers: Vec<f64>,  // k × d
+    pub points: Vec<f64>,  // n × d
+    pub centers: Vec<f64>, // k × d
 }
 
 impl KmeansData {
@@ -35,7 +35,13 @@ impl KmeansData {
         let mut rng = SmallRng::seed_from_u64(seed);
         let points = (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let centers = (0..k * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        KmeansData { n, d, k, points, centers }
+        KmeansData {
+            n,
+            d,
+            k,
+            points,
+            centers,
+        }
     }
 
     /// Arguments for [`dense_objective_ir`]: `points`, `centers`.
@@ -50,25 +56,35 @@ impl KmeansData {
 /// `kmeans(points, centers) -> f64` as nested map/reduce over the IR.
 pub fn dense_objective_ir() -> Fun {
     let mut b = Builder::new();
-    b.build_fun("kmeans_cost", &[Type::arr_f64(2), Type::arr_f64(2)], |b, ps| {
-        let points = ps[0];
-        let centers = ps[1];
-        let per_point = b.map1(Type::arr_f64(1), &[points], |b, prow| {
-            let p = prow[0];
-            let dists = b.map1(Type::arr_f64(1), &[centers], |b, crow| {
-                vec![sq_distance(b, p, crow[0])]
+    b.build_fun(
+        "kmeans_cost",
+        &[Type::arr_f64(2), Type::arr_f64(2)],
+        |b, ps| {
+            let points = ps[0];
+            let centers = ps[1];
+            let per_point = b.map1(Type::arr_f64(1), &[points], |b, prow| {
+                let p = prow[0];
+                let dists = b.map1(Type::arr_f64(1), &[centers], |b, crow| {
+                    vec![sq_distance(b, p, crow[0])]
+                });
+                vec![Atom::Var(b.minimum(dists))]
             });
-            vec![Atom::Var(b.minimum(dists))]
-        });
-        vec![Atom::Var(b.sum(per_point))]
-    })
+            vec![Atom::Var(b.sum(per_point))]
+        },
+    )
 }
 
 /// Hand-written cost, gradient and Hessian diagonal (the histogram-style
 /// manual implementation of §7.4): assign each point to its nearest centre,
 /// then accumulate per-centre sums.
 pub fn dense_manual(data: &KmeansData) -> (f64, Vec<f64>, Vec<f64>) {
-    let KmeansData { n, d, k, points, centers } = data;
+    let KmeansData {
+        n,
+        d,
+        k,
+        points,
+        centers,
+    } = data;
     let (n, d, k) = (*n, *d, *k);
     let mut cost = 0.0;
     let mut grad = vec![0.0; k * d];
@@ -100,7 +116,13 @@ pub fn dense_manual(data: &KmeansData) -> (f64, Vec<f64>, Vec<f64>) {
 /// minimum, sum; gradient by the tape.
 pub fn dense_tensor_gradient(data: &KmeansData) -> (f64, Vec<f64>) {
     use tensor::{Graph, Tensor};
-    let KmeansData { n, d, k, points, centers } = data;
+    let KmeansData {
+        n,
+        d,
+        k,
+        points,
+        centers,
+    } = data;
     let (n, d, k) = (*n, *d, *k);
     let g = Graph::new();
     let p = g.leaf(Tensor::new(n, d, points.clone()));
@@ -140,7 +162,13 @@ pub struct SparseKmeansData {
 impl SparseKmeansData {
     /// Generate a synthetic CSR matrix with roughly `nnz_per_row` non-zeros
     /// per row (the shape proxy for the paper's NLP workloads).
-    pub fn generate(n: usize, d: usize, k: usize, nnz_per_row: usize, seed: u64) -> SparseKmeansData {
+    pub fn generate(
+        n: usize,
+        d: usize,
+        k: usize,
+        nnz_per_row: usize,
+        seed: u64,
+    ) -> SparseKmeansData {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut values = Vec::new();
         let mut col_idx = Vec::new();
@@ -157,7 +185,15 @@ impl SparseKmeansData {
             row_ptr.push(col_idx.len() as i64);
         }
         let centers = (0..k * d).map(|_| rng.gen_range(-0.5..0.5)).collect();
-        SparseKmeansData { n, d, k, values, col_idx, row_ptr, centers }
+        SparseKmeansData {
+            n,
+            d,
+            k,
+            values,
+            col_idx,
+            row_ptr,
+            centers,
+        }
     }
 
     pub fn nnz(&self) -> usize {
@@ -186,7 +222,12 @@ pub fn sparse_objective_ir() -> Fun {
     let mut b = Builder::new();
     b.build_fun(
         "kmeans_sparse_cost",
-        &[Type::arr_f64(1), Type::arr_i64(1), Type::arr_i64(1), Type::arr_f64(2)],
+        &[
+            Type::arr_f64(1),
+            Type::arr_i64(1),
+            Type::arr_i64(1),
+            Type::arr_f64(2),
+        ],
         |b, ps| {
             let values = ps[0];
             let col_idx = ps[1];
@@ -213,7 +254,10 @@ pub fn sparse_objective_ir() -> Fun {
                 // Accumulate ‖p‖² and p·c_k for every centre over the
                 // non-zeros of this row.
                 let acc = b.loop_(
-                    &[(Type::F64, Atom::f64(0.0)), (Type::arr_f64(1), Atom::Var(zero_dots))],
+                    &[
+                        (Type::F64, Atom::f64(0.0)),
+                        (Type::arr_f64(1), Atom::Var(zero_dots)),
+                    ],
                     nnz,
                     |b, j, state| {
                         let pnorm = state[0];
@@ -248,7 +292,15 @@ pub fn sparse_objective_ir() -> Fun {
 
 /// Hand-written sparse k-means cost and gradient.
 pub fn sparse_manual(data: &SparseKmeansData) -> (f64, Vec<f64>) {
-    let SparseKmeansData { n, d, k, values, col_idx, row_ptr, centers } = data;
+    let SparseKmeansData {
+        n,
+        d,
+        k,
+        values,
+        col_idx,
+        row_ptr,
+        centers,
+    } = data;
     let (n, d, k) = (*n, *d, *k);
     let cnorms: Vec<f64> = (0..k)
         .map(|c| centers[c * d..(c + 1) * d].iter().map(|x| x * x).sum())
@@ -292,7 +344,15 @@ pub fn sparse_manual(data: &SparseKmeansData) -> (f64, Vec<f64>) {
 /// The PyTorch-like sparse baseline: CSR × dense products on the tape.
 pub fn sparse_tensor_gradient(data: &SparseKmeansData) -> (f64, Vec<f64>) {
     use tensor::{CsrMatrix, Graph, Tensor};
-    let SparseKmeansData { n, d, k, values, col_idx, row_ptr, centers } = data;
+    let SparseKmeansData {
+        n,
+        d,
+        k,
+        values,
+        col_idx,
+        row_ptr,
+        centers,
+    } = data;
     let (n, d, k) = (*n, *d, *k);
     let csr = CsrMatrix::new(
         n,
@@ -356,7 +416,10 @@ mod tests {
         // Arguments: points, centers, seed=1, tangent(points)=0, tangent(centers)=ones, tangent(seed)=0.
         let mut args = data.ir_args();
         args.push(Value::F64(1.0));
-        args.push(Value::Arr(Array::zeros(fir::types::ScalarType::F64, vec![data.n, data.d])));
+        args.push(Value::Arr(Array::zeros(
+            fir::types::ScalarType::F64,
+            vec![data.n, data.d],
+        )));
         args.push(Value::Arr(Array::from_f64(
             vec![data.k, data.d],
             vec![1.0; data.k * data.d],

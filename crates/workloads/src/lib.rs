@@ -14,6 +14,10 @@
 //! this crate's unit tests, and every IR objective is gradient-checked
 //! against finite differences.
 
+// Index-based loops in this crate mirror the (row, col)/(i, j) math of
+// the reference implementations; iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+
 pub mod adbench;
 pub mod gmm;
 pub mod ir_util;

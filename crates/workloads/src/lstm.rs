@@ -24,9 +24,9 @@ pub struct LstmData {
     pub d: usize,
     pub h: usize,
     pub bs: usize,
-    pub xs: Vec<f64>,  // seq × d × bs
-    pub wx: Vec<f64>,  // 4 × h × d
-    pub wh: Vec<f64>,  // 4 × h × h
+    pub xs: Vec<f64>,   // seq × d × bs
+    pub wx: Vec<f64>,   // 4 × h × d
+    pub wh: Vec<f64>,   // 4 × h × h
     pub bias: Vec<f64>, // 4 × h
 }
 
@@ -51,7 +51,10 @@ impl LstmData {
     /// Arguments for [`objective_ir`]: `xs`, `wx`, `wh`, `bias`.
     pub fn ir_args(&self) -> Vec<Value> {
         vec![
-            Value::Arr(Array::from_f64(vec![self.seq, self.d, self.bs], self.xs.clone())),
+            Value::Arr(Array::from_f64(
+                vec![self.seq, self.d, self.bs],
+                self.xs.clone(),
+            )),
             Value::Arr(Array::from_f64(vec![4, self.h, self.d], self.wx.clone())),
             Value::Arr(Array::from_f64(vec![4, self.h, self.h], self.wh.clone())),
             Value::Arr(Array::from_f64(vec![4, self.h], self.bias.clone())),
@@ -68,7 +71,12 @@ pub fn objective_ir(h: usize, bs: usize) -> Fun {
     let mut b = Builder::new();
     b.build_fun(
         "lstm_objective",
-        &[Type::arr_f64(3), Type::arr_f64(3), Type::arr_f64(3), Type::arr_f64(2)],
+        &[
+            Type::arr_f64(3),
+            Type::arr_f64(3),
+            Type::arr_f64(3),
+            Type::arr_f64(2),
+        ],
         |b, ps| {
             let xs = ps[0];
             let wx = ps[1];
@@ -93,7 +101,7 @@ pub fn objective_ir(h: usize, bs: usize) -> Fun {
                     let cprev = state[1];
                     let loss = state[2];
                     let xt = b.index(xs, &[t.into()]); // [d][bs]
-                    // Gate pre-activations: wx[g]·xt + wh[g]·h + bias[g].
+                                                       // Gate pre-activations: wx[g]·xt + wh[g]·h + bias[g].
                     let mut gates = Vec::new();
                     for g in 0..4 {
                         let wxg = b.index(wx, &[Atom::i64(g)]);
@@ -127,21 +135,37 @@ pub fn objective_ir(h: usize, bs: usize) -> Fun {
 /// The PyTorch-like baseline: the same unrolled LSTM on the tensor tape.
 pub fn tensor_gradient(data: &LstmData) -> (f64, Vec<f64>) {
     use tensor::{Graph, Tensor};
-    let LstmData { seq, d, h, bs, xs, wx, wh, bias } = data;
+    let LstmData {
+        seq,
+        d,
+        h,
+        bs,
+        xs,
+        wx,
+        wh,
+        bias,
+    } = data;
     let (seq, d, h, bs) = (*seq, *d, *h, *bs);
     let g = Graph::new();
-    let wx_v: Vec<_> =
-        (0..4).map(|k| g.leaf(Tensor::new(h, d, wx[k * h * d..(k + 1) * h * d].to_vec()))).collect();
-    let wh_v: Vec<_> =
-        (0..4).map(|k| g.leaf(Tensor::new(h, h, wh[k * h * h..(k + 1) * h * h].to_vec()))).collect();
-    let b_v: Vec<_> =
-        (0..4).map(|k| g.leaf(Tensor::new(h, 1, bias[k * h..(k + 1) * h].to_vec()))).collect();
+    let wx_v: Vec<_> = (0..4)
+        .map(|k| g.leaf(Tensor::new(h, d, wx[k * h * d..(k + 1) * h * d].to_vec())))
+        .collect();
+    let wh_v: Vec<_> = (0..4)
+        .map(|k| g.leaf(Tensor::new(h, h, wh[k * h * h..(k + 1) * h * h].to_vec())))
+        .collect();
+    let b_v: Vec<_> = (0..4)
+        .map(|k| g.leaf(Tensor::new(h, 1, bias[k * h..(k + 1) * h].to_vec())))
+        .collect();
     let zero_row = g.leaf(Tensor::zeros(1, bs));
     let mut hidden = g.leaf(Tensor::zeros(h, bs));
     let mut cell = g.leaf(Tensor::zeros(h, bs));
     let mut loss = g.leaf(Tensor::scalar(0.0));
     for t in 0..seq {
-        let xt = g.leaf(Tensor::new(d, bs, xs[t * d * bs..(t + 1) * d * bs].to_vec()));
+        let xt = g.leaf(Tensor::new(
+            d,
+            bs,
+            xs[t * d * bs..(t + 1) * d * bs].to_vec(),
+        ));
         let mut gates = Vec::new();
         for k in 0..4 {
             let a1 = g.matmul(wx_v[k], xt);
@@ -188,7 +212,11 @@ mod tests {
         let fun = objective_ir(data.h, data.bs);
         let out = Interp::sequential().run(&fun, &data.ir_args());
         let (tval, _) = tensor_gradient(&data);
-        assert!((out[0].as_f64() - tval).abs() < 1e-9, "{} vs {tval}", out[0].as_f64());
+        assert!(
+            (out[0].as_f64() - tval).abs() < 1e-9,
+            "{} vs {tval}",
+            out[0].as_f64()
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl XsData {
 
     pub fn ir_args(&self) -> Vec<Value> {
         vec![
-            Value::Arr(Array::from_f64(vec![self.nuclides, self.g], self.xs_data.clone())),
+            Value::Arr(Array::from_f64(
+                vec![self.nuclides, self.g],
+                self.xs_data.clone(),
+            )),
             Value::from(self.densities.clone()),
             Value::from(self.energies.clone()),
         ]
@@ -83,7 +86,12 @@ pub fn xsbench_ir(g: usize) -> Fun {
                     let xs = b.fadd(lo.into(), interp);
                     let is_small = b.lt(dens.into(), Atom::f64(0.05));
                     let weighted = b.fmul(dens.into(), xs);
-                    let r = b.if_(is_small, &[Type::F64], |_b| vec![Atom::f64(0.0)], |_b| vec![weighted]);
+                    let r = b.if_(
+                        is_small,
+                        &[Type::F64],
+                        |_b| vec![Atom::f64(0.0)],
+                        |_b| vec![weighted],
+                    );
                     vec![r[0].into()]
                 });
                 vec![Atom::Var(b.sum(contribs))]
@@ -109,7 +117,13 @@ pub struct RsData {
 }
 
 impl RsData {
-    pub fn generate(nuclides: usize, windows: usize, poles: usize, lookups: usize, seed: u64) -> RsData {
+    pub fn generate(
+        nuclides: usize,
+        windows: usize,
+        poles: usize,
+        lookups: usize,
+        seed: u64,
+    ) -> RsData {
         let mut rng = SmallRng::seed_from_u64(seed);
         let total = nuclides * windows * poles;
         RsData {
@@ -142,7 +156,12 @@ pub fn rsbench_ir(windows: usize, poles: usize) -> Fun {
     let mut b = Builder::new();
     b.build_fun(
         "rsbench",
-        &[Type::arr_f64(3), Type::arr_f64(3), Type::arr_f64(3), Type::arr_f64(1)],
+        &[
+            Type::arr_f64(3),
+            Type::arr_f64(3),
+            Type::arr_f64(3),
+            Type::arr_f64(1),
+        ],
         |b, ps| {
             let amps = ps[0];
             let centers = ps[1];
@@ -154,9 +173,9 @@ pub fn rsbench_ir(windows: usize, poles: usize) -> Fun {
                 let w_f = b.to_i64(scaled);
                 let w = b.imin(w_f, Atom::i64((windows - 1) as i64));
                 let per_nuclide = b.map1(Type::arr_f64(1), &[amps, centers, widths], |b, ns| {
-                    let arow = b.index(ns[0], &[w.into()]);
-                    let crow = b.index(ns[1], &[w.into()]);
-                    let wrow = b.index(ns[2], &[w.into()]);
+                    let arow = b.index(ns[0], &[w]);
+                    let crow = b.index(ns[1], &[w]);
+                    let wrow = b.index(ns[2], &[w]);
                     // Inner sequential loop over the poles of the window.
                     let acc = b.loop_(
                         &[(Type::F64, Atom::f64(0.0))],

@@ -1,0 +1,54 @@
+//! Backend selection: the same program and its gradient executed on every
+//! registered backend through the shared `Backend` trait.
+//!
+//! Run with `cargo run --release --example backend_select`; set
+//! `FIR_BACKEND=interp` (or `vm`, `vm-seq`, `interp-seq`) to pick the
+//! default backend used by the final section.
+
+use fir::builder::Builder;
+use fir::types::Type;
+use futhark_ad::vjp;
+use futhark_ad_repro::{backend_by_name, default_backend};
+use interp::Value;
+use std::time::Instant;
+
+fn main() {
+    // f(xs) = sum (map (\x -> x * exp x) xs), a large-ish instance.
+    let mut b = Builder::new();
+    let f = b.build_fun("xsumexp", &[Type::arr_f64(1)], |b, ps| {
+        let ys = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            let e = b.fexp(es[0].into());
+            vec![b.fmul(e, es[0].into())]
+        });
+        vec![b.sum(ys).into()]
+    });
+    let df = vjp(&f);
+    let xs: Vec<f64> = (0..200_000).map(|i| (i as f64 * 1e-5).sin()).collect();
+    let args = [Value::from(xs)];
+    let mut grad_args = args.to_vec();
+    grad_args.push(Value::F64(1.0));
+
+    for name in ["interp", "vm"] {
+        let backend = backend_by_name(name).expect("known backend");
+        let t0 = Instant::now();
+        let primal = backend.run(&f, &args)[0].as_f64();
+        let t_primal = t0.elapsed();
+        let t0 = Instant::now();
+        let grad = backend.run(&df, &grad_args);
+        let t_grad = t0.elapsed();
+        println!(
+            "{:>8}: f = {:.6}, |grad| = {}, primal {:?}, gradient {:?}",
+            backend.name(),
+            primal,
+            grad[1].as_arr().f64s().len(),
+            t_primal,
+            t_grad,
+        );
+    }
+
+    let backend = default_backend();
+    println!(
+        "default backend (FIR_BACKEND or \"vm\"): {}",
+        backend.name()
+    );
+}

@@ -31,7 +31,10 @@ fn main() {
 
     // Tape-based baseline.
     let tape = tape_ad::gradient(&fun, &data.ir_args());
-    println!("tape objective       = {:.6} (tape length {})", tape.value, tape.tape_len);
+    println!(
+        "tape objective       = {:.6} (tape length {})",
+        tape.value, tape.tape_len
+    );
 
     // Hand-written gradient.
     let (da, dm, dl) = gmm::gradient_manual(&data);

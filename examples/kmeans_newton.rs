@@ -20,7 +20,10 @@ fn main() {
         let points = Value::Arr(Array::from_f64(vec![n, d], data.points.clone()));
         let centers = Value::Arr(Array::from_f64(vec![k, d], data.centers.clone()));
         // Gradient.
-        let out = interp.run(&grad_fun, &[points.clone(), centers.clone(), Value::F64(1.0)]);
+        let out = interp.run(
+            &grad_fun,
+            &[points.clone(), centers.clone(), Value::F64(1.0)],
+        );
         let cost = out[0].as_f64();
         let grad = out[2].as_arr().f64s().to_vec();
         // Hessian diagonal with a single jvp over the vjp (all-ones direction).

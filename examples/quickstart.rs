@@ -11,13 +11,17 @@ use interp::{Interp, Value};
 fn main() {
     // f(xs, ys) = sum (map2 (\x y -> sin x * y) xs ys)
     let mut b = Builder::new();
-    let f = b.build_fun("objective", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
-        let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
-            let s = b.fsin(es[0].into());
-            vec![b.fmul(s, es[1].into())]
-        });
-        vec![b.sum(prods).into()]
-    });
+    let f = b.build_fun(
+        "objective",
+        &[Type::arr_f64(1), Type::arr_f64(1)],
+        |b, ps| {
+            let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+                let s = b.fsin(es[0].into());
+                vec![b.fmul(s, es[1].into())]
+            });
+            vec![b.sum(prods).into()]
+        },
+    );
     println!("Primal program:\n{f}");
 
     let xs = Value::from(vec![0.1, 0.2, 0.3, 0.4]);

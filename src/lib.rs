@@ -5,7 +5,9 @@
 //! integration tests have a single import point:
 //!
 //! * [`fir`] — the nested-parallel array IR,
-//! * [`interp`] — the bulk-parallel evaluator (the GPU-backend stand-in),
+//! * [`interp`] — the bulk-parallel tree-walking evaluator,
+//! * [`firvm`] — the compiled register-bytecode VM backend (both execution
+//!   backends implement [`interp::Backend`]),
 //! * [`futhark_ad`] — forward (`jvp`) and reverse (`vjp`) AD (the paper's
 //!   contribution),
 //! * [`fir_opt`] — simplification passes,
@@ -15,8 +17,24 @@
 
 pub use fir;
 pub use fir_opt;
+pub use firvm;
 pub use futhark_ad;
 pub use interp;
 pub use tape_ad;
 pub use tensor;
 pub use workloads;
+
+/// Select an execution backend by name: `"interp"`, `"interp-seq"`, `"vm"`
+/// (alias `"firvm"`), or `"vm-seq"`. The `FIR_BACKEND` environment variable
+/// selects the default for [`default_backend`].
+pub fn backend_by_name(name: &str) -> Option<Box<dyn interp::Backend>> {
+    firvm::backend_by_name(name)
+}
+
+/// The backend named by the `FIR_BACKEND` environment variable, defaulting
+/// to the compiled VM.
+pub fn default_backend() -> Box<dyn interp::Backend> {
+    let name = std::env::var("FIR_BACKEND").unwrap_or_else(|_| "vm".to_string());
+    backend_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown FIR_BACKEND {name:?}; try \"vm\" or \"interp\""))
+}

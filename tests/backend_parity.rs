@@ -1,0 +1,206 @@
+//! Differential parity tests: every workload in `crates/workloads` runs
+//! through both execution backends — the tree-walking interpreter and the
+//! `firvm` bytecode VM — and must produce equal primal values and equal
+//! reverse-mode gradients (within 1e-9 relative tolerance; sequential
+//! configurations are compared bitwise-identically where float reassociation
+//! cannot occur).
+
+use fir::ir::Fun;
+use firvm::Vm;
+use futhark_ad::gradcheck::{max_rel_error, reverse_gradient};
+use interp::{ExecConfig, Interp, Value};
+use workloads::{adbench, gmm, kmeans, lstm, mc};
+
+const TOL: f64 = 1e-9;
+
+/// Primal and gradient parity of `fun` across interp and VM, in both
+/// sequential and parallel configurations.
+fn assert_parity(name: &str, fun: &Fun, args: &[Value]) {
+    let interp_seq = Interp::sequential();
+    let vm_seq = Vm::sequential();
+    let par_cfg = ExecConfig {
+        parallel: true,
+        num_threads: 4,
+        parallel_threshold: 32,
+    };
+    let interp_par = Interp::with_config(par_cfg.clone());
+    let vm_par = Vm::with_config(par_cfg);
+
+    // Primal parity: sequential VM must match sequential interp bitwise
+    // (same operations in the same order).
+    let pi = interp_seq.run(fun, args);
+    let pv = vm_seq.run(fun, args);
+    assert_eq!(pi.len(), pv.len(), "{name}: result arity");
+    assert_eq!(
+        pi[0].as_f64().to_bits(),
+        pv[0].as_f64().to_bits(),
+        "{name}: primal bitwise"
+    );
+
+    // Parallel configurations may reassociate reductions: tolerance-equal.
+    let pip = interp_par.run(fun, args)[0].as_f64();
+    let pvp = vm_par.run(fun, args)[0].as_f64();
+    let denom = pi[0].as_f64().abs().max(1.0);
+    assert!(
+        (pip - pi[0].as_f64()).abs() / denom < TOL,
+        "{name}: interp par primal"
+    );
+    assert!(
+        (pvp - pi[0].as_f64()).abs() / denom < TOL,
+        "{name}: vm par primal"
+    );
+
+    // Gradient parity on the vjp-transformed program.
+    let (vi, gi) = reverse_gradient(&interp_seq, fun, args);
+    let (vv, gv) = reverse_gradient(&vm_seq, fun, args);
+    assert_eq!(vi.to_bits(), vv.to_bits(), "{name}: vjp primal bitwise");
+    assert_eq!(gi.len(), gv.len(), "{name}: gradient length");
+    let err = max_rel_error(&gi, &gv);
+    assert!(
+        err < TOL,
+        "{name}: sequential gradient mismatch, max rel err {err:.3e}"
+    );
+
+    let (_, gvp) = reverse_gradient(&vm_par, fun, args);
+    let err = max_rel_error(&gi, &gvp);
+    assert!(
+        err < TOL,
+        "{name}: parallel VM gradient mismatch, max rel err {err:.3e}"
+    );
+}
+
+#[test]
+fn gmm_backends_agree() {
+    let data = gmm::GmmData::generate(40, 4, 5, 1);
+    assert_parity("gmm", &gmm::objective_ir(), &data.ir_args());
+}
+
+#[test]
+fn kmeans_dense_backends_agree() {
+    let data = kmeans::KmeansData::generate(200, 4, 5, 2);
+    assert_parity(
+        "kmeans-dense",
+        &kmeans::dense_objective_ir(),
+        &data.ir_args(),
+    );
+}
+
+#[test]
+fn kmeans_sparse_backends_agree() {
+    let data = kmeans::SparseKmeansData::generate(120, 16, 4, 5, 3);
+    assert_parity(
+        "kmeans-sparse",
+        &kmeans::sparse_objective_ir(),
+        &data.ir_args(),
+    );
+}
+
+#[test]
+fn lstm_backends_agree() {
+    let data = lstm::LstmData::generate(6, 4, 5, 2, 4);
+    assert_parity(
+        "lstm",
+        &lstm::objective_ir(data.h, data.bs),
+        &data.ir_args(),
+    );
+}
+
+#[test]
+fn ba_backends_agree() {
+    let data = adbench::BaData::generate(8, 40, 160, 5);
+    assert_parity("ba", &adbench::ba_objective_ir(), &data.ir_args());
+}
+
+#[test]
+fn hand_simple_backends_agree() {
+    let data = adbench::HandData::generate(16, 5, 6);
+    assert_parity(
+        "hand-simple",
+        &adbench::hand_objective_ir(false),
+        &data.ir_args(false),
+    );
+}
+
+#[test]
+fn hand_complicated_backends_agree() {
+    let data = adbench::HandData::generate(16, 5, 7);
+    assert_parity(
+        "hand-complicated",
+        &adbench::hand_objective_ir(true),
+        &data.ir_args(true),
+    );
+}
+
+#[test]
+fn dlstm_backends_agree() {
+    let data = adbench::DlstmData::generate(10, 6, 6, 8);
+    assert_parity(
+        "d-lstm",
+        &adbench::dlstm_objective_ir(data.h),
+        &data.ir_args(),
+    );
+}
+
+#[test]
+fn xsbench_backends_agree() {
+    let data = mc::XsData::generate(16, 6, 256, 9);
+    assert_parity("xsbench", &mc::xsbench_ir(data.g), &data.ir_args());
+}
+
+#[test]
+fn rsbench_backends_agree() {
+    let data = mc::RsData::generate(6, 4, 3, 128, 10);
+    assert_parity("rsbench", &mc::rsbench_ir(4, 3), &data.ir_args());
+}
+
+#[test]
+fn hessian_programs_run_identically_on_both_backends() {
+    // jvp(vjp(f)): the nested-AD output (accumulators inside forward-mode
+    // tangents) is the hardest program shape either backend sees.
+    use futhark_ad::{jvp, vjp};
+    let data = kmeans::KmeansData::generate(30, 3, 4, 11);
+    let fun = kmeans::dense_objective_ir();
+    let hess = jvp(&vjp(&fun));
+    let n = data.n;
+    let d = data.d;
+    let k = data.k;
+    let mut args = data.ir_args();
+    args.push(Value::F64(1.0));
+    args.push(Value::Arr(interp::Array::zeros(
+        fir::types::ScalarType::F64,
+        vec![n, d],
+    )));
+    args.push(Value::Arr(interp::Array::from_f64(
+        vec![k, d],
+        vec![1.0; k * d],
+    )));
+    args.push(Value::F64(0.0));
+    let i = Interp::sequential().run(&hess, &args);
+    let v = Vm::sequential().run(&hess, &args);
+    assert_eq!(i.len(), v.len());
+    let hv_i = i.last().unwrap().as_arr().f64s();
+    let hv_v = v.last().unwrap().as_arr().f64s();
+    assert!(max_rel_error(hv_i, hv_v) < TOL);
+}
+
+#[test]
+fn program_cache_makes_recompilation_free() {
+    // A private cache (the global one is shared with concurrently running
+    // tests): two structurally identical builds must share one program.
+    let cache = firvm::ProgramCache::new();
+    let p1 = cache.get_or_compile(&gmm::objective_ir());
+    let p2 = cache.get_or_compile(&gmm::objective_ir());
+    assert!(
+        std::sync::Arc::ptr_eq(&p1, &p2),
+        "identical rebuild must hit the cache"
+    );
+    assert_eq!(cache.len(), 1);
+
+    let data = gmm::GmmData::generate(10, 3, 3, 12);
+    let vm = Vm::sequential();
+    let a = vm.run_program(&p1, &data.ir_args())[0].as_f64();
+    let b = vm.run_program(&p2, &data.ir_args())[0].as_f64();
+    let want = Interp::sequential().run(&gmm::objective_ir(), &data.ir_args())[0].as_f64();
+    assert_eq!(a.to_bits(), b.to_bits());
+    assert_eq!(a.to_bits(), want.to_bits());
+}

@@ -30,8 +30,12 @@ fn parallel_and_sequential_gradients_agree() {
     let mut args = data.ir_args();
     args.push(Value::F64(1.0));
     let seq = Interp::sequential().run(&dfun, &args);
-    let par = Interp::with_config(ExecConfig { parallel: true, num_threads: 8, parallel_threshold: 64 })
-        .run(&dfun, &args);
+    let par = Interp::with_config(ExecConfig {
+        parallel: true,
+        num_threads: 8,
+        parallel_threshold: 64,
+    })
+    .run(&dfun, &args);
     assert!((seq[0].as_f64() - par[0].as_f64()).abs() < 1e-9);
     let gs = seq[2].as_arr().f64s();
     let gp = par[2].as_arr().f64s();
@@ -80,8 +84,14 @@ fn forward_over_reverse_is_consistent_with_two_reverse_passes() {
     let k = data.k;
     let mut args = data.ir_args();
     args.push(Value::F64(1.0));
-    args.push(Value::Arr(interp::Array::zeros(fir::types::ScalarType::F64, vec![n, d])));
-    args.push(Value::Arr(interp::Array::from_f64(vec![k, d], vec![1.0; k * d])));
+    args.push(Value::Arr(interp::Array::zeros(
+        fir::types::ScalarType::F64,
+        vec![n, d],
+    )));
+    args.push(Value::Arr(interp::Array::from_f64(
+        vec![k, d],
+        vec![1.0; k * d],
+    )));
     args.push(Value::F64(0.0));
     let out = interp.run(&hess_fun, &args);
     let hv = out.last().unwrap().as_arr().f64s().to_vec();
@@ -98,7 +108,11 @@ fn forward_over_reverse_is_consistent_with_two_reverse_passes() {
     let minus: Vec<f64> = data.centers.iter().map(|x| x - eps).collect();
     let gp = grad_at(&plus);
     let gm = grad_at(&minus);
-    let fd: Vec<f64> = gp.iter().zip(&gm).map(|(a, b)| (a - b) / (2.0 * eps)).collect();
+    let fd: Vec<f64> = gp
+        .iter()
+        .zip(&gm)
+        .map(|(a, b)| (a - b) / (2.0 * eps))
+        .collect();
     assert!(max_rel_error(&hv, &fd) < 1e-4);
 }
 
