@@ -1,0 +1,718 @@
+//! The staged engine: compile once, derive transforms lazily, execute hot.
+//!
+//! [`Engine`] owns a backend, a structural-fingerprint cache of compiled
+//! functions, and a configurable [`PassPipeline`]. [`Engine::compile`]
+//! type-checks up front and returns a [`CompiledFn`]; from that handle the
+//! AD transforms ([`CompiledFn::vjp`], [`CompiledFn::jvp`],
+//! [`CompiledFn::hessian`]) are derived lazily, compiled through the same
+//! cache, and shared by every clone of the handle. Execution is fallible
+//! end to end and batched calls amortize dispatch across the persistent
+//! worker pool.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fir::ir::Fun;
+use fir::types::Type;
+use firvm::fingerprint_pair;
+use interp::{validate_args, Array, Backend, Executable, Value, WorkerPool};
+
+use crate::error::FirError;
+use crate::pipeline::PassPipeline;
+use crate::registry;
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// A compilation and execution engine: a backend, a pass pipeline, and a
+/// cache of compiled functions keyed by structural fingerprint.
+///
+/// Engines are cheap to clone (clones share the backend and the cache) and
+/// safe to share across threads.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+struct EngineInner {
+    backend: Arc<dyn Backend>,
+    pipeline: Mutex<PassPipeline>,
+    cache: Mutex<HashMap<(u64, u64), CacheEntry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// One compiled function in the engine cache: the optimized IR and the
+/// backend-prepared executable.
+///
+/// Deliberately *not* home to the derived-transform handles: a
+/// `CompiledFn` holds an `Arc<EngineInner>`, so storing one inside the
+/// cache the engine owns would create a strong reference cycle and leak
+/// the engine (and every cached program) forever. Derived handles live on
+/// the `CompiledFn` instead; re-deriving a transform on a fresh handle is
+/// a cheap IR walk whose *compilation* still hits this cache.
+#[derive(Clone)]
+struct CacheEntry {
+    fun: Arc<Fun>,
+    exec: Arc<dyn Executable>,
+}
+
+/// Cache counters of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compilations answered from the fingerprint cache.
+    pub hits: usize,
+    /// Compilations that ran the pipeline and the backend.
+    pub misses: usize,
+    /// Distinct programs currently cached.
+    pub entries: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine on the default backend (the parallel compiled VM) with the
+    /// standard simplification pipeline.
+    pub fn new() -> Engine {
+        Engine::with_backend(Box::new(firvm::Vm::new()))
+    }
+
+    /// An engine on an explicit backend instance (e.g. a backend with a
+    /// custom `ExecConfig`, or a future remote/sharded backend).
+    pub fn with_backend(backend: Box<dyn Backend>) -> Engine {
+        Engine::on_backend(Arc::from(backend), PassPipeline::standard())
+    }
+
+    fn on_backend(backend: Arc<dyn Backend>, pipeline: PassPipeline) -> Engine {
+        Engine {
+            inner: Arc::new(EngineInner {
+                backend,
+                pipeline: Mutex::new(pipeline),
+                cache: Mutex::new(HashMap::new()),
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// An engine on the backend registered under `name` (see
+    /// [`crate::BACKEND_NAMES`]). Unknown names return
+    /// [`FirError::UnknownBackend`] listing the valid names.
+    pub fn by_name(name: &str) -> Result<Engine, FirError> {
+        Ok(Engine::with_backend(registry::backend_by_name(name)?))
+    }
+
+    /// An engine on the backend named by the `FIR_BACKEND` environment
+    /// variable (default: `"vm"`). An unknown name is an error listing the
+    /// valid names — it does not panic.
+    pub fn from_env() -> Result<Engine, FirError> {
+        Engine::by_name(&registry::default_backend_name())
+    }
+
+    /// A new engine on the same backend with a different pass pipeline
+    /// (builder style). The returned engine has its own (empty) cache;
+    /// the original engine — and any clone of it — is left untouched, so
+    /// `engine.clone().with_pipeline(...)` safely builds an unoptimized
+    /// variant next to the original.
+    pub fn with_pipeline(self, pipeline: PassPipeline) -> Engine {
+        Engine::on_backend(Arc::clone(&self.inner.backend), pipeline)
+    }
+
+    /// Replace the pass pipeline in place. This reconfigures *every*
+    /// clone of this engine (they share the pipeline) and clears the
+    /// shared cache, since cached programs were optimized under the old
+    /// pipeline. For a side-by-side variant, use
+    /// [`Engine::with_pipeline`].
+    pub fn set_pipeline(&self, pipeline: PassPipeline) {
+        *self.inner.pipeline.lock().unwrap() = pipeline;
+        self.inner.cache.lock().unwrap().clear();
+    }
+
+    /// The name of the engine's backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend.name()
+    }
+
+    /// Compile `fun`: type-check up front, run the pass pipeline, prepare
+    /// on the backend. Structurally identical functions (same fingerprint)
+    /// compile once; later calls are answered from the cache.
+    pub fn compile(&self, fun: &Fun) -> Result<CompiledFn, FirError> {
+        Self::compile_with(&self.inner, fun)
+    }
+
+    fn compile_with(inner: &Arc<EngineInner>, fun: &Fun) -> Result<CompiledFn, FirError> {
+        let key = fingerprint_pair(fun);
+        if let Some(entry) = inner.cache.lock().unwrap().get(&key).cloned() {
+            inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CompiledFn::new(Arc::clone(inner), entry));
+        }
+        fir::typecheck::check_fun(fun)?;
+        let pipeline = inner.pipeline.lock().unwrap().clone();
+        let optimized = pipeline.apply(fun);
+        let exec = inner.backend.prepare(&optimized)?;
+        let entry = CacheEntry {
+            fun: Arc::new(optimized),
+            exec,
+        };
+        // Another thread may have compiled the same function meanwhile;
+        // keep the first entry so the executable stays shared.
+        let entry = inner
+            .cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(entry)
+            .clone();
+        inner.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(CompiledFn::new(Arc::clone(inner), entry))
+    }
+
+    /// Cache counters (hits, misses, live entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            entries: self.inner.cache.lock().unwrap().len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed results
+// ---------------------------------------------------------------------
+
+/// The result of a reverse-mode call ([`CompiledFn::grad`]): the primal
+/// results plus one adjoint per differentiable parameter, in parameter
+/// order.
+#[derive(Debug, Clone)]
+pub struct GradOutput {
+    /// The primal results (all of them, in declaration order).
+    pub value: Vec<Value>,
+    /// The adjoints of the differentiable parameters, in parameter order.
+    pub grads: Vec<Value>,
+}
+
+impl GradOutput {
+    /// The first primal result as a scalar `f64` (the common
+    /// scalar-objective case).
+    pub fn scalar(&self) -> f64 {
+        self.value[0].as_f64()
+    }
+
+    /// All adjoints flattened into one `f64` vector, in parameter order.
+    pub fn flat_grads(&self) -> Vec<f64> {
+        flatten_f64(&self.grads)
+    }
+}
+
+/// The result of a forward-mode call ([`CompiledFn::pushforward`]): primal
+/// results paired with the tangents of the differentiable results.
+#[derive(Debug, Clone)]
+pub struct Dual {
+    /// The primal results (all of them, in declaration order).
+    pub value: Vec<Value>,
+    /// The tangents of the differentiable results, in result order.
+    pub tangent: Vec<Value>,
+}
+
+impl Dual {
+    /// The first primal result as a scalar `f64`.
+    pub fn scalar(&self) -> f64 {
+        self.value[0].as_f64()
+    }
+
+    /// All tangents flattened into one `f64` vector.
+    pub fn flat_tangents(&self) -> Vec<f64> {
+        flatten_f64(&self.tangent)
+    }
+}
+
+fn flatten_f64(vals: &[Value]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for v in vals {
+        match v {
+            Value::F64(x) => out.push(*x),
+            Value::Arr(a) if a.elem() == fir::types::ScalarType::F64 => {
+                out.extend_from_slice(a.f64s())
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// A value of ones with the same type and shape as `v` (differentiable
+/// values only).
+fn ones_like(v: &Value) -> Value {
+    match v {
+        Value::F64(_) => Value::F64(1.0),
+        Value::Arr(a) => Value::Arr(Array::from_f64(a.shape.clone(), vec![1.0; a.f64s().len()])),
+        other => unreachable!("ones_like of non-differentiable value {other:?}"),
+    }
+}
+
+/// A value of zeros with the same type and shape as `v` (differentiable
+/// values only).
+fn zeros_like(v: &Value) -> Value {
+    match v {
+        Value::F64(_) => Value::F64(0.0),
+        Value::Arr(a) => Value::Arr(Array::zeros(a.elem(), a.shape.clone())),
+        other => unreachable!("zeros_like of non-differentiable value {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// CompiledFn
+// ---------------------------------------------------------------------
+
+/// A function compiled by an [`Engine`]: an executable handle plus lazily
+/// derived AD transforms. Cheap to clone; clones share the executable and
+/// the derived transforms, and handles returned by later `compile` calls
+/// of the same function share the executable (their transform *handles*
+/// are per-`CompiledFn`, but deriving one only re-runs the cheap IR
+/// transform — its compilation is answered by the engine cache).
+#[derive(Clone)]
+pub struct CompiledFn {
+    engine: Arc<EngineInner>,
+    entry: CacheEntry,
+    vjp: Arc<OnceLock<Result<Box<CompiledFn>, FirError>>>,
+    jvp: Arc<OnceLock<Result<Box<CompiledFn>, FirError>>>,
+}
+
+impl std::fmt::Debug for CompiledFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledFn")
+            .field("fun", &self.entry.fun.name)
+            .field("backend", &self.engine.backend.name())
+            .finish()
+    }
+}
+
+impl CompiledFn {
+    fn new(engine: Arc<EngineInner>, entry: CacheEntry) -> CompiledFn {
+        CompiledFn {
+            engine,
+            entry,
+            vjp: Arc::new(OnceLock::new()),
+            jvp: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.entry.fun.name
+    }
+
+    /// The compiled (pipeline-optimized) IR.
+    pub fn fun(&self) -> &Fun {
+        &self.entry.fun
+    }
+
+    /// The declared parameter types.
+    pub fn param_types(&self) -> &[Type] {
+        self.entry.exec.param_types()
+    }
+
+    /// The declared result types.
+    pub fn result_types(&self) -> &[Type] {
+        self.entry.exec.result_types()
+    }
+
+    // -- execution ----------------------------------------------------
+
+    /// Execute on `args`. Arity/type mismatches and runtime failures are
+    /// `Err`, never a panic.
+    pub fn call(&self, args: &[Value]) -> Result<Vec<Value>, FirError> {
+        self.entry.exec.run(args).map_err(FirError::from)
+    }
+
+    /// Execute a function whose first result is a scalar `f64`.
+    pub fn call_scalar(&self, args: &[Value]) -> Result<f64, FirError> {
+        self.entry.exec.run_scalar(args).map_err(FirError::from)
+    }
+
+    /// Execute one call per argument list, scheduling the calls on the
+    /// persistent worker pool. The per-call dispatch (and, on sequential
+    /// backends, the whole evaluation) runs concurrently, which amortizes
+    /// engine overhead across a batch of requests — the serving-path
+    /// counterpart of per-SOAC parallelism. Results are returned in batch
+    /// order; the first failing call's error is returned.
+    pub fn call_batch(&self, batch: &[Vec<Value>]) -> Result<Vec<Vec<Value>>, FirError> {
+        let exec = &self.entry.exec;
+        let outs = WorkerPool::global().run_tasks(batch.len(), &|i| exec.run(&batch[i]));
+        outs.into_iter()
+            .map(|r| r.map_err(FirError::from))
+            .collect()
+    }
+
+    // -- derived transforms -------------------------------------------
+
+    /// The reverse-mode transform of this function, compiled through the
+    /// same engine (lazily, once; the handle is shared and cached by
+    /// structural fingerprint).
+    ///
+    /// The transformed function takes the original arguments plus one
+    /// adjoint seed per differentiable result and returns the primal
+    /// results plus one adjoint per differentiable parameter. For
+    /// seed-free calling, use [`CompiledFn::grad`].
+    pub fn vjp(&self) -> Result<&CompiledFn, FirError> {
+        let r = self.vjp.get_or_init(|| {
+            let derived = futhark_ad::vjp(&self.entry.fun);
+            Engine::compile_with(&self.engine, &derived).map(Box::new)
+        });
+        match r {
+            Ok(b) => Ok(b),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The forward-mode transform of this function (lazily compiled and
+    /// shared, like [`CompiledFn::vjp`]). The transformed function takes
+    /// the original arguments plus one tangent per differentiable
+    /// parameter. For zero-filled tangent calling, use
+    /// [`CompiledFn::pushforward`].
+    pub fn jvp(&self) -> Result<&CompiledFn, FirError> {
+        let r = self.jvp.get_or_init(|| {
+            let derived = futhark_ad::jvp(&self.entry.fun);
+            Engine::compile_with(&self.engine, &derived).map(Box::new)
+        });
+        match r {
+            Ok(b) => Ok(b),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Forward-over-reverse (`jvp ∘ vjp`): the transform used for
+    /// Hessian-vector products. See [`CompiledFn::hvp`] for the seeded
+    /// convenience wrapper.
+    pub fn hessian(&self) -> Result<&CompiledFn, FirError> {
+        self.vjp()?.jvp()
+    }
+
+    // -- seeded conveniences ------------------------------------------
+
+    /// Unit adjoint seeds for this function's differentiable results,
+    /// derived from the registered result types: `1.0` for scalar results;
+    /// all-ones arrays (matching the primal output shapes, which requires
+    /// one primal evaluation) for array results. With these seeds, reverse
+    /// mode computes the gradient of the *sum* of all differentiable
+    /// results.
+    pub fn unit_seeds(&self, args: &[Value]) -> Result<Vec<Value>, FirError> {
+        let ret = &self.entry.fun.ret;
+        let diff: Vec<&Type> = ret.iter().filter(|t| t.is_differentiable()).collect();
+        if diff.is_empty() {
+            return Err(FirError::Unsupported {
+                what: format!("`{}` has no differentiable result to seed", self.name()),
+            });
+        }
+        if diff.iter().all(|t| t.is_scalar()) {
+            return Ok(vec![Value::F64(1.0); diff.len()]);
+        }
+        // Array-valued results: shapes are only known at run time, so
+        // evaluate the primal once and build ones of each output's shape.
+        let primal = self.call(args)?;
+        Ok(primal
+            .iter()
+            .zip(ret)
+            .filter(|(_, t)| t.is_differentiable())
+            .map(|(v, _)| ones_like(v))
+            .collect())
+    }
+
+    /// Run reverse mode with auto-derived unit seeds (see
+    /// [`CompiledFn::unit_seeds`]): returns the primal results and the
+    /// adjoint of every differentiable parameter.
+    pub fn grad(&self, args: &[Value]) -> Result<GradOutput, FirError> {
+        validate_args(self.name(), self.param_types(), args)?;
+        let handle = self.vjp()?;
+        let mut full = args.to_vec();
+        full.extend(self.unit_seeds(args)?);
+        let out = handle.call(&full)?;
+        Ok(self.split_grad(out))
+    }
+
+    /// [`CompiledFn::grad`] over a batch of argument lists, scheduled on
+    /// the worker pool like [`CompiledFn::call_batch`].
+    pub fn grad_batch(&self, batch: &[Vec<Value>]) -> Result<Vec<GradOutput>, FirError> {
+        let handle = self.vjp()?;
+        // For all-scalar differentiable results (every workload objective)
+        // the unit seeds are a constant of the signature: derive them once
+        // for the whole batch instead of once per request. Array-valued
+        // results need per-request primal shapes and fall back to
+        // per-request derivation.
+        let ret = &self.entry.fun.ret;
+        let shared_seeds = if ret
+            .iter()
+            .filter(|t| t.is_differentiable())
+            .all(|t| t.is_scalar())
+        {
+            batch
+                .first()
+                .map(|args| self.unit_seeds(args))
+                .transpose()?
+        } else {
+            None
+        };
+        let full: Vec<Vec<Value>> = batch
+            .iter()
+            .map(|args| {
+                validate_args(self.name(), self.param_types(), args)?;
+                let mut a = args.clone();
+                match &shared_seeds {
+                    Some(seeds) => a.extend(seeds.iter().cloned()),
+                    None => a.extend(self.unit_seeds(args)?),
+                }
+                Ok(a)
+            })
+            .collect::<Result<_, FirError>>()?;
+        let outs = handle.call_batch(&full)?;
+        Ok(outs.into_iter().map(|out| self.split_grad(out)).collect())
+    }
+
+    fn split_grad(&self, out: Vec<Value>) -> GradOutput {
+        let m = self.entry.fun.ret.len();
+        let mut it = out.into_iter();
+        let value: Vec<Value> = it.by_ref().take(m).collect();
+        GradOutput {
+            value,
+            grads: it.collect(),
+        }
+    }
+
+    /// Run forward mode along a direction. `dir` names tangents sparsely as
+    /// `(parameter index, tangent value)` pairs; every other differentiable
+    /// parameter gets an auto-inserted zero tangent of its argument's
+    /// shape.
+    pub fn pushforward(&self, args: &[Value], dir: &[(usize, Value)]) -> Result<Dual, FirError> {
+        validate_args(self.name(), self.param_types(), args)?;
+        let handle = self.jvp()?;
+        let mut full = args.to_vec();
+        full.extend(self.tangents(args, dir)?);
+        let out = handle.call(&full)?;
+        let m = self.entry.fun.ret.len();
+        let mut it = out.into_iter();
+        let value: Vec<Value> = it.by_ref().take(m).collect();
+        Ok(Dual {
+            value,
+            tangent: it.collect(),
+        })
+    }
+
+    /// One tangent per differentiable parameter: the direction's value
+    /// where given, zeros otherwise.
+    fn tangents(&self, args: &[Value], dir: &[(usize, Value)]) -> Result<Vec<Value>, FirError> {
+        let params = &self.entry.fun.params;
+        for (i, _) in dir {
+            match params.get(*i) {
+                Some(p) if p.ty.is_differentiable() => {}
+                Some(p) => {
+                    return Err(FirError::Unsupported {
+                        what: format!(
+                        "`{}` parameter {i} has non-differentiable type {}, cannot take a tangent",
+                        self.name(),
+                        p.ty
+                    ),
+                    })
+                }
+                None => {
+                    return Err(FirError::Unsupported {
+                        what: format!(
+                            "`{}` has {} parameters, tangent index {i} is out of range",
+                            self.name(),
+                            params.len()
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.ty.is_differentiable())
+            .map(|(i, _)| {
+                dir.iter()
+                    .find(|(j, _)| *j == i)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| zeros_like(&args[i]))
+            })
+            .collect())
+    }
+
+    /// Hessian-vector product by forward-over-reverse: the directional
+    /// derivative of the gradient along `dir` (sparse tangents, as in
+    /// [`CompiledFn::pushforward`]). Returns the tangent of each
+    /// differentiable parameter's adjoint, in parameter order — for a
+    /// scalar objective, `H · v` blocked by parameter.
+    pub fn hvp(&self, args: &[Value], dir: &[(usize, Value)]) -> Result<Vec<Value>, FirError> {
+        validate_args(self.name(), self.param_types(), args)?;
+        let handle = self.hessian()?;
+        let seeds = self.unit_seeds(args)?;
+        let tangents = self.tangents(args, dir)?;
+        // hessian = jvp(vjp(f)); its parameters are f's, then the vjp
+        // seeds, then tangents for the vjp function's differentiable
+        // parameters (f's, then the seeds — the seeds are held constant,
+        // so their tangents are zero).
+        let mut full = args.to_vec();
+        full.extend(seeds.iter().cloned());
+        full.extend(tangents);
+        full.extend(seeds.iter().map(zeros_like));
+        let out = handle.call(&full)?;
+        // Results: f's results (m), parameter adjoints (jd), tangents of
+        // the vjp function's differentiable results (kd differentiable
+        // primal results, then the jd adjoints). The HVP is the last
+        // block.
+        let fun = &self.entry.fun;
+        let m = fun.ret.len();
+        let kd = fun.ret.iter().filter(|t| t.is_differentiable()).count();
+        let jd = fun
+            .params
+            .iter()
+            .filter(|p| p.ty.is_differentiable())
+            .count();
+        debug_assert_eq!(out.len(), m + jd + kd + jd);
+        Ok(out[m + jd + kd..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::Builder;
+    use fir::types::Type;
+
+    fn dot() -> Fun {
+        let mut b = Builder::new();
+        b.build_fun("dot", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+            let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+                vec![b.fmul(es[0].into(), es[1].into())]
+            });
+            vec![b.sum(prods).into()]
+        })
+    }
+
+    fn dot_args() -> Vec<Value> {
+        vec![
+            Value::from(vec![1.0, 2.0, 3.0]),
+            Value::from(vec![4.0, 5.0, 6.0]),
+        ]
+    }
+
+    #[test]
+    fn compile_call_grad_on_every_backend() {
+        for name in crate::BACKEND_NAMES {
+            let engine = Engine::by_name(name).unwrap();
+            let f = engine.compile(&dot()).unwrap();
+            assert_eq!(f.call_scalar(&dot_args()).unwrap(), 32.0);
+            let g = f.grad(&dot_args()).unwrap();
+            assert_eq!(g.scalar(), 32.0);
+            assert_eq!(g.grads[0].as_arr().f64s(), &[4.0, 5.0, 6.0]);
+            assert_eq!(g.grads[1].as_arr().f64s(), &[1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn recompilation_hits_the_cache_and_shares_transforms() {
+        let engine = Engine::new();
+        let f1 = engine.compile(&dot()).unwrap();
+        let s0 = engine.cache_stats();
+        assert_eq!((s0.hits, s0.misses), (0, 1));
+        let f2 = engine.compile(&dot()).unwrap();
+        assert_eq!(engine.cache_stats().hits, 1);
+        // Deriving the vjp compiles it once; the second handle re-derives
+        // the transform but its compilation is answered by the cache.
+        let misses_before = engine.cache_stats().misses;
+        f1.vjp().unwrap();
+        assert_eq!(engine.cache_stats().misses, misses_before + 1);
+        f2.vjp().unwrap();
+        assert_eq!(engine.cache_stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn dropping_the_engine_and_handles_frees_the_engine() {
+        // CompiledFn holds Arc<EngineInner> and the derived handles live
+        // on the CompiledFn (not in the engine cache), so dropping every
+        // handle and the engine must actually deallocate: no cycle.
+        let engine = Engine::new();
+        let weak = Arc::downgrade(&engine.inner);
+        let f = engine.compile(&dot()).unwrap();
+        f.vjp().unwrap();
+        f.hessian().unwrap();
+        drop(f);
+        drop(engine);
+        assert!(
+            weak.upgrade().is_none(),
+            "engine leaked: strong refs remain after dropping all handles"
+        );
+    }
+
+    #[test]
+    fn pushforward_inserts_zero_tangents() {
+        let engine = Engine::by_name("vm-seq").unwrap();
+        let f = engine.compile(&dot()).unwrap();
+        // d/dt dot(xs + t*e0, ys) = ys[0]
+        let dual = f
+            .pushforward(&dot_args(), &[(0, Value::from(vec![1.0, 0.0, 0.0]))])
+            .unwrap();
+        assert_eq!(dual.scalar(), 32.0);
+        assert_eq!(dual.flat_tangents(), vec![4.0]);
+        // No direction at all: zero tangent.
+        let dual = f.pushforward(&dot_args(), &[]).unwrap();
+        assert_eq!(dual.flat_tangents(), vec![0.0]);
+    }
+
+    #[test]
+    fn hvp_matches_the_analytic_hessian() {
+        // f(x) = x[0]^2 * x[1]; H = [[2x1, 2x0], [2x0, 0]].
+        let mut b = Builder::new();
+        let f = b.build_fun("h", &[Type::arr_f64(1)], |b, ps| {
+            let x0 = b.index(ps[0], &[fir::ir::Atom::i64(0)]);
+            let x1 = b.index(ps[0], &[fir::ir::Atom::i64(1)]);
+            let sq = b.fmul(x0.into(), x0.into());
+            vec![b.fmul(sq, x1.into())]
+        });
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let cf = engine.compile(&f).unwrap();
+        let args = [Value::from(vec![3.0, 5.0])];
+        let hv = cf.hvp(&args, &[(0, Value::from(vec![1.0, 0.0]))]).unwrap();
+        // H · e0 = [2*x1, 2*x0] = [10, 6].
+        assert_eq!(hv[0].as_arr().f64s(), &[10.0, 6.0]);
+    }
+
+    #[test]
+    fn call_batch_matches_sequential_calls() {
+        let engine = Engine::new();
+        let f = engine.compile(&dot()).unwrap();
+        let batch: Vec<Vec<Value>> = (0..16)
+            .map(|i| {
+                vec![
+                    Value::from(vec![i as f64, 1.0]),
+                    Value::from(vec![2.0, 3.0]),
+                ]
+            })
+            .collect();
+        let batched = f.call_batch(&batch).unwrap();
+        for (args, out) in batch.iter().zip(&batched) {
+            assert_eq!(out[0].as_f64(), f.call(args).unwrap()[0].as_f64());
+        }
+    }
+
+    #[test]
+    fn errors_do_not_panic() {
+        let engine = Engine::new();
+        let f = engine.compile(&dot()).unwrap();
+        assert!(matches!(
+            f.call(&[Value::F64(1.0)]),
+            Err(FirError::Exec(interp::ExecError::Arity { .. }))
+        ));
+        assert!(matches!(
+            f.pushforward(&dot_args(), &[(7, Value::F64(1.0))]),
+            Err(FirError::Unsupported { .. })
+        ));
+    }
+}

@@ -1,0 +1,103 @@
+//! The error type of the staged API.
+//!
+//! Everything that can go wrong between "here is a `Fun`" and "here are its
+//! results" surfaces as a [`FirError`]: ill-typed IR at compile time,
+//! arity/type mismatches and executor failures at call time, unknown
+//! backend names at engine construction, and requests the function's
+//! signature cannot support (e.g. the gradient of a function with no
+//! differentiable result).
+
+use std::fmt;
+
+use fir::typecheck::TypeError;
+use interp::ExecError;
+
+/// An error from compiling or executing a function through the staged API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FirError {
+    /// The program failed the structural type check (`Engine::compile`
+    /// checks up front, before any backend work).
+    Type(TypeError),
+    /// The backend rejected the preparation or the execution of a call.
+    Exec(ExecError),
+    /// No backend is registered under the requested name.
+    UnknownBackend {
+        /// The name that was asked for.
+        name: String,
+        /// Every registered backend name.
+        known: &'static [&'static str],
+    },
+    /// The request is not supported by the function's signature (e.g.
+    /// `grad` on a function with no differentiable result, or a tangent
+    /// direction for a non-differentiable parameter).
+    Unsupported {
+        /// What was asked and why it cannot be done.
+        what: String,
+    },
+}
+
+impl From<TypeError> for FirError {
+    fn from(e: TypeError) -> FirError {
+        FirError::Type(e)
+    }
+}
+
+impl From<ExecError> for FirError {
+    fn from(e: ExecError) -> FirError {
+        // A backend re-checking types reports the same class of error as
+        // the engine's up-front check.
+        match e {
+            ExecError::IllTyped(t) => FirError::Type(t),
+            other => FirError::Exec(other),
+        }
+    }
+}
+
+impl fmt::Display for FirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirError::Type(e) => write!(f, "{e}"),
+            FirError::Exec(e) => write!(f, "{e}"),
+            FirError::UnknownBackend { name, known } => {
+                write!(
+                    f,
+                    "unknown backend {name:?}; valid names are {}",
+                    known.join(", ")
+                )
+            }
+            FirError::Unsupported { what } => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FirError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FirError::Type(e) => Some(e),
+            FirError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_backend_lists_the_valid_names() {
+        let e = FirError::UnknownBackend {
+            name: "cuda".into(),
+            known: &["vm", "interp"],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("\"cuda\""), "{msg}");
+        assert!(msg.contains("vm, interp"), "{msg}");
+    }
+
+    #[test]
+    fn ill_typed_exec_errors_collapse_to_type_errors() {
+        let e = FirError::from(ExecError::IllTyped(TypeError::new("boom")));
+        assert!(matches!(e, FirError::Type(_)));
+    }
+}

@@ -1,0 +1,122 @@
+//! Composable simplification pipelines.
+//!
+//! Reverse-mode AD by redundant execution deliberately emits dead forward
+//! sweeps (paper §4.1); the engine runs a configurable sequence of `fir_opt`
+//! passes over every function before handing it to the backend. The default
+//! pipeline is the fixed-point [`fir_opt::simplify`]; ablation studies and
+//! debugging can compose their own sequence (or disable optimization
+//! entirely with [`PassPipeline::none`]).
+
+use fir::ir::Fun;
+
+/// One simplification pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// The fixed-point combination of all passes ([`fir_opt::simplify`]).
+    Simplify,
+    /// Dead-code elimination only.
+    DeadCode,
+    /// Constant folding (and 0/1 identity collapsing) only.
+    ConstantFold,
+    /// Copy propagation only.
+    CopyProp,
+}
+
+impl Pass {
+    /// Apply this pass to a function.
+    pub fn apply(&self, fun: &Fun) -> Fun {
+        match self {
+            Pass::Simplify => fir_opt::simplify(fun),
+            Pass::DeadCode => fir_opt::dead_code_elimination(fun),
+            Pass::ConstantFold => fir_opt::constant_fold(fun),
+            Pass::CopyProp => fir_opt::copy_propagation(fun),
+        }
+    }
+}
+
+/// An ordered sequence of passes, applied left to right on every function
+/// an engine compiles (primal and AD-derived alike).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassPipeline {
+    passes: Vec<Pass>,
+}
+
+impl Default for PassPipeline {
+    fn default() -> PassPipeline {
+        PassPipeline::standard()
+    }
+}
+
+impl PassPipeline {
+    /// The default pipeline: fixed-point simplification.
+    pub fn standard() -> PassPipeline {
+        PassPipeline {
+            passes: vec![Pass::Simplify],
+        }
+    }
+
+    /// An empty pipeline: functions reach the backend untouched.
+    pub fn none() -> PassPipeline {
+        PassPipeline { passes: Vec::new() }
+    }
+
+    /// A pipeline running exactly `passes`, in order.
+    pub fn new(passes: Vec<Pass>) -> PassPipeline {
+        PassPipeline { passes }
+    }
+
+    /// Append a pass.
+    pub fn then(mut self, pass: Pass) -> PassPipeline {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The passes, in application order.
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Apply every pass, in order.
+    pub fn apply(&self, fun: &Fun) -> Fun {
+        let mut cur = fun.clone();
+        for p in &self.passes {
+            cur = p.apply(&cur);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::Builder;
+    use fir::ir::Atom;
+    use fir::types::Type;
+
+    fn with_dead_code() -> Fun {
+        let mut b = Builder::new();
+        b.build_fun("f", &[Type::F64], |b, ps| {
+            let _dead = b.fadd(ps[0].into(), Atom::f64(1.0));
+            vec![b.fmul(ps[0].into(), ps[0].into())]
+        })
+    }
+
+    #[test]
+    fn none_is_identity_and_standard_simplifies() {
+        let f = with_dead_code();
+        assert_eq!(PassPipeline::none().apply(&f), f);
+        let simplified = PassPipeline::standard().apply(&f);
+        assert!(fir_opt::count_stms(&simplified) < fir_opt::count_stms(&f));
+        fir::typecheck::check_fun(&simplified).unwrap();
+    }
+
+    #[test]
+    fn pipelines_compose() {
+        let p = PassPipeline::none()
+            .then(Pass::CopyProp)
+            .then(Pass::DeadCode);
+        assert_eq!(p.passes(), &[Pass::CopyProp, Pass::DeadCode]);
+        let f = with_dead_code();
+        assert!(fir_opt::count_stms(&p.apply(&f)) < fir_opt::count_stms(&f));
+    }
+}

@@ -1,21 +1,21 @@
 //! Ablation studies for the design choices called out in DESIGN.md:
 //!
 //! 1. simplification (DCE/const-fold/copy-prop) on vs. off for a perfectly
-//!    nested program — the mechanism that removes redundant forward sweeps;
+//!    nested program — the mechanism that removes redundant forward sweeps,
+//!    toggled through the engine's configurable `PassPipeline`;
 //! 2. the loop strip-mining factor — the §4.3 time/space trade-off;
 //! 3. the special-case `+` reduce rule vs. the general scan-based rule.
 
-use ad_bench::{compare_backends, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
+use ad_bench::{compare_backends, engine, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
 use fir::builder::Builder;
 use fir::ir::Atom;
 use fir::types::Type;
+use fir_api::PassPipeline;
 use futhark_ad::{stripmine_loops, vjp};
-use interp::{Interp, Value};
+use interp::Value;
 use workloads::adbench;
 
 fn main() {
-    let interp = Interp::new();
-    let seq = Interp::sequential();
     let reps = 3;
     let mut report = Report::new("ablations");
 
@@ -39,7 +39,15 @@ fn main() {
         vec![Atom::Var(b.sum(sums))]
     });
     let dnest = vjp(&nest);
-    let simplified = fir_opt::simplify(&dnest);
+    // Two engines on the same backend: one with the pass pipeline disabled
+    // (the raw redundant forward sweep), one with the standard pipeline.
+    let raw_cf = engine("interp")
+        .with_pipeline(PassPipeline::none())
+        .compile(&dnest)
+        .expect("compile raw vjp output");
+    let simpl_cf = engine("interp")
+        .compile(&dnest)
+        .expect("compile simplified");
     let data = Value::Arr(interp::Array::from_f64(
         vec![200, 200],
         (0..200 * 200).map(|i| (i as f64 * 0.001).sin()).collect(),
@@ -47,26 +55,29 @@ fn main() {
     let args_nest = vec![data.clone()];
     let args = [data, Value::F64(1.0)];
     let t_raw = time_secs(reps, || {
-        let _ = interp.run(&dnest, &args);
+        let _ = raw_cf.call(&args).expect("raw vjp");
     });
     let t_simpl = time_secs(reps, || {
-        let _ = interp.run(&simplified, &args);
+        let _ = simpl_cf.call(&args).expect("simplified vjp");
     });
     row(&[
         "vjp output (raw)".into(),
-        fir_opt::count_stms(&dnest).to_string(),
+        fir_opt::count_stms(raw_cf.fun()).to_string(),
         ms(t_raw),
     ]);
     row(&[
         "vjp output + simplify".into(),
-        fir_opt::count_stms(&simplified).to_string(),
+        fir_opt::count_stms(simpl_cf.fun()).to_string(),
         ms(t_simpl),
     ]);
     report.add(
         "simplify",
         &[
-            ("raw_stms", fir_opt::count_stms(&dnest) as f64),
-            ("simplified_stms", fir_opt::count_stms(&simplified) as f64),
+            ("raw_stms", fir_opt::count_stms(raw_cf.fun()) as f64),
+            (
+                "simplified_stms",
+                fir_opt::count_stms(simpl_cf.fun()) as f64,
+            ),
             ("raw_s", t_raw),
             ("simplified_s", t_simpl),
         ],
@@ -77,6 +88,7 @@ fn main() {
         "Ablation 2: loop strip-mining factor (D-LSTM recurrence)",
         &["factor", "gradient runtime", "relative to factor 1"],
     );
+    let eng_seq = engine("interp-seq");
     let dl = adbench::DlstmData::generate(64, 16, 16, 9);
     let fun = adbench::dlstm_objective_ir(dl.h);
     let mut base_time = 0.0;
@@ -86,11 +98,10 @@ fn main() {
         } else {
             stripmine_loops(&fun, factor)
         };
-        let df = vjp(&f);
-        let mut args = dl.ir_args();
-        args.push(Value::F64(1.0));
+        let cf = eng_seq.compile(&f).expect("compile strip-mined D-LSTM");
+        let args = dl.ir_args();
         let t = time_secs(reps, || {
-            let _ = seq.run(&df, &args);
+            let _ = cf.grad(&args).expect("D-LSTM gradient");
         });
         if factor == 1 {
             base_time = t;
@@ -107,6 +118,10 @@ fn main() {
         "Ablation 3: + reduce special case vs. general (scan-based) rule",
         &["rule", "gradient runtime"],
     );
+    // Pipeline disabled: the standard pipeline would constant-fold the
+    // `a + b + 0*a` operator back into a recognizable `+` before vjp ever
+    // saw it, silently turning the general rule into the special case.
+    let eng = engine("interp").with_pipeline(PassPipeline::none());
     let n = 200_000;
     let xs = Value::from(
         (0..n)
@@ -132,10 +147,10 @@ fn main() {
         ("special (+)", &sum_special),
         ("general (scan-based)", &sum_general),
     ] {
-        let df = vjp(fun);
-        let args = [xs.clone(), Value::F64(1.0)];
+        let cf = eng.compile(fun).expect("compile reduce ablation");
+        let args = [xs.clone()];
         let t = time_secs(reps, || {
-            let _ = interp.run(&df, &args);
+            let _ = cf.grad(&args).expect("reduce gradient");
         });
         row(&[name.into(), ms(t)]);
         report.add(&format!("reduce:{name}"), &[("grad_s", t)]);

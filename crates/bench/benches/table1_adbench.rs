@@ -8,9 +8,8 @@
 //! to CPU-interpreter scale; the measured quantity (the ratio) matches the
 //! paper's.
 
-use ad_bench::{compare_backends, header, ratio, row, time_secs, Report, BACKEND_COLS};
-use futhark_ad::vjp;
-use interp::{Interp, Value};
+use ad_bench::{compare_backends, engine, header, ratio, row, time_secs, Report, BACKEND_COLS};
+use interp::Value;
 use workloads::{adbench, gmm};
 
 fn bench_problem(
@@ -21,16 +20,14 @@ fn bench_problem(
     manual_grad: Option<&mut dyn FnMut()>,
     reps: usize,
 ) {
-    let interp = Interp::sequential();
+    // Sequential CPU execution, as in the paper's Table 1.
+    let cf = engine("interp-seq").compile(fun).expect("compile");
     let obj_t = time_secs(reps, || {
-        let _ = interp.run(fun, args);
+        let _ = cf.call(args).expect("objective");
     });
     // Futhark-style reverse AD (redundant execution, no tape).
-    let dfun = vjp(fun);
-    let mut grad_args = args.to_vec();
-    grad_args.push(Value::F64(1.0));
     let ad_t = time_secs(reps, || {
-        let _ = interp.run(&dfun, &grad_args);
+        let _ = cf.grad(args).expect("gradient");
     });
     // Tapenade-style tape AD.
     let tape_t = time_secs(reps, || {

@@ -4,9 +4,7 @@
 //! same applications (4.2x and 3.2x); those reference numbers are printed
 //! alongside the measured ones.
 
-use ad_bench::{compare_backends, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
-use futhark_ad::vjp;
-use interp::{Interp, Value};
+use ad_bench::{compare_backends, engine, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
 use workloads::mc;
 
 fn main() {
@@ -20,21 +18,20 @@ fn main() {
             "Enzyme overhead (paper)",
         ],
     );
-    let interp = Interp::new();
+    // The parallel interpreter, as in the seed's Table 2 configuration.
+    let eng = engine("interp");
     let reps = 3;
     let mut report = Report::new("table2_enzyme");
 
     // RSBench-like windowed multipole lookups.
     let rs = mc::RsData::generate(8, 16, 12, 5_000, 1);
     let rs_fun = mc::rsbench_ir(rs.windows, rs.poles);
+    let rs_cf = eng.compile(&rs_fun).expect("compile RSBench");
     let rs_primal = time_secs(reps, || {
-        let _ = interp.run(&rs_fun, &rs.ir_args());
+        let _ = rs_cf.call(&rs.ir_args()).expect("RSBench primal");
     });
-    let rs_vjp = vjp(&rs_fun);
-    let mut rs_args = rs.ir_args();
-    rs_args.push(Value::F64(1.0));
     let rs_ad = time_secs(reps, || {
-        let _ = interp.run(&rs_vjp, &rs_args);
+        let _ = rs_cf.grad(&rs.ir_args()).expect("RSBench gradient");
     });
     row(&[
         "RSBench".into(),
@@ -55,14 +52,12 @@ fn main() {
     // XSBench-like nuclide grid lookups.
     let xs = mc::XsData::generate(256, 32, 10_000, 2);
     let xs_fun = mc::xsbench_ir(xs.g);
+    let xs_cf = eng.compile(&xs_fun).expect("compile XSBench");
     let xs_primal = time_secs(reps, || {
-        let _ = interp.run(&xs_fun, &xs.ir_args());
+        let _ = xs_cf.call(&xs.ir_args()).expect("XSBench primal");
     });
-    let xs_vjp = vjp(&xs_fun);
-    let mut xs_args = xs.ir_args();
-    xs_args.push(Value::F64(1.0));
     let xs_ad = time_secs(reps, || {
-        let _ = interp.run(&xs_vjp, &xs_args);
+        let _ = xs_cf.grad(&xs.ir_args()).expect("XSBench gradient");
     });
     row(&[
         "XSBench".into(),

@@ -6,37 +6,32 @@
 //! baseline ("PyTorch"). Workload shapes are scaled-down versions of the
 //! paper's (k, n, d) = (5, 494019, 35) and (1024, 10000, 256).
 
-use ad_bench::{compare_backends, header, ms, row, time_secs, Report, BACKEND_COLS};
-use futhark_ad::{jvp, vjp};
-use interp::{Array, Interp, Value};
+use ad_bench::{
+    compare_backends, compare_batch, engine, header, ms, row, time_secs, Report, BACKEND_COLS,
+    BATCH_COLS,
+};
+use interp::{Array, Value};
 use workloads::kmeans;
 
 fn bench(report: &mut Report, name: &str, k: usize, n: usize, d: usize, reps: usize) {
     let data = kmeans::KmeansData::generate(n, d, k, 42);
-    let interp = Interp::new();
 
     // Manual (histogram-style assignment + per-centre sums).
     let manual_t = time_secs(reps, || {
         let _ = kmeans::dense_manual(&data);
     });
 
-    // AD: gradient via vjp, Hessian diagonal via jvp(vjp) with an all-ones
-    // direction (a single extra pass — the paper's §7.4 trick).
-    let fun = kmeans::dense_objective_ir();
-    let grad_fun = vjp(&fun);
-    let hess_fun = jvp(&grad_fun);
-    let mut grad_args = data.ir_args();
-    grad_args.push(Value::F64(1.0));
-    let mut hess_args = grad_args.clone();
-    hess_args.push(Value::Arr(Array::zeros(
-        fir::types::ScalarType::F64,
-        vec![n, d],
-    )));
-    hess_args.push(Value::Arr(Array::from_f64(vec![k, d], vec![1.0; k * d])));
-    hess_args.push(Value::F64(0.0));
+    // AD: gradient via the vjp handle, Hessian diagonal via hvp with an
+    // all-ones direction on the centers (a single extra pass — the paper's
+    // §7.4 trick). Seeds and zero tangents are derived by the engine.
+    let cf = engine("vm")
+        .compile(&kmeans::dense_objective_ir())
+        .expect("compile k-means");
+    let args = data.ir_args();
+    let ones = Value::Arr(Array::from_f64(vec![k, d], vec![1.0; k * d]));
     let ad_t = time_secs(reps, || {
-        let _ = interp.run(&grad_fun, &grad_args);
-        let _ = interp.run(&hess_fun, &hess_args);
+        let _ = cf.grad(&args).expect("k-means gradient");
+        let _ = cf.hvp(&args, &[(1, ones.clone())]).expect("k-means hvp");
     });
 
     // PyTorch-like baseline: gradient via the tape; the Hessian pass is
@@ -93,6 +88,22 @@ fn main() {
         "kmeans-dense (5, 5000, 35)",
         &kmeans::dense_objective_ir(),
         &big.ir_args(),
+        reps,
+    );
+
+    header(
+        "Table 3 serving: per-call gradients vs call_batch on the worker pool",
+        &BATCH_COLS,
+    );
+    // A serving batch of independent clustering requests.
+    let batch: Vec<Vec<Value>> = (0..16)
+        .map(|i| kmeans::KmeansData::generate(1_000, 16, 5, 200 + i).ir_args())
+        .collect();
+    compare_batch(
+        &mut report,
+        "kmeans-dense (5, 1000, 16)",
+        &kmeans::dense_objective_ir(),
+        &batch,
         reps,
     );
     report.write();

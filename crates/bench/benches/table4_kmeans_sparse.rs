@@ -4,26 +4,23 @@
 //! sequential loop over each row's non-zeros nested in the parallel map over
 //! rows), and the PyTorch-like sparse tensor baseline.
 
-use ad_bench::{compare_backends, header, ms, row, time_secs, Report, BACKEND_COLS};
-use futhark_ad::vjp;
-use interp::{Interp, Value};
+use ad_bench::{compare_backends, engine, header, ms, row, time_secs, Report, BACKEND_COLS};
 use workloads::kmeans;
 
 fn bench(report: &mut Report, name: &str, n: usize, d: usize, nnz_per_row: usize, reps: usize) {
     let k = 10;
     let data = kmeans::SparseKmeansData::generate(n, d, k, nnz_per_row, 7);
-    let interp = Interp::new();
 
     let manual_t = time_secs(reps, || {
         let _ = kmeans::sparse_manual(&data);
     });
 
-    let fun = kmeans::sparse_objective_ir();
-    let grad_fun = vjp(&fun);
-    let mut args = data.ir_args();
-    args.push(Value::F64(1.0));
+    let cf = engine("interp")
+        .compile(&kmeans::sparse_objective_ir())
+        .expect("compile sparse k-means");
+    let args = data.ir_args();
     let ad_t = time_secs(reps, || {
-        let _ = interp.run(&grad_fun, &args);
+        let _ = cf.grad(&args).expect("sparse k-means gradient");
     });
 
     let torch_t = time_secs(reps, || {

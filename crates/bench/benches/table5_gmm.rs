@@ -3,9 +3,11 @@
 //! Jacobian (gradient) time, this work's speedup over it, and both tools'
 //! overheads (gradient time / objective time), mirroring Tables 5b/5c.
 
-use ad_bench::{compare_backends, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
-use futhark_ad::vjp;
-use interp::{Interp, Value};
+use ad_bench::{
+    compare_backends, compare_batch, engine, header, ms, ratio, row, time_secs, Report,
+    BACKEND_COLS, BATCH_COLS,
+};
+use interp::Value;
 use workloads::gmm;
 
 fn main() {
@@ -30,9 +32,10 @@ fn main() {
     ];
     let reps = 2;
     let mut report = Report::new("table5_gmm");
-    let interp = Interp::new();
     let fun = gmm::objective_ir();
-    let dfun = vjp(&fun);
+    // One staged compile, reused across every dataset (the vjp handle is
+    // derived once and cached by the engine).
+    let cf = engine("vm").compile(&fun).expect("compile GMM");
     for (name, n, d, k) in datasets {
         let data = gmm::GmmData::generate(*n, *d, *k, 11);
         // PyTorch-like: objective and gradient on the tensor tape.
@@ -42,16 +45,14 @@ fn main() {
         let torch_grad = time_secs(reps, || {
             let _ = gmm::gradient_tensor(&data);
         });
-        // Futhark-like: IR objective and vjp gradient on the parallel
+        // Futhark-like: staged primal and vjp gradient on the parallel
         // executor.
         let args = data.ir_args();
         let fut_obj = time_secs(reps, || {
-            let _ = interp.run(&fun, &args);
+            let _ = cf.call(&args).expect("GMM primal");
         });
-        let mut grad_args = args.clone();
-        grad_args.push(Value::F64(1.0));
         let fut_grad = time_secs(reps, || {
-            let _ = interp.run(&dfun, &grad_args);
+            let _ = cf.grad(&args).expect("GMM gradient");
         });
         row(&[
             name.to_string(),
@@ -88,5 +89,16 @@ fn main() {
         &big.ir_args(),
         reps,
     );
+
+    header(
+        "Table 5 serving: per-call gradients vs call_batch on the worker pool",
+        &BATCH_COLS,
+    );
+    // A serving batch of independent D3-sized requests: per-call dispatch
+    // in a loop vs one grad_batch amortized across the pool.
+    let batch: Vec<Vec<Value>> = (0..16)
+        .map(|i| gmm::GmmData::generate(500, 16, 10, 100 + i).ir_args())
+        .collect();
+    compare_batch(&mut report, "GMM D3 (500, 16, 10)", &fun, &batch, reps);
     report.write();
 }

@@ -4,9 +4,7 @@
 //! hand-written GPU kernel library and has no CPU analogue here; the paper's
 //! reported factors are printed for reference.
 
-use ad_bench::{compare_backends, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
-use futhark_ad::vjp;
-use interp::{Interp, Value};
+use ad_bench::{compare_backends, engine, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
 use workloads::lstm;
 
 fn main() {
@@ -27,19 +25,18 @@ fn main() {
     ];
     let reps = 2;
     let mut report = Report::new("table6_lstm");
-    let interp = Interp::new();
+    let eng = engine("interp");
+    let eng_seq = engine("interp-seq");
     for (name, bs, seq, d, h) in datasets {
         let data = lstm::LstmData::generate(*seq, *d, *h, *bs, 21);
         let fun = lstm::objective_ir(data.h, data.bs);
-        let dfun = vjp(&fun);
+        let cf = eng.compile(&fun).expect("compile LSTM");
         let args = data.ir_args();
         let fut_obj = time_secs(reps, || {
-            let _ = interp.run(&fun, &args);
+            let _ = cf.call(&args).expect("LSTM primal");
         });
-        let mut grad_args = args.clone();
-        grad_args.push(Value::F64(1.0));
         let fut_grad = time_secs(reps, || {
-            let _ = interp.run(&dfun, &grad_args);
+            let _ = cf.grad(&args).expect("LSTM gradient");
         });
         // PyTorch-like baseline: forward = tape build without backward is
         // not separable in this implementation, so the overhead denominator
@@ -48,10 +45,11 @@ fn main() {
         let torch_grad = time_secs(reps, || {
             let _ = lstm::tensor_gradient(&data);
         });
+        let cf_seq = eng_seq.compile(&fun).expect("compile LSTM (seq)");
         let torch_obj = time_secs(reps, || {
             // Objective-only evaluation: run the IR objective sequentially as
             // the closest operator-for-operator primal.
-            let _ = Interp::sequential().run(&fun, &args);
+            let _ = cf_seq.call(&args).expect("LSTM primal (seq)");
         });
         row(&[
             name.to_string(),

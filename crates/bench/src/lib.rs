@@ -9,9 +9,8 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use fir::ir::Fun;
-use firvm::Vm;
-use futhark_ad::vjp;
-use interp::{Backend, Interp, Value};
+use fir_api::{CompiledFn, Engine};
+use interp::Value;
 
 /// Median wall-clock seconds of `reps` runs of `f` (after one warm-up run).
 pub fn time_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -139,21 +138,15 @@ pub struct BackendTiming {
     pub grad_secs: f64,
 }
 
-/// Time `fun`'s primal and reverse-mode gradient on a backend.
-pub fn time_backend(
-    backend: &dyn Backend,
-    fun: &Fun,
-    dfun: &Fun,
-    args: &[Value],
-    reps: usize,
-) -> BackendTiming {
-    let mut grad_args = args.to_vec();
-    grad_args.push(Value::F64(1.0));
+/// Time a compiled function's primal call and reverse-mode gradient (the
+/// vjp handle is derived lazily by the first `grad` call, which `time_secs`
+/// spends on its warm-up rep).
+pub fn time_backend(cf: &CompiledFn, args: &[Value], reps: usize) -> BackendTiming {
     let primal_secs = time_secs(reps, || {
-        let _ = backend.run(fun, args);
+        let _ = cf.call(args).expect("bench primal call failed");
     });
     let grad_secs = time_secs(reps, || {
-        let _ = backend.run(dfun, &grad_args);
+        let _ = cf.grad(args).expect("bench gradient call failed");
     });
     BackendTiming {
         primal_secs,
@@ -171,11 +164,10 @@ pub fn compare_backends(
     args: &[Value],
     reps: usize,
 ) -> f64 {
-    let dfun = vjp(fun);
-    let interp = Interp::sequential();
-    let vm = Vm::sequential();
-    let ti = time_backend(&interp, fun, &dfun, args, reps);
-    let tv = time_backend(&vm, fun, &dfun, args, reps);
+    let ci = engine("interp-seq").compile(fun).expect("compile (interp)");
+    let cv = engine("vm-seq").compile(fun).expect("compile (vm)");
+    let ti = time_backend(&ci, args, reps);
+    let tv = time_backend(&cv, args, reps);
     let primal_speedup = ti.primal_secs / tv.primal_secs;
     let grad_speedup = ti.grad_secs / tv.grad_secs;
     row(&[
@@ -211,6 +203,60 @@ pub const BACKEND_COLS: [&str; 7] = [
     "vm grad",
     "vm grad speedup",
 ];
+
+/// An engine on the named backend; panics on unknown names (bench
+/// harnesses hard-code registered names).
+pub fn engine(name: &str) -> Engine {
+    Engine::by_name(name).unwrap_or_else(|e| panic!("{e}"))
+}
+
+// ---------------------------------------------------------------------
+// Batched serving (call_batch amortization)
+// ---------------------------------------------------------------------
+
+/// Print (and record) the batched-serving comparison for one workload: the
+/// reverse-mode gradient of every instance in `batch` computed by a
+/// sequential per-call loop vs. one `grad_batch` scheduled across the
+/// worker pool. Both run on the sequential VM so the comparison isolates
+/// batch amortization from intra-call SOAC parallelism. Returns the batch
+/// speedup.
+pub fn compare_batch(
+    report: &mut Report,
+    label: &str,
+    fun: &Fun,
+    batch: &[Vec<Value>],
+    reps: usize,
+) -> f64 {
+    let cf = engine("vm-seq").compile(fun).expect("compile (vm-seq)");
+    let per_call_secs = time_secs(reps, || {
+        for args in batch {
+            let _ = cf.grad(args).expect("bench per-call gradient failed");
+        }
+    });
+    let batch_secs = time_secs(reps, || {
+        let _ = cf.grad_batch(batch).expect("bench batched gradient failed");
+    });
+    let speedup = per_call_secs / batch_secs;
+    row(&[
+        format!("{label} (batch of {})", batch.len()),
+        ms(per_call_secs),
+        ms(batch_secs),
+        ratio(speedup),
+    ]);
+    report.add(
+        &format!("batch:{label}"),
+        &[
+            ("batch_size", batch.len() as f64),
+            ("per_call_s", per_call_secs),
+            ("batch_s", batch_secs),
+            ("batch_speedup", speedup),
+        ],
+    );
+    speedup
+}
+
+/// The column names matching [`compare_batch`] rows.
+pub const BATCH_COLS: [&str; 4] = ["workload", "per-call grad", "batched grad", "batch speedup"];
 
 #[cfg(test)]
 mod tests {
@@ -252,5 +298,25 @@ mod tests {
         let speedup = compare_backends(&mut rep, "smoke", &f, &[Value::from(vec![0.5; 64])], 1);
         assert!(speedup.is_finite() && speedup > 0.0);
         assert!(rep.to_json().contains("backend:smoke"));
+    }
+
+    #[test]
+    fn compare_batch_smoke() {
+        use fir::builder::Builder;
+        use fir::types::Type;
+        let mut b = Builder::new();
+        let f = b.build_fun("batch", &[Type::arr_f64(1)], |b, ps| {
+            let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            vec![b.sum(sq).into()]
+        });
+        let batch: Vec<Vec<Value>> = (0..4)
+            .map(|i| vec![Value::from(vec![0.5; 32 + i])])
+            .collect();
+        let mut rep = Report::new("smoke_batch");
+        let speedup = compare_batch(&mut rep, "smoke", &f, &batch, 1);
+        assert!(speedup.is_finite() && speedup > 0.0);
+        assert!(rep.to_json().contains("batch:smoke"));
     }
 }

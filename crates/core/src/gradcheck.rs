@@ -42,19 +42,25 @@ pub fn num_inputs(args: &[Value]) -> usize {
 }
 
 /// Evaluate a scalar-valued function (first result must be an `f64`) on any
-/// execution backend.
+/// execution backend. Panics on preparation or execution errors — this is a
+/// test-assertion helper, not a serving path.
 pub fn eval_scalar<B: Backend + ?Sized>(backend: &B, fun: &Fun, args: &[Value]) -> f64 {
-    backend.run(fun, args)[0].as_f64()
+    backend
+        .prepare(fun)
+        .and_then(|exec| exec.run_scalar(args))
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The gradient of a scalar-valued function by central finite differences,
-/// flattened over all differentiable (`f64`) inputs.
+/// flattened over all differentiable (`f64`) inputs. The function is
+/// prepared once and executed `2n` times.
 pub fn finite_diff_gradient<B: Backend + ?Sized>(
     backend: &B,
     fun: &Fun,
     args: &[Value],
     h: f64,
 ) -> Vec<f64> {
+    let exec = backend.prepare(fun).unwrap_or_else(|e| panic!("{e}"));
     let mut flat = Vec::new();
     for a in args {
         flatten(a, &mut flat);
@@ -75,8 +81,12 @@ pub fn finite_diff_gradient<B: Backend + ?Sized>(
         plus[i] += h;
         let mut minus = flat.clone();
         minus[i] -= h;
-        let fp = eval_scalar(backend, fun, &rebuild(&plus));
-        let fm = eval_scalar(backend, fun, &rebuild(&minus));
+        let fp = exec
+            .run_scalar(&rebuild(&plus))
+            .unwrap_or_else(|e| panic!("{e}"));
+        let fm = exec
+            .run_scalar(&rebuild(&minus))
+            .unwrap_or_else(|e| panic!("{e}"));
         grad.push((fp - fm) / (2.0 * h));
     }
     grad
@@ -101,10 +111,20 @@ pub fn reverse_gradient<B: Backend + ?Sized>(
     args: &[Value],
 ) -> (f64, Vec<f64>) {
     assert_eq!(fun.ret.len(), 1, "reverse_gradient expects a single result");
+    assert_eq!(
+        fun.ret[0],
+        fir::types::Type::F64,
+        "reverse_gradient expects a scalar f64 result; use fir-api's \
+         CompiledFn::grad for array-valued objectives (it derives seeds \
+         from the result types)"
+    );
     let dfun = crate::vjp(fun);
     let mut all_args = args.to_vec();
     all_args.push(Value::F64(1.0));
-    let out = backend.run(&dfun, &all_args);
+    let out = backend
+        .prepare(&dfun)
+        .and_then(|exec| exec.run(&all_args))
+        .unwrap_or_else(|e| panic!("{e}"));
     let primal = out[0].as_f64();
     let grads = flatten_gradient(&out[1..]);
     (primal, grads)

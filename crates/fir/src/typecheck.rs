@@ -12,13 +12,40 @@ use std::fmt;
 use crate::ir::{Atom, BinOp, Body, Exp, Fun, Lambda, Param, Stm, UnOp, VarId};
 use crate::types::{ScalarType, Type};
 
-/// A type error with a human-readable description.
+/// A type error: a human-readable description plus the name of the
+/// function it was found in (attached by [`check_fun`]), so errors that
+/// cross API layers (e.g. `fir-api`'s `Engine::compile`) still identify
+/// their source program.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TypeError(pub String);
+pub struct TypeError {
+    /// What went wrong.
+    pub message: String,
+    /// The function being checked, when known.
+    pub in_fun: Option<String>,
+}
+
+impl TypeError {
+    /// A type error with no function context.
+    pub fn new(message: impl Into<String>) -> TypeError {
+        TypeError {
+            message: message.into(),
+            in_fun: None,
+        }
+    }
+
+    /// Attach (or replace) the function name the error was found in.
+    pub fn in_fun(mut self, name: &str) -> TypeError {
+        self.in_fun = Some(name.to_string());
+        self
+    }
+}
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "type error: {}", self.0)
+        match &self.in_fun {
+            Some(name) => write!(f, "type error in `{name}`: {}", self.message),
+            None => write!(f, "type error: {}", self.message),
+        }
     }
 }
 
@@ -26,7 +53,7 @@ impl std::error::Error for TypeError {}
 
 macro_rules! bail {
     ($($arg:tt)*) => {
-        return Err(TypeError(format!($($arg)*)))
+        return Err(TypeError::new(format!($($arg)*)))
     };
 }
 
@@ -45,7 +72,7 @@ impl Env {
         self.vars
             .get(&v)
             .copied()
-            .ok_or_else(|| TypeError(format!("unbound variable {v}")))
+            .ok_or_else(|| TypeError::new(format!("unbound variable {v}")))
     }
 
     fn atom(&self, a: &Atom) -> Result<Type, TypeError> {
@@ -59,14 +86,18 @@ impl Env {
 fn expect_scalar(t: Type, what: &str) -> Result<ScalarType, TypeError> {
     match t {
         Type::Scalar(s) => Ok(s),
-        _ => Err(TypeError(format!("{what}: expected a scalar, got {t}"))),
+        _ => Err(TypeError::new(format!(
+            "{what}: expected a scalar, got {t}"
+        ))),
     }
 }
 
 fn expect_array(t: Type, what: &str) -> Result<(ScalarType, usize), TypeError> {
     match t {
         Type::Array { elem, rank } => Ok((elem, rank)),
-        _ => Err(TypeError(format!("{what}: expected an array, got {t}"))),
+        _ => Err(TypeError::new(format!(
+            "{what}: expected an array, got {t}"
+        ))),
     }
 }
 
@@ -433,8 +464,12 @@ fn check_body(env: &Env, b: &Body) -> Result<Vec<Type>, TypeError> {
     b.result.iter().map(|a| env.atom(a)).collect()
 }
 
-/// Type-check a whole function.
+/// Type-check a whole function. Errors carry the function's name.
 pub fn check_fun(f: &Fun) -> Result<(), TypeError> {
+    check_fun_inner(f).map_err(|e| e.in_fun(&f.name))
+}
+
+fn check_fun_inner(f: &Fun) -> Result<(), TypeError> {
     let mut env = Env::default();
     for p in &f.params {
         env.bind(p);
@@ -484,7 +519,9 @@ mod tests {
             ),
             ret: vec![Type::F64],
         };
-        assert!(check_fun(&f).is_err());
+        let err = check_fun(&f).unwrap_err();
+        assert_eq!(err.in_fun.as_deref(), Some("bad"));
+        assert!(err.to_string().contains("in `bad`"), "{err}");
     }
 
     #[test]

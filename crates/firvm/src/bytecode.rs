@@ -2,7 +2,7 @@
 //!
 //! A [`Program`] is the unit of compilation: one flat instruction stream for
 //! the function body ([`CodeObject`]) plus one pre-compiled
-//! [`Kernel`](crate::kernel::Kernel) per SOAC lambda anywhere in the
+//! [`Kernel`] per SOAC lambda anywhere in the
 //! function. Registers are dense `u32` slots into a per-invocation frame of
 //! [`Value`](interp::Value)s — variable lookups cost an array index instead
 //! of a hash-map probe, and control flow (`if`, `loop`) is lowered to jumps

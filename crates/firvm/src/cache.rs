@@ -125,6 +125,13 @@ pub fn fingerprint(fun: &Fun) -> u64 {
     fingerprint_salted(fun, 0)
 }
 
+/// The 128-bit structural identity used by the caches: two independent
+/// salted fingerprints. Exposed so higher layers (the `fir-api` engine's
+/// compiled-function cache) key on the same identity as this crate.
+pub fn fingerprint_pair(fun: &Fun) -> (u64, u64) {
+    (fingerprint_salted(fun, 0), fingerprint_salted(fun, 1))
+}
+
 /// Fingerprint with a salt: different salts give (effectively) independent
 /// hash functions, which the cache combines into a 128-bit identity.
 fn fingerprint_salted(fun: &Fun, salt: u64) -> u64 {

@@ -7,10 +7,10 @@
 //! compiled CPU backend of the reproduction:
 //!
 //! * [`compile`](compile::compile) lowers a type-checked [`Fun`] into a flat
-//!   register [`Program`](bytecode::Program): variable slots are resolved at
+//!   register [`Program`]: variable slots are resolved at
 //!   compile time (no hash-map environments at runtime), `if`/`loop` become
 //!   jumps within one frame, and every SOAC lambda becomes a reusable
-//!   [`Kernel`](kernel::Kernel) whose free variables are captured once per
+//!   [`Kernel`] whose free variables are captured once per
 //!   SOAC invocation instead of re-resolved per element.
 //! * [`vm`] executes programs, scheduling parallel SOAC chunks on the
 //!   persistent [`WorkerPool`](interp::WorkerPool) shared with the
@@ -19,7 +19,7 @@
 //!   outputs of `vjp`/`jvp` compile once and run many times.
 //!
 //! [`Vm`] ties it together and implements the shared
-//! [`Backend`](interp::Backend) trait, making the VM a drop-in replacement
+//! `interp::Backend` trait, making the VM a drop-in replacement
 //! for the interpreter everywhere a backend is selectable.
 //!
 //! # Example
@@ -49,11 +49,15 @@ pub mod kernel;
 pub mod pool;
 pub mod vm;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
 use fir::ir::Fun;
-use interp::{Backend, ExecConfig, Value};
+use fir::types::Type;
+use interp::{validate_args, Backend, ExecConfig, ExecError, Executable, Value};
 
 pub use bytecode::Program;
-pub use cache::ProgramCache;
+pub use cache::{fingerprint_pair, ProgramCache};
 pub use compile::compile;
 pub use kernel::Kernel;
 
@@ -115,19 +119,73 @@ impl Vm {
     }
 }
 
+/// A function compiled to bytecode, ready for repeated execution: the
+/// cached [`Program`] plus the signature used for argument validation.
+struct PreparedVm {
+    cfg: ExecConfig,
+    prog: Arc<Program>,
+    name: String,
+    params: Vec<Type>,
+    ret: Vec<Type>,
+}
+
+impl Executable for PreparedVm {
+    fn fun_name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_types(&self) -> &[Type] {
+        &self.params
+    }
+
+    fn result_types(&self) -> &[Type] {
+        &self.ret
+    }
+
+    fn run(&self, args: &[Value]) -> Result<Vec<Value>, ExecError> {
+        validate_args(&self.name, &self.params, args)?;
+        catch_unwind(AssertUnwindSafe(|| {
+            vm::run_program(&self.prog, &self.cfg, args)
+        }))
+        .map_err(|p| ExecError::Runtime {
+            fun: self.name.clone(),
+            message: interp::error::panic_message(p),
+        })
+    }
+}
+
 impl Backend for Vm {
     fn name(&self) -> &'static str {
         "firvm"
     }
 
-    fn run(&self, fun: &Fun, args: &[Value]) -> Vec<Value> {
-        Vm::run(self, fun, args)
+    fn prepare(&self, fun: &Fun) -> Result<Arc<dyn Executable>, ExecError> {
+        fir::typecheck::check_fun(fun)?;
+        // Compilation of a type-checked function must not fail; a panic
+        // here is a compiler bug, reported as a runtime error rather than
+        // unwinding through the caller.
+        let prog =
+            catch_unwind(AssertUnwindSafe(|| self.cache().get_or_compile(fun))).map_err(|p| {
+                ExecError::Runtime {
+                    fun: fun.name.clone(),
+                    message: interp::error::panic_message(p),
+                }
+            })?;
+        Ok(Arc::new(PreparedVm {
+            cfg: self.cfg.clone(),
+            prog,
+            name: fun.name.clone(),
+            params: fun.params.iter().map(|p| p.ty).collect(),
+            ret: fun.ret.clone(),
+        }))
     }
 }
 
 /// Backend selection across both crates: `"interp"`/`"interp-seq"` from the
 /// interpreter crate, plus `"vm"`/`"vm-seq"` (aliases `"firvm"`) here.
+#[deprecated(note = "use the single registry in `fir-api` (`fir_api::backend_by_name`)")]
 pub fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
+    #[allow(deprecated)]
     match name {
         "vm" | "firvm" => Some(Box::new(Vm::new())),
         "vm-seq" | "firvm-seq" => Some(Box::new(Vm::sequential())),
@@ -458,9 +516,39 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep resolving the legacy names
     fn backend_selection_by_name() {
         assert_eq!(backend_by_name("vm").unwrap().name(), "firvm");
         assert_eq!(backend_by_name("interp").unwrap().name(), "interp");
         assert!(backend_by_name("cuda").is_none());
+    }
+
+    #[test]
+    fn prepare_compiles_once_and_runs_fallibly() {
+        let mut b = Builder::new();
+        let f = b.build_fun("sq", &[Type::F64], |b, ps| {
+            vec![b.fmul(ps[0].into(), ps[0].into())]
+        });
+        let cache = std::sync::Arc::new(ProgramCache::new());
+        let vm = Vm::sequential().with_cache(std::sync::Arc::clone(&cache));
+        let exec = vm.prepare(&f).unwrap();
+        assert_eq!(cache.len(), 1, "prepare compiles through the cache");
+        assert_eq!(exec.fun_name(), "sq");
+        assert_eq!(exec.run_scalar(&[Value::F64(4.0)]).unwrap(), 16.0);
+        // Malformed arguments are errors, not panics.
+        assert!(matches!(
+            exec.run(&[Value::I64(4)]),
+            Err(ExecError::ArgType { index: 0, .. })
+        ));
+        assert!(matches!(
+            exec.run(&[]),
+            Err(ExecError::Arity {
+                expected: 1,
+                got: 0,
+                ..
+            })
+        ));
+        // Running again does not recompile.
+        assert_eq!(cache.len(), 1);
     }
 }

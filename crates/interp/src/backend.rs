@@ -1,29 +1,145 @@
-//! The execution-backend abstraction.
+//! The two-phase execution-backend abstraction.
 //!
 //! The paper's evaluation hinges on executing AD-transformed IR with an
 //! aggressively optimizing parallel backend; this reproduction has two:
-//! the tree-walking [`Interp`](crate::Interp) in this crate and the
+//! the tree-walking `Interp` in this crate and the
 //! compiled bytecode VM in the `firvm` crate. Both implement [`Backend`],
-//! so workloads, benchmarks and examples can be written once and pointed
-//! at either (or at future backends — sharded, batched, remote…).
+//! which splits execution into two phases:
+//!
+//! 1. [`Backend::prepare`] type-checks (and, for compiled backends, lowers)
+//!    a function **once**, returning a shared [`Executable`];
+//! 2. [`Executable::run`] executes the prepared function on arguments,
+//!    validating arity and argument types and returning `Err` instead of
+//!    panicking on malformed input.
+//!
+//! The split matches the staged workflow of the `fir-api` crate — compile
+//! once, run hot — and is what future scaling backends (sharded, batched,
+//! remote) plug into: `prepare` is where a remote backend would ship the
+//! program, `run` where it would dispatch a request.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use fir::ir::Fun;
+use fir::types::Type;
 
+use crate::error::{panic_message, ExecError};
 use crate::value::Value;
 use crate::Interp;
+
+/// A function prepared for repeated execution on a backend.
+///
+/// Implementations are `Send + Sync` so one prepared program can serve
+/// concurrent callers (this is what `fir-api`'s `call_batch` relies on).
+pub trait Executable: Send + Sync {
+    /// The name of the prepared function.
+    fn fun_name(&self) -> &str;
+
+    /// The declared parameter types, used for argument validation and for
+    /// deriving adjoint seeds / tangents in higher layers.
+    fn param_types(&self) -> &[Type];
+
+    /// The declared result types.
+    fn result_types(&self) -> &[Type];
+
+    /// Execute on `args`, returning the results. Arity and argument-type
+    /// mismatches, and any runtime failure of the executor, are reported as
+    /// `Err` — never a panic.
+    fn run(&self, args: &[Value]) -> Result<Vec<Value>, ExecError>;
+
+    /// Execute a function whose first result is a scalar `f64`.
+    fn run_scalar(&self, args: &[Value]) -> Result<f64, ExecError> {
+        let out = self.run(args)?;
+        match out.first() {
+            Some(Value::F64(x)) => Ok(*x),
+            other => Err(ExecError::NotScalar {
+                fun: self.fun_name().to_string(),
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+}
 
 /// An executor of type-checked `fir` functions.
 pub trait Backend: Send + Sync {
     /// A short human-readable backend name (used in benchmark tables).
     fn name(&self) -> &'static str;
 
-    /// Run `fun` on `args`, returning its results. Panics on malformed
-    /// programs, like the interpreter does.
-    fn run(&self, fun: &Fun, args: &[Value]) -> Vec<Value>;
+    /// Type-check and prepare `fun` for repeated execution. Ill-typed IR is
+    /// rejected here (`ExecError::IllTyped`), so [`Executable::run`] never
+    /// sees a malformed program.
+    fn prepare(&self, fun: &Fun) -> Result<Arc<dyn Executable>, ExecError>;
 
-    /// Run a single-result scalar function and return the `f64`.
+    /// Run `fun` on `args`, panicking on any error.
+    #[deprecated(note = "use `prepare()` + `Executable::run`, or the `fir-api` Engine")]
+    fn run(&self, fun: &Fun, args: &[Value]) -> Vec<Value> {
+        self.prepare(fun)
+            .and_then(|exec| exec.run(args))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run a single-result scalar function, panicking on any error.
+    #[deprecated(note = "use `prepare()` + `Executable::run_scalar`, or the `fir-api` Engine")]
     fn run_scalar(&self, fun: &Fun, args: &[Value]) -> f64 {
-        self.run(fun, args)[0].as_f64()
+        self.prepare(fun)
+            .and_then(|exec| exec.run_scalar(args))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Validate a call's arguments against the declared parameter types.
+/// Shared by every backend so error messages are uniform.
+pub fn validate_args(fun: &str, params: &[Type], args: &[Value]) -> Result<(), ExecError> {
+    if args.len() != params.len() {
+        return Err(ExecError::Arity {
+            fun: fun.to_string(),
+            expected: params.len(),
+            got: args.len(),
+        });
+    }
+    for (i, (arg, want)) in args.iter().zip(params).enumerate() {
+        let got = arg.ty();
+        if got != *want {
+            return Err(ExecError::ArgType {
+                fun: fun.to_string(),
+                index: i,
+                expected: *want,
+                got,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A function prepared for the tree-walking interpreter: the (type-checked)
+/// IR plus the execution configuration.
+struct PreparedInterp {
+    interp: Interp,
+    fun: Arc<Fun>,
+    params: Vec<Type>,
+}
+
+impl Executable for PreparedInterp {
+    fn fun_name(&self) -> &str {
+        &self.fun.name
+    }
+
+    fn param_types(&self) -> &[Type] {
+        &self.params
+    }
+
+    fn result_types(&self) -> &[Type] {
+        &self.fun.ret
+    }
+
+    fn run(&self, args: &[Value]) -> Result<Vec<Value>, ExecError> {
+        validate_args(&self.fun.name, &self.params, args)?;
+        catch_unwind(AssertUnwindSafe(|| self.interp.run(&self.fun, args))).map_err(|p| {
+            ExecError::Runtime {
+                fun: self.fun.name.clone(),
+                message: panic_message(p),
+            }
+        })
     }
 }
 
@@ -32,14 +148,18 @@ impl Backend for Interp {
         "interp"
     }
 
-    fn run(&self, fun: &Fun, args: &[Value]) -> Vec<Value> {
-        Interp::run(self, fun, args)
+    fn prepare(&self, fun: &Fun) -> Result<Arc<dyn Executable>, ExecError> {
+        fir::typecheck::check_fun(fun)?;
+        Ok(Arc::new(PreparedInterp {
+            interp: self.clone(),
+            params: fun.params.iter().map(|p| p.ty).collect(),
+            fun: Arc::new(fun.clone()),
+        }))
     }
 }
 
 /// Select a backend by name: `"interp"` for the tree-walking interpreter.
-/// (The `firvm` crate registers itself under `"vm"` via its own
-/// `backend_by_name`; this function only knows the backends defined here.)
+#[deprecated(note = "use the single registry in `fir-api` (`fir_api::backend_by_name`)")]
 pub fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
     match name {
         "interp" => Some(Box::new(Interp::new())),
@@ -54,15 +174,68 @@ mod tests {
     use fir::builder::Builder;
     use fir::types::Type;
 
-    #[test]
-    fn interp_implements_backend() {
+    fn square() -> Fun {
         let mut b = Builder::new();
-        let f = b.build_fun("sq", &[Type::F64], |b, ps| {
+        b.build_fun("sq", &[Type::F64], |b, ps| {
             vec![b.fmul(ps[0].into(), ps[0].into())]
-        });
-        let backend: Box<dyn Backend> = backend_by_name("interp").unwrap();
+        })
+    }
+
+    #[test]
+    fn prepare_then_run() {
+        let backend: &dyn Backend = &Interp::new();
         assert_eq!(backend.name(), "interp");
-        assert_eq!(backend.run_scalar(&f, &[Value::F64(3.0)]), 9.0);
+        let exec = backend.prepare(&square()).unwrap();
+        assert_eq!(exec.fun_name(), "sq");
+        assert_eq!(exec.param_types(), &[Type::F64]);
+        assert_eq!(exec.result_types(), &[Type::F64]);
+        assert_eq!(exec.run_scalar(&[Value::F64(3.0)]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn arity_and_type_mismatches_are_errors() {
+        let exec = Interp::sequential().prepare(&square()).unwrap();
+        match exec.run(&[]) {
+            Err(ExecError::Arity {
+                expected: 1,
+                got: 0,
+                ..
+            }) => {}
+            other => panic!("expected arity error, got {other:?}"),
+        }
+        match exec.run(&[Value::I64(3)]) {
+            Err(ExecError::ArgType { index: 0, .. }) => {}
+            other => panic!("expected argument type error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ill_typed_ir_is_rejected_at_prepare() {
+        use fir::ir::{Atom, Body, Exp, Param, Stm, UnOp, VarId};
+        let bad = Fun {
+            name: "bad".into(),
+            params: vec![],
+            body: Body::new(
+                vec![Stm::new(
+                    vec![Param::new(VarId(1), Type::F64)],
+                    Exp::UnOp(UnOp::Sin, Atom::Var(VarId(99))),
+                )],
+                vec![Atom::Var(VarId(1))],
+            ),
+            ret: vec![Type::F64],
+        };
+        match Interp::new().prepare(&bad) {
+            Err(ExecError::IllTyped(e)) => assert_eq!(e.in_fun.as_deref(), Some("bad")),
+            Err(e) => panic!("expected IllTyped, got {e:?}"),
+            Ok(_) => panic!("ill-typed IR must not prepare"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_still_work() {
+        let backend: Box<dyn Backend> = backend_by_name("interp").unwrap();
+        assert_eq!(backend.run_scalar(&square(), &[Value::F64(3.0)]), 9.0);
         assert!(backend_by_name("no-such-backend").is_none());
     }
 }

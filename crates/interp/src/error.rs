@@ -1,0 +1,137 @@
+//! Fallible execution: the error type shared by every backend.
+//!
+//! The seed backends panicked on malformed programs and arguments; a
+//! serving-scale system cannot take a request down that way. `ExecError`
+//! is the single error currency of the two-phase backend interface
+//! ([`Backend::prepare`](crate::Backend::prepare) and
+//! [`Executable::run`](crate::Executable::run)): ill-typed IR is rejected at
+//! preparation time, argument arity/type mismatches at call time, and any
+//! residual executor panic is caught and reported instead of unwinding
+//! through the caller.
+
+use std::fmt;
+
+use fir::typecheck::TypeError;
+use fir::types::Type;
+
+/// An error from preparing or executing a `fir` function on a backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The program failed the structural type check at preparation time.
+    IllTyped(TypeError),
+    /// The call supplied the wrong number of arguments.
+    Arity {
+        /// Function name.
+        fun: String,
+        /// Number of declared parameters.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// An argument's runtime type does not match the declared parameter type.
+    ArgType {
+        /// Function name.
+        fun: String,
+        /// Zero-based parameter index.
+        index: usize,
+        /// The declared parameter type.
+        expected: Type,
+        /// The runtime type of the supplied value.
+        got: Type,
+    },
+    /// The first result is not the scalar `f64` the caller asked for.
+    NotScalar {
+        /// Function name.
+        fun: String,
+        /// Description of what was returned instead.
+        got: String,
+    },
+    /// The executor failed at runtime (e.g. a shape mismatch the type
+    /// system cannot rule out); the panic is caught and reported here.
+    /// Note the process's panic *hook* still runs before the catch, so
+    /// such failures also print the usual panic message to stderr — the
+    /// caller's control flow is clean, the log line remains.
+    Runtime {
+        /// Function name.
+        fun: String,
+        /// The panic payload or error description.
+        message: String,
+    },
+}
+
+impl From<TypeError> for ExecError {
+    fn from(e: TypeError) -> ExecError {
+        ExecError::IllTyped(e)
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::IllTyped(e) => write!(f, "{e}"),
+            ExecError::Arity { fun, expected, got } => {
+                write!(f, "`{fun}` takes {expected} arguments, got {got}")
+            }
+            ExecError::ArgType {
+                fun,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "`{fun}` argument {index} has type {got}, expected {expected}"
+            ),
+            ExecError::NotScalar { fun, got } => {
+                write!(f, "`{fun}` did not return a scalar f64: {got}")
+            }
+            ExecError::Runtime { fun, message } => {
+                write!(f, "`{fun}` failed at runtime: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::IllTyped(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Render a caught panic payload as a message (shared by every backend
+/// that converts caught panics into [`ExecError::Runtime`]).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ExecError::Arity {
+            fun: "f".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "`f` takes 2 arguments, got 3");
+        let e = ExecError::ArgType {
+            fun: "f".into(),
+            index: 1,
+            expected: Type::arr_f64(1),
+            got: Type::I64,
+        };
+        assert_eq!(e.to_string(), "`f` argument 1 has type i64, expected []f64");
+        let e = ExecError::from(TypeError::new("boom").in_fun("g"));
+        assert_eq!(e.to_string(), "type error in `g`: boom");
+    }
+}

@@ -27,12 +27,14 @@
 
 pub mod acc;
 pub mod backend;
+pub mod error;
 pub mod eval;
 pub mod pool;
 pub mod value;
 
 pub use acc::Accum;
-pub use backend::Backend;
+pub use backend::{validate_args, Backend, Executable};
+pub use error::ExecError;
 pub use eval::{ExecConfig, Interp};
 pub use pool::WorkerPool;
 pub use value::{Array, Data, Value};

@@ -275,6 +275,7 @@ fn logsumexp_slice(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fir_api::Engine;
     use futhark_ad::gradcheck::{finite_diff_gradient, max_rel_error, reverse_gradient};
     use interp::Interp;
 
@@ -282,7 +283,8 @@ mod tests {
     fn ir_objective_matches_manual() {
         let data = GmmData::generate(7, 3, 4, 1);
         let fun = objective_ir();
-        let out = Interp::sequential().run(&fun, &data.ir_args());
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let out = engine.compile(&fun).unwrap().call(&data.ir_args()).unwrap();
         let want = objective_manual(&data);
         assert!(
             (out[0].as_f64() - want).abs() < 1e-9,

@@ -99,7 +99,8 @@ pub fn mat_sum(b: &mut Builder, x: VarId) -> Atom {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use interp::{Array, Interp, Value};
+    use fir_api::Engine;
+    use interp::{Array, Value};
 
     #[test]
     fn matmul_ir_matches_reference() {
@@ -116,7 +117,8 @@ mod tests {
             vec![3, 2],
             vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0],
         ));
-        let out = Interp::sequential().run(&f, &[a, bm]);
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let out = engine.compile(&f).unwrap().call(&[a, bm]).unwrap();
         assert_eq!(out[0].as_arr().f64s(), &[58.0, 64.0, 139.0, 154.0]);
     }
 
@@ -128,7 +130,12 @@ mod tests {
         });
         let xs = vec![1.0, 2.0, 3.0];
         let want = (xs.iter().map(|x: &f64| x.exp()).sum::<f64>()).ln();
-        let out = Interp::sequential().run(&f, &[Value::from(xs)]);
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let out = engine
+            .compile(&f)
+            .unwrap()
+            .call(&[Value::from(xs)])
+            .unwrap();
         assert!((out[0].as_f64() - want).abs() < 1e-12);
     }
 }

@@ -380,15 +380,17 @@ pub fn sparse_tensor_gradient(data: &SparseKmeansData) -> (f64, Vec<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fir_api::Engine;
     use futhark_ad::gradcheck::{max_rel_error, reverse_gradient};
-    use futhark_ad::{jvp, vjp};
     use interp::Interp;
 
     #[test]
     fn dense_ir_matches_manual() {
         let data = KmeansData::generate(20, 3, 4, 1);
         let fun = dense_objective_ir();
-        let out = Interp::sequential().run(&fun, &data.ir_args());
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let cf = engine.compile(&fun).unwrap();
+        let out = cf.call(&data.ir_args()).unwrap();
         let (cost, _, _) = dense_manual(&data);
         assert!((out[0].as_f64() - cost).abs() < 1e-9);
     }
@@ -410,25 +412,17 @@ mod tests {
     fn dense_hessian_diagonal_via_jvp_of_vjp() {
         let data = KmeansData::generate(10, 2, 3, 3);
         let fun = dense_objective_ir();
-        let grad_fun = vjp(&fun);
-        let hess_fun = jvp(&grad_fun);
-        let interp = Interp::sequential();
-        // Arguments: points, centers, seed=1, tangent(points)=0, tangent(centers)=ones, tangent(seed)=0.
-        let mut args = data.ir_args();
-        args.push(Value::F64(1.0));
-        args.push(Value::Arr(Array::zeros(
-            fir::types::ScalarType::F64,
-            vec![data.n, data.d],
-        )));
-        args.push(Value::Arr(Array::from_f64(
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let cf = engine.compile(&fun).unwrap();
+        // Forward-over-reverse along the all-ones direction on the centers
+        // (seeds and the points/seed tangents are auto-inserted).
+        let ones = Value::Arr(Array::from_f64(
             vec![data.k, data.d],
             vec![1.0; data.k * data.d],
-        )));
-        args.push(Value::F64(0.0));
-        let out = interp.run(&hess_fun, &args);
-        // Output layout: cost, d_points, d_centers, then tangents of each
-        // differentiable output: d(cost), d(d_points), d(d_centers).
-        let hess_diag = out.last().unwrap().as_arr().f64s().to_vec();
+        ));
+        let hv = cf.hvp(&data.ir_args(), &[(1, ones)]).unwrap();
+        // One tangent per differentiable parameter adjoint: points, centers.
+        let hess_diag = hv[1].as_arr().f64s().to_vec();
         let (_, _, manual_h) = dense_manual(&data);
         assert!(max_rel_error(&hess_diag, &manual_h) < 1e-8);
     }
@@ -438,7 +432,8 @@ mod tests {
         let data = SparseKmeansData::generate(12, 8, 3, 4, 4);
         let fun = sparse_objective_ir();
         let interp = Interp::sequential();
-        let out = interp.run(&fun, &data.ir_args());
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let out = engine.compile(&fun).unwrap().call(&data.ir_args()).unwrap();
         let (cost, manual) = sparse_manual(&data);
         assert!((out[0].as_f64() - cost).abs() < 1e-9);
         let (_, ad) = reverse_gradient(&interp, &fun, &data.ir_args());

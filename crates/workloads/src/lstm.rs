@@ -203,6 +203,7 @@ pub fn tensor_gradient(data: &LstmData) -> (f64, Vec<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fir_api::Engine;
     use futhark_ad::gradcheck::{max_rel_error, reverse_gradient};
     use interp::Interp;
 
@@ -210,7 +211,8 @@ mod tests {
     fn ir_objective_matches_tensor_baseline() {
         let data = LstmData::generate(3, 2, 3, 2, 7);
         let fun = objective_ir(data.h, data.bs);
-        let out = Interp::sequential().run(&fun, &data.ir_args());
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let out = engine.compile(&fun).unwrap().call(&data.ir_args()).unwrap();
         let (tval, _) = tensor_gradient(&data);
         assert!(
             (out[0].as_f64() - tval).abs() < 1e-9,

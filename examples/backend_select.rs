@@ -1,18 +1,18 @@
-//! Backend selection: the same program and its gradient executed on every
-//! registered backend through the shared `Backend` trait.
+//! Backend selection: the same program and its gradient compiled through an
+//! [`Engine`] on every registered backend.
 //!
 //! Run with `cargo run --release --example backend_select`; set
 //! `FIR_BACKEND=interp` (or `vm`, `vm-seq`, `interp-seq`) to pick the
-//! default backend used by the final section.
+//! backend used by the final section. Unknown names produce an error
+//! listing the valid ones instead of a panic.
 
 use fir::builder::Builder;
 use fir::types::Type;
-use futhark_ad::vjp;
-use futhark_ad_repro::{backend_by_name, default_backend};
+use futhark_ad_repro::{Engine, FirError, BACKEND_NAMES};
 use interp::Value;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), FirError> {
     // f(xs) = sum (map (\x -> x * exp x) xs), a large-ish instance.
     let mut b = Builder::new();
     let f = b.build_fun("xsumexp", &[Type::arr_f64(1)], |b, ps| {
@@ -22,33 +22,41 @@ fn main() {
         });
         vec![b.sum(ys).into()]
     });
-    let df = vjp(&f);
     let xs: Vec<f64> = (0..200_000).map(|i| (i as f64 * 1e-5).sin()).collect();
     let args = [Value::from(xs)];
-    let mut grad_args = args.to_vec();
-    grad_args.push(Value::F64(1.0));
 
     for name in ["interp", "vm"] {
-        let backend = backend_by_name(name).expect("known backend");
+        let engine = Engine::by_name(name)?;
+        let cf = engine.compile(&f)?;
         let t0 = Instant::now();
-        let primal = backend.run(&f, &args)[0].as_f64();
+        let primal = cf.call_scalar(&args)?;
         let t_primal = t0.elapsed();
+        // Warm the vjp handle so the timing below is pure execution.
+        cf.vjp()?;
         let t0 = Instant::now();
-        let grad = backend.run(&df, &grad_args);
+        let grad = cf.grad(&args)?;
         let t_grad = t0.elapsed();
         println!(
             "{:>8}: f = {:.6}, |grad| = {}, primal {:?}, gradient {:?}",
-            backend.name(),
+            engine.backend_name(),
             primal,
-            grad[1].as_arr().f64s().len(),
+            grad.grads[0].as_arr().f64s().len(),
             t_primal,
             t_grad,
         );
     }
 
-    let backend = default_backend();
+    // Unknown backend names are errors that list the registered names.
+    match Engine::by_name("tpu") {
+        Err(e) => println!("Engine::by_name(\"tpu\"): {e}"),
+        Ok(_) => unreachable!("\"tpu\" is not a registered backend"),
+    }
+
+    let engine = Engine::from_env()?;
     println!(
-        "default backend (FIR_BACKEND or \"vm\"): {}",
-        backend.name()
+        "default backend (FIR_BACKEND or \"vm\"): {} (registered: {})",
+        engine.backend_name(),
+        BACKEND_NAMES.join(", "),
     );
+    Ok(())
 }

@@ -1,44 +1,34 @@
 //! Newton's method for dense k-means, with the gradient from reverse mode
 //! and the Hessian diagonal from one forward-over-reverse pass — the
-//! paper's case study 1 (§7.4).
+//! paper's case study 1 (§7.4), on the staged API: the objective is
+//! compiled once and the `vjp`/`jvp∘vjp` handles are derived lazily and
+//! cached across all iterations.
 //!
 //! Run with `cargo run --release --example kmeans_newton`.
 
-use futhark_ad::{jvp, vjp};
-use interp::{Array, Interp, Value};
+use futhark_ad_repro::{Engine, FirError};
+use interp::{Array, Value};
 use workloads::kmeans;
 
-fn main() {
+fn main() -> Result<(), FirError> {
     let (n, d, k) = (2000, 8, 6);
     let mut data = kmeans::KmeansData::generate(n, d, k, 3);
-    let fun = kmeans::dense_objective_ir();
-    let grad_fun = vjp(&fun);
-    let hess_fun = jvp(&grad_fun);
-    let interp = Interp::new();
+    let engine = Engine::new();
+    let cf = engine.compile(&kmeans::dense_objective_ir())?;
+    let ones_dir = Value::Arr(Array::from_f64(vec![k, d], vec![1.0; k * d]));
 
     for it in 0..8 {
         let points = Value::Arr(Array::from_f64(vec![n, d], data.points.clone()));
         let centers = Value::Arr(Array::from_f64(vec![k, d], data.centers.clone()));
-        // Gradient.
-        let out = interp.run(
-            &grad_fun,
-            &[points.clone(), centers.clone(), Value::F64(1.0)],
-        );
-        let cost = out[0].as_f64();
-        let grad = out[2].as_arr().f64s().to_vec();
-        // Hessian diagonal with a single jvp over the vjp (all-ones direction).
-        let hout = interp.run(
-            &hess_fun,
-            &[
-                points,
-                centers,
-                Value::F64(1.0),
-                Value::Arr(Array::zeros(fir::types::ScalarType::F64, vec![n, d])),
-                Value::Arr(Array::from_f64(vec![k, d], vec![1.0; k * d])),
-                Value::F64(0.0),
-            ],
-        );
-        let hess = hout.last().unwrap().as_arr().f64s().to_vec();
+        let args = [points, centers];
+        // Gradient (seed auto-derived).
+        let g = cf.grad(&args)?;
+        let cost = g.scalar();
+        let grad = g.grads[1].as_arr().f64s().to_vec();
+        // Hessian diagonal with a single jvp over the vjp, along the
+        // all-ones direction on the centers.
+        let hv = cf.hvp(&args, &[(1, ones_dir.clone())])?;
+        let hess = hv[1].as_arr().f64s().to_vec();
         // Newton update on the centres.
         for i in 0..k * d {
             if hess[i].abs() > 1e-12 {
@@ -47,4 +37,5 @@ fn main() {
         }
         println!("iteration {it}: cost = {cost:.6}");
     }
+    Ok(())
 }

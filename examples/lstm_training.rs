@@ -1,40 +1,35 @@
-//! Train the LSTM objective with gradient descent, using reverse AD over
-//! the IR for the gradients — the setting of Table 6.
+//! Train the LSTM objective with gradient descent, using the staged
+//! engine's reverse mode for the gradients — the setting of Table 6.
 //!
 //! Run with `cargo run --release --example lstm_training`.
 
-use futhark_ad::vjp;
-use interp::{Array, Interp, Value};
+use futhark_ad_repro::{Engine, FirError};
 use workloads::lstm;
 
-fn main() {
+fn main() -> Result<(), FirError> {
     let mut data = lstm::LstmData::generate(6, 8, 8, 4, 17);
-    let fun = lstm::objective_ir(data.h, data.bs);
-    let dfun = vjp(&fun);
-    let interp = Interp::new();
+    let engine = Engine::new();
+    let cf = engine.compile(&lstm::objective_ir(data.h, data.bs))?;
     let lr = 1e-3;
 
     for step in 0..10 {
-        let mut args = data.ir_args();
-        args.push(Value::F64(1.0));
-        let out = interp.run(&dfun, &args);
-        let loss = out[0].as_f64();
-        // Parameter adjoints follow the input adjoint in the result list:
-        // (loss, d_xs, d_wx, d_wh, d_bias).
-        let d_wx = out[2].as_arr().f64s();
-        let d_wh = out[3].as_arr().f64s();
-        let d_b = out[4].as_arr().f64s();
-        for (w, g) in data.wx.iter_mut().zip(d_wx) {
-            *w -= lr * g;
+        // Adjoints come back per differentiable parameter, in parameter
+        // order: (d_xs, d_wx, d_wh, d_bias).
+        let g = cf.grad(&data.ir_args())?;
+        let loss = g.scalar();
+        let d_wx = g.grads[1].as_arr().f64s();
+        let d_wh = g.grads[2].as_arr().f64s();
+        let d_b = g.grads[3].as_arr().f64s();
+        for (w, gr) in data.wx.iter_mut().zip(d_wx) {
+            *w -= lr * gr;
         }
-        for (w, g) in data.wh.iter_mut().zip(d_wh) {
-            *w -= lr * g;
+        for (w, gr) in data.wh.iter_mut().zip(d_wh) {
+            *w -= lr * gr;
         }
-        for (w, g) in data.bias.iter_mut().zip(d_b) {
-            *w -= lr * g;
+        for (w, gr) in data.bias.iter_mut().zip(d_b) {
+            *w -= lr * gr;
         }
         println!("step {step}: loss = {loss:.6}");
-        // Keep the borrow checker happy about reusing the generated inputs.
-        let _ = Array::zeros(fir::types::ScalarType::F64, vec![1]);
     }
+    Ok(())
 }

@@ -1,14 +1,15 @@
-//! Quickstart: build a small array program, differentiate it with reverse
-//! mode, and evaluate both on the parallel interpreter.
+//! Quickstart: build a small array program, compile it once with an
+//! [`Engine`], and use the staged handle for execution, reverse mode and
+//! forward mode — seeds and tangents are derived automatically.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use fir::builder::Builder;
 use fir::types::Type;
-use futhark_ad::{jvp, vjp};
-use interp::{Interp, Value};
+use futhark_ad_repro::{Engine, FirError};
+use interp::Value;
 
-fn main() {
+fn main() -> Result<(), FirError> {
     // f(xs, ys) = sum (map2 (\x y -> sin x * y) xs ys)
     let mut b = Builder::new();
     let f = b.build_fun(
@@ -24,22 +25,27 @@ fn main() {
     );
     println!("Primal program:\n{f}");
 
+    // Compile once: type-checked, simplified, lowered to the backend.
+    let engine = Engine::new();
+    let cf = engine.compile(&f)?;
+
     let xs = Value::from(vec![0.1, 0.2, 0.3, 0.4]);
     let ys = Value::from(vec![1.0, -1.0, 2.0, 0.5]);
-    let interp = Interp::new();
-    let out = interp.run(&f, &[xs.clone(), ys.clone()]);
-    println!("f(xs, ys) = {}", out[0].as_f64());
+    let args = [xs, ys];
+    println!("f(xs, ys) = {}", cf.call_scalar(&args)?);
 
-    // Reverse mode: one pass gives the gradient with respect to both arrays.
-    let df = vjp(&f);
-    let out = interp.run(&df, &[xs.clone(), ys.clone(), Value::F64(1.0)]);
-    println!("d f / d xs = {:?}", out[1].as_arr().f64s());
-    println!("d f / d ys = {:?}", out[2].as_arr().f64s());
+    // Reverse mode: one pass gives the gradient with respect to both
+    // arrays; the unit seed is derived from the result type.
+    let g = cf.grad(&args)?;
+    println!("d f / d xs = {:?}", g.grads[0].as_arr().f64s());
+    println!("d f / d ys = {:?}", g.grads[1].as_arr().f64s());
 
-    // Forward mode: a directional derivative.
-    let jf = jvp(&f);
-    let dir = Value::from(vec![1.0, 0.0, 0.0, 0.0]);
-    let zero = Value::from(vec![0.0; 4]);
-    let out = interp.run(&jf, &[xs, ys, dir, zero]);
-    println!("directional derivative along e_0 = {}", out[1].as_f64());
+    // Forward mode: a directional derivative along e_0 of xs (the tangent
+    // of ys is auto-inserted as zeros).
+    let dual = cf.pushforward(&args, &[(0, Value::from(vec![1.0, 0.0, 0.0, 0.0]))])?;
+    println!(
+        "directional derivative along e_0 = {}",
+        dual.flat_tangents()[0]
+    );
+    Ok(())
 }

@@ -1,13 +1,42 @@
 //! `futhark-ad-repro` — umbrella crate for the reproduction of
 //! *"AD for an Array Language with Nested Parallelism"* (SC 2022).
 //!
-//! The crates of the workspace are re-exported here so examples and
-//! integration tests have a single import point:
+//! The **primary entry point** is the staged API of [`fir_api`], re-exported
+//! here: build IR with [`fir`]'s `Builder`, compile it with an
+//! [`Engine`], and use the [`CompiledFn`] handle to execute, batch, and
+//! derive AD transforms:
+//!
+//! ```
+//! use fir::builder::Builder;
+//! use fir::types::Type;
+//! use futhark_ad_repro::Engine;
+//! use interp::Value;
+//!
+//! let mut b = Builder::new();
+//! let square_sum = b.build_fun("sqsum", &[Type::arr_f64(1)], |b, ps| {
+//!     let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+//!         vec![b.fmul(es[0].into(), es[0].into())]
+//!     });
+//!     vec![b.sum(sq).into()]
+//! });
+//!
+//! let engine = Engine::new();
+//! let f = engine.compile(&square_sum)?;
+//! let g = f.grad(&[Value::from(vec![1.0, 2.0, 3.0])])?;
+//! assert_eq!(g.scalar(), 14.0);
+//! assert_eq!(g.grads[0].as_arr().f64s(), &[2.0, 4.0, 6.0]);
+//! # Ok::<(), futhark_ad_repro::FirError>(())
+//! ```
+//!
+//! The crates of the workspace are re-exported as well, for callers that
+//! work below the staged API:
 //!
 //! * [`fir`] — the nested-parallel array IR,
+//! * [`fir_api`] — the staged `Engine`/`CompiledFn` API (this crate's
+//!   primary surface),
 //! * [`interp`] — the bulk-parallel tree-walking evaluator,
 //! * [`firvm`] — the compiled register-bytecode VM backend (both execution
-//!   backends implement [`interp::Backend`]),
+//!   backends implement the two-phase [`interp::Backend`] trait),
 //! * [`futhark_ad`] — forward (`jvp`) and reverse (`vjp`) AD (the paper's
 //!   contribution),
 //! * [`fir_opt`] — simplification passes,
@@ -16,6 +45,7 @@
 //! * [`workloads`] — the nine evaluation benchmarks.
 
 pub use fir;
+pub use fir_api;
 pub use fir_opt;
 pub use firvm;
 pub use futhark_ad;
@@ -24,17 +54,25 @@ pub use tape_ad;
 pub use tensor;
 pub use workloads;
 
-/// Select an execution backend by name: `"interp"`, `"interp-seq"`, `"vm"`
-/// (alias `"firvm"`), or `"vm-seq"`. The `FIR_BACKEND` environment variable
-/// selects the default for [`default_backend`].
+pub use fir_api::{
+    CacheStats, CompiledFn, Dual, Engine, FirError, GradOutput, Pass, PassPipeline, BACKEND_NAMES,
+};
+
+/// Select an execution backend by name.
+#[deprecated(
+    note = "use `fir_api::backend_by_name` (errors list the valid names) or \
+                     `Engine::by_name`"
+)]
 pub fn backend_by_name(name: &str) -> Option<Box<dyn interp::Backend>> {
-    firvm::backend_by_name(name)
+    fir_api::backend_by_name(name).ok()
 }
 
 /// The backend named by the `FIR_BACKEND` environment variable, defaulting
-/// to the compiled VM.
+/// to the compiled VM. Panics on unknown names.
+#[deprecated(
+    note = "use `Engine::from_env()`, which returns an error listing the valid \
+                     names instead of panicking"
+)]
 pub fn default_backend() -> Box<dyn interp::Backend> {
-    let name = std::env::var("FIR_BACKEND").unwrap_or_else(|_| "vm".to_string());
-    backend_by_name(&name)
-        .unwrap_or_else(|| panic!("unknown FIR_BACKEND {name:?}; try \"vm\" or \"interp\""))
+    fir_api::backend_by_name(&fir_api::default_backend_name()).unwrap_or_else(|e| panic!("{e}"))
 }

@@ -1,0 +1,201 @@
+//! Cache and batching behavior of the staged API: compiling the same `Fun`
+//! (and its vjp) twice through one `Engine` hits the fingerprint cache, and
+//! `call_batch` agrees with sequential `call` on all nine workloads.
+
+use fir::ir::Fun;
+use futhark_ad::gradcheck::max_rel_error;
+use futhark_ad_repro::Engine;
+use interp::Value;
+use workloads::{adbench, gmm, kmeans, lstm, mc};
+
+#[test]
+fn recompiling_the_same_fun_hits_the_fingerprint_cache() {
+    let engine = Engine::new();
+    let f1 = engine.compile(&gmm::objective_ir()).unwrap();
+    let s = engine.cache_stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 1, 1));
+
+    // A structurally identical rebuild: answered from the cache.
+    let f2 = engine.compile(&gmm::objective_ir()).unwrap();
+    let s = engine.cache_stats();
+    assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+
+    // Deriving the vjp through either handle compiles it once; both
+    // handles share the derived transform.
+    f1.vjp().unwrap();
+    let s = engine.cache_stats();
+    assert_eq!((s.misses, s.entries), (2, 2));
+    f2.vjp().unwrap();
+    assert_eq!(engine.cache_stats().misses, 2, "vjp must not recompile");
+
+    // A third compile of the primal, then its vjp: everything cached.
+    let f3 = engine.compile(&gmm::objective_ir()).unwrap();
+    f3.vjp().unwrap();
+    let s = engine.cache_stats();
+    assert_eq!((s.misses, s.entries), (2, 2));
+    assert!(s.hits >= 2);
+}
+
+#[test]
+fn compiling_the_derived_vjp_fun_directly_also_hits_the_cache() {
+    // vjp derivation is deterministic: compiling the derived Fun through
+    // the engine lands on the same fingerprint as the lazy handle.
+    let engine = Engine::new();
+    let cf = engine.compile(&kmeans::dense_objective_ir()).unwrap();
+    let handle = cf.vjp().unwrap();
+    let derived = futhark_ad::vjp(cf.fun());
+    let misses = engine.cache_stats().misses;
+    let direct = engine.compile(&derived).unwrap();
+    assert_eq!(engine.cache_stats().misses, misses, "must be a cache hit");
+    assert_eq!(direct.name(), handle.name());
+}
+
+#[test]
+fn changing_the_pipeline_clears_the_cache() {
+    let engine = Engine::new();
+    engine.compile(&gmm::objective_ir()).unwrap();
+    assert_eq!(engine.cache_stats().entries, 1);
+    engine.set_pipeline(futhark_ad_repro::PassPipeline::none());
+    assert_eq!(engine.cache_stats().entries, 0);
+}
+
+/// `call_batch` (and `grad_batch`) parity with per-call `call`/`grad` on
+/// one workload: a batch of three distinct instances.
+fn assert_batch_parity(name: &str, fun: &Fun, instances: Vec<Vec<Value>>) {
+    let engine = Engine::new();
+    let cf = engine.compile(fun).unwrap();
+    let batched = cf.call_batch(&instances).unwrap();
+    assert_eq!(batched.len(), instances.len(), "{name}: batch arity");
+    for (args, out) in instances.iter().zip(&batched) {
+        let single = cf.call(args).unwrap();
+        assert_eq!(single.len(), out.len(), "{name}: result arity");
+        assert_eq!(
+            single[0].as_f64().to_bits(),
+            out[0].as_f64().to_bits(),
+            "{name}: batched primal must be bitwise-identical to call()"
+        );
+    }
+    let grads = cf.grad_batch(&instances).unwrap();
+    for (args, g) in instances.iter().zip(&grads) {
+        let single = cf.grad(args).unwrap();
+        assert_eq!(
+            single.scalar().to_bits(),
+            g.scalar().to_bits(),
+            "{name}: batched vjp primal"
+        );
+        let err = max_rel_error(&single.flat_grads(), &g.flat_grads());
+        assert!(
+            err < 1e-12,
+            "{name}: batched gradient, max rel err {err:.3e}"
+        );
+    }
+}
+
+#[test]
+fn gmm_batch_parity() {
+    assert_batch_parity(
+        "gmm",
+        &gmm::objective_ir(),
+        (0..3)
+            .map(|i| gmm::GmmData::generate(20, 3, 4, i).ir_args())
+            .collect(),
+    );
+}
+
+#[test]
+fn kmeans_dense_batch_parity() {
+    assert_batch_parity(
+        "kmeans-dense",
+        &kmeans::dense_objective_ir(),
+        (0..3)
+            .map(|i| kmeans::KmeansData::generate(60, 4, 5, i).ir_args())
+            .collect(),
+    );
+}
+
+#[test]
+fn kmeans_sparse_batch_parity() {
+    assert_batch_parity(
+        "kmeans-sparse",
+        &kmeans::sparse_objective_ir(),
+        (0..3)
+            .map(|i| kmeans::SparseKmeansData::generate(40, 16, 4, 5, i).ir_args())
+            .collect(),
+    );
+}
+
+#[test]
+fn lstm_batch_parity() {
+    let data0 = lstm::LstmData::generate(4, 3, 4, 2, 0);
+    assert_batch_parity(
+        "lstm",
+        &lstm::objective_ir(data0.h, data0.bs),
+        (0..3)
+            .map(|i| lstm::LstmData::generate(4, 3, 4, 2, i).ir_args())
+            .collect(),
+    );
+}
+
+#[test]
+fn ba_batch_parity() {
+    assert_batch_parity(
+        "ba",
+        &adbench::ba_objective_ir(),
+        (0..3)
+            .map(|i| adbench::BaData::generate(6, 30, 120, i).ir_args())
+            .collect(),
+    );
+}
+
+#[test]
+fn hand_simple_batch_parity() {
+    assert_batch_parity(
+        "hand-simple",
+        &adbench::hand_objective_ir(false),
+        (0..3)
+            .map(|i| adbench::HandData::generate(12, 4, i).ir_args(false))
+            .collect(),
+    );
+}
+
+#[test]
+fn hand_complicated_batch_parity() {
+    assert_batch_parity(
+        "hand-complicated",
+        &adbench::hand_objective_ir(true),
+        (0..3)
+            .map(|i| adbench::HandData::generate(12, 4, i).ir_args(true))
+            .collect(),
+    );
+}
+
+#[test]
+fn dlstm_batch_parity() {
+    let data0 = adbench::DlstmData::generate(8, 4, 4, 0);
+    assert_batch_parity(
+        "d-lstm",
+        &adbench::dlstm_objective_ir(data0.h),
+        (0..3)
+            .map(|i| adbench::DlstmData::generate(8, 4, 4, i).ir_args())
+            .collect(),
+    );
+}
+
+#[test]
+fn mc_batch_parity() {
+    // XSBench and RSBench, the paper's two Monte Carlo ports.
+    assert_batch_parity(
+        "xsbench",
+        &mc::xsbench_ir(mc::XsData::generate(8, 4, 64, 0).g),
+        (0..3)
+            .map(|i| mc::XsData::generate(8, 4, 64, i).ir_args())
+            .collect(),
+    );
+    assert_batch_parity(
+        "rsbench",
+        &mc::rsbench_ir(4, 3),
+        (0..3)
+            .map(|i| mc::RsData::generate(6, 4, 3, 64, i).ir_args())
+            .collect(),
+    );
+}

@@ -1,35 +1,41 @@
 //! Differential parity tests: every workload in `crates/workloads` runs
 //! through both execution backends — the tree-walking interpreter and the
-//! `firvm` bytecode VM — and must produce equal primal values and equal
-//! reverse-mode gradients (within 1e-9 relative tolerance; sequential
-//! configurations are compared bitwise-identically where float reassociation
-//! cannot occur).
+//! `firvm` bytecode VM — via the staged `Engine` API, and must produce
+//! equal primal values and equal reverse-mode gradients (within 1e-9
+//! relative tolerance; sequential configurations are compared
+//! bitwise-identically where float reassociation cannot occur).
 
 use fir::ir::Fun;
 use firvm::Vm;
-use futhark_ad::gradcheck::{max_rel_error, reverse_gradient};
+use futhark_ad::gradcheck::max_rel_error;
+use futhark_ad_repro::Engine;
 use interp::{ExecConfig, Interp, Value};
 use workloads::{adbench, gmm, kmeans, lstm, mc};
 
 const TOL: f64 = 1e-9;
 
 /// Primal and gradient parity of `fun` across interp and VM, in both
-/// sequential and parallel configurations.
+/// sequential and parallel configurations, all through `Engine` handles.
 fn assert_parity(name: &str, fun: &Fun, args: &[Value]) {
-    let interp_seq = Interp::sequential();
-    let vm_seq = Vm::sequential();
     let par_cfg = ExecConfig {
         parallel: true,
         num_threads: 4,
         parallel_threshold: 32,
     };
-    let interp_par = Interp::with_config(par_cfg.clone());
-    let vm_par = Vm::with_config(par_cfg);
+    let interp_seq = Engine::by_name("interp-seq").unwrap();
+    let vm_seq = Engine::by_name("vm-seq").unwrap();
+    let interp_par = Engine::with_backend(Box::new(Interp::with_config(par_cfg.clone())));
+    let vm_par = Engine::with_backend(Box::new(Vm::with_config(par_cfg)));
+
+    let ci = interp_seq.compile(fun).unwrap();
+    let cv = vm_seq.compile(fun).unwrap();
+    let cip = interp_par.compile(fun).unwrap();
+    let cvp = vm_par.compile(fun).unwrap();
 
     // Primal parity: sequential VM must match sequential interp bitwise
     // (same operations in the same order).
-    let pi = interp_seq.run(fun, args);
-    let pv = vm_seq.run(fun, args);
+    let pi = ci.call(args).unwrap();
+    let pv = cv.call(args).unwrap();
     assert_eq!(pi.len(), pv.len(), "{name}: result arity");
     assert_eq!(
         pi[0].as_f64().to_bits(),
@@ -38,8 +44,8 @@ fn assert_parity(name: &str, fun: &Fun, args: &[Value]) {
     );
 
     // Parallel configurations may reassociate reductions: tolerance-equal.
-    let pip = interp_par.run(fun, args)[0].as_f64();
-    let pvp = vm_par.run(fun, args)[0].as_f64();
+    let pip = cip.call_scalar(args).unwrap();
+    let pvp = cvp.call_scalar(args).unwrap();
     let denom = pi[0].as_f64().abs().max(1.0);
     assert!(
         (pip - pi[0].as_f64()).abs() / denom < TOL,
@@ -50,19 +56,25 @@ fn assert_parity(name: &str, fun: &Fun, args: &[Value]) {
         "{name}: vm par primal"
     );
 
-    // Gradient parity on the vjp-transformed program.
-    let (vi, gi) = reverse_gradient(&interp_seq, fun, args);
-    let (vv, gv) = reverse_gradient(&vm_seq, fun, args);
-    assert_eq!(vi.to_bits(), vv.to_bits(), "{name}: vjp primal bitwise");
-    assert_eq!(gi.len(), gv.len(), "{name}: gradient length");
-    let err = max_rel_error(&gi, &gv);
+    // Gradient parity on the lazily derived vjp handles (seeds derived by
+    // the engine from the result types).
+    let gi = ci.grad(args).unwrap();
+    let gv = cv.grad(args).unwrap();
+    assert_eq!(
+        gi.scalar().to_bits(),
+        gv.scalar().to_bits(),
+        "{name}: vjp primal bitwise"
+    );
+    let (fgi, fgv) = (gi.flat_grads(), gv.flat_grads());
+    assert_eq!(fgi.len(), fgv.len(), "{name}: gradient length");
+    let err = max_rel_error(&fgi, &fgv);
     assert!(
         err < TOL,
         "{name}: sequential gradient mismatch, max rel err {err:.3e}"
     );
 
-    let (_, gvp) = reverse_gradient(&vm_par, fun, args);
-    let err = max_rel_error(&gi, &gvp);
+    let gvp = cvp.grad(args).unwrap();
+    let err = max_rel_error(&fgi, &gvp.flat_grads());
     assert!(
         err < TOL,
         "{name}: parallel VM gradient mismatch, max rel err {err:.3e}"
@@ -155,32 +167,29 @@ fn rsbench_backends_agree() {
 
 #[test]
 fn hessian_programs_run_identically_on_both_backends() {
-    // jvp(vjp(f)): the nested-AD output (accumulators inside forward-mode
-    // tangents) is the hardest program shape either backend sees.
-    use futhark_ad::{jvp, vjp};
+    // hvp (jvp ∘ vjp): the nested-AD output (accumulators inside
+    // forward-mode tangents) is the hardest program shape either backend
+    // sees. Seeds and tangents are derived by the engine.
     let data = kmeans::KmeansData::generate(30, 3, 4, 11);
     let fun = kmeans::dense_objective_ir();
-    let hess = jvp(&vjp(&fun));
-    let n = data.n;
-    let d = data.d;
-    let k = data.k;
-    let mut args = data.ir_args();
-    args.push(Value::F64(1.0));
-    args.push(Value::Arr(interp::Array::zeros(
-        fir::types::ScalarType::F64,
-        vec![n, d],
-    )));
-    args.push(Value::Arr(interp::Array::from_f64(
-        vec![k, d],
-        vec![1.0; k * d],
-    )));
-    args.push(Value::F64(0.0));
-    let i = Interp::sequential().run(&hess, &args);
-    let v = Vm::sequential().run(&hess, &args);
-    assert_eq!(i.len(), v.len());
-    let hv_i = i.last().unwrap().as_arr().f64s();
-    let hv_v = v.last().unwrap().as_arr().f64s();
-    assert!(max_rel_error(hv_i, hv_v) < TOL);
+    let ones = Value::Arr(interp::Array::from_f64(
+        vec![data.k, data.d],
+        vec![1.0; data.k * data.d],
+    ));
+    let hv_i = Engine::by_name("interp-seq")
+        .unwrap()
+        .compile(&fun)
+        .unwrap()
+        .hvp(&data.ir_args(), &[(1, ones.clone())])
+        .unwrap();
+    let hv_v = Engine::by_name("vm-seq")
+        .unwrap()
+        .compile(&fun)
+        .unwrap()
+        .hvp(&data.ir_args(), &[(1, ones)])
+        .unwrap();
+    assert_eq!(hv_i.len(), hv_v.len());
+    assert!(max_rel_error(hv_i[1].as_arr().f64s(), hv_v[1].as_arr().f64s()) < TOL);
 }
 
 #[test]
@@ -200,7 +209,13 @@ fn program_cache_makes_recompilation_free() {
     let vm = Vm::sequential();
     let a = vm.run_program(&p1, &data.ir_args())[0].as_f64();
     let b = vm.run_program(&p2, &data.ir_args())[0].as_f64();
-    let want = Interp::sequential().run(&gmm::objective_ir(), &data.ir_args())[0].as_f64();
+    let want = Engine::by_name("interp-seq")
+        .unwrap()
+        .with_pipeline(futhark_ad_repro::PassPipeline::none())
+        .compile(&gmm::objective_ir())
+        .unwrap()
+        .call_scalar(&data.ir_args())
+        .unwrap();
     assert_eq!(a.to_bits(), b.to_bits());
     assert_eq!(a.to_bits(), want.to_bits());
 }

@@ -1,8 +1,10 @@
-//! Cross-crate integration tests: the AD engine, the optimizer, both
-//! baselines and the workloads, exercised together end to end.
+//! Cross-crate integration tests: the staged `Engine` API, the AD engine,
+//! the optimizer, both baselines and the workloads, exercised together end
+//! to end.
 
-use futhark_ad::gradcheck::{max_rel_error, reverse_gradient};
-use futhark_ad::{jvp, stripmine_loops, vjp};
+use futhark_ad::gradcheck::max_rel_error;
+use futhark_ad::stripmine_loops;
+use futhark_ad_repro::{Engine, PassPipeline};
 use interp::{ExecConfig, Interp, Value};
 use workloads::{adbench, gmm, kmeans, lstm, mc};
 
@@ -10,8 +12,12 @@ use workloads::{adbench, gmm, kmeans, lstm, mc};
 fn all_three_ad_engines_agree_on_gmm() {
     let data = gmm::GmmData::generate(20, 4, 3, 1);
     let fun = gmm::objective_ir();
-    let interp = Interp::sequential();
-    let (v1, g1) = reverse_gradient(&interp, &fun, &data.ir_args());
+    let cf = Engine::by_name("interp-seq")
+        .unwrap()
+        .compile(&fun)
+        .unwrap();
+    let g = cf.grad(&data.ir_args()).unwrap();
+    let (v1, g1) = (g.scalar(), g.flat_grads());
     let tape = tape_ad::gradient(&fun, &data.ir_args());
     assert!((v1 - tape.value).abs() < 1e-10);
     assert!(max_rel_error(&g1, &tape.gradient) < 1e-8);
@@ -26,34 +32,47 @@ fn all_three_ad_engines_agree_on_gmm() {
 fn parallel_and_sequential_gradients_agree() {
     let data = kmeans::KmeansData::generate(3000, 4, 5, 2);
     let fun = kmeans::dense_objective_ir();
-    let dfun = vjp(&fun);
-    let mut args = data.ir_args();
-    args.push(Value::F64(1.0));
-    let seq = Interp::sequential().run(&dfun, &args);
-    let par = Interp::with_config(ExecConfig {
+    let seq = Engine::by_name("interp-seq")
+        .unwrap()
+        .compile(&fun)
+        .unwrap();
+    let par = Engine::with_backend(Box::new(Interp::with_config(ExecConfig {
         parallel: true,
         num_threads: 8,
         parallel_threshold: 64,
-    })
-    .run(&dfun, &args);
-    assert!((seq[0].as_f64() - par[0].as_f64()).abs() < 1e-9);
-    let gs = seq[2].as_arr().f64s();
-    let gp = par[2].as_arr().f64s();
-    assert!(max_rel_error(gs, gp) < 1e-9);
+    })))
+    .compile(&fun)
+    .unwrap();
+    let gs = seq.grad(&data.ir_args()).unwrap();
+    let gp = par.grad(&data.ir_args()).unwrap();
+    assert!((gs.scalar() - gp.scalar()).abs() < 1e-9);
+    let cs = gs.grads[1].as_arr().f64s();
+    let cp = gp.grads[1].as_arr().f64s();
+    assert!(max_rel_error(cs, cp) < 1e-9);
 }
 
 #[test]
 fn simplification_preserves_gradients_of_workloads() {
+    // The same vjp-transformed objective compiled through an engine with
+    // the pipeline disabled and one with the standard pipeline: identical
+    // results, in fewer statements.
     let data = adbench::HandData::generate(10, 4, 3);
     let fun = adbench::hand_objective_ir(false);
-    let dfun = vjp(&fun);
-    let simplified = fir_opt::simplify(&dfun);
-    fir::typecheck::check_fun(&simplified).unwrap();
+    let dfun = futhark_ad::vjp(&fun);
+    let raw = Engine::by_name("interp-seq")
+        .unwrap()
+        .with_pipeline(PassPipeline::none())
+        .compile(&dfun)
+        .unwrap();
+    let simplified = Engine::by_name("interp-seq")
+        .unwrap()
+        .compile(&dfun)
+        .unwrap();
+    assert!(fir_opt::count_stms(simplified.fun()) <= fir_opt::count_stms(raw.fun()));
     let mut args = data.ir_args(false);
     args.push(Value::F64(1.0));
-    let interp = Interp::sequential();
-    let a = interp.run(&dfun, &args);
-    let b = interp.run(&simplified, &args);
+    let a = raw.call(&args).unwrap();
+    let b = simplified.call(&args).unwrap();
     assert!((a[0].as_f64() - b[0].as_f64()).abs() < 1e-12);
     assert!(max_rel_error(a[1].as_arr().f64s(), b[1].as_arr().f64s()) < 1e-12);
 }
@@ -62,47 +81,36 @@ fn simplification_preserves_gradients_of_workloads() {
 fn stripmining_preserves_lstm_style_recurrences() {
     let data = adbench::DlstmData::generate(8, 4, 4, 4);
     let fun = adbench::dlstm_objective_ir(data.h);
-    let interp = Interp::sequential();
-    let (v0, g0) = reverse_gradient(&interp, &fun, &data.ir_args());
+    let engine = Engine::by_name("interp-seq").unwrap();
+    let g0 = engine.compile(&fun).unwrap().grad(&data.ir_args()).unwrap();
     let sm = stripmine_loops(&fun, 3);
-    let (v1, g1) = reverse_gradient(&interp, &sm, &data.ir_args());
-    assert!((v0 - v1).abs() < 1e-10);
-    assert!(max_rel_error(&g0, &g1) < 1e-8);
+    let g1 = engine.compile(&sm).unwrap().grad(&data.ir_args()).unwrap();
+    assert!((g0.scalar() - g1.scalar()).abs() < 1e-10);
+    assert!(max_rel_error(&g0.flat_grads(), &g1.flat_grads()) < 1e-8);
 }
 
 #[test]
 fn forward_over_reverse_is_consistent_with_two_reverse_passes() {
     // Hessian-vector product check on the k-means cost: (H·1) computed by
-    // jvp(vjp) should match finite differences of the gradient.
+    // hvp (jvp ∘ vjp) should match finite differences of the gradient.
     let data = kmeans::KmeansData::generate(50, 3, 4, 5);
     let fun = kmeans::dense_objective_ir();
-    let grad_fun = vjp(&fun);
-    let hess_fun = jvp(&grad_fun);
-    let interp = Interp::sequential();
-    let n = data.n;
+    let engine = Engine::by_name("interp-seq").unwrap();
+    let cf = engine.compile(&fun).unwrap();
     let d = data.d;
     let k = data.k;
-    let mut args = data.ir_args();
-    args.push(Value::F64(1.0));
-    args.push(Value::Arr(interp::Array::zeros(
-        fir::types::ScalarType::F64,
-        vec![n, d],
-    )));
-    args.push(Value::Arr(interp::Array::from_f64(
-        vec![k, d],
-        vec![1.0; k * d],
-    )));
-    args.push(Value::F64(0.0));
-    let out = interp.run(&hess_fun, &args);
-    let hv = out.last().unwrap().as_arr().f64s().to_vec();
+    let ones = Value::Arr(interp::Array::from_f64(vec![k, d], vec![1.0; k * d]));
+    let hv_out = cf.hvp(&data.ir_args(), &[(1, ones)]).unwrap();
+    let hv = hv_out[1].as_arr().f64s().to_vec();
     // Finite difference of the gradient along the all-ones direction.
     let eps = 1e-6;
     let grad_at = |centers: &[f64]| -> Vec<f64> {
         let mut d2 = data.clone();
         d2.centers = centers.to_vec();
-        let mut a = d2.ir_args();
-        a.push(Value::F64(1.0));
-        interp.run(&grad_fun, &a)[2].as_arr().f64s().to_vec()
+        cf.grad(&d2.ir_args()).unwrap().grads[1]
+            .as_arr()
+            .f64s()
+            .to_vec()
     };
     let plus: Vec<f64> = data.centers.iter().map(|x| x + eps).collect();
     let minus: Vec<f64> = data.centers.iter().map(|x| x - eps).collect();
@@ -120,20 +128,21 @@ fn forward_over_reverse_is_consistent_with_two_reverse_passes() {
 fn monte_carlo_kernels_run_in_parallel_with_ad() {
     let data = mc::XsData::generate(32, 8, 4096, 9);
     let fun = mc::xsbench_ir(data.g);
-    let dfun = vjp(&fun);
-    let mut args = data.ir_args();
-    args.push(Value::F64(1.0));
-    let out = Interp::new().run(&dfun, &args);
-    assert!(out[0].as_f64().is_finite());
-    assert_eq!(out[1].as_arr().f64s().len(), data.nuclides * data.g);
+    let cf = Engine::by_name("interp").unwrap().compile(&fun).unwrap();
+    let g = cf.grad(&data.ir_args()).unwrap();
+    assert!(g.scalar().is_finite());
+    assert_eq!(g.grads[0].as_arr().f64s().len(), data.nuclides * data.g);
 }
 
 #[test]
 fn lstm_gradient_matches_tensor_baseline_end_to_end() {
     let data = lstm::LstmData::generate(4, 3, 4, 2, 11);
     let fun = lstm::objective_ir(data.h, data.bs);
-    let interp = Interp::sequential();
-    let (_, ad) = reverse_gradient(&interp, &fun, &data.ir_args());
+    let cf = Engine::by_name("interp-seq")
+        .unwrap()
+        .compile(&fun)
+        .unwrap();
+    let ad = cf.grad(&data.ir_args()).unwrap().flat_grads();
     let (_, tgrad) = lstm::tensor_gradient(&data);
     let offset = data.seq * data.d * data.bs;
     assert!(max_rel_error(&ad[offset..], &tgrad) < 1e-7);

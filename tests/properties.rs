@@ -1,12 +1,13 @@
 //! Property-based tests (proptest): randomized programs and inputs, with
-//! reverse-mode AD checked against finite differences and against the
-//! tape-based baseline, and the interpreter checked for
-//! parallel/sequential agreement.
+//! reverse-mode AD (through the staged `Engine` API) checked against finite
+//! differences and against the tape-based baseline, and the engine checked
+//! for parallel/sequential and raw/simplified agreement.
 
 use fir::builder::Builder;
 use fir::ir::{Atom, Fun};
 use fir::types::Type;
-use futhark_ad::gradcheck::{finite_diff_gradient, max_rel_error, reverse_gradient};
+use futhark_ad::gradcheck::{finite_diff_gradient, max_rel_error};
+use futhark_ad_repro::{Engine, PassPipeline};
 use interp::{ExecConfig, Interp, Value};
 use proptest::prelude::*;
 
@@ -54,9 +55,9 @@ proptest! {
     ) {
         let fun = build_scalar_chain(&ops);
         let args = [Value::F64(x), Value::F64(y)];
-        let interp = Interp::sequential();
-        let (_, ad) = reverse_gradient(&interp, &fun, &args);
-        let fd = finite_diff_gradient(&interp, &fun, &args, 1e-6);
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let ad = engine.compile(&fun).unwrap().grad(&args).unwrap().flat_grads();
+        let fd = finite_diff_gradient(&Interp::sequential(), &fun, &args, 1e-6);
         prop_assert!(max_rel_error(&ad, &fd) < 1e-3);
     }
 
@@ -78,11 +79,11 @@ proptest! {
             vec![b.fadd(m.into(), total.into())]
         });
         let args = [Value::from(xs), Value::F64(c)];
-        let interp = Interp::sequential();
-        let (v1, g1) = reverse_gradient(&interp, &fun, &args);
+        let engine = Engine::by_name("interp-seq").unwrap();
+        let g = engine.compile(&fun).unwrap().grad(&args).unwrap();
         let tape = tape_ad::gradient(&fun, &args);
-        prop_assert!((v1 - tape.value).abs() < 1e-9);
-        prop_assert!(max_rel_error(&g1, &tape.gradient) < 1e-7);
+        prop_assert!((g.scalar() - tape.value).abs() < 1e-9);
+        prop_assert!(max_rel_error(&g.flat_grads(), &tape.gradient) < 1e-7);
     }
 
     #[test]
@@ -98,9 +99,12 @@ proptest! {
             vec![b.sum(ys).into()]
         });
         let args = [Value::from(xs)];
-        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
-        let p = Interp::with_config(ExecConfig { parallel: true, num_threads: 4, parallel_threshold: 4 })
-            .run(&fun, &args)[0].as_f64();
+        let a = Engine::by_name("interp-seq").unwrap()
+            .compile(&fun).unwrap().call_scalar(&args).unwrap();
+        let par = Engine::with_backend(Box::new(Interp::with_config(
+            ExecConfig { parallel: true, num_threads: 4, parallel_threshold: 4 },
+        )));
+        let p = par.compile(&fun).unwrap().call_scalar(&args).unwrap();
         prop_assert!((a - p).abs() <= 1e-9 * a.abs().max(1.0));
     }
 
@@ -112,12 +116,12 @@ proptest! {
     ) {
         let fun = build_scalar_chain(&ops);
         let dfun = futhark_ad::vjp(&fun);
-        let simplified = fir_opt::simplify(&dfun);
-        fir::typecheck::check_fun(&simplified).unwrap();
+        let raw = Engine::by_name("interp-seq").unwrap()
+            .with_pipeline(PassPipeline::none());
+        let simplified = Engine::by_name("interp-seq").unwrap();
         let args = [Value::F64(x), Value::F64(y), Value::F64(1.0)];
-        let interp = Interp::sequential();
-        let a = interp.run(&dfun, &args);
-        let b2 = interp.run(&simplified, &args);
+        let a = raw.compile(&dfun).unwrap().call(&args).unwrap();
+        let b2 = simplified.compile(&dfun).unwrap().call(&args).unwrap();
         for (u, v) in a.iter().zip(&b2) {
             prop_assert!((u.as_f64() - v.as_f64()).abs() < 1e-12);
         }
