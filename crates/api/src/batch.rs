@@ -1,0 +1,161 @@
+//! Fused ("vectorized") batch execution: run a batch of same-shaped
+//! requests as *one* program mapped over a stacked batch dimension.
+//!
+//! Task-parallel batching (`CompiledFn::call_batch_results`) runs one
+//! program execution per request, paying the whole per-call dispatch
+//! (program setup, value boxing, SOAC scheduling) every time — fine when
+//! requests are large, dominant when they are tiny. The serving workloads
+//! of the source paper (GMM/k-means/LSTM objective and gradient
+//! evaluations) are exactly the tiny-request case, so this module builds
+//! the *batched program* instead: every parameter type is lifted by one
+//! array dimension, and the original function body becomes the lambda of
+//! a single outer `map`:
+//!
+//! ```text
+//!   f       : (p_1: T_1, ..., p_k: T_k) -> (R_1, ..., R_m)
+//!   batched : ([B]T_1, ..., [B]T_k)     -> ([B]R_1, ..., [B]R_m)
+//!           = \xs_1 ... xs_k. map (\e_1 ... e_k. f-body) xs_1 ... xs_k
+//! ```
+//!
+//! Because shapes in this IR are dynamic (types carry only rank), one
+//! batched program serves *every* batch size — it is compiled once and
+//! cached by structural fingerprint like any other program. Per-element
+//! arithmetic is the original body's, evaluated in the same order, so
+//! results match the unfused path bitwise.
+//!
+//! The transform is conservative: functions with no parameters or with
+//! accumulator parameters/results are rejected, and callers fall back to
+//! task-parallel batching whenever requests' shapes disagree or the
+//! batched program fails to compile or run.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun};
+use fir::rename::Renamer;
+use fir::types::Type;
+use interp::{Array, Value};
+
+use crate::error::FirError;
+
+/// Derive the batched program of `fun`: parameters and results lifted by
+/// one leading (batch) dimension, body wrapped in one outer `map`.
+pub fn batched_fun(fun: &Fun) -> Result<Fun, FirError> {
+    if fun.params.is_empty() {
+        return Err(FirError::Unsupported {
+            what: format!("`{}` has no parameters to batch over", fun.name),
+        });
+    }
+    if fun.params.iter().any(|p| p.ty.is_acc()) || fun.ret.iter().any(|t| t.is_acc()) {
+        return Err(FirError::Unsupported {
+            what: format!(
+                "`{}` has accumulator parameters or results, cannot batch",
+                fun.name
+            ),
+        });
+    }
+    let mut b = Builder::for_fun(fun);
+    let lifted: Vec<Type> = fun.params.iter().map(|p| p.ty.lift()).collect();
+    let out_tys: Vec<Type> = fun.ret.iter().map(|t| t.lift()).collect();
+    Ok(
+        b.build_fun(&format!("{}__batched", fun.name), &lifted, |b, ps| {
+            let outs = b.map(&out_tys, ps, |b, es| {
+                // Inline the original body with its parameters redirected
+                // to the map's element variables, all bindings freshened.
+                let mut r = Renamer::new();
+                for (p, e) in fun.params.iter().zip(es) {
+                    r.insert(p.var, *e);
+                }
+                let body = r.body(b, &fun.body);
+                for s in body.stms {
+                    b.push_stm(s);
+                }
+                body.result
+            });
+            outs.into_iter().map(Atom::Var).collect()
+        }),
+    )
+}
+
+/// Whether every request shares the arity, element types, and shapes of
+/// the first — the precondition for stacking.
+fn stackable(batch: &[impl AsRef<[Value]>]) -> bool {
+    let first = batch[0].as_ref();
+    batch[1..].iter().all(|req| {
+        let req = req.as_ref();
+        req.len() == first.len()
+            && req.iter().zip(first).all(|(v, f)| match (v, f) {
+                (Value::F64(_), Value::F64(_))
+                | (Value::I64(_), Value::I64(_))
+                | (Value::Bool(_), Value::Bool(_)) => true,
+                (Value::Arr(a), Value::Arr(b)) => a.shape == b.shape && a.elem() == b.elem(),
+                _ => false,
+            })
+    })
+}
+
+/// Stack per-request argument lists into the batched program's argument
+/// list (one array of outer length `batch.len()` per parameter). Returns
+/// `None` when the requests' shapes disagree.
+pub(crate) fn stack_args(batch: &[impl AsRef<[Value]>]) -> Option<Vec<Value>> {
+    if batch.is_empty() || !stackable(batch) {
+        return None;
+    }
+    let arity = batch[0].as_ref().len();
+    Some(
+        (0..arity)
+            .map(|j| {
+                let col: Vec<Value> = batch.iter().map(|req| req.as_ref()[j].clone()).collect();
+                Value::Arr(Array::stack(&col))
+            })
+            .collect(),
+    )
+}
+
+/// Split the batched program's results back into per-request result
+/// lists. `ret` is the *original* function's result signature; scalar
+/// results come back as scalars, array results as the per-request slices.
+pub(crate) fn unstack_results(ret: &[Type], outs: &[Value], batch: usize) -> Vec<Vec<Value>> {
+    debug_assert_eq!(ret.len(), outs.len());
+    (0..batch)
+        .map(|i| outs.iter().map(|o| o.as_arr().index(&[i])).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacking_round_trips_scalars_and_arrays() {
+        let batch: Vec<Vec<Value>> = (0..3)
+            .map(|i| {
+                vec![
+                    Value::F64(i as f64),
+                    Value::from(vec![i as f64, 1.0]),
+                    Value::I64(i),
+                ]
+            })
+            .collect();
+        let stacked = stack_args(&batch).expect("equal shapes must stack");
+        assert_eq!(stacked.len(), 3);
+        assert_eq!(stacked[0].as_arr().shape, vec![3]);
+        assert_eq!(stacked[1].as_arr().shape, vec![3, 2]);
+        let ret = [Type::F64, Type::arr_f64(1), Type::I64];
+        let back = unstack_results(&ret, &stacked, 3);
+        for (orig, got) in batch.iter().zip(&back) {
+            assert_eq!(orig[0].as_f64(), got[0].as_f64());
+            assert_eq!(orig[1].as_arr().f64s(), got[1].as_arr().f64s());
+            assert_eq!(orig[2].as_i64(), got[2].as_i64());
+        }
+    }
+
+    #[test]
+    fn mismatched_shapes_do_not_stack() {
+        let batch = vec![
+            vec![Value::from(vec![1.0, 2.0])],
+            vec![Value::from(vec![1.0, 2.0, 3.0])],
+        ];
+        assert!(stack_args(&batch).is_none());
+        let batch = vec![vec![Value::F64(1.0)], vec![Value::I64(1)]];
+        assert!(stack_args(&batch).is_none());
+    }
+}

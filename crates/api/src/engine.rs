@@ -39,7 +39,7 @@ pub struct Engine {
 struct EngineInner {
     backend: Arc<dyn Backend>,
     pipeline: Mutex<PassPipeline>,
-    cache: Mutex<HashMap<(u64, u64), CacheEntry>>,
+    cache: Mutex<LruCache>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -59,6 +59,78 @@ struct CacheEntry {
     exec: Arc<dyn Executable>,
 }
 
+/// The default bound of the engine's compiled-program cache (see
+/// [`EngineBuilder::cache_capacity`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+/// A bounded fingerprint → program cache with least-recently-used
+/// eviction. Recency is a monotonic use tick per slot; eviction scans for
+/// the minimum, which is O(entries) but only runs when the cache is full
+/// (and serving deployments keep the capacity small by design — a handful
+/// of registered programs plus their derived transforms).
+struct LruCache {
+    map: HashMap<(u64, u64), LruSlot>,
+    capacity: usize,
+    tick: u64,
+    evictions: usize,
+}
+
+struct LruSlot {
+    entry: CacheEntry,
+    last_used: u64,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> LruCache {
+        LruCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    fn get(&mut self, key: &(u64, u64)) -> Option<CacheEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            slot.entry.clone()
+        })
+    }
+
+    /// Insert `entry` under `key`, evicting the least-recently-used slot
+    /// when the cache is over capacity. If another thread inserted the same
+    /// key meanwhile, the first entry wins (so the executable stays shared)
+    /// and is returned.
+    fn insert(&mut self, key: (u64, u64), entry: CacheEntry) -> CacheEntry {
+        self.tick += 1;
+        let tick = self.tick;
+        let kept = self
+            .map
+            .entry(key)
+            .and_modify(|slot| slot.last_used = tick)
+            .or_insert(LruSlot {
+                entry,
+                last_used: tick,
+            })
+            .entry
+            .clone();
+        while self.map.len() > self.capacity {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k)
+                .expect("over-capacity cache cannot be empty");
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
+        kept
+    }
+}
+
 /// Cache counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -68,6 +140,10 @@ pub struct CacheStats {
     pub misses: usize,
     /// Distinct programs currently cached.
     pub entries: usize,
+    /// Programs evicted because the cache exceeded its capacity.
+    pub evictions: usize,
+    /// The configured LRU bound (see [`EngineBuilder::cache_capacity`]).
+    pub capacity: usize,
 }
 
 impl Default for Engine {
@@ -86,15 +162,25 @@ impl Engine {
     /// An engine on an explicit backend instance (e.g. a backend with a
     /// custom `ExecConfig`, or a future remote/sharded backend).
     pub fn with_backend(backend: Box<dyn Backend>) -> Engine {
-        Engine::on_backend(Arc::from(backend), PassPipeline::standard())
+        Engine::on_backend(
+            Arc::from(backend),
+            PassPipeline::standard(),
+            DEFAULT_CACHE_CAPACITY,
+        )
     }
 
-    fn on_backend(backend: Arc<dyn Backend>, pipeline: PassPipeline) -> Engine {
+    /// A builder for engines with non-default configuration (backend,
+    /// pipeline, cache capacity).
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    fn on_backend(backend: Arc<dyn Backend>, pipeline: PassPipeline, capacity: usize) -> Engine {
         Engine {
             inner: Arc::new(EngineInner {
                 backend,
                 pipeline: Mutex::new(pipeline),
-                cache: Mutex::new(HashMap::new()),
+                cache: Mutex::new(LruCache::new(capacity)),
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
             }),
@@ -121,7 +207,8 @@ impl Engine {
     /// `engine.clone().with_pipeline(...)` safely builds an unoptimized
     /// variant next to the original.
     pub fn with_pipeline(self, pipeline: PassPipeline) -> Engine {
-        Engine::on_backend(Arc::clone(&self.inner.backend), pipeline)
+        let capacity = self.inner.cache.lock().unwrap().capacity;
+        Engine::on_backend(Arc::clone(&self.inner.backend), pipeline, capacity)
     }
 
     /// Replace the pass pipeline in place. This reconfigures *every*
@@ -131,7 +218,7 @@ impl Engine {
     /// [`Engine::with_pipeline`].
     pub fn set_pipeline(&self, pipeline: PassPipeline) {
         *self.inner.pipeline.lock().unwrap() = pipeline;
-        self.inner.cache.lock().unwrap().clear();
+        self.inner.cache.lock().unwrap().map.clear();
     }
 
     /// The name of the engine's backend.
@@ -148,7 +235,7 @@ impl Engine {
 
     fn compile_with(inner: &Arc<EngineInner>, fun: &Fun) -> Result<CompiledFn, FirError> {
         let key = fingerprint_pair(fun);
-        if let Some(entry) = inner.cache.lock().unwrap().get(&key).cloned() {
+        if let Some(entry) = inner.cache.lock().unwrap().get(&key) {
             inner.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(CompiledFn::new(Arc::clone(inner), entry));
         }
@@ -162,24 +249,112 @@ impl Engine {
         };
         // Another thread may have compiled the same function meanwhile;
         // keep the first entry so the executable stays shared.
-        let entry = inner
-            .cache
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert(entry)
-            .clone();
+        let entry = inner.cache.lock().unwrap().insert(key, entry);
         inner.misses.fetch_add(1, Ordering::Relaxed);
         Ok(CompiledFn::new(Arc::clone(inner), entry))
     }
 
-    /// Cache counters (hits, misses, live entries).
+    /// Cache counters (hits, misses, live entries, evictions).
     pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.inner.cache.lock().unwrap();
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
-            entries: self.inner.cache.lock().unwrap().len(),
+            entries: cache.map.len(),
+            evictions: cache.evictions,
+            capacity: cache.capacity,
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EngineBuilder
+// ---------------------------------------------------------------------
+
+enum BackendChoice {
+    /// The process default (`FIR_BACKEND`, falling back to the VM).
+    Env,
+    Named(String),
+    Instance(Box<dyn Backend>),
+}
+
+/// A builder for [`Engine`]s with non-default configuration.
+///
+/// ```
+/// use fir_api::{Engine, PassPipeline};
+///
+/// let engine = Engine::builder()
+///     .backend_name("vm-seq")
+///     .pipeline(PassPipeline::standard())
+///     .cache_capacity(16)
+///     .build()?;
+/// assert_eq!(engine.backend_name(), "firvm");
+/// assert_eq!(engine.cache_stats().capacity, 16);
+/// # Ok::<(), fir_api::FirError>(())
+/// ```
+pub struct EngineBuilder {
+    backend: BackendChoice,
+    pipeline: PassPipeline,
+    cache_capacity: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with the defaults of [`Engine::from_env`]: the backend
+    /// named by `FIR_BACKEND` (default: the compiled VM), the standard
+    /// pipeline, and a cache bound of [`DEFAULT_CACHE_CAPACITY`].
+    pub fn new() -> EngineBuilder {
+        EngineBuilder {
+            backend: BackendChoice::Env,
+            pipeline: PassPipeline::standard(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// Use the backend registered under `name`; resolution (and the
+    /// unknown-name error) happens in [`EngineBuilder::build`].
+    pub fn backend_name(mut self, name: &str) -> EngineBuilder {
+        self.backend = BackendChoice::Named(name.to_string());
+        self
+    }
+
+    /// Use an explicit backend instance.
+    pub fn backend(mut self, backend: Box<dyn Backend>) -> EngineBuilder {
+        self.backend = BackendChoice::Instance(backend);
+        self
+    }
+
+    /// The pass pipeline programs are optimized under.
+    pub fn pipeline(mut self, pipeline: PassPipeline) -> EngineBuilder {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Bound the compiled-program cache to `capacity` entries (clamped to
+    /// at least 1); compiling past the bound evicts the least-recently-used
+    /// program, counted in [`CacheStats::evictions`].
+    pub fn cache_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Build the engine. Fails only on an unknown backend name.
+    pub fn build(self) -> Result<Engine, FirError> {
+        let backend = match self.backend {
+            BackendChoice::Env => registry::backend_by_name(&registry::default_backend_name())?,
+            BackendChoice::Named(name) => registry::backend_by_name(&name)?,
+            BackendChoice::Instance(backend) => backend,
+        };
+        Ok(Engine::on_backend(
+            Arc::from(backend),
+            self.pipeline,
+            self.cache_capacity,
+        ))
     }
 }
 
@@ -283,6 +458,10 @@ pub struct CompiledFn {
     entry: CacheEntry,
     vjp: Arc<OnceLock<Result<Box<CompiledFn>, FirError>>>,
     jvp: Arc<OnceLock<Result<Box<CompiledFn>, FirError>>>,
+    /// The fused batched program (`crate::batch::batched_fun`), derived
+    /// lazily; `None` when the function cannot be batched, in which case
+    /// the fused entry points fall back to task-parallel batching.
+    fused: Arc<OnceLock<Option<Box<CompiledFn>>>>,
 }
 
 impl std::fmt::Debug for CompiledFn {
@@ -301,6 +480,7 @@ impl CompiledFn {
             entry,
             vjp: Arc::new(OnceLock::new()),
             jvp: Arc::new(OnceLock::new()),
+            fused: Arc::new(OnceLock::new()),
         }
     }
 
@@ -342,13 +522,68 @@ impl CompiledFn {
     /// backends, the whole evaluation) runs concurrently, which amortizes
     /// engine overhead across a batch of requests — the serving-path
     /// counterpart of per-SOAC parallelism. Results are returned in batch
-    /// order; the first failing call's error is returned.
+    /// order; the first failing call's error is returned (every request
+    /// still runs — see [`CompiledFn::call_batch_results`] for the
+    /// per-request outcomes).
     pub fn call_batch(&self, batch: &[Vec<Value>]) -> Result<Vec<Vec<Value>>, FirError> {
+        self.call_batch_results(batch).into_iter().collect()
+    }
+
+    /// [`CompiledFn::call_batch`] with per-request error isolation: one
+    /// malformed or failing request yields its own `Err` slot and does not
+    /// take down its batchmates. This is the execution primitive of the
+    /// `fir-serve` micro-batcher.
+    pub fn call_batch_results(&self, batch: &[Vec<Value>]) -> Vec<Result<Vec<Value>, FirError>> {
         let exec = &self.entry.exec;
-        let outs = WorkerPool::global().run_tasks(batch.len(), &|i| exec.run(&batch[i]));
-        outs.into_iter()
-            .map(|r| r.map_err(FirError::from))
-            .collect()
+        WorkerPool::global().run_tasks(batch.len(), &|i| {
+            exec.run(&batch[i]).map_err(FirError::from)
+        })
+    }
+
+    /// The lazily derived fused batched program (see
+    /// [`crate::batch::batched_fun`]); `None` when the function cannot be
+    /// batched or the batched program does not compile.
+    fn fused_handle(&self) -> Option<&CompiledFn> {
+        self.fused
+            .get_or_init(|| {
+                crate::batch::batched_fun(&self.entry.fun)
+                    .ok()
+                    .and_then(|bf| Engine::compile_with(&self.engine, &bf).ok())
+                    .map(Box::new)
+            })
+            .as_deref()
+    }
+
+    /// [`CompiledFn::call_batch_results`], but when every request shares
+    /// the same argument shapes the whole batch executes as *one* fused
+    /// program — the original body mapped over a stacked batch dimension —
+    /// which amortizes the entire per-call dispatch instead of just the
+    /// scheduling. Falls back to task-parallel batching (preserving
+    /// per-request error isolation) whenever requests are malformed,
+    /// shapes disagree, or the fused program is unavailable or fails.
+    /// Results are bitwise-identical to [`CompiledFn::call`] either way.
+    pub fn call_batch_fused(&self, batch: &[Vec<Value>]) -> Vec<Result<Vec<Value>, FirError>> {
+        if batch.len() >= 2
+            && batch
+                .iter()
+                .all(|args| validate_args(self.name(), self.param_types(), args).is_ok())
+        {
+            if let Some(fused) = self.fused_handle() {
+                if let Some(stacked) = crate::batch::stack_args(batch) {
+                    if let Ok(outs) = fused.call(&stacked) {
+                        return crate::batch::unstack_results(
+                            &self.entry.fun.ret,
+                            &outs,
+                            batch.len(),
+                        )
+                        .into_iter()
+                        .map(Ok)
+                        .collect();
+                    }
+                }
+            }
+        }
+        self.call_batch_results(batch)
     }
 
     // -- derived transforms -------------------------------------------
@@ -438,20 +673,106 @@ impl CompiledFn {
     }
 
     /// [`CompiledFn::grad`] over a batch of argument lists, scheduled on
-    /// the worker pool like [`CompiledFn::call_batch`].
+    /// the worker pool like [`CompiledFn::call_batch`]. The first failing
+    /// request's error is returned; see
+    /// [`CompiledFn::grad_batch_results`] for per-request outcomes.
     pub fn grad_batch(&self, batch: &[Vec<Value>]) -> Result<Vec<GradOutput>, FirError> {
+        self.grad_batch_results(batch)?.into_iter().collect()
+    }
+
+    /// [`CompiledFn::grad_batch`] with per-request error isolation: a
+    /// malformed request (bad arity/types, failed seed derivation) or a
+    /// runtime failure yields its own `Err` slot; its batchmates still run
+    /// and succeed. The outer `Err` is reserved for function-level
+    /// failures that would fail every request identically (the vjp
+    /// transform does not compile, or the function has no differentiable
+    /// result to seed).
+    pub fn grad_batch_results(
+        &self,
+        batch: &[Vec<Value>],
+    ) -> Result<Vec<Result<GradOutput, FirError>>, FirError> {
         let handle = self.vjp()?;
-        // For all-scalar differentiable results (every workload objective)
-        // the unit seeds are a constant of the signature: derive them once
-        // for the whole batch instead of once per request. Array-valued
-        // results need per-request primal shapes and fall back to
-        // per-request derivation.
+        let full = self.grad_full_args(batch)?;
+        Ok(self.grad_run_full(handle, &full))
+    }
+
+    /// Run already-seeded vjp argument lists task-parallel on the pool,
+    /// preserving per-request slots.
+    fn grad_run_full(
+        &self,
+        handle: &CompiledFn,
+        full: &[Result<Vec<Value>, FirError>],
+    ) -> Vec<Result<GradOutput, FirError>> {
+        let exec = &handle.entry.exec;
+        WorkerPool::global().run_tasks(full.len(), &|i| match &full[i] {
+            Err(e) => Err(e.clone()),
+            Ok(args) => exec
+                .run(args)
+                .map_err(FirError::from)
+                .map(|out| self.split_grad(out)),
+        })
+    }
+
+    /// [`CompiledFn::grad_batch_results`] with fused execution: when every
+    /// request is well-formed and shares the same shapes, the whole batch
+    /// of seeded vjp calls runs as one batched program (see
+    /// [`CompiledFn::call_batch_fused`]). Falls back to the task-parallel
+    /// per-request path otherwise; results are bitwise-identical to
+    /// [`CompiledFn::grad`] either way.
+    pub fn grad_batch_fused(
+        &self,
+        batch: &[Vec<Value>],
+    ) -> Result<Vec<Result<GradOutput, FirError>>, FirError> {
+        let handle = self.vjp()?;
+        let full = self.grad_full_args(batch)?;
+        if batch.len() >= 2 && full.iter().all(|r| r.is_ok()) {
+            let fulls: Vec<&Vec<Value>> =
+                full.iter().map(|r| r.as_ref().expect("all ok")).collect();
+            if let Some(fused) = handle.fused_handle() {
+                if let Some(stacked) = crate::batch::stack_args(&fulls) {
+                    if let Ok(outs) = fused.call(&stacked) {
+                        return Ok(crate::batch::unstack_results(
+                            &handle.entry.fun.ret,
+                            &outs,
+                            batch.len(),
+                        )
+                        .into_iter()
+                        .map(|out| Ok(self.split_grad(out)))
+                        .collect());
+                    }
+                }
+            }
+        }
+        // Fall back to the task-parallel path, reusing the seeded args
+        // (for array-valued results, seeding ran the primal once per
+        // request — never recompute it).
+        Ok(self.grad_run_full(handle, &full))
+    }
+
+    /// The seeded vjp argument list of every request: original args plus
+    /// unit adjoint seeds. For all-scalar differentiable results (every
+    /// workload objective) the seeds are a constant of the signature and
+    /// derived once for the whole batch; array-valued results need
+    /// per-request primal shapes. The outer `Err` is a function-level
+    /// failure (nothing differentiable to seed); per-request problems
+    /// land in that request's slot.
+    fn grad_full_args(
+        &self,
+        batch: &[Vec<Value>],
+    ) -> Result<Vec<Result<Vec<Value>, FirError>>, FirError> {
         let ret = &self.entry.fun.ret;
-        let shared_seeds = if ret
+        let all_scalar = ret
             .iter()
             .filter(|t| t.is_differentiable())
-            .all(|t| t.is_scalar())
-        {
+            .all(|t| t.is_scalar());
+        if all_scalar && ret.iter().all(|t| !t.is_differentiable()) {
+            // No differentiable result at all: every request fails the
+            // same way, which is a function-level error.
+            return Err(FirError::Unsupported {
+                what: format!("`{}` has no differentiable result to seed", self.name()),
+            });
+        }
+        let shared_seeds = if all_scalar {
             batch
                 .first()
                 .map(|args| self.unit_seeds(args))
@@ -459,7 +780,7 @@ impl CompiledFn {
         } else {
             None
         };
-        let full: Vec<Vec<Value>> = batch
+        Ok(batch
             .iter()
             .map(|args| {
                 validate_args(self.name(), self.param_types(), args)?;
@@ -470,9 +791,7 @@ impl CompiledFn {
                 }
                 Ok(a)
             })
-            .collect::<Result<_, FirError>>()?;
-        let outs = handle.call_batch(&full)?;
-        Ok(outs.into_iter().map(|out| self.split_grad(out)).collect())
+            .collect())
     }
 
     fn split_grad(&self, out: Vec<Value>) -> GradOutput {
@@ -685,6 +1004,52 @@ mod tests {
     }
 
     #[test]
+    fn fused_batches_match_per_call_results_bitwise() {
+        let engine = Engine::by_name("vm-seq").unwrap();
+        let f = engine.compile(&dot()).unwrap();
+        // Same shapes across the batch: the fused path must engage and
+        // agree with per-call execution bitwise.
+        let batch: Vec<Vec<Value>> = (0..9)
+            .map(|i| {
+                vec![
+                    Value::from(vec![i as f64 + 0.25, 1.5, -2.0]),
+                    Value::from(vec![2.0, 3.0, 0.125]),
+                ]
+            })
+            .collect();
+        let fused = f.call_batch_fused(&batch);
+        for (args, out) in batch.iter().zip(&fused) {
+            let single = f.call(args).unwrap();
+            assert_eq!(
+                single[0].as_f64().to_bits(),
+                out.as_ref().unwrap()[0].as_f64().to_bits()
+            );
+        }
+        let grads = f.grad_batch_fused(&batch).unwrap();
+        for (args, g) in batch.iter().zip(&grads) {
+            let single = f.grad(args).unwrap();
+            let g = g.as_ref().unwrap();
+            assert_eq!(single.scalar().to_bits(), g.scalar().to_bits());
+            assert_eq!(single.flat_grads(), g.flat_grads());
+        }
+        // Mixed shapes: the fused path falls back, results still correct.
+        let ragged = vec![
+            vec![Value::from(vec![1.0, 2.0]), Value::from(vec![3.0, 4.0])],
+            vec![
+                Value::from(vec![1.0, 2.0, 3.0]),
+                Value::from(vec![4.0, 5.0, 6.0]),
+            ],
+        ];
+        let outs = f.call_batch_fused(&ragged);
+        assert_eq!(outs[0].as_ref().unwrap()[0].as_f64(), 11.0);
+        assert_eq!(outs[1].as_ref().unwrap()[0].as_f64(), 32.0);
+        // A malformed request stays isolated on the fallback path.
+        let with_bad = vec![dot_args(), vec![Value::F64(0.0)], dot_args()];
+        let outs = f.call_batch_fused(&with_bad);
+        assert!(outs[0].is_ok() && outs[1].is_err() && outs[2].is_ok());
+    }
+
+    #[test]
     fn call_batch_matches_sequential_calls() {
         let engine = Engine::new();
         let f = engine.compile(&dot()).unwrap();
@@ -700,6 +1065,72 @@ mod tests {
         for (args, out) in batch.iter().zip(&batched) {
             assert_eq!(out[0].as_f64(), f.call(args).unwrap()[0].as_f64());
         }
+    }
+
+    #[test]
+    fn compiling_past_capacity_evicts_the_lru_program() {
+        // Three structurally distinct programs through a capacity-2 cache.
+        fn scaled(c: f64) -> Fun {
+            let mut b = Builder::new();
+            b.build_fun("scaled", &[Type::arr_f64(1)], |b, ps| {
+                let s = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                    vec![b.fmul(es[0].into(), fir::ir::Atom::f64(c))]
+                });
+                vec![b.sum(s).into()]
+            })
+        }
+        let engine = Engine::builder()
+            .backend_name("vm-seq")
+            .cache_capacity(2)
+            .build()
+            .unwrap();
+        assert_eq!(engine.cache_stats().capacity, 2);
+        engine.compile(&scaled(1.0)).unwrap();
+        engine.compile(&scaled(2.0)).unwrap();
+        // Touch the first program: it becomes most-recently-used.
+        engine.compile(&scaled(1.0)).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.evictions), (1, 2, 2, 0));
+        // A third program overflows the cache; the LRU entry (2.0) goes.
+        engine.compile(&scaled(3.0)).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // The survivor is still a hit; the evicted program recompiles.
+        engine.compile(&scaled(1.0)).unwrap();
+        assert_eq!(engine.cache_stats().hits, 2);
+        let misses = engine.cache_stats().misses;
+        engine.compile(&scaled(2.0)).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!(s.misses, misses + 1, "evicted program must recompile");
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn batch_results_isolate_the_failing_request() {
+        let engine = Engine::new();
+        let f = engine.compile(&dot()).unwrap();
+        let good = dot_args();
+        let bad = vec![Value::F64(1.0)];
+        let out = f.call_batch_results(&[good.clone(), bad.clone(), good.clone()]);
+        assert_eq!(out[0].as_ref().unwrap()[0].as_f64(), 32.0);
+        assert!(matches!(
+            out[1],
+            Err(FirError::Exec(interp::ExecError::Arity { .. }))
+        ));
+        assert_eq!(out[2].as_ref().unwrap()[0].as_f64(), 32.0);
+
+        let grads = f
+            .grad_batch_results(&[good.clone(), bad, good.clone()])
+            .unwrap();
+        assert_eq!(grads[0].as_ref().unwrap().scalar(), 32.0);
+        assert!(grads[1].is_err());
+        assert_eq!(
+            grads[2].as_ref().unwrap().grads[0].as_arr().f64s(),
+            &[4.0, 5.0, 6.0]
+        );
+        // The whole-batch wrappers still surface the first failure.
+        assert!(f.grad_batch(&[good.clone(), vec![]]).is_err());
+        assert_eq!(f.grad_batch(std::slice::from_ref(&good)).unwrap().len(), 1);
     }
 
     #[test]

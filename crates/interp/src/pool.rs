@@ -94,6 +94,25 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Submit a fire-and-forget job from any thread. Unlike
+    /// [`WorkerPool::run_tasks`] the job is `'static` and the submitter
+    /// does not block — this is the entry point for foreign threads (e.g.
+    /// a serving dispatcher) that want work *scheduled on* the pool rather
+    /// than a scoped batch executed *through* it. The job may itself call
+    /// [`WorkerPool::run_tasks`]; the helping protocol keeps nested
+    /// batches deadlock-free.
+    ///
+    /// A panicking job aborts only itself: the panic is caught and the
+    /// worker thread survives. Jobs that need panic payloads or results
+    /// should capture their own completion channel.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let job: Job = Box::new(move || {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        });
+        self.shared.queue.lock().unwrap().push_back(job);
+        self.shared.work_cv.notify_one();
+    }
+
     /// Run `tasks(i)` for every `i in 0..n` on the pool and return the
     /// results in index order. Blocks until every task has finished; the
     /// submitting thread helps drain the queue while it waits. Panics from
@@ -279,6 +298,32 @@ mod tests {
         }));
         assert!(result.is_err());
         // The pool stays usable afterwards.
+        assert_eq!(pool.run_tasks(3, &|i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn spawned_jobs_run_and_panics_do_not_kill_workers() {
+        let pool = WorkerPool::global();
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                let (mu, cv) = &*done;
+                *mu.lock().unwrap() += 1;
+                cv.notify_all();
+            });
+        }
+        pool.spawn(|| panic!("spawned job panic must not kill the worker"));
+        let (mu, cv) = &*done;
+        let mut n = mu.lock().unwrap();
+        while *n < 8 {
+            let (guard, timeout) = cv
+                .wait_timeout(n, Duration::from_secs(10))
+                .expect("poisoned");
+            n = guard;
+            assert!(!timeout.timed_out(), "spawned jobs did not complete");
+        }
+        // The pool still serves scoped batches after the panic.
         assert_eq!(pool.run_tasks(3, &|i| i), vec![0, 1, 2]);
     }
 

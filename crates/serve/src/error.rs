@@ -1,0 +1,123 @@
+//! The serving-layer error type.
+//!
+//! Everything the runtime can decline or fail is a [`ServeError`]:
+//! admission control (`Overloaded`, `ShuttingDown`), routing
+//! (`UnknownFn`), per-request deadlines (`DeadlineExceeded`),
+//! configuration mistakes at build time (`Config`), and execution
+//! failures forwarded from the engine (`Exec`). Per-request isolation
+//! means an `Exec` error resolves only the ticket of the request that
+//! caused it — never its batchmates'.
+
+use std::fmt;
+use std::time::Duration;
+
+use fir_api::FirError;
+
+/// An error from submitting to or executing through a [`crate::Server`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The function's bounded queue is full: the request was shed at
+    /// admission (load-shedding backpressure). Retry later or widen
+    /// [`crate::ServerBuilder::queue_capacity`].
+    Overloaded {
+        /// The registered function the request targeted.
+        fn_key: String,
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down (or already shut down) and no longer
+    /// admits requests. In-flight and queued work is still drained.
+    ShuttingDown,
+    /// No function is registered under the requested key.
+    UnknownFn {
+        /// The key that was asked for.
+        fn_key: String,
+        /// Every registered key, for the error message.
+        known: Vec<String>,
+    },
+    /// The request's deadline passed before its batch executed; it was
+    /// dropped at the batch cut without running.
+    DeadlineExceeded {
+        /// The registered function the request targeted.
+        fn_key: String,
+        /// How long the request had been queued when it was dropped.
+        waited: Duration,
+    },
+    /// The engine rejected or failed this request (bad arity/types,
+    /// runtime failure). Batchmates are unaffected.
+    Exec(FirError),
+    /// The server could not be built (e.g. a duplicate function key or a
+    /// program that does not compile).
+    Config {
+        /// What was wrong.
+        what: String,
+    },
+    /// The runtime itself failed while executing the batch (a panic was
+    /// contained); the request did not produce a result. Batchmates of
+    /// the panicking batch receive the same error, but the server stays
+    /// up and later requests are unaffected.
+    Internal {
+        /// What happened.
+        what: String,
+    },
+}
+
+impl From<FirError> for ServeError {
+    fn from(e: FirError) -> ServeError {
+        ServeError::Exec(e)
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { fn_key, capacity } => write!(
+                f,
+                "overloaded: queue for {fn_key:?} is at capacity ({capacity}); request shed"
+            ),
+            ServeError::ShuttingDown => write!(f, "server is shutting down; request rejected"),
+            ServeError::UnknownFn { fn_key, known } => write!(
+                f,
+                "unknown function {fn_key:?}; registered keys are {}",
+                known.join(", ")
+            ),
+            ServeError::DeadlineExceeded { fn_key, waited } => write!(
+                f,
+                "deadline exceeded: request for {fn_key:?} waited {waited:?} without executing"
+            ),
+            ServeError::Exec(e) => write!(f, "{e}"),
+            ServeError::Config { what } => write!(f, "server configuration: {what}"),
+            ServeError::Internal { what } => write!(f, "internal serving error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_function_and_the_bound() {
+        let e = ServeError::Overloaded {
+            fn_key: "gmm".into(),
+            capacity: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("\"gmm\"") && msg.contains("8"), "{msg}");
+
+        let e = ServeError::UnknownFn {
+            fn_key: "nope".into(),
+            known: vec!["gmm".into(), "kmeans".into()],
+        };
+        assert!(e.to_string().contains("gmm, kmeans"), "{e}");
+    }
+}

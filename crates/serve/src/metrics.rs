@@ -1,0 +1,319 @@
+//! Lock-free serving metrics: counters, gauges, and log-scaled
+//! histograms, exported as a machine-readable snapshot.
+//!
+//! Every instrument is a plain atomic (no locks on the request path, no
+//! external dependencies). Histograms bucket by powers of two — bucket
+//! `i` covers `[2^(i-1), 2^i)` of the recorded unit (microseconds for
+//! latency, requests for batch sizes) — so a record is one `fetch_add`
+//! and percentile queries are a cumulative scan over 40 buckets. Reported
+//! percentiles are the *upper bound* of the bucket the rank falls in
+//! (conservative: never under-reports).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets. Bucket 39 tops out at
+/// 2^39 µs ≈ 6.4 days — effectively unbounded for request latencies.
+const BUCKETS: usize = 40;
+
+/// A monotonically increasing lock-free counter.
+#[derive(Debug, Default)]
+pub(crate) struct Counter(AtomicU64);
+
+impl Counter {
+    pub(crate) fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous gauge (queue depth).
+#[derive(Debug, Default)]
+pub(crate) struct Gauge(AtomicUsize);
+
+impl Gauge {
+    pub(crate) fn set(&self, v: usize) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free power-of-two histogram with exact count/sum/max.
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram, with percentile queries.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper bound
+    /// of the power-of-two bucket the rank lands in (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i covers [2^(i-1), 2^i); report the upper bound,
+                // clipped to the exact observed max.
+                return (1u64 << i).min(self.max.max(1));
+            }
+        }
+        self.max
+    }
+
+    /// The arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (1u64 << i, *n))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-function registry
+// ---------------------------------------------------------------------
+
+/// The live instruments of one registered function (all lock-free).
+#[derive(Default)]
+pub(crate) struct FnMetrics {
+    pub(crate) submitted: Counter,
+    pub(crate) completed: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) expired: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) batch_sizes: Histogram,
+    pub(crate) latency_us: Histogram,
+}
+
+impl FnMetrics {
+    pub(crate) fn snapshot(&self, fn_key: &str, uptime: Duration) -> FnMetricsSnapshot {
+        let completed = self.completed.get();
+        FnMetricsSnapshot {
+            fn_key: fn_key.to_string(),
+            submitted: self.submitted.get(),
+            completed,
+            failed: self.failed.get(),
+            shed: self.shed.get(),
+            expired: self.expired.get(),
+            batches: self.batches.get(),
+            queue_depth: self.queue_depth.get(),
+            batch_sizes: self.batch_sizes.snapshot(),
+            latency_us: self.latency_us.snapshot(),
+            throughput_rps: completed as f64 / uptime.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+/// A point-in-time copy of one function's serving metrics.
+#[derive(Debug, Clone)]
+pub struct FnMetricsSnapshot {
+    /// The key the function was registered under.
+    pub fn_key: String,
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests whose ticket resolved `Ok`.
+    pub completed: u64,
+    /// Requests whose ticket resolved `Err` at execution.
+    pub failed: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Requests dropped at the batch cut because their deadline passed.
+    pub expired: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Queue depth when the snapshot was taken.
+    pub queue_depth: usize,
+    /// Distribution of executed batch sizes.
+    pub batch_sizes: HistogramSnapshot,
+    /// Queue+execution latency per resolved request, in microseconds.
+    pub latency_us: HistogramSnapshot,
+    /// Completed requests per second of server uptime.
+    pub throughput_rps: f64,
+}
+
+/// A machine-readable snapshot of a whole server's metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Time since the server was built.
+    pub uptime: Duration,
+    /// One entry per registered function, in registration order.
+    pub fns: Vec<FnMetricsSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total requests whose tickets resolved `Ok`, across functions.
+    pub fn completed(&self) -> u64 {
+        self.fns.iter().map(|f| f.completed).sum()
+    }
+
+    /// Serialize to JSON (hand-rolled; the workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"uptime_secs\": {:.6},\n",
+            self.uptime.as_secs_f64()
+        ));
+        out.push_str("  \"functions\": [\n");
+        for (i, f) in self.fns.iter().enumerate() {
+            out.push_str(&format!("    {{\"fn\": \"{}\"", esc(&f.fn_key)));
+            for (k, v) in [
+                ("submitted", f.submitted),
+                ("completed", f.completed),
+                ("failed", f.failed),
+                ("shed", f.shed),
+                ("expired", f.expired),
+                ("batches", f.batches),
+                ("queue_depth", f.queue_depth as u64),
+            ] {
+                out.push_str(&format!(", \"{k}\": {v}"));
+            }
+            out.push_str(&format!(", \"throughput_rps\": {:.3}", f.throughput_rps));
+            out.push_str(&format!(
+                ", \"batch_size\": {{\"mean\": {:.3}, \"max\": {}}}",
+                f.batch_sizes.mean(),
+                f.batch_sizes.max
+            ));
+            out.push_str(&format!(
+                ", \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}}}",
+                f.latency_us.quantile(0.50),
+                f.latency_us.quantile(0.95),
+                f.latency_us.quantile(0.99),
+                f.latency_us.mean(),
+                f.latency_us.max
+            ));
+            out.push('}');
+            out.push_str(if i + 1 < self.fns.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        // p50 rank = 50 → value 50 lands in bucket [32, 64) → 64.
+        assert_eq!(s.quantile(0.5), 64);
+        // p99 rank = 99 → bucket [64, 128) → 128 clipped to max 100.
+        assert_eq!(s.quantile(0.99), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_machine_readable() {
+        let m = FnMetrics::default();
+        m.submitted.inc();
+        m.completed.inc();
+        m.batch_sizes.record(4);
+        m.latency_us.record(100);
+        let snap = MetricsSnapshot {
+            uptime: Duration::from_secs(2),
+            fns: vec![m.snapshot("gmm \"grad\"", Duration::from_secs(2))],
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"fn\": \"gmm \\\"grad\\\"\""), "{json}");
+        assert!(json.contains("\"completed\": 1"), "{json}");
+        assert!(json.contains("\"p99\": 100"), "{json}");
+        assert_eq!(snap.completed(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Futures-style completion handles for submitted requests.
+//!
+//! A [`Ticket`] is the client half of a one-shot slot the runtime fills
+//! when the request's batch executes. Clients block on [`Ticket::wait`]
+//! (or poll with [`Ticket::is_ready`] / bound the wait with
+//! [`Ticket::wait_for`]); the runtime side fulfills through the shared
+//! internal state. No async executor is involved — waiting is a plain
+//! mutex/condvar park, which is what a thread-per-client closed loop
+//! wants.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::error::ServeError;
+
+/// The shared one-shot slot behind a [`Ticket`].
+pub(crate) struct TicketState<T> {
+    slot: Mutex<Option<Result<T, ServeError>>>,
+    cv: Condvar,
+}
+
+impl<T> TicketState<T> {
+    pub(crate) fn new() -> Arc<TicketState<T>> {
+        Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Fill the slot and wake the waiter. A second fulfillment is a bug in
+    /// the runtime; the first result wins.
+    pub(crate) fn fulfill(&self, result: Result<T, ServeError>) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// A typed handle to the future result of a submitted request.
+///
+/// `Ticket<Vec<Value>>` resolves primal calls, `Ticket<GradOutput>`
+/// resolves gradient requests. The ticket is fulfilled exactly once —
+/// with the request's own result or its own error; batchmates' failures
+/// never propagate into it.
+pub struct Ticket<T> {
+    state: Arc<TicketState<T>>,
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl<T> Ticket<T> {
+    pub(crate) fn new() -> (Ticket<T>, Arc<TicketState<T>>) {
+        let state = TicketState::new();
+        (
+            Ticket {
+                state: Arc::clone(&state),
+            },
+            state,
+        )
+    }
+
+    /// Whether the result has arrived ([`Ticket::wait`] would not block).
+    pub fn is_ready(&self) -> bool {
+        self.state.slot.lock().unwrap().is_some()
+    }
+
+    /// Block until the result arrives within `timeout`; `true` if it did.
+    /// The result stays in the ticket for [`Ticket::wait`] to take.
+    pub fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().unwrap();
+        while slot.is_none() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.state.cv.wait_timeout(slot, deadline - now).unwrap();
+            slot = guard;
+        }
+        true
+    }
+
+    /// Block until the request resolves and take its result.
+    pub fn wait(self) -> Result<T, ServeError> {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.cv.wait(slot).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_resolve_across_threads() {
+        let (ticket, state) = Ticket::<u32>::new();
+        assert!(!ticket.is_ready());
+        let t = std::thread::spawn(move || {
+            state.fulfill(Ok(7));
+        });
+        assert_eq!(ticket.wait(), Ok(7));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_a_result() {
+        let (ticket, state) = Ticket::<u32>::new();
+        assert!(!ticket.wait_for(Duration::from_millis(10)));
+        state.fulfill(Err(ServeError::ShuttingDown));
+        assert!(ticket.wait_for(Duration::from_secs(5)));
+        assert_eq!(ticket.wait(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn first_fulfillment_wins() {
+        let (ticket, state) = Ticket::<u32>::new();
+        state.fulfill(Ok(1));
+        state.fulfill(Ok(2));
+        assert_eq!(ticket.wait(), Ok(1));
+    }
+}

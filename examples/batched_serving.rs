@@ -1,63 +1,116 @@
-//! Batched serving: one compiled gradient handle serving a batch of
-//! independent GMM requests, per-call vs. `grad_batch` on the persistent
-//! worker pool. This is the building block of the serving path: compile
-//! once, validate and execute each request fallibly, amortize dispatch
-//! across the batch.
+//! Batched serving through `fir-serve`: all nine paper workloads
+//! registered behind one server, several client threads submitting
+//! concurrent gradient and primal requests, and the live metrics
+//! snapshot printed at the end.
+//!
+//! The server coalesces queued requests into micro-batches
+//! (`max_batch_size`/`max_wait` policy), executes them on the persistent
+//! `firvm` worker pool with per-request error isolation, and sheds load
+//! with `Overloaded` when a bounded queue fills.
 //!
 //! Run with `cargo run --release --example batched_serving`.
 
-use futhark_ad_repro::{Engine, FirError};
-use interp::Value;
-use std::time::Instant;
-use workloads::gmm;
+use futhark_ad_repro::{BatchPolicy, Engine, Request, ServeError, ServerBuilder};
+use std::time::Duration;
+use workloads::{adbench, gmm, kmeans, lstm, mc};
 
-fn main() -> Result<(), FirError> {
-    // A sequential-execution engine: all parallelism comes from running
-    // the batch's requests concurrently on the worker pool.
-    let engine = Engine::by_name("vm-seq")?;
-    let cf = engine.compile(&gmm::objective_ir())?;
+fn main() -> Result<(), ServeError> {
+    // A sequential-execution engine: all parallelism comes from serving
+    // (concurrent batches on the worker pool), which isolates what the
+    // serving layer itself buys.
+    let engine = Engine::by_name("vm-seq").map_err(ServeError::Exec)?;
 
-    // 32 independent "requests" (distinct datasets, same program).
-    let batch: Vec<Vec<Value>> = (0..32)
-        .map(|i| gmm::GmmData::generate(300, 8, 5, 1000 + i).ir_args())
-        .collect();
-
-    // Warm up: derives + compiles the vjp handle once.
-    cf.grad(&batch[0])?;
-
-    let t0 = Instant::now();
-    let mut per_call = Vec::with_capacity(batch.len());
-    for args in &batch {
-        per_call.push(cf.grad(args)?);
-    }
-    let t_loop = t0.elapsed();
-
-    let t0 = Instant::now();
-    let batched = cf.grad_batch(&batch)?;
-    let t_batch = t0.elapsed();
-
-    for (a, b) in per_call.iter().zip(&batched) {
-        assert_eq!(a.scalar().to_bits(), b.scalar().to_bits());
-    }
+    // All nine workloads behind one runtime, sharing one engine cache.
+    let lstm_data = lstm::LstmData::generate(4, 3, 4, 2, 0);
+    let dlstm_data = adbench::DlstmData::generate(8, 4, 4, 0);
+    let server = ServerBuilder::new(engine)
+        .batch_policy(BatchPolicy {
+            max_batch_size: 16,
+            max_wait: Duration::from_millis(2),
+        })
+        .queue_capacity(256)
+        .register("gmm", &gmm::objective_ir())
+        .register("kmeans-dense", &kmeans::dense_objective_ir())
+        .register("kmeans-sparse", &kmeans::sparse_objective_ir())
+        .register("lstm", &lstm::objective_ir(lstm_data.h, lstm_data.bs))
+        .register("ba", &adbench::ba_objective_ir())
+        .register("hand-simple", &adbench::hand_objective_ir(false))
+        .register("hand-complicated", &adbench::hand_objective_ir(true))
+        .register("d-lstm", &adbench::dlstm_objective_ir(dlstm_data.h))
+        .register(
+            "xsbench",
+            &mc::xsbench_ir(mc::XsData::generate(8, 4, 64, 0).g),
+        )
+        .build()?;
     println!(
-        "batch of {} GMM gradient requests over {} pool worker(s)",
-        batch.len(),
-        interp::WorkerPool::global().num_workers()
-    );
-    println!("(amortization scales with available cores; ~1x on a single-core machine)");
-    println!("  per-call loop : {t_loop:?}");
-    println!("  grad_batch    : {t_batch:?}");
-    println!(
-        "  amortization  : {:.2}x",
-        t_loop.as_secs_f64() / t_batch.as_secs_f64()
+        "serving {} workloads: {:?}",
+        server.fn_keys().len(),
+        server.fn_keys()
     );
 
-    // A malformed request fails cleanly without taking the batch down.
-    let mut bad = batch[0].clone();
-    bad.pop();
-    match cf.grad(&bad) {
-        Err(e) => println!("  malformed request rejected: {e}"),
-        Ok(_) => unreachable!("arity mismatch must be rejected"),
+    // Four client threads hammer the two hottest workloads with gradient
+    // requests; each client checks its own results against a reference.
+    let reference = Engine::by_name("vm-seq").map_err(ServeError::Exec)?;
+    let gmm_ref = reference
+        .compile(&gmm::objective_ir())
+        .map_err(ServeError::Exec)?;
+    let km_ref = reference
+        .compile(&kmeans::dense_objective_ir())
+        .map_err(ServeError::Exec)?;
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let server = &server;
+            let (gmm_ref, km_ref) = (&gmm_ref, &km_ref);
+            scope.spawn(move || {
+                for i in 0..8 {
+                    let seed = (client * 100 + i) as u64;
+                    let args = gmm::GmmData::generate(60, 4, 3, seed).ir_args();
+                    let got = server.grad("gmm", args.clone()).expect("gmm grad");
+                    let want = gmm_ref.grad(&args).expect("gmm reference");
+                    assert_eq!(got.scalar().to_bits(), want.scalar().to_bits());
+
+                    let args = kmeans::KmeansData::generate(40, 3, 4, seed).ir_args();
+                    let got = server
+                        .call("kmeans-dense", args.clone())
+                        .expect("kmeans call");
+                    let want = km_ref.call(&args).expect("kmeans reference");
+                    assert_eq!(got[0].as_f64().to_bits(), want[0].as_f64().to_bits());
+                }
+            });
+        }
+    });
+
+    // A malformed request resolves its own ticket with an error — its
+    // batchmates (the loop above) were never at risk.
+    let bad = server.submit(Request::new("gmm", vec![]))?;
+    match bad.wait() {
+        Err(ServeError::Exec(e)) => println!("malformed request rejected in isolation: {e}"),
+        other => panic!("expected per-request Exec error, got {other:?}"),
     }
+
+    // Unknown keys are refused at admission.
+    match server.call("not-registered", vec![]) {
+        Err(ServeError::UnknownFn { fn_key, .. }) => {
+            println!("unknown function refused at admission: {fn_key:?}")
+        }
+        other => panic!("expected UnknownFn, got {other:?}"),
+    }
+
+    // Graceful shutdown drains in-flight work and returns final metrics.
+    let metrics = server.shutdown();
+    println!("\nfinal metrics snapshot:\n{}", metrics.to_json());
+    let gmm_m = &metrics.fns[0];
+    assert_eq!(gmm_m.fn_key, "gmm");
+    assert_eq!(gmm_m.completed, 32, "4 clients x 8 gmm gradients");
+    assert_eq!(gmm_m.failed, 1, "the malformed request");
+    assert!(gmm_m.batches >= 1);
+    println!(
+        "gmm: {} completed over {} batches (mean batch {:.2}), p50={}us p99={}us",
+        gmm_m.completed,
+        gmm_m.batches,
+        gmm_m.batch_sizes.mean(),
+        gmm_m.latency_us.quantile(0.5),
+        gmm_m.latency_us.quantile(0.99),
+    );
     Ok(())
 }

@@ -40,6 +40,8 @@
 //! * [`futhark_ad`] — forward (`jvp`) and reverse (`vjp`) AD (the paper's
 //!   contribution),
 //! * [`fir_opt`] — simplification passes,
+//! * [`fir_serve`] — the concurrent serving runtime (dynamic
+//!   micro-batching, admission control, live metrics) over an `Engine`,
 //! * [`tape_ad`] — the tape-based (Tapenade-like) baseline,
 //! * [`tensor`] — the eager autograd (PyTorch-like) baseline,
 //! * [`workloads`] — the nine evaluation benchmarks.
@@ -47,6 +49,7 @@
 pub use fir;
 pub use fir_api;
 pub use fir_opt;
+pub use fir_serve;
 pub use firvm;
 pub use futhark_ad;
 pub use interp;
@@ -55,8 +58,10 @@ pub use tensor;
 pub use workloads;
 
 pub use fir_api::{
-    CacheStats, CompiledFn, Dual, Engine, FirError, GradOutput, Pass, PassPipeline, BACKEND_NAMES,
+    CacheStats, CompiledFn, Dual, Engine, EngineBuilder, FirError, GradOutput, Pass, PassPipeline,
+    BACKEND_NAMES,
 };
+pub use fir_serve::{BatchPolicy, Request, ServeError, Server, ServerBuilder, Ticket};
 
 /// Select an execution backend by name.
 #[deprecated(
