@@ -19,7 +19,7 @@ use firvm::fingerprint_pair;
 use interp::{validate_args, Array, Backend, Executable, Value, WorkerPool};
 
 use crate::error::FirError;
-use crate::pipeline::PassPipeline;
+use crate::pipeline::{PassPipeline, PipelineStats};
 use crate::registry;
 
 // ---------------------------------------------------------------------
@@ -42,6 +42,7 @@ struct EngineInner {
     cache: Mutex<LruCache>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    opt: Mutex<OptStats>,
 }
 
 /// One compiled function in the engine cache: the optimized IR and the
@@ -55,6 +56,12 @@ struct EngineInner {
 /// a cheap IR walk whose *compilation* still hits this cache.
 #[derive(Clone)]
 struct CacheEntry {
+    /// The function as compiled (pre-pipeline). AD transforms derive from
+    /// this, so the derived IR — and therefore every gradient — is
+    /// identical whatever pipeline the engine runs; the pipeline is applied
+    /// to the *derived* function when it compiles in turn.
+    source: Arc<Fun>,
+    /// The pipeline-optimized IR the executable was prepared from.
     fun: Arc<Fun>,
     exec: Arc<dyn Executable>,
 }
@@ -131,6 +138,47 @@ impl LruCache {
     }
 }
 
+/// Aggregate optimizer statistics of an [`Engine`]: what the pass pipeline
+/// did across every function this engine compiled (cache misses only; a
+/// cache hit re-uses already-optimized IR). Per-pass rewrite counts are
+/// keyed by pass name ([`crate::Pass::name`]) and summed over functions
+/// and fixpoint iterations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Functions that went through the pipeline.
+    pub functions: usize,
+    /// Total fixpoint iterations executed.
+    pub iterations: usize,
+    /// Statements (all nesting depths) before optimization, summed.
+    pub stms_before: usize,
+    /// Statements after optimization, summed.
+    pub stms_after: usize,
+    /// Rewrites fired, by pass name.
+    pub rewrites: std::collections::BTreeMap<&'static str, usize>,
+}
+
+impl OptStats {
+    /// Total rewrites across all passes.
+    pub fn total_rewrites(&self) -> usize {
+        self.rewrites.values().sum()
+    }
+
+    /// Statements removed end to end.
+    pub fn stms_removed(&self) -> usize {
+        self.stms_before.saturating_sub(self.stms_after)
+    }
+
+    fn absorb(&mut self, stats: &PipelineStats) {
+        self.functions += 1;
+        self.iterations += stats.iterations;
+        self.stms_before += stats.stms_before;
+        self.stms_after += stats.stms_after;
+        for run in &stats.runs {
+            *self.rewrites.entry(run.pass).or_default() += run.rewrites;
+        }
+    }
+}
+
 /// Cache counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -183,6 +231,7 @@ impl Engine {
                 cache: Mutex::new(LruCache::new(capacity)),
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
+                opt: Mutex::new(OptStats::default()),
             }),
         }
     }
@@ -241,10 +290,21 @@ impl Engine {
         }
         fir::typecheck::check_fun(fun)?;
         let pipeline = inner.pipeline.lock().unwrap().clone();
-        let optimized = pipeline.apply(fun);
+        let (optimized, opt_stats) = pipeline.apply_with_stats(fun);
+        inner.opt.lock().unwrap().absorb(&opt_stats);
         let exec = inner.backend.prepare(&optimized)?;
+        // An empty pipeline returns a borrow: source and optimized IR are
+        // the same function, stored once and shared.
+        let (source, optimized) = match optimized {
+            std::borrow::Cow::Borrowed(_) => {
+                let shared = Arc::new(fun.clone());
+                (Arc::clone(&shared), shared)
+            }
+            std::borrow::Cow::Owned(opt) => (Arc::new(fun.clone()), Arc::new(opt)),
+        };
         let entry = CacheEntry {
-            fun: Arc::new(optimized),
+            source,
+            fun: optimized,
             exec,
         };
         // Another thread may have compiled the same function meanwhile;
@@ -252,6 +312,12 @@ impl Engine {
         let entry = inner.cache.lock().unwrap().insert(key, entry);
         inner.misses.fetch_add(1, Ordering::Relaxed);
         Ok(CompiledFn::new(Arc::clone(inner), entry))
+    }
+
+    /// Aggregate optimizer statistics across every function this engine
+    /// compiled (see [`OptStats`]), alongside [`Engine::cache_stats`].
+    pub fn opt_stats(&self) -> OptStats {
+        self.inner.opt.lock().unwrap().clone()
     }
 
     /// Cache counters (hits, misses, live entries, evictions).
@@ -598,7 +664,7 @@ impl CompiledFn {
     /// seed-free calling, use [`CompiledFn::grad`].
     pub fn vjp(&self) -> Result<&CompiledFn, FirError> {
         let r = self.vjp.get_or_init(|| {
-            let derived = futhark_ad::vjp(&self.entry.fun);
+            let derived = futhark_ad::vjp(&self.entry.source);
             Engine::compile_with(&self.engine, &derived).map(Box::new)
         });
         match r {
@@ -614,7 +680,7 @@ impl CompiledFn {
     /// [`CompiledFn::pushforward`].
     pub fn jvp(&self) -> Result<&CompiledFn, FirError> {
         let r = self.jvp.get_or_init(|| {
-            let derived = futhark_ad::jvp(&self.entry.fun);
+            let derived = futhark_ad::jvp(&self.entry.source);
             Engine::compile_with(&self.engine, &derived).map(Box::new)
         });
         match r {

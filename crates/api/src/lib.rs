@@ -76,8 +76,9 @@ pub mod pipeline;
 pub mod registry;
 
 pub use engine::{
-    CacheStats, CompiledFn, Dual, Engine, EngineBuilder, GradOutput, DEFAULT_CACHE_CAPACITY,
+    CacheStats, CompiledFn, Dual, Engine, EngineBuilder, GradOutput, OptStats,
+    DEFAULT_CACHE_CAPACITY,
 };
 pub use error::FirError;
-pub use pipeline::{Pass, PassPipeline};
+pub use pipeline::{Pass, PassPipeline, PipelineStats};
 pub use registry::{backend_by_name, default_backend_name, BACKEND_ENV_VAR, BACKEND_NAMES};

@@ -1,18 +1,31 @@
-//! Composable simplification pipelines.
+//! Composable optimization pipelines.
 //!
 //! Reverse-mode AD by redundant execution deliberately emits dead forward
 //! sweeps (paper §4.1); the engine runs a configurable sequence of `fir_opt`
 //! passes over every function before handing it to the backend. The default
-//! pipeline is the fixed-point [`fir_opt::simplify`]; ablation studies and
-//! debugging can compose their own sequence (or disable optimization
-//! entirely with [`PassPipeline::none`]).
+//! [`PassPipeline::standard`] iterates the full repertoire — copy
+//! propagation, constant folding, CSE, producer–consumer fusion, invariant
+//! hoisting, dead-code elimination — to a (bounded) fixed point. Ablation
+//! studies and debugging can compose their own sequence, or disable
+//! optimization entirely with [`PassPipeline::none`], which hands functions
+//! through without so much as a clone.
+//!
+//! Every application reports [`PipelineStats`] — per-pass rewrites fired
+//! and statement counts plus the number of fixpoint iterations — surfaced
+//! through `Engine::opt_stats` alongside the compilation cache counters.
+//! In debug builds the optimized IR is re-typechecked after every pass, so
+//! a pass that produces ill-typed IR fails loudly at its source.
+
+use std::borrow::Cow;
 
 use fir::ir::Fun;
+use fir_opt::PassRun;
 
-/// One simplification pass.
+/// One optimization pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pass {
-    /// The fixed-point combination of all passes ([`fir_opt::simplify`]).
+    /// The fixed-point combination of the three basic passes
+    /// ([`fir_opt::simplify()`]).
     Simplify,
     /// Dead-code elimination only.
     DeadCode,
@@ -20,25 +33,100 @@ pub enum Pass {
     ConstantFold,
     /// Copy propagation only.
     CopyProp,
+    /// Common-subexpression elimination ([`fir_opt::cse()`]).
+    Cse,
+    /// Producer–consumer SOAC fusion ([`fir_opt::fuse_soacs`]): map–map
+    /// composition and map–reduce fusion into `redomap`.
+    Fusion,
+    /// Loop/map-invariant code motion ([`fir_opt::hoist_invariants`]).
+    Hoist,
 }
 
 impl Pass {
+    /// The pass name as reported in [`PipelineStats`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pass::Simplify => "simplify",
+            Pass::DeadCode => "dce",
+            Pass::ConstantFold => "const-fold",
+            Pass::CopyProp => "copy-prop",
+            Pass::Cse => "cse",
+            Pass::Fusion => "fusion",
+            Pass::Hoist => "hoist",
+        }
+    }
+
     /// Apply this pass to a function.
     pub fn apply(&self, fun: &Fun) -> Fun {
+        self.apply_counted(fun).0
+    }
+
+    /// Apply this pass, reporting rewrite and statement counts.
+    pub fn apply_counted(&self, fun: &Fun) -> (Fun, PassRun) {
+        let name = self.name();
         match self {
-            Pass::Simplify => fir_opt::simplify(fun),
-            Pass::DeadCode => fir_opt::dead_code_elimination(fun),
-            Pass::ConstantFold => fir_opt::constant_fold(fun),
-            Pass::CopyProp => fir_opt::copy_propagation(fun),
+            Pass::Simplify => fir_opt::run_pass(
+                name,
+                |f| {
+                    let out = fir_opt::simplify(f);
+                    let changed = usize::from(out != *f);
+                    (out, changed)
+                },
+                fun,
+            ),
+            Pass::DeadCode => fir_opt::run_pass(name, fir_opt::dead_code_elimination_counted, fun),
+            Pass::ConstantFold => fir_opt::run_pass(name, fir_opt::constant_fold_counted, fun),
+            Pass::CopyProp => fir_opt::run_pass(name, fir_opt::copy_propagation_counted, fun),
+            Pass::Cse => fir_opt::run_pass(name, fir_opt::cse_counted, fun),
+            Pass::Fusion => fir_opt::run_pass(name, fir_opt::fuse_soacs_counted, fun),
+            Pass::Hoist => fir_opt::run_pass(name, fir_opt::hoist_invariants_counted, fun),
         }
     }
 }
 
+/// What a pipeline application did to one function: every pass run (in
+/// application order), the number of fixpoint iterations, and the overall
+/// statement counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Every pass application, in order.
+    pub runs: Vec<PassRun>,
+    /// Fixpoint iterations executed (0 for the empty pipeline).
+    pub iterations: usize,
+    /// Statements (all nesting depths) before optimization.
+    pub stms_before: usize,
+    /// Statements after optimization.
+    pub stms_after: usize,
+}
+
+impl PipelineStats {
+    /// Total rewrites fired across all passes.
+    pub fn rewrites(&self) -> usize {
+        self.runs.iter().map(|r| r.rewrites).sum()
+    }
+
+    /// Rewrites fired by the named pass (summed over iterations).
+    pub fn rewrites_of(&self, pass: &str) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.pass == pass)
+            .map(|r| r.rewrites)
+            .sum()
+    }
+
+    /// Statements removed end to end.
+    pub fn stms_removed(&self) -> usize {
+        self.stms_before.saturating_sub(self.stms_after)
+    }
+}
+
 /// An ordered sequence of passes, applied left to right on every function
-/// an engine compiles (primal and AD-derived alike).
+/// an engine compiles (primal and AD-derived alike), optionally iterated
+/// until no pass reports a rewrite (bounded by `max_iterations`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PassPipeline {
     passes: Vec<Pass>,
+    max_iterations: usize,
 }
 
 impl Default for PassPipeline {
@@ -48,21 +136,38 @@ impl Default for PassPipeline {
 }
 
 impl PassPipeline {
-    /// The default pipeline: fixed-point simplification.
+    /// The default pipeline: the full pass repertoire — copy propagation,
+    /// constant folding, CSE, SOAC fusion, invariant hoisting, dead code —
+    /// iterated to a fixed point (bounded at 8 rounds).
     pub fn standard() -> PassPipeline {
         PassPipeline {
-            passes: vec![Pass::Simplify],
+            passes: vec![
+                Pass::CopyProp,
+                Pass::ConstantFold,
+                Pass::Cse,
+                Pass::Fusion,
+                Pass::Hoist,
+                Pass::DeadCode,
+            ],
+            max_iterations: 8,
         }
     }
 
-    /// An empty pipeline: functions reach the backend untouched.
+    /// An empty pipeline: functions reach the backend untouched (and
+    /// unclosed — [`PassPipeline::apply`] returns a borrow).
     pub fn none() -> PassPipeline {
-        PassPipeline { passes: Vec::new() }
+        PassPipeline {
+            passes: Vec::new(),
+            max_iterations: 1,
+        }
     }
 
-    /// A pipeline running exactly `passes`, in order.
+    /// A pipeline running exactly `passes`, in order, once.
     pub fn new(passes: Vec<Pass>) -> PassPipeline {
-        PassPipeline { passes }
+        PassPipeline {
+            passes,
+            max_iterations: 1,
+        }
     }
 
     /// Append a pass.
@@ -71,18 +176,72 @@ impl PassPipeline {
         self
     }
 
+    /// Iterate the pass sequence until no pass reports a rewrite, at most
+    /// `rounds` times (clamped to at least 1).
+    pub fn fixpoint(mut self, rounds: usize) -> PassPipeline {
+        self.max_iterations = rounds.max(1);
+        self
+    }
+
     /// The passes, in application order.
     pub fn passes(&self) -> &[Pass] {
         &self.passes
     }
 
-    /// Apply every pass, in order.
-    pub fn apply(&self, fun: &Fun) -> Fun {
-        let mut cur = fun.clone();
-        for p in &self.passes {
-            cur = p.apply(&cur);
+    /// The fixpoint iteration bound.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Apply the pipeline. The empty pipeline borrows its input instead of
+    /// deep-cloning it.
+    pub fn apply<'f>(&self, fun: &'f Fun) -> Cow<'f, Fun> {
+        self.apply_with_stats(fun).0
+    }
+
+    /// Apply the pipeline, reporting per-pass statistics.
+    pub fn apply_with_stats<'f>(&self, fun: &'f Fun) -> (Cow<'f, Fun>, PipelineStats) {
+        let stms_before = fir_opt::count_stms(fun);
+        let mut stats = PipelineStats {
+            runs: Vec::new(),
+            iterations: 0,
+            stms_before,
+            stms_after: stms_before,
+        };
+        if self.passes.is_empty() {
+            return (Cow::Borrowed(fun), stats);
         }
-        cur
+        let mut cur = fun.clone();
+        for _ in 0..self.max_iterations {
+            stats.iterations += 1;
+            let mut changed = false;
+            for p in &self.passes {
+                let (next, run) = p.apply_counted(&cur);
+                recheck(p, &next);
+                changed |= run.rewrites > 0;
+                stats.runs.push(run);
+                cur = next;
+            }
+            if !changed {
+                break;
+            }
+        }
+        stats.stms_after = fir_opt::count_stms(&cur);
+        (Cow::Owned(cur), stats)
+    }
+}
+
+/// Debug-mode invariant: every pass must leave the program well-typed.
+/// Compiled out in release builds.
+fn recheck(pass: &Pass, fun: &Fun) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = fir::typecheck::check_fun(fun) {
+            panic!(
+                "optimizer pass `{}` produced ill-typed IR for `{}`: {e}",
+                pass.name(),
+                fun.name
+            );
+        }
     }
 }
 
@@ -101,10 +260,36 @@ mod tests {
         })
     }
 
+    /// A fusable map-map-reduce chain with a map-invariant `sin x` (hoist)
+    /// and a duplicated top-level `exp x` (CSE).
+    fn fusable() -> Fun {
+        let mut b = Builder::new();
+        b.build_fun("g", &[Type::F64, Type::arr_f64(1)], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let e1 = b.fexp(x);
+            let doubled = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
+                vec![b.fmul(es[0].into(), Atom::f64(2.0))]
+            });
+            let shifted = b.map1(Type::arr_f64(1), &[doubled], |b, es| {
+                let inv = b.fsin(x);
+                vec![b.fadd(es[0].into(), inv)]
+            });
+            let s1 = b.sum(shifted);
+            let e2 = b.fexp(x);
+            let prod = b.fmul(e1, e2);
+            vec![b.fadd(s1.into(), prod)]
+        })
+    }
+
     #[test]
     fn none_is_identity_and_standard_simplifies() {
         let f = with_dead_code();
-        assert_eq!(PassPipeline::none().apply(&f), f);
+        let untouched = PassPipeline::none().apply(&f);
+        assert!(
+            matches!(untouched, Cow::Borrowed(_)),
+            "the empty pipeline must not clone"
+        );
+        assert_eq!(untouched.as_ref(), &f);
         let simplified = PassPipeline::standard().apply(&f);
         assert!(fir_opt::count_stms(&simplified) < fir_opt::count_stms(&f));
         fir::typecheck::check_fun(&simplified).unwrap();
@@ -118,5 +303,50 @@ mod tests {
         assert_eq!(p.passes(), &[Pass::CopyProp, Pass::DeadCode]);
         let f = with_dead_code();
         assert!(fir_opt::count_stms(&p.apply(&f)) < fir_opt::count_stms(&f));
+    }
+
+    #[test]
+    fn standard_pipeline_fires_every_new_pass() {
+        let f = fusable();
+        let (out, stats) = PassPipeline::standard().apply_with_stats(&f);
+        fir::typecheck::check_fun(&out).unwrap();
+        assert!(stats.rewrites_of("cse") >= 1, "duplicate maps must merge");
+        assert!(
+            stats.rewrites_of("fusion") >= 2,
+            "map-map and map-reduce fusion must fire"
+        );
+        assert!(stats.rewrites_of("hoist") >= 1, "exp(x) must hoist");
+        assert!(stats.iterations >= 2, "fixpoint must iterate");
+        assert!(stats.stms_after < stats.stms_before);
+        assert_eq!(stats.stms_after, fir_opt::count_stms(&out));
+        // The fused reduce survives as a redomap.
+        assert!(
+            out.body
+                .stms
+                .iter()
+                .any(|s| matches!(s.exp, fir::ir::Exp::Redomap { .. })),
+            "expected a redomap in {out}"
+        );
+    }
+
+    #[test]
+    fn single_pass_variants_report_stats() {
+        let f = with_dead_code();
+        for (pass, expect_rewrites) in [
+            (Pass::DeadCode, true),
+            (Pass::Fusion, false),
+            (Pass::Cse, false),
+            (Pass::Hoist, false),
+        ] {
+            let (out, run) = pass.apply_counted(&f);
+            assert_eq!(run.pass, pass.name());
+            assert_eq!(run.stms_before, 2);
+            assert_eq!(run.stms_after, fir_opt::count_stms(&out));
+            assert_eq!(run.rewrites > 0, expect_rewrites, "{}", pass.name());
+        }
+        let (_, stats) = PassPipeline::new(vec![Pass::DeadCode]).apply_with_stats(&f);
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.rewrites_of("dce"), 1);
+        assert_eq!(stats.stms_removed(), 1);
     }
 }

@@ -7,8 +7,8 @@
 //! paper's (k, n, d) = (5, 494019, 35) and (1024, 10000, 256).
 
 use ad_bench::{
-    compare_backends, compare_batch, engine, header, ms, row, time_secs, Report, BACKEND_COLS,
-    BATCH_COLS,
+    compare_backends, compare_batch, compare_pipelines, engine, header, ms, row, time_secs, Report,
+    BACKEND_COLS, BATCH_COLS, PIPELINE_COLS,
 };
 use interp::{Array, Value};
 use workloads::kmeans;
@@ -84,6 +84,18 @@ fn main() {
     );
     let big = kmeans::KmeansData::generate(5_000, 35, 5, 42);
     compare_backends(
+        &mut report,
+        "kmeans-dense (5, 5000, 35)",
+        &kmeans::dense_objective_ir(),
+        &big.ir_args(),
+        reps,
+    );
+
+    header(
+        "Table 3 optimizer: PassPipeline::standard vs PassPipeline::none",
+        &PIPELINE_COLS,
+    );
+    compare_pipelines(
         &mut report,
         "kmeans-dense (5, 5000, 35)",
         &kmeans::dense_objective_ir(),

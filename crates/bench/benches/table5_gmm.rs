@@ -4,8 +4,8 @@
 //! overheads (gradient time / objective time), mirroring Tables 5b/5c.
 
 use ad_bench::{
-    compare_backends, compare_batch, engine, header, ms, ratio, row, time_secs, Report,
-    BACKEND_COLS, BATCH_COLS,
+    compare_backends, compare_batch, compare_pipelines, engine, header, ms, ratio, row, time_secs,
+    Report, BACKEND_COLS, BATCH_COLS, PIPELINE_COLS,
 };
 use interp::Value;
 use workloads::gmm;
@@ -83,6 +83,20 @@ fn main() {
     // >= 2x acceptance criterion is checked against.
     let big = gmm::GmmData::generate(500, 32, 25, 11);
     compare_backends(
+        &mut report,
+        "GMM D5 (500, 32, 25)",
+        &fun,
+        &big.ir_args(),
+        reps,
+    );
+
+    header(
+        "Table 5 optimizer: PassPipeline::standard vs PassPipeline::none",
+        &PIPELINE_COLS,
+    );
+    // The optimizer's impact on the gradient program (fusion + CSE +
+    // hoisting + simplification vs raw AD output), sequential VM.
+    compare_pipelines(
         &mut report,
         "GMM D5 (500, 32, 25)",
         &fun,

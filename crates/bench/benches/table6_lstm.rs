@@ -4,7 +4,10 @@
 //! hand-written GPU kernel library and has no CPU analogue here; the paper's
 //! reported factors are printed for reference.
 
-use ad_bench::{compare_backends, engine, header, ms, ratio, row, time_secs, Report, BACKEND_COLS};
+use ad_bench::{
+    compare_backends, compare_pipelines, engine, header, ms, ratio, row, time_secs, Report,
+    BACKEND_COLS, PIPELINE_COLS,
+};
 use workloads::lstm;
 
 fn main() {
@@ -78,6 +81,18 @@ fn main() {
     );
     let big = lstm::LstmData::generate(20, 12, 16, 16, 21);
     compare_backends(
+        &mut report,
+        "LSTM D1 (16, 20, 12, 16)",
+        &lstm::objective_ir(big.h, big.bs),
+        &big.ir_args(),
+        reps,
+    );
+
+    header(
+        "Table 6 optimizer: PassPipeline::standard vs PassPipeline::none",
+        &PIPELINE_COLS,
+    );
+    compare_pipelines(
         &mut report,
         "LSTM D1 (16, 20, 12, 16)",
         &lstm::objective_ir(big.h, big.bs),

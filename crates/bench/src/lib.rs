@@ -258,6 +258,72 @@ pub fn compare_batch(
 /// The column names matching [`compare_batch`] rows.
 pub const BATCH_COLS: [&str; 4] = ["workload", "per-call grad", "batched grad", "batch speedup"];
 
+// ---------------------------------------------------------------------
+// Optimizer impact (PassPipeline::standard vs PassPipeline::none)
+// ---------------------------------------------------------------------
+
+/// Print (and record) the optimizer-impact comparison for one workload:
+/// primal and reverse-mode gradient wall-clock with the standard pass
+/// pipeline vs. no optimization at all, plus the statement shrinkage the
+/// pass-stats layer reports for the gradient program. Both engines run the
+/// sequential VM so the comparison isolates the optimizer (results are
+/// bitwise identical either way). Returns the gradient-time speedup.
+pub fn compare_pipelines(
+    report: &mut Report,
+    label: &str,
+    fun: &Fun,
+    args: &[Value],
+    reps: usize,
+) -> f64 {
+    let opt_engine = engine("vm-seq").with_pipeline(fir_api::PassPipeline::standard());
+    let raw_engine = engine("vm-seq").with_pipeline(fir_api::PassPipeline::none());
+    let co = opt_engine.compile(fun).expect("compile (optimized)");
+    let cr = raw_engine.compile(fun).expect("compile (unoptimized)");
+    let to = time_backend(&co, args, reps);
+    let tr = time_backend(&cr, args, reps);
+    // Statement counts of the gradient program under both pipelines (the
+    // vjp handles exist after time_backend's grad warm-ups).
+    let grad_stms_opt = fir_opt::count_stms(co.vjp().expect("vjp (optimized)").fun());
+    let grad_stms_raw = fir_opt::count_stms(cr.vjp().expect("vjp (unoptimized)").fun());
+    let primal_speedup = tr.primal_secs / to.primal_secs;
+    let grad_speedup = tr.grad_secs / to.grad_secs;
+    let removed_frac = 1.0 - grad_stms_opt as f64 / grad_stms_raw as f64;
+    row(&[
+        label.to_string(),
+        ms(tr.grad_secs),
+        ms(to.grad_secs),
+        ratio(grad_speedup),
+        format!(
+            "{grad_stms_raw} -> {grad_stms_opt} (-{:.0}%)",
+            removed_frac * 100.0
+        ),
+    ]);
+    report.add(
+        &format!("optimizer:{label}"),
+        &[
+            ("noopt_primal_s", tr.primal_secs),
+            ("opt_primal_s", to.primal_secs),
+            ("opt_primal_speedup", primal_speedup),
+            ("noopt_grad_s", tr.grad_secs),
+            ("opt_grad_s", to.grad_secs),
+            ("opt_grad_speedup", grad_speedup),
+            ("grad_stms_noopt", grad_stms_raw as f64),
+            ("grad_stms_opt", grad_stms_opt as f64),
+            ("grad_stms_removed_frac", removed_frac),
+        ],
+    );
+    grad_speedup
+}
+
+/// The column names matching [`compare_pipelines`] rows.
+pub const PIPELINE_COLS: [&str; 5] = [
+    "workload",
+    "unoptimized grad",
+    "optimized grad",
+    "optimizer speedup",
+    "gradient stms",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;

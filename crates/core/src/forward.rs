@@ -25,6 +25,9 @@ use crate::helpers::{register_fun_types, zero_like};
 /// with one tangent parameter per differentiable parameter and one tangent
 /// result per differentiable result.
 pub fn jvp(fun: &Fun) -> Fun {
+    // See `vjp`: fused `redomap`s are lowered back to `map` + `reduce`
+    // before the tangent rules run.
+    let fun = &fir::lower::unfuse(fun);
     let mut b = Builder::for_fun(fun);
     register_fun_types(&mut b, fun);
     let mut fwd = Fwd {
@@ -121,6 +124,9 @@ impl Fwd {
                 // statement is subsumed by the dual version).
                 self.jvp_structured(stm);
                 return;
+            }
+            Exp::Redomap { .. } => {
+                unreachable!("redomap is unfused (fir::lower::unfuse) before AD")
             }
             _ => {}
         }
@@ -252,6 +258,7 @@ impl Fwd {
             | Exp::Map { .. }
             | Exp::Reduce { .. }
             | Exp::Scan { .. }
+            | Exp::Redomap { .. }
             | Exp::WithAcc { .. } => unreachable!(),
         }
     }

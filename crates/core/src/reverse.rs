@@ -45,6 +45,10 @@ use crate::helpers::{add_values, recognize_reduce_op, register_fun_types, zero_l
 /// differentiable parameter (in parameter order). The primal results are
 /// returned as well, matching the paper's `vjp` interface.
 pub fn vjp(fun: &Fun) -> Fun {
+    // The optimizer may have fused `reduce ∘ map` into `redomap`; the
+    // per-construct rules below differentiate the unfused form (the derived
+    // function is re-fused when it passes through the pipeline again).
+    let fun = &fir::lower::unfuse(fun);
     let mut b = Builder::for_fun(fun);
     register_fun_types(&mut b, fun);
     let mut rev = Rev {
@@ -97,6 +101,10 @@ pub fn vjp(fun: &Fun) -> Fun {
 
 /// Bookkeeping produced by the forward sweep of a single statement and
 /// consumed by its return sweep.
+// The `stm` payload embeds an `Exp` (which grew with `Redomap`'s two
+// lambdas); the enum is short-lived per-statement bookkeeping, not stored
+// in bulk, so the size imbalance is harmless.
+#[allow(clippy::large_enum_variant)]
 enum FwdInfo {
     /// The forward sweep was the statement itself.
     Simple,
@@ -584,6 +592,9 @@ impl Rev {
             FwdInfo::Simple => {}
         }
         match &stm.exp {
+            Exp::Redomap { .. } => {
+                unreachable!("redomap is unfused (fir::lower::unfuse) before AD")
+            }
             Exp::Atom(a) => {
                 if let Some(adj) = self.adjoint_of_pat(&stm.pat[0]) {
                     self.add_to_atom_adjoint(*a, Atom::Var(adj));

@@ -1,0 +1,437 @@
+//! `fir-proptest` — a sized random generator of *well-typed* `fir`
+//! programs, with matching argument values, for property-based and
+//! differential testing.
+//!
+//! The generator draws from an expression/SOAC grammar over `f64`/`i64`
+//! scalars and rank-1/rank-2 `f64` arrays: scalar arithmetic and
+//! transcendentals, `select`, constant indexing, `len`/`replicate`,
+//! `map` (including nested maps over matrix rows, with captured outer
+//! scalars — fodder for the hoisting pass), `reduce` with recognized
+//! associative operators, prefix sums, `if` over scalar conditions, and
+//! bounded sequential `loop`s. Every rank-1 array in a generated program
+//! shares one outer length and every rank-2 array one shape, and indices
+//! are constants within bounds, so programs never trap at runtime.
+//!
+//! Determinism: generation consumes only the caller's [`TestRng`] (the
+//! fixed-seed splitmix64 stream of the vendored `proptest` stand-in), so a
+//! given seed always yields the same program — CI reruns and failure
+//! reproduction are exact.
+//!
+//! Two profiles:
+//!
+//! * [`GenConfig::default`] — the full grammar; results may legitimately be
+//!   non-finite (`1/0`, `log` of a negative), which bitwise differential
+//!   harnesses handle fine.
+//! * [`GenConfig::smooth`] — restricts to operations that are smooth and
+//!   bounded on the generated input ranges (no `min`/`max`/`select`/`if`,
+//!   no `exp`/`log`/`div`), and returns a single scalar — suitable for
+//!   finite-difference gradient checking of the AD transforms.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun, ReduceOp, VarId};
+use fir::types::Type;
+use interp::{Array, Value};
+use proptest::{Strategy, TestRng};
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Statements generated in the function body (before the result
+    /// combine); nested lambda bodies draw their own small budgets.
+    pub max_stms: usize,
+    /// Maximum SOAC nesting depth (2 = maps over matrix rows containing
+    /// inner maps/reductions).
+    pub max_depth: usize,
+    /// Restrict to smooth, bounded operations (see module docs) and return
+    /// a single scalar, for gradient checking.
+    pub smooth: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_stms: 8,
+            max_depth: 2,
+            smooth: false,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The gradient-checkable profile.
+    pub fn smooth() -> GenConfig {
+        GenConfig {
+            smooth: true,
+            ..GenConfig::default()
+        }
+    }
+}
+
+/// Generate one well-typed function plus matching argument values.
+///
+/// The returned program type-checks by construction (the harnesses assert
+/// it anyway) and runs without panicking on the returned arguments on every
+/// backend.
+pub fn arbitrary_fun(name: &str, rng: &mut TestRng, cfg: &GenConfig) -> (Fun, Vec<Value>) {
+    let n = rng.below(2, 5); // shared rank-1 length
+    let m = rng.below(2, 4); // shared inner length of rank-2 arrays
+    let num_f64 = rng.below(1, 3);
+    let num_arr1 = rng.below(1, 3);
+    let num_arr2 = usize::from(!cfg.smooth && rng.below(0, 2) == 1);
+
+    let mut param_tys = Vec::new();
+    let mut args = Vec::new();
+    for _ in 0..num_f64 {
+        param_tys.push(Type::F64);
+        args.push(Value::F64(unit_range(rng)));
+    }
+    for _ in 0..num_arr1 {
+        param_tys.push(Type::arr_f64(1));
+        args.push(Value::Arr(Array::from_f64(
+            vec![n],
+            (0..n).map(|_| unit_range(rng)).collect(),
+        )));
+    }
+    for _ in 0..num_arr2 {
+        param_tys.push(Type::arr_f64(2));
+        args.push(Value::Arr(Array::from_f64(
+            vec![n, m],
+            (0..n * m).map(|_| unit_range(rng)).collect(),
+        )));
+    }
+
+    let mut b = Builder::new();
+    let fun = b.build_fun(name, &param_tys, |b, ps| {
+        let mut g = Gen {
+            rng,
+            cfg,
+            n,
+            f64s: Vec::new(),
+            arr1: Vec::new(),
+            arr2: Vec::new(),
+        };
+        for (p, ty) in ps.iter().zip(&param_tys) {
+            match ty {
+                Type::Scalar(_) => g.f64s.push(*p),
+                Type::Array { rank: 1, .. } => g.arr1.push(*p),
+                _ => g.arr2.push(*p),
+            }
+        }
+        for _ in 0..g.rng.below(3, cfg.max_stms.max(4)) {
+            g.stm(b, cfg.max_depth);
+        }
+        g.result(b)
+    });
+    (fun, args)
+}
+
+/// A `proptest` strategy producing `(Fun, args)` pairs; usable in
+/// `proptest!` bodies from any test crate.
+pub struct FunStrategy(pub GenConfig);
+
+impl Strategy for FunStrategy {
+    type Value = (Fun, Vec<Value>);
+    fn generate(&self, rng: &mut TestRng) -> (Fun, Vec<Value>) {
+        arbitrary_fun("fuzz", rng, &self.0)
+    }
+}
+
+fn unit_range(rng: &mut TestRng) -> f64 {
+    rng.unit_f64() * 3.0 - 1.5
+}
+
+struct Gen<'a> {
+    rng: &'a mut TestRng,
+    cfg: &'a GenConfig,
+    /// The shared outer length of every rank-1 array in the program.
+    n: usize,
+    f64s: Vec<VarId>,
+    arr1: Vec<VarId>,
+    arr2: Vec<VarId>,
+}
+
+impl Gen<'_> {
+    fn pick(&mut self, pool_len: usize) -> usize {
+        self.rng.below(0, pool_len)
+    }
+
+    fn scalar(&mut self, _b: &mut Builder) -> Atom {
+        if self.f64s.is_empty() || self.rng.below(0, 4) == 0 {
+            Atom::f64(unit_range(self.rng))
+        } else {
+            let i = self.pick(self.f64s.len());
+            Atom::Var(self.f64s[i])
+        }
+    }
+
+    fn unop(&mut self, b: &mut Builder, x: Atom) -> Atom {
+        let smooth_ops = 5usize;
+        let all_ops = 9usize;
+        let k = self
+            .rng
+            .below(0, if self.cfg.smooth { smooth_ops } else { all_ops });
+        match k {
+            0 => b.fsin(x),
+            1 => b.fcos(x),
+            2 => b.ftanh(x),
+            3 => b.fsigmoid(x),
+            4 => b.fneg(x),
+            5 => b.fexp(x),
+            6 => b.flog(x),
+            7 => b.fsqrt(x),
+            _ => b.fabs(x),
+        }
+    }
+
+    fn binop(&mut self, b: &mut Builder, x: Atom, y: Atom) -> Atom {
+        let smooth_ops = 3usize;
+        let all_ops = 6usize;
+        let k = self
+            .rng
+            .below(0, if self.cfg.smooth { smooth_ops } else { all_ops });
+        match k {
+            0 => b.fadd(x, y),
+            1 => b.fsub(x, y),
+            2 => b.fmul(x, y),
+            3 => b.fdiv(x, y),
+            4 => b.fmin(x, y),
+            _ => b.fmax(x, y),
+        }
+    }
+
+    /// A short chain of scalar operations over the given element variables
+    /// and the enclosing scalar pool (captures exercise hoisting), ending
+    /// in a single atom.
+    fn scalar_chain(&mut self, b: &mut Builder, elems: &[VarId]) -> Atom {
+        let mut cur: Atom = if elems.is_empty() {
+            self.scalar(b)
+        } else {
+            let i = self.pick(elems.len());
+            Atom::Var(elems[i])
+        };
+        for _ in 0..self.rng.below(1, 4) {
+            cur = if self.rng.below(0, 3) == 0 {
+                self.unop(b, cur)
+            } else {
+                let rhs = if !elems.is_empty() && self.rng.below(0, 2) == 0 {
+                    let i = self.pick(elems.len());
+                    Atom::Var(elems[i])
+                } else {
+                    self.scalar(b)
+                };
+                self.binop(b, cur, rhs)
+            };
+        }
+        cur
+    }
+
+    fn reduce_op(&mut self) -> ReduceOp {
+        if self.cfg.smooth {
+            ReduceOp::Add
+        } else {
+            match self.rng.below(0, 4) {
+                0 => ReduceOp::Add,
+                1 => ReduceOp::Mul,
+                2 => ReduceOp::Min,
+                _ => ReduceOp::Max,
+            }
+        }
+    }
+
+    /// Emit one random statement into the current scope.
+    fn stm(&mut self, b: &mut Builder, depth: usize) {
+        let has_arr1 = !self.arr1.is_empty();
+        let has_arr2 = !self.arr2.is_empty();
+        let choice = self.rng.below(0, 10);
+        match choice {
+            // Scalar chain.
+            0 | 1 => {
+                let v = self.scalar_chain(b, &[]);
+                if let Atom::Var(v) = v {
+                    self.f64s.push(v);
+                }
+            }
+            // Map over one or two rank-1 arrays.
+            2..=4 if has_arr1 && depth > 0 => {
+                let nargs = 1 + usize::from(self.arr1.len() > 1 && self.rng.below(0, 2) == 1);
+                let mut soac_args = Vec::new();
+                for _ in 0..nargs {
+                    let i = self.pick(self.arr1.len());
+                    soac_args.push(self.arr1[i]);
+                }
+                let out = b.map1(Type::arr_f64(1), &soac_args, |b, es| {
+                    vec![self.scalar_chain(b, es)]
+                });
+                self.arr1.push(out);
+            }
+            // Reduce a rank-1 array with a recognized operator.
+            5 if has_arr1 => {
+                let op = self.reduce_op();
+                let i = self.pick(self.arr1.len());
+                let arr = self.arr1[i];
+                let r = b.reduce_op(op, arr);
+                self.f64s.push(r);
+            }
+            // Prefix sum (scan +) keeps the shared length.
+            6 if has_arr1 && !self.cfg.smooth => {
+                let i = self.pick(self.arr1.len());
+                let arr = self.arr1[i];
+                let out = b.scan_add(arr);
+                self.arr1.push(out);
+            }
+            // Constant in-bounds index.
+            6 if has_arr1 && self.cfg.smooth => {
+                let i = self.pick(self.arr1.len());
+                let arr = self.arr1[i];
+                let c = self.rng.below(0, self.n) as i64;
+                let x = b.index(arr, &[Atom::i64(c)]);
+                self.f64s.push(x);
+            }
+            // replicate (len a) s — a fresh rank-1 array of the shared length.
+            7 if has_arr1 => {
+                let i = self.pick(self.arr1.len());
+                let arr = self.arr1[i];
+                let l = b.len(arr);
+                let s = self.scalar(b);
+                let out = b.replicate(l, s);
+                self.arr1.push(out);
+            }
+            // Scalar `if` (non-smooth: a kink) or a constant index (smooth).
+            8 => {
+                if self.cfg.smooth {
+                    if has_arr1 {
+                        let i = self.pick(self.arr1.len());
+                        let arr = self.arr1[i];
+                        let c = self.rng.below(0, self.n) as i64;
+                        let x = b.index(arr, &[Atom::i64(c)]);
+                        self.f64s.push(x);
+                    }
+                } else {
+                    let x = self.scalar(b);
+                    let y = self.scalar(b);
+                    let cond = b.lt(x, y);
+                    b.begin_scope();
+                    let t = self.scalar_chain(b, &[]);
+                    let tstms = b.end_scope();
+                    b.begin_scope();
+                    let e = self.scalar_chain(b, &[]);
+                    let estms = b.end_scope();
+                    let r = b.bind(
+                        &[Type::F64],
+                        fir::ir::Exp::If {
+                            cond,
+                            then_br: fir::ir::Body::new(tstms, vec![t]),
+                            else_br: fir::ir::Body::new(estms, vec![e]),
+                        },
+                    );
+                    self.f64s.push(r[0]);
+                }
+            }
+            // Bounded sequential loop carrying one f64.
+            9 => {
+                let init = self.scalar(b);
+                let count = Atom::i64(self.rng.below(1, 4) as i64);
+                let r = b.loop_(&[(Type::F64, init)], count, |b, _i, acc| {
+                    let chain = self.scalar_chain(b, acc);
+                    vec![b.fadd(chain, Atom::Var(acc[0]))]
+                });
+                self.f64s.push(r[0]);
+            }
+            // Map over matrix rows with a nested reduction.
+            _ if has_arr2 && depth > 1 => {
+                let i = self.pick(self.arr2.len());
+                let mat = self.arr2[i];
+                let out = b.map1(Type::arr_f64(1), &[mat], |b, rows| {
+                    let sq = b.map1(Type::arr_f64(1), &[rows[0]], |b, es| {
+                        vec![self.scalar_chain(b, es)]
+                    });
+                    vec![Atom::Var(b.sum(sq))]
+                });
+                self.arr1.push(out);
+            }
+            _ => {
+                let v = self.scalar_chain(b, &[]);
+                if let Atom::Var(v) = v {
+                    self.f64s.push(v);
+                }
+            }
+        }
+    }
+
+    /// Combine live values into the results: a scalar that depends on a
+    /// random subset of everything generated (and, in the non-smooth
+    /// profile, additionally a rank-1 array result).
+    fn result(&mut self, b: &mut Builder) -> Vec<Atom> {
+        let mut acc = self.scalar(b);
+        let picks = self.rng.below(1, 4);
+        for _ in 0..picks {
+            let use_arr = !self.arr1.is_empty() && self.rng.below(0, 2) == 0;
+            let term = if use_arr {
+                let i = self.pick(self.arr1.len());
+                let s = b.sum(self.arr1[i]);
+                Atom::Var(s)
+            } else {
+                self.scalar(b)
+            };
+            acc = b.fadd(acc, term);
+        }
+        // Always fold in one array sum so every program exercises a SOAC.
+        if let Some(&arr) = self.arr1.first() {
+            let s = b.sum(arr);
+            acc = b.fadd(acc, Atom::Var(s));
+        }
+        if self.cfg.smooth {
+            vec![acc]
+        } else if let Some(&arr) = self.arr1.last() {
+            vec![acc, Atom::Var(arr)]
+        } else {
+            vec![acc]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::typecheck::check_fun;
+    use interp::Interp;
+
+    #[test]
+    fn generated_programs_typecheck_and_run() {
+        let mut rng = TestRng::deterministic();
+        for case in 0..64 {
+            let (fun, args) = arbitrary_fun(&format!("g{case}"), &mut rng, &GenConfig::default());
+            check_fun(&fun).unwrap_or_else(|e| panic!("case {case}: {e}\n{fun}"));
+            let out = Interp::sequential().run(&fun, &args);
+            assert!(!out.is_empty(), "case {case} returned nothing");
+        }
+    }
+
+    #[test]
+    fn smooth_profile_is_finite_and_scalar() {
+        let mut rng = TestRng::deterministic();
+        for case in 0..64 {
+            let (fun, args) = arbitrary_fun(&format!("s{case}"), &mut rng, &GenConfig::smooth());
+            check_fun(&fun).unwrap_or_else(|e| panic!("case {case}: {e}\n{fun}"));
+            assert_eq!(fun.ret, vec![Type::F64]);
+            let out = Interp::sequential().run(&fun, &args);
+            assert!(
+                out[0].as_f64().is_finite(),
+                "case {case} produced {:?}",
+                out[0]
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mk = || {
+            let mut rng = TestRng::deterministic();
+            arbitrary_fun("d", &mut rng, &GenConfig::default())
+        };
+        let (f1, a1) = mk();
+        let (f2, a2) = mk();
+        assert_eq!(f1, f2);
+        assert_eq!(format!("{a1:?}"), format!("{a2:?}"));
+    }
+}

@@ -513,6 +513,34 @@ impl Builder {
         )
     }
 
+    /// Fused `reduce ∘ map` (`redomap`). `out_tys` are the reduced result
+    /// types (one per mapped result); `map_f` builds the mapped function
+    /// over the element variables of `args`, `red_f` the associative
+    /// combining operator over `2 * |out_tys|` parameters.
+    pub fn redomap(
+        &mut self,
+        out_tys: &[Type],
+        neutral: &[Atom],
+        args: &[VarId],
+        map_f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+        red_f: impl FnOnce(&mut Builder, &[VarId]) -> Vec<Atom>,
+    ) -> Vec<VarId> {
+        let elem_tys: Vec<Type> = args.iter().map(|a| self.ty_of(*a).peel()).collect();
+        let map_lam = self.lambda(&elem_tys, map_f);
+        let mut red_tys: Vec<Type> = out_tys.to_vec();
+        red_tys.extend(out_tys.iter().copied());
+        let red_lam = self.lambda(&red_tys, red_f);
+        self.bind(
+            out_tys,
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral: neutral.to_vec(),
+                args: args.to_vec(),
+            },
+        )
+    }
+
     /// Inclusive prefix sum of a `f64` array.
     pub fn scan_add(&mut self, arr: VarId) -> VarId {
         let ty = self.ty_of(arr);

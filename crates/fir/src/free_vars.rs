@@ -147,6 +147,17 @@ impl FreeVars for Exp {
                 neutral.iter().for_each(|a| use_atom(a, bound, out));
                 args.iter().for_each(|v| use_var(*v, bound, out));
             }
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => {
+                red_lam.free_vars_into(bound, out);
+                map_lam.free_vars_into(bound, out);
+                neutral.iter().for_each(|a| use_atom(a, bound, out));
+                args.iter().for_each(|v| use_var(*v, bound, out));
+            }
             Exp::Hist {
                 num_bins,
                 inds,

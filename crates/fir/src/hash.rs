@@ -1,0 +1,332 @@
+//! Structural, binder-normalized hashing of IR fragments.
+//!
+//! Two expressions receive the same [`ExpKey`] exactly when they are
+//! alpha-equivalent (bound variables are numbered by traversal order, so
+//! lambdas that differ only in the names the `Builder`/`Renamer` happened to
+//! allocate hash alike) and reference the same *free* variables. Constants
+//! hash by bit pattern, so `-0.0` and `0.0` stay distinct and a `NaN`
+//! reliably equals itself — both matter for the bitwise
+//! semantics-preservation guarantee of the optimizer.
+//!
+//! The key is a pair of independently salted 64-bit hashes. As with the
+//! `firvm` program cache, 128 matching bits are treated as structural
+//! identity by the common-subexpression-elimination pass; a collision is out
+//! of reach in practice.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::ir::{Atom, Body, Const, Exp, Lambda, Stm, VarId};
+
+/// A 128-bit structural identity of an expression: equal keys mean
+/// alpha-equivalent expressions over the same free variables.
+pub type ExpKey = (u64, u64);
+
+/// The structural key of an expression (see module docs).
+pub fn exp_key(e: &Exp) -> ExpKey {
+    (
+        hash_one(e, 0x517c_c1b7_2722_0a95),
+        hash_one(e, 0x9e37_79b9_7f4a_7c15),
+    )
+}
+
+fn hash_one(e: &Exp, salt: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
+    let mut cx = Ctx::default();
+    cx.exp(e, &mut h);
+    h.finish()
+}
+
+/// Binder-numbering context. Binders get sequential indices in traversal
+/// order; shadowed entries are restored on scope exit so sibling scopes
+/// never see each other's binders.
+#[derive(Default)]
+struct Ctx {
+    bound: HashMap<VarId, u32>,
+    next: u32,
+}
+
+impl Ctx {
+    fn bind(&mut self, v: VarId) -> Option<u32> {
+        self.next += 1;
+        self.bound.insert(v, self.next)
+    }
+
+    fn unbind(&mut self, v: VarId, old: Option<u32>) {
+        match old {
+            Some(i) => {
+                self.bound.insert(v, i);
+            }
+            None => {
+                self.bound.remove(&v);
+            }
+        }
+    }
+
+    fn var(&self, v: VarId, h: &mut DefaultHasher) {
+        match self.bound.get(&v) {
+            Some(i) => {
+                1u8.hash(h);
+                i.hash(h);
+            }
+            None => {
+                0u8.hash(h);
+                v.0.hash(h);
+            }
+        }
+    }
+
+    fn atom(&self, a: &Atom, h: &mut DefaultHasher) {
+        match a {
+            Atom::Var(v) => self.var(*v, h),
+            Atom::Const(Const::F64(x)) => {
+                2u8.hash(h);
+                x.to_bits().hash(h);
+            }
+            Atom::Const(Const::I64(x)) => {
+                3u8.hash(h);
+                x.hash(h);
+            }
+            Atom::Const(Const::Bool(x)) => {
+                4u8.hash(h);
+                x.hash(h);
+            }
+        }
+    }
+
+    fn atoms(&self, atoms: &[Atom], h: &mut DefaultHasher) {
+        atoms.len().hash(h);
+        for a in atoms {
+            self.atom(a, h);
+        }
+    }
+
+    fn vars(&self, vars: &[VarId], h: &mut DefaultHasher) {
+        vars.len().hash(h);
+        for v in vars {
+            self.var(*v, h);
+        }
+    }
+
+    fn body(&mut self, b: &Body, h: &mut DefaultHasher) {
+        let mut saved: Vec<(VarId, Option<u32>)> = Vec::new();
+        b.stms.len().hash(h);
+        for Stm { pat, exp } in &b.stms {
+            // The pattern is not in scope for its own right-hand side.
+            self.exp(exp, h);
+            pat.len().hash(h);
+            for p in pat {
+                p.ty.hash(h);
+                saved.push((p.var, self.bind(p.var)));
+            }
+        }
+        b.result.len().hash(h);
+        for a in &b.result {
+            self.atom(a, h);
+        }
+        for (v, old) in saved.into_iter().rev() {
+            self.unbind(v, old);
+        }
+    }
+
+    fn lambda(&mut self, lam: &Lambda, h: &mut DefaultHasher) {
+        let saved: Vec<(VarId, Option<u32>)> = lam
+            .params
+            .iter()
+            .map(|p| {
+                p.ty.hash(h);
+                (p.var, self.bind(p.var))
+            })
+            .collect();
+        self.body(&lam.body, h);
+        lam.ret.len().hash(h);
+        for t in &lam.ret {
+            t.hash(h);
+        }
+        for (v, old) in saved.into_iter().rev() {
+            self.unbind(v, old);
+        }
+    }
+
+    fn exp(&mut self, e: &Exp, h: &mut DefaultHasher) {
+        e.kind().hash(h);
+        match e {
+            Exp::Atom(a) | Exp::Iota(a) => self.atom(a, h),
+            Exp::UnOp(op, a) => {
+                op.hash(h);
+                self.atom(a, h);
+            }
+            Exp::BinOp(op, a, b) => {
+                op.hash(h);
+                self.atom(a, h);
+                self.atom(b, h);
+            }
+            Exp::Select { cond, t, f } => {
+                self.atom(cond, h);
+                self.atom(t, h);
+                self.atom(f, h);
+            }
+            Exp::Index { arr, idx } => {
+                self.var(*arr, h);
+                self.atoms(idx, h);
+            }
+            Exp::Update { arr, idx, val } => {
+                self.var(*arr, h);
+                self.atoms(idx, h);
+                self.atom(val, h);
+            }
+            Exp::Len(v) | Exp::Reverse(v) | Exp::Copy(v) => self.var(*v, h),
+            Exp::Replicate { n, val } => {
+                self.atom(n, h);
+                self.atom(val, h);
+            }
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => {
+                self.atom(cond, h);
+                self.body(then_br, h);
+                self.body(else_br, h);
+            }
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => {
+                self.atom(count, h);
+                params.len().hash(h);
+                for (_, init) in params {
+                    self.atom(init, h);
+                }
+                let mut saved: Vec<(VarId, Option<u32>)> = params
+                    .iter()
+                    .map(|(p, _)| {
+                        p.ty.hash(h);
+                        (p.var, self.bind(p.var))
+                    })
+                    .collect();
+                saved.push((*index, self.bind(*index)));
+                self.body(body, h);
+                for (v, old) in saved.into_iter().rev() {
+                    self.unbind(v, old);
+                }
+            }
+            Exp::Map { lam, args } => {
+                self.lambda(lam, h);
+                self.vars(args, h);
+            }
+            Exp::Reduce { lam, neutral, args } | Exp::Scan { lam, neutral, args } => {
+                self.lambda(lam, h);
+                self.atoms(neutral, h);
+                self.vars(args, h);
+            }
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => {
+                self.lambda(red_lam, h);
+                self.lambda(map_lam, h);
+                self.atoms(neutral, h);
+                self.vars(args, h);
+            }
+            Exp::Hist {
+                op,
+                num_bins,
+                inds,
+                vals,
+            } => {
+                op.hash(h);
+                self.atom(num_bins, h);
+                self.var(*inds, h);
+                self.var(*vals, h);
+            }
+            Exp::Scatter { dest, inds, vals } => {
+                self.var(*dest, h);
+                self.var(*inds, h);
+                self.var(*vals, h);
+            }
+            Exp::WithAcc { arrs, lam } => {
+                self.vars(arrs, h);
+                self.lambda(lam, h);
+            }
+            Exp::UpdAcc { acc, idx, val } => {
+                self.var(*acc, h);
+                self.atoms(idx, h);
+                self.atom(val, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::rename::refresh_lambda;
+    use crate::types::Type;
+
+    fn square_map(b: &mut Builder, xs: VarId) -> Exp {
+        let lam = b.lambda(&[Type::F64], |b, ps| {
+            vec![b.fmul(ps[0].into(), ps[0].into())]
+        });
+        Exp::Map {
+            lam,
+            args: vec![xs],
+        }
+    }
+
+    #[test]
+    fn alpha_variants_share_a_key() {
+        let mut b = Builder::new();
+        b.begin_scope();
+        let xs = b.fresh(Type::arr_f64(1));
+        let e1 = square_map(&mut b, xs);
+        let e2 = square_map(&mut b, xs); // distinct binder names
+        let _ = b.end_scope();
+        assert_ne!(e1, e2, "builder must have allocated fresh names");
+        assert_eq!(exp_key(&e1), exp_key(&e2));
+        // Renaming bound variables does not change the key either.
+        if let Exp::Map { lam, args } = &e1 {
+            let fresh = Exp::Map {
+                lam: refresh_lambda(&mut b, lam),
+                args: args.clone(),
+            };
+            assert_eq!(exp_key(&e1), exp_key(&fresh));
+        }
+    }
+
+    #[test]
+    fn free_variables_and_constants_distinguish() {
+        let mut b = Builder::new();
+        b.begin_scope();
+        let xs = b.fresh(Type::arr_f64(1));
+        let ys = b.fresh(Type::arr_f64(1));
+        let e_xs = square_map(&mut b, xs);
+        let e_ys = square_map(&mut b, ys);
+        let _ = b.end_scope();
+        assert_ne!(exp_key(&e_xs), exp_key(&e_ys));
+
+        let x = Atom::Var(VarId(7));
+        let add0 = Exp::BinOp(crate::ir::BinOp::Add, x, Atom::f64(0.0));
+        let sub0 = Exp::BinOp(crate::ir::BinOp::Sub, x, Atom::f64(0.0));
+        let addn0 = Exp::BinOp(crate::ir::BinOp::Add, x, Atom::f64(-0.0));
+        assert_ne!(exp_key(&add0), exp_key(&sub0));
+        assert_ne!(
+            exp_key(&add0),
+            exp_key(&addn0),
+            "-0.0 must not merge with 0.0"
+        );
+        let nan = Exp::BinOp(crate::ir::BinOp::Add, x, Atom::f64(f64::NAN));
+        assert_eq!(
+            exp_key(&nan),
+            exp_key(&nan.clone()),
+            "NaN equals itself by bits"
+        );
+    }
+}

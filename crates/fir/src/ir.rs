@@ -339,6 +339,24 @@ pub enum Exp {
         neutral: Vec<Atom>,
         args: Vec<VarId>,
     },
+    /// A fused `reduce ∘ map` (the paper's *redomap*):
+    /// `redomap red_lam map_lam neutral args` applies `map_lam` to each
+    /// element tuple of `args` and combines the per-element results with the
+    /// associative operator `red_lam`, starting from `neutral` — equivalent
+    /// to `reduce red_lam neutral (map map_lam args)` without materializing
+    /// the intermediate arrays. Introduced by the optimizer's
+    /// producer–consumer fusion (`fir-opt`); AD lowers it back to
+    /// `map` + `reduce` (see `fir::lower::unfuse`) before differentiating.
+    Redomap {
+        /// The combining operator: `2m` parameters (accumulators then
+        /// elements) for `m` mapped results, returning `m` values.
+        red_lam: Lambda,
+        /// The mapped function: one parameter per element of each argument
+        /// array, returning `m` values.
+        map_lam: Lambda,
+        neutral: Vec<Atom>,
+        args: Vec<VarId>,
+    },
     /// `reduce_by_index` (generalized histogram) with a recognized operator:
     /// `hist op num_bins inds vals`.
     Hist {
@@ -389,6 +407,7 @@ impl Exp {
             Exp::Map { .. } => "map",
             Exp::Reduce { .. } => "reduce",
             Exp::Scan { .. } => "scan",
+            Exp::Redomap { .. } => "redomap",
             Exp::Hist { .. } => "hist",
             Exp::Scatter { .. } => "scatter",
             Exp::WithAcc { .. } => "withacc",
@@ -405,6 +424,7 @@ impl Exp {
                 | Exp::Map { .. }
                 | Exp::Reduce { .. }
                 | Exp::Scan { .. }
+                | Exp::Redomap { .. }
                 | Exp::WithAcc { .. }
         )
     }
@@ -501,6 +521,17 @@ impl Fun {
                 }
                 Exp::Reduce { lam, neutral, args } | Exp::Scan { lam, neutral, args } => {
                     lambda(lam, m);
+                    neutral.iter().for_each(|a| atom(a, m));
+                    args.iter().for_each(|v| *m = (*m).max(v.0));
+                }
+                Exp::Redomap {
+                    red_lam,
+                    map_lam,
+                    neutral,
+                    args,
+                } => {
+                    lambda(red_lam, m);
+                    lambda(map_lam, m);
                     neutral.iter().for_each(|a| atom(a, m));
                     args.iter().for_each(|v| *m = (*m).max(v.0));
                 }

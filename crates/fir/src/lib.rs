@@ -42,7 +42,9 @@
 
 pub mod builder;
 pub mod free_vars;
+pub mod hash;
 pub mod ir;
+pub mod lower;
 pub mod pretty;
 pub mod rename;
 pub mod typecheck;

@@ -1,0 +1,169 @@
+//! Lowering optimizer-introduced constructs back to the core IR.
+//!
+//! The only such construct today is [`Exp::Redomap`], produced by `fir-opt`
+//! producer–consumer fusion. The AD transformations (`futhark-ad`) have
+//! per-construct rules for `map` and `reduce` but not for their fusion, so
+//! they [`unfuse`] a function first; the derived function is then re-fused
+//! when it passes through the optimization pipeline again.
+
+use std::borrow::Cow;
+
+use crate::builder::Builder;
+use crate::ir::{Body, Exp, Fun, Lambda, Param, Stm, VarId};
+
+/// Replace every `redomap` in `fun` by the equivalent `map` + `reduce`
+/// pair (materializing the intermediate arrays). The common no-`redomap`
+/// case (every function AD derives from pre-pipeline source IR) borrows
+/// the input instead of copying it.
+pub fn unfuse(fun: &Fun) -> Cow<'_, Fun> {
+    if !body_contains_redomap(&fun.body) {
+        return Cow::Borrowed(fun);
+    }
+    let mut b = Builder::for_fun(fun);
+    Cow::Owned(Fun {
+        name: fun.name.clone(),
+        params: fun.params.clone(),
+        body: unfuse_body(&mut b, &fun.body),
+        ret: fun.ret.clone(),
+    })
+}
+
+fn body_contains_redomap(body: &Body) -> bool {
+    body.stms.iter().any(|s| match &s.exp {
+        Exp::Redomap { .. } => true,
+        Exp::If {
+            then_br, else_br, ..
+        } => body_contains_redomap(then_br) || body_contains_redomap(else_br),
+        Exp::Loop { body: b, .. } => body_contains_redomap(b),
+        Exp::Map { lam, .. }
+        | Exp::Reduce { lam, .. }
+        | Exp::Scan { lam, .. }
+        | Exp::WithAcc { lam, .. } => body_contains_redomap(&lam.body),
+        _ => false,
+    })
+}
+
+fn unfuse_body(b: &mut Builder, body: &Body) -> Body {
+    let mut stms = Vec::with_capacity(body.stms.len());
+    for stm in &body.stms {
+        match &stm.exp {
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => {
+                let red_lam = unfuse_lambda(b, red_lam);
+                let map_lam = unfuse_lambda(b, map_lam);
+                let tmp_pat: Vec<Param> = map_lam
+                    .ret
+                    .iter()
+                    .map(|t| {
+                        let ty = t.lift();
+                        Param::new(b.fresh(ty), ty)
+                    })
+                    .collect();
+                let tmp_vars: Vec<VarId> = tmp_pat.iter().map(|p| p.var).collect();
+                stms.push(Stm::new(
+                    tmp_pat,
+                    Exp::Map {
+                        lam: map_lam,
+                        args: args.clone(),
+                    },
+                ));
+                stms.push(Stm::new(
+                    stm.pat.clone(),
+                    Exp::Reduce {
+                        lam: red_lam,
+                        neutral: neutral.clone(),
+                        args: tmp_vars,
+                    },
+                ));
+            }
+            other => stms.push(Stm::new(stm.pat.clone(), unfuse_exp(b, other))),
+        }
+    }
+    Body::new(stms, body.result.clone())
+}
+
+fn unfuse_lambda(b: &mut Builder, lam: &Lambda) -> Lambda {
+    Lambda {
+        params: lam.params.clone(),
+        body: unfuse_body(b, &lam.body),
+        ret: lam.ret.clone(),
+    }
+}
+
+fn unfuse_exp(b: &mut Builder, e: &Exp) -> Exp {
+    match e {
+        Exp::If {
+            cond,
+            then_br,
+            else_br,
+        } => Exp::If {
+            cond: *cond,
+            then_br: unfuse_body(b, then_br),
+            else_br: unfuse_body(b, else_br),
+        },
+        Exp::Loop {
+            params,
+            index,
+            count,
+            body,
+        } => Exp::Loop {
+            params: params.clone(),
+            index: *index,
+            count: *count,
+            body: unfuse_body(b, body),
+        },
+        Exp::Map { lam, args } => Exp::Map {
+            lam: unfuse_lambda(b, lam),
+            args: args.clone(),
+        },
+        Exp::Reduce { lam, neutral, args } => Exp::Reduce {
+            lam: unfuse_lambda(b, lam),
+            neutral: neutral.clone(),
+            args: args.clone(),
+        },
+        Exp::Scan { lam, neutral, args } => Exp::Scan {
+            lam: unfuse_lambda(b, lam),
+            neutral: neutral.clone(),
+            args: args.clone(),
+        },
+        Exp::WithAcc { arrs, lam } => Exp::WithAcc {
+            arrs: arrs.clone(),
+            lam: unfuse_lambda(b, lam),
+        },
+        Exp::Redomap { .. } => unreachable!("handled at the statement level"),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Atom;
+    use crate::typecheck::check_fun;
+    use crate::types::Type;
+
+    #[test]
+    fn unfused_redomap_typechecks_as_map_reduce() {
+        // sum (map (\x -> x*x) xs) written as a redomap.
+        let mut b = Builder::new();
+        let fun = b.build_fun("sumsq", &[Type::arr_f64(1)], |b, ps| {
+            let r = b.redomap(
+                &[Type::F64],
+                &[Atom::f64(0.0)],
+                &[ps[0]],
+                |b, es| vec![b.fmul(es[0].into(), es[0].into())],
+                |b, rs| vec![b.fadd(rs[0].into(), rs[1].into())],
+            );
+            vec![r[0].into()]
+        });
+        check_fun(&fun).unwrap();
+        let lowered = unfuse(&fun);
+        check_fun(&lowered).unwrap();
+        let kinds: Vec<&str> = lowered.body.stms.iter().map(|s| s.exp.kind()).collect();
+        assert_eq!(kinds, vec!["map", "reduce"]);
+    }
+}

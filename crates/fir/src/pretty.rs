@@ -183,6 +183,21 @@ fn write_exp(out: &mut String, e: &Exp, level: usize) {
                 let _ = write!(out, " {a}");
             }
         }
+        Exp::Redomap {
+            red_lam,
+            map_lam,
+            neutral,
+            args,
+        } => {
+            out.push_str("redomap ");
+            write_lambda(out, red_lam, level);
+            out.push(' ');
+            write_lambda(out, map_lam, level);
+            let _ = write!(out, " ({})", atoms_str(neutral));
+            for a in args {
+                let _ = write!(out, " {a}");
+            }
+        }
         Exp::Hist {
             op,
             num_bins,

@@ -145,6 +145,17 @@ impl Renamer {
                 neutral: neutral.iter().map(|a| self.atom(a)).collect(),
                 args: args.iter().map(|v| self.var(*v)).collect(),
             },
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => Exp::Redomap {
+                red_lam: self.lambda(b, red_lam),
+                map_lam: self.lambda(b, map_lam),
+                neutral: neutral.iter().map(|a| self.atom(a)).collect(),
+                args: args.iter().map(|v| self.var(*v)).collect(),
+            },
             Exp::Hist {
                 op,
                 num_bins,
@@ -172,6 +183,68 @@ impl Renamer {
             },
         }
     }
+}
+
+/// Alpha-rename a whole function so every binder is globally unique
+/// (parameters keep their names). The `vjp` transformation's redundant
+/// scope re-execution re-emits statements with their original binder ids
+/// into sibling scopes — legal shadowing, but passes that key on raw
+/// `VarId`s (CSE, fusion, the VM's flat register allocation) need
+/// uniqueness first.
+pub fn uniquify_fun(fun: &crate::ir::Fun) -> crate::ir::Fun {
+    let mut b = Builder::for_fun(fun);
+    let mut r = Renamer::new();
+    let body = r.body(&mut b, &fun.body);
+    crate::ir::Fun {
+        name: fun.name.clone(),
+        params: fun.params.clone(),
+        body,
+        ret: fun.ret.clone(),
+    }
+}
+
+/// Whether every binder in the function (parameters, statement patterns,
+/// lambda/loop parameters, loop indices) is bound exactly once.
+pub fn has_unique_binders(fun: &crate::ir::Fun) -> bool {
+    use crate::ir::{Body, Exp};
+    use std::collections::HashSet;
+
+    fn exp(e: &Exp, seen: &mut HashSet<VarId>) -> bool {
+        match e {
+            Exp::If {
+                then_br, else_br, ..
+            } => body(then_br, seen) && body(else_br, seen),
+            Exp::Loop {
+                params,
+                index,
+                body: b,
+                ..
+            } => {
+                params.iter().all(|(p, _)| seen.insert(p.var))
+                    && seen.insert(*index)
+                    && body(b, seen)
+            }
+            Exp::Map { lam, .. } | Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => {
+                lambda(lam, seen)
+            }
+            Exp::Redomap {
+                red_lam, map_lam, ..
+            } => lambda(red_lam, seen) && lambda(map_lam, seen),
+            Exp::WithAcc { lam, .. } => lambda(lam, seen),
+            _ => true,
+        }
+    }
+    fn lambda(l: &Lambda, seen: &mut HashSet<VarId>) -> bool {
+        l.params.iter().all(|p| seen.insert(p.var)) && body(&l.body, seen)
+    }
+    fn body(b: &Body, seen: &mut HashSet<VarId>) -> bool {
+        b.stms
+            .iter()
+            .all(|s| s.pat.iter().all(|p| seen.insert(p.var)) && exp(&s.exp, seen))
+    }
+
+    let mut seen = HashSet::new();
+    fun.params.iter().all(|p| seen.insert(p.var)) && body(&fun.body, &mut seen)
 }
 
 /// Convenience wrapper: a fresh copy of a lambda with all bound names

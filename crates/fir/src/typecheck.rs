@@ -360,6 +360,46 @@ fn check_exp(env: &Env, e: &Exp) -> Result<Vec<Type>, TypeError> {
                 Ok(ret)
             }
         }
+        Exp::Redomap {
+            red_lam,
+            map_lam,
+            neutral,
+            args,
+        } => {
+            if args.is_empty() {
+                bail!("redomap with no arguments");
+            }
+            let mut elem_tys = Vec::new();
+            for a in args {
+                let t = env.lookup(*a)?;
+                expect_array(t, "redomap argument")?;
+                elem_tys.push(t.peel());
+            }
+            let out_tys = check_lambda(env, map_lam, &elem_tys, "redomap map")?;
+            if out_tys.iter().any(|t| t.is_acc()) {
+                bail!("redomap map part must not produce accumulators");
+            }
+            if neutral.len() != out_tys.len() {
+                bail!(
+                    "redomap has {} neutral elements for {} mapped results",
+                    neutral.len(),
+                    out_tys.len()
+                );
+            }
+            for (ne, t) in neutral.iter().zip(&out_tys) {
+                let tn = env.atom(ne)?;
+                if tn != *t {
+                    bail!("redomap neutral element has type {tn}, expected {t}");
+                }
+            }
+            let mut red_params = out_tys.clone();
+            red_params.extend(out_tys.iter().copied());
+            let ret = check_lambda(env, red_lam, &red_params, "redomap reduce")?;
+            if ret != out_tys {
+                bail!("redomap operator returns {:?}, expected {:?}", ret, out_tys);
+            }
+            Ok(ret)
+        }
         Exp::Hist {
             num_bins,
             inds,

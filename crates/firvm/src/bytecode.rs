@@ -113,6 +113,19 @@ pub enum Instr {
         args: Box<[Reg]>,
         captures: Box<[Reg]>,
     },
+    /// Fused `reduce ∘ map` (`redomap`): apply the map kernel per element
+    /// and fold its results with the reduce kernel, without materializing
+    /// the intermediate arrays. Chunked like `Reduce`; partials combine
+    /// with the reduce kernel alone.
+    Redomap {
+        red_kernel: usize,
+        map_kernel: usize,
+        dsts: Box<[Reg]>,
+        neutral: Box<[Opnd]>,
+        args: Box<[Reg]>,
+        red_captures: Box<[Reg]>,
+        map_captures: Box<[Reg]>,
+    },
     /// `reduce_by_index` with a recognized operator.
     Hist {
         op: ReduceOp,

@@ -268,6 +268,19 @@ fn hash_exp(e: &Exp, h: &mut DefaultHasher) {
             }
             args.hash(h);
         }
+        Exp::Redomap {
+            red_lam,
+            map_lam,
+            neutral,
+            args,
+        } => {
+            hash_lambda(red_lam, h);
+            hash_lambda(map_lam, h);
+            for a in neutral {
+                hash_atom(a, h);
+            }
+            args.hash(h);
+        }
         Exp::Hist {
             op,
             num_bins,

@@ -24,10 +24,8 @@
 
 use std::collections::HashMap;
 
-use fir::builder::Builder;
 use fir::free_vars::FreeVars;
 use fir::ir::{Atom, BinOp, Body, Const, Exp, Fun, Lambda, Param, VarId};
-use fir::rename::Renamer;
 
 use crate::bytecode::{CodeObject, Instr, Opnd, Program, Reg};
 use crate::kernel::Kernel;
@@ -53,15 +51,7 @@ pub fn compile(fun: &Fun) -> Program {
 
 /// Freshen every bound variable of `fun` (parameters keep their names).
 fn alpha_rename(fun: &Fun) -> Fun {
-    let mut b = Builder::for_fun(fun);
-    let mut r = Renamer::new();
-    let body = r.body(&mut b, &fun.body);
-    Fun {
-        name: fun.name.clone(),
-        params: fun.params.clone(),
-        body,
-        ret: fun.ret.clone(),
-    }
+    fir::rename::uniquify_fun(fun)
 }
 
 /// Scope id given to capture registers: never equal to any statement scope,
@@ -430,6 +420,27 @@ impl FrameCompiler {
                     neutral,
                     args,
                     captures,
+                });
+            }
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => {
+                let (red_kernel, red_captures) = self.compile_kernel(kernels, red_lam);
+                let (map_kernel, map_captures) = self.compile_kernel(kernels, map_lam);
+                let neutral = self.opnds(neutral);
+                let args = self.regs(args);
+                let dsts: Box<[Reg]> = pat.iter().map(|p| self.define(p.var)).collect();
+                self.emit(Instr::Redomap {
+                    red_kernel,
+                    map_kernel,
+                    dsts,
+                    neutral,
+                    args,
+                    red_captures,
+                    map_captures,
                 });
             }
             Exp::Hist {

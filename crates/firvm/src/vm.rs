@@ -166,6 +166,29 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
                     regs[*d as usize] = v;
                 }
             }
+            Instr::Redomap {
+                red_kernel,
+                map_kernel,
+                dsts,
+                neutral,
+                args,
+                red_captures,
+                map_captures,
+            } => {
+                let outs = exec_redomap(
+                    ctx,
+                    *red_kernel,
+                    *map_kernel,
+                    neutral,
+                    args,
+                    red_captures,
+                    map_captures,
+                    regs,
+                );
+                for (d, v) in dsts.iter().zip(outs) {
+                    regs[*d as usize] = v;
+                }
+            }
             Instr::Scan {
                 kernel,
                 dsts,
@@ -476,6 +499,72 @@ fn exec_reduce(
         }
         exec(ctx, &k.code, &mut frame);
         acc = read_ret(&k.code, &frame);
+    }
+    acc
+}
+
+/// Fused `reduce ∘ map`: the map kernel runs per element, its results are
+/// folded with the reduce kernel. Chunking and the partial-combine both
+/// mirror [`exec_reduce`] exactly, so a fused program stays bitwise
+/// identical to the `reduce (map ...)` it replaced in every configuration.
+#[allow(clippy::too_many_arguments)]
+fn exec_redomap(
+    ctx: &ExecCtx,
+    red_kernel: usize,
+    map_kernel: usize,
+    neutral: &[Opnd],
+    args: &[Reg],
+    red_captures: &[Reg],
+    map_captures: &[Reg],
+    regs: &[Value],
+) -> Vec<Value> {
+    let rk = &ctx.prog.kernels[red_kernel];
+    let mk = &ctx.prog.kernels[map_kernel];
+    let rcaps = gather(regs, red_captures);
+    let mcaps = gather(regs, map_captures);
+    let argvals = gather(regs, args);
+    let ne: Vec<Value> = neutral.iter().map(|o| read(regs, o)).collect();
+    let n = argvals
+        .iter()
+        .find_map(|v| match v {
+            Value::Arr(a) => Some(a.len()),
+            _ => None,
+        })
+        .expect("redomap needs at least one array argument");
+    let width = ne.len();
+    let partials: Vec<Vec<Value>> = run_chunked(ctx.cfg, n, &|lo, hi| {
+        let mut mframe = mk.new_frame(&mcaps);
+        let mut rframe = rk.new_frame(&rcaps);
+        let mut acc = ne.clone();
+        for i in lo..hi {
+            write_elem_params(&mut mframe, &argvals, i);
+            exec(ctx, &mk.code, &mut mframe);
+            let vals = read_ret(&mk.code, &mframe);
+            for (j, a) in acc.drain(..).enumerate() {
+                rframe[j] = a;
+            }
+            for (j, v) in vals.into_iter().enumerate() {
+                rframe[width + j] = v;
+            }
+            exec(ctx, &rk.code, &mut rframe);
+            acc = read_ret(&rk.code, &rframe);
+        }
+        acc
+    });
+    if partials.len() == 1 {
+        return partials.into_iter().next().unwrap();
+    }
+    let mut frame = rk.new_frame(&rcaps);
+    let mut acc = ne;
+    for p in partials {
+        for (j, a) in acc.drain(..).enumerate() {
+            frame[j] = a;
+        }
+        for (j, v) in p.into_iter().enumerate() {
+            frame[width + j] = v;
+        }
+        exec(ctx, &rk.code, &mut frame);
+        acc = read_ret(&rk.code, &frame);
     }
     acc
 }

@@ -292,6 +292,12 @@ impl Interp {
             Exp::Map { lam, args } => self.eval_map(env, lam, args),
             Exp::Reduce { lam, neutral, args } => self.eval_reduce(env, lam, neutral, args),
             Exp::Scan { lam, neutral, args } => self.eval_scan(env, lam, neutral, args),
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => self.eval_redomap(env, red_lam, map_lam, neutral, args),
             Exp::Hist {
                 op,
                 num_bins,
@@ -405,6 +411,52 @@ impl Interp {
             let mut lam_args = acc;
             lam_args.extend(p);
             acc = self.eval_lambda(env, lam, lam_args);
+        }
+        acc
+    }
+
+    /// Fused `reduce ∘ map`: per element, apply `map_lam`, then fold the
+    /// results into the accumulator with `red_lam`. Per-chunk folds start
+    /// from the neutral element and partials combine with `red_lam` alone,
+    /// exactly as [`Interp::eval_reduce`] does — so a fused program is
+    /// bitwise identical to the `reduce (map ...)` it was fused from, in
+    /// both sequential and parallel configurations.
+    fn eval_redomap(
+        &self,
+        env: &Env,
+        red_lam: &Lambda,
+        map_lam: &Lambda,
+        neutral: &[Atom],
+        args: &[VarId],
+    ) -> Vec<Value> {
+        let argvals: Vec<Array> = args
+            .iter()
+            .map(|v| env.lookup(*v).as_arr().clone())
+            .collect();
+        let n = argvals[0].len();
+        let ne: Vec<Value> = neutral.iter().map(|a| self.atom(env, a)).collect();
+        let fold_range = |lo: usize, hi: usize| -> Vec<Value> {
+            let mut acc = ne.clone();
+            for i in lo..hi {
+                let elems: Vec<Value> = argvals.iter().map(|a| a.index(&[i])).collect();
+                let vals = self.eval_lambda(env, map_lam, elems);
+                let mut lam_args = acc;
+                lam_args.extend(vals);
+                acc = self.eval_lambda(env, red_lam, lam_args);
+            }
+            acc
+        };
+        if !self.cfg.should_parallelize(n) {
+            return fold_range(0, n);
+        }
+        let partials: Vec<Vec<Value>> =
+            crate::pool::WorkerPool::global()
+                .run_chunked(n, self.cfg.num_threads, &|lo, hi| fold_range(lo, hi));
+        let mut acc = ne.clone();
+        for p in partials {
+            let mut lam_args = acc;
+            lam_args.extend(p);
+            acc = self.eval_lambda(env, red_lam, lam_args);
         }
         acc
     }

@@ -1,0 +1,458 @@
+//! Common-subexpression elimination.
+//!
+//! Statements are keyed by the binder-normalized structural hash of their
+//! right-hand side ([`fir::hash::exp_key`]): a statement whose (substituted)
+//! expression is alpha-equivalent to one already available in an enclosing
+//! scope is dropped, and its bindings become aliases of the earlier ones.
+//! This catches the whole-SOAC duplicates that reverse-mode AD's redundant
+//! re-execution produces, not just repeated scalar operations.
+//!
+//! Sharing rules:
+//!
+//! * Availability is lexically scoped: a binding is available to later
+//!   statements of its own body and to scopes nested inside them, never to
+//!   siblings.
+//! * Expressions that touch accumulators (shared mutable state) are never
+//!   merged, and neither are aliasing-sensitive forms (`copy`, `update`,
+//!   `scatter`, `withacc`, plain atoms — the latter are copy propagation's
+//!   job).
+//! * A merge must not create a second use of a *consumed* array (an
+//!   `update`/`scatter` destination may be moved out of its register by the
+//!   VM's uniqueness analysis, so a consumed name must stay single-use):
+//!   statements binding or reusing such variables are skipped.
+//!
+//! Constants compare by bit pattern (via the structural hash), so `-0.0`
+//! never merges with `0.0` and optimized programs stay bitwise identical to
+//! unoptimized ones.
+
+use std::collections::{HashMap, HashSet};
+
+use fir::hash::{exp_key, ExpKey};
+use fir::ir::{Atom, Body, Exp, Fun, Lambda, Stm, VarId};
+
+/// Apply common-subexpression elimination everywhere in `fun`.
+pub fn cse(fun: &Fun) -> Fun {
+    cse_counted(fun).0
+}
+
+/// [`cse`], also returning the number of statements merged away.
+///
+/// CSE keys availability on raw `VarId`s, so shadowed binders (as `vjp`'s
+/// redundant re-execution produces) would make distinct values look alike;
+/// such input is alpha-renamed to unique binders first.
+pub fn cse_counted(fun: &Fun) -> (Fun, usize) {
+    let renamed;
+    let fun = if fir::rename::has_unique_binders(fun) {
+        fun
+    } else {
+        renamed = fir::rename::uniquify_fun(fun);
+        &renamed
+    };
+    let mut consumed = HashSet::new();
+    collect_consumed(&fun.body, &mut consumed);
+    let mut cx = Cse {
+        consumed,
+        subst: HashMap::new(),
+        avail: Vec::new(),
+        count: 0,
+    };
+    let body = cx.body(&fun.body);
+    (
+        Fun {
+            name: fun.name.clone(),
+            params: fun.params.clone(),
+            body,
+            ret: fun.ret.clone(),
+        },
+        cx.count,
+    )
+}
+
+struct Cse {
+    /// Variables consumed somewhere (update/scatter destinations, withacc
+    /// arrays, accumulator names): never merge into or away from these.
+    consumed: HashSet<VarId>,
+    /// Alias substitution produced by merges (old binder -> kept binder).
+    subst: HashMap<VarId, VarId>,
+    /// Available-expression scopes, innermost last.
+    avail: Vec<HashMap<ExpKey, Vec<VarId>>>,
+    count: usize,
+}
+
+impl Cse {
+    fn body(&mut self, body: &Body) -> Body {
+        self.avail.push(HashMap::new());
+        let mut stms = Vec::with_capacity(body.stms.len());
+        for stm in &body.stms {
+            let exp = self.exp(&stm.exp);
+            if self.mergeable(&exp, stm) {
+                let key = exp_key(&exp);
+                if let Some(prev) = self.lookup(&key) {
+                    if prev.len() == stm.pat.len()
+                        && !prev.iter().any(|v| self.consumed.contains(v))
+                    {
+                        for (p, v) in stm.pat.iter().zip(&prev) {
+                            self.subst.insert(p.var, *v);
+                        }
+                        self.count += 1;
+                        continue;
+                    }
+                }
+                let binders = stm.pat.iter().map(|p| p.var).collect();
+                self.avail
+                    .last_mut()
+                    .expect("scope pushed above")
+                    .insert(key, binders);
+            }
+            stms.push(Stm::new(stm.pat.clone(), exp));
+        }
+        let result = body.result.iter().map(|a| self.atom(a)).collect();
+        self.avail.pop();
+        Body::new(stms, result)
+    }
+
+    fn lookup(&self, key: &ExpKey) -> Option<Vec<VarId>> {
+        self.avail
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(key).cloned())
+    }
+
+    /// Whether this statement may participate in sharing at all.
+    fn mergeable(&self, exp: &Exp, stm: &Stm) -> bool {
+        let shape_ok = match exp {
+            Exp::Atom(_)
+            | Exp::Copy(_)
+            | Exp::Update { .. }
+            | Exp::Scatter { .. }
+            | Exp::WithAcc { .. }
+            | Exp::UpdAcc { .. } => false,
+            other => !mentions_acc(other),
+        };
+        shape_ok
+            && stm.pat.iter().all(|p| !p.ty.is_acc())
+            && !stm.pat.iter().any(|p| self.consumed.contains(&p.var))
+    }
+
+    fn var(&self, v: VarId) -> VarId {
+        self.subst.get(&v).copied().unwrap_or(v)
+    }
+
+    fn atom(&self, a: &Atom) -> Atom {
+        match a {
+            Atom::Var(v) => Atom::Var(self.var(*v)),
+            c => *c,
+        }
+    }
+
+    fn atoms(&self, atoms: &[Atom]) -> Vec<Atom> {
+        atoms.iter().map(|a| self.atom(a)).collect()
+    }
+
+    fn vars(&self, vars: &[VarId]) -> Vec<VarId> {
+        vars.iter().map(|v| self.var(*v)).collect()
+    }
+
+    fn lambda(&mut self, lam: &Lambda) -> Lambda {
+        Lambda {
+            params: lam.params.clone(),
+            body: self.body(&lam.body),
+            ret: lam.ret.clone(),
+        }
+    }
+
+    /// Rewrite an expression: apply the alias substitution to its operands
+    /// and recurse into nested scopes.
+    fn exp(&mut self, e: &Exp) -> Exp {
+        match e {
+            Exp::Atom(a) => Exp::Atom(self.atom(a)),
+            Exp::UnOp(op, a) => Exp::UnOp(*op, self.atom(a)),
+            Exp::BinOp(op, a, b) => Exp::BinOp(*op, self.atom(a), self.atom(b)),
+            Exp::Select { cond, t, f } => Exp::Select {
+                cond: self.atom(cond),
+                t: self.atom(t),
+                f: self.atom(f),
+            },
+            Exp::Index { arr, idx } => Exp::Index {
+                arr: self.var(*arr),
+                idx: self.atoms(idx),
+            },
+            Exp::Update { arr, idx, val } => Exp::Update {
+                arr: self.var(*arr),
+                idx: self.atoms(idx),
+                val: self.atom(val),
+            },
+            Exp::Len(v) => Exp::Len(self.var(*v)),
+            Exp::Iota(n) => Exp::Iota(self.atom(n)),
+            Exp::Replicate { n, val } => Exp::Replicate {
+                n: self.atom(n),
+                val: self.atom(val),
+            },
+            Exp::Reverse(v) => Exp::Reverse(self.var(*v)),
+            Exp::Copy(v) => Exp::Copy(self.var(*v)),
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => Exp::If {
+                cond: self.atom(cond),
+                then_br: self.body(then_br),
+                else_br: self.body(else_br),
+            },
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => Exp::Loop {
+                params: params
+                    .iter()
+                    .map(|(p, init)| (*p, self.atom(init)))
+                    .collect(),
+                index: *index,
+                count: self.atom(count),
+                body: self.body(body),
+            },
+            Exp::Map { lam, args } => Exp::Map {
+                lam: self.lambda(lam),
+                args: self.vars(args),
+            },
+            Exp::Reduce { lam, neutral, args } => Exp::Reduce {
+                lam: self.lambda(lam),
+                neutral: self.atoms(neutral),
+                args: self.vars(args),
+            },
+            Exp::Scan { lam, neutral, args } => Exp::Scan {
+                lam: self.lambda(lam),
+                neutral: self.atoms(neutral),
+                args: self.vars(args),
+            },
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => Exp::Redomap {
+                red_lam: self.lambda(red_lam),
+                map_lam: self.lambda(map_lam),
+                neutral: self.atoms(neutral),
+                args: self.vars(args),
+            },
+            Exp::Hist {
+                op,
+                num_bins,
+                inds,
+                vals,
+            } => Exp::Hist {
+                op: *op,
+                num_bins: self.atom(num_bins),
+                inds: self.var(*inds),
+                vals: self.var(*vals),
+            },
+            Exp::Scatter { dest, inds, vals } => Exp::Scatter {
+                dest: self.var(*dest),
+                inds: self.var(*inds),
+                vals: self.var(*vals),
+            },
+            Exp::WithAcc { arrs, lam } => Exp::WithAcc {
+                arrs: self.vars(arrs),
+                lam: self.lambda(lam),
+            },
+            Exp::UpdAcc { acc, idx, val } => Exp::UpdAcc {
+                acc: self.var(*acc),
+                idx: self.atoms(idx),
+                val: self.atom(val),
+            },
+        }
+    }
+}
+
+/// Whether an expression touches accumulators anywhere.
+fn mentions_acc(e: &Exp) -> bool {
+    fn lambda(l: &Lambda) -> bool {
+        l.params.iter().any(|p| p.ty.is_acc()) || l.ret.iter().any(|t| t.is_acc()) || body(&l.body)
+    }
+    fn body(b: &Body) -> bool {
+        b.stms
+            .iter()
+            .any(|s| s.pat.iter().any(|p| p.ty.is_acc()) || mentions_acc(&s.exp))
+    }
+    match e {
+        Exp::UpdAcc { .. } | Exp::WithAcc { .. } => true,
+        Exp::If {
+            then_br, else_br, ..
+        } => body(then_br) || body(else_br),
+        Exp::Loop { body: b, .. } => body(b),
+        Exp::Map { lam, .. } | Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => lambda(lam),
+        Exp::Redomap {
+            red_lam, map_lam, ..
+        } => lambda(red_lam) || lambda(map_lam),
+        _ => false,
+    }
+}
+
+/// Collect every variable that is consumed (or aliased into shared mutable
+/// state) anywhere in the body, at any depth.
+fn collect_consumed(body: &Body, out: &mut HashSet<VarId>) {
+    fn exp(e: &Exp, out: &mut HashSet<VarId>) {
+        match e {
+            Exp::Update { arr, .. } => {
+                out.insert(*arr);
+            }
+            Exp::Scatter { dest, .. } => {
+                out.insert(*dest);
+            }
+            Exp::WithAcc { arrs, lam } => {
+                out.extend(arrs.iter().copied());
+                collect_consumed(&lam.body, out);
+            }
+            Exp::UpdAcc { acc, .. } => {
+                out.insert(*acc);
+            }
+            Exp::If {
+                then_br, else_br, ..
+            } => {
+                collect_consumed(then_br, out);
+                collect_consumed(else_br, out);
+            }
+            Exp::Loop { body, .. } => collect_consumed(body, out),
+            Exp::Map { lam, .. } | Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => {
+                collect_consumed(&lam.body, out)
+            }
+            Exp::Redomap {
+                red_lam, map_lam, ..
+            } => {
+                collect_consumed(&red_lam.body, out);
+                collect_consumed(&map_lam.body, out);
+            }
+            _ => {}
+        }
+    }
+    for s in &body.stms {
+        exp(&s.exp, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_stms;
+    use fir::builder::Builder;
+    use fir::typecheck::check_fun;
+    use fir::types::Type;
+    use interp::{Interp, Value};
+
+    #[test]
+    fn repeated_scalar_work_is_shared() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("twice", &[Type::F64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let a = b.fmul(x, x);
+            let c = b.fmul(x, x); // same computation, fresh binder
+            vec![b.fadd(a, c)]
+        });
+        let (out, n) = cse_counted(&fun);
+        assert_eq!(n, 1);
+        check_fun(&out).unwrap();
+        let r = Interp::sequential().run(&out, &[Value::F64(3.0)]);
+        assert_eq!(r[0].as_f64(), 18.0);
+    }
+
+    #[test]
+    fn identical_maps_merge_despite_different_binders() {
+        // Two separately-built (alpha-distinct) squaring maps over the same
+        // array — exactly what AD's redundant re-execution emits.
+        let mut b = Builder::new();
+        let fun = b.build_fun("dup_maps", &[Type::arr_f64(1)], |b, ps| {
+            let m1 = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            let m2 = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            let s1 = b.sum(m1);
+            let s2 = b.sum(m2);
+            vec![b.fadd(s1.into(), s2.into())]
+        });
+        let (out, n) = cse_counted(&fun);
+        assert!(n >= 2, "both the map and the reduce must merge, got {n}");
+        check_fun(&out).unwrap();
+        assert!(count_stms(&out) < count_stms(&fun));
+        let args = [Value::from(vec![1.0, 2.0, 3.0])];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&out, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b2.to_bits());
+    }
+
+    #[test]
+    fn enclosing_definitions_are_available_inside_lambdas() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("outer_in", &[Type::F64, Type::arr_f64(1)], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let e = b.fexp(x);
+            let m = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
+                let e2 = b.fexp(x); // recomputed per element; merges with outer
+                vec![b.fmul(es[0].into(), e2)]
+            });
+            let s = b.sum(m);
+            vec![b.fadd(e, s.into())]
+        });
+        let (out, n) = cse_counted(&fun);
+        assert_eq!(n, 1);
+        check_fun(&out).unwrap();
+        let args = [Value::F64(0.5), Value::from(vec![1.0, 2.0])];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&out, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b2.to_bits());
+    }
+
+    #[test]
+    fn sibling_scopes_do_not_share() {
+        // The same expression in both branches of an `if` must not merge
+        // across branches (neither branch dominates the other).
+        let mut b = Builder::new();
+        let fun = b.build_fun("branches", &[Type::F64, Type::BOOL], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let r = b.if_(
+                Atom::Var(ps[1]),
+                &[Type::F64],
+                |b| vec![b.fmul(x, x)],
+                |b| vec![b.fmul(x, x)],
+            );
+            vec![r[0].into()]
+        });
+        let (out, n) = cse_counted(&fun);
+        assert_eq!(n, 0);
+        assert_eq!(out, fun);
+    }
+
+    #[test]
+    fn consumed_arrays_never_merge() {
+        // Two identical copies, each updated in place: merging them would
+        // make one array receive both updates.
+        let mut b = Builder::new();
+        let fun = b.build_fun("upd", &[Type::arr_f64(1)], |b, ps| {
+            let c1 = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fadd(es[0].into(), Atom::f64(0.5))]
+            });
+            let c2 = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fadd(es[0].into(), Atom::f64(0.5))]
+            });
+            let u1 = b.update(c1, &[Atom::i64(0)], Atom::f64(1.0));
+            let u2 = b.update(c2, &[Atom::i64(0)], Atom::f64(2.0));
+            let s1 = b.sum(u1);
+            let s2 = b.sum(u2);
+            vec![b.fadd(s1.into(), s2.into())]
+        });
+        let (out, _) = cse_counted(&fun);
+        check_fun(&out).unwrap();
+        let args = [Value::from(vec![0.0, 0.0])];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&out, &args)[0].as_f64();
+        assert_eq!(
+            a.to_bits(),
+            b2.to_bits(),
+            "updated arrays must stay distinct"
+        );
+    }
+}

@@ -1,0 +1,811 @@
+//! Producer–consumer SOAC fusion.
+//!
+//! Two rewrites, applied wherever a `map`'s outputs are consumed by exactly
+//! one later SOAC in the same body (and nowhere else):
+//!
+//! * **map–map (vertical) fusion** — `map g (map f xs)` becomes
+//!   `map (g ∘ f) xs`: the producer's body is inlined ahead of the
+//!   consumer's, the intermediate arrays are never materialized.
+//! * **map–reduce fusion** — `reduce op ne (map f xs)` becomes the fused
+//!   [`Exp::Redomap`] `redomap op f ne xs`, the paper's *redomap*. A `map`
+//!   producing into an existing `redomap`'s map part fuses the same way, so
+//!   chains collapse over the fixpoint iterations.
+//!
+//! Fusion never duplicates work: it fires only when *every* use of every
+//! produced array is an element-argument of the single consumer (uses as a
+//! lambda capture, in a neutral element, in a body result, or in any other
+//! statement block the rewrite). Per element the fused program executes the
+//! same scalar operations in the same order as the unfused one, and the
+//! backends chunk `redomap` exactly like `reduce`, so results are bitwise
+//! identical in every configuration.
+//!
+//! A third rewrite, **replicate–map fusion**, drops `map` (and `redomap`)
+//! arguments that are visibly `replicate n v`: the corresponding lambda
+//! parameter becomes a binding of `v` (a capture), the element is never
+//! indexed, and once the replicate has no other use DCE erases it together
+//! with the `length` that fed it. The adjoint code reverse-mode AD emits
+//! broadcasts seeds this way in every `map` rule, so this fires all over
+//! derived functions.
+
+use std::collections::HashMap;
+
+use fir::builder::Builder;
+use fir::free_vars::FreeVars;
+use fir::ir::{Atom, Body, Exp, Fun, Lambda, Param, Stm, VarId};
+use fir::rename::Renamer;
+use fir::types::Type;
+
+/// Apply producer–consumer fusion everywhere in `fun`.
+pub fn fuse_soacs(fun: &Fun) -> Fun {
+    fuse_soacs_counted(fun).0
+}
+
+/// [`fuse_soacs`], also returning the number of fusions performed.
+///
+/// Fusion counts variable occurrences by raw `VarId`, so shadowed binders
+/// are alpha-renamed to unique names first (shadowing would only ever
+/// over-count and block fusions, but renaming keeps the pass effective on
+/// `vjp`-produced IR).
+pub fn fuse_soacs_counted(fun: &Fun) -> (Fun, usize) {
+    let renamed;
+    let fun = if fir::rename::has_unique_binders(fun) {
+        fun
+    } else {
+        renamed = fir::rename::uniquify_fun(fun);
+        &renamed
+    };
+    let mut cx = Fuser {
+        b: Builder::for_fun(fun),
+        count: 0,
+        repl: Vec::new(),
+    };
+    let body = cx.body(&fun.body);
+    (
+        Fun {
+            name: fun.name.clone(),
+            params: fun.params.clone(),
+            body,
+            ret: fun.ret.clone(),
+        },
+        cx.count,
+    )
+}
+
+struct Fuser {
+    b: Builder,
+    count: usize,
+    /// Scope stack of visible `let v = replicate n val` bindings
+    /// (`v -> val`), for replicate–map fusion.
+    repl: Vec<HashMap<VarId, Atom>>,
+}
+
+impl Fuser {
+    /// Rewrite a body: fuse in nested scopes first, then repeatedly fuse
+    /// producer/consumer pairs among this body's own statements.
+    fn body(&mut self, body: &Body) -> Body {
+        self.repl.push(HashMap::new());
+        let mut stms: Vec<Stm> = Vec::with_capacity(body.stms.len());
+        for s in &body.stms {
+            let exp = self.exp(&s.exp);
+            if let (Exp::Replicate { val, .. }, [p]) = (&exp, &s.pat[..]) {
+                let val = *val;
+                self.repl
+                    .last_mut()
+                    .expect("scope pushed")
+                    .insert(p.var, val);
+            }
+            stms.push(Stm::new(s.pat.clone(), exp));
+        }
+        self.repl.pop();
+        while let Some(next) = self.fuse_once(&stms, &body.result) {
+            stms = next;
+            self.count += 1;
+        }
+        Body::new(stms, body.result.clone())
+    }
+
+    fn replicated_as(&self, v: VarId) -> Option<Atom> {
+        self.repl
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(&v).copied())
+    }
+
+    /// Replicate–map fusion: drop arguments that are visibly `replicate`,
+    /// re-binding their lambda parameters to the replicated value. The
+    /// *first* argument is always kept — it supplies the map's iteration
+    /// count on both backends, and the replicate's count need not match the
+    /// other arguments' lengths. Only scalar-element replicates fuse: the
+    /// rewrite moves the read of the replicated value to the map's
+    /// position, and an array-valued replicand could be consumed
+    /// (update/scatter) in between.
+    fn strip_replicate_args(&mut self, lam: Lambda, args: Vec<VarId>) -> (Lambda, Vec<VarId>) {
+        let vals: Vec<Option<Atom>> = args
+            .iter()
+            .zip(&lam.params)
+            .enumerate()
+            .map(|(i, (v, p))| {
+                if i > 0 && p.ty.is_scalar() {
+                    self.replicated_as(*v)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let eliminable = vals.iter().filter(|v| v.is_some()).count();
+        if eliminable == 0 || lam.params.len() != args.len() {
+            return (lam, args);
+        }
+        let mut params = Vec::new();
+        let mut kept_args = Vec::new();
+        let mut aliases = Vec::new();
+        for ((param, arg), val) in lam.params.iter().zip(&args).zip(&vals) {
+            match val {
+                Some(v) => {
+                    aliases.push(Stm::new(vec![*param], Exp::Atom(*v)));
+                    self.count += 1;
+                }
+                None => {
+                    params.push(*param);
+                    kept_args.push(*arg);
+                }
+            }
+        }
+        let mut stms = aliases;
+        stms.extend(lam.body.stms);
+        (
+            Lambda {
+                params,
+                body: Body::new(stms, lam.body.result),
+                ret: lam.ret,
+            },
+            kept_args,
+        )
+    }
+
+    fn lambda(&mut self, lam: &Lambda) -> Lambda {
+        Lambda {
+            params: lam.params.clone(),
+            body: self.body(&lam.body),
+            ret: lam.ret.clone(),
+        }
+    }
+
+    fn exp(&mut self, e: &Exp) -> Exp {
+        match e {
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => Exp::If {
+                cond: *cond,
+                then_br: self.body(then_br),
+                else_br: self.body(else_br),
+            },
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => Exp::Loop {
+                params: params.clone(),
+                index: *index,
+                count: *count,
+                body: self.body(body),
+            },
+            Exp::Map { lam, args } => {
+                let lam = self.lambda(lam);
+                let (lam, args) = self.strip_replicate_args(lam, args.clone());
+                Exp::Map { lam, args }
+            }
+            Exp::Reduce { lam, neutral, args } => Exp::Reduce {
+                lam: self.lambda(lam),
+                neutral: neutral.clone(),
+                args: args.clone(),
+            },
+            Exp::Scan { lam, neutral, args } => Exp::Scan {
+                lam: self.lambda(lam),
+                neutral: neutral.clone(),
+                args: args.clone(),
+            },
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => {
+                let red_lam = self.lambda(red_lam);
+                let map_lam = self.lambda(map_lam);
+                let (map_lam, args) = self.strip_replicate_args(map_lam, args.clone());
+                Exp::Redomap {
+                    red_lam,
+                    map_lam,
+                    neutral: neutral.clone(),
+                    args,
+                }
+            }
+            Exp::WithAcc { arrs, lam } => Exp::WithAcc {
+                arrs: arrs.clone(),
+                lam: self.lambda(lam),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Find one fusable producer/consumer pair in `stms` and rewrite it.
+    ///
+    /// Occurrence counts are recomputed after every rewrite; the cost is
+    /// quadratic-ish in the body size, which is fine for a compile-once,
+    /// fingerprint-cached pipeline (the largest AD-derived workload bodies
+    /// are on the order of a thousand statements).
+    fn fuse_once(&mut self, stms: &[Stm], result: &[Atom]) -> Option<Vec<Stm>> {
+        let uses = occurrence_counts(stms, result);
+        for (i, prod) in stms.iter().enumerate() {
+            let Exp::Map {
+                lam: p_lam,
+                args: p_args,
+            } = &prod.exp
+            else {
+                continue;
+            };
+            if lambda_mentions_acc(p_lam) || prod.pat.iter().any(|p| p.ty.is_acc()) {
+                continue;
+            }
+            // The first later statement using any produced array.
+            let produced: HashMap<VarId, usize> = prod
+                .pat
+                .iter()
+                .enumerate()
+                .map(|(j, p)| (p.var, j))
+                .collect();
+            let Some(j) = stms
+                .iter()
+                .enumerate()
+                .skip(i + 1)
+                .find_map(|(j, s)| exp_uses_any(&s.exp, &produced).then_some(j))
+            else {
+                continue;
+            };
+            // Fusing moves every read the producer performs — its argument
+            // arrays *and* its lambda's captured free variables — from
+            // position `i` to position `j`. A statement in between that
+            // *consumes* any of them (update/scatter destinations may be
+            // moved out of their binding by the backends' uniqueness
+            // analysis) would then be read after consumption — blocked.
+            let mut moved_reads = p_lam.free_vars();
+            moved_reads.extend(p_args.iter().copied());
+            let input_consumed_between = stms[i + 1..j].iter().any(|s| match &s.exp {
+                Exp::Update { arr, .. } => moved_reads.contains(arr),
+                Exp::Scatter { dest, .. } => moved_reads.contains(dest),
+                _ => false,
+            });
+            if input_consumed_between {
+                continue;
+            }
+            let cons = &stms[j];
+            let Some(fused_exp) = self.try_fuse(prod, p_lam, p_args, &produced, cons, &uses) else {
+                continue;
+            };
+            let mut next: Vec<Stm> = stms.to_vec();
+            next[j] = Stm::new(cons.pat.clone(), fused_exp);
+            next.remove(i);
+            return Some(next);
+        }
+        None
+    }
+
+    /// Fuse `prod` into the consumer statement, if the consumer is a
+    /// fusable SOAC and every use of every produced array is one of its
+    /// element arguments.
+    fn try_fuse(
+        &mut self,
+        prod: &Stm,
+        p_lam: &Lambda,
+        p_args: &[VarId],
+        produced: &HashMap<VarId, usize>,
+        cons: &Stm,
+        uses: &HashMap<VarId, usize>,
+    ) -> Option<Exp> {
+        let consumable = |c_args: &[VarId]| {
+            prod.pat.iter().all(|p| {
+                let total = uses.get(&p.var).copied().unwrap_or(0);
+                let as_elem = c_args.iter().filter(|a| **a == p.var).count();
+                total == as_elem
+            })
+        };
+        match &cons.exp {
+            Exp::Map {
+                lam: c_lam,
+                args: c_args,
+            } => {
+                if lambda_mentions_acc(c_lam) || !consumable(c_args) {
+                    return None;
+                }
+                let (lam, args) = self.fuse_map_stage(p_lam, p_args, produced, c_lam, c_args);
+                Some(Exp::Map { lam, args })
+            }
+            Exp::Reduce {
+                lam: red_lam,
+                neutral,
+                args: c_args,
+            } => {
+                if lambda_mentions_acc(red_lam) || !consumable(c_args) {
+                    return None;
+                }
+                // Synthesize the identity map stage of a redomap, then fuse
+                // the producer into it like any other map.
+                let k = c_args.len();
+                let elem_tys: Vec<Type> = red_lam.params[..k].iter().map(|p| p.ty).collect();
+                let id_params: Vec<Param> = elem_tys
+                    .iter()
+                    .map(|t| Param::new(self.b.fresh(*t), *t))
+                    .collect();
+                let id_lam = Lambda {
+                    body: Body::new(
+                        Vec::new(),
+                        id_params.iter().map(|p| Atom::Var(p.var)).collect(),
+                    ),
+                    params: id_params,
+                    ret: elem_tys,
+                };
+                let (map_lam, args) = self.fuse_map_stage(p_lam, p_args, produced, &id_lam, c_args);
+                Some(Exp::Redomap {
+                    red_lam: red_lam.clone(),
+                    map_lam,
+                    neutral: neutral.clone(),
+                    args,
+                })
+            }
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args: c_args,
+            } => {
+                if lambda_mentions_acc(map_lam) || !consumable(c_args) {
+                    return None;
+                }
+                let (map_lam, args) = self.fuse_map_stage(p_lam, p_args, produced, map_lam, c_args);
+                Some(Exp::Redomap {
+                    red_lam: red_lam.clone(),
+                    map_lam,
+                    neutral: neutral.clone(),
+                    args,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The core inlining step: compose a producer `map f p_args` into a
+    /// consumer map stage `(c_lam, c_args)`. Consumer parameters bound to
+    /// produced arrays are re-bound to the producer's (alpha-renamed)
+    /// results; the producer's inputs become additional arguments
+    /// (de-duplicated where possible). Copy propagation cleans up the
+    /// introduced aliases on the next pipeline iteration.
+    ///
+    /// Argument order preserves the iteration count: both backends take a
+    /// map's length from its *first* array argument, so when the consumer's
+    /// first argument is a produced array (length = the producer's length =
+    /// the length of the producer's first argument), the producer's
+    /// arguments lead the fused list; otherwise the consumer's first
+    /// argument is retained in front. Secondary arguments longer than the
+    /// iteration count are legal and must stay ignored, exactly as before
+    /// fusion.
+    fn fuse_map_stage(
+        &mut self,
+        p_lam: &Lambda,
+        p_args: &[VarId],
+        produced: &HashMap<VarId, usize>,
+        c_lam: &Lambda,
+        c_args: &[VarId],
+    ) -> (Lambda, Vec<VarId>) {
+        let producer_first = produced.contains_key(&c_args[0]);
+        let mut fused_params: Vec<Param> = Vec::new();
+        let mut fused_args: Vec<VarId> = Vec::new();
+        let mut param_of_arg: HashMap<VarId, VarId> = HashMap::new();
+        let mut ren = Renamer::new();
+        let add_producer_args =
+            |cx: &mut Fuser,
+             ren: &mut Renamer,
+             fused_params: &mut Vec<Param>,
+             fused_args: &mut Vec<VarId>,
+             param_of_arg: &mut HashMap<VarId, VarId>| {
+                for (pparam, parg) in p_lam.params.iter().zip(p_args) {
+                    match param_of_arg.get(parg) {
+                        Some(v) => ren.insert(pparam.var, *v),
+                        None => {
+                            let v = cx.b.fresh(pparam.ty);
+                            param_of_arg.insert(*parg, v);
+                            fused_params.push(Param::new(v, pparam.ty));
+                            fused_args.push(*parg);
+                            ren.insert(pparam.var, v);
+                        }
+                    }
+                }
+            };
+        if producer_first {
+            add_producer_args(
+                self,
+                &mut ren,
+                &mut fused_params,
+                &mut fused_args,
+                &mut param_of_arg,
+            );
+        }
+        // Retained consumer arguments: keep their original parameters. An
+        // argument already supplied by the producer group (producer-first
+        // order) is not passed twice — its consumer parameter becomes an
+        // alias of the producer-group parameter instead.
+        let mut retained_aliases: Vec<Stm> = Vec::new();
+        for (param, arg) in c_lam.params.iter().zip(c_args) {
+            if produced.contains_key(arg) {
+                continue;
+            }
+            if let Some(v) = param_of_arg.get(arg) {
+                if producer_first {
+                    retained_aliases.push(Stm::new(vec![*param], Exp::Atom(Atom::Var(*v))));
+                    continue;
+                }
+            }
+            fused_params.push(*param);
+            fused_args.push(*arg);
+            param_of_arg.entry(*arg).or_insert(param.var);
+        }
+        if !producer_first {
+            add_producer_args(
+                self,
+                &mut ren,
+                &mut fused_params,
+                &mut fused_args,
+                &mut param_of_arg,
+            );
+        }
+        let p_body = ren.body(&mut self.b, &p_lam.body);
+        let mut stms = p_body.stms;
+        stms.extend(retained_aliases);
+        for (cparam, carg) in c_lam.params.iter().zip(c_args) {
+            if let Some(j) = produced.get(carg) {
+                stms.push(Stm::new(vec![*cparam], Exp::Atom(p_body.result[*j])));
+            }
+        }
+        stms.extend(c_lam.body.stms.iter().cloned());
+        (
+            Lambda {
+                params: fused_params,
+                body: Body::new(stms, c_lam.body.result.clone()),
+                ret: c_lam.ret.clone(),
+            },
+            fused_args,
+        )
+    }
+}
+
+/// Whether a lambda touches accumulators anywhere (params, results, or any
+/// nested accumulator update) — such SOACs have effects on shared state and
+/// are never fused.
+fn lambda_mentions_acc(lam: &Lambda) -> bool {
+    fn exp(e: &Exp) -> bool {
+        match e {
+            Exp::UpdAcc { .. } | Exp::WithAcc { .. } => true,
+            Exp::If {
+                then_br, else_br, ..
+            } => body(then_br) || body(else_br),
+            Exp::Loop { body: b, .. } => body(b),
+            Exp::Map { lam, .. } | Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => {
+                lambda_mentions_acc(lam)
+            }
+            Exp::Redomap {
+                red_lam, map_lam, ..
+            } => lambda_mentions_acc(red_lam) || lambda_mentions_acc(map_lam),
+            _ => false,
+        }
+    }
+    fn body(b: &Body) -> bool {
+        b.stms
+            .iter()
+            .any(|s| s.pat.iter().any(|p| p.ty.is_acc()) || exp(&s.exp))
+    }
+    lam.params.iter().any(|p| p.ty.is_acc())
+        || lam.ret.iter().any(|t| t.is_acc())
+        || body(&lam.body)
+}
+
+/// Occurrence counts of every variable used (at any depth) in the given
+/// statements and result atoms. Binding occurrences do not count; variable
+/// names are globally unique in builder-produced IR, so no shadowing
+/// adjustment is needed.
+fn occurrence_counts(stms: &[Stm], result: &[Atom]) -> HashMap<VarId, usize> {
+    let mut counts = HashMap::new();
+    for s in stms {
+        count_exp(&s.exp, &mut counts);
+    }
+    for a in result {
+        count_atom(a, &mut counts);
+    }
+    counts
+}
+
+fn count_var(v: VarId, counts: &mut HashMap<VarId, usize>) {
+    *counts.entry(v).or_default() += 1;
+}
+
+fn count_atom(a: &Atom, counts: &mut HashMap<VarId, usize>) {
+    if let Atom::Var(v) = a {
+        count_var(*v, counts);
+    }
+}
+
+fn count_body(b: &Body, counts: &mut HashMap<VarId, usize>) {
+    for s in &b.stms {
+        count_exp(&s.exp, counts);
+    }
+    for a in &b.result {
+        count_atom(a, counts);
+    }
+}
+
+fn count_lambda(l: &Lambda, counts: &mut HashMap<VarId, usize>) {
+    count_body(&l.body, counts);
+}
+
+fn count_exp(e: &Exp, counts: &mut HashMap<VarId, usize>) {
+    match e {
+        Exp::Atom(a) | Exp::UnOp(_, a) | Exp::Iota(a) => count_atom(a, counts),
+        Exp::BinOp(_, a, b) => {
+            count_atom(a, counts);
+            count_atom(b, counts);
+        }
+        Exp::Select { cond, t, f } => {
+            count_atom(cond, counts);
+            count_atom(t, counts);
+            count_atom(f, counts);
+        }
+        Exp::Index { arr, idx } => {
+            count_var(*arr, counts);
+            idx.iter().for_each(|a| count_atom(a, counts));
+        }
+        Exp::Update { arr, idx, val } => {
+            count_var(*arr, counts);
+            idx.iter().for_each(|a| count_atom(a, counts));
+            count_atom(val, counts);
+        }
+        Exp::Len(v) | Exp::Reverse(v) | Exp::Copy(v) => count_var(*v, counts),
+        Exp::Replicate { n, val } => {
+            count_atom(n, counts);
+            count_atom(val, counts);
+        }
+        Exp::If {
+            cond,
+            then_br,
+            else_br,
+        } => {
+            count_atom(cond, counts);
+            count_body(then_br, counts);
+            count_body(else_br, counts);
+        }
+        Exp::Loop {
+            params,
+            count,
+            body,
+            ..
+        } => {
+            for (_, init) in params {
+                count_atom(init, counts);
+            }
+            count_atom(count, counts);
+            count_body(body, counts);
+        }
+        Exp::Map { lam, args } => {
+            count_lambda(lam, counts);
+            args.iter().for_each(|v| count_var(*v, counts));
+        }
+        Exp::Reduce { lam, neutral, args } | Exp::Scan { lam, neutral, args } => {
+            count_lambda(lam, counts);
+            neutral.iter().for_each(|a| count_atom(a, counts));
+            args.iter().for_each(|v| count_var(*v, counts));
+        }
+        Exp::Redomap {
+            red_lam,
+            map_lam,
+            neutral,
+            args,
+        } => {
+            count_lambda(red_lam, counts);
+            count_lambda(map_lam, counts);
+            neutral.iter().for_each(|a| count_atom(a, counts));
+            args.iter().for_each(|v| count_var(*v, counts));
+        }
+        Exp::Hist {
+            num_bins,
+            inds,
+            vals,
+            ..
+        } => {
+            count_atom(num_bins, counts);
+            count_var(*inds, counts);
+            count_var(*vals, counts);
+        }
+        Exp::Scatter { dest, inds, vals } => {
+            count_var(*dest, counts);
+            count_var(*inds, counts);
+            count_var(*vals, counts);
+        }
+        Exp::WithAcc { arrs, lam } => {
+            arrs.iter().for_each(|v| count_var(*v, counts));
+            count_lambda(lam, counts);
+        }
+        Exp::UpdAcc { acc, idx, val } => {
+            count_var(*acc, counts);
+            idx.iter().for_each(|a| count_atom(a, counts));
+            count_atom(val, counts);
+        }
+    }
+}
+
+/// Whether an expression uses any of the given variables (at any depth).
+fn exp_uses_any(e: &Exp, vars: &HashMap<VarId, usize>) -> bool {
+    let mut counts = HashMap::new();
+    count_exp(e, &mut counts);
+    vars.keys().any(|v| counts.contains_key(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_stms;
+    use fir::typecheck::check_fun;
+    use fir::types::Type;
+    use interp::{Interp, Value};
+
+    /// sum (map (+1) (map (*2) xs)) — both fusions should fire.
+    fn chain() -> Fun {
+        let mut b = Builder::new();
+        b.build_fun("chain", &[Type::arr_f64(1)], |b, ps| {
+            let doubled = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), Atom::f64(2.0))]
+            });
+            let shifted = b.map1(Type::arr_f64(1), &[doubled], |b, es| {
+                vec![b.fadd(es[0].into(), Atom::f64(1.0))]
+            });
+            vec![b.sum(shifted).into()]
+        })
+    }
+
+    #[test]
+    fn map_map_and_map_reduce_fuse_to_a_single_redomap() {
+        let fun = chain();
+        let (fused, n) = fuse_soacs_counted(&fun);
+        assert_eq!(n, 2, "map-map then map-reduce fusion must both fire");
+        check_fun(&fused).unwrap();
+        let kinds: Vec<&str> = fused.body.stms.iter().map(|s| s.exp.kind()).collect();
+        assert_eq!(kinds, vec!["redomap"], "chain must collapse to one redomap");
+        // Fusion introduces parameter aliases; copy propagation cleans
+        // them up, leaving strictly less code than the unfused chain.
+        assert!(count_stms(&crate::simplify(&fused)) < count_stms(&fun));
+        let args = [Value::from(vec![1.0, 2.0, 3.0])];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b = Interp::sequential().run(&fused, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn multi_use_producers_are_not_fused() {
+        // The intermediate is consumed by the reduce AND returned: fusing
+        // would duplicate work (and drop a result), so nothing may fire.
+        let mut b = Builder::new();
+        let fun = b.build_fun("shared", &[Type::arr_f64(1)], |b, ps| {
+            let doubled = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), Atom::f64(2.0))]
+            });
+            let s = b.sum(doubled);
+            vec![Atom::Var(doubled), s.into()]
+        });
+        let (fused, n) = fuse_soacs_counted(&fun);
+        assert_eq!(n, 0);
+        assert_eq!(fused, fun);
+    }
+
+    #[test]
+    fn fusion_dedups_shared_arguments() {
+        // map2 (\d x -> d + x) (map (*2) xs) xs: xs feeds both the producer
+        // and the consumer; the fused map must take xs exactly once.
+        let mut b = Builder::new();
+        let fun = b.build_fun("shared_arg", &[Type::arr_f64(1)], |b, ps| {
+            let doubled = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), Atom::f64(2.0))]
+            });
+            let combined = b.map1(Type::arr_f64(1), &[doubled, ps[0]], |b, es| {
+                vec![b.fadd(es[0].into(), es[1].into())]
+            });
+            vec![Atom::Var(combined)]
+        });
+        let (fused, n) = fuse_soacs_counted(&fun);
+        assert_eq!(n, 1);
+        check_fun(&fused).unwrap();
+        match &fused.body.stms[0].exp {
+            Exp::Map { args, .. } => assert_eq!(args.len(), 1, "xs must be de-duplicated"),
+            other => panic!("expected fused map, got {}", other.kind()),
+        }
+        let args = [Value::from(vec![1.0, 2.5, -3.0])];
+        let a = Interp::sequential().run(&fun, &args);
+        let b2 = Interp::sequential().run(&fused, &args);
+        assert_eq!(a[0].as_arr().f64s(), b2[0].as_arr().f64s());
+    }
+
+    #[test]
+    fn fusion_never_moves_reads_past_a_consuming_update() {
+        // `let m = map f A; let A2 = update A ...; let r = reduce + m`:
+        // fusing m into the reduce would read A *after* the update consumed
+        // it (both backends move same-scope update destinations out of
+        // their binding), crashing a valid program. Must not fire.
+        let mut b = Builder::new();
+        let fun = b.build_fun("consume", &[Type::arr_f64(1)], |b, ps| {
+            let m = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), Atom::f64(2.0))]
+            });
+            let a2 = b.update(ps[0], &[Atom::i64(0)], Atom::f64(9.0));
+            let r = b.sum(m);
+            let s2 = b.sum(a2);
+            vec![b.fadd(r.into(), s2.into())]
+        });
+        let (fused, n) = fuse_soacs_counted(&fun);
+        assert_eq!(n, 0, "fusion across the consuming update must be blocked");
+        check_fun(&fused).unwrap();
+        let args = [Value::from(vec![1.0, 2.0])];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&fused, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b2.to_bits());
+    }
+
+    #[test]
+    fn fusion_never_moves_captured_reads_past_a_consuming_update() {
+        // The producer's lambda *captures* B (reads B[0]) rather than
+        // taking it as a map argument; an update of B between producer and
+        // consumer must still block fusion.
+        let mut b = Builder::new();
+        let fun = b.build_fun("capture", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+            let (xs, bs) = (ps[0], ps[1]);
+            let m = b.map1(Type::arr_f64(1), &[xs], |b, es| {
+                let b0 = b.index(bs, &[Atom::i64(0)]);
+                vec![b.fadd(es[0].into(), b0.into())]
+            });
+            let b2 = b.update(bs, &[Atom::i64(0)], Atom::f64(9.0));
+            let s = b.sum(m);
+            let s2 = b.sum(b2);
+            vec![b.fadd(s.into(), s2.into())]
+        });
+        let (fused, n) = fuse_soacs_counted(&fun);
+        assert_eq!(n, 0, "fusion past the consuming update must be blocked");
+        check_fun(&fused).unwrap();
+        let args = [Value::from(vec![1.0, 2.0]), Value::from(vec![4.0, 5.0])];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&fused, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b2.to_bits());
+    }
+
+    #[test]
+    fn fusion_reaches_nested_bodies() {
+        // The fusable chain lives inside an outer map over rows.
+        let mut b = Builder::new();
+        let fun = b.build_fun("nested", &[Type::arr_f64(2)], |b, ps| {
+            let sums = b.map1(Type::arr_f64(1), &[ps[0]], |b, rows| {
+                let sq = b.map1(Type::arr_f64(1), &[rows[0]], |b, es| {
+                    vec![b.fmul(es[0].into(), es[0].into())]
+                });
+                vec![b.sum(sq).into()]
+            });
+            vec![b.sum(sums).into()]
+        });
+        let (fused, n) = fuse_soacs_counted(&fun);
+        assert!(n >= 1, "inner map-reduce must fuse");
+        check_fun(&fused).unwrap();
+        let args = [Value::Arr(interp::Array::from_f64(
+            vec![2, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        ))];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&fused, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b2.to_bits());
+    }
+}

@@ -1,0 +1,357 @@
+//! Loop- and map-invariant code motion.
+//!
+//! A statement inside a SOAC lambda or a sequential loop whose free
+//! variables are all bound *outside* that scope computes the same value on
+//! every iteration; hoisting it into the enclosing body executes it once.
+//! Reverse-mode AD's redundant scope re-execution produces exactly such
+//! statements in imperfect nests (the perfectly-nested ones are dead and
+//! fall to DCE instead).
+//!
+//! Hoisting boundaries are `map`/`reduce`/`scan`/`redomap` lambdas and
+//! `loop` bodies. `if` branches are *not* boundaries: moving code out of a
+//! branch would execute the untaken side. Because an enclosing scope may
+//! run zero times (empty array, zero-trip loop), only *speculatable*
+//! statements move: expressions that cannot trap on any well-typed input
+//! (no indexing, no integer division/remainder/power, no consumption, no
+//! accumulator effects). Hoisted statements cascade: a statement lifted out
+//! of an inner lambda is immediately reconsidered against the next scope up
+//! within the same pass.
+
+use std::collections::BTreeSet;
+
+use fir::free_vars::FreeVars;
+use fir::ir::{BinOp, Body, Exp, Fun, Lambda, Param, Stm, VarId};
+use fir::types::Type;
+
+/// Apply invariant code motion everywhere in `fun`.
+pub fn hoist_invariants(fun: &Fun) -> Fun {
+    hoist_invariants_counted(fun).0
+}
+
+/// [`hoist_invariants`], also returning the number of statements moved
+/// (counting each scope boundary crossed).
+///
+/// Hoisting moves binders into enclosing scopes, so shadowed binders (as
+/// `vjp`'s redundant re-execution produces) could collide after the move;
+/// such input is alpha-renamed to unique binders first.
+pub fn hoist_invariants_counted(fun: &Fun) -> (Fun, usize) {
+    let renamed;
+    let fun = if fir::rename::has_unique_binders(fun) {
+        fun
+    } else {
+        renamed = fir::rename::uniquify_fun(fun);
+        &renamed
+    };
+    let mut cx = Hoist { count: 0 };
+    let body = cx.opaque_body(&fun.body);
+    (
+        Fun {
+            name: fun.name.clone(),
+            params: fun.params.clone(),
+            body,
+            ret: fun.ret.clone(),
+        },
+        cx.count,
+    )
+}
+
+struct Hoist {
+    count: usize,
+}
+
+impl Hoist {
+    /// Rewrite a body that is *not* a hoisting boundary (the function body,
+    /// `if` branches, `withacc` lambdas): statements hoisted out of nested
+    /// scopes land right before the statement that contained them.
+    fn opaque_body(&mut self, body: &Body) -> Body {
+        let mut stms = Vec::with_capacity(body.stms.len());
+        for stm in &body.stms {
+            let mut landed = Vec::new();
+            let exp = self.exp(&stm.exp, &mut landed);
+            stms.extend(landed);
+            stms.push(Stm::new(stm.pat.clone(), exp));
+        }
+        Body::new(stms, body.result.clone())
+    }
+
+    /// Rewrite the body of a hoisting boundary whose locally-bound names
+    /// start as `bound`. Invariant speculatable statements (including ones
+    /// cascading up from deeper scopes) are pushed to `out` instead of
+    /// staying in the body.
+    fn boundary_body(
+        &mut self,
+        body: &Body,
+        mut bound: BTreeSet<VarId>,
+        out: &mut Vec<Stm>,
+    ) -> Body {
+        let mut stms = Vec::with_capacity(body.stms.len());
+        for stm in &body.stms {
+            let mut incoming = Vec::new();
+            let exp = self.exp(&stm.exp, &mut incoming);
+            incoming.push(Stm::new(stm.pat.clone(), exp));
+            for s in incoming {
+                let invariant = s.exp.free_vars().is_disjoint(&bound);
+                if invariant && speculatable(&s.exp, &s.pat) {
+                    out.push(s);
+                    self.count += 1;
+                } else {
+                    bound.extend(s.pat.iter().map(|p| p.var));
+                    stms.push(s);
+                }
+            }
+        }
+        Body::new(stms, body.result.clone())
+    }
+
+    fn boundary_lambda(&mut self, lam: &Lambda, out: &mut Vec<Stm>) -> Lambda {
+        let bound: BTreeSet<VarId> = lam.params.iter().map(|p| p.var).collect();
+        Lambda {
+            params: lam.params.clone(),
+            body: self.boundary_body(&lam.body, bound, out),
+            ret: lam.ret.clone(),
+        }
+    }
+
+    fn exp(&mut self, e: &Exp, out: &mut Vec<Stm>) -> Exp {
+        match e {
+            Exp::If {
+                cond,
+                then_br,
+                else_br,
+            } => Exp::If {
+                cond: *cond,
+                then_br: self.opaque_body(then_br),
+                else_br: self.opaque_body(else_br),
+            },
+            Exp::Loop {
+                params,
+                index,
+                count,
+                body,
+            } => {
+                let mut bound: BTreeSet<VarId> = params.iter().map(|(p, _)| p.var).collect();
+                bound.insert(*index);
+                Exp::Loop {
+                    params: params.clone(),
+                    index: *index,
+                    count: *count,
+                    body: self.boundary_body(body, bound, out),
+                }
+            }
+            Exp::Map { lam, args } => Exp::Map {
+                lam: self.boundary_lambda(lam, out),
+                args: args.clone(),
+            },
+            Exp::Reduce { lam, neutral, args } => Exp::Reduce {
+                lam: self.boundary_lambda(lam, out),
+                neutral: neutral.clone(),
+                args: args.clone(),
+            },
+            Exp::Scan { lam, neutral, args } => Exp::Scan {
+                lam: self.boundary_lambda(lam, out),
+                neutral: neutral.clone(),
+                args: args.clone(),
+            },
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => Exp::Redomap {
+                red_lam: self.boundary_lambda(red_lam, out),
+                map_lam: self.boundary_lambda(map_lam, out),
+                neutral: neutral.clone(),
+                args: args.clone(),
+            },
+            Exp::WithAcc { arrs, lam } => Exp::WithAcc {
+                arrs: arrs.clone(),
+                lam: Lambda {
+                    params: lam.params.clone(),
+                    body: self.opaque_body(&lam.body),
+                    ret: lam.ret.clone(),
+                },
+            },
+            other => other.clone(),
+        }
+    }
+}
+
+/// Whether evaluating this expression can never trap (panic) on well-typed
+/// operands — the requirement for executing it speculatively when its
+/// enclosing scope would have run zero times.
+fn speculatable(e: &Exp, pat: &[Param]) -> bool {
+    fn body_ok(b: &Body) -> bool {
+        b.stms.iter().all(|s| speculatable(&s.exp, &s.pat))
+    }
+    match e {
+        Exp::Atom(_) | Exp::Select { .. } | Exp::Len(_) | Exp::Reverse(_) => true,
+        Exp::UnOp(..) => true,
+        Exp::BinOp(op, ..) => {
+            // Integer division/remainder by zero and integer `pow` trap;
+            // their float counterparts produce inf/NaN instead. Integer
+            // add/sub/mul stay: the IR's arithmetic is wrapping-equivalent
+            // for the value ranges the workloads use.
+            !(matches!(op, BinOp::Div | BinOp::Rem | BinOp::Pow) && pat[0].ty == Type::I64)
+        }
+        Exp::Iota(_) | Exp::Replicate { .. } => true, // negative sizes clamp to 0
+        Exp::Index { .. }
+        | Exp::Update { .. }
+        | Exp::Copy(_)
+        | Exp::Hist { .. }
+        | Exp::Scatter { .. }
+        | Exp::WithAcc { .. }
+        | Exp::UpdAcc { .. } => false,
+        Exp::If {
+            then_br, else_br, ..
+        } => body_ok(then_br) && body_ok(else_br),
+        Exp::Loop { body, .. } => body_ok(body),
+        Exp::Map { lam, .. } | Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => {
+            !lam.params.iter().any(|p| p.ty.is_acc()) && body_ok(&lam.body)
+        }
+        Exp::Redomap {
+            red_lam, map_lam, ..
+        } => body_ok(&red_lam.body) && body_ok(&map_lam.body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_stms;
+    use fir::builder::Builder;
+    use fir::ir::Atom;
+    use fir::typecheck::check_fun;
+    use interp::{Interp, Value};
+
+    #[test]
+    fn invariant_scalar_work_leaves_the_map() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("inv", &[Type::F64, Type::arr_f64(1)], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let m = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
+                let e = b.fexp(x); // invariant: recomputed per element
+                let s = b.fsin(e); // invariant, depends on a hoisted stm
+                vec![b.fmul(es[0].into(), s)]
+            });
+            vec![b.sum(m).into()]
+        });
+        let (out, n) = hoist_invariants_counted(&fun);
+        assert_eq!(n, 2, "both invariant statements must hoist");
+        check_fun(&out).unwrap();
+        // The map's lambda now holds a single multiply.
+        let map_stm = out
+            .body
+            .stms
+            .iter()
+            .find(|s| matches!(s.exp, Exp::Map { .. }))
+            .expect("map survives");
+        match &map_stm.exp {
+            Exp::Map { lam, .. } => assert_eq!(lam.body.stms.len(), 1),
+            _ => unreachable!(),
+        }
+        let args = [Value::F64(0.7), Value::from(vec![1.0, 2.0, 3.0])];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&out, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b2.to_bits());
+    }
+
+    #[test]
+    fn hoisting_cascades_through_nested_scopes_in_one_pass() {
+        // exp(x) is invariant two maps deep; it must reach the top level.
+        let mut b = Builder::new();
+        let fun = b.build_fun("deep", &[Type::F64, Type::arr_f64(2)], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let m = b.map1(Type::arr_f64(2), &[ps[1]], |b, rows| {
+                let inner = b.map1(Type::arr_f64(1), &[rows[0]], |b, es| {
+                    let e = b.fexp(x);
+                    vec![b.fmul(es[0].into(), e)]
+                });
+                vec![Atom::Var(inner)]
+            });
+            let sums = b.map1(Type::arr_f64(1), &[m], |b, rs| {
+                vec![Atom::Var(b.sum(rs[0]))]
+            });
+            vec![b.sum(sums).into()]
+        });
+        let (out, n) = hoist_invariants_counted(&fun);
+        assert!(n >= 1);
+        check_fun(&out).unwrap();
+        assert!(
+            matches!(out.body.stms[0].exp, Exp::UnOp(fir::ir::UnOp::Exp, _)),
+            "exp(x) must land at the top of the function body"
+        );
+        let args = [
+            Value::F64(0.3),
+            Value::Arr(interp::Array::from_f64(
+                vec![2, 2],
+                vec![1.0, 2.0, 3.0, 4.0],
+            )),
+        ];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&out, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b2.to_bits());
+    }
+
+    #[test]
+    fn loop_invariants_and_trapping_ops_are_handled() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("loopinv", &[Type::F64, Type::I64], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let n = Atom::Var(ps[1]);
+            let r = b.loop_(&[(Type::F64, Atom::f64(0.0))], n, |b, _i, acc| {
+                let e = b.fsqrt(x); // invariant, safe: hoists
+                let d = b.idiv(n, Atom::i64(2)); // invariant but can trap: stays
+                let df = b.to_f64(d);
+                let t = b.fadd(e, df);
+                vec![b.fadd(acc[0].into(), t)]
+            });
+            vec![r[0].into()]
+        });
+        let (out, _) = hoist_invariants_counted(&fun);
+        check_fun(&out).unwrap();
+        match &out.body.stms.last().unwrap().exp {
+            Exp::Loop { body, .. } => {
+                assert!(
+                    body.stms
+                        .iter()
+                        .any(|s| matches!(s.exp, Exp::BinOp(BinOp::Div, ..))),
+                    "integer division must not be speculated"
+                );
+                assert!(
+                    !body
+                        .stms
+                        .iter()
+                        .any(|s| matches!(s.exp, Exp::UnOp(fir::ir::UnOp::Sqrt, _))),
+                    "sqrt(x) must hoist out of the loop"
+                );
+            }
+            other => panic!("expected loop, got {}", other.kind()),
+        }
+        let args = [Value::F64(2.0), Value::I64(5)];
+        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+        let b2 = Interp::sequential().run(&out, &args)[0].as_f64();
+        assert_eq!(a.to_bits(), b2.to_bits());
+        // Zero-trip loop: the hoisted sqrt now runs, the division must not.
+        let a0 = Interp::sequential().run(&out, &[Value::F64(2.0), Value::I64(0)]);
+        assert_eq!(a0[0].as_f64(), 0.0);
+    }
+
+    #[test]
+    fn if_branches_are_not_hoisting_boundaries() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("branchy", &[Type::F64, Type::BOOL], |b, ps| {
+            let x = Atom::Var(ps[0]);
+            let r = b.if_(
+                Atom::Var(ps[1]),
+                &[Type::F64],
+                |b| vec![b.flog(x)],
+                |_b| vec![Atom::f64(0.0)],
+            );
+            vec![r[0].into()]
+        });
+        let (out, n) = hoist_invariants_counted(&fun);
+        assert_eq!(n, 0);
+        assert_eq!(out, fun);
+        assert!(count_stms(&out) == count_stms(&fun));
+    }
+}

@@ -1,38 +1,51 @@
-//! `fir-opt` — simplification passes for the `fir` IR.
+//! `fir-opt` — the optimization pass suite for the `fir` IR.
 //!
 //! Reverse-mode AD by redundant execution deliberately emits code that
-//! re-executes enclosing scopes; the paper's claim (§4.1) is that for
-//! perfectly-nested scopes those re-executed bindings are dead and are
-//! removed by ordinary compiler simplification. This crate provides that
-//! simplification repertoire:
+//! re-executes enclosing scopes; the paper's performance story rests on the
+//! compiler then shrinking that code back down. This crate provides the
+//! repertoire, each pass as a pure `Fun -> Fun` rewrite with a `*_counted`
+//! variant reporting how many rewrites fired (see [`stats`]):
 //!
-//! * [`dead_code_elimination`] — removes bindings whose results are unused
-//!   (this is what erases the redundant forward sweeps of perfect nests),
-//! * [`constant_fold`] — folds scalar operations on constants and collapses
-//!   additions/multiplications with 0/1 (the adjoint seeds produce many),
-//! * [`copy_propagation`] — replaces aliases introduced by the
-//!   transformation (`let y = x`) with their sources,
-//! * [`simplify`] — the fixed-point combination of the passes above.
+//! * [`simplify()`] — the classic trio: [`dead_code_elimination`] (erases the
+//!   redundant forward sweeps of perfect nests), [`constant_fold`]
+//!   (collapses the 0/1 identities adjoint seeds produce), and
+//!   [`copy_propagation`] (removes the aliases transformations introduce),
+//!   iterated to a fixed point.
+//! * [`fuse_soacs`] ([`fusion`]) — producer–consumer fusion: `map ∘ map`
+//!   composes, and `reduce ∘ map` becomes the fused
+//!   [`fir::ir::Exp::Redomap`], never materializing intermediates.
+//! * [`cse()`] ([module](mod@cse)) — common-subexpression elimination keyed on
+//!   the binder-normalized structural hash [`fir::hash::exp_key`], merging
+//!   whole duplicated SOACs, not just scalar ops.
+//! * [`hoist_invariants`] ([`hoist`]) — loop/map-invariant code motion out
+//!   of SOAC lambdas and sequential loops.
+//!
+//! Every pass preserves results **bitwise** on every backend and in every
+//! execution configuration: rewrites never reassociate floating-point
+//! operations, constants are compared by bit pattern, value-changing
+//! "identities" like `x * 0.0 -> 0.0` (wrong for `inf`/`NaN`) are not
+//! applied, and `redomap` chunks exactly like the `reduce` it replaces.
+//! One bit-level (not value-level) caveat: folding `x + 0.0 -> x` keeps a
+//! negative zero's sign bit where the unfolded addition would clear it —
+//! `-0.0 == +0.0`, so every comparison and downstream computation is
+//! unaffected.
 
-use std::collections::{BTreeSet, HashMap};
+pub mod cse;
+pub mod fusion;
+pub mod hoist;
+pub mod simplify;
+pub mod stats;
 
-use fir::free_vars::FreeVars;
-use fir::ir::{Atom, BinOp, Body, Const, Exp, Fun, Lambda, Stm, UnOp, VarId};
+pub use cse::{cse, cse_counted};
+pub use fusion::{fuse_soacs, fuse_soacs_counted};
+pub use hoist::{hoist_invariants, hoist_invariants_counted};
+pub use simplify::{
+    constant_fold, constant_fold_counted, copy_propagation, copy_propagation_counted,
+    dead_code_elimination, dead_code_elimination_counted, simplify,
+};
+pub use stats::{run_pass, PassRun};
 
-/// Apply the full simplification pipeline until a fixed point (bounded by a
-/// small iteration limit).
-pub fn simplify(fun: &Fun) -> Fun {
-    let mut cur = fun.clone();
-    for _ in 0..8 {
-        let folded = constant_fold(&copy_propagation(&cur));
-        let next = dead_code_elimination(&folded);
-        if next == cur {
-            return next;
-        }
-        cur = next;
-    }
-    cur
-}
+use fir::ir::{Body, Exp, Fun, Lambda};
 
 /// Number of statements in a function, counting nested bodies — used by the
 /// tests and by the ablation bench to quantify how much of the redundant
@@ -54,479 +67,11 @@ pub fn count_stms(fun: &Fun) -> usize {
             | Exp::Reduce { lam, .. }
             | Exp::Scan { lam, .. }
             | Exp::WithAcc { lam, .. } => lambda(lam),
+            Exp::Redomap {
+                red_lam, map_lam, ..
+            } => lambda(red_lam) + lambda(map_lam),
             _ => 0,
         }
     }
     body(&fun.body)
-}
-
-// ---------------------------------------------------------------------
-// Dead-code elimination
-// ---------------------------------------------------------------------
-
-/// Remove bindings whose variables are never used. Statements that merely
-/// open nested scopes are themselves removed when all their results are
-/// dead; side-effect-free by construction (the IR is pure).
-pub fn dead_code_elimination(fun: &Fun) -> Fun {
-    let body = dce_body(&fun.body);
-    Fun {
-        name: fun.name.clone(),
-        params: fun.params.clone(),
-        body,
-        ret: fun.ret.clone(),
-    }
-}
-
-fn dce_body(body: &Body) -> Body {
-    // Process statements bottom-up, keeping those with at least one live
-    // binding.
-    let mut live: BTreeSet<VarId> = BTreeSet::new();
-    for a in &body.result {
-        if let Atom::Var(v) = a {
-            live.insert(*v);
-        }
-    }
-    let mut kept: Vec<Stm> = Vec::new();
-    for stm in body.stms.iter().rev() {
-        let is_live = stm.pat.iter().any(|p| live.contains(&p.var));
-        if !is_live {
-            continue;
-        }
-        let exp = dce_exp(&stm.exp);
-        for v in exp.free_vars() {
-            live.insert(v);
-        }
-        kept.push(Stm::new(stm.pat.clone(), exp));
-    }
-    kept.reverse();
-    Body::new(kept, body.result.clone())
-}
-
-fn dce_lambda(lam: &Lambda) -> Lambda {
-    Lambda {
-        params: lam.params.clone(),
-        body: dce_body(&lam.body),
-        ret: lam.ret.clone(),
-    }
-}
-
-fn dce_exp(e: &Exp) -> Exp {
-    match e {
-        Exp::If {
-            cond,
-            then_br,
-            else_br,
-        } => Exp::If {
-            cond: *cond,
-            then_br: dce_body(then_br),
-            else_br: dce_body(else_br),
-        },
-        Exp::Loop {
-            params,
-            index,
-            count,
-            body,
-        } => Exp::Loop {
-            params: params.clone(),
-            index: *index,
-            count: *count,
-            body: dce_body(body),
-        },
-        Exp::Map { lam, args } => Exp::Map {
-            lam: dce_lambda(lam),
-            args: args.clone(),
-        },
-        Exp::Reduce { lam, neutral, args } => Exp::Reduce {
-            lam: dce_lambda(lam),
-            neutral: neutral.clone(),
-            args: args.clone(),
-        },
-        Exp::Scan { lam, neutral, args } => Exp::Scan {
-            lam: dce_lambda(lam),
-            neutral: neutral.clone(),
-            args: args.clone(),
-        },
-        Exp::WithAcc { arrs, lam } => Exp::WithAcc {
-            arrs: arrs.clone(),
-            lam: dce_lambda(lam),
-        },
-        other => other.clone(),
-    }
-}
-
-// ---------------------------------------------------------------------
-// Copy propagation
-// ---------------------------------------------------------------------
-
-/// Replace uses of variables bound by `let y = x` with `x` directly.
-pub fn copy_propagation(fun: &Fun) -> Fun {
-    let mut subst: HashMap<VarId, Atom> = HashMap::new();
-    let body = cp_body(&fun.body, &mut subst);
-    Fun {
-        name: fun.name.clone(),
-        params: fun.params.clone(),
-        body,
-        ret: fun.ret.clone(),
-    }
-}
-
-fn cp_atom(a: &Atom, subst: &HashMap<VarId, Atom>) -> Atom {
-    match a {
-        Atom::Var(v) => subst.get(v).copied().unwrap_or(*a),
-        c => *c,
-    }
-}
-
-fn cp_body(body: &Body, subst: &mut HashMap<VarId, Atom>) -> Body {
-    let mut stms = Vec::new();
-    for stm in &body.stms {
-        let exp = cp_exp(&stm.exp, subst);
-        if let Exp::Atom(a) = &exp {
-            if stm.pat.len() == 1 {
-                subst.insert(stm.pat[0].var, *a);
-                continue;
-            }
-        }
-        stms.push(Stm::new(stm.pat.clone(), exp));
-    }
-    let result = body.result.iter().map(|a| cp_atom(a, subst)).collect();
-    Body::new(stms, result)
-}
-
-fn cp_var(v: VarId, subst: &HashMap<VarId, Atom>) -> VarId {
-    match subst.get(&v) {
-        Some(Atom::Var(w)) => *w,
-        _ => v,
-    }
-}
-
-fn cp_lambda(lam: &Lambda, subst: &mut HashMap<VarId, Atom>) -> Lambda {
-    Lambda {
-        params: lam.params.clone(),
-        body: cp_body(&lam.body, subst),
-        ret: lam.ret.clone(),
-    }
-}
-
-fn cp_exp(e: &Exp, subst: &mut HashMap<VarId, Atom>) -> Exp {
-    let at = |a: &Atom, s: &HashMap<VarId, Atom>| cp_atom(a, s);
-    match e {
-        Exp::Atom(a) => Exp::Atom(at(a, subst)),
-        Exp::UnOp(op, a) => Exp::UnOp(*op, at(a, subst)),
-        Exp::BinOp(op, a, b) => Exp::BinOp(*op, at(a, subst), at(b, subst)),
-        Exp::Select { cond, t, f } => Exp::Select {
-            cond: at(cond, subst),
-            t: at(t, subst),
-            f: at(f, subst),
-        },
-        Exp::Index { arr, idx } => Exp::Index {
-            arr: cp_var(*arr, subst),
-            idx: idx.iter().map(|a| at(a, subst)).collect(),
-        },
-        Exp::Update { arr, idx, val } => Exp::Update {
-            arr: cp_var(*arr, subst),
-            idx: idx.iter().map(|a| at(a, subst)).collect(),
-            val: at(val, subst),
-        },
-        Exp::Len(v) => Exp::Len(cp_var(*v, subst)),
-        Exp::Iota(n) => Exp::Iota(at(n, subst)),
-        Exp::Replicate { n, val } => Exp::Replicate {
-            n: at(n, subst),
-            val: at(val, subst),
-        },
-        Exp::Reverse(v) => Exp::Reverse(cp_var(*v, subst)),
-        Exp::Copy(v) => Exp::Copy(cp_var(*v, subst)),
-        Exp::If {
-            cond,
-            then_br,
-            else_br,
-        } => Exp::If {
-            cond: at(cond, subst),
-            then_br: cp_body(then_br, subst),
-            else_br: cp_body(else_br, subst),
-        },
-        Exp::Loop {
-            params,
-            index,
-            count,
-            body,
-        } => Exp::Loop {
-            params: params
-                .iter()
-                .map(|(p, init)| (*p, at(init, subst)))
-                .collect(),
-            index: *index,
-            count: at(count, subst),
-            body: cp_body(body, subst),
-        },
-        Exp::Map { lam, args } => Exp::Map {
-            lam: cp_lambda(lam, subst),
-            args: args.iter().map(|v| cp_var(*v, subst)).collect(),
-        },
-        Exp::Reduce { lam, neutral, args } => Exp::Reduce {
-            lam: cp_lambda(lam, subst),
-            neutral: neutral.iter().map(|a| at(a, subst)).collect(),
-            args: args.iter().map(|v| cp_var(*v, subst)).collect(),
-        },
-        Exp::Scan { lam, neutral, args } => Exp::Scan {
-            lam: cp_lambda(lam, subst),
-            neutral: neutral.iter().map(|a| at(a, subst)).collect(),
-            args: args.iter().map(|v| cp_var(*v, subst)).collect(),
-        },
-        Exp::Hist {
-            op,
-            num_bins,
-            inds,
-            vals,
-        } => Exp::Hist {
-            op: *op,
-            num_bins: at(num_bins, subst),
-            inds: cp_var(*inds, subst),
-            vals: cp_var(*vals, subst),
-        },
-        Exp::Scatter { dest, inds, vals } => Exp::Scatter {
-            dest: cp_var(*dest, subst),
-            inds: cp_var(*inds, subst),
-            vals: cp_var(*vals, subst),
-        },
-        Exp::WithAcc { arrs, lam } => Exp::WithAcc {
-            arrs: arrs.iter().map(|v| cp_var(*v, subst)).collect(),
-            lam: cp_lambda(lam, subst),
-        },
-        Exp::UpdAcc { acc, idx, val } => Exp::UpdAcc {
-            acc: cp_var(*acc, subst),
-            idx: idx.iter().map(|a| at(a, subst)).collect(),
-            val: at(val, subst),
-        },
-    }
-}
-
-// ---------------------------------------------------------------------
-// Constant folding
-// ---------------------------------------------------------------------
-
-/// Fold scalar operations on constants and simplify additions with zero and
-/// multiplications with zero/one (which the adjoint code produces in
-/// abundance).
-pub fn constant_fold(fun: &Fun) -> Fun {
-    let body = cf_body(&fun.body);
-    Fun {
-        name: fun.name.clone(),
-        params: fun.params.clone(),
-        body,
-        ret: fun.ret.clone(),
-    }
-}
-
-fn cf_body(body: &Body) -> Body {
-    let stms = body
-        .stms
-        .iter()
-        .map(|s| Stm::new(s.pat.clone(), cf_exp(&s.exp)))
-        .collect();
-    Body::new(stms, body.result.clone())
-}
-
-fn cf_lambda(lam: &Lambda) -> Lambda {
-    Lambda {
-        params: lam.params.clone(),
-        body: cf_body(&lam.body),
-        ret: lam.ret.clone(),
-    }
-}
-
-fn f64_of(a: &Atom) -> Option<f64> {
-    match a {
-        Atom::Const(Const::F64(x)) => Some(*x),
-        _ => None,
-    }
-}
-
-// The `x if x == 0.0` guards are deliberate: float-literal patterns would
-// be equivalent here but read worse for the 0.0/1.0 algebraic identities.
-#[allow(clippy::redundant_guards)]
-fn cf_exp(e: &Exp) -> Exp {
-    match e {
-        Exp::BinOp(op, a, b) => {
-            if let (Some(x), Some(y)) = (f64_of(a), f64_of(b)) {
-                let folded = match op {
-                    BinOp::Add => Some(x + y),
-                    BinOp::Sub => Some(x - y),
-                    BinOp::Mul => Some(x * y),
-                    BinOp::Div => Some(x / y),
-                    BinOp::Min => Some(x.min(y)),
-                    BinOp::Max => Some(x.max(y)),
-                    BinOp::Pow => Some(x.powf(y)),
-                    _ => None,
-                };
-                if let Some(v) = folded {
-                    return Exp::Atom(Atom::f64(v));
-                }
-            }
-            match (op, f64_of(a), f64_of(b)) {
-                (BinOp::Add, Some(x), _) if x == 0.0 => Exp::Atom(*b),
-                (BinOp::Add, _, Some(y)) if y == 0.0 => Exp::Atom(*a),
-                (BinOp::Sub, _, Some(y)) if y == 0.0 => Exp::Atom(*a),
-                (BinOp::Mul, Some(x), _) if x == 1.0 => Exp::Atom(*b),
-                (BinOp::Mul, _, Some(y)) if y == 1.0 => Exp::Atom(*a),
-                (BinOp::Mul, Some(x), _) if x == 0.0 => Exp::Atom(Atom::f64(0.0)),
-                (BinOp::Mul, _, Some(y)) if y == 0.0 => Exp::Atom(Atom::f64(0.0)),
-                (BinOp::Div, _, Some(y)) if y == 1.0 => Exp::Atom(*a),
-                _ => e.clone(),
-            }
-        }
-        Exp::UnOp(op, a) => {
-            if let Some(x) = f64_of(a) {
-                let folded = match op {
-                    UnOp::Neg => Some(-x),
-                    UnOp::Exp => Some(x.exp()),
-                    UnOp::Log => Some(x.ln()),
-                    UnOp::Sqrt => Some(x.sqrt()),
-                    UnOp::Sin => Some(x.sin()),
-                    UnOp::Cos => Some(x.cos()),
-                    UnOp::Abs => Some(x.abs()),
-                    _ => None,
-                };
-                if let Some(v) = folded {
-                    return Exp::Atom(Atom::f64(v));
-                }
-            }
-            e.clone()
-        }
-        Exp::Select { cond, t, f } => match cond {
-            Atom::Const(Const::Bool(true)) => Exp::Atom(*t),
-            Atom::Const(Const::Bool(false)) => Exp::Atom(*f),
-            _ => e.clone(),
-        },
-        Exp::If {
-            cond,
-            then_br,
-            else_br,
-        } => Exp::If {
-            cond: *cond,
-            then_br: cf_body(then_br),
-            else_br: cf_body(else_br),
-        },
-        Exp::Loop {
-            params,
-            index,
-            count,
-            body,
-        } => Exp::Loop {
-            params: params.clone(),
-            index: *index,
-            count: *count,
-            body: cf_body(body),
-        },
-        Exp::Map { lam, args } => Exp::Map {
-            lam: cf_lambda(lam),
-            args: args.clone(),
-        },
-        Exp::Reduce { lam, neutral, args } => Exp::Reduce {
-            lam: cf_lambda(lam),
-            neutral: neutral.clone(),
-            args: args.clone(),
-        },
-        Exp::Scan { lam, neutral, args } => Exp::Scan {
-            lam: cf_lambda(lam),
-            neutral: neutral.clone(),
-            args: args.clone(),
-        },
-        Exp::WithAcc { arrs, lam } => Exp::WithAcc {
-            arrs: arrs.clone(),
-            lam: cf_lambda(lam),
-        },
-        other => other.clone(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fir::builder::Builder;
-    use fir::typecheck::check_fun;
-    use fir::types::Type;
-    use interp::{Interp, Value};
-
-    fn sum_squares() -> Fun {
-        let mut b = Builder::new();
-        b.build_fun("sumsq", &[Type::arr_f64(1)], |b, ps| {
-            // A dead binding and a copy that the passes should remove.
-            let dead = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
-                vec![b.fadd(es[0].into(), Atom::f64(0.0))]
-            });
-            let _ = dead;
-            let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
-                let one = b.fmul(es[0].into(), Atom::f64(1.0));
-                vec![b.fmul(one, es[0].into())]
-            });
-            let alias = b.bind1(Type::arr_f64(1), Exp::Atom(Atom::Var(sq)));
-            vec![Atom::Var(b.sum(alias))]
-        })
-    }
-
-    #[test]
-    fn simplify_preserves_semantics_and_removes_code() {
-        let fun = sum_squares();
-        let simplified = simplify(&fun);
-        check_fun(&simplified).unwrap();
-        assert!(count_stms(&simplified) < count_stms(&fun));
-        let args = [Value::from(vec![1.0, 2.0, 3.0])];
-        let a = Interp::sequential().run(&fun, &args)[0].as_f64();
-        let b = Interp::sequential().run(&simplified, &args)[0].as_f64();
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn dce_removes_redundant_forward_sweep_of_perfect_nests() {
-        // vjp of a perfect map nest re-executes the primal map; after DCE the
-        // primal result is only computed once per scope that needs it.
-        let mut b = Builder::new();
-        let fun = b.build_fun("nest", &[Type::arr_f64(2)], |b, ps| {
-            let out = b.map1(Type::arr_f64(2), &[ps[0]], |b, rows| {
-                let r = b.map1(Type::arr_f64(1), &[rows[0]], |b, es| {
-                    vec![b.fmul(es[0].into(), es[0].into())]
-                });
-                vec![Atom::Var(r)]
-            });
-            let sums = b.map1(Type::arr_f64(1), &[out], |b, rs| {
-                vec![Atom::Var(b.sum(rs[0]))]
-            });
-            vec![Atom::Var(b.sum(sums))]
-        });
-        let dfun = futhark_ad::vjp(&fun);
-        let simplified = simplify(&dfun);
-        check_fun(&simplified).unwrap();
-        assert!(count_stms(&simplified) <= count_stms(&dfun));
-        // Semantics preserved.
-        let args = [
-            Value::Arr(interp::Array::from_f64(
-                vec![2, 2],
-                vec![1.0, 2.0, 3.0, 4.0],
-            )),
-            Value::F64(1.0),
-        ];
-        let a = Interp::sequential().run(&dfun, &args);
-        let b2 = Interp::sequential().run(&simplified, &args);
-        assert_eq!(a[1].as_arr().f64s(), b2[1].as_arr().f64s());
-    }
-
-    #[test]
-    fn constant_folding_collapses_identities() {
-        let mut b = Builder::new();
-        let fun = b.build_fun("ids", &[Type::F64], |b, ps| {
-            let x = Atom::Var(ps[0]);
-            let a = b.fadd(x, Atom::f64(0.0));
-            let m = b.fmul(a, Atom::f64(1.0));
-            let z = b.fmul(m, Atom::f64(0.0));
-            let c = b.fadd(Atom::f64(2.0), Atom::f64(3.0));
-            let t = b.fadd(z, c);
-            vec![b.fadd(t, m)]
-        });
-        let simplified = simplify(&fun);
-        check_fun(&simplified).unwrap();
-        let out = Interp::sequential().run(&simplified, &[Value::F64(7.0)]);
-        assert_eq!(out[0].as_f64(), 12.0);
-        assert!(count_stms(&simplified) < count_stms(&fun));
-    }
 }

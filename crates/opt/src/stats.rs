@@ -1,0 +1,76 @@
+//! Per-pass optimization statistics.
+//!
+//! Every pass has a `*_counted` variant returning how many rewrites fired;
+//! [`run_pass`] wraps one application with before/after statement counts so
+//! pipelines (`fir-api`'s `PassPipeline`) can report exactly what the
+//! optimizer did to each function.
+
+use fir::ir::Fun;
+
+use crate::count_stms;
+
+/// The outcome of applying one pass to one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassRun {
+    /// The pass name (e.g. `"fusion"`).
+    pub pass: &'static str,
+    /// Number of rewrites the pass performed (pass-specific unit: folds,
+    /// merged statements, fusions, hoists, removals).
+    pub rewrites: usize,
+    /// Statements (at all nesting depths) before the pass.
+    pub stms_before: usize,
+    /// Statements after the pass.
+    pub stms_after: usize,
+}
+
+impl PassRun {
+    /// Statements removed by this run (saturating; passes like hoisting
+    /// move statements rather than removing them).
+    pub fn stms_removed(&self) -> usize {
+        self.stms_before.saturating_sub(self.stms_after)
+    }
+}
+
+/// Apply a counted pass to `fun`, recording before/after statement counts.
+pub fn run_pass(
+    pass: &'static str,
+    apply: impl FnOnce(&Fun) -> (Fun, usize),
+    fun: &Fun,
+) -> (Fun, PassRun) {
+    let stms_before = count_stms(fun);
+    let (out, rewrites) = apply(fun);
+    let stms_after = count_stms(&out);
+    (
+        out,
+        PassRun {
+            pass,
+            rewrites,
+            stms_before,
+            stms_after,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::Builder;
+    use fir::ir::Atom;
+    use fir::types::Type;
+
+    #[test]
+    fn run_pass_reports_counts() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("f", &[Type::F64], |b, ps| {
+            let _dead = b.fadd(ps[0].into(), Atom::f64(1.0));
+            vec![b.fmul(ps[0].into(), ps[0].into())]
+        });
+        let (out, run) = run_pass("dce", crate::dead_code_elimination_counted, &fun);
+        assert_eq!(run.pass, "dce");
+        assert_eq!(run.stms_before, 2);
+        assert_eq!(run.stms_after, 1);
+        assert_eq!(run.rewrites, 1);
+        assert_eq!(run.stms_removed(), 1);
+        assert_eq!(crate::count_stms(&out), 1);
+    }
+}

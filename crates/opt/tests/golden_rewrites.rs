@@ -1,0 +1,146 @@
+//! Golden pretty-printer snapshots of representative optimizer rewrites:
+//! small hand-written IR in, the exact optimized IR out. The `Builder`
+//! allocates names deterministically and the passes rename
+//! deterministically, so these strings are stable; if a pass's output
+//! shape changes intentionally, update the expectation and say why in the
+//! commit.
+
+use fir::builder::Builder;
+use fir::ir::{Atom, Fun};
+use fir::typecheck::check_fun;
+use fir::types::Type;
+
+fn assert_golden(actual: &Fun, expected: &str) {
+    check_fun(actual).unwrap();
+    let rendered = format!("{actual}");
+    assert_eq!(
+        rendered.trim(),
+        expected.trim(),
+        "\n-- actual --\n{rendered}\n-- expected --\n{expected}"
+    );
+}
+
+/// map–map fusion followed by map–reduce fusion: the whole chain becomes a
+/// single `redomap` over the original input, composing both lambda bodies.
+#[test]
+fn fusion_collapses_a_map_map_reduce_chain_into_a_redomap() {
+    let mut b = Builder::new();
+    let chain = b.build_fun("chain", &[Type::arr_f64(1)], |b, ps| {
+        let doubled = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            vec![b.fmul(es[0].into(), Atom::f64(2.0))]
+        });
+        let shifted = b.map1(Type::arr_f64(1), &[doubled], |b, es| {
+            vec![b.fadd(es[0].into(), Atom::f64(1.0))]
+        });
+        vec![b.sum(shifted).into()]
+    });
+    let out = fir_opt::simplify(&fir_opt::fuse_soacs(&chain));
+    assert_golden(
+        &out,
+        r#"
+def chain (x0: []f64) : (f64) =
+  let x10 = redomap (\x7: f64 x8: f64 ->
+    let x9 = x7 + x8
+    in (x9)
+  ) (\x14: f64 ->
+    let x15 = x14 * 2.0
+    let x17 = x15 + 1.0
+    in (x17)
+  ) (0.0) x0
+  in (x10)
+"#,
+    );
+}
+
+/// CSE merges alpha-equivalent statements: the duplicated squaring map and
+/// the duplicated sum both collapse, leaving `s + s`.
+#[test]
+fn cse_merges_duplicated_soacs() {
+    let mut b = Builder::new();
+    let dup = b.build_fun("dup", &[Type::arr_f64(1)], |b, ps| {
+        let m1 = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            vec![b.fmul(es[0].into(), es[0].into())]
+        });
+        let m2 = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+            vec![b.fmul(es[0].into(), es[0].into())]
+        });
+        let s1 = b.sum(m1);
+        let s2 = b.sum(m2);
+        vec![b.fadd(s1.into(), s2.into())]
+    });
+    assert_golden(
+        &fir_opt::cse(&dup),
+        r#"
+def dup (x0: []f64) : (f64) =
+  let x3 = map (\x1: f64 ->
+    let x2 = x1 * x1
+    in (x2)
+  ) x0
+  let x10 = reduce (\x7: f64 x8: f64 ->
+    let x9 = x7 + x8
+    in (x9)
+  ) (0.0) x3
+  let x15 = x10 + x10
+  in (x15)
+"#,
+    );
+}
+
+/// Invariant hoisting moves `exp x` out of the map lambda; the map then
+/// captures the hoisted value.
+#[test]
+fn hoist_moves_the_invariant_exp_out_of_the_map() {
+    let mut b = Builder::new();
+    let inv = b.build_fun("inv", &[Type::F64, Type::arr_f64(1)], |b, ps| {
+        let x = Atom::Var(ps[0]);
+        let m = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
+            let e = b.fexp(x);
+            vec![b.fmul(es[0].into(), e)]
+        });
+        vec![b.sum(m).into()]
+    });
+    assert_golden(
+        &fir_opt::hoist_invariants(&inv),
+        r#"
+def inv (x0: f64) (x1: []f64) : (f64) =
+  let x3 = exp x0
+  let x5 = map (\x2: f64 ->
+    let x4 = x2 * x3
+    in (x4)
+  ) x1
+  let x9 = reduce (\x6: f64 x7: f64 ->
+    let x8 = x6 + x7
+    in (x8)
+  ) (0.0) x5
+  in (x9)
+"#,
+    );
+}
+
+/// Replicate–map fusion: the broadcast (non-first) argument becomes a
+/// captured scalar, and the replicate (with the `length` feeding it) dies.
+/// The first argument never fuses away — it supplies the map's iteration
+/// count.
+#[test]
+fn replicate_arguments_fuse_into_the_map() {
+    let mut b = Builder::new();
+    let rep = b.build_fun("axpy", &[Type::F64, Type::arr_f64(1)], |b, ps| {
+        let l = b.len(ps[1]);
+        let r = b.replicate(l, Atom::Var(ps[0]));
+        let m = b.map1(Type::arr_f64(1), &[ps[1], r], |b, es| {
+            vec![b.fmul(es[1].into(), es[0].into())]
+        });
+        vec![Atom::Var(m)]
+    });
+    assert_golden(
+        &fir_opt::simplify(&fir_opt::fuse_soacs(&rep)),
+        r#"
+def axpy (x0: f64) (x1: []f64) : ([]f64) =
+  let x7 = map (\x4: f64 ->
+    let x6 = x0 * x4
+    in (x6)
+  ) x1
+  in (x7)
+"#,
+    );
+}

@@ -318,6 +318,24 @@ impl TapeInterp<'_> {
                 }
                 acc
             }
+            Exp::Redomap {
+                red_lam,
+                map_lam,
+                neutral,
+                args,
+            } => {
+                let arrs: Vec<TVal> = args.iter().map(|a| self.env[a].clone()).collect();
+                let n = arrs[0].outer_len();
+                let mut acc: Vec<TVal> = neutral.iter().map(|a| self.atom(a)).collect();
+                for i in 0..n {
+                    let vals =
+                        self.lambda(map_lam, arrs.iter().map(|a| a.index_outer(i)).collect());
+                    let mut lam_args = acc;
+                    lam_args.extend(vals);
+                    acc = self.lambda(red_lam, lam_args);
+                }
+                acc
+            }
             Exp::Scan { lam, neutral, args } => {
                 let arrs: Vec<TVal> = args.iter().map(|a| self.env[a].clone()).collect();
                 let n = arrs[0].outer_len();

@@ -58,8 +58,8 @@ pub use tensor;
 pub use workloads;
 
 pub use fir_api::{
-    CacheStats, CompiledFn, Dual, Engine, EngineBuilder, FirError, GradOutput, Pass, PassPipeline,
-    BACKEND_NAMES,
+    CacheStats, CompiledFn, Dual, Engine, EngineBuilder, FirError, GradOutput, OptStats, Pass,
+    PassPipeline, PipelineStats, BACKEND_NAMES,
 };
 pub use fir_serve::{BatchPolicy, Request, ServeError, Server, ServerBuilder, Ticket};
 

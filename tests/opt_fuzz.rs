@@ -1,0 +1,329 @@
+//! Semantics-preservation fuzzing of the optimization pipeline.
+//!
+//! For every randomly generated well-typed program (see `fir-proptest`),
+//! the four configurations {standard pipeline, no pipeline} × {tree-walking
+//! interpreter, firvm bytecode VM} must agree **bitwise** on every result —
+//! the optimizer may only rearrange *which* computations run, never a
+//! single floating-point rounding. Gradients get the same treatment: the
+//! engine derives `vjp` from the pre-pipeline source, so optimized and
+//! unoptimized gradients are bitwise comparable too, and on the smooth
+//! generator profile the optimized reverse-mode gradient is additionally
+//! validated against central finite differences and against the optimized
+//! forward-mode directional derivative.
+//!
+//! Case counts: 256 bitwise cases and 64 gradient cases by default
+//! (`OPT_FUZZ_CASES` scales the bitwise count down to a bound in CI-smoke
+//! contexts or up for soak runs). Generation is driven by the fixed-seed
+//! deterministic `TestRng`, so every run — local or CI — sees the same
+//! programs.
+
+use fir::ir::Fun;
+use fir::typecheck::check_fun;
+use fir_proptest::{arbitrary_fun, GenConfig};
+use futhark_ad::gradcheck::{finite_diff_gradient, max_rel_error};
+use futhark_ad_repro::{Engine, PassPipeline};
+use interp::Value;
+use proptest::TestRng;
+
+fn cases_from_env(default: usize) -> usize {
+    std::env::var("OPT_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The four engines of the differential square, sharing nothing.
+fn engines() -> [(&'static str, Engine); 4] {
+    let mk = |backend: &str, pipeline: PassPipeline| {
+        Engine::by_name(backend).unwrap().with_pipeline(pipeline)
+    };
+    [
+        ("interp+std", mk("interp-seq", PassPipeline::standard())),
+        ("interp+none", mk("interp-seq", PassPipeline::none())),
+        ("vm+std", mk("vm-seq", PassPipeline::standard())),
+        ("vm+none", mk("vm-seq", PassPipeline::none())),
+    ]
+}
+
+/// Per-backend *parallel* standard-vs-none pairs, with the parallelism
+/// threshold forced low enough that the generator's tiny arrays actually
+/// take the chunked code paths. Comparisons are within one backend (the
+/// two backends may chunk differently from each other), pinning down that
+/// a fused `redomap`'s parallel fold-and-combine is bitwise identical to
+/// the `reduce (map ...)` it replaced.
+fn parallel_pairs() -> [(&'static str, Engine, Engine); 2] {
+    use interp::{ExecConfig, Interp};
+    let cfg = ExecConfig {
+        parallel: true,
+        num_threads: 4,
+        parallel_threshold: 2,
+    };
+    let interp_std = Engine::with_backend(Box::new(Interp::with_config(cfg.clone())))
+        .with_pipeline(PassPipeline::standard());
+    let interp_none = Engine::with_backend(Box::new(Interp::with_config(cfg.clone())))
+        .with_pipeline(PassPipeline::none());
+    let vm_std = Engine::with_backend(Box::new(firvm::Vm::with_config(cfg.clone())))
+        .with_pipeline(PassPipeline::standard());
+    let vm_none = Engine::with_backend(Box::new(firvm::Vm::with_config(cfg)))
+        .with_pipeline(PassPipeline::none());
+    [
+        ("interp-par", interp_std, interp_none),
+        ("vm-par", vm_std, vm_none),
+    ]
+}
+
+fn assert_bitwise_eq(case: &str, config: &str, want: &[Value], got: &[Value]) {
+    assert_eq!(want.len(), got.len(), "{case}: arity under {config}");
+    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+        match (w, g) {
+            (Value::F64(a), Value::F64(b)) => assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{case}: result {i} differs under {config}: {a:?} vs {b:?}"
+            ),
+            (Value::I64(a), Value::I64(b)) => {
+                assert_eq!(a, b, "{case}: result {i} under {config}")
+            }
+            (Value::Bool(a), Value::Bool(b)) => {
+                assert_eq!(a, b, "{case}: result {i} under {config}")
+            }
+            (Value::Arr(a), Value::Arr(b)) => {
+                assert_eq!(a.shape, b.shape, "{case}: result {i} shape under {config}");
+                assert_eq!(a.elem(), b.elem(), "{case}: result {i} elem under {config}");
+                if a.elem() == fir::types::ScalarType::F64 {
+                    for (j, (x, y)) in a.f64s().iter().zip(b.f64s()).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{case}: result {i}[{j}] differs under {config}: {x:?} vs {y:?}"
+                        );
+                    }
+                } else {
+                    assert_eq!(
+                        format!("{a:?}"),
+                        format!("{b:?}"),
+                        "{case}: result {i} under {config}"
+                    );
+                }
+            }
+            other => panic!("{case}: unexpected result pair {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn random_programs_agree_bitwise_across_pipelines_and_backends() {
+    let cases = cases_from_env(256);
+    let mut rng = TestRng::deterministic();
+    let engines = engines();
+    let parallel = parallel_pairs();
+    for case in 0..cases {
+        let name = format!("fuzz{case}");
+        let (fun, args) = arbitrary_fun(&name, &mut rng, &GenConfig::default());
+        check_fun(&fun).unwrap_or_else(|e| panic!("{name}: generator emitted ill-typed IR: {e}"));
+        let reference = engines[0].1.compile(&fun).unwrap().call(&args).unwrap();
+        for (config, engine) in &engines[1..] {
+            let got = engine.compile(&fun).unwrap().call(&args).unwrap();
+            assert_bitwise_eq(&name, config, &reference, &got);
+        }
+        // Parallel chunked paths: standard vs none within each backend
+        // (primal only — the generator emits no accumulators, so parallel
+        // primal execution is deterministic).
+        for (config, std_engine, none_engine) in &parallel {
+            let a = std_engine.compile(&fun).unwrap().call(&args).unwrap();
+            let b = none_engine.compile(&fun).unwrap().call(&args).unwrap();
+            assert_bitwise_eq(&name, config, &b, &a);
+        }
+    }
+}
+
+#[test]
+fn random_gradients_agree_bitwise_and_pass_gradcheck() {
+    let cases = cases_from_env(64).clamp(1, 64);
+    let mut rng = TestRng::deterministic();
+    let engines = engines();
+    for case in 0..cases {
+        let name = format!("grad{case}");
+        let (fun, args) = arbitrary_fun(&name, &mut rng, &GenConfig::smooth());
+        check_fun(&fun).unwrap_or_else(|e| panic!("{name}: ill-typed: {e}"));
+
+        // Reverse mode, bitwise across all four configurations (vjp is
+        // derived from the pre-pipeline source, then optimized per engine).
+        let reference = engines[0].1.compile(&fun).unwrap().grad(&args).unwrap();
+        for (config, engine) in &engines[1..] {
+            let got = engine.compile(&fun).unwrap().grad(&args).unwrap();
+            assert_eq!(
+                reference.scalar().to_bits(),
+                got.scalar().to_bits(),
+                "{name}: primal under {config}"
+            );
+            let (a, b) = (reference.flat_grads(), got.flat_grads());
+            assert_eq!(a.len(), b.len(), "{name}: gradient arity under {config}");
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{name}: grad[{i}] differs under {config}: {x:?} vs {y:?}"
+                );
+            }
+        }
+
+        // The fully-optimized gradient still matches finite differences.
+        let fd = finite_diff_gradient(&interp::Interp::sequential(), &fun, &args, 1e-6);
+        let err = max_rel_error(&reference.flat_grads(), &fd);
+        assert!(
+            err < 1e-4,
+            "{name}: gradcheck failed after the full pipeline, max rel err {err:.3e}\n{fun}"
+        );
+
+        // Forward mode through the pipeline: the directional derivative
+        // along each parameter must match the reverse-mode block sums.
+        let cf = engines[2].1.compile(&fun).unwrap();
+        for (i, arg) in args.iter().enumerate() {
+            let ones = match arg {
+                Value::F64(_) => Value::F64(1.0),
+                Value::Arr(a) => Value::Arr(interp::Array::from_f64(
+                    a.shape.clone(),
+                    vec![1.0; a.f64s().len()],
+                )),
+                other => panic!("unexpected arg {other:?}"),
+            };
+            let dual = cf.pushforward(&args, &[(i, ones)]).unwrap();
+            let grads = reference.grads[i].clone();
+            let want: f64 = match grads {
+                Value::F64(x) => x,
+                Value::Arr(a) => a.f64s().iter().sum(),
+                other => panic!("unexpected grad {other:?}"),
+            };
+            let got = dual.flat_tangents()[0];
+            let denom = want.abs().max(1.0);
+            assert!(
+                ((got - want) / denom).abs() < 1e-9,
+                "{name}: jvp/vjp disagree on param {i}: {got:?} vs {want:?}"
+            );
+        }
+    }
+}
+
+/// All ten workload instances (the paper's nine benchmarks, with HAND in
+/// both its simple and complicated variants), bitwise across
+/// optimized/unoptimized × interp/firvm (sequential configurations, where
+/// float reassociation cannot occur) — the acceptance bar for every pass
+/// in the pipeline.
+#[test]
+fn all_workloads_agree_bitwise_across_pipelines_and_backends() {
+    use workloads::{adbench, gmm, kmeans, lstm, mc};
+    let workloads: Vec<(&str, Fun, Vec<Value>)> = vec![
+        {
+            let d = gmm::GmmData::generate(25, 4, 4, 21);
+            ("gmm", gmm::objective_ir(), d.ir_args())
+        },
+        {
+            let d = kmeans::KmeansData::generate(80, 4, 4, 22);
+            ("kmeans-dense", kmeans::dense_objective_ir(), d.ir_args())
+        },
+        {
+            let d = kmeans::SparseKmeansData::generate(60, 12, 4, 4, 23);
+            ("kmeans-sparse", kmeans::sparse_objective_ir(), d.ir_args())
+        },
+        {
+            let d = lstm::LstmData::generate(5, 4, 4, 2, 24);
+            ("lstm", lstm::objective_ir(d.h, d.bs), d.ir_args())
+        },
+        {
+            let d = adbench::BaData::generate(6, 24, 96, 25);
+            ("ba", adbench::ba_objective_ir(), d.ir_args())
+        },
+        {
+            let d = adbench::HandData::generate(12, 4, 26);
+            (
+                "hand-simple",
+                adbench::hand_objective_ir(false),
+                d.ir_args(false),
+            )
+        },
+        {
+            let d = adbench::HandData::generate(12, 4, 27);
+            (
+                "hand-complicated",
+                adbench::hand_objective_ir(true),
+                d.ir_args(true),
+            )
+        },
+        {
+            let d = adbench::DlstmData::generate(8, 5, 5, 28);
+            ("d-lstm", adbench::dlstm_objective_ir(d.h), d.ir_args())
+        },
+        {
+            let d = mc::XsData::generate(12, 5, 128, 29);
+            ("xsbench", mc::xsbench_ir(d.g), d.ir_args())
+        },
+        {
+            let d = mc::RsData::generate(5, 4, 3, 96, 30);
+            ("rsbench", mc::rsbench_ir(4, 3), d.ir_args())
+        },
+    ];
+    let engines = engines();
+    for (name, fun, args) in &workloads {
+        let reference = engines[0].1.compile(fun).unwrap().call(args).unwrap();
+        for (config, engine) in &engines[1..] {
+            let got = engine.compile(fun).unwrap().call(args).unwrap();
+            assert_bitwise_eq(name, config, &reference, &got);
+        }
+        // Gradients too: vjp derives from the same source everywhere.
+        let gref = engines[0].1.compile(fun).unwrap().grad(args).unwrap();
+        for (config, engine) in &engines[1..] {
+            let got = engine.compile(fun).unwrap().grad(args).unwrap();
+            assert_eq!(
+                gref.scalar().to_bits(),
+                got.scalar().to_bits(),
+                "{name}: vjp primal under {config}"
+            );
+            for (i, (x, y)) in gref.flat_grads().iter().zip(&got.flat_grads()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{name}: grad[{i}] under {config}");
+            }
+        }
+    }
+}
+
+/// The acceptance bar of the pass suite: the GMM D=5 gradient executes with
+/// at least 20% fewer (statically counted, per the pass-stats layer) VM
+/// statements under the standard pipeline than under `PassPipeline::none`.
+#[test]
+fn gmm_d5_gradient_shrinks_at_least_20_percent() {
+    use workloads::gmm;
+    let fun = gmm::objective_ir();
+    let engine = Engine::by_name("vm-seq")
+        .unwrap()
+        .with_pipeline(PassPipeline::standard());
+    let cf = engine.compile(&fun).unwrap();
+    let vjp = cf.vjp().unwrap();
+    let stats = engine.opt_stats();
+    // Both the primal and its vjp went through the pipeline.
+    assert_eq!(stats.functions, 2);
+    let unopt = fir_opt::count_stms(&futhark_ad::vjp(&fun));
+    let opt = fir_opt::count_stms(vjp.fun());
+    assert!(
+        (opt as f64) <= 0.8 * (unopt as f64),
+        "GMM gradient: expected >= 20% fewer statements, got {opt} vs {unopt} \
+         (pipeline stats: {stats:?})"
+    );
+    // The stats layer must account for exactly this reduction.
+    assert_eq!(stats.stms_after, fir_opt::count_stms(cf.fun()) + opt);
+    assert!(stats.total_rewrites() > 0);
+    // And the optimized gradient still computes the same numbers (D=5).
+    let d = gmm::GmmData::generate(30, 5, 3, 31);
+    let unopt_engine = Engine::by_name("vm-seq")
+        .unwrap()
+        .with_pipeline(PassPipeline::none());
+    let g_opt = cf.grad(&d.ir_args()).unwrap();
+    let g_ref = unopt_engine
+        .compile(&fun)
+        .unwrap()
+        .grad(&d.ir_args())
+        .unwrap();
+    assert_eq!(g_opt.scalar().to_bits(), g_ref.scalar().to_bits());
+    for (x, y) in g_opt.flat_grads().iter().zip(&g_ref.flat_grads()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
