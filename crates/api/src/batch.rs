@@ -1,5 +1,7 @@
-//! Fused ("vectorized") batch execution: run a batch of same-shaped
-//! requests as *one* program mapped over a stacked batch dimension.
+//! Value-level helpers for fused ("vectorized") batch execution: stack a
+//! batch of same-shaped requests into the argument list of a
+//! [`Transform::Vmap`](crate::Transform::Vmap)-derived program, and split
+//! its results back per request.
 //!
 //! Task-parallel batching (`CompiledFn::call_batch_results`) runs one
 //! program execution per request, paying the whole per-call dispatch
@@ -28,9 +30,7 @@
 //! task-parallel batching whenever requests' shapes disagree or the
 //! batched program fails to compile or run.
 
-use fir::builder::Builder;
-use fir::ir::{Atom, Fun};
-use fir::rename::Renamer;
+use fir::ir::Fun;
 use fir::types::Type;
 use interp::{Array, Value};
 
@@ -38,41 +38,12 @@ use crate::error::FirError;
 
 /// Derive the batched program of `fun`: parameters and results lifted by
 /// one leading (batch) dimension, body wrapped in one outer `map`.
+#[deprecated(
+    note = "the outer-map lowering is the first-class `vmap` transform now: \
+            use `fir::lower::vmap`, `Transform::Vmap`, or `CompiledFn::vmap`"
+)]
 pub fn batched_fun(fun: &Fun) -> Result<Fun, FirError> {
-    if fun.params.is_empty() {
-        return Err(FirError::Unsupported {
-            what: format!("`{}` has no parameters to batch over", fun.name),
-        });
-    }
-    if fun.params.iter().any(|p| p.ty.is_acc()) || fun.ret.iter().any(|t| t.is_acc()) {
-        return Err(FirError::Unsupported {
-            what: format!(
-                "`{}` has accumulator parameters or results, cannot batch",
-                fun.name
-            ),
-        });
-    }
-    let mut b = Builder::for_fun(fun);
-    let lifted: Vec<Type> = fun.params.iter().map(|p| p.ty.lift()).collect();
-    let out_tys: Vec<Type> = fun.ret.iter().map(|t| t.lift()).collect();
-    Ok(
-        b.build_fun(&format!("{}__batched", fun.name), &lifted, |b, ps| {
-            let outs = b.map(&out_tys, ps, |b, es| {
-                // Inline the original body with its parameters redirected
-                // to the map's element variables, all bindings freshened.
-                let mut r = Renamer::new();
-                for (p, e) in fun.params.iter().zip(es) {
-                    r.insert(p.var, *e);
-                }
-                let body = r.body(b, &fun.body);
-                for s in body.stms {
-                    b.push_stm(s);
-                }
-                body.result
-            });
-            outs.into_iter().map(Atom::Var).collect()
-        }),
-    )
+    fir::lower::vmap(fun).map_err(FirError::from)
 }
 
 /// Whether every request shares the arity, element types, and shapes of
@@ -92,10 +63,10 @@ fn stackable(batch: &[impl AsRef<[Value]>]) -> bool {
     })
 }
 
-/// Stack per-request argument lists into the batched program's argument
+/// Stack per-request argument lists into the vmapped program's argument
 /// list (one array of outer length `batch.len()` per parameter). Returns
-/// `None` when the requests' shapes disagree.
-pub(crate) fn stack_args(batch: &[impl AsRef<[Value]>]) -> Option<Vec<Value>> {
+/// `None` when the batch is empty or the requests' shapes disagree.
+pub fn stack_args(batch: &[impl AsRef<[Value]>]) -> Option<Vec<Value>> {
     if batch.is_empty() || !stackable(batch) {
         return None;
     }
@@ -110,11 +81,28 @@ pub(crate) fn stack_args(batch: &[impl AsRef<[Value]>]) -> Option<Vec<Value>> {
     )
 }
 
-/// Split the batched program's results back into per-request result
-/// lists. `ret` is the *original* function's result signature; scalar
-/// results come back as scalars, array results as the per-request slices.
-pub(crate) fn unstack_results(ret: &[Type], outs: &[Value], batch: usize) -> Vec<Vec<Value>> {
-    debug_assert_eq!(ret.len(), outs.len());
+/// Split the vmapped program's results back into per-request result
+/// lists by indexing each output along its leading (batch) dimension —
+/// the splitting itself is shape-driven, so each slot comes back as a
+/// scalar or array according to the stacked value's rank. `ret` is the
+/// *original* (pre-vmap) function's result signature and is checked
+/// against the outputs (arity and lifted rank); it panics on mismatch,
+/// catching callers that hand results of the wrong program.
+pub fn unstack_results(ret: &[Type], outs: &[Value], batch: usize) -> Vec<Vec<Value>> {
+    assert_eq!(
+        ret.len(),
+        outs.len(),
+        "unstack_results: {} result types for {} outputs",
+        ret.len(),
+        outs.len()
+    );
+    for (t, o) in ret.iter().zip(outs) {
+        assert_eq!(
+            t.rank() + 1,
+            o.as_arr().shape.len(),
+            "unstack_results: output rank does not match the lifted signature"
+        );
+    }
     (0..batch)
         .map(|i| outs.iter().map(|o| o.as_arr().index(&[i])).collect())
         .collect()

@@ -2,16 +2,18 @@
 //!
 //! [`Engine`] owns a backend, a structural-fingerprint cache of compiled
 //! functions, and a configurable [`PassPipeline`]. [`Engine::compile`]
-//! type-checks up front and returns a [`CompiledFn`]; from that handle the
-//! AD transforms ([`CompiledFn::vjp`], [`CompiledFn::jvp`],
-//! [`CompiledFn::hessian`]) are derived lazily, compiled through the same
-//! cache, and shared by every clone of the handle. Execution is fallible
-//! end to end and batched calls amortize dispatch across the persistent
-//! worker pool.
+//! type-checks up front and returns a [`CompiledFn`]; from that handle any
+//! stack of [`Transform`]s ([`CompiledFn::transform`], with the fluent
+//! sugar [`CompiledFn::vjp`] / [`CompiledFn::jvp`] / [`CompiledFn::vmap`]
+//! / [`CompiledFn::hessian`]) derives a new program from the pre-pipeline
+//! source, compiled through the same cache and shared by every handle of
+//! the same `(source fingerprint, transform stack)`. Execution is
+//! fallible end to end and batched calls amortize dispatch across the
+//! persistent worker pool.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 use fir::ir::Fun;
 use fir::types::Type;
@@ -21,6 +23,10 @@ use interp::{validate_args, Array, Backend, Executable, Value, WorkerPool};
 use crate::error::FirError;
 use crate::pipeline::{PassPipeline, PipelineStats};
 use crate::registry;
+use crate::transform::Transform;
+
+/// A structural fingerprint (see [`firvm::fingerprint_pair`]).
+type Fingerprint = (u64, u64);
 
 // ---------------------------------------------------------------------
 // Engine
@@ -40,6 +46,17 @@ struct EngineInner {
     backend: Arc<dyn Backend>,
     pipeline: Mutex<PassPipeline>,
     cache: Mutex<LruCache>,
+    /// Derived-program index: `(root source fingerprint, transform
+    /// stack)` → the fingerprint of the derived function. Running a
+    /// transform (re-deriving a whole `vjp`, say) just to discover that
+    /// the result is already compiled would make every `grad` call pay
+    /// the derivation; this index answers the hot path with two hash
+    /// lookups instead. Entries are a few words each; aliases whose
+    /// target program is LRU-evicted are dropped with it (see
+    /// [`Engine::compile_entry`]), so the index stays proportional to
+    /// the live cache — a re-requested stack just re-derives and
+    /// re-aliases.
+    derived: Mutex<HashMap<(Fingerprint, Vec<Transform>), Fingerprint>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     opt: Mutex<OptStats>,
@@ -48,12 +65,13 @@ struct EngineInner {
 /// One compiled function in the engine cache: the optimized IR and the
 /// backend-prepared executable.
 ///
-/// Deliberately *not* home to the derived-transform handles: a
+/// Deliberately *not* home to any derived-transform handle: a
 /// `CompiledFn` holds an `Arc<EngineInner>`, so storing one inside the
 /// cache the engine owns would create a strong reference cycle and leak
-/// the engine (and every cached program) forever. Derived handles live on
-/// the `CompiledFn` instead; re-deriving a transform on a fresh handle is
-/// a cheap IR walk whose *compilation* still hits this cache.
+/// the engine (and every cached program) forever. Derived programs are
+/// ordinary cache entries under their own `(fingerprint, stack)` key; a
+/// `CompiledFn` returned by [`CompiledFn::transform`] keeps its entry
+/// alive by `Arc` even after the cache evicts it.
 #[derive(Clone)]
 struct CacheEntry {
     /// The function as compiled (pre-pipeline). AD transforms derive from
@@ -76,7 +94,7 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 128;
 /// (and serving deployments keep the capacity small by design — a handful
 /// of registered programs plus their derived transforms).
 struct LruCache {
-    map: HashMap<(u64, u64), LruSlot>,
+    map: HashMap<Fingerprint, LruSlot>,
     capacity: usize,
     tick: u64,
     evictions: usize,
@@ -98,7 +116,7 @@ impl LruCache {
     }
 
     /// Look up `key`, marking it most-recently-used on a hit.
-    fn get(&mut self, key: &(u64, u64)) -> Option<CacheEntry> {
+    fn get(&mut self, key: &Fingerprint) -> Option<CacheEntry> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|slot| {
@@ -110,8 +128,10 @@ impl LruCache {
     /// Insert `entry` under `key`, evicting the least-recently-used slot
     /// when the cache is over capacity. If another thread inserted the same
     /// key meanwhile, the first entry wins (so the executable stays shared)
-    /// and is returned.
-    fn insert(&mut self, key: (u64, u64), entry: CacheEntry) -> CacheEntry {
+    /// and is returned, alongside the fingerprints evicted to make room
+    /// (so the caller can drop derived-program aliases that point at
+    /// them).
+    fn insert(&mut self, key: Fingerprint, entry: CacheEntry) -> (CacheEntry, Vec<Fingerprint>) {
         self.tick += 1;
         let tick = self.tick;
         let kept = self
@@ -124,6 +144,7 @@ impl LruCache {
             })
             .entry
             .clone();
+        let mut evicted = Vec::new();
         while self.map.len() > self.capacity {
             let lru = self
                 .map
@@ -133,8 +154,9 @@ impl LruCache {
                 .expect("over-capacity cache cannot be empty");
             self.map.remove(&lru);
             self.evictions += 1;
+            evicted.push(lru);
         }
-        kept
+        (kept, evicted)
     }
 }
 
@@ -179,6 +201,37 @@ impl OptStats {
     }
 }
 
+impl std::fmt::Display for OptStats {
+    /// One human-readable line, e.g.
+    /// `optimizer: 2 functions, 7 iterations, 812 -> 598 stms (-26%), rewrites: cse 12, dce 40`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pct = if self.stms_before == 0 {
+            0.0
+        } else {
+            100.0 * self.stms_removed() as f64 / self.stms_before as f64
+        };
+        write!(
+            f,
+            "optimizer: {} function{}, {} iteration{}, {} -> {} stms (-{:.0}%)",
+            self.functions,
+            if self.functions == 1 { "" } else { "s" },
+            self.iterations,
+            if self.iterations == 1 { "" } else { "s" },
+            self.stms_before,
+            self.stms_after,
+            pct,
+        )?;
+        let fired: Vec<_> = self.rewrites.iter().filter(|(_, n)| **n > 0).collect();
+        if !fired.is_empty() {
+            write!(f, ", rewrites:")?;
+            for (i, (pass, n)) in fired.iter().enumerate() {
+                write!(f, "{} {pass} {n}", if i == 0 { "" } else { "," })?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Cache counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -192,6 +245,25 @@ pub struct CacheStats {
     pub evictions: usize,
     /// The configured LRU bound (see [`EngineBuilder::cache_capacity`]).
     pub capacity: usize,
+}
+
+impl std::fmt::Display for CacheStats {
+    /// One human-readable line, e.g.
+    /// `cache: 3 hits, 2 misses, 2/128 entries, 0 evictions`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cache: {} hit{}, {} miss{}, {}/{} entries, {} eviction{}",
+            self.hits,
+            if self.hits == 1 { "" } else { "s" },
+            self.misses,
+            if self.misses == 1 { "" } else { "es" },
+            self.entries,
+            self.capacity,
+            self.evictions,
+            if self.evictions == 1 { "" } else { "s" },
+        )
+    }
 }
 
 impl Default for Engine {
@@ -229,6 +301,7 @@ impl Engine {
                 backend,
                 pipeline: Mutex::new(pipeline),
                 cache: Mutex::new(LruCache::new(capacity)),
+                derived: Mutex::new(HashMap::new()),
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
                 opt: Mutex::new(OptStats::default()),
@@ -268,6 +341,10 @@ impl Engine {
     pub fn set_pipeline(&self, pipeline: PassPipeline) {
         *self.inner.pipeline.lock().unwrap() = pipeline;
         self.inner.cache.lock().unwrap().map.clear();
+        // Derived-program aliases are pipeline-independent (derivation
+        // happens on pre-pipeline IR), but clear them too so a
+        // reconfigured engine starts from a clean slate.
+        self.inner.derived.lock().unwrap().clear();
     }
 
     /// The name of the engine's backend.
@@ -284,9 +361,20 @@ impl Engine {
 
     fn compile_with(inner: &Arc<EngineInner>, fun: &Fun) -> Result<CompiledFn, FirError> {
         let key = fingerprint_pair(fun);
+        let entry = Self::compile_entry(inner, key, fun)?;
+        Ok(CompiledFn::new(Arc::clone(inner), entry, key, Vec::new()))
+    }
+
+    /// Compile `fun` under `key` (its fingerprint), answering from the
+    /// cache when possible and counting the hit/miss either way.
+    fn compile_entry(
+        inner: &Arc<EngineInner>,
+        key: Fingerprint,
+        fun: &Fun,
+    ) -> Result<CacheEntry, FirError> {
         if let Some(entry) = inner.cache.lock().unwrap().get(&key) {
             inner.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(CompiledFn::new(Arc::clone(inner), entry));
+            return Ok(entry);
         }
         fir::typecheck::check_fun(fun)?;
         let pipeline = inner.pipeline.lock().unwrap().clone();
@@ -309,9 +397,62 @@ impl Engine {
         };
         // Another thread may have compiled the same function meanwhile;
         // keep the first entry so the executable stays shared.
-        let entry = inner.cache.lock().unwrap().insert(key, entry);
+        let (entry, evicted) = inner.cache.lock().unwrap().insert(key, entry);
+        if !evicted.is_empty() {
+            // Drop aliases that point at evicted programs so the derived
+            // index stays proportional to the *live* cache: without this
+            // an engine compiling a stream of distinct functions would
+            // grow the index without bound while the cache stays capped.
+            // (A re-requested stack just re-derives and re-aliases.)
+            inner
+                .derived
+                .lock()
+                .unwrap()
+                .retain(|_, target| !evicted.contains(target));
+        }
         inner.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(CompiledFn::new(Arc::clone(inner), entry))
+        Ok(entry)
+    }
+
+    /// Apply one [`Transform`] on top of `base` (a handle whose stack is
+    /// `base.stack`): consult the derived-program index, re-derive and
+    /// compile only when the target is not cached.
+    fn transform_one(base: &CompiledFn, t: Transform) -> Result<CompiledFn, FirError> {
+        let inner = &base.engine;
+        let mut stack = base.stack.clone();
+        stack.push(t);
+        let alias = (base.root_key, stack);
+        // Hot path: the index knows the derived fingerprint and the cache
+        // still holds it — no derivation at all. (The index guard is
+        // released before the cache lock is taken, so concurrent hot
+        // callers never serialize on both mutexes at once.)
+        let known = inner.derived.lock().unwrap().get(&alias).copied();
+        if let Some(key) = known {
+            if let Some(entry) = inner.cache.lock().unwrap().get(&key) {
+                inner.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(CompiledFn::new(
+                    Arc::clone(inner),
+                    entry,
+                    base.root_key,
+                    alias.1,
+                ));
+            }
+        }
+        // Derive from the pre-pipeline source of the base handle (which
+        // already carries `base.stack` applied to the root), so gradients
+        // are identical whatever pipeline the engine runs. Derivation is
+        // deterministic: the fingerprint (and thus the cache slot) of a
+        // `(root, stack)` pair is stable across handles and evictions.
+        let fun = t.apply(&base.entry.source)?;
+        let key = fingerprint_pair(&fun);
+        let entry = Self::compile_entry(inner, key, &fun)?;
+        inner.derived.lock().unwrap().insert(alias.clone(), key);
+        Ok(CompiledFn::new(
+            Arc::clone(inner),
+            entry,
+            base.root_key,
+            alias.1,
+        ))
     }
 
     /// Aggregate optimizer statistics across every function this engine
@@ -512,47 +653,59 @@ fn zeros_like(v: &Value) -> Value {
 // CompiledFn
 // ---------------------------------------------------------------------
 
-/// A function compiled by an [`Engine`]: an executable handle plus lazily
-/// derived AD transforms. Cheap to clone; clones share the executable and
-/// the derived transforms, and handles returned by later `compile` calls
-/// of the same function share the executable (their transform *handles*
-/// are per-`CompiledFn`, but deriving one only re-runs the cheap IR
-/// transform — its compilation is answered by the engine cache).
+/// A function compiled by an [`Engine`]: an executable handle that can
+/// derive further programs by applying a stack of [`Transform`]s
+/// ([`CompiledFn::transform`] and the fluent [`CompiledFn::vjp`] /
+/// [`CompiledFn::jvp`] / [`CompiledFn::vmap`] sugar). Cheap to clone;
+/// handles of the same `(source fingerprint, transform stack)` share one
+/// executable through the engine cache, and a handle keeps its program
+/// alive (`Arc`-held) even after the cache evicts the entry.
 #[derive(Clone)]
 pub struct CompiledFn {
     engine: Arc<EngineInner>,
     entry: CacheEntry,
-    vjp: Arc<OnceLock<Result<Box<CompiledFn>, FirError>>>,
-    jvp: Arc<OnceLock<Result<Box<CompiledFn>, FirError>>>,
-    /// The fused batched program (`crate::batch::batched_fun`), derived
-    /// lazily; `None` when the function cannot be batched, in which case
-    /// the fused entry points fall back to task-parallel batching.
-    fused: Arc<OnceLock<Option<Box<CompiledFn>>>>,
+    /// Fingerprint of the *root* (untransformed) source this handle was
+    /// derived from — equal to the entry's own source fingerprint when
+    /// `stack` is empty.
+    root_key: Fingerprint,
+    /// The transforms applied to the root, in application order.
+    stack: Vec<Transform>,
 }
 
 impl std::fmt::Debug for CompiledFn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompiledFn")
             .field("fun", &self.entry.fun.name)
+            .field("transforms", &self.stack)
             .field("backend", &self.engine.backend.name())
             .finish()
     }
 }
 
 impl CompiledFn {
-    fn new(engine: Arc<EngineInner>, entry: CacheEntry) -> CompiledFn {
+    fn new(
+        engine: Arc<EngineInner>,
+        entry: CacheEntry,
+        root_key: Fingerprint,
+        stack: Vec<Transform>,
+    ) -> CompiledFn {
         CompiledFn {
             engine,
             entry,
-            vjp: Arc::new(OnceLock::new()),
-            jvp: Arc::new(OnceLock::new()),
-            fused: Arc::new(OnceLock::new()),
+            root_key,
+            stack,
         }
     }
 
     /// The function name.
     pub fn name(&self) -> &str {
         &self.entry.fun.name
+    }
+
+    /// The transform stack applied to the root source (empty for a
+    /// directly compiled function), in application order.
+    pub fn transforms(&self) -> &[Transform] {
+        &self.stack
     }
 
     /// The compiled (pipeline-optimized) IR.
@@ -606,35 +759,22 @@ impl CompiledFn {
         })
     }
 
-    /// The lazily derived fused batched program (see
-    /// [`crate::batch::batched_fun`]); `None` when the function cannot be
-    /// batched or the batched program does not compile.
-    fn fused_handle(&self) -> Option<&CompiledFn> {
-        self.fused
-            .get_or_init(|| {
-                crate::batch::batched_fun(&self.entry.fun)
-                    .ok()
-                    .and_then(|bf| Engine::compile_with(&self.engine, &bf).ok())
-                    .map(Box::new)
-            })
-            .as_deref()
-    }
-
     /// [`CompiledFn::call_batch_results`], but when every request shares
     /// the same argument shapes the whole batch executes as *one* fused
-    /// program — the original body mapped over a stacked batch dimension —
-    /// which amortizes the entire per-call dispatch instead of just the
-    /// scheduling. Falls back to task-parallel batching (preserving
-    /// per-request error isolation) whenever requests are malformed,
-    /// shapes disagree, or the fused program is unavailable or fails.
-    /// Results are bitwise-identical to [`CompiledFn::call`] either way.
+    /// program — the [`Transform::Vmap`] of this function, its body mapped
+    /// over a stacked batch dimension — which amortizes the entire
+    /// per-call dispatch instead of just the scheduling. Falls back to
+    /// task-parallel batching (preserving per-request error isolation)
+    /// whenever requests are malformed, shapes disagree, or the vmapped
+    /// program is unavailable or fails. Results are bitwise-identical to
+    /// [`CompiledFn::call`] either way.
     pub fn call_batch_fused(&self, batch: &[Vec<Value>]) -> Vec<Result<Vec<Value>, FirError>> {
         if batch.len() >= 2
             && batch
                 .iter()
                 .all(|args| validate_args(self.name(), self.param_types(), args).is_ok())
         {
-            if let Some(fused) = self.fused_handle() {
+            if let Ok(fused) = self.vmap() {
                 if let Some(stacked) = crate::batch::stack_args(batch) {
                     if let Ok(outs) = fused.call(&stacked) {
                         return crate::batch::unstack_results(
@@ -654,46 +794,66 @@ impl CompiledFn {
 
     // -- derived transforms -------------------------------------------
 
-    /// The reverse-mode transform of this function, compiled through the
-    /// same engine (lazily, once; the handle is shared and cached by
-    /// structural fingerprint).
+    /// Apply a stack of [`Transform`]s on top of this handle's own stack,
+    /// left to right: `f.transform(&[Vjp, Vmap])` is `vmap(vjp(f))`.
+    ///
+    /// Each step derives a new function from the previous step's
+    /// *pre-pipeline* source (so the derived IR — and therefore every
+    /// gradient — is identical whatever pipeline the engine runs),
+    /// re-runs the pass pipeline, and lands in the engine cache keyed on
+    /// `(root source fingerprint, transform stack)`: one compilation per
+    /// distinct stack per engine, LRU-evicted like every other program,
+    /// re-derived and recompiled transparently (a counted miss) if
+    /// evicted. The returned handle holds its program by `Arc`, so it
+    /// stays valid even after eviction.
+    ///
+    /// An empty stack returns a clone of this handle.
+    pub fn transform(&self, transforms: &[Transform]) -> Result<CompiledFn, FirError> {
+        let mut cur = self.clone();
+        for &t in transforms {
+            cur = Engine::transform_one(&cur, t)?;
+        }
+        Ok(cur)
+    }
+
+    /// The reverse-mode transform of this function:
+    /// `self.transform(&[Transform::Vjp])`.
     ///
     /// The transformed function takes the original arguments plus one
     /// adjoint seed per differentiable result and returns the primal
     /// results plus one adjoint per differentiable parameter. For
     /// seed-free calling, use [`CompiledFn::grad`].
-    pub fn vjp(&self) -> Result<&CompiledFn, FirError> {
-        let r = self.vjp.get_or_init(|| {
-            let derived = futhark_ad::vjp(&self.entry.source);
-            Engine::compile_with(&self.engine, &derived).map(Box::new)
-        });
-        match r {
-            Ok(b) => Ok(b),
-            Err(e) => Err(e.clone()),
-        }
+    pub fn vjp(&self) -> Result<CompiledFn, FirError> {
+        self.transform(&[Transform::Vjp])
     }
 
-    /// The forward-mode transform of this function (lazily compiled and
-    /// shared, like [`CompiledFn::vjp`]). The transformed function takes
-    /// the original arguments plus one tangent per differentiable
+    /// The forward-mode transform of this function:
+    /// `self.transform(&[Transform::Jvp])`. The transformed function
+    /// takes the original arguments plus one tangent per differentiable
     /// parameter. For zero-filled tangent calling, use
     /// [`CompiledFn::pushforward`].
-    pub fn jvp(&self) -> Result<&CompiledFn, FirError> {
-        let r = self.jvp.get_or_init(|| {
-            let derived = futhark_ad::jvp(&self.entry.source);
-            Engine::compile_with(&self.engine, &derived).map(Box::new)
-        });
-        match r {
-            Ok(b) => Ok(b),
-            Err(e) => Err(e.clone()),
-        }
+    pub fn jvp(&self) -> Result<CompiledFn, FirError> {
+        self.transform(&[Transform::Jvp])
     }
 
-    /// Forward-over-reverse (`jvp ∘ vjp`): the transform used for
-    /// Hessian-vector products. See [`CompiledFn::hvp`] for the seeded
-    /// convenience wrapper.
-    pub fn hessian(&self) -> Result<&CompiledFn, FirError> {
-        self.vjp()?.jvp()
+    /// The vectorizing-map transform of this function:
+    /// `self.transform(&[Transform::Vmap])`. Every parameter and result
+    /// gains one leading (batch) dimension; because types carry only
+    /// rank, the one derived program serves every batch size. Compose
+    /// with AD for per-example gradients: `f.vjp()?.vmap()?` maps the
+    /// seeded vjp over a stacked batch, `f.vmap()?.vjp()?`
+    /// differentiates the vectorized function — both compute per-example
+    /// gradients, bitwise-identical to a per-example loop.
+    pub fn vmap(&self) -> Result<CompiledFn, FirError> {
+        self.transform(&[Transform::Vmap])
+    }
+
+    /// Forward-over-reverse (`jvp ∘ vjp`, i.e.
+    /// `self.transform(&[Transform::Vjp, Transform::Jvp])`): the
+    /// transform used for Hessian-vector products. See
+    /// [`CompiledFn::hvp`] for the seeded convenience wrapper.
+    pub fn hessian(&self) -> Result<CompiledFn, FirError> {
+        self.transform(&[Transform::Vjp, Transform::Jvp])
     }
 
     // -- seeded conveniences ------------------------------------------
@@ -759,7 +919,7 @@ impl CompiledFn {
     ) -> Result<Vec<Result<GradOutput, FirError>>, FirError> {
         let handle = self.vjp()?;
         let full = self.grad_full_args(batch)?;
-        Ok(self.grad_run_full(handle, &full))
+        Ok(self.grad_run_full(&handle, &full))
     }
 
     /// Run already-seeded vjp argument lists task-parallel on the pool,
@@ -781,10 +941,10 @@ impl CompiledFn {
 
     /// [`CompiledFn::grad_batch_results`] with fused execution: when every
     /// request is well-formed and shares the same shapes, the whole batch
-    /// of seeded vjp calls runs as one batched program (see
-    /// [`CompiledFn::call_batch_fused`]). Falls back to the task-parallel
-    /// per-request path otherwise; results are bitwise-identical to
-    /// [`CompiledFn::grad`] either way.
+    /// of seeded vjp calls runs as one `vmap(vjp(f))` program (the
+    /// transform stack `[Vjp, Vmap]`, compiled once and cached). Falls
+    /// back to the task-parallel per-request path otherwise; results are
+    /// bitwise-identical to [`CompiledFn::grad`] either way.
     pub fn grad_batch_fused(
         &self,
         batch: &[Vec<Value>],
@@ -794,7 +954,7 @@ impl CompiledFn {
         if batch.len() >= 2 && full.iter().all(|r| r.is_ok()) {
             let fulls: Vec<&Vec<Value>> =
                 full.iter().map(|r| r.as_ref().expect("all ok")).collect();
-            if let Some(fused) = handle.fused_handle() {
+            if let Ok(fused) = handle.vmap() {
                 if let Some(stacked) = crate::batch::stack_args(&fulls) {
                     if let Ok(outs) = fused.call(&stacked) {
                         return Ok(crate::batch::unstack_results(
@@ -812,7 +972,7 @@ impl CompiledFn {
         // Fall back to the task-parallel path, reusing the seeded args
         // (for array-valued results, seeding ran the primal once per
         // request — never recompute it).
-        Ok(self.grad_run_full(handle, &full))
+        Ok(self.grad_run_full(&handle, &full))
     }
 
     /// The seeded vjp argument list of every request: original args plus
@@ -1116,6 +1276,116 @@ mod tests {
     }
 
     #[test]
+    fn transform_stacks_compile_once_per_distinct_stack() {
+        let engine = Engine::by_name("vm-seq").unwrap();
+        let f = engine.compile(&dot()).unwrap();
+        let m0 = engine.cache_stats().misses;
+        // [Vjp] and [Vjp, Vmap]: two new programs.
+        let a = f.vjp().unwrap().vmap().unwrap();
+        assert_eq!(engine.cache_stats().misses, m0 + 2);
+        assert_eq!(a.transforms(), &[Transform::Vjp, Transform::Vmap]);
+        // The same stack spelled through `transform`: all cache hits.
+        let hits0 = engine.cache_stats().hits;
+        let b = f.transform(&[Transform::Vjp, Transform::Vmap]).unwrap();
+        assert_eq!(engine.cache_stats().misses, m0 + 2);
+        assert!(engine.cache_stats().hits > hits0);
+        assert_eq!(a.name(), b.name());
+        // The opposite order is a distinct stack (two more programs)...
+        let c = f.vmap().unwrap().vjp().unwrap();
+        assert_eq!(engine.cache_stats().misses, m0 + 4);
+        assert_eq!(c.transforms(), &[Transform::Vmap, Transform::Vjp]);
+        // ...and a second handle of the same function shares everything.
+        let f2 = engine.compile(&dot()).unwrap();
+        f2.vjp().unwrap().vmap().unwrap();
+        f2.vmap().unwrap().vjp().unwrap();
+        assert_eq!(engine.cache_stats().misses, m0 + 4);
+        // An empty stack is the handle itself.
+        assert_eq!(f.transform(&[]).unwrap().name(), f.name());
+    }
+
+    #[test]
+    fn vmap_executes_per_example_bitwise() {
+        for name in ["interp-seq", "vm-seq"] {
+            let engine = Engine::by_name(name).unwrap();
+            let f = engine.compile(&dot()).unwrap();
+            let vf = f.vmap().unwrap();
+            assert_eq!(vf.param_types(), &[Type::arr_f64(2), Type::arr_f64(2)]);
+            let batch: Vec<Vec<Value>> = (0..5)
+                .map(|i| {
+                    vec![
+                        Value::from(vec![i as f64 + 0.5, -1.25, 3.0]),
+                        Value::from(vec![0.75, 2.0, i as f64]),
+                    ]
+                })
+                .collect();
+            let stacked = crate::batch::stack_args(&batch).unwrap();
+            let outs = vf.call(&stacked).unwrap();
+            for (i, args) in batch.iter().enumerate() {
+                let want = f.call(args).unwrap();
+                let got = outs[0].as_arr().index(&[i]);
+                assert_eq!(
+                    want[0].as_f64().to_bits(),
+                    got.as_f64().to_bits(),
+                    "{name}: vmap element {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vmap_vjp_in_both_orders_matches_per_example_grad_bitwise() {
+        for name in ["interp-seq", "vm-seq"] {
+            let engine = Engine::by_name(name).unwrap();
+            let f = engine.compile(&dot()).unwrap();
+            let batch: Vec<Vec<Value>> = (0..4)
+                .map(|i| {
+                    vec![
+                        Value::from(vec![1.0 + i as f64, 2.0, -0.5]),
+                        Value::from(vec![4.0, i as f64 - 2.0, 6.0]),
+                    ]
+                })
+                .collect();
+            // Seeded per-example argument lists: args ++ unit seed.
+            let seeded: Vec<Vec<Value>> = batch
+                .iter()
+                .map(|args| {
+                    let mut a = args.clone();
+                    a.extend(f.unit_seeds(args).unwrap());
+                    a
+                })
+                .collect();
+            let stacked = crate::batch::stack_args(&seeded).unwrap();
+            // vmap(vjp(f)) and vjp(vmap(f)) take the *same* stacked
+            // argument list here (the seed column of the former is the
+            // [B]-seed of the latter) and must agree with the
+            // per-example grad loop bitwise.
+            for stack in [
+                [Transform::Vjp, Transform::Vmap],
+                [Transform::Vmap, Transform::Vjp],
+            ] {
+                let tf = f.transform(&stack).unwrap();
+                let outs = tf.call(&stacked).unwrap();
+                for (i, args) in batch.iter().enumerate() {
+                    let want = f.grad(args).unwrap();
+                    assert_eq!(
+                        want.scalar().to_bits(),
+                        outs[0].as_arr().index(&[i]).as_f64().to_bits(),
+                        "{name} {stack:?}: primal {i}"
+                    );
+                    for (j, g) in want.grads.iter().enumerate() {
+                        let got = outs[1 + j].as_arr().index(&[i]);
+                        assert_eq!(
+                            g.as_arr().f64s(),
+                            got.as_arr().f64s(),
+                            "{name} {stack:?}: grad[{j}] of example {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn call_batch_matches_sequential_calls() {
         let engine = Engine::new();
         let f = engine.compile(&dot()).unwrap();
@@ -1169,6 +1439,55 @@ mod tests {
         let s = engine.cache_stats();
         assert_eq!(s.misses, misses + 1, "evicted program must recompile");
         assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn alias_index_stays_proportional_to_the_live_cache() {
+        fn scaled(c: f64) -> Fun {
+            let mut b = Builder::new();
+            b.build_fun("scaled", &[Type::arr_f64(1)], |b, ps| {
+                let s = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                    vec![b.fmul(es[0].into(), fir::ir::Atom::f64(c))]
+                });
+                vec![b.sum(s).into()]
+            })
+        }
+        let engine = Engine::builder()
+            .backend_name("vm-seq")
+            .cache_capacity(2)
+            .build()
+            .unwrap();
+        // A stream of distinct programs and their vjps through a tiny
+        // cache: aliases of evicted programs must be dropped with them,
+        // not accumulated for the engine's lifetime.
+        for c in 0..8 {
+            engine
+                .compile(&scaled(c as f64 + 1.5))
+                .unwrap()
+                .vjp()
+                .unwrap();
+        }
+        assert!(engine.cache_stats().evictions >= 12);
+        let aliases = engine.inner.derived.lock().unwrap().len();
+        assert!(
+            aliases <= engine.cache_stats().capacity,
+            "alias index must shrink with evictions, found {aliases} entries"
+        );
+    }
+
+    #[test]
+    fn opt_stats_display_omits_passes_that_never_fired() {
+        let mut stats = OptStats {
+            functions: 1,
+            stms_before: 10,
+            stms_after: 8,
+            ..OptStats::default()
+        };
+        stats.rewrites.insert("dce", 2);
+        stats.rewrites.insert("cse", 0);
+        let line = stats.to_string();
+        assert!(line.contains("dce 2"), "{line}");
+        assert!(!line.contains("cse"), "{line}");
     }
 
     #[test]

@@ -42,6 +42,14 @@ impl From<TypeError> for FirError {
     }
 }
 
+impl From<fir::lower::VmapError> for FirError {
+    fn from(e: fir::lower::VmapError) -> FirError {
+        FirError::Unsupported {
+            what: e.to_string(),
+        }
+    }
+}
+
 impl From<ExecError> for FirError {
     fn from(e: ExecError) -> FirError {
         // A backend re-checking types reports the same class of error as

@@ -13,14 +13,19 @@
 //! * [`Engine::compile`] type-checks up front and returns a
 //!   [`CompiledFn`]; malformed IR and malformed arguments surface as
 //!   [`FirError`] — never a panic.
-//! * [`CompiledFn::vjp`] / [`CompiledFn::jvp`] / [`CompiledFn::hessian`]
-//!   lazily derive transformed handles that share the engine cache, and
-//!   the seeded wrappers [`CompiledFn::grad`], [`CompiledFn::pushforward`]
+//! * [`CompiledFn::transform`] applies a stack of [`Transform`]s (`Vjp`,
+//!   `Jvp`, `Vmap`) left to right — `f.vjp()?.vmap()?` is the
+//!   per-example-gradient program `vmap(vjp(f))` — each derived from the
+//!   pre-pipeline source and compiled once per distinct
+//!   `(source fingerprint, stack)` through the shared engine cache. The
+//!   seeded wrappers [`CompiledFn::grad`], [`CompiledFn::pushforward`]
 //!   and [`CompiledFn::hvp`] insert unit adjoint seeds and zero tangents
 //!   automatically, returning the typed [`GradOutput`] / [`Dual`] structs.
 //! * [`CompiledFn::call_batch`] / [`CompiledFn::grad_batch`] execute a
 //!   batch of independent requests concurrently on the persistent worker
-//!   pool, amortizing dispatch — the building block for serving-scale
+//!   pool; [`CompiledFn::call_batch_fused`] /
+//!   [`CompiledFn::grad_batch_fused`] run same-shaped batches as *one*
+//!   `Vmap`-derived program — the building blocks for serving-scale
 //!   deployments.
 //!
 //! # Example
@@ -74,6 +79,7 @@ pub mod engine;
 pub mod error;
 pub mod pipeline;
 pub mod registry;
+pub mod transform;
 
 pub use engine::{
     CacheStats, CompiledFn, Dual, Engine, EngineBuilder, GradOutput, OptStats,
@@ -82,3 +88,4 @@ pub use engine::{
 pub use error::FirError;
 pub use pipeline::{Pass, PassPipeline, PipelineStats};
 pub use registry::{backend_by_name, default_backend_name, BACKEND_ENV_VAR, BACKEND_NAMES};
+pub use transform::Transform;

@@ -1,0 +1,124 @@
+//! First-class program transforms.
+//!
+//! The paper's central claim is that AD composes with the nested
+//! data-parallel constructs because `vjp`/`jvp` are *program transforms*
+//! on the same IR the SOACs live in. This module makes that composition a
+//! first-class API object: a [`Transform`] names one derivation step
+//! (reverse mode, forward mode, or the vectorizing map), and a *stack* of
+//! transforms — applied left to right — names a derived program:
+//!
+//! ```text
+//!   [Vjp]        → vjp f                 (reverse mode)
+//!   [Vjp, Vmap]  → vmap (vjp f)          (per-example gradients)
+//!   [Vmap, Vjp]  → vjp (vmap f)          (gradient of the vectorized fn)
+//!   [Vjp, Jvp]   → jvp (vjp f)           (forward-over-reverse Hessians)
+//! ```
+//!
+//! `CompiledFn::transform` applies a stack through the engine: each step
+//! derives a new `Fun` from the previous step's *pre-pipeline* source,
+//! re-runs the pass pipeline, and lands in the engine's fingerprint cache
+//! keyed on `(source fingerprint, transform stack)` — `vmap(vjp(f))` is
+//! compiled once per engine and LRU-evicted like everything else.
+
+use std::fmt;
+
+use fir::ir::Fun;
+
+use crate::error::FirError;
+
+/// One derivation step on a compiled function. Stacks of transforms are
+/// applied left to right: `[Vjp, Vmap]` means `vmap(vjp(f))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Transform {
+    /// Reverse-mode AD (`futhark_ad::vjp`): parameters gain one adjoint
+    /// seed per differentiable result; results gain one adjoint per
+    /// differentiable parameter.
+    Vjp,
+    /// Forward-mode AD (`futhark_ad::jvp`): parameters gain one tangent
+    /// per differentiable parameter; results gain one tangent per
+    /// differentiable result.
+    Jvp,
+    /// The vectorizing map (`fir::lower::vmap`): every parameter and
+    /// result type is promoted one rank and the body becomes the lambda
+    /// of a single outer `map`, so one derived program serves every
+    /// batch size.
+    Vmap,
+}
+
+impl Transform {
+    /// The transform's name as used in displays and serving requests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transform::Vjp => "vjp",
+            Transform::Jvp => "jvp",
+            Transform::Vmap => "vmap",
+        }
+    }
+
+    /// Derive the transformed function from `fun`'s (pre-pipeline) IR.
+    /// The derivation is deterministic: structurally identical inputs
+    /// yield fingerprint-identical outputs, which is what lets the engine
+    /// cache share derived programs across handles.
+    pub fn apply(self, fun: &Fun) -> Result<Fun, FirError> {
+        match self {
+            Transform::Vjp => Ok(futhark_ad::vjp(fun)),
+            Transform::Jvp => Ok(futhark_ad::jvp(fun)),
+            Transform::Vmap => fir::lower::vmap(fun).map_err(FirError::from),
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::Builder;
+    use fir::types::Type;
+
+    fn sumsq() -> Fun {
+        let mut b = Builder::new();
+        b.build_fun("sumsq", &[Type::arr_f64(1)], |b, ps| {
+            let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            vec![b.sum(sq).into()]
+        })
+    }
+
+    #[test]
+    fn apply_derives_well_typed_programs_with_the_expected_signatures() {
+        let f = sumsq();
+        let v = Transform::Vjp.apply(&f).unwrap();
+        fir::typecheck::check_fun(&v).unwrap();
+        assert_eq!(v.params.len(), 2, "args + one seed");
+        let j = Transform::Jvp.apply(&f).unwrap();
+        fir::typecheck::check_fun(&j).unwrap();
+        assert_eq!(j.params.len(), 2, "args + one tangent");
+        let m = Transform::Vmap.apply(&f).unwrap();
+        fir::typecheck::check_fun(&m).unwrap();
+        assert_eq!(m.params[0].ty, Type::arr_f64(2));
+        assert_eq!(m.ret, vec![Type::arr_f64(1)]);
+    }
+
+    #[test]
+    fn vmap_of_a_nullary_function_is_unsupported() {
+        let mut b = Builder::new();
+        let k = b.build_fun("k", &[], |_, _| vec![fir::ir::Atom::f64(2.0)]);
+        assert!(matches!(
+            Transform::Vmap.apply(&k),
+            Err(FirError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Transform::Vjp.to_string(), "vjp");
+        assert_eq!(Transform::Jvp.to_string(), "jvp");
+        assert_eq!(Transform::Vmap.to_string(), "vmap");
+    }
+}

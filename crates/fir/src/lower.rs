@@ -1,15 +1,28 @@
-//! Lowering optimizer-introduced constructs back to the core IR.
+//! Whole-function lowerings on the core IR.
 //!
-//! The only such construct today is [`Exp::Redomap`], produced by `fir-opt`
-//! producer–consumer fusion. The AD transformations (`futhark-ad`) have
-//! per-construct rules for `map` and `reduce` but not for their fusion, so
-//! they [`unfuse`] a function first; the derived function is then re-fused
-//! when it passes through the optimization pipeline again.
+//! Two lowerings live here today:
+//!
+//! * [`unfuse`] replaces every [`Exp::Redomap`] (produced by `fir-opt`
+//!   producer–consumer fusion) by the equivalent `map` + `reduce` pair.
+//!   The AD transformations (`futhark-ad`) have per-construct rules for
+//!   `map` and `reduce` but not for their fusion, so they unfuse a
+//!   function first; the derived function is re-fused when it passes
+//!   through the optimization pipeline again.
+//! * [`vmap`] is the vectorizing-map transform: every parameter and
+//!   result type is promoted one rank ([`crate::types::Type::lift`]) and
+//!   the original body becomes the lambda of a single outer `map` —
+//!   `vmap f : ([B]T_1, ..., [B]T_k) -> ([B]R_1, ..., [B]R_m)`. Because
+//!   types in this IR carry only rank, the derived program serves every
+//!   outer length `B`. Composed with the AD transforms it yields
+//!   per-example gradients and Jacobians (`vmap ∘ vjp`, `vjp ∘ vmap`).
 
 use std::borrow::Cow;
+use std::fmt;
 
 use crate::builder::Builder;
-use crate::ir::{Body, Exp, Fun, Lambda, Param, Stm, VarId};
+use crate::ir::{Atom, Body, Exp, Fun, Lambda, Param, Stm, VarId};
+use crate::rename::Renamer;
+use crate::types::Type;
 
 /// Replace every `redomap` in `fun` by the equivalent `map` + `reduce`
 /// pair (materializing the intermediate arrays). The common no-`redomap`
@@ -139,6 +152,90 @@ fn unfuse_exp(b: &mut Builder, e: &Exp) -> Exp {
     }
 }
 
+// ---------------------------------------------------------------------
+// vmap: rank-promotion of a whole function
+// ---------------------------------------------------------------------
+
+/// Why a function cannot be [`vmap`]ped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmapError {
+    /// The function has no parameters, so there is nothing to map over.
+    NoParams {
+        /// The function name.
+        fun: String,
+    },
+    /// The function has accumulator parameters or results; accumulators
+    /// are write-only views without a liftable array type.
+    Acc {
+        /// The function name.
+        fun: String,
+    },
+}
+
+impl fmt::Display for VmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmapError::NoParams { fun } => {
+                write!(f, "`{fun}` has no parameters to vmap over")
+            }
+            VmapError::Acc { fun } => write!(
+                f,
+                "`{fun}` has accumulator parameters or results, cannot vmap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VmapError {}
+
+/// Derive the vectorized-map transform of `fun`: every parameter and
+/// result type promoted one rank, the body wrapped in one outer `map`.
+///
+/// ```text
+///   f      : (p_1: T_1, ..., p_k: T_k) -> (R_1, ..., R_m)
+///   vmap f : ([B]T_1, ..., [B]T_k)     -> ([B]R_1, ..., [B]R_m)
+///          = \xs_1 ... xs_k. map (\e_1 ... e_k. f-body) xs_1 ... xs_k
+/// ```
+///
+/// Per-element arithmetic is the original body's, evaluated in the same
+/// order, so element `i` of every result is bitwise identical to running
+/// `f` on the `i`-th slice of every argument. The derivation is
+/// deterministic: structurally identical inputs produce structurally
+/// identical (fingerprint-equal) outputs.
+pub fn vmap(fun: &Fun) -> Result<Fun, VmapError> {
+    if fun.params.is_empty() {
+        return Err(VmapError::NoParams {
+            fun: fun.name.clone(),
+        });
+    }
+    if fun.params.iter().any(|p| p.ty.is_acc()) || fun.ret.iter().any(|t| t.is_acc()) {
+        return Err(VmapError::Acc {
+            fun: fun.name.clone(),
+        });
+    }
+    let mut b = Builder::for_fun(fun);
+    let lifted: Vec<Type> = fun.params.iter().map(|p| p.ty.lift()).collect();
+    let out_tys: Vec<Type> = fun.ret.iter().map(|t| t.lift()).collect();
+    Ok(
+        b.build_fun(&format!("{}_vmap", fun.name), &lifted, |b, ps| {
+            let outs = b.map(&out_tys, ps, |b, es| {
+                // Inline the original body with its parameters redirected to
+                // the map's element variables, all bindings freshened.
+                let mut r = Renamer::new();
+                for (p, e) in fun.params.iter().zip(es) {
+                    r.insert(p.var, *e);
+                }
+                let body = r.body(b, &fun.body);
+                for s in body.stms {
+                    b.push_stm(s);
+                }
+                body.result
+            });
+            outs.into_iter().map(Atom::Var).collect()
+        }),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +262,44 @@ mod tests {
         check_fun(&lowered).unwrap();
         let kinds: Vec<&str> = lowered.body.stms.iter().map(|s| s.exp.kind()).collect();
         assert_eq!(kinds, vec!["map", "reduce"]);
+    }
+
+    #[test]
+    fn vmap_lifts_every_param_and_result_one_rank() {
+        let mut b = Builder::new();
+        let fun = b.build_fun(
+            "axpy",
+            &[Type::F64, Type::arr_f64(1), Type::I64],
+            |b, ps| {
+                let scaled = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
+                    vec![b.fmul(ps[0].into(), es[0].into())]
+                });
+                vec![b.sum(scaled).into(), ps[2].into()]
+            },
+        );
+        let v = vmap(&fun).unwrap();
+        check_fun(&v).unwrap();
+        assert_eq!(v.name, "axpy_vmap");
+        let ptys: Vec<Type> = v.params.iter().map(|p| p.ty).collect();
+        assert_eq!(
+            ptys,
+            vec![Type::arr_f64(1), Type::arr_f64(2), Type::arr_i64(1)]
+        );
+        assert_eq!(v.ret, vec![Type::arr_f64(1), Type::arr_i64(1)]);
+        // One outer map, driven by the lifted parameters.
+        assert_eq!(v.body.stms.len(), 1);
+        assert!(matches!(v.body.stms[0].exp, Exp::Map { .. }));
+        // Deterministic: two derivations are structurally identical.
+        assert_eq!(format!("{}", vmap(&fun).unwrap()), format!("{v}"));
+    }
+
+    #[test]
+    fn vmap_rejects_nullary_and_accumulator_functions() {
+        let mut b = Builder::new();
+        let nullary = b.build_fun("k", &[], |_, _| vec![Atom::f64(1.0)]);
+        assert!(matches!(vmap(&nullary), Err(VmapError::NoParams { .. })));
+        let mut b = Builder::new();
+        let acc = b.build_fun("acc", &[Type::acc_f64(1)], |_, ps| vec![ps[0].into()]);
+        assert!(matches!(vmap(&acc), Err(VmapError::Acc { .. })));
     }
 }

@@ -181,18 +181,6 @@ impl Backend for Vm {
     }
 }
 
-/// Backend selection across both crates: `"interp"`/`"interp-seq"` from the
-/// interpreter crate, plus `"vm"`/`"vm-seq"` (aliases `"firvm"`) here.
-#[deprecated(note = "use the single registry in `fir-api` (`fir_api::backend_by_name`)")]
-pub fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
-    #[allow(deprecated)]
-    match name {
-        "vm" | "firvm" => Some(Box::new(Vm::new())),
-        "vm-seq" | "firvm-seq" => Some(Box::new(Vm::sequential())),
-        other => interp::backend::backend_by_name(other),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,14 +501,6 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(vm.run(&f, &[Value::F64(1.0)])[0].as_f64(), 2.0);
         assert_eq!(cache.len(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)] // the shim must keep resolving the legacy names
-    fn backend_selection_by_name() {
-        assert_eq!(backend_by_name("vm").unwrap().name(), "firvm");
-        assert_eq!(backend_by_name("interp").unwrap().name(), "interp");
-        assert!(backend_by_name("cuda").is_none());
     }
 
     #[test]

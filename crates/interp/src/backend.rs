@@ -158,16 +158,6 @@ impl Backend for Interp {
     }
 }
 
-/// Select a backend by name: `"interp"` for the tree-walking interpreter.
-#[deprecated(note = "use the single registry in `fir-api` (`fir_api::backend_by_name`)")]
-pub fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
-    match name {
-        "interp" => Some(Box::new(Interp::new())),
-        "interp-seq" => Some(Box::new(Interp::sequential())),
-        _ => None,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,10 +222,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_still_work() {
-        let backend: Box<dyn Backend> = backend_by_name("interp").unwrap();
+    #[allow(deprecated)] // the blanket convenience stays until its last caller goes
+    fn blanket_convenience_methods_run_through_prepare() {
+        let backend: Box<dyn Backend> = Box::new(Interp::new());
         assert_eq!(backend.run_scalar(&square(), &[Value::F64(3.0)]), 9.0);
-        assert!(backend_by_name("no-such-backend").is_none());
     }
 }

@@ -293,43 +293,48 @@ fn mentions_acc(e: &Exp) -> bool {
 
 /// Collect every variable that is consumed (or aliased into shared mutable
 /// state) anywhere in the body, at any depth.
-fn collect_consumed(body: &Body, out: &mut HashSet<VarId>) {
-    fn exp(e: &Exp, out: &mut HashSet<VarId>) {
-        match e {
-            Exp::Update { arr, .. } => {
-                out.insert(*arr);
-            }
-            Exp::Scatter { dest, .. } => {
-                out.insert(*dest);
-            }
-            Exp::WithAcc { arrs, lam } => {
-                out.extend(arrs.iter().copied());
-                collect_consumed(&lam.body, out);
-            }
-            Exp::UpdAcc { acc, .. } => {
-                out.insert(*acc);
-            }
-            Exp::If {
-                then_br, else_br, ..
-            } => {
-                collect_consumed(then_br, out);
-                collect_consumed(else_br, out);
-            }
-            Exp::Loop { body, .. } => collect_consumed(body, out),
-            Exp::Map { lam, .. } | Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => {
-                collect_consumed(&lam.body, out)
-            }
-            Exp::Redomap {
-                red_lam, map_lam, ..
-            } => {
-                collect_consumed(&red_lam.body, out);
-                collect_consumed(&map_lam.body, out);
-            }
-            _ => {}
-        }
-    }
+pub(crate) fn collect_consumed(body: &Body, out: &mut HashSet<VarId>) {
     for s in &body.stms {
-        exp(&s.exp, out);
+        consumed_in_exp(&s.exp, out);
+    }
+}
+
+/// Consumption of one expression, recursing into its nested bodies.
+/// Shared with fusion's intervening-consumption guard (`fusion.rs`),
+/// which must see consumption nested inside branches, loops, and
+/// lambdas too.
+pub(crate) fn consumed_in_exp(e: &Exp, out: &mut HashSet<VarId>) {
+    match e {
+        Exp::Update { arr, .. } => {
+            out.insert(*arr);
+        }
+        Exp::Scatter { dest, .. } => {
+            out.insert(*dest);
+        }
+        Exp::WithAcc { arrs, lam } => {
+            out.extend(arrs.iter().copied());
+            collect_consumed(&lam.body, out);
+        }
+        Exp::UpdAcc { acc, .. } => {
+            out.insert(*acc);
+        }
+        Exp::If {
+            then_br, else_br, ..
+        } => {
+            collect_consumed(then_br, out);
+            collect_consumed(else_br, out);
+        }
+        Exp::Loop { body, .. } => collect_consumed(body, out),
+        Exp::Map { lam, .. } | Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => {
+            collect_consumed(&lam.body, out)
+        }
+        Exp::Redomap {
+            red_lam, map_lam, ..
+        } => {
+            collect_consumed(&red_lam.body, out);
+            collect_consumed(&map_lam.body, out);
+        }
+        _ => {}
     }
 }
 

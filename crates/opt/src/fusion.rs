@@ -240,6 +240,18 @@ impl Fuser {
     /// are on the order of a thousand statements).
     fn fuse_once(&mut self, stms: &[Stm], result: &[Atom]) -> Option<Vec<Stm>> {
         let uses = occurrence_counts(stms, result);
+        // Everything each statement consumes (at any nesting depth),
+        // computed once per scan — the guard below checks it per
+        // candidate pair, and walking every subtree per pair would make
+        // the scan cubic on big AD-derived bodies.
+        let consumed_by_stm: Vec<std::collections::HashSet<VarId>> = stms
+            .iter()
+            .map(|s| {
+                let mut consumed = std::collections::HashSet::new();
+                crate::cse::consumed_in_exp(&s.exp, &mut consumed);
+                consumed
+            })
+            .collect();
         for (i, prod) in stms.iter().enumerate() {
             let Exp::Map {
                 lam: p_lam,
@@ -274,11 +286,13 @@ impl Fuser {
             // analysis) would then be read after consumption — blocked.
             let mut moved_reads = p_lam.free_vars();
             moved_reads.extend(p_args.iter().copied());
-            let input_consumed_between = stms[i + 1..j].iter().any(|s| match &s.exp {
-                Exp::Update { arr, .. } => moved_reads.contains(arr),
-                Exp::Scatter { dest, .. } => moved_reads.contains(dest),
-                _ => false,
-            });
+            // Consumption may hide at any depth of an intervening
+            // statement (an update inside a branch or loop body, a
+            // withacc over the array), so the precomputed sets recurse
+            // like CSE's collector does.
+            let input_consumed_between = consumed_by_stm[i + 1..j]
+                .iter()
+                .any(|consumed| consumed.iter().any(|v| moved_reads.contains(v)));
             if input_consumed_between {
                 continue;
             }
@@ -756,6 +770,48 @@ mod tests {
         let a = Interp::sequential().run(&fun, &args)[0].as_f64();
         let b2 = Interp::sequential().run(&fused, &args)[0].as_f64();
         assert_eq!(a.to_bits(), b2.to_bits());
+    }
+
+    #[test]
+    fn fusion_never_moves_reads_past_a_consumption_nested_in_a_branch() {
+        // Like fusion_never_moves_reads_past_a_consuming_update, but the
+        // update of A hides inside an `if` between producer and consumer:
+        // the guard must look through nested bodies, not just top-level
+        // statement heads.
+        let mut b = Builder::new();
+        let fun = b.build_fun("consume_in_if", &[Type::arr_f64(1), Type::BOOL], |b, ps| {
+            let (xs, c) = (ps[0], ps[1]);
+            let m = b.map1(Type::arr_f64(1), &[xs], |b, es| {
+                vec![b.fmul(es[0].into(), Atom::f64(2.0))]
+            });
+            let branched = b.if_(
+                c.into(),
+                &[Type::arr_f64(1)],
+                |b| {
+                    let a2 = b.update(xs, &[Atom::i64(0)], Atom::f64(9.0));
+                    vec![a2.into()]
+                },
+                |b| {
+                    let cp = b.copy(xs);
+                    vec![cp.into()]
+                },
+            );
+            let r = b.sum(m);
+            let s2 = b.sum(branched[0]);
+            vec![b.fadd(r.into(), s2.into())]
+        });
+        let (fused, n) = fuse_soacs_counted(&fun);
+        assert_eq!(
+            n, 0,
+            "fusion across a branch-nested consumption must be blocked"
+        );
+        check_fun(&fused).unwrap();
+        for c in [true, false] {
+            let args = [Value::from(vec![1.0, 2.0]), Value::Bool(c)];
+            let a = Interp::sequential().run(&fun, &args)[0].as_f64();
+            let b2 = Interp::sequential().run(&fused, &args)[0].as_f64();
+            assert_eq!(a.to_bits(), b2.to_bits());
+        }
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub mod server;
 pub mod ticket;
 
 pub use error::ServeError;
+pub use fir_api::Transform;
 pub use metrics::{FnMetricsSnapshot, HistogramSnapshot, MetricsSnapshot};
 pub use server::{BatchPolicy, Request, Server, ServerBuilder};
 pub use ticket::Ticket;

@@ -36,7 +36,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use fir::ir::Fun;
-use fir_api::{CompiledFn, Engine, GradOutput};
+use fir_api::{CompiledFn, Engine, GradOutput, Transform};
 use interp::Value;
 
 use crate::error::ServeError;
@@ -78,14 +78,23 @@ impl BatchPolicy {
     }
 }
 
-/// One serving request: a registered function key, the argument list,
-/// and an optional deadline relative to submission. Requests still queued
-/// when their deadline passes are dropped (ticket resolves
-/// [`ServeError::DeadlineExceeded`]) instead of executed.
+/// One serving request: a registered function key, a transform stack to
+/// apply to it, the argument list, and an optional deadline relative to
+/// submission. Requests still queued when their deadline passes are
+/// dropped (ticket resolves [`ServeError::DeadlineExceeded`]) instead of
+/// executed.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// The key the target function was registered under.
     pub fn_key: String,
+    /// The transform stack applied to the registered function before
+    /// execution, left to right (empty: the function itself). The
+    /// arguments must match the *transformed* signature — e.g. a
+    /// `[Vjp]` request passes the original arguments plus the adjoint
+    /// seeds. The micro-batcher only coalesces requests that share both
+    /// the key and the stack, and the derived program is compiled once
+    /// per `(key, stack)` through the engine cache.
+    pub transforms: Vec<Transform>,
     /// The argument list, validated at execution (not admission).
     pub args: Vec<Value>,
     /// Give up if the request has not started executing within this long.
@@ -93,10 +102,11 @@ pub struct Request {
 }
 
 impl Request {
-    /// A request with no deadline.
+    /// A request for the registered function itself, with no deadline.
     pub fn new(fn_key: impl Into<String>, args: Vec<Value>) -> Request {
         Request {
             fn_key: fn_key.into(),
+            transforms: Vec::new(),
             args,
             deadline: None,
         }
@@ -105,6 +115,14 @@ impl Request {
     /// Attach a deadline relative to submission.
     pub fn with_deadline(mut self, deadline: Duration) -> Request {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Target a transformed program: the stack is applied to the
+    /// registered function left to right (`[Vjp, Vmap]` serves
+    /// `vmap(vjp(f))`).
+    pub fn with_transforms(mut self, transforms: impl Into<Vec<Transform>>) -> Request {
+        self.transforms = transforms.into();
         self
     }
 }
@@ -266,24 +284,28 @@ struct Pending {
     deadline: Option<Instant>,
 }
 
-/// The two request kinds. Batches are homogeneous in kind so one
-/// engine-level batch call resolves the whole cut.
+/// The two request kinds, each carrying the transform stack it targets.
+/// Batches are homogeneous in `(kind, stack)` so one engine-level batch
+/// call on one derived program resolves the whole cut.
 enum Job {
     Call {
+        stack: Vec<Transform>,
         args: Vec<Value>,
         ticket: Arc<TicketState<Vec<Value>>>,
     },
     Grad {
+        stack: Vec<Transform>,
         args: Vec<Value>,
         ticket: Arc<TicketState<GradOutput>>,
     },
 }
 
 impl Job {
-    fn kind(&self) -> u8 {
+    /// The batching key: requests coalesce only when this matches.
+    fn kind(&self) -> (u8, &[Transform]) {
         match self {
-            Job::Call { .. } => 0,
-            Job::Grad { .. } => 1,
+            Job::Call { stack, .. } => (0, stack),
+            Job::Grad { stack, .. } => (1, stack),
         }
     }
 }
@@ -338,6 +360,7 @@ impl Server {
         self.enqueue(
             idx,
             Job::Call {
+                stack: req.transforms,
                 args: req.args,
                 ticket: state,
             },
@@ -348,13 +371,15 @@ impl Server {
 
     /// Submit a reverse-mode gradient request; the ticket resolves with
     /// the typed [`GradOutput`] (auto-derived unit seeds, like
-    /// `CompiledFn::grad`).
+    /// `CompiledFn::grad`). If the request names a transform stack, the
+    /// gradient is taken of the *transformed* program.
     pub fn submit_grad(&self, req: Request) -> Result<Ticket<GradOutput>, ServeError> {
         let idx = self.resolve(&req.fn_key)?;
         let (ticket, state) = Ticket::new();
         self.enqueue(
             idx,
             Job::Grad {
+                stack: req.transforms,
                 args: req.args,
                 ticket: state,
             },
@@ -472,11 +497,17 @@ impl Drop for Server {
 // Dispatcher
 // ---------------------------------------------------------------------
 
-/// Pop a homogeneous-kind batch (at most `max`) off the queue front.
+/// Pop a batch homogeneous in `(kind, transform stack)` (at most `max`)
+/// off the queue front.
 fn cut_batch(queue: &mut VecDeque<Pending>, max: usize) -> Vec<Pending> {
-    let kind = queue.front().expect("cut of empty queue").job.kind();
+    let (kind, stack) = queue.front().expect("cut of empty queue").job.kind();
+    let (kind, stack) = (kind, stack.to_vec());
     let mut batch = Vec::new();
-    while batch.len() < max && queue.front().is_some_and(|p| p.job.kind() == kind) {
+    while batch.len() < max
+        && queue
+            .front()
+            .is_some_and(|p| p.job.kind() == (kind, stack.as_slice()))
+    {
         batch.push(queue.pop_front().expect("front checked"));
     }
     batch
@@ -532,21 +563,34 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
 }
 
 /// Execute one homogeneous micro-batch on the pool: drop expired
-/// requests, run the engine batch call, resolve every ticket with its own
-/// outcome, and record metrics.
-/// One kind's share of a cut batch: the argument lists plus each
-/// request's enqueue time and completion slot.
+/// requests, run the engine batch call on the requested transform stack,
+/// resolve every ticket with its own outcome, and record metrics.
+/// One `(kind, stack)`'s share of a cut batch: the argument lists plus
+/// each request's enqueue time and completion slot.
 type Lane<T> = (Vec<Vec<Value>>, Vec<(Instant, Arc<TicketState<T>>)>);
+
+/// The lane for `stack` in `lanes`, created on first use. (cut_batch
+/// produces stack-homogeneous batches, so in practice there is exactly
+/// one lane per kind — but the executor does not rely on it.)
+fn lane_for<T>(lanes: &mut Vec<(Vec<Transform>, Lane<T>)>, stack: Vec<Transform>) -> &mut Lane<T> {
+    if let Some(i) = lanes.iter().position(|(s, _)| *s == stack) {
+        return &mut lanes[i].1;
+    }
+    lanes.push((stack, Default::default()));
+    &mut lanes.last_mut().expect("just pushed").1
+}
 
 fn execute_batch(inner: &Inner, idx: usize, batch: Vec<Pending>) {
     let entry = &inner.fns[idx];
     let now = Instant::now();
     // Partition the cut: expired requests resolve immediately, the rest
-    // split by kind. (cut_batch produces homogeneous batches, but the
-    // executor does not rely on it — nothing here can panic, so every
-    // ticket provably reaches one of the resolution paths below.)
-    let mut calls: Lane<Vec<Value>> = Default::default();
-    let mut grads: Lane<GradOutput> = Default::default();
+    // split by (kind, transform stack). (cut_batch produces homogeneous
+    // batches, but the executor does not rely on it — nothing here can
+    // panic, so every ticket provably reaches one of the resolution
+    // paths below.)
+    let mut calls: Vec<(Vec<Transform>, Lane<Vec<Value>>)> = Vec::new();
+    let mut grads: Vec<(Vec<Transform>, Lane<GradOutput>)> = Vec::new();
+    let mut live = 0usize;
     for p in batch {
         if p.deadline.is_some_and(|d| d <= now) {
             entry.metrics.expired.inc();
@@ -560,27 +604,37 @@ fn execute_batch(inner: &Inner, idx: usize, batch: Vec<Pending>) {
                 Job::Grad { ticket, .. } => ticket.fulfill(Err(err)),
             }
         } else {
+            live += 1;
             match p.job {
-                Job::Call { args, ticket } => {
-                    calls.0.push(args);
-                    calls.1.push((p.enqueued, ticket));
+                Job::Call {
+                    stack,
+                    args,
+                    ticket,
+                } => {
+                    let lane = lane_for(&mut calls, stack);
+                    lane.0.push(args);
+                    lane.1.push((p.enqueued, ticket));
                 }
-                Job::Grad { args, ticket } => {
-                    grads.0.push(args);
-                    grads.1.push((p.enqueued, ticket));
+                Job::Grad {
+                    stack,
+                    args,
+                    ticket,
+                } => {
+                    let lane = lane_for(&mut grads, stack);
+                    lane.0.push(args);
+                    lane.1.push((p.enqueued, ticket));
                 }
             }
         }
     }
-    let live = calls.0.len() + grads.0.len();
     if live > 0 {
         entry.metrics.batches.inc();
         entry.metrics.batch_sizes.record(live as u64);
-        if !calls.0.is_empty() {
-            run_calls(entry, &calls.0, calls.1);
+        for (stack, (argss, tickets)) in calls {
+            run_calls(entry, &stack, &argss, tickets);
         }
-        if !grads.0.is_empty() {
-            run_grads(entry, &grads.0, grads.1);
+        for (stack, (argss, tickets)) in grads {
+            run_grads(entry, &stack, &argss, tickets);
         }
     }
     if inner.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -618,6 +672,7 @@ fn resolve_one<T>(
 
 fn run_calls(
     entry: &FnEntry,
+    stack: &[Transform],
     argss: &[Vec<Value>],
     tickets: Vec<(Instant, Arc<TicketState<Vec<Value>>>)>,
 ) {
@@ -625,12 +680,24 @@ fn run_calls(
     // would strand every ticket of the batch (clients and shutdown would
     // wait forever) — contain it and fail the requests instead.
     let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        entry.cf.call_batch_fused(argss)
+        // The derived program compiles once per (key, stack) and is
+        // answered from the engine cache on every later batch.
+        entry
+            .cf
+            .transform(stack)
+            .map(|cf| cf.call_batch_fused(argss))
     }));
     match results {
-        Ok(results) => {
+        Ok(Ok(results)) => {
             for ((enqueued, ticket), result) in tickets.into_iter().zip(results) {
                 resolve_one(entry, enqueued, &ticket, result.map_err(ServeError::Exec));
+            }
+        }
+        // Transform-level failure (the stack does not apply to this
+        // function): every request in the lane fails the same way.
+        Ok(Err(e)) => {
+            for (enqueued, ticket) in tickets {
+                resolve_one(entry, enqueued, &ticket, Err(ServeError::Exec(e.clone())));
             }
         }
         Err(_) => {
@@ -643,11 +710,15 @@ fn run_calls(
 
 fn run_grads(
     entry: &FnEntry,
+    stack: &[Transform],
     argss: &[Vec<Value>],
     tickets: Vec<(Instant, Arc<TicketState<GradOutput>>)>,
 ) {
     let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        entry.cf.grad_batch_fused(argss)
+        entry
+            .cf
+            .transform(stack)
+            .and_then(|cf| cf.grad_batch_fused(argss))
     }));
     match results {
         Ok(Ok(results)) => {
@@ -655,8 +726,8 @@ fn run_grads(
                 resolve_one(entry, enqueued, &ticket, result.map_err(ServeError::Exec));
             }
         }
-        // Function-level failure (vjp does not compile / nothing to
-        // seed): every request in the batch fails the same way.
+        // Function-level failure (the stack does not apply, vjp does not
+        // compile, nothing to seed): every request fails the same way.
         Ok(Err(e)) => {
             for (enqueued, ticket) in tickets {
                 resolve_one(entry, enqueued, &ticket, Err(ServeError::Exec(e.clone())));
@@ -820,6 +891,102 @@ mod tests {
         let m = srv.shutdown();
         assert_eq!(m.fns[0].expired, 1);
         assert_eq!(m.fns[0].completed, 0);
+    }
+
+    #[test]
+    fn transformed_requests_resolve_against_the_engine_transform() {
+        // One server, a long max_wait so same-stack requests coalesce.
+        let engine = Engine::new();
+        let srv = ServerBuilder::new(engine.clone())
+            .batch_policy(BatchPolicy {
+                max_batch_size: 8,
+                max_wait: Duration::from_millis(50),
+            })
+            .register("dot", &dot())
+            .build()
+            .unwrap();
+        let reference = engine.compile(&dot()).unwrap();
+        // A [Vjp] request passes explicit seeds and gets primal+adjoints.
+        let mut seeded = dot_args(1.0);
+        seeded.push(Value::F64(1.0));
+        let vjp_t = srv
+            .submit(Request::new("dot", seeded.clone()).with_transforms([Transform::Vjp]))
+            .unwrap();
+        // An untransformed request from the same window batches separately.
+        let plain_t = srv.submit(Request::new("dot", dot_args(1.0))).unwrap();
+        let want = reference.vjp().unwrap().call(&seeded).unwrap();
+        let got = vjp_t.wait().unwrap();
+        assert_eq!(got.len(), want.len());
+        for (w, g) in want.iter().zip(&got) {
+            match (w, g) {
+                (Value::F64(a), Value::F64(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (Value::Arr(a), Value::Arr(b)) => assert_eq!(a.f64s(), b.f64s()),
+                other => panic!("unexpected pair {other:?}"),
+            }
+        }
+        assert_eq!(plain_t.wait().unwrap()[0].as_f64(), 32.0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn a_stack_that_does_not_apply_fails_its_own_tickets_only() {
+        // vmap of a nullary function cannot derive: the transformed
+        // request resolves with the derivation error while plain requests
+        // to the same key keep succeeding.
+        let mut b = Builder::new();
+        let konst = b.build_fun("konst", &[], |_, _| vec![fir::ir::Atom::f64(7.0)]);
+        let srv = ServerBuilder::new(Engine::new())
+            .register("konst", &konst)
+            .build()
+            .unwrap();
+        let doomed = srv
+            .submit(Request::new("konst", vec![]).with_transforms([Transform::Vmap]))
+            .unwrap();
+        let fine = srv.submit(Request::new("konst", vec![])).unwrap();
+        assert!(matches!(doomed.wait(), Err(ServeError::Exec(_))));
+        assert_eq!(fine.wait().unwrap()[0].as_f64(), 7.0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn mixed_stacks_batch_homogeneously() {
+        // Same function, two different stacks + plain calls submitted in
+        // one wait window: every ticket resolves with its own stack's
+        // result (the cut never mixes stacks into one engine call).
+        let engine = Engine::new();
+        let srv = ServerBuilder::new(engine.clone())
+            .batch_policy(BatchPolicy {
+                max_batch_size: 16,
+                max_wait: Duration::from_millis(80),
+            })
+            .register("dot", &dot())
+            .build()
+            .unwrap();
+        let reference = engine.compile(&dot()).unwrap();
+        let mut tickets = Vec::new();
+        for i in 0..4 {
+            let args = dot_args(i as f64);
+            let mut seeded = args.clone();
+            seeded.push(Value::F64(1.0));
+            tickets.push((
+                args.clone(),
+                srv.submit(Request::new("dot", args.clone())).unwrap(),
+                srv.submit(Request::new("dot", seeded).with_transforms([Transform::Vjp]))
+                    .unwrap(),
+            ));
+        }
+        for (args, plain, vjp) in tickets {
+            let want = reference.call(&args).unwrap();
+            assert_eq!(
+                plain.wait().unwrap()[0].as_f64().to_bits(),
+                want[0].as_f64().to_bits()
+            );
+            let g = reference.grad(&args).unwrap();
+            let got = vjp.wait().unwrap();
+            assert_eq!(got[0].as_f64().to_bits(), g.scalar().to_bits());
+            assert_eq!(got[1].as_arr().f64s(), g.grads[0].as_arr().f64s());
+        }
+        srv.shutdown();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo run --release --example batched_serving`.
 
-use futhark_ad_repro::{BatchPolicy, Engine, Request, ServeError, ServerBuilder};
+use futhark_ad_repro::{BatchPolicy, Engine, Request, ServeError, ServerBuilder, Transform};
 use std::time::Duration;
 use workloads::{adbench, gmm, kmeans, lstm, mc};
 
@@ -80,6 +80,25 @@ fn main() -> Result<(), ServeError> {
         }
     });
 
+    // Requests can target a transform stack of a registered function: a
+    // [Vjp] request passes explicit adjoint seeds and resolves with the
+    // transformed program's results (primal + adjoints). The derived
+    // program compiled once and is micro-batched separately from plain
+    // calls — batches are homogeneous in (key, stack).
+    let args = gmm::GmmData::generate(60, 4, 3, 7).ir_args();
+    let mut seeded = args.clone();
+    seeded.push(interp::Value::F64(1.0));
+    let vjp_out = server
+        .submit(Request::new("gmm", seeded).with_transforms([Transform::Vjp]))?
+        .wait()?;
+    let want = gmm_ref.grad(&args).map_err(ServeError::Exec)?;
+    assert_eq!(vjp_out[0].as_f64().to_bits(), want.scalar().to_bits());
+    println!(
+        "transformed [vjp] request served: objective {:.6}, {} adjoint blocks",
+        vjp_out[0].as_f64(),
+        vjp_out.len() - 1
+    );
+
     // A malformed request resolves its own ticket with an error — its
     // batchmates (the loop above) were never at risk.
     let bad = server.submit(Request::new("gmm", vec![]))?;
@@ -101,7 +120,10 @@ fn main() -> Result<(), ServeError> {
     println!("\nfinal metrics snapshot:\n{}", metrics.to_json());
     let gmm_m = &metrics.fns[0];
     assert_eq!(gmm_m.fn_key, "gmm");
-    assert_eq!(gmm_m.completed, 32, "4 clients x 8 gmm gradients");
+    assert_eq!(
+        gmm_m.completed, 33,
+        "4 clients x 8 gmm gradients + the [vjp] transform request"
+    );
     assert_eq!(gmm_m.failed, 1, "the malformed request");
     assert!(gmm_m.batches >= 1);
     println!(

@@ -1,6 +1,8 @@
 //! Quickstart: build a small array program, compile it once with an
-//! [`Engine`], and use the staged handle for execution, reverse mode and
-//! forward mode — seeds and tangents are derived automatically.
+//! [`Engine`], and use the staged handle for execution, reverse mode,
+//! forward mode, and composed transforms (`vmap ∘ vjp` per-example
+//! gradients) — seeds and tangents are derived automatically, and the
+//! engine's cache/optimizer statistics print as plain lines at the end.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -47,5 +49,37 @@ fn main() -> Result<(), FirError> {
         "directional derivative along e_0 = {}",
         dual.flat_tangents()[0]
     );
+
+    // Composed transforms: vmap(vjp(f)) computes per-example gradients of
+    // a whole batch in one program execution — bitwise-identical to the
+    // per-example loop above, compiled once, cached by (source, stack).
+    let per_example = cf.vjp()?.vmap()?;
+    let batch: Vec<Vec<Value>> = (0..3)
+        .map(|i| {
+            let mut a = args.to_vec();
+            if let Value::Arr(xs) = &mut a[0] {
+                *xs = interp::Array::from_f64(
+                    xs.shape.clone(),
+                    xs.f64s().iter().map(|x| x + 0.1 * i as f64).collect(),
+                );
+            }
+            a.push(Value::F64(1.0)); // the vjp seed of each example
+            a
+        })
+        .collect();
+    let stacked = fir_api::batch::stack_args(&batch).expect("same shapes stack");
+    let outs = per_example.call(&stacked)?;
+    println!(
+        "per-example objectives via vmap∘vjp = {:?}",
+        outs[0].as_arr().f64s()
+    );
+    println!(
+        "per-example d f / d xs (example 0)  = {:?}",
+        outs[1].as_arr().index(&[0]).as_arr().f64s()
+    );
+
+    // Cache and optimizer behavior, observable without reading JSON.
+    println!("{}", engine.cache_stats());
+    println!("{}", engine.opt_stats());
     Ok(())
 }

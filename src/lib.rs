@@ -59,25 +59,6 @@ pub use workloads;
 
 pub use fir_api::{
     CacheStats, CompiledFn, Dual, Engine, EngineBuilder, FirError, GradOutput, OptStats, Pass,
-    PassPipeline, PipelineStats, BACKEND_NAMES,
+    PassPipeline, PipelineStats, Transform, BACKEND_NAMES,
 };
 pub use fir_serve::{BatchPolicy, Request, ServeError, Server, ServerBuilder, Ticket};
-
-/// Select an execution backend by name.
-#[deprecated(
-    note = "use `fir_api::backend_by_name` (errors list the valid names) or \
-                     `Engine::by_name`"
-)]
-pub fn backend_by_name(name: &str) -> Option<Box<dyn interp::Backend>> {
-    fir_api::backend_by_name(name).ok()
-}
-
-/// The backend named by the `FIR_BACKEND` environment variable, defaulting
-/// to the compiled VM. Panics on unknown names.
-#[deprecated(
-    note = "use `Engine::from_env()`, which returns an error listing the valid \
-                     names instead of panicking"
-)]
-pub fn default_backend() -> Box<dyn interp::Backend> {
-    fir_api::backend_by_name(&fir_api::default_backend_name()).unwrap_or_else(|e| panic!("{e}"))
-}

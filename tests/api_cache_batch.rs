@@ -1,10 +1,15 @@
 //! Cache and batching behavior of the staged API: compiling the same `Fun`
-//! (and its vjp) twice through one `Engine` hits the fingerprint cache, and
-//! `call_batch` agrees with sequential `call` on all nine workloads.
+//! (and any transform stack of it) twice through one `Engine` hits the
+//! fingerprint cache — one compilation per distinct `(source fingerprint,
+//! transform stack)` — LRU eviction recompiles transparently while
+//! `Arc`-held handles stay valid, and the batch entry points
+//! (`call_batch`, `grad_batch`, `grad_batch_fused`, and the explicit
+//! `vmap ∘ vjp` / `vjp ∘ vmap` stacks) agree bitwise with sequential
+//! per-example `call`/`grad` loops on all nine workloads, on both the
+//! interpreter and the VM.
 
 use fir::ir::Fun;
-use futhark_ad::gradcheck::max_rel_error;
-use futhark_ad_repro::Engine;
+use futhark_ad_repro::{Engine, Transform};
 use interp::Value;
 use workloads::{adbench, gmm, kmeans, lstm, mc};
 
@@ -53,6 +58,77 @@ fn compiling_the_derived_vjp_fun_directly_also_hits_the_cache() {
 }
 
 #[test]
+fn lru_eviction_recompiles_derived_programs_but_held_handles_stay_valid() {
+    // Three structurally distinct programs (and their vjps) through a
+    // capacity-2 cache: evicted entries recompile with a counted miss,
+    // while handles taken before the eviction keep working because they
+    // hold their program by Arc.
+    fn scaled(c: f64) -> fir::ir::Fun {
+        let mut b = fir::builder::Builder::new();
+        b.build_fun("scaled", &[fir::types::Type::arr_f64(1)], |b, ps| {
+            let s = b.map1(fir::types::Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), fir::ir::Atom::f64(c))]
+            });
+            vec![b.sum(s).into()]
+        })
+    }
+    let engine = Engine::builder()
+        .backend_name("vm-seq")
+        .cache_capacity(2)
+        .build()
+        .unwrap();
+    let args = [Value::from(vec![1.0, 2.0, 3.0])];
+
+    let cf1 = engine.compile(&scaled(2.0)).unwrap();
+    let vjp1 = cf1.vjp().unwrap(); // entries: {f1, vjp(f1)}
+    let s = engine.cache_stats();
+    assert_eq!((s.misses, s.entries, s.evictions), (2, 2, 0));
+    let grad_before = cf1.grad(&args).unwrap();
+
+    // Compile past capacity: more distinct programs than slots.
+    for c in [3.0, 4.0, 5.0] {
+        engine.compile(&scaled(c)).unwrap().vjp().unwrap();
+    }
+    let s = engine.cache_stats();
+    assert_eq!(s.entries, 2, "cache must stay at capacity");
+    assert!(s.evictions >= 6, "6+ programs through 2 slots: {s}");
+
+    // The Arc-held handles survived the eviction of their entries.
+    assert_eq!(
+        cf1.call(&args).unwrap()[0].as_f64().to_bits(),
+        grad_before.scalar().to_bits(),
+    );
+    let g = vjp1
+        .call(&{
+            let mut a = args.to_vec();
+            a.push(Value::F64(1.0));
+            a
+        })
+        .unwrap();
+    assert_eq!(g[0].as_f64().to_bits(), grad_before.scalar().to_bits());
+    assert_eq!(
+        g[1].as_arr().f64s(),
+        grad_before.grads[0].as_arr().f64s(),
+        "evicted-but-held vjp handle must still compute the same adjoints"
+    );
+
+    // Re-deriving the evicted vjp through the original handle recompiles
+    // (a counted miss), transparently, with identical results.
+    let misses = engine.cache_stats().misses;
+    let grad_after = cf1.grad(&args).unwrap();
+    let s = engine.cache_stats();
+    assert!(
+        s.misses > misses,
+        "evicted derived program must recompile as a miss: {s}"
+    );
+    assert_eq!(
+        grad_after.scalar().to_bits(),
+        grad_before.scalar().to_bits()
+    );
+    assert_eq!(grad_after.flat_grads(), grad_before.flat_grads());
+}
+
+#[test]
 fn changing_the_pipeline_clears_the_cache() {
     let engine = Engine::new();
     engine.compile(&gmm::objective_ir()).unwrap();
@@ -61,34 +137,123 @@ fn changing_the_pipeline_clears_the_cache() {
     assert_eq!(engine.cache_stats().entries, 0);
 }
 
-/// `call_batch` (and `grad_batch`) parity with per-call `call`/`grad` on
-/// one workload: a batch of three distinct instances.
+/// Per-example-gradient parity on one workload, on both backends: a
+/// batch of three distinct instances computed by (a) a sequential
+/// per-call `call`/`grad` loop, (b) task-parallel `call_batch` /
+/// `grad_batch`, (c) the fused `grad_batch_fused` (`vmap(vjp(f))` under
+/// the hood), and (d) the explicit transform stacks `[Vjp, Vmap]` and
+/// `[Vmap, Vjp]` called on stacked seeded arguments — all bitwise
+/// identical.
 fn assert_batch_parity(name: &str, fun: &Fun, instances: Vec<Vec<Value>>) {
-    let engine = Engine::new();
-    let cf = engine.compile(fun).unwrap();
-    let batched = cf.call_batch(&instances).unwrap();
-    assert_eq!(batched.len(), instances.len(), "{name}: batch arity");
-    for (args, out) in instances.iter().zip(&batched) {
-        let single = cf.call(args).unwrap();
-        assert_eq!(single.len(), out.len(), "{name}: result arity");
+    for backend in ["interp-seq", "vm-seq"] {
+        let engine = Engine::by_name(backend).unwrap();
+        let cf = engine.compile(fun).unwrap();
+        let batched = cf.call_batch(&instances).unwrap();
+        assert_eq!(batched.len(), instances.len(), "{name}: batch arity");
+        for (args, out) in instances.iter().zip(&batched) {
+            let single = cf.call(args).unwrap();
+            assert_eq!(single.len(), out.len(), "{name}: result arity");
+            assert_eq!(
+                single[0].as_f64().to_bits(),
+                out[0].as_f64().to_bits(),
+                "{name} ({backend}): batched primal must be bitwise-identical to call()"
+            );
+        }
+        // Per-example gradients, four ways.
+        let singles: Vec<_> = instances.iter().map(|a| cf.grad(a).unwrap()).collect();
+        let grads = cf.grad_batch(&instances).unwrap();
+        let fused = cf.grad_batch_fused(&instances).unwrap();
+        for (i, single) in singles.iter().enumerate() {
+            for (how, got) in [
+                ("grad_batch", &grads[i]),
+                ("grad_batch_fused", fused[i].as_ref().unwrap()),
+            ] {
+                assert_eq!(
+                    single.scalar().to_bits(),
+                    got.scalar().to_bits(),
+                    "{name} ({backend}): {how} vjp primal of example {i}"
+                );
+                let (a, b) = (single.flat_grads(), got.flat_grads());
+                assert_eq!(a.len(), b.len(), "{name} ({backend}): {how} arity");
+                for (j, (x, y)) in a.iter().zip(&b).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{name} ({backend}): {how} grad[{j}] of example {i}"
+                    );
+                }
+            }
+        }
+        // The explicit stacks: vmap(vjp(f)) and vjp(vmap(f)) take the
+        // same stacked seeded arguments here (every workload objective
+        // is scalar, so the stacked seed column doubles as the [B]-seed
+        // of the vectorized function) and must match the loop bitwise.
+        let seeded: Vec<Vec<Value>> = instances
+            .iter()
+            .map(|args| {
+                let mut a = args.clone();
+                a.extend(cf.unit_seeds(args).unwrap());
+                a
+            })
+            .collect();
+        // Ragged batches (e.g. sparse k-means instances with different
+        // nnz) cannot stack; the fused paths above already verified the
+        // task-parallel fallback bitwise, so only the stackable
+        // workloads exercise the explicit transform stacks.
+        let Some(stacked) = fir_api::batch::stack_args(&seeded) else {
+            continue;
+        };
+        for stack in [
+            [Transform::Vjp, Transform::Vmap],
+            [Transform::Vmap, Transform::Vjp],
+        ] {
+            let tf = cf.transform(&stack).unwrap();
+            let outs = tf.call(&stacked).unwrap();
+            let rows = fir_api::batch::unstack_results(
+                cf.vjp().unwrap().result_types(),
+                &outs,
+                instances.len(),
+            );
+            for (i, single) in singles.iter().enumerate() {
+                assert_eq!(
+                    single.scalar().to_bits(),
+                    rows[i][0].as_f64().to_bits(),
+                    "{name} ({backend}) {stack:?}: primal of example {i}"
+                );
+                let nres = fun.ret.len();
+                let flat: Vec<f64> = rows[i][nres..]
+                    .iter()
+                    .flat_map(|v| match v {
+                        Value::F64(x) => vec![*x],
+                        Value::Arr(a) => a.f64s().to_vec(),
+                        other => panic!("unexpected adjoint {other:?}"),
+                    })
+                    .collect();
+                let want = single.flat_grads();
+                assert_eq!(
+                    want.len(),
+                    flat.len(),
+                    "{name} ({backend}) {stack:?}: arity"
+                );
+                for (j, (x, y)) in want.iter().zip(&flat).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{name} ({backend}) {stack:?}: grad[{j}] of example {i}"
+                    );
+                }
+            }
+        }
+        // One compilation per distinct (fingerprint, stack): replaying
+        // every path above must not add a single miss.
+        let misses = engine.cache_stats().misses;
+        let _ = cf.grad_batch_fused(&instances).unwrap();
+        let _ = cf.transform(&[Transform::Vjp, Transform::Vmap]).unwrap();
+        let _ = cf.transform(&[Transform::Vmap, Transform::Vjp]).unwrap();
         assert_eq!(
-            single[0].as_f64().to_bits(),
-            out[0].as_f64().to_bits(),
-            "{name}: batched primal must be bitwise-identical to call()"
-        );
-    }
-    let grads = cf.grad_batch(&instances).unwrap();
-    for (args, g) in instances.iter().zip(&grads) {
-        let single = cf.grad(args).unwrap();
-        assert_eq!(
-            single.scalar().to_bits(),
-            g.scalar().to_bits(),
-            "{name}: batched vjp primal"
-        );
-        let err = max_rel_error(&single.flat_grads(), &g.flat_grads());
-        assert!(
-            err < 1e-12,
-            "{name}: batched gradient, max rel err {err:.3e}"
+            engine.cache_stats().misses,
+            misses,
+            "{name} ({backend}): transform replay must be all cache hits"
         );
     }
 }

@@ -205,6 +205,68 @@ fn random_gradients_agree_bitwise_and_pass_gradcheck() {
     }
 }
 
+/// The vmap transform over the generated programs: for every random
+/// well-typed function, `vmap f` applied to a stacked batch of three
+/// (deterministically perturbed) argument sets must agree **bitwise**,
+/// element by element, with running `f` per example — across
+/// {standard pipeline, none} × {interp, firvm}. This pins down that the
+/// rank-promotion lowering and the re-optimization of the vmapped
+/// program never change a single floating-point rounding.
+#[test]
+fn random_programs_vmap_agrees_with_per_example_execution_bitwise() {
+    let cases = cases_from_env(64).clamp(1, 128);
+    let mut rng = TestRng::deterministic();
+    let engines = engines();
+    let mut vmapped = 0usize;
+    for case in 0..cases {
+        let name = format!("vmap{case}");
+        let (fun, args) = arbitrary_fun(&name, &mut rng, &GenConfig::default());
+        check_fun(&fun).unwrap_or_else(|e| panic!("{name}: ill-typed: {e}"));
+        if fun.params.is_empty() {
+            continue; // nothing to map over
+        }
+        // A batch of three: the original arguments plus two copies with
+        // every f64 leaf deterministically perturbed (shapes and integer
+        // data unchanged, so control flow stays in bounds).
+        let batch: Vec<Vec<Value>> = (0..3)
+            .map(|r| {
+                args.iter()
+                    .map(|v| match v {
+                        Value::F64(x) => Value::F64(x + 0.125 * r as f64),
+                        Value::Arr(a) if a.elem() == fir::types::ScalarType::F64 => {
+                            let data = a.f64s().iter().map(|x| x + 0.125 * r as f64).collect();
+                            Value::Arr(interp::Array::from_f64(a.shape.clone(), data))
+                        }
+                        other => other.clone(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let Some(stacked) = fir_api::batch::stack_args(&batch) else {
+            panic!("{name}: same-shape batch must stack");
+        };
+        vmapped += 1;
+        for (config, engine) in &engines {
+            let cf = engine.compile(&fun).unwrap();
+            let vf = cf.vmap().unwrap_or_else(|e| panic!("{name}: vmap: {e}"));
+            let outs = vf
+                .call(&stacked)
+                .unwrap_or_else(|e| panic!("{name}: vmap call under {config}: {e}"));
+            let rows = fir_api::batch::unstack_results(&fun.ret, &outs, batch.len());
+            for (i, example) in batch.iter().enumerate() {
+                let want = cf.call(example).unwrap();
+                assert_bitwise_eq(
+                    &format!("{name}[{i}]"),
+                    &format!("{config} vmap"),
+                    &want,
+                    &rows[i],
+                );
+            }
+        }
+    }
+    assert!(vmapped > 0, "generator produced no vmappable programs");
+}
+
 /// All ten workload instances (the paper's nine benchmarks, with HAND in
 /// both its simple and complicated variants), bitwise across
 /// optimized/unoptimized × interp/firvm (sequential configurations, where

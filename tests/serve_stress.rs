@@ -3,7 +3,7 @@
 //! isolation inside micro-batches, bounded-queue load-shedding, and a
 //! graceful shutdown that drains without deadlock.
 
-use futhark_ad_repro::{BatchPolicy, Engine, Request, ServeError, ServerBuilder};
+use futhark_ad_repro::{BatchPolicy, Engine, Request, ServeError, ServerBuilder, Transform};
 use interp::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -91,6 +91,74 @@ fn n_clients_two_fns_every_ticket_resolves_with_parity() {
         "micro-batcher never coalesced: {batches} batches for {} requests",
         CLIENTS * REQS
     );
+}
+
+#[test]
+fn concurrent_transformed_and_plain_requests_batch_by_stack_with_parity() {
+    // Four client threads interleave plain calls, auto-seeded gradient
+    // requests, and explicit [Vjp]-stack requests against one function.
+    // The micro-batcher may only coalesce requests that share the
+    // (key, stack) pair; every ticket must resolve with the result of
+    // its own stack, bitwise-equal to an independent reference engine.
+    const CLIENTS: usize = 4;
+    const REQS: usize = 6;
+    let server = two_fn_server(
+        BatchPolicy {
+            max_batch_size: 8,
+            max_wait: Duration::from_micros(300),
+        },
+        1024,
+    );
+    let reference = Engine::by_name("vm-seq").unwrap();
+    let gmm_ref = reference.compile(&gmm::objective_ir()).unwrap();
+    let gmm_vjp = gmm_ref.vjp().unwrap();
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let (server, gmm_ref, gmm_vjp) = (&server, &gmm_ref, &gmm_vjp);
+            scope.spawn(move || {
+                for i in 0..REQS {
+                    let seed = (client * 100 + i) as u64;
+                    let args = gmm_args(seed);
+                    match i % 3 {
+                        0 => {
+                            let got = server.call(GMM, args.clone()).expect("plain call");
+                            let want = gmm_ref.call(&args).expect("reference call");
+                            assert_eq!(got[0].as_f64().to_bits(), want[0].as_f64().to_bits());
+                        }
+                        1 => {
+                            let got = server.grad(GMM, args.clone()).expect("grad");
+                            let want = gmm_ref.grad(&args).expect("reference grad");
+                            assert_eq!(got.scalar().to_bits(), want.scalar().to_bits());
+                            assert_eq!(got.flat_grads(), want.flat_grads());
+                        }
+                        _ => {
+                            let mut seeded = args.clone();
+                            seeded.push(Value::F64(1.0));
+                            let got = server
+                                .submit(
+                                    Request::new(GMM, seeded.clone())
+                                        .with_transforms([Transform::Vjp]),
+                                )
+                                .expect("admitted")
+                                .wait()
+                                .expect("vjp request");
+                            let want = gmm_vjp.call(&seeded).expect("reference vjp");
+                            assert_eq!(got.len(), want.len());
+                            assert_eq!(got[0].as_f64().to_bits(), want[0].as_f64().to_bits());
+                            for (w, g) in want[1..].iter().zip(&got[1..]) {
+                                assert_eq!(w.as_arr().f64s(), g.as_arr().f64s());
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let m = server.shutdown();
+    let f = &m.fns[0];
+    assert_eq!(f.completed, (CLIENTS * REQS) as u64);
+    assert_eq!(f.failed, 0);
 }
 
 #[test]
