@@ -177,12 +177,19 @@ pub struct OptStats {
     pub stms_after: usize,
     /// Rewrites fired, by pass name.
     pub rewrites: std::collections::BTreeMap<&'static str, usize>,
+    /// Wall time spent in each pass, by pass name, nanoseconds.
+    pub pass_nanos: std::collections::BTreeMap<&'static str, u64>,
 }
 
 impl OptStats {
     /// Total rewrites across all passes.
     pub fn total_rewrites(&self) -> usize {
         self.rewrites.values().sum()
+    }
+
+    /// Total wall time spent in the pipeline, nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.pass_nanos.values().sum()
     }
 
     /// Statements removed end to end.
@@ -197,6 +204,7 @@ impl OptStats {
         self.stms_after += stats.stms_after;
         for run in &stats.runs {
             *self.rewrites.entry(run.pass).or_default() += run.rewrites;
+            *self.pass_nanos.entry(run.pass).or_default() += run.nanos;
         }
     }
 }
@@ -227,6 +235,9 @@ impl std::fmt::Display for OptStats {
             for (i, (pass, n)) in fired.iter().enumerate() {
                 write!(f, "{} {pass} {n}", if i == 0 { "" } else { "," })?;
             }
+        }
+        if self.total_nanos() > 0 {
+            write!(f, ", opt time {:.1}ms", self.total_nanos() as f64 / 1e6)?;
         }
         Ok(())
     }
@@ -374,13 +385,25 @@ impl Engine {
     ) -> Result<CacheEntry, FirError> {
         if let Some(entry) = inner.cache.lock().unwrap().get(&key) {
             inner.hits.fetch_add(1, Ordering::Relaxed);
+            fir_trace::instant("cache", "hit");
             return Ok(entry);
         }
-        fir::typecheck::check_fun(fun)?;
+        fir_trace::instant("cache", "miss");
+        let _compile_span = fir_trace::span_str("compile", &fun.name);
+        {
+            let _span = fir_trace::span("compile", "typecheck");
+            fir::typecheck::check_fun(fun)?;
+        }
         let pipeline = inner.pipeline.lock().unwrap().clone();
-        let (optimized, opt_stats) = pipeline.apply_with_stats(fun);
+        let (optimized, opt_stats) = {
+            let _span = fir_trace::span("compile", "pipeline");
+            pipeline.apply_with_stats(fun)
+        };
         inner.opt.lock().unwrap().absorb(&opt_stats);
-        let exec = inner.backend.prepare(&optimized)?;
+        let exec = {
+            let _span = fir_trace::span("compile", "backend-prepare");
+            inner.backend.prepare(&optimized)?
+        };
         // An empty pipeline returns a borrow: source and optimized IR are
         // the same function, stored once and shared.
         let (source, optimized) = match optimized {
@@ -430,6 +453,7 @@ impl Engine {
         if let Some(key) = known {
             if let Some(entry) = inner.cache.lock().unwrap().get(&key) {
                 inner.hits.fetch_add(1, Ordering::Relaxed);
+                fir_trace::instant("cache", "alias-hit");
                 return Ok(CompiledFn::new(
                     Arc::clone(inner),
                     entry,
@@ -443,7 +467,10 @@ impl Engine {
         // are identical whatever pipeline the engine runs. Derivation is
         // deterministic: the fingerprint (and thus the cache slot) of a
         // `(root, stack)` pair is stable across handles and evictions.
-        let fun = t.apply(&base.entry.source)?;
+        let fun = {
+            let _span = fir_trace::span("compile", t.name()).with_arg(base.stack.len() as u64 + 1);
+            t.apply(&base.entry.source)?
+        };
         let key = fingerprint_pair(&fun);
         let entry = Self::compile_entry(inner, key, &fun)?;
         inner.derived.lock().unwrap().insert(alias.clone(), key);

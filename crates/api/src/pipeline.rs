@@ -105,6 +105,21 @@ impl PipelineStats {
         self.runs.iter().map(|r| r.rewrites).sum()
     }
 
+    /// Total wall time spent in passes, nanoseconds.
+    pub fn nanos(&self) -> u64 {
+        self.runs.iter().map(|r| r.nanos).sum()
+    }
+
+    /// Wall time spent in the named pass (summed over iterations),
+    /// nanoseconds.
+    pub fn nanos_of(&self, pass: &str) -> u64 {
+        self.runs
+            .iter()
+            .filter(|r| r.pass == pass)
+            .map(|r| r.nanos)
+            .sum()
+    }
+
     /// Rewrites fired by the named pass (summed over iterations).
     pub fn rewrites_of(&self, pass: &str) -> usize {
         self.runs
@@ -216,6 +231,7 @@ impl PassPipeline {
             stats.iterations += 1;
             let mut changed = false;
             for p in &self.passes {
+                let _span = fir_trace::span("opt", p.name());
                 let (next, run) = p.apply_counted(&cur);
                 recheck(p, &next);
                 changed |= run.rewrites > 0;

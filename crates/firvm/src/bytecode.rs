@@ -177,9 +177,19 @@ pub struct Program {
     pub main: CodeObject,
     pub kernels: Vec<Kernel>,
     pub num_params: usize,
+    /// Per-kernel trace labels (`"<name>#k<i>"`), interned at compile time
+    /// so the per-dispatch span cost is two timestamps and a ring push.
+    #[cfg(feature = "profile")]
+    pub kernel_labels: Vec<&'static str>,
 }
 
 impl Program {
+    /// The trace label of kernel `i`.
+    #[cfg(feature = "profile")]
+    pub fn kernel_label(&self, i: usize) -> &'static str {
+        self.kernel_labels.get(i).copied().unwrap_or("kernel")
+    }
+
     /// Total instruction count, kernels included (diagnostics/tests).
     pub fn num_instrs(&self) -> usize {
         self.main.instrs.len()

@@ -44,6 +44,10 @@ pub fn compile(fun: &Fun) -> Program {
     Program {
         name: fun.name.clone(),
         main: fc.finish(ret),
+        #[cfg(feature = "profile")]
+        kernel_labels: (0..kernels.len())
+            .map(|i| fir_trace::intern(&format!("{}#k{i}", fun.name)))
+            .collect(),
         kernels,
         num_params: fun.params.len(),
     }

@@ -7,7 +7,7 @@
 //! configured threshold (or with parallelism disabled) run inline on the
 //! submitting thread with zero scheduling overhead.
 
-pub use interp::pool::WorkerPool;
+pub use interp::pool::{PoolUtilization, WorkerPool};
 
 use interp::ExecConfig;
 

@@ -33,6 +33,7 @@ pub fn run_program(prog: &Program, cfg: &ExecConfig, args: &[Value]) -> Vec<Valu
         prog.num_params,
         args.len()
     );
+    let _span = fir_trace::span_str("vm", &prog.name);
     let ctx = ExecCtx { prog, cfg };
     let mut regs = new_frame(prog.main.num_regs);
     regs[..args.len()].clone_from_slice(args);
@@ -149,6 +150,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
                 args,
                 captures,
             } => {
+                #[cfg(feature = "profile")]
+                let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*kernel));
                 let outs = exec_map(ctx, *kernel, args, captures, regs);
                 for (d, v) in dsts.iter().zip(outs) {
                     regs[*d as usize] = v;
@@ -161,6 +164,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
                 args,
                 captures,
             } => {
+                #[cfg(feature = "profile")]
+                let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*kernel));
                 let outs = exec_reduce(ctx, *kernel, neutral, args, captures, regs);
                 for (d, v) in dsts.iter().zip(outs) {
                     regs[*d as usize] = v;
@@ -175,6 +180,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
                 red_captures,
                 map_captures,
             } => {
+                #[cfg(feature = "profile")]
+                let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*red_kernel));
                 let outs = exec_redomap(
                     ctx,
                     *red_kernel,
@@ -196,6 +203,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
                 args,
                 captures,
             } => {
+                #[cfg(feature = "profile")]
+                let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*kernel));
                 let outs = exec_scan(ctx, *kernel, neutral, args, captures, regs);
                 for (d, v) in dsts.iter().zip(outs) {
                     regs[*d as usize] = v;
@@ -208,6 +217,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
                 inds,
                 vals,
             } => {
+                #[cfg(feature = "profile")]
+                let _k = fir_trace::span("kernel", "hist");
                 let v = exec_hist(ctx, *op, num_bins, *inds, *vals, regs);
                 regs[*dst as usize] = v;
             }
@@ -236,6 +247,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
                 arrs,
                 captures,
             } => {
+                #[cfg(feature = "profile")]
+                let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*kernel));
                 let outs = exec_withacc(ctx, *kernel, arrs, captures, regs);
                 for (d, v) in dsts.iter().zip(outs) {
                     regs[*d as usize] = v;

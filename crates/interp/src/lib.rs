@@ -36,5 +36,5 @@ pub use acc::Accum;
 pub use backend::{validate_args, Backend, Executable};
 pub use error::ExecError;
 pub use eval::{ExecConfig, Interp};
-pub use pool::WorkerPool;
+pub use pool::{PoolUtilization, WorkerPool};
 pub use value::{Array, Data, Value};

@@ -35,6 +35,28 @@ type TaskSlot<R> = Mutex<Option<Result<R, Box<dyn std::any::Any + Send>>>>;
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
     work_cv: Condvar,
+    /// Jobs currently sitting in `queue` (utilization gauge).
+    queued: AtomicUsize,
+    /// Worker threads currently executing a job. Submitting threads that
+    /// help drain the queue while waiting are not counted — the gauge
+    /// answers "how saturated are the pool's own workers".
+    busy: AtomicUsize,
+}
+
+/// A point-in-time utilization snapshot of a [`WorkerPool`].
+///
+/// Both gauges are sampled racily (relaxed loads of counters other
+/// threads update); a snapshot is a consistent *approximation* suitable
+/// for dashboards and admission decisions, not a synchronization point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolUtilization {
+    /// Background worker threads the pool owns.
+    pub workers: usize,
+    /// Workers currently executing a job.
+    pub busy_workers: usize,
+    /// Jobs waiting in the queue (scoped batch tasks and foreign
+    /// submissions alike).
+    pub queued_jobs: usize,
 }
 
 /// A persistent pool of worker threads executing scoped task batches.
@@ -67,6 +89,8 @@ impl WorkerPool {
         let shared: &'static Shared = Box::leak(Box::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
+            queued: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
         }));
         for i in 0..workers {
             std::thread::Builder::new()
@@ -94,6 +118,15 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Sample the pool's current utilization (see [`PoolUtilization`]).
+    pub fn utilization(&self) -> PoolUtilization {
+        PoolUtilization {
+            workers: self.workers,
+            busy_workers: self.shared.busy.load(Ordering::Relaxed).min(self.workers),
+            queued_jobs: self.shared.queued.load(Ordering::Relaxed),
+        }
+    }
+
     /// Submit a fire-and-forget job from any thread. Unlike
     /// [`WorkerPool::run_tasks`] the job is `'static` and the submitter
     /// does not block — this is the entry point for foreign threads (e.g.
@@ -109,7 +142,14 @@ impl WorkerPool {
         let job: Job = Box::new(move || {
             let _ = catch_unwind(AssertUnwindSafe(job));
         });
-        self.shared.queue.lock().unwrap().push_back(job);
+        // The gauge increment happens under the lock: once the lock drops
+        // a worker may pop (and decrement for) the job immediately.
+        let queued = {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.push_back(job);
+            self.shared.queued.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        fir_trace::counter("pool", "queued_jobs", queued as u64);
         self.shared.work_cv.notify_one();
     }
 
@@ -161,6 +201,9 @@ impl WorkerPool {
             for i in 0..n {
                 queue.push_back(submit(i));
             }
+            // Incremented before the lock drops, so a popping worker's
+            // decrement can never observe the gauge below zero.
+            self.shared.queued.fetch_add(n, Ordering::Relaxed);
             drop(queue);
             if n >= self.workers {
                 self.shared.work_cv.notify_all();
@@ -180,7 +223,10 @@ impl WorkerPool {
             }
             let job = self.shared.queue.lock().unwrap().pop_front();
             match job {
-                Some(job) => job(),
+                Some(job) => {
+                    self.shared.queued.fetch_sub(1, Ordering::Relaxed);
+                    job()
+                }
                 None => {
                     let guard = batch.done_mu.lock().unwrap();
                     if batch.pending.load(Ordering::Acquire) == 0 {
@@ -241,7 +287,12 @@ fn worker_loop(shared: &'static Shared) {
                 queue = shared.work_cv.wait(queue).unwrap();
             }
         };
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
+        fir_trace::counter("pool", "busy_workers", busy as u64);
         job();
+        let busy = shared.busy.fetch_sub(1, Ordering::Relaxed) - 1;
+        fir_trace::counter("pool", "busy_workers", busy as u64);
     }
 }
 
@@ -325,6 +376,52 @@ mod tests {
         }
         // The pool still serves scoped batches after the panic.
         assert_eq!(pool.run_tasks(3, &|i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_and_queued() {
+        // A private 2-worker pool (not the global one, whose load other
+        // tests control): block both workers on a gate, leaving two jobs
+        // queued, and watch the gauges move.
+        let pool = WorkerPool::new(2);
+        let u = pool.utilization();
+        assert_eq!((u.workers, u.busy_workers, u.queued_jobs), (2, 0, 0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        for _ in 0..4 {
+            let gate = Arc::clone(&gate);
+            pool.spawn(move || {
+                let (mu, cv) = &*gate;
+                let mut open = mu.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.utilization().busy_workers < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never picked up the gated jobs"
+            );
+            std::thread::yield_now();
+        }
+        let u = pool.utilization();
+        assert_eq!((u.busy_workers, u.queued_jobs), (2, 2));
+        let (mu, cv) = &*gate;
+        *mu.lock().unwrap() = true;
+        cv.notify_all();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let u = pool.utilization();
+            if u.busy_workers == 0 && u.queued_jobs == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "gauges never drained: {u:?}"
+            );
+            std::thread::yield_now();
+        }
     }
 
     #[test]

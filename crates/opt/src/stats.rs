@@ -21,6 +21,8 @@ pub struct PassRun {
     pub stms_before: usize,
     /// Statements after the pass.
     pub stms_after: usize,
+    /// Wall time the pass took, nanoseconds.
+    pub nanos: u64,
 }
 
 impl PassRun {
@@ -38,7 +40,9 @@ pub fn run_pass(
     fun: &Fun,
 ) -> (Fun, PassRun) {
     let stms_before = count_stms(fun);
+    let start = std::time::Instant::now();
     let (out, rewrites) = apply(fun);
+    let nanos = start.elapsed().as_nanos() as u64;
     let stms_after = count_stms(&out);
     (
         out,
@@ -47,6 +51,7 @@ pub fn run_pass(
             rewrites,
             stms_before,
             stms_after,
+            nanos,
         },
     )
 }

@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use firvm::pool::PoolUtilization;
+
 /// Number of power-of-two histogram buckets. Bucket 39 tops out at
 /// 2^39 µs ≈ 6.4 days — effectively unbounded for request latencies.
 const BUCKETS: usize = 40;
@@ -206,6 +208,9 @@ pub struct FnMetricsSnapshot {
 pub struct MetricsSnapshot {
     /// Time since the server was built.
     pub uptime: Duration,
+    /// Utilization of the shared worker pool batches execute on (busy
+    /// workers and queue depth at snapshot time).
+    pub pool: PoolUtilization,
     /// One entry per registered function, in registration order.
     pub fns: Vec<FnMetricsSnapshot>,
 }
@@ -218,21 +223,16 @@ impl MetricsSnapshot {
 
     /// Serialize to JSON (hand-rolled; the workspace is dependency-free).
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.chars()
-                .flat_map(|c| match c {
-                    '"' => "\\\"".chars().collect::<Vec<_>>(),
-                    '\\' => "\\\\".chars().collect(),
-                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-                    c => vec![c],
-                })
-                .collect()
-        }
+        let esc = json_escape;
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
             "  \"uptime_secs\": {:.6},\n",
             self.uptime.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"pool\": {{\"workers\": {}, \"busy_workers\": {}, \"queued_jobs\": {}}},\n",
+            self.pool.workers, self.pool.busy_workers, self.pool.queued_jobs
         ));
         out.push_str("  \"functions\": [\n");
         for (i, f) in self.fns.iter().enumerate() {
@@ -268,6 +268,23 @@ impl MetricsSnapshot {
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// Escape a string for embedding in a JSON string literal: `"` and `\`
+/// get a backslash, control characters (U+0000..U+001F, the only other
+/// characters JSON forbids in strings) become `\uXXXX`. Everything else —
+/// including non-ASCII — passes through unchanged.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -308,12 +325,69 @@ mod tests {
         m.latency_us.record(100);
         let snap = MetricsSnapshot {
             uptime: Duration::from_secs(2),
+            pool: PoolUtilization {
+                workers: 8,
+                busy_workers: 3,
+                queued_jobs: 5,
+            },
             fns: vec![m.snapshot("gmm \"grad\"", Duration::from_secs(2))],
         };
         let json = snap.to_json();
+        fir_trace::json::validate(&json).unwrap();
         assert!(json.contains("\"fn\": \"gmm \\\"grad\\\"\""), "{json}");
         assert!(json.contains("\"completed\": 1"), "{json}");
         assert!(json.contains("\"p99\": 100"), "{json}");
+        assert!(json.contains("\"busy_workers\": 3"), "{json}");
+        assert!(json.contains("\"queued_jobs\": 5"), "{json}");
         assert_eq!(snap.completed(), 1);
+    }
+
+    #[test]
+    fn json_escaping_survives_hostile_fn_keys() {
+        // Quotes, backslashes, every control character, and non-ASCII:
+        // the export must stay parseable and round-trip the key exactly.
+        let hostile: String = ('\u{0}'..='\u{1f}')
+            .chain("\"\\/ fin€ 日本語 \u{7f}".chars())
+            .collect();
+        let snap = MetricsSnapshot {
+            uptime: Duration::from_secs(1),
+            pool: PoolUtilization::default(),
+            fns: vec![FnMetrics::default().snapshot(&hostile, Duration::from_secs(1))],
+        };
+        let parsed = fir_trace::json::parse(&snap.to_json()).unwrap();
+        let fns = parsed.get("functions").unwrap().as_arr().unwrap();
+        assert_eq!(fns[0].get("fn").unwrap().as_str(), Some(hostile.as_str()));
+        // The escaper itself, spot-checked.
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn single_value_histogram_quantiles() {
+        let h = Histogram::default();
+        h.record(37);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.max), (1, 37, 37));
+        // One value: every quantile is that value's bucket bound clipped
+        // to the observed max — i.e. exactly 37.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 37, "q={q}");
+        }
+        assert_eq!(s.mean(), 37.0);
+        assert_eq!(s.nonzero_buckets(), vec![(64, 1)]);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let h = Histogram::default();
+        // Values past 2^39 all land in the last bucket; quantiles report
+        // its lower power-of-two bound clipped to the observed max.
+        h.record(u64::MAX / 2);
+        h.record(u64::MAX / 2);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX / 2);
+        assert_eq!(s.quantile(0.99), 1u64 << (BUCKETS - 1));
+        assert_eq!(s.nonzero_buckets(), vec![(1u64 << (BUCKETS - 1), 2)]);
     }
 }

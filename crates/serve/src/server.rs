@@ -282,6 +282,10 @@ struct Pending {
     job: Job,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Trace id of the request's async track (0 when tracing is off):
+    /// opened at admission, closed at ticket fulfillment, so one Perfetto
+    /// track shows the request's whole life across threads.
+    trace_id: u64,
 }
 
 /// The two request kinds, each carrying the transform stack it targets.
@@ -403,6 +407,7 @@ impl Server {
         let uptime = self.inner.start.elapsed();
         MetricsSnapshot {
             uptime,
+            pool: firvm::pool::WorkerPool::global().utilization(),
             fns: self
                 .inner
                 .fns
@@ -466,10 +471,18 @@ impl Server {
                 capacity: entry.capacity,
             });
         }
+        let trace_id = if fir_trace::enabled() {
+            let id = fir_trace::next_id();
+            fir_trace::async_begin("serve", "request", id);
+            id
+        } else {
+            0
+        };
         queue.push_back(Pending {
             job,
             enqueued: now,
             deadline: deadline.map(|d| now + d),
+            trace_id,
         });
         let len = queue.len();
         entry.metrics.submitted.inc();
@@ -565,9 +578,13 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
 /// Execute one homogeneous micro-batch on the pool: drop expired
 /// requests, run the engine batch call on the requested transform stack,
 /// resolve every ticket with its own outcome, and record metrics.
+/// One request's completion context within a lane: its enqueue time,
+/// trace id, and the ticket to fulfill.
+type Slot<T> = (Instant, u64, Arc<TicketState<T>>);
+
 /// One `(kind, stack)`'s share of a cut batch: the argument lists plus
-/// each request's enqueue time and completion slot.
-type Lane<T> = (Vec<Vec<Value>>, Vec<(Instant, Arc<TicketState<T>>)>);
+/// each request's completion slot.
+type Lane<T> = (Vec<Vec<Value>>, Vec<Slot<T>>);
 
 /// The lane for `stack` in `lanes`, created on first use. (cut_batch
 /// produces stack-homogeneous batches, so in practice there is exactly
@@ -599,6 +616,7 @@ fn execute_batch(inner: &Inner, idx: usize, batch: Vec<Pending>) {
                 fn_key: entry.key.clone(),
                 waited,
             };
+            fir_trace::async_end("serve", "request", p.trace_id, 0);
             match p.job {
                 Job::Call { ticket, .. } => ticket.fulfill(Err(err)),
                 Job::Grad { ticket, .. } => ticket.fulfill(Err(err)),
@@ -613,7 +631,7 @@ fn execute_batch(inner: &Inner, idx: usize, batch: Vec<Pending>) {
                 } => {
                     let lane = lane_for(&mut calls, stack);
                     lane.0.push(args);
-                    lane.1.push((p.enqueued, ticket));
+                    lane.1.push((p.enqueued, p.trace_id, ticket));
                 }
                 Job::Grad {
                     stack,
@@ -622,7 +640,7 @@ fn execute_batch(inner: &Inner, idx: usize, batch: Vec<Pending>) {
                 } => {
                     let lane = lane_for(&mut grads, stack);
                     lane.0.push(args);
-                    lane.1.push((p.enqueued, ticket));
+                    lane.1.push((p.enqueued, p.trace_id, ticket));
                 }
             }
         }
@@ -630,11 +648,19 @@ fn execute_batch(inner: &Inner, idx: usize, batch: Vec<Pending>) {
     if live > 0 {
         entry.metrics.batches.inc();
         entry.metrics.batch_sizes.record(live as u64);
+        // The batch id ties each request's async track to the span of the
+        // batch it rode in (the span's `id`, each request's end `arg`).
+        let batch_id = if fir_trace::enabled() {
+            fir_trace::next_id()
+        } else {
+            0
+        };
+        let _batch_span = fir_trace::span_with_id("serve", "batch", batch_id).with_arg(live as u64);
         for (stack, (argss, tickets)) in calls {
-            run_calls(entry, &stack, &argss, tickets);
+            run_calls(entry, &stack, &argss, tickets, batch_id);
         }
         for (stack, (argss, tickets)) in grads {
-            run_grads(entry, &stack, &argss, tickets);
+            run_grads(entry, &stack, &argss, tickets, batch_id);
         }
     }
     if inner.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -655,6 +681,8 @@ fn panic_error(fn_key: &str) -> ServeError {
 fn resolve_one<T>(
     entry: &FnEntry,
     enqueued: Instant,
+    trace_id: u64,
+    batch_id: u64,
     ticket: &TicketState<T>,
     result: Result<T, ServeError>,
 ) {
@@ -667,6 +695,7 @@ fn resolve_one<T>(
         .metrics
         .latency_us
         .record(enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    fir_trace::async_end("serve", "request", trace_id, batch_id);
     ticket.fulfill(result);
 }
 
@@ -674,7 +703,8 @@ fn run_calls(
     entry: &FnEntry,
     stack: &[Transform],
     argss: &[Vec<Value>],
-    tickets: Vec<(Instant, Arc<TicketState<Vec<Value>>>)>,
+    tickets: Vec<Slot<Vec<Value>>>,
+    batch_id: u64,
 ) {
     // Both backends catch residual panics, but a panic escaping here
     // would strand every ticket of the batch (clients and shutdown would
@@ -689,20 +719,41 @@ fn run_calls(
     }));
     match results {
         Ok(Ok(results)) => {
-            for ((enqueued, ticket), result) in tickets.into_iter().zip(results) {
-                resolve_one(entry, enqueued, &ticket, result.map_err(ServeError::Exec));
+            for ((enqueued, tid, ticket), result) in tickets.into_iter().zip(results) {
+                resolve_one(
+                    entry,
+                    enqueued,
+                    tid,
+                    batch_id,
+                    &ticket,
+                    result.map_err(ServeError::Exec),
+                );
             }
         }
         // Transform-level failure (the stack does not apply to this
         // function): every request in the lane fails the same way.
         Ok(Err(e)) => {
-            for (enqueued, ticket) in tickets {
-                resolve_one(entry, enqueued, &ticket, Err(ServeError::Exec(e.clone())));
+            for (enqueued, tid, ticket) in tickets {
+                resolve_one(
+                    entry,
+                    enqueued,
+                    tid,
+                    batch_id,
+                    &ticket,
+                    Err(ServeError::Exec(e.clone())),
+                );
             }
         }
         Err(_) => {
-            for (enqueued, ticket) in tickets {
-                resolve_one(entry, enqueued, &ticket, Err(panic_error(&entry.key)));
+            for (enqueued, tid, ticket) in tickets {
+                resolve_one(
+                    entry,
+                    enqueued,
+                    tid,
+                    batch_id,
+                    &ticket,
+                    Err(panic_error(&entry.key)),
+                );
             }
         }
     }
@@ -712,7 +763,8 @@ fn run_grads(
     entry: &FnEntry,
     stack: &[Transform],
     argss: &[Vec<Value>],
-    tickets: Vec<(Instant, Arc<TicketState<GradOutput>>)>,
+    tickets: Vec<Slot<GradOutput>>,
+    batch_id: u64,
 ) {
     let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         entry
@@ -722,20 +774,41 @@ fn run_grads(
     }));
     match results {
         Ok(Ok(results)) => {
-            for ((enqueued, ticket), result) in tickets.into_iter().zip(results) {
-                resolve_one(entry, enqueued, &ticket, result.map_err(ServeError::Exec));
+            for ((enqueued, tid, ticket), result) in tickets.into_iter().zip(results) {
+                resolve_one(
+                    entry,
+                    enqueued,
+                    tid,
+                    batch_id,
+                    &ticket,
+                    result.map_err(ServeError::Exec),
+                );
             }
         }
         // Function-level failure (the stack does not apply, vjp does not
         // compile, nothing to seed): every request fails the same way.
         Ok(Err(e)) => {
-            for (enqueued, ticket) in tickets {
-                resolve_one(entry, enqueued, &ticket, Err(ServeError::Exec(e.clone())));
+            for (enqueued, tid, ticket) in tickets {
+                resolve_one(
+                    entry,
+                    enqueued,
+                    tid,
+                    batch_id,
+                    &ticket,
+                    Err(ServeError::Exec(e.clone())),
+                );
             }
         }
         Err(_) => {
-            for (enqueued, ticket) in tickets {
-                resolve_one(entry, enqueued, &ticket, Err(panic_error(&entry.key)));
+            for (enqueued, tid, ticket) in tickets {
+                resolve_one(
+                    entry,
+                    enqueued,
+                    tid,
+                    batch_id,
+                    &ticket,
+                    Err(panic_error(&entry.key)),
+                );
             }
         }
     }

@@ -1,0 +1,160 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the `{"traceEvents": [...]}` object format understood by
+//! [Perfetto](https://ui.perfetto.dev) and `chrome://tracing`:
+//! complete spans (`ph: "X"`), instants (`"i"`), counters (`"C"`), and
+//! async begin/end pairs (`"b"`/`"e"`) whose shared `id` renders one
+//! track per served request even though its events come from different
+//! threads. Thread-name metadata events label each thread's track.
+//! Timestamps are microseconds (fractional) since the trace epoch.
+
+use crate::{Event, EventKind, Trace};
+
+/// Escape a string for embedding in a JSON string literal.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+fn common(e: &Event) -> String {
+    format!(
+        "\"cat\": \"{}\", \"name\": \"{}\", \"pid\": 1, \"tid\": {}, \"ts\": {}",
+        escape(e.cat),
+        escape(e.name),
+        e.tid,
+        us(e.t0_ns)
+    )
+}
+
+/// Render a drained [`Trace`] as Chrome trace-event JSON.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut rows = Vec::new();
+    for t in &trace.threads {
+        let label = if t.name.is_empty() {
+            format!("thread-{}", t.tid)
+        } else {
+            t.name.clone()
+        };
+        rows.push(format!(
+            "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            t.tid,
+            escape(&label)
+        ));
+    }
+    for e in &trace.events {
+        let row = match e.kind {
+            EventKind::Span => format!(
+                "{{\"ph\": \"X\", {}, \"dur\": {}, \"args\": {{\"id\": {}, \"arg\": {}}}}}",
+                common(e),
+                us(e.dur_ns),
+                e.id,
+                e.arg
+            ),
+            EventKind::Instant => format!("{{\"ph\": \"i\", {}, \"s\": \"t\"}}", common(e)),
+            EventKind::Counter => format!(
+                "{{\"ph\": \"C\", {}, \"args\": {{\"value\": {}}}}}",
+                common(e),
+                e.dur_ns
+            ),
+            EventKind::AsyncBegin => {
+                format!("{{\"ph\": \"b\", {}, \"id\": {}}}", common(e), e.id)
+            }
+            EventKind::AsyncEnd => format!(
+                "{{\"ph\": \"e\", {}, \"id\": {}, \"args\": {{\"arg\": {}}}}}",
+                common(e),
+                e.id,
+                e.arg
+            ),
+        };
+        rows.push(row);
+    }
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(row);
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadInfo;
+
+    fn ev(kind: EventKind, name: &'static str, id: u64) -> Event {
+        Event {
+            kind,
+            cat: "test",
+            name,
+            tid: 0,
+            t0_ns: 1_500,
+            dur_ns: 2_000,
+            id,
+            arg: 7,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_all_phases() {
+        let trace = Trace {
+            events: vec![
+                ev(EventKind::Span, "s", 0),
+                ev(EventKind::Instant, "i", 0),
+                ev(EventKind::Counter, "c", 0),
+                ev(EventKind::AsyncBegin, "req", 9),
+                ev(EventKind::AsyncEnd, "req", 9),
+            ],
+            threads: vec![ThreadInfo {
+                tid: 0,
+                name: "main".to_string(),
+            }],
+        };
+        let json = chrome_trace_json(&trace);
+        crate::json::validate(&json).unwrap();
+        for ph in ["\"X\"", "\"i\"", "\"C\"", "\"b\"", "\"e\"", "\"M\""] {
+            assert!(json.contains(&format!("\"ph\": {ph}")), "{json}");
+        }
+        // Span timestamps are µs: 1500 ns -> 1.500.
+        assert!(json.contains("\"ts\": 1.500"), "{json}");
+        assert!(json.contains("\"dur\": 2.000"), "{json}");
+        assert!(json.contains("\"id\": 9"), "{json}");
+    }
+
+    #[test]
+    fn hostile_names_escape_cleanly() {
+        let trace = Trace {
+            events: vec![Event {
+                kind: EventKind::Span,
+                cat: "test",
+                name: crate::intern("we\"ird\\na\nme"),
+                tid: 0,
+                t0_ns: 0,
+                dur_ns: 0,
+                id: 0,
+                arg: 0,
+            }],
+            threads: vec![],
+        };
+        crate::json::validate(&chrome_trace_json(&trace)).unwrap();
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        crate::json::validate(&chrome_trace_json(&Trace::default())).unwrap();
+    }
+}

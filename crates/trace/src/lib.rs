@@ -1,0 +1,528 @@
+//! Always-on structured tracing for the whole stack.
+//!
+//! Every layer of the engine — compilation, the pass pipeline, the VM,
+//! the worker pool, the serving runtime — records [`Event`]s (spans,
+//! instants, counters, async begin/end pairs) into a lock-free,
+//! bounded, overwrite-oldest ring buffer owned by the recording thread.
+//! Recording costs one relaxed atomic load when tracing is disabled
+//! (the default) and a handful of relaxed atomic stores when enabled;
+//! there are no locks, allocations, or syscalls on the hot path.
+//!
+//! A collector turns the recorded events into two artifacts:
+//!
+//! * [`Trace::to_chrome_json`] — Chrome trace-event JSON, loadable in
+//!   [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`, with
+//!   one track per thread and one async track per served request.
+//! * [`Trace::profile`] — an aggregated per-phase report (call counts,
+//!   total/self wall time) for "where did the time go" questions that
+//!   do not need a timeline.
+//!
+//! ```
+//! fir_trace::set_enabled(true);
+//! {
+//!     let _outer = fir_trace::span("demo", "outer");
+//!     let _inner = fir_trace::span("demo", "inner");
+//! }
+//! let trace = fir_trace::drain();
+//! fir_trace::set_enabled(false);
+//! assert!(trace.events.len() >= 2);
+//! fir_trace::json::validate(&trace.to_chrome_json()).unwrap();
+//! ```
+//!
+//! Identifier payloads ([`next_id`], the `id`/`arg` fields) let separately
+//! recorded events reference each other — e.g. a served request's
+//! completion event carries the id of the batch span it rode in.
+
+pub mod chrome;
+pub mod json;
+pub mod profile;
+mod ring;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use ring::RingBuffer;
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// The kind of one recorded [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed duration (`t0_ns` .. `t0_ns + dur_ns`) on one thread.
+    Span,
+    /// A point-in-time marker.
+    Instant,
+    /// A sampled counter value (`dur_ns` holds the value).
+    Counter,
+    /// The start of an async operation correlated by `id` (a served
+    /// request's lifetime, spanning threads).
+    AsyncBegin,
+    /// The end of the async operation with the same `id`.
+    AsyncEnd,
+}
+
+/// One recorded trace event. `cat`/`name` are interned (or literal)
+/// static strings; timestamps are nanoseconds since the process trace
+/// epoch (the first recorded event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// What kind of event this is.
+    pub kind: EventKind,
+    /// Category: the layer that recorded it (`"compile"`, `"vm"`,
+    /// `"serve"`, `"pool"`, ...).
+    pub cat: &'static str,
+    /// Event name within the category.
+    pub name: &'static str,
+    /// The recording thread (dense trace-local id, see
+    /// [`ThreadInfo::tid`]).
+    pub tid: u64,
+    /// Start time, nanoseconds since the trace epoch.
+    pub t0_ns: u64,
+    /// Span duration in nanoseconds; counter value for
+    /// [`EventKind::Counter`]; 0 otherwise.
+    pub dur_ns: u64,
+    /// Correlation id (async begin/end pairing, span identity); 0 when
+    /// unused.
+    pub id: u64,
+    /// Auxiliary payload (e.g. the batch id a request completion rode
+    /// in); 0 when unused.
+    pub arg: u64,
+}
+
+/// One thread that recorded events: its dense trace id and its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadInfo {
+    /// Dense id assigned in registration order (matches [`Event::tid`]).
+    pub tid: u64,
+    /// The OS thread name at registration time (may be empty).
+    pub name: String,
+}
+
+/// A drained collection of events plus the threads that recorded them.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events from every thread, sorted by start time.
+    pub events: Vec<Event>,
+    /// The recording threads.
+    pub threads: Vec<ThreadInfo>,
+}
+
+impl Trace {
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Chrome trace-event JSON for the whole trace (see
+    /// [`chrome::chrome_trace_json`]).
+    pub fn to_chrome_json(&self) -> String {
+        chrome::chrome_trace_json(self)
+    }
+
+    /// Aggregate span events into a per-phase profile (see
+    /// [`profile::Profile`]).
+    pub fn profile(&self) -> profile::Profile {
+        profile::Profile::from_trace(self)
+    }
+
+    /// Absorb a later [`drain`] batch: append its events (restoring the
+    /// start-time sort) and union the thread lists. This is how a
+    /// periodic collector accumulates one continuous trace from bounded
+    /// ring buffers — drain faster than the busiest thread wraps and
+    /// `extend` each batch onto the first.
+    pub fn extend(&mut self, later: Trace) {
+        for t in later.threads {
+            if !self.threads.iter().any(|mine| mine.tid == t.tid) {
+                self.threads.push(t);
+            }
+        }
+        self.events.extend(later.events);
+        // Batches are each sorted and largely consecutive in time, so the
+        // stable merge sort hits its adaptive fast path.
+        self.events.sort_by_key(|e| (e.t0_ns, e.tid));
+        self.threads.sort_by_key(|t| t.tid);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global state
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<RingBuffer>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<RingBuffer>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turn recording on or off process-wide. Off (the default) reduces
+/// every record call to one relaxed atomic load; already-recorded
+/// events stay in their ring buffers until [`drain`]ed.
+pub fn set_enabled(enabled: bool) {
+    if enabled {
+        // Pin the epoch before the first event so timestamps are small.
+        epoch();
+    }
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A fresh nonzero correlation id (process-wide, never reused). Used to
+/// tie async begin/end pairs and cross-referencing events together.
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Intern a dynamic string, returning a `'static` reference. Interned
+/// strings live for the process lifetime; callers pass bounded name
+/// sets (function names, pass names), not per-event payloads.
+pub fn intern(s: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<std::collections::HashSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(std::collections::HashSet::new()));
+    let mut set = set.lock().unwrap();
+    match set.get(s) {
+        Some(interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
+}
+
+fn record(
+    kind: EventKind,
+    cat: &'static str,
+    name: &'static str,
+    t0: u64,
+    dur: u64,
+    id: u64,
+    arg: u64,
+) {
+    ring::with_thread_buffer(|buf| buf.push(kind, cat, name, t0, dur, id, arg));
+}
+
+// ---------------------------------------------------------------------
+// Recording API
+// ---------------------------------------------------------------------
+
+/// An RAII span: records one [`EventKind::Span`] covering its lifetime
+/// when dropped. Inert (no timestamp taken) when tracing is disabled at
+/// construction.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    cat: &'static str,
+    name: &'static str,
+    id: u64,
+    arg: u64,
+    start_ns: u64,
+    armed: bool,
+}
+
+impl SpanGuard {
+    const INERT: SpanGuard = SpanGuard {
+        cat: "",
+        name: "",
+        id: 0,
+        arg: 0,
+        start_ns: 0,
+        armed: false,
+    };
+
+    /// Attach an auxiliary payload to the span event.
+    pub fn with_arg(mut self, arg: u64) -> SpanGuard {
+        self.arg = arg;
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed && enabled() {
+            let dur = now_ns().saturating_sub(self.start_ns);
+            record(
+                EventKind::Span,
+                self.cat,
+                self.name,
+                self.start_ns,
+                dur,
+                self.id,
+                self.arg,
+            );
+        }
+    }
+}
+
+/// Open a span with a literal name; it records when the guard drops.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    span_with_id(cat, name, 0)
+}
+
+/// [`span`] with an explicit correlation id other events can reference.
+pub fn span_with_id(cat: &'static str, name: &'static str, id: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::INERT;
+    }
+    SpanGuard {
+        cat,
+        name,
+        id,
+        arg: 0,
+        start_ns: now_ns(),
+        armed: true,
+    }
+}
+
+/// Open a span over a dynamic name (interned only when tracing is
+/// enabled, so the disabled path stays allocation-free).
+pub fn span_str(cat: &'static str, name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::INERT;
+    }
+    span_with_id(cat, intern(name), 0)
+}
+
+/// Record a point-in-time marker.
+pub fn instant(cat: &'static str, name: &'static str) {
+    if enabled() {
+        record(EventKind::Instant, cat, name, now_ns(), 0, 0, 0);
+    }
+}
+
+/// Record a sampled counter value (rendered as a counter track).
+pub fn counter(cat: &'static str, name: &'static str, value: u64) {
+    if enabled() {
+        record(EventKind::Counter, cat, name, now_ns(), value, 0, 0);
+    }
+}
+
+/// Record the start of an async operation correlated by `id` (events of
+/// one id form a single track even across threads).
+pub fn async_begin(cat: &'static str, name: &'static str, id: u64) {
+    if enabled() {
+        record(EventKind::AsyncBegin, cat, name, now_ns(), 0, id, 0);
+    }
+}
+
+/// Record the end of the async operation `id`, with an auxiliary
+/// payload (`arg`) cross-referencing another event's id (0 when
+/// unused).
+pub fn async_end(cat: &'static str, name: &'static str, id: u64, arg: u64) {
+    if enabled() {
+        record(EventKind::AsyncEnd, cat, name, now_ns(), 0, id, arg);
+    }
+}
+
+/// Drain every thread's ring buffer into one [`Trace`], sorted by start
+/// time. Draining consumes: a second drain returns only events recorded
+/// since. Events overwritten before the drain (a thread outran its
+/// bounded buffer) are silently dropped — tracing is an observation
+/// tool, not a reliable log.
+pub fn drain() -> Trace {
+    let buffers: Vec<Arc<RingBuffer>> = registry().lock().unwrap().clone();
+    let mut events = Vec::new();
+    let mut threads = Vec::new();
+    for buf in &buffers {
+        buf.drain_into(&mut events);
+        threads.push(ThreadInfo {
+            tid: buf.tid(),
+            name: buf.thread_name().to_string(),
+        });
+    }
+    events.sort_by_key(|e| (e.t0_ns, e.tid));
+    threads.sort_by_key(|t| t.tid);
+    Trace { events, threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Recording is process-global state; tests that enable/drain must
+    /// not interleave.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _g = serial();
+        set_enabled(false);
+        drain();
+        let _s = span("test", "ignored");
+        instant("test", "ignored");
+        counter("test", "ignored", 1);
+        drop(_s);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_drain_in_time_order() {
+        let _g = serial();
+        set_enabled(false);
+        drain();
+        set_enabled(true);
+        {
+            let _outer = span("test", "outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("test", "inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let trace = drain();
+        let spans: Vec<&Event> = trace
+            .events
+            .iter()
+            .filter(|e| e.cat == "test" && e.kind == EventKind::Span)
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner closed first but outer *started* first; drain sorts by t0.
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[1].name, "inner");
+        assert!(spans[0].t0_ns <= spans[1].t0_ns);
+        assert!(spans[0].dur_ns >= spans[1].dur_ns);
+        // The inner span is contained in the outer.
+        assert!(spans[1].t0_ns + spans[1].dur_ns <= spans[0].t0_ns + spans[0].dur_ns);
+    }
+
+    #[test]
+    fn counters_instants_and_async_pairs_round_trip() {
+        let _g = serial();
+        set_enabled(false);
+        drain();
+        set_enabled(true);
+        let id = next_id();
+        async_begin("test", "req", id);
+        counter("test", "depth", 7);
+        instant("test", "mark");
+        async_end("test", "req", id, 42);
+        set_enabled(false);
+        let trace = drain();
+        let find = |k: EventKind| trace.events.iter().find(|e| e.kind == k).unwrap();
+        assert_eq!(find(EventKind::Counter).dur_ns, 7);
+        assert_eq!(find(EventKind::AsyncBegin).id, id);
+        let end = find(EventKind::AsyncEnd);
+        assert_eq!((end.id, end.arg), (id, 42));
+    }
+
+    #[test]
+    fn multi_thread_events_carry_distinct_tids() {
+        let _g = serial();
+        set_enabled(false);
+        drain();
+        set_enabled(true);
+        instant("test", "main-thread");
+        std::thread::spawn(|| instant("test", "other-thread"))
+            .join()
+            .unwrap();
+        set_enabled(false);
+        let trace = drain();
+        let main_tid = trace
+            .events
+            .iter()
+            .find(|e| e.name == "main-thread")
+            .unwrap()
+            .tid;
+        let other_tid = trace
+            .events
+            .iter()
+            .find(|e| e.name == "other-thread")
+            .unwrap()
+            .tid;
+        assert_ne!(main_tid, other_tid);
+        assert!(trace.threads.iter().any(|t| t.tid == main_tid));
+        assert!(trace.threads.iter().any(|t| t.tid == other_tid));
+    }
+
+    #[test]
+    fn overflow_keeps_the_newest_events() {
+        let _g = serial();
+        set_enabled(false);
+        drain();
+        set_enabled(true);
+        let total = ring::RING_CAPACITY + 100;
+        for i in 0..total {
+            counter("test", "seq", i as u64);
+        }
+        set_enabled(false);
+        let trace = drain();
+        let counters: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "seq")
+            .map(|e| e.dur_ns)
+            .collect();
+        assert_eq!(counters.len(), ring::RING_CAPACITY);
+        // Overwrite-oldest: the survivors are exactly the newest window.
+        assert_eq!(counters[0], 100);
+        assert_eq!(*counters.last().unwrap(), total as u64 - 1);
+    }
+
+    #[test]
+    fn periodic_drains_extend_into_one_trace() {
+        let _g = serial();
+        set_enabled(false);
+        drain();
+        set_enabled(true);
+        counter("test", "tick", 1);
+        let mut acc = drain();
+        counter("test", "tick", 2);
+        std::thread::spawn(|| counter("test", "tick", 3))
+            .join()
+            .unwrap();
+        set_enabled(false);
+        acc.extend(drain());
+        let ticks: Vec<u64> = acc
+            .events
+            .iter()
+            .filter(|e| e.name == "tick")
+            .map(|e| e.dur_ns)
+            .collect();
+        assert_eq!(ticks, vec![1, 2, 3], "merged batches stay time-sorted");
+        // Thread lists union without duplicating the first batch's entry.
+        let tids: Vec<u64> = acc.threads.iter().map(|t| t.tid).collect();
+        let mut deduped = tids.clone();
+        deduped.dedup();
+        assert_eq!(tids, deduped);
+        assert!(acc.threads.len() >= 2);
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let a = intern("some-dynamic-name");
+        let b = intern(&format!("some-{}-name", "dynamic"));
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,265 @@
+//! Aggregated per-phase profiles.
+//!
+//! Collapses a drained trace's span events into one row per
+//! `(category, name)` phase: call count, total wall time, *self* time
+//! (total minus the time spent in spans nested inside it on the same
+//! thread), and the longest single occurrence. Self time is what makes
+//! the report additive — summing the self column over all rows
+//! approximates the traced wall time without double-counting a
+//! `compile` span's pipeline, or a `vm` span's kernels.
+
+use std::collections::BTreeMap;
+
+use crate::{EventKind, Trace};
+
+/// One aggregated phase: every span with the same `(cat, name)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span category.
+    pub cat: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans aggregated.
+    pub count: u64,
+    /// Summed wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Summed wall time minus time in nested spans, nanoseconds.
+    pub self_ns: u64,
+    /// The longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A per-phase aggregation of a [`Trace`], sorted by self time
+/// (descending).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// One row per `(cat, name)`, most self time first.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl Profile {
+    /// Aggregate the span events of `trace`.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        // Reconstruct nesting per thread: spans sorted by start time
+        // (ties: longer first, so an enclosing span precedes the spans
+        // it contains), swept with a stack of open intervals.
+        let mut by_thread: BTreeMap<u64, Vec<(u64, u64, &'static str, &'static str)>> =
+            BTreeMap::new();
+        for e in &trace.events {
+            if e.kind == EventKind::Span {
+                by_thread
+                    .entry(e.tid)
+                    .or_default()
+                    .push((e.t0_ns, e.dur_ns, e.cat, e.name));
+            }
+        }
+        let mut agg: BTreeMap<(&'static str, &'static str), ProfileRow> = BTreeMap::new();
+        for (_, mut spans) in by_thread {
+            spans.sort_by_key(|(t0, dur, _, _)| (*t0, u64::MAX - *dur));
+            // Stack of (end_ns, child_ns accumulated, cat, name).
+            let mut stack: Vec<(u64, u64, &'static str, &'static str)> = Vec::new();
+            for (t0, dur, cat, name) in spans {
+                let end = t0 + dur;
+                while let Some(&(open_end, _, _, _)) = stack.last() {
+                    if open_end <= t0 {
+                        close(&mut stack, &mut agg);
+                    } else {
+                        break;
+                    }
+                }
+                // Count this span toward its parent's child time.
+                if let Some(top) = stack.last_mut() {
+                    top.1 += dur;
+                }
+                let row = agg.entry((cat, name)).or_insert(ProfileRow {
+                    cat,
+                    name,
+                    count: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                    max_ns: 0,
+                });
+                row.count += 1;
+                row.total_ns += dur;
+                row.self_ns += dur;
+                row.max_ns = row.max_ns.max(dur);
+                stack.push((end, 0, cat, name));
+            }
+            while !stack.is_empty() {
+                close(&mut stack, &mut agg);
+            }
+        }
+        let mut rows: Vec<ProfileRow> = agg.into_values().collect();
+        rows.sort_by_key(|r| u64::MAX - r.self_ns);
+        Profile { rows }
+    }
+
+    /// The row for `(cat, name)`, if any span recorded it.
+    pub fn row(&self, cat: &str, name: &str) -> Option<&ProfileRow> {
+        self.rows.iter().find(|r| r.cat == cat && r.name == name)
+    }
+
+    /// Serialize to JSON (hand-rolled; the workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"profile\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"cat\": \"{}\", \"name\": \"{}\", \"count\": {}, \"total_ms\": {:.3}, \
+                 \"self_ms\": {:.3}, \"max_ms\": {:.3}}}{}",
+                crate::chrome::escape(r.cat),
+                crate::chrome::escape(r.name),
+                r.count,
+                r.total_ns as f64 / 1e6,
+                r.self_ns as f64 / 1e6,
+                r.max_ns as f64 / 1e6,
+                if i + 1 < self.rows.len() { ",\n" } else { "\n" }
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Pop the top open span and charge its nested-child time against its
+/// aggregate row's self time.
+fn close(
+    stack: &mut Vec<(u64, u64, &'static str, &'static str)>,
+    agg: &mut BTreeMap<(&'static str, &'static str), ProfileRow>,
+) {
+    let (_, child_ns, cat, name) = stack.pop().expect("close of empty stack");
+    if let Some(row) = agg.get_mut(&(cat, name)) {
+        row.self_ns = row.self_ns.saturating_sub(child_ns);
+    }
+}
+
+impl std::fmt::Display for Profile {
+    /// An aligned table, widest self time first:
+    ///
+    /// ```text
+    /// phase                                count     total      self       max
+    /// vm/gmm_objective                        12   34.50ms   20.10ms    4.20ms
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.cat.len() + r.name.len() + 1)
+            .max()
+            .unwrap_or(5)
+            .max("phase".len());
+        writeln!(
+            f,
+            "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}",
+            "phase", "count", "total", "self", "max"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}",
+                format!("{}/{}", r.cat, r.name),
+                r.count,
+                fmt_ms(r.total_ns),
+                fmt_ms(r.self_ns),
+                fmt_ms(r.max_ns),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}ms", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn span(tid: u64, t0: u64, dur: u64, name: &'static str) -> Event {
+        Event {
+            kind: EventKind::Span,
+            cat: "t",
+            name,
+            tid,
+            t0_ns: t0,
+            dur_ns: dur,
+            id: 0,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_nested_children() {
+        // outer [0, 100) contains inner [10, 40) and inner [50, 70).
+        let trace = Trace {
+            events: vec![
+                span(0, 0, 100, "outer"),
+                span(0, 10, 30, "inner"),
+                span(0, 50, 20, "inner"),
+            ],
+            threads: vec![],
+        };
+        let p = trace.profile();
+        let outer = p.row("t", "outer").unwrap();
+        assert_eq!((outer.count, outer.total_ns, outer.self_ns), (1, 100, 50));
+        let inner = p.row("t", "inner").unwrap();
+        assert_eq!((inner.count, inner.total_ns, inner.self_ns), (2, 50, 50));
+        assert_eq!(inner.max_ns, 30);
+        // Sorted by self time descending: ties broken stably; both 50.
+        assert_eq!(p.rows.len(), 2);
+    }
+
+    #[test]
+    fn sibling_threads_do_not_nest() {
+        // Identical intervals on different threads are parallel, not
+        // nested: no self-time subtraction across threads.
+        let trace = Trace {
+            events: vec![span(0, 0, 100, "a"), span(1, 0, 100, "b")],
+            threads: vec![],
+        };
+        let p = trace.profile();
+        assert_eq!(p.row("t", "a").unwrap().self_ns, 100);
+        assert_eq!(p.row("t", "b").unwrap().self_ns, 100);
+    }
+
+    #[test]
+    fn deep_nesting_charges_each_parent_once() {
+        // a [0,100) > b [10,90) > c [20,50): a self 20, b self 50, c 30.
+        let trace = Trace {
+            events: vec![
+                span(0, 0, 100, "a"),
+                span(0, 10, 80, "b"),
+                span(0, 20, 30, "c"),
+            ],
+            threads: vec![],
+        };
+        let p = trace.profile();
+        assert_eq!(p.row("t", "a").unwrap().self_ns, 20);
+        assert_eq!(p.row("t", "b").unwrap().self_ns, 50);
+        assert_eq!(p.row("t", "c").unwrap().self_ns, 30);
+        // Self times sum to the wall time of the outermost span.
+        let total: u64 = p.rows.iter().map(|r| r.self_ns).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn json_and_display_render() {
+        let trace = Trace {
+            events: vec![span(0, 0, 2_000_000, "phase")],
+            threads: vec![],
+        };
+        let p = trace.profile();
+        crate::json::validate(&p.to_json()).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("t/phase"), "{text}");
+        assert!(text.contains("2.00ms"), "{text}");
+    }
+
+    #[test]
+    fn empty_profile_is_well_formed() {
+        let p = Trace::default().profile();
+        assert!(p.rows.is_empty());
+        crate::json::validate(&p.to_json()).unwrap();
+    }
+}

@@ -1,0 +1,234 @@
+//! Lock-free per-thread event ring buffers.
+//!
+//! Each recording thread owns one bounded [`RingBuffer`]; the producer
+//! writes without locks or allocation, overwriting the oldest slot when
+//! full. A collector thread drains concurrently: every slot is guarded
+//! by a per-slot sequence counter (a seqlock), and because slot fields
+//! are plain atomics a torn read is impossible at the language level —
+//! the sequence check only decides whether the *combination* of fields
+//! corresponds to one complete write, and mismatching reads are
+//! discarded.
+//!
+//! The producer protocol per slot: bump `seq` to odd, write the fields,
+//! store `seq` even (release). The consumer reads `seq` (acquire), the
+//! fields (relaxed), an acquire fence, and `seq` again — accepting the
+//! event only when both loads equal the exact even value expected for
+//! that logical position, which also rejects slots recycled by a
+//! producer that lapped the consumer.
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use crate::{Event, EventKind};
+
+/// Events retained per thread (power of two). At ten words per slot this
+/// is ~320 KiB per recording thread, bounded for the process lifetime.
+pub(crate) const RING_CAPACITY: usize = 4096;
+
+struct Slot {
+    /// Seqlock: odd while the producer writes, even (`2 * writes`) when
+    /// stable. The expected value for logical position `pos` is
+    /// `2 * (pos / RING_CAPACITY + 1)`.
+    seq: AtomicU64,
+    kind: AtomicU64,
+    cat_ptr: AtomicUsize,
+    cat_len: AtomicUsize,
+    name_ptr: AtomicUsize,
+    name_len: AtomicUsize,
+    t0_ns: AtomicU64,
+    dur_ns: AtomicU64,
+    id: AtomicU64,
+    arg: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            cat_ptr: AtomicUsize::new(0),
+            cat_len: AtomicUsize::new(0),
+            name_ptr: AtomicUsize::new(0),
+            name_len: AtomicUsize::new(0),
+            t0_ns: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+            id: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+        }
+    }
+}
+
+fn kind_to_u64(kind: EventKind) -> u64 {
+    match kind {
+        EventKind::Span => 0,
+        EventKind::Instant => 1,
+        EventKind::Counter => 2,
+        EventKind::AsyncBegin => 3,
+        EventKind::AsyncEnd => 4,
+    }
+}
+
+fn kind_from_u64(v: u64) -> EventKind {
+    match v {
+        0 => EventKind::Span,
+        1 => EventKind::Instant,
+        2 => EventKind::Counter,
+        3 => EventKind::AsyncBegin,
+        _ => EventKind::AsyncEnd,
+    }
+}
+
+/// One thread's bounded event buffer. The owning thread is the only
+/// producer; any thread may drain (the collector serializes on the
+/// global registry lock, so there is one consumer at a time).
+pub(crate) struct RingBuffer {
+    tid: u64,
+    thread_name: String,
+    /// Total events ever pushed; the live window is `head - RING_CAPACITY
+    /// .. head` (producer-owned, stored after the slot write completes).
+    head: AtomicU64,
+    /// Everything before this position has been drained (consumer-owned).
+    drained: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl RingBuffer {
+    fn new(tid: u64, thread_name: String) -> RingBuffer {
+        RingBuffer {
+            tid,
+            thread_name,
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    pub(crate) fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    pub(crate) fn thread_name(&self) -> &str {
+        &self.thread_name
+    }
+
+    /// Record one event (producer side; called only by the owning
+    /// thread).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push(
+        &self,
+        kind: EventKind,
+        cat: &'static str,
+        name: &'static str,
+        t0_ns: u64,
+        dur_ns: u64,
+        id: u64,
+        arg: u64,
+    ) {
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos % RING_CAPACITY as u64) as usize];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        // Mark the slot unstable before touching its fields...
+        slot.seq.store(seq + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.kind.store(kind_to_u64(kind), Ordering::Relaxed);
+        slot.cat_ptr.store(cat.as_ptr() as usize, Ordering::Relaxed);
+        slot.cat_len.store(cat.len(), Ordering::Relaxed);
+        slot.name_ptr
+            .store(name.as_ptr() as usize, Ordering::Relaxed);
+        slot.name_len.store(name.len(), Ordering::Relaxed);
+        slot.t0_ns.store(t0_ns, Ordering::Relaxed);
+        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        slot.id.store(id, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        // ...and stable (even) only after every field landed.
+        slot.seq.store(seq + 2, Ordering::Release);
+        self.head.store(pos + 1, Ordering::Release);
+    }
+
+    /// Drain undrained events into `out` (consumer side). Events the
+    /// producer overwrote before this drain are skipped.
+    pub(crate) fn drain_into(&self, out: &mut Vec<Event>) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = RING_CAPACITY as u64;
+        let start = self
+            .drained
+            .load(Ordering::Relaxed)
+            .max(head.saturating_sub(cap));
+        for pos in start..head {
+            let slot = &self.slots[(pos % cap) as usize];
+            // The write for `pos` ended with this exact even value; any
+            // other value means the producer lapped us (newer data) or is
+            // mid-write — either way the event at `pos` is unrecoverable.
+            let expected = 2 * (pos / cap + 1);
+            if slot.seq.load(Ordering::Acquire) != expected {
+                continue;
+            }
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let cat_ptr = slot.cat_ptr.load(Ordering::Relaxed);
+            let cat_len = slot.cat_len.load(Ordering::Relaxed);
+            let name_ptr = slot.name_ptr.load(Ordering::Relaxed);
+            let name_len = slot.name_len.load(Ordering::Relaxed);
+            let t0_ns = slot.t0_ns.load(Ordering::Relaxed);
+            let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
+            let id = slot.id.load(Ordering::Relaxed);
+            let arg = slot.arg.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != expected {
+                continue;
+            }
+            // SAFETY: the seqlock validation above proves every field
+            // belongs to one completed `push` of a `&'static str`'s
+            // pointer and length — 'static data that is valid (and
+            // immutable) for the process lifetime.
+            let cat: &'static str = unsafe {
+                std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                    cat_ptr as *const u8,
+                    cat_len,
+                ))
+            };
+            let name: &'static str = unsafe {
+                std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                    name_ptr as *const u8,
+                    name_len,
+                ))
+            };
+            out.push(Event {
+                kind: kind_from_u64(kind),
+                cat,
+                name,
+                tid: self.tid,
+                t0_ns,
+                dur_ns,
+                id,
+                arg,
+            });
+        }
+        self.drained.store(head, Ordering::Relaxed);
+    }
+}
+
+/// Run `f` on the calling thread's buffer, creating and registering it
+/// on first use. No-ops during thread teardown (the thread-local is
+/// gone; losing a final event beats panicking in a destructor).
+pub(crate) fn with_thread_buffer(f: impl FnOnce(&RingBuffer)) {
+    thread_local! {
+        static LOCAL: std::cell::OnceCell<Arc<RingBuffer>> = const { std::cell::OnceCell::new() };
+    }
+    let _ = LOCAL.try_with(|cell| {
+        let buf = cell.get_or_init(|| {
+            static NEXT_TID: Mutex<u64> = Mutex::new(0);
+            let tid = {
+                let mut next = NEXT_TID.lock().unwrap();
+                let t = *next;
+                *next += 1;
+                t
+            };
+            let name = std::thread::current().name().unwrap_or("").to_string();
+            let buf = Arc::new(RingBuffer::new(tid, name));
+            crate::registry().lock().unwrap().push(Arc::clone(&buf));
+            buf
+        });
+        f(buf);
+    });
+}

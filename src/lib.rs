@@ -42,6 +42,8 @@
 //! * [`fir_opt`] — simplification passes,
 //! * [`fir_serve`] — the concurrent serving runtime (dynamic
 //!   micro-batching, admission control, live metrics) over an `Engine`,
+//! * [`fir_trace`] — structured tracing/profiling (Chrome trace export,
+//!   per-phase profile reports) recorded by every layer above,
 //! * [`tape_ad`] — the tape-based (Tapenade-like) baseline,
 //! * [`tensor`] — the eager autograd (PyTorch-like) baseline,
 //! * [`workloads`] — the nine evaluation benchmarks.
@@ -50,6 +52,7 @@ pub use fir;
 pub use fir_api;
 pub use fir_opt;
 pub use fir_serve;
+pub use fir_trace;
 pub use firvm;
 pub use futhark_ad;
 pub use interp;
