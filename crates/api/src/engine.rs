@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex};
 
 use fir::ir::Fun;
 use fir::types::Type;
-use firvm::fingerprint_pair;
+use firvm::{fingerprint_pair, TierCounters};
 use interp::{validate_args, Array, Backend, Executable, Value, WorkerPool};
 
 use crate::error::FirError;
@@ -60,6 +60,11 @@ struct EngineInner {
     hits: AtomicUsize,
     misses: AtomicUsize,
     opt: Mutex<OptStats>,
+    /// Counters of the backend's jit specialization tier, when the engine
+    /// was built on a tiered backend (`vm-jit`/`vm-jit-seq`, or any named
+    /// VM with [`EngineBuilder::jit_threshold`]). Shared with the
+    /// backend's `TierConfig`; surfaced through [`CacheStats::tier`].
+    tier: Option<Arc<TierCounters>>,
 }
 
 /// One compiled function in the engine cache: the optimized IR and the
@@ -243,6 +248,22 @@ impl std::fmt::Display for OptStats {
     }
 }
 
+/// Counters of a backend's jit specialization tier (see the `fir-jit`
+/// crate): how many hot programs were promoted to native kernels, how many
+/// SOAC/region dispatches ran jitted, and how many offers the jit declined
+/// (per-kernel fallback to the VM path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Programs whose run count crossed the hotness threshold and
+    /// specialized to native kernels.
+    pub promotions: usize,
+    /// SOAC and region dispatches executed by the jit tier.
+    pub jit_hits: usize,
+    /// Dispatches the jit declined (unsupported expression or shape
+    /// class), executed by the VM instead.
+    pub fallbacks: usize,
+}
+
 /// Cache counters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -256,11 +277,16 @@ pub struct CacheStats {
     pub evictions: usize,
     /// The configured LRU bound (see [`EngineBuilder::cache_capacity`]).
     pub capacity: usize,
+    /// Specialization-tier counters, on engines with a jit-tiered backend
+    /// (`None` on plain backends).
+    pub tier: Option<TierStats>,
 }
 
 impl std::fmt::Display for CacheStats {
     /// One human-readable line, e.g.
-    /// `cache: 3 hits, 2 misses, 2/128 entries, 0 evictions`.
+    /// `cache: 3 hits, 2 misses, 2/128 entries, 0 evictions` — plus, on a
+    /// jit-tiered engine,
+    /// `; jit: 1 promotion, 64 hits, 0 fallbacks`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -273,7 +299,20 @@ impl std::fmt::Display for CacheStats {
             self.capacity,
             self.evictions,
             if self.evictions == 1 { "" } else { "s" },
-        )
+        )?;
+        if let Some(t) = &self.tier {
+            write!(
+                f,
+                "; jit: {} promotion{}, {} hit{}, {} fallback{}",
+                t.promotions,
+                if t.promotions == 1 { "" } else { "s" },
+                t.jit_hits,
+                if t.jit_hits == 1 { "" } else { "s" },
+                t.fallbacks,
+                if t.fallbacks == 1 { "" } else { "s" },
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -307,6 +346,15 @@ impl Engine {
     }
 
     fn on_backend(backend: Arc<dyn Backend>, pipeline: PassPipeline, capacity: usize) -> Engine {
+        Engine::on_backend_tiered(backend, pipeline, capacity, None)
+    }
+
+    fn on_backend_tiered(
+        backend: Arc<dyn Backend>,
+        pipeline: PassPipeline,
+        capacity: usize,
+        tier: Option<Arc<TierCounters>>,
+    ) -> Engine {
         Engine {
             inner: Arc::new(EngineInner {
                 backend,
@@ -316,15 +364,18 @@ impl Engine {
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
                 opt: Mutex::new(OptStats::default()),
+                tier,
             }),
         }
     }
 
     /// An engine on the backend registered under `name` (see
     /// [`crate::BACKEND_NAMES`]). Unknown names return
-    /// [`FirError::UnknownBackend`] listing the valid names.
+    /// [`FirError::UnknownBackend`] listing the valid names. The jit
+    /// names (`vm-jit`, `vm-jit-seq`) build a tiered engine whose
+    /// [`CacheStats::tier`] counters are live.
     pub fn by_name(name: &str) -> Result<Engine, FirError> {
-        Ok(Engine::with_backend(registry::backend_by_name(name)?))
+        Engine::builder().backend_name(name).build()
     }
 
     /// An engine on the backend named by the `FIR_BACKEND` environment
@@ -341,7 +392,12 @@ impl Engine {
     /// variant next to the original.
     pub fn with_pipeline(self, pipeline: PassPipeline) -> Engine {
         let capacity = self.inner.cache.lock().unwrap().capacity;
-        Engine::on_backend(Arc::clone(&self.inner.backend), pipeline, capacity)
+        Engine::on_backend_tiered(
+            Arc::clone(&self.inner.backend),
+            pipeline,
+            capacity,
+            self.inner.tier.clone(),
+        )
     }
 
     /// Replace the pass pipeline in place. This reconfigures *every*
@@ -488,7 +544,8 @@ impl Engine {
         self.inner.opt.lock().unwrap().clone()
     }
 
-    /// Cache counters (hits, misses, live entries, evictions).
+    /// Cache counters (hits, misses, live entries, evictions) — and, on a
+    /// jit-tiered engine, the tier counters.
     pub fn cache_stats(&self) -> CacheStats {
         let cache = self.inner.cache.lock().unwrap();
         CacheStats {
@@ -497,6 +554,14 @@ impl Engine {
             entries: cache.map.len(),
             evictions: cache.evictions,
             capacity: cache.capacity,
+            tier: self.inner.tier.as_ref().map(|c| {
+                let (promotions, jit_hits, fallbacks) = c.snapshot();
+                TierStats {
+                    promotions,
+                    jit_hits,
+                    fallbacks,
+                }
+            }),
         }
     }
 }
@@ -530,6 +595,7 @@ pub struct EngineBuilder {
     backend: BackendChoice,
     pipeline: PassPipeline,
     cache_capacity: usize,
+    jit_threshold: Option<u64>,
 }
 
 impl Default for EngineBuilder {
@@ -547,6 +613,7 @@ impl EngineBuilder {
             backend: BackendChoice::Env,
             pipeline: PassPipeline::standard(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            jit_threshold: None,
         }
     }
 
@@ -577,20 +644,71 @@ impl EngineBuilder {
         self
     }
 
-    /// Build the engine. Fails only on an unknown backend name.
+    /// Promote programs to the `fir-jit` specialization tier once their
+    /// run count reaches `threshold`. Selects the jit-tiered VM: on the
+    /// plain VM names (`vm`, `vm-seq`, and the env default when it
+    /// resolves to one of them) this upgrades the backend to its `-jit`
+    /// variant; on the jit names it tunes the threshold (which otherwise
+    /// defaults to `fir_jit::DEFAULT_THRESHOLD`). Combining it with the
+    /// interpreter or an explicit backend instance is an error at
+    /// [`EngineBuilder::build`] — construct tiered instances with
+    /// `fir_jit::vm_with` instead.
+    pub fn jit_threshold(mut self, threshold: u64) -> EngineBuilder {
+        self.jit_threshold = Some(threshold);
+        self
+    }
+
+    /// Build the engine. Fails on an unknown backend name, or on a
+    /// [`EngineBuilder::jit_threshold`] paired with a backend that has no
+    /// jit tier.
     pub fn build(self) -> Result<Engine, FirError> {
-        let backend = match self.backend {
-            BackendChoice::Env => registry::backend_by_name(&registry::default_backend_name())?,
-            BackendChoice::Named(name) => registry::backend_by_name(&name)?,
-            BackendChoice::Instance(backend) => backend,
+        let (backend, tier): ResolvedBackend = match self.backend {
+            BackendChoice::Env => {
+                Self::resolve(&registry::default_backend_name(), self.jit_threshold)?
+            }
+            BackendChoice::Named(name) => Self::resolve(&name, self.jit_threshold)?,
+            BackendChoice::Instance(backend) => {
+                if self.jit_threshold.is_some() {
+                    return Err(FirError::Unsupported {
+                        what: "jit_threshold with an explicit backend instance \
+                               (build the tiered backend with fir_jit::vm_with \
+                               and pass it directly)"
+                            .to_string(),
+                    });
+                }
+                (backend, None)
+            }
         };
-        Ok(Engine::on_backend(
+        Ok(Engine::on_backend_tiered(
             Arc::from(backend),
             self.pipeline,
             self.cache_capacity,
+            tier,
         ))
     }
+
+    /// Resolve a backend name together with the optional jit threshold.
+    fn resolve(name: &str, threshold: Option<u64>) -> Result<ResolvedBackend, FirError> {
+        let jit = |sequential| {
+            let (b, c) =
+                registry::jit_backend(sequential, threshold.unwrap_or(fir_jit::DEFAULT_THRESHOLD));
+            Ok((b, Some(c)))
+        };
+        match name {
+            "vm-jit" | "firvm-jit" => jit(false),
+            "vm-jit-seq" | "firvm-jit-seq" => jit(true),
+            "vm" | "firvm" if threshold.is_some() => jit(false),
+            "vm-seq" | "firvm-seq" if threshold.is_some() => jit(true),
+            other if threshold.is_some() => Err(FirError::Unsupported {
+                what: format!("jit_threshold on backend `{other}` (the jit tier runs on the VM)"),
+            }),
+            other => Ok((registry::backend_by_name(other)?, None)),
+        }
+    }
 }
+
+/// A resolved backend, plus its tier counters when it is jit-tiered.
+type ResolvedBackend = (Box<dyn Backend>, Option<Arc<TierCounters>>);
 
 // ---------------------------------------------------------------------
 // Typed results
@@ -1543,6 +1661,146 @@ mod tests {
         // The whole-batch wrappers still surface the first failure.
         assert!(f.grad_batch(&[good.clone(), vec![]]).is_err());
         assert_eq!(f.grad_batch(std::slice::from_ref(&good)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn jit_tier_promotes_at_exactly_the_threshold() {
+        let engine = Engine::builder()
+            .backend_name("vm-seq")
+            .jit_threshold(3)
+            .build()
+            .unwrap();
+        assert_eq!(engine.backend_name(), "firvm-jit");
+        let f = engine.compile(&dot()).unwrap();
+        let args = dot_args();
+        for run in 1..=2 {
+            f.call(&args).unwrap();
+            let t = engine.cache_stats().tier.unwrap();
+            assert_eq!(
+                (t.promotions, t.jit_hits),
+                (0, 0),
+                "run {run} is below the threshold"
+            );
+        }
+        f.call(&args).unwrap();
+        let t = engine.cache_stats().tier.unwrap();
+        assert_eq!(t.promotions, 1, "the threshold run itself promotes");
+        assert!(t.jit_hits >= 1, "the promoting run already executes jitted");
+        // Line format of the tier block in Display.
+        let line = engine.cache_stats().to_string();
+        assert!(line.contains("; jit: 1 promotion,"), "{line}");
+    }
+
+    #[test]
+    fn plain_engines_report_no_tier() {
+        let engine = Engine::by_name("vm-seq").unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.tier, None);
+        assert!(!stats.to_string().contains("jit"));
+    }
+
+    #[test]
+    fn jit_threshold_on_a_tierless_backend_is_an_error() {
+        assert!(matches!(
+            Engine::builder()
+                .backend_name("interp")
+                .jit_threshold(4)
+                .build(),
+            Err(FirError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            Engine::builder()
+                .backend(Box::new(firvm::Vm::sequential()))
+                .jit_threshold(4)
+                .build(),
+            Err(FirError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn evicting_a_promoted_program_prunes_its_aliases_and_stays_correct() {
+        fn scaled(c: f64) -> Fun {
+            let mut b = Builder::new();
+            b.build_fun("scaled", &[Type::arr_f64(1)], |b, ps| {
+                let s = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                    vec![b.fmul(es[0].into(), fir::ir::Atom::f64(c))]
+                });
+                vec![b.sum(s).into()]
+            })
+        }
+        let engine = Engine::builder()
+            .backend_name("vm-jit-seq")
+            .jit_threshold(1)
+            .cache_capacity(2)
+            .build()
+            .unwrap();
+        let args = vec![Value::from(vec![1.0, 2.0, 3.0])];
+        // Promote a program and its derived vjp (threshold 1: first run).
+        let f1 = engine.compile(&scaled(1.5)).unwrap();
+        let g = f1.grad(&args).unwrap();
+        assert_eq!(g.grads[0].as_arr().f64s(), &[1.5, 1.5, 1.5]);
+        assert!(engine.cache_stats().tier.unwrap().promotions >= 1);
+        // A stream of distinct programs overflows the capacity-2 LRU,
+        // evicting the promoted entries.
+        for c in 0..4 {
+            engine
+                .compile(&scaled(c as f64 + 10.0))
+                .unwrap()
+                .call(&args)
+                .unwrap();
+        }
+        let s = engine.cache_stats();
+        assert!(s.evictions >= 3, "{s}");
+        let aliases = engine.inner.derived.lock().unwrap().len();
+        assert!(
+            aliases <= s.capacity,
+            "aliases of evicted promoted programs must be dropped, found {aliases}"
+        );
+        // The evicted program recompiles (a counted miss) and still runs
+        // on the jit tier, bit-identically.
+        let misses = s.misses;
+        let hits_before = s.tier.unwrap().jit_hits;
+        let f1b = engine.compile(&scaled(1.5)).unwrap();
+        let out = f1b.call(&args).unwrap();
+        assert_eq!(out[0].as_f64(), 1.5 * 6.0);
+        let s = engine.cache_stats();
+        assert_eq!(s.misses, misses + 1, "evicted program must recompile");
+        assert!(s.tier.unwrap().jit_hits > hits_before);
+    }
+
+    #[test]
+    fn jit_unsupported_expressions_fall_back_with_identical_results() {
+        // The kernel gathers through a computed index — outside the jit's
+        // tape fragment — so the tier must decline per-kernel and the VM
+        // must produce the result, bitwise-identical to a plain VM engine.
+        let mut b = Builder::new();
+        let f = b.build_fun("gather", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+            let y = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                let i = b.to_i64(es[0].into());
+                let im = b.irem(i, fir::ir::Atom::i64(3));
+                vec![b.index(ps[1], &[im]).into()]
+            });
+            vec![b.sum(y).into()]
+        });
+        let args = vec![
+            Value::from(vec![0.0, 1.0, 2.0, 4.0, 5.0]),
+            Value::from(vec![10.0, 20.0, 30.0]),
+        ];
+        let plain = Engine::by_name("vm-seq").unwrap();
+        let want = plain.compile(&f).unwrap().call(&args).unwrap();
+        let engine = Engine::builder()
+            .backend_name("vm-seq")
+            .jit_threshold(1)
+            .build()
+            .unwrap();
+        let cf = engine.compile(&f).unwrap();
+        for _ in 0..3 {
+            let got = cf.call(&args).unwrap();
+            assert_eq!(want[0].as_f64().to_bits(), got[0].as_f64().to_bits());
+        }
+        let t = engine.cache_stats().tier.unwrap();
+        assert_eq!(t.promotions, 1);
+        assert!(t.fallbacks >= 1, "the gather kernel must fall back: {t:?}");
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub mod registry;
 pub mod transform;
 
 pub use engine::{
-    CacheStats, CompiledFn, Dual, Engine, EngineBuilder, GradOutput, OptStats,
+    CacheStats, CompiledFn, Dual, Engine, EngineBuilder, GradOutput, OptStats, TierStats,
     DEFAULT_CACHE_CAPACITY,
 };
 pub use error::FirError;

@@ -5,8 +5,8 @@
 //! reported factors are printed for reference.
 
 use ad_bench::{
-    compare_backends, compare_pipelines, compare_vmap_grad, engine, header, ms, ratio, row,
-    time_secs, Report, BACKEND_COLS, PIPELINE_COLS, VMAP_COLS,
+    compare_backends, compare_jit, compare_pipelines, compare_vmap_grad, engine, header, ms, ratio,
+    row, time_secs, Report, BACKEND_COLS, JIT_COLS, PIPELINE_COLS, VMAP_COLS,
 };
 use workloads::lstm;
 
@@ -93,6 +93,18 @@ fn main() {
         &PIPELINE_COLS,
     );
     compare_pipelines(
+        &mut report,
+        "LSTM D1 (16, 20, 12, 16)",
+        &lstm::objective_ir(big.h, big.bs),
+        &big.ir_args(),
+        reps,
+    );
+
+    header(
+        "Table 6 execution tiers: plain VM vs the fir-jit specialization tier",
+        &JIT_COLS,
+    );
+    compare_jit(
         &mut report,
         "LSTM D1 (16, 20, 12, 16)",
         &lstm::objective_ir(big.h, big.bs),

@@ -47,6 +47,7 @@ pub mod cache;
 pub mod compile;
 pub mod kernel;
 pub mod pool;
+pub mod tier;
 pub mod vm;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -60,15 +61,22 @@ pub use bytecode::Program;
 pub use cache::{fingerprint_pair, ProgramCache};
 pub use compile::compile;
 pub use kernel::Kernel;
+pub use tier::{SoacAccel, TierConfig, TierCounters, TierSlot};
+
+use tier::TierRef;
 
 /// The bytecode VM backend: compiles on first sight (through the shared
 /// [`ProgramCache`], or a scoped one via [`Vm::with_cache`]) and executes
-/// on the persistent worker pool.
+/// on the persistent worker pool. With a [`TierConfig`] attached
+/// ([`Vm::with_tier`]) it becomes the tiered VM: per-program run counting
+/// and promotion of hot programs to a native specialization tier.
 #[derive(Debug, Clone, Default)]
 pub struct Vm {
     cfg: ExecConfig,
     /// `None` uses the bounded process-wide cache.
     cache: Option<std::sync::Arc<ProgramCache>>,
+    /// Jit tier selection; `None` runs pure bytecode.
+    tier: Option<TierConfig>,
 }
 
 impl Vm {
@@ -77,6 +85,7 @@ impl Vm {
         Vm {
             cfg: ExecConfig::default(),
             cache: None,
+            tier: None,
         }
     }
 
@@ -85,12 +94,17 @@ impl Vm {
         Vm {
             cfg: ExecConfig::sequential(),
             cache: None,
+            tier: None,
         }
     }
 
     /// A VM with an explicit execution configuration.
     pub fn with_config(cfg: ExecConfig) -> Vm {
-        Vm { cfg, cache: None }
+        Vm {
+            cfg,
+            cache: None,
+            tier: None,
+        }
     }
 
     /// Use a private program cache instead of the process-wide one (e.g. to
@@ -98,6 +112,21 @@ impl Vm {
     pub fn with_cache(mut self, cache: std::sync::Arc<ProgramCache>) -> Vm {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attach a jit tier: count runs per cached program and promote past
+    /// `tier.threshold`. Tiered VMs should also get a private cache
+    /// ([`Vm::with_cache`]) when callers want deterministic per-engine
+    /// promotion counts — the process-wide cache shares run counts across
+    /// every tiered VM in the process.
+    pub fn with_tier(mut self, tier: TierConfig) -> Vm {
+        self.tier = Some(tier);
+        self
+    }
+
+    /// The attached tier configuration, if any.
+    pub fn tier(&self) -> Option<&TierConfig> {
+        self.tier.as_ref()
     }
 
     fn cache(&self) -> &ProgramCache {
@@ -108,15 +137,33 @@ impl Vm {
 
     /// Compile (or fetch from the cache) and run `fun` on `args`.
     pub fn run(&self, fun: &Fun, args: &[Value]) -> Vec<Value> {
-        let prog = self.cache().get_or_compile(fun);
-        vm::run_program(&prog, &self.cfg, args)
+        let (prog, slot) = self.cache().get_or_compile_entry(fun);
+        run_tiered(&prog, &slot, &self.cfg, self.tier.as_ref(), args)
     }
 
     /// Run an already-compiled program (for callers managing their own
-    /// cache or inspecting bytecode).
+    /// cache or inspecting bytecode). Bypasses run counting: programs
+    /// managed outside the cache never promote.
     pub fn run_program(&self, prog: &Program, args: &[Value]) -> Vec<Value> {
         vm::run_program(prog, &self.cfg, args)
     }
+}
+
+/// Count one run on `slot` and execute, through the accelerator when the
+/// program is (or just became) promoted.
+fn run_tiered(
+    prog: &Program,
+    slot: &TierSlot,
+    cfg: &ExecConfig,
+    tier: Option<&TierConfig>,
+    args: &[Value],
+) -> Vec<Value> {
+    let accel = tier.and_then(|t| slot.on_run(prog, t));
+    let tref = accel.as_deref().zip(tier).map(|(a, t)| TierRef {
+        accel: a,
+        counters: &t.counters,
+    });
+    vm::run_program_tiered(prog, cfg, args, tref)
 }
 
 /// A function compiled to bytecode, ready for repeated execution: the
@@ -124,6 +171,12 @@ impl Vm {
 struct PreparedVm {
     cfg: ExecConfig,
     prog: Arc<Program>,
+    /// The cached program's tier slot: prepared executions count toward
+    /// promotion exactly like `Vm::run` ones (the API layer caches
+    /// executables, so this is where hot programs actually accumulate
+    /// their run counts).
+    slot: Arc<TierSlot>,
+    tier: Option<TierConfig>,
     name: String,
     params: Vec<Type>,
     ret: Vec<Type>,
@@ -145,7 +198,7 @@ impl Executable for PreparedVm {
     fn run(&self, args: &[Value]) -> Result<Vec<Value>, ExecError> {
         validate_args(&self.name, &self.params, args)?;
         catch_unwind(AssertUnwindSafe(|| {
-            vm::run_program(&self.prog, &self.cfg, args)
+            run_tiered(&self.prog, &self.slot, &self.cfg, self.tier.as_ref(), args)
         }))
         .map_err(|p| ExecError::Runtime {
             fun: self.name.clone(),
@@ -156,7 +209,11 @@ impl Executable for PreparedVm {
 
 impl Backend for Vm {
     fn name(&self) -> &'static str {
-        "firvm"
+        if self.tier.is_some() {
+            "firvm-jit"
+        } else {
+            "firvm"
+        }
     }
 
     fn prepare(&self, fun: &Fun) -> Result<Arc<dyn Executable>, ExecError> {
@@ -164,16 +221,18 @@ impl Backend for Vm {
         // Compilation of a type-checked function must not fail; a panic
         // here is a compiler bug, reported as a runtime error rather than
         // unwinding through the caller.
-        let prog =
-            catch_unwind(AssertUnwindSafe(|| self.cache().get_or_compile(fun))).map_err(|p| {
-                ExecError::Runtime {
+        let (prog, slot) =
+            catch_unwind(AssertUnwindSafe(|| self.cache().get_or_compile_entry(fun))).map_err(
+                |p| ExecError::Runtime {
                     fun: fun.name.clone(),
                     message: interp::error::panic_message(p),
-                }
-            })?;
+                },
+            )?;
         Ok(Arc::new(PreparedVm {
             cfg: self.cfg.clone(),
             prog,
+            slot,
+            tier: self.tier.clone(),
             name: fun.name.clone(),
             params: fun.params.iter().map(|p| p.ty).collect(),
             ret: fun.ret.clone(),

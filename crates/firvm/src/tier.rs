@@ -1,0 +1,322 @@
+//! The tiered-execution contract: hot-program detection and the hook a
+//! native specialization tier plugs into.
+//!
+//! The VM counts executions per cached [`Program`] in a [`TierSlot`] stored
+//! alongside the bytecode in the program cache. Once a program's run count
+//! reaches the configured threshold, the slot asks the [`TierConfig`]'s
+//! factory (supplied by the `fir-jit` crate; this crate knows nothing about
+//! how kernels are specialized) to build a [`SoacAccel`] for the program —
+//! exactly once, behind a `OnceLock`, so concurrent runners race to one
+//! compilation. The executor then offers every SOAC dispatch (and
+//! straight-line scalar regions of the main body) to the accelerator first
+//! and falls back to ordinary bytecode execution per kernel when the
+//! accelerator declines.
+//!
+//! Bitwise preservation is part of the contract: an accelerator must return
+//! exactly the bits the VM path would have produced (same chunking, same
+//! accumulation order for reductions) or decline with `None`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use interp::{ExecConfig, Value};
+
+use crate::bytecode::Program;
+
+/// A native specialization of one compiled [`Program`]: monomorphic kernels
+/// for (a subset of) the program's SOAC lambdas plus straight-line scalar
+/// regions of the main body.
+///
+/// Every method is a *offer*: `None` means "not specialized for this kernel
+/// or these operand shapes", and the VM runs its own path. `Some` results
+/// must be bitwise identical to what the VM path would produce under the
+/// same [`ExecConfig`].
+pub trait SoacAccel: Send + Sync {
+    /// Run a `map` of kernel `kernel` over `args` (one rank-1 array per
+    /// lambda parameter) with the capture values `captures`.
+    fn map(
+        &self,
+        cfg: &ExecConfig,
+        kernel: usize,
+        args: &[Value],
+        captures: &[Value],
+    ) -> Option<Vec<Value>>;
+
+    /// Run a `reduce` with neutral element(s) `neutral`.
+    fn reduce(
+        &self,
+        cfg: &ExecConfig,
+        kernel: usize,
+        neutral: &[Value],
+        args: &[Value],
+        captures: &[Value],
+    ) -> Option<Vec<Value>>;
+
+    /// Run a fused `reduce ∘ map`.
+    #[allow(clippy::too_many_arguments)]
+    fn redomap(
+        &self,
+        cfg: &ExecConfig,
+        red_kernel: usize,
+        map_kernel: usize,
+        neutral: &[Value],
+        args: &[Value],
+        red_captures: &[Value],
+        map_captures: &[Value],
+    ) -> Option<Vec<Value>>;
+
+    /// Run an inclusive `scan`.
+    fn scan(
+        &self,
+        cfg: &ExecConfig,
+        kernel: usize,
+        neutral: &[Value],
+        args: &[Value],
+        captures: &[Value],
+    ) -> Option<Vec<Value>>;
+
+    /// Straight-line region table for the program's **main** code object:
+    /// `starts[pc]` is `region_id + 1` when a compiled region begins at
+    /// `pc`, `0` otherwise. Must have one entry per main-body instruction
+    /// (the executor ignores tables of any other length).
+    fn region_starts(&self) -> &[u32];
+
+    /// Execute region `region` against the main frame. Returns the
+    /// continuation pc on success; `None` (e.g. an input register does not
+    /// hold the scalar class the region was compiled for) leaves the frame
+    /// untouched and the VM interprets the same instructions instead.
+    fn run_region(&self, region: u32, regs: &mut [Value]) -> Option<usize>;
+}
+
+/// Tier activity counters, shared between the cache slots doing promotion
+/// and the API layer reporting `TierStats`.
+#[derive(Debug, Default)]
+pub struct TierCounters {
+    /// Programs promoted to the jit tier (factory returned an accelerator).
+    pub promotions: AtomicUsize,
+    /// SOAC dispatches / main-body regions executed by the jit tier.
+    pub jit_hits: AtomicUsize,
+    /// Dispatches offered to a promoted program's accelerator that fell
+    /// back to the VM path (unsupported kernel, shape class mismatch).
+    pub fallbacks: AtomicUsize,
+}
+
+impl TierCounters {
+    /// `(promotions, jit_hits, fallbacks)` at this instant.
+    pub fn snapshot(&self) -> (usize, usize, usize) {
+        (
+            self.promotions.load(Ordering::Relaxed),
+            self.jit_hits.load(Ordering::Relaxed),
+            self.fallbacks.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The factory a tier supplies: given a compiled program, build its
+/// accelerator (or `None` when nothing in the program is specializable).
+pub type AccelFactory = dyn Fn(&Program) -> Option<Arc<dyn SoacAccel>> + Send + Sync;
+
+/// Tier selection for a [`Vm`](crate::Vm): when attached, every cached
+/// program counts its runs and is offered to `factory` once the count
+/// reaches `threshold`.
+#[derive(Clone)]
+pub struct TierConfig {
+    /// Run count at which a program is promoted (the promoting run itself
+    /// already executes through the accelerator). `0` behaves like `1`.
+    pub threshold: u64,
+    /// Builds the accelerator for a hot program.
+    pub factory: Arc<AccelFactory>,
+    /// Where promotion/hit/fallback activity is recorded.
+    pub counters: Arc<TierCounters>,
+}
+
+impl std::fmt::Debug for TierConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierConfig")
+            .field("threshold", &self.threshold)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-cached-program tier state: the run counter and the (at most one)
+/// compiled accelerator. Lives in the program cache next to the bytecode,
+/// so identical rebuilds of a function share hotness as well as code.
+#[derive(Default)]
+pub struct TierSlot {
+    runs: AtomicU64,
+    accel: OnceLock<Option<Arc<dyn SoacAccel>>>,
+}
+
+impl std::fmt::Debug for TierSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierSlot")
+            .field("runs", &self.runs())
+            .field("promoted", &self.is_promoted())
+            .finish()
+    }
+}
+
+impl TierSlot {
+    /// Run count so far (diagnostics/tests).
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Whether the promotion decision has been made and produced an
+    /// accelerator.
+    pub fn is_promoted(&self) -> bool {
+        matches!(self.accel.get(), Some(Some(_)))
+    }
+
+    /// Record one execution of `prog` and return the accelerator to use for
+    /// it, promoting (building the accelerator) exactly once when the run
+    /// count reaches the threshold.
+    pub fn on_run(&self, prog: &Program, tier: &TierConfig) -> Option<Arc<dyn SoacAccel>> {
+        let runs = self.runs.fetch_add(1, Ordering::Relaxed) + 1;
+        if runs < tier.threshold {
+            return None;
+        }
+        self.accel
+            .get_or_init(|| {
+                let _span = fir_trace::span_str("jit", &format!("promote {}", prog.name));
+                let accel = (tier.factory)(prog);
+                if accel.is_some() {
+                    tier.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                    fir_trace::instant("jit", "promote");
+                } else {
+                    // The decision is still cached: nothing specializable,
+                    // don't retry on every subsequent run.
+                    fir_trace::instant("jit", "promote-empty");
+                }
+                accel
+            })
+            .clone()
+    }
+}
+
+/// A borrowed view of the active tier for one program execution, threaded
+/// through the executor.
+#[derive(Clone, Copy)]
+pub struct TierRef<'a> {
+    pub accel: &'a dyn SoacAccel,
+    pub counters: &'a TierCounters,
+}
+
+impl<'a> TierRef<'a> {
+    pub(crate) fn hit(&self) {
+        self.counters.jit_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn fallback(&self) {
+        self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::Builder;
+    use fir::types::Type;
+
+    struct NullAccel;
+    impl SoacAccel for NullAccel {
+        fn map(&self, _: &ExecConfig, _: usize, _: &[Value], _: &[Value]) -> Option<Vec<Value>> {
+            None
+        }
+        fn reduce(
+            &self,
+            _: &ExecConfig,
+            _: usize,
+            _: &[Value],
+            _: &[Value],
+            _: &[Value],
+        ) -> Option<Vec<Value>> {
+            None
+        }
+        fn redomap(
+            &self,
+            _: &ExecConfig,
+            _: usize,
+            _: usize,
+            _: &[Value],
+            _: &[Value],
+            _: &[Value],
+            _: &[Value],
+        ) -> Option<Vec<Value>> {
+            None
+        }
+        fn scan(
+            &self,
+            _: &ExecConfig,
+            _: usize,
+            _: &[Value],
+            _: &[Value],
+            _: &[Value],
+        ) -> Option<Vec<Value>> {
+            None
+        }
+        fn region_starts(&self) -> &[u32] {
+            &[]
+        }
+        fn run_region(&self, _: u32, _: &mut [Value]) -> Option<usize> {
+            None
+        }
+    }
+
+    fn probe_program() -> Program {
+        let mut b = Builder::new();
+        let f = b.build_fun("tier_probe", &[Type::F64], |b, ps| {
+            vec![b.fadd(ps[0].into(), fir::ir::Atom::f64(1.0))]
+        });
+        crate::compile(&f)
+    }
+
+    #[test]
+    fn promotion_happens_at_exactly_the_threshold_run() {
+        let built = Arc::new(AtomicUsize::new(0));
+        let built2 = Arc::clone(&built);
+        let tier = TierConfig {
+            threshold: 3,
+            factory: Arc::new(move |_| {
+                built2.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::new(NullAccel) as Arc<dyn SoacAccel>)
+            }),
+            counters: Arc::new(TierCounters::default()),
+        };
+        let slot = TierSlot::default();
+        let prog = probe_program();
+        assert!(slot.on_run(&prog, &tier).is_none(), "run 1 stays on the VM");
+        assert!(slot.on_run(&prog, &tier).is_none(), "run 2 stays on the VM");
+        assert!(!slot.is_promoted());
+        assert!(
+            slot.on_run(&prog, &tier).is_some(),
+            "run 3 (== threshold) executes jitted"
+        );
+        assert!(slot.is_promoted());
+        assert!(slot.on_run(&prog, &tier).is_some());
+        assert_eq!(built.load(Ordering::Relaxed), 1, "factory ran exactly once");
+        assert_eq!(tier.counters.snapshot().0, 1, "one promotion counted");
+    }
+
+    #[test]
+    fn empty_promotions_are_cached_and_not_counted() {
+        let built = Arc::new(AtomicUsize::new(0));
+        let built2 = Arc::clone(&built);
+        let tier = TierConfig {
+            threshold: 1,
+            factory: Arc::new(move |_| {
+                built2.fetch_add(1, Ordering::Relaxed);
+                None
+            }),
+            counters: Arc::new(TierCounters::default()),
+        };
+        let slot = TierSlot::default();
+        let prog = probe_program();
+        assert!(slot.on_run(&prog, &tier).is_none());
+        assert!(slot.on_run(&prog, &tier).is_none());
+        assert_eq!(built.load(Ordering::Relaxed), 1, "decision made once");
+        assert_eq!(tier.counters.snapshot().0, 0, "no promotion counted");
+        assert!(!slot.is_promoted());
+    }
+}

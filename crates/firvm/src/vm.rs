@@ -16,15 +16,30 @@ use interp::{Accum, Array, ExecConfig, Value};
 use crate::bytecode::{CodeObject, Instr, Opnd, Program, Reg};
 use crate::kernel::Kernel;
 use crate::pool::run_chunked;
+use crate::tier::TierRef;
 
 /// Everything an executing frame needs to reach besides its registers.
 pub(crate) struct ExecCtx<'a> {
     pub prog: &'a Program,
     pub cfg: &'a ExecConfig,
+    /// The jit tier for this execution, when the program is promoted.
+    pub tier: Option<TierRef<'a>>,
 }
 
 /// Run a compiled program on argument values.
 pub fn run_program(prog: &Program, cfg: &ExecConfig, args: &[Value]) -> Vec<Value> {
+    run_program_tiered(prog, cfg, args, None)
+}
+
+/// Run a compiled program, offering SOAC dispatches and main-body scalar
+/// regions to `tier`'s accelerator first (per-kernel fallback to the
+/// ordinary bytecode path when it declines).
+pub fn run_program_tiered(
+    prog: &Program,
+    cfg: &ExecConfig,
+    args: &[Value],
+    tier: Option<TierRef<'_>>,
+) -> Vec<Value> {
     assert_eq!(
         prog.num_params,
         args.len(),
@@ -34,7 +49,7 @@ pub fn run_program(prog: &Program, cfg: &ExecConfig, args: &[Value]) -> Vec<Valu
         args.len()
     );
     let _span = fir_trace::span_str("vm", &prog.name);
-    let ctx = ExecCtx { prog, cfg };
+    let ctx = ExecCtx { prog, cfg, tier };
     let mut regs = new_frame(prog.main.num_regs);
     regs[..args.len()].clone_from_slice(args);
     exec(&ctx, &prog.main, &mut regs);
@@ -82,7 +97,30 @@ fn take_arr(regs: &mut [Value], r: Reg, consume: bool) -> Array {
 pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
     let mut pc = 0usize;
     let instrs = &code.instrs;
+    // Jit regions only apply to the program's main body (kernel bodies are
+    // specialized wholesale through the SOAC offers instead). The region
+    // table is hoisted out of the dispatch loop; a table of the wrong
+    // length (never produced by a well-formed accelerator) is ignored.
+    let regions: Option<(&[u32], TierRef)> = match ctx.tier {
+        Some(t) if std::ptr::eq(code, &ctx.prog.main) => {
+            let starts = t.accel.region_starts();
+            (starts.len() == instrs.len()).then_some((starts, t))
+        }
+        _ => None,
+    };
     while pc < instrs.len() {
+        if let Some((starts, t)) = regions {
+            let rid = starts[pc];
+            if rid != 0 {
+                if let Some(next) = t.accel.run_region(rid - 1, regs) {
+                    t.hit();
+                    pc = next;
+                    continue;
+                }
+                // Input class mismatch: interpret the same instructions.
+                t.fallback();
+            }
+        }
         match &instrs[pc] {
             Instr::Mov { dst, src } => regs[*dst as usize] = read(regs, src),
             Instr::Take { dst, src } => {
@@ -152,7 +190,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
             } => {
                 #[cfg(feature = "profile")]
                 let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*kernel));
-                let outs = exec_map(ctx, *kernel, args, captures, regs);
+                let outs = try_accel_map(ctx, *kernel, args, captures, regs)
+                    .unwrap_or_else(|| exec_map(ctx, *kernel, args, captures, regs));
                 for (d, v) in dsts.iter().zip(outs) {
                     regs[*d as usize] = v;
                 }
@@ -166,7 +205,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
             } => {
                 #[cfg(feature = "profile")]
                 let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*kernel));
-                let outs = exec_reduce(ctx, *kernel, neutral, args, captures, regs);
+                let outs = try_accel_reduce(ctx, *kernel, neutral, args, captures, regs)
+                    .unwrap_or_else(|| exec_reduce(ctx, *kernel, neutral, args, captures, regs));
                 for (d, v) in dsts.iter().zip(outs) {
                     regs[*d as usize] = v;
                 }
@@ -182,7 +222,7 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
             } => {
                 #[cfg(feature = "profile")]
                 let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*red_kernel));
-                let outs = exec_redomap(
+                let outs = try_accel_redomap(
                     ctx,
                     *red_kernel,
                     *map_kernel,
@@ -191,7 +231,19 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
                     red_captures,
                     map_captures,
                     regs,
-                );
+                )
+                .unwrap_or_else(|| {
+                    exec_redomap(
+                        ctx,
+                        *red_kernel,
+                        *map_kernel,
+                        neutral,
+                        args,
+                        red_captures,
+                        map_captures,
+                        regs,
+                    )
+                });
                 for (d, v) in dsts.iter().zip(outs) {
                     regs[*d as usize] = v;
                 }
@@ -205,7 +257,8 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
             } => {
                 #[cfg(feature = "profile")]
                 let _k = fir_trace::span("kernel", ctx.prog.kernel_label(*kernel));
-                let outs = exec_scan(ctx, *kernel, neutral, args, captures, regs);
+                let outs = try_accel_scan(ctx, *kernel, neutral, args, captures, regs)
+                    .unwrap_or_else(|| exec_scan(ctx, *kernel, neutral, args, captures, regs));
                 for (d, v) in dsts.iter().zip(outs) {
                     regs[*d as usize] = v;
                 }
@@ -382,6 +435,108 @@ fn assemble_output(ty: &Type, n: usize, chunks: Vec<OutBuf>) -> Value {
 /// Clone SOAC argument values and capture values out of the frame.
 fn gather(regs: &[Value], rs: &[Reg]) -> Vec<Value> {
     rs.iter().map(|r| regs[*r as usize].clone()).collect()
+}
+
+/// Offer a `map` dispatch to the active accelerator. `None` means the VM
+/// path must run it (and a fallback was counted iff a tier is active).
+fn try_accel_map(
+    ctx: &ExecCtx,
+    kernel: usize,
+    args: &[Reg],
+    captures: &[Reg],
+    regs: &[Value],
+) -> Option<Vec<Value>> {
+    let t = ctx.tier?;
+    let argvals = gather(regs, args);
+    let caps = gather(regs, captures);
+    match t.accel.map(ctx.cfg, kernel, &argvals, &caps) {
+        Some(outs) => {
+            t.hit();
+            Some(outs)
+        }
+        None => {
+            t.fallback();
+            None
+        }
+    }
+}
+
+fn try_accel_reduce(
+    ctx: &ExecCtx,
+    kernel: usize,
+    neutral: &[Opnd],
+    args: &[Reg],
+    captures: &[Reg],
+    regs: &[Value],
+) -> Option<Vec<Value>> {
+    let t = ctx.tier?;
+    let ne: Vec<Value> = neutral.iter().map(|o| read(regs, o)).collect();
+    let argvals = gather(regs, args);
+    let caps = gather(regs, captures);
+    match t.accel.reduce(ctx.cfg, kernel, &ne, &argvals, &caps) {
+        Some(outs) => {
+            t.hit();
+            Some(outs)
+        }
+        None => {
+            t.fallback();
+            None
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_accel_redomap(
+    ctx: &ExecCtx,
+    red_kernel: usize,
+    map_kernel: usize,
+    neutral: &[Opnd],
+    args: &[Reg],
+    red_captures: &[Reg],
+    map_captures: &[Reg],
+    regs: &[Value],
+) -> Option<Vec<Value>> {
+    let t = ctx.tier?;
+    let ne: Vec<Value> = neutral.iter().map(|o| read(regs, o)).collect();
+    let argvals = gather(regs, args);
+    let rcaps = gather(regs, red_captures);
+    let mcaps = gather(regs, map_captures);
+    match t.accel.redomap(
+        ctx.cfg, red_kernel, map_kernel, &ne, &argvals, &rcaps, &mcaps,
+    ) {
+        Some(outs) => {
+            t.hit();
+            Some(outs)
+        }
+        None => {
+            t.fallback();
+            None
+        }
+    }
+}
+
+fn try_accel_scan(
+    ctx: &ExecCtx,
+    kernel: usize,
+    neutral: &[Opnd],
+    args: &[Reg],
+    captures: &[Reg],
+    regs: &[Value],
+) -> Option<Vec<Value>> {
+    let t = ctx.tier?;
+    let ne: Vec<Value> = neutral.iter().map(|o| read(regs, o)).collect();
+    let argvals = gather(regs, args);
+    let caps = gather(regs, captures);
+    match t.accel.scan(ctx.cfg, kernel, &ne, &argvals, &caps) {
+        Some(outs) => {
+            t.hit();
+            Some(outs)
+        }
+        None => {
+            t.fallback();
+            None
+        }
+    }
 }
 
 /// Write one element's parameters into a kernel frame: arrays are indexed at

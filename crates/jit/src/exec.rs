@@ -1,0 +1,803 @@
+//! Tape execution: lane-unrolled interpretation over flat register files.
+//!
+//! The inner loop is monomorphized over a const lane width `W`: maps run
+//! `W = 4` blocks (each op processes four elements as a `[f64; 4]`, which
+//! the optimizer turns into SIMD) with a `W = 1` tail; order-sensitive
+//! forms (reduce folds, scans) run `W = 1`. Bitwise preservation holds by
+//! construction for maps — lanes are independent elements put through the
+//! identical op sequence — and chunking reuses [`firvm::pool::run_chunked`]
+//! with the caller's [`ExecConfig`], so chunk boundaries, the
+//! one-partial shortcut and the sequential partial combine all match the
+//! VM's reduce/redomap execution exactly.
+
+use interp::{Accum, ExecConfig};
+
+use firvm::pool::run_chunked;
+
+use crate::tape::{BBin, Cls, FBin, FCmp, FUn, IBin, ICmp, IUn, JitKernel, Op, Tape};
+
+/// A borrowed `f64` gather table with its leading dimensions: `d0` is the
+/// outer dim, `d1` the row length for rank-2 tables (`1` otherwise), so
+/// `t.data[i0 * d1 + i1]` is exactly `Array::offset_of`'s row-major walk.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Table<'a> {
+    pub data: &'a [f64],
+    pub d0: usize,
+    pub d1: usize,
+}
+
+impl Table<'_> {
+    const EMPTY: Table<'static> = Table {
+        data: &[],
+        d0: 0,
+        d1: 1,
+    };
+}
+
+/// A capture value, pre-checked against the tape's inferred class. Arrays
+/// are borrowed from the VM frame for the duration of one SOAC offer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CapVal<'a> {
+    F(f64),
+    B(bool),
+    I(i64),
+    A(Table<'a>),
+    /// A shared accumulator handle (scatter-add target).
+    Acc(&'a Accum),
+    /// Capture slot never read by the body.
+    Unused,
+}
+
+/// One element stream of a map/redomap: the per-position scalar class was
+/// checked against the tape's input classes at dispatch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Stream<'a> {
+    F(&'a [f64]),
+    I(&'a [i64]),
+    /// An accumulator argument: the shared handle goes to every element
+    /// (the VM's `write_elem_params` clones it per element), so it is
+    /// lane-uniform like a capture.
+    Acc(&'a Accum),
+}
+
+/// Run the op sequence over `W`-lane register files. `arrs` is the borrowed
+/// input-array table for gathers; it is lane-uniform (arrays are inputs,
+/// never per-element values).
+#[inline]
+fn run_ops<const W: usize>(
+    ops: &[Op],
+    f: &mut [[f64; W]],
+    b: &mut [[bool; W]],
+    ii: &mut [[i64; W]],
+    arrs: &[Table],
+    accs: &[&Accum],
+) {
+    for op in ops {
+        match *op {
+            Op::MovF(d, s) => f[d as usize] = f[s as usize],
+            Op::MovB(d, s) => b[d as usize] = b[s as usize],
+            Op::MovI(d, s) => ii[d as usize] = ii[s as usize],
+            Op::Un(u, d, a) => {
+                let x = f[a as usize];
+                let o = &mut f[d as usize];
+                match u {
+                    FUn::Neg => {
+                        for l in 0..W {
+                            o[l] = -x[l];
+                        }
+                    }
+                    FUn::Sin => {
+                        for l in 0..W {
+                            o[l] = x[l].sin();
+                        }
+                    }
+                    FUn::Cos => {
+                        for l in 0..W {
+                            o[l] = x[l].cos();
+                        }
+                    }
+                    FUn::Exp => {
+                        for l in 0..W {
+                            o[l] = x[l].exp();
+                        }
+                    }
+                    FUn::Log => {
+                        for l in 0..W {
+                            o[l] = x[l].ln();
+                        }
+                    }
+                    FUn::Sqrt => {
+                        for l in 0..W {
+                            o[l] = x[l].sqrt();
+                        }
+                    }
+                    FUn::Tanh => {
+                        for l in 0..W {
+                            o[l] = x[l].tanh();
+                        }
+                    }
+                    FUn::Sigmoid => {
+                        for l in 0..W {
+                            o[l] = 1.0 / (1.0 + (-x[l]).exp());
+                        }
+                    }
+                    FUn::Abs => {
+                        for l in 0..W {
+                            o[l] = x[l].abs();
+                        }
+                    }
+                    FUn::Recip => {
+                        for l in 0..W {
+                            o[l] = 1.0 / x[l];
+                        }
+                    }
+                }
+            }
+            Op::Bin(op2, d, a, bb) => {
+                let x = f[a as usize];
+                let y = f[bb as usize];
+                let o = &mut f[d as usize];
+                match op2 {
+                    FBin::Add => {
+                        for l in 0..W {
+                            o[l] = x[l] + y[l];
+                        }
+                    }
+                    FBin::Sub => {
+                        for l in 0..W {
+                            o[l] = x[l] - y[l];
+                        }
+                    }
+                    FBin::Mul => {
+                        for l in 0..W {
+                            o[l] = x[l] * y[l];
+                        }
+                    }
+                    FBin::Div => {
+                        for l in 0..W {
+                            o[l] = x[l] / y[l];
+                        }
+                    }
+                    FBin::Pow => {
+                        for l in 0..W {
+                            o[l] = x[l].powf(y[l]);
+                        }
+                    }
+                    FBin::Min => {
+                        for l in 0..W {
+                            o[l] = x[l].min(y[l]);
+                        }
+                    }
+                    FBin::Max => {
+                        for l in 0..W {
+                            o[l] = x[l].max(y[l]);
+                        }
+                    }
+                    FBin::Rem => {
+                        for l in 0..W {
+                            o[l] = x[l] % y[l];
+                        }
+                    }
+                }
+            }
+            Op::Cmp(c, d, a, bb) => {
+                let x = f[a as usize];
+                let y = f[bb as usize];
+                let o = &mut b[d as usize];
+                match c {
+                    FCmp::Eq => {
+                        for l in 0..W {
+                            o[l] = x[l] == y[l];
+                        }
+                    }
+                    FCmp::Neq => {
+                        for l in 0..W {
+                            o[l] = x[l] != y[l];
+                        }
+                    }
+                    FCmp::Lt => {
+                        for l in 0..W {
+                            o[l] = x[l] < y[l];
+                        }
+                    }
+                    FCmp::Le => {
+                        for l in 0..W {
+                            o[l] = x[l] <= y[l];
+                        }
+                    }
+                    FCmp::Gt => {
+                        for l in 0..W {
+                            o[l] = x[l] > y[l];
+                        }
+                    }
+                    FCmp::Ge => {
+                        for l in 0..W {
+                            o[l] = x[l] >= y[l];
+                        }
+                    }
+                }
+            }
+            Op::BoolBin(c, d, a, bb) => {
+                let x = b[a as usize];
+                let y = b[bb as usize];
+                let o = &mut b[d as usize];
+                match c {
+                    BBin::And => {
+                        for l in 0..W {
+                            o[l] = x[l] && y[l];
+                        }
+                    }
+                    BBin::Or => {
+                        for l in 0..W {
+                            o[l] = x[l] || y[l];
+                        }
+                    }
+                    BBin::Eq => {
+                        for l in 0..W {
+                            o[l] = x[l] == y[l];
+                        }
+                    }
+                    BBin::Neq => {
+                        for l in 0..W {
+                            o[l] = x[l] != y[l];
+                        }
+                    }
+                }
+            }
+            Op::Not(d, a) => {
+                let x = b[a as usize];
+                let o = &mut b[d as usize];
+                for l in 0..W {
+                    o[l] = !x[l];
+                }
+            }
+            Op::Sel(d, c, t, e) => {
+                let cc = b[c as usize];
+                let tv = f[t as usize];
+                let ev = f[e as usize];
+                let o = &mut f[d as usize];
+                for l in 0..W {
+                    o[l] = if cc[l] { tv[l] } else { ev[l] };
+                }
+            }
+            Op::SelB(d, c, t, e) => {
+                let cc = b[c as usize];
+                let tv = b[t as usize];
+                let ev = b[e as usize];
+                let o = &mut b[d as usize];
+                for l in 0..W {
+                    o[l] = if cc[l] { tv[l] } else { ev[l] };
+                }
+            }
+            Op::IntUn(u, d, a) => {
+                let x = ii[a as usize];
+                let o = &mut ii[d as usize];
+                match u {
+                    IUn::Neg => {
+                        for l in 0..W {
+                            o[l] = -x[l];
+                        }
+                    }
+                    IUn::Abs => {
+                        for l in 0..W {
+                            o[l] = x[l].abs();
+                        }
+                    }
+                }
+            }
+            Op::IntBin(op2, d, a, bb) => {
+                let x = ii[a as usize];
+                let y = ii[bb as usize];
+                let o = &mut ii[d as usize];
+                match op2 {
+                    IBin::Add => {
+                        for l in 0..W {
+                            o[l] = x[l] + y[l];
+                        }
+                    }
+                    IBin::Sub => {
+                        for l in 0..W {
+                            o[l] = x[l] - y[l];
+                        }
+                    }
+                    IBin::Mul => {
+                        for l in 0..W {
+                            o[l] = x[l] * y[l];
+                        }
+                    }
+                    IBin::Div => {
+                        for l in 0..W {
+                            o[l] = x[l] / y[l];
+                        }
+                    }
+                    IBin::Pow => {
+                        for l in 0..W {
+                            o[l] = x[l].pow(y[l].max(0) as u32);
+                        }
+                    }
+                    IBin::Min => {
+                        for l in 0..W {
+                            o[l] = x[l].min(y[l]);
+                        }
+                    }
+                    IBin::Max => {
+                        for l in 0..W {
+                            o[l] = x[l].max(y[l]);
+                        }
+                    }
+                    IBin::Rem => {
+                        for l in 0..W {
+                            o[l] = x[l] % y[l];
+                        }
+                    }
+                }
+            }
+            Op::IntCmp(c, d, a, bb) => {
+                let x = ii[a as usize];
+                let y = ii[bb as usize];
+                let o = &mut b[d as usize];
+                match c {
+                    ICmp::Eq => {
+                        for l in 0..W {
+                            o[l] = x[l] == y[l];
+                        }
+                    }
+                    ICmp::Neq => {
+                        for l in 0..W {
+                            o[l] = x[l] != y[l];
+                        }
+                    }
+                    ICmp::Lt => {
+                        for l in 0..W {
+                            o[l] = x[l] < y[l];
+                        }
+                    }
+                    ICmp::Le => {
+                        for l in 0..W {
+                            o[l] = x[l] <= y[l];
+                        }
+                    }
+                    ICmp::Gt => {
+                        for l in 0..W {
+                            o[l] = x[l] > y[l];
+                        }
+                    }
+                    ICmp::Ge => {
+                        for l in 0..W {
+                            o[l] = x[l] >= y[l];
+                        }
+                    }
+                }
+            }
+            Op::SelI(d, c, t, e) => {
+                let cc = b[c as usize];
+                let tv = ii[t as usize];
+                let ev = ii[e as usize];
+                let o = &mut ii[d as usize];
+                for l in 0..W {
+                    o[l] = if cc[l] { tv[l] } else { ev[l] };
+                }
+            }
+            Op::CastF(d, s) => {
+                let x = ii[s as usize];
+                let o = &mut f[d as usize];
+                for l in 0..W {
+                    o[l] = x[l] as f64;
+                }
+            }
+            Op::CastI(d, s) => {
+                let x = f[s as usize];
+                let o = &mut ii[d as usize];
+                for l in 0..W {
+                    o[l] = x[l] as i64;
+                }
+            }
+            Op::IndexF(d, a, s) => {
+                let t = arrs[a as usize];
+                let x = ii[s as usize];
+                let o = &mut f[d as usize];
+                for l in 0..W {
+                    let i = x[l];
+                    assert!(i >= 0, "negative index {i}");
+                    let u = i as usize;
+                    assert!(u < t.d0, "index {u} out of bounds for dim of size {}", t.d0);
+                    o[l] = t.data[u];
+                }
+            }
+            Op::Index2F(d, a, s0, s1) => {
+                let t = arrs[a as usize];
+                let x0 = ii[s0 as usize];
+                let x1 = ii[s1 as usize];
+                let o = &mut f[d as usize];
+                for l in 0..W {
+                    let (i0, i1) = (x0[l], x1[l]);
+                    // The VM converts every index (rejecting negatives)
+                    // before walking the dims; keep its panic order.
+                    assert!(i0 >= 0, "negative index {i0}");
+                    assert!(i1 >= 0, "negative index {i1}");
+                    let (u0, u1) = (i0 as usize, i1 as usize);
+                    assert!(
+                        u0 < t.d0,
+                        "index {u0} out of bounds for dim of size {}",
+                        t.d0
+                    );
+                    assert!(
+                        u1 < t.d1,
+                        "index {u1} out of bounds for dim of size {}",
+                        t.d1
+                    );
+                    o[l] = t.data[u0 * t.d1 + u1];
+                }
+            }
+            Op::LenA(d, a) => {
+                ii[d as usize] = [arrs[a as usize].d0 as i64; W];
+            }
+            // Scatter-adds call `Accum::add_at` directly: same negative-index
+            // panic as `read_usizes`, same silent out-of-bounds skip, same
+            // zero-skipping CAS add as the VM's `UpdAcc`. Tapes with these
+            // ops run at `W = 1` (see `run_map`), so lane order is element
+            // order and adds land exactly as the VM's per-element loop.
+            Op::UpdAcc1(c, i_src, v) => {
+                let acc = accs[c as usize];
+                let x = ii[i_src as usize];
+                let vals = f[v as usize];
+                for l in 0..W {
+                    let i = x[l];
+                    assert!(i >= 0, "negative index {i}");
+                    let idx = [i as usize];
+                    if acc.in_bounds(&idx) {
+                        let (off, _) = acc.offset_of(&idx);
+                        acc.add_at(off, vals[l]);
+                    }
+                }
+            }
+            Op::UpdAcc2(c, s0, s1, v) => {
+                let acc = accs[c as usize];
+                let x0 = ii[s0 as usize];
+                let x1 = ii[s1 as usize];
+                let vals = f[v as usize];
+                for l in 0..W {
+                    let (i0, i1) = (x0[l], x1[l]);
+                    assert!(i0 >= 0, "negative index {i0}");
+                    assert!(i1 >= 0, "negative index {i1}");
+                    let idx = [i0 as usize, i1 as usize];
+                    if acc.in_bounds(&idx) {
+                        let (off, _) = acc.offset_of(&idx);
+                        acc.add_at(off, vals[l]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Region entry point: run over caller-provided register files (stack
+/// arrays, sized at lowering time). Regions are scalar-only — admission
+/// rejects tapes with `i64` or array registers.
+#[inline]
+pub(crate) fn run_region_ops(ops: &[Op], f: &mut [[f64; 1]], b: &mut [[bool; 1]]) {
+    run_ops::<1>(ops, f, b, &mut [], &[], &[]);
+}
+
+/// Fresh `W`-lane register files with constants preloaded.
+#[allow(clippy::type_complexity)]
+fn init_frame<const W: usize>(tape: &Tape) -> (Vec<[f64; W]>, Vec<[bool; W]>, Vec<[i64; W]>) {
+    let mut f = vec![[0.0f64; W]; tape.num_f];
+    let mut b = vec![[false; W]; tape.num_b];
+    let mut ii = vec![[0i64; W]; tape.num_i];
+    for &(r, x) in &tape.f_consts {
+        f[r as usize] = [x; W];
+    }
+    for &(r, x) in &tape.b_consts {
+        b[r as usize] = [x; W];
+    }
+    for &(r, x) in &tape.i_consts {
+        ii[r as usize] = [x; W];
+    }
+    (f, b, ii)
+}
+
+/// Broadcast the scalar capture values into their tape registers.
+fn load_caps<const W: usize>(
+    k: &JitKernel,
+    f: &mut [[f64; W]],
+    b: &mut [[bool; W]],
+    ii: &mut [[i64; W]],
+    caps: &[CapVal],
+) {
+    for (j, c) in caps.iter().enumerate() {
+        match (k.tape.inputs[k.num_params + j], c) {
+            (Some((Cls::F, r)), CapVal::F(x)) => f[r as usize] = [*x; W],
+            (Some((Cls::B, r)), CapVal::B(x)) => b[r as usize] = [*x; W],
+            (Some((Cls::I, r)), CapVal::I(x)) => ii[r as usize] = [*x; W],
+            (Some((Cls::A, _)), CapVal::A(_)) => {} // goes in the array table
+            (Some((Cls::C, _)), CapVal::Acc(_)) => {} // goes in the acc table
+            (None, _) | (_, CapVal::Unused) => {}
+            _ => unreachable!("capture class checked at dispatch"),
+        }
+    }
+}
+
+/// The borrowed input-array table, filled from array captures.
+fn cap_arrays<'a>(k: &JitKernel, caps: &[CapVal<'a>]) -> Vec<Table<'a>> {
+    let mut arrs = vec![Table::EMPTY; k.tape.num_a];
+    for (j, c) in caps.iter().enumerate() {
+        if let (Some((Cls::A, r)), CapVal::A(t)) = (k.tape.inputs[k.num_params + j], c) {
+            arrs[r as usize] = *t;
+        }
+    }
+    arrs
+}
+
+/// The borrowed accumulator table, filled from accumulator arguments and
+/// captures. Every allocated slot has an input (handles only enter as
+/// inputs), and dispatch class-checked each one, so all slots fill.
+pub(crate) fn acc_table<'a>(
+    k: &JitKernel,
+    args: &[Stream<'a>],
+    caps: &[CapVal<'a>],
+) -> Vec<&'a Accum> {
+    if k.tape.num_c == 0 {
+        return Vec::new();
+    }
+    let mut accs: Vec<Option<&Accum>> = vec![None; k.tape.num_c];
+    for (p, s) in args.iter().enumerate() {
+        if let (Some((Cls::C, r)), Stream::Acc(h)) = (k.tape.inputs[p], s) {
+            accs[r as usize] = Some(h);
+        }
+    }
+    for (j, c) in caps.iter().enumerate() {
+        if let (Some((Cls::C, r)), CapVal::Acc(h)) = (k.tape.inputs[k.num_params + j], c) {
+            accs[r as usize] = Some(h);
+        }
+    }
+    accs.into_iter()
+        .map(|h| h.expect("accumulator slot filled at dispatch"))
+        .collect()
+}
+
+/// Load one 4-lane block of every element stream into its parameter slot.
+#[inline]
+fn load_block4(tape: &Tape, f4: &mut [[f64; 4]], i4: &mut [[i64; 4]], args: &[Stream], i: usize) {
+    for (p, s) in args.iter().enumerate() {
+        match (tape.inputs[p], s) {
+            (Some((Cls::F, r)), Stream::F(a)) => {
+                f4[r as usize] = [a[i], a[i + 1], a[i + 2], a[i + 3]]
+            }
+            (Some((Cls::I, r)), Stream::I(a)) => {
+                i4[r as usize] = [a[i], a[i + 1], a[i + 2], a[i + 3]]
+            }
+            (Some((Cls::C, _)), Stream::Acc(_)) => {} // uniform, in the acc table
+            (None, _) => {}
+            _ => unreachable!("stream class checked at dispatch"),
+        }
+    }
+}
+
+/// Load one element of every stream into its parameter slot (`W = 1`).
+#[inline]
+fn load_one(tape: &Tape, f1: &mut [[f64; 1]], i1: &mut [[i64; 1]], args: &[Stream], i: usize) {
+    for (p, s) in args.iter().enumerate() {
+        match (tape.inputs[p], s) {
+            (Some((Cls::F, r)), Stream::F(a)) => f1[r as usize][0] = a[i],
+            (Some((Cls::I, r)), Stream::I(a)) => i1[r as usize][0] = a[i],
+            (Some((Cls::C, _)), Stream::Acc(_)) => {} // uniform, in the acc table
+            (None, _) => {}
+            _ => unreachable!("stream class checked at dispatch"),
+        }
+    }
+}
+
+/// Write one fold input into a `W = 1` frame (skipping dead slots).
+#[inline]
+fn set_in1(tape: &Tape, f: &mut [[f64; 1]], slot: usize, x: f64) {
+    if let Some((Cls::F, r)) = tape.inputs[slot] {
+        f[r as usize][0] = x;
+    }
+}
+
+/// 4-lane unrolled `map`: returns one flat `f64` buffer per *float* kernel
+/// result, in result order (accumulator results pass their handle through;
+/// the dispatch reassembles the full output list). Tapes with scatter-adds
+/// run every element at lane width 1 so the add order is exactly the VM's
+/// per-element order.
+pub(crate) fn run_map(
+    k: &JitKernel,
+    cfg: &ExecConfig,
+    n: usize,
+    args: &[Stream],
+    caps: &[CapVal],
+) -> Vec<Vec<f64>> {
+    let arrs = cap_arrays(k, caps);
+    let accs = acc_table(k, args, caps);
+    let block4 = k.tape.num_c == 0;
+    let frets = &k.f_rets;
+    let chunk_outs: Vec<Vec<Vec<f64>>> = run_chunked(cfg, n, &|lo, hi| {
+        let (mut f4, mut b4, mut i4) = init_frame::<4>(&k.tape);
+        load_caps(k, &mut f4, &mut b4, &mut i4, caps);
+        let (mut f1, mut b1, mut i1) = init_frame::<1>(&k.tape);
+        load_caps(k, &mut f1, &mut b1, &mut i1, caps);
+        let mut out: Vec<Vec<f64>> = frets.iter().map(|_| Vec::with_capacity(hi - lo)).collect();
+        let mut i = lo;
+        if block4 {
+            while i + 4 <= hi {
+                load_block4(&k.tape, &mut f4, &mut i4, args, i);
+                run_ops::<4>(&k.tape.ops, &mut f4, &mut b4, &mut i4, &arrs, &accs);
+                for (j, &r) in frets.iter().enumerate() {
+                    out[j].extend_from_slice(&f4[r as usize]);
+                }
+                i += 4;
+            }
+        }
+        while i < hi {
+            load_one(&k.tape, &mut f1, &mut i1, args, i);
+            run_ops::<1>(&k.tape.ops, &mut f1, &mut b1, &mut i1, &arrs, &accs);
+            for (j, &r) in frets.iter().enumerate() {
+                out[j].push(f1[r as usize][0]);
+            }
+            i += 1;
+        }
+        out
+    });
+    let mut res: Vec<Vec<f64>> = frets.iter().map(|_| Vec::with_capacity(n)).collect();
+    for chunk in chunk_outs {
+        for (j, mut col) in chunk.into_iter().enumerate() {
+            res[j].append(&mut col);
+        }
+    }
+    res
+}
+
+/// Fold one partial (or element tuple) into the accumulator via the reduce
+/// tape. `elems` are the values for the slots after the accumulator slots.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn fold_step(
+    k: &JitKernel,
+    f: &mut [[f64; 1]],
+    b: &mut [[bool; 1]],
+    ii: &mut [[i64; 1]],
+    arrs: &[Table],
+    acc: &mut [f64],
+    elems: &[f64],
+) {
+    let width = acc.len();
+    for (j, a) in acc.iter().enumerate() {
+        set_in1(&k.tape, f, j, *a);
+    }
+    for (j, x) in elems.iter().enumerate() {
+        set_in1(&k.tape, f, width + j, *x);
+    }
+    run_ops::<1>(&k.tape.ops, f, b, ii, arrs, &[]);
+    for (j, &(_, r)) in k.tape.rets.iter().enumerate() {
+        acc[j] = f[r as usize][0];
+    }
+}
+
+/// Combine per-chunk partials sequentially in chunk order — the exact
+/// mirror of the VM's reduce/redomap partial combine (including the
+/// single-partial shortcut).
+fn combine_partials(
+    rk: &JitKernel,
+    ne: &[f64],
+    rcaps: &[CapVal],
+    partials: Vec<Vec<f64>>,
+) -> Vec<f64> {
+    if partials.len() == 1 {
+        return partials.into_iter().next().unwrap();
+    }
+    let arrs = cap_arrays(rk, rcaps);
+    let (mut f, mut b, mut ii) = init_frame::<1>(&rk.tape);
+    load_caps(rk, &mut f, &mut b, &mut ii, rcaps);
+    let mut acc = ne.to_vec();
+    for p in partials {
+        fold_step(rk, &mut f, &mut b, &mut ii, &arrs, &mut acc, &p);
+    }
+    acc
+}
+
+/// `reduce`: per-chunk sequential folds, then the sequential combine.
+pub(crate) fn run_reduce(
+    k: &JitKernel,
+    cfg: &ExecConfig,
+    n: usize,
+    ne: &[f64],
+    args: &[&[f64]],
+    caps: &[CapVal],
+) -> Vec<f64> {
+    let width = ne.len();
+    let arrs = cap_arrays(k, caps);
+    let partials: Vec<Vec<f64>> = run_chunked(cfg, n, &|lo, hi| {
+        let (mut f, mut b, mut ii) = init_frame::<1>(&k.tape);
+        load_caps(k, &mut f, &mut b, &mut ii, caps);
+        let mut acc = ne.to_vec();
+        let mut elems = vec![0.0f64; args.len()];
+        for i in lo..hi {
+            for (j, arr) in args.iter().enumerate() {
+                elems[j] = arr[i];
+            }
+            fold_step(k, &mut f, &mut b, &mut ii, &arrs, &mut acc, &elems);
+        }
+        debug_assert_eq!(acc.len(), width);
+        acc
+    });
+    combine_partials(k, ne, caps, partials)
+}
+
+/// Fused `reduce ∘ map`: 4-lane map blocks feeding a strictly sequential
+/// in-order fold, so the accumulation order is element order exactly as in
+/// the VM's redomap.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_redomap(
+    rk: &JitKernel,
+    mk: &JitKernel,
+    cfg: &ExecConfig,
+    n: usize,
+    ne: &[f64],
+    args: &[Stream],
+    rcaps: &[CapVal],
+    mcaps: &[CapVal],
+) -> Vec<f64> {
+    let marrs = cap_arrays(mk, mcaps);
+    let rarrs = cap_arrays(rk, rcaps);
+    let partials: Vec<Vec<f64>> = run_chunked(cfg, n, &|lo, hi| {
+        let (mut mf4, mut mb4, mut mi4) = init_frame::<4>(&mk.tape);
+        load_caps(mk, &mut mf4, &mut mb4, &mut mi4, mcaps);
+        let (mut mf1, mut mb1, mut mi1) = init_frame::<1>(&mk.tape);
+        load_caps(mk, &mut mf1, &mut mb1, &mut mi1, mcaps);
+        let (mut rf, mut rb, mut ri) = init_frame::<1>(&rk.tape);
+        load_caps(rk, &mut rf, &mut rb, &mut ri, rcaps);
+        let mut acc = ne.to_vec();
+        let mut elems = vec![0.0f64; mk.tape.rets.len()];
+        let mut i = lo;
+        while i + 4 <= hi {
+            load_block4(&mk.tape, &mut mf4, &mut mi4, args, i);
+            run_ops::<4>(&mk.tape.ops, &mut mf4, &mut mb4, &mut mi4, &marrs, &[]);
+            #[allow(clippy::needless_range_loop)] // `l` is the lane, `mf4` is register-major
+            for l in 0..4 {
+                for (j, &(_, r)) in mk.tape.rets.iter().enumerate() {
+                    elems[j] = mf4[r as usize][l];
+                }
+                fold_step(rk, &mut rf, &mut rb, &mut ri, &rarrs, &mut acc, &elems);
+            }
+            i += 4;
+        }
+        while i < hi {
+            load_one(&mk.tape, &mut mf1, &mut mi1, args, i);
+            run_ops::<1>(&mk.tape.ops, &mut mf1, &mut mb1, &mut mi1, &marrs, &[]);
+            for (j, &(_, r)) in mk.tape.rets.iter().enumerate() {
+                elems[j] = mf1[r as usize][0];
+            }
+            fold_step(rk, &mut rf, &mut rb, &mut ri, &rarrs, &mut acc, &elems);
+            i += 1;
+        }
+        acc
+    });
+    combine_partials(rk, ne, rcaps, partials)
+}
+
+/// Inclusive `scan`: strictly sequential, like the VM's.
+pub(crate) fn run_scan(
+    k: &JitKernel,
+    n: usize,
+    ne: &[f64],
+    args: &[&[f64]],
+    caps: &[CapVal],
+) -> Vec<Vec<f64>> {
+    let arrs = cap_arrays(k, caps);
+    let (mut f, mut b, mut ii) = init_frame::<1>(&k.tape);
+    load_caps(k, &mut f, &mut b, &mut ii, caps);
+    let mut acc = ne.to_vec();
+    let mut elems = vec![0.0f64; args.len()];
+    let mut out: Vec<Vec<f64>> = k.tape.rets.iter().map(|_| Vec::with_capacity(n)).collect();
+    for i in 0..n {
+        for (j, arr) in args.iter().enumerate() {
+            elems[j] = arr[i];
+        }
+        fold_step(k, &mut f, &mut b, &mut ii, &arrs, &mut acc, &elems);
+        for (j, a) in acc.iter().enumerate() {
+            out[j].push(*a);
+        }
+    }
+    out
+}

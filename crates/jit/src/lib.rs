@@ -1,0 +1,693 @@
+//! `fir-jit` — the native specialization tier for hot firvm programs.
+//!
+//! The paper's headline claim is that a *compiled* nested-parallel AD
+//! language beats tape interpreters by orders of magnitude; the bytecode VM
+//! recovers part of that but still dispatches per instruction and routes
+//! every scalar through a boxed `Value`. This crate is the third tier:
+//! when a cached program's run count crosses a threshold (counted by
+//! [`firvm::tier::TierSlot`] in the program cache), its SOAC lambda bodies
+//! and straight-line scalar regions are lowered to **monomorphic tapes**
+//! over flat `f64`/`bool`/`i64` register files and executed with 4-lane
+//! unrolled inner loops (`[f64; 4]` blocks the optimizer vectorizes — no
+//! external SIMD dependencies). Captured rank-1 `f64` arrays are borrowed
+//! as gather tables, so the `a[i]` bodies vjp transposition produces stay
+//! on the fast path. Dispatch stays per-kernel: anything the tape fragment
+//! does not cover (array construction in kernel bodies, control flow,
+//! accumulators, multi-dimensional indexing, or operands whose run-time
+//! shape class disagrees with the inferred one) falls back to the VM path
+//! for that kernel only.
+//!
+//! **Bitwise preservation is a hard constraint**, fuzz-pinned by the
+//! repository's opt-fuzz harness: map kernels vectorize freely (lanes are
+//! independent elements through one op sequence), while reduce/redomap
+//! reuse the VM's chunking ([`firvm::pool::run_chunked`] under the same
+//! `ExecConfig`) and fold/combine order exactly, and scans stay
+//! sequential.
+//!
+//! # Example
+//!
+//! ```
+//! use fir::builder::Builder;
+//! use fir::types::Type;
+//! use interp::{Backend, Value};
+//!
+//! let mut b = Builder::new();
+//! let dot = b.build_fun("dot", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+//!     let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+//!         vec![b.fmul(es[0].into(), es[1].into())]
+//!     });
+//!     vec![b.sum(prods).into()]
+//! });
+//! // Threshold 1: promote on the very first run.
+//! let vm = fir_jit::vm(1);
+//! let args = [Value::from(vec![1.0, 2.0]), Value::from(vec![3.0, 4.0])];
+//! assert_eq!(vm.run(&dot, &args)[0].as_f64(), 11.0);
+//! ```
+
+mod exec;
+mod region;
+mod tape;
+
+use std::sync::Arc;
+
+use fir::types::ScalarType;
+use firvm::bytecode::Program;
+use firvm::tier::{AccelFactory, SoacAccel, TierConfig, TierCounters};
+use firvm::ProgramCache;
+use interp::{Array, ExecConfig, Value};
+
+use exec::{CapVal, Stream, Table};
+use region::Region;
+use tape::{Cls, JitKernel};
+
+/// Default hotness threshold: low enough that a training loop promotes
+/// almost immediately, high enough that one-shot programs never pay for
+/// specialization.
+pub const DEFAULT_THRESHOLD: u64 = 8;
+
+/// The native specialization of one program: a tape per supported SOAC
+/// kernel plus the compiled main-body regions. Built by
+/// [`compile_program`], driven by the VM through the
+/// [`SoacAccel`] offers.
+pub struct JitProgram {
+    kernels: Vec<Option<JitKernel>>,
+    regions: Vec<Region>,
+    region_starts: Vec<u32>,
+    #[cfg(feature = "profile")]
+    labels: Vec<&'static str>,
+}
+
+impl JitProgram {
+    /// How many of the program's kernels compiled to tapes.
+    pub fn num_jitted_kernels(&self) -> usize {
+        self.kernels.iter().filter(|k| k.is_some()).count()
+    }
+
+    /// How many main-body regions compiled.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    #[cfg(feature = "profile")]
+    fn label(&self, kernel: usize) -> &'static str {
+        self.labels.get(kernel).copied().unwrap_or("kernel")
+    }
+}
+
+impl std::fmt::Debug for JitProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JitProgram")
+            .field("jitted_kernels", &self.num_jitted_kernels())
+            .field("total_kernels", &self.kernels.len())
+            .field("regions", &self.regions.len())
+            .finish()
+    }
+}
+
+/// Borrow every argument as a rank-1 `f64` slice of one common length —
+/// the shape class for order-sensitive streams (reduce/scan elements).
+fn arrs_1d_f64(args: &[Value]) -> Option<(usize, Vec<&[f64]>)> {
+    if args.is_empty() {
+        return None;
+    }
+    let mut n: Option<usize> = None;
+    let mut slices = Vec::with_capacity(args.len());
+    for v in args {
+        let a = match v {
+            Value::Arr(a) => a,
+            _ => return None,
+        };
+        if a.shape.len() != 1 || a.elem() != ScalarType::F64 {
+            return None;
+        }
+        match n {
+            None => n = Some(a.shape[0]),
+            Some(m) if m == a.shape[0] => {}
+            _ => return None,
+        }
+        slices.push(a.f64s());
+    }
+    Some((n.unwrap(), slices))
+}
+
+/// Borrow map/redomap element streams as rank-1 slices of one common
+/// length, each matching the class the tape inferred for its parameter slot
+/// (`f64` or `i64` — `i64` streams are how iota-driven gather kernels get
+/// their index argument). Accumulator arguments pass their shared handle
+/// through (lane-uniform) and do not contribute a length; at least one real
+/// array stream is required. Dead slots accept either element type.
+fn streams_1d<'a>(k: &JitKernel, args: &'a [Value]) -> Option<(usize, Vec<Stream<'a>>)> {
+    if args.is_empty() {
+        return None;
+    }
+    let mut n: Option<usize> = None;
+    let mut streams = Vec::with_capacity(args.len());
+    for (p, v) in args.iter().enumerate() {
+        match (k.tape.inputs.get(p)?, v) {
+            (Some((Cls::C, r)), Value::Acc(h)) => {
+                let need = k.tape.c_ranks[*r as usize] as usize;
+                if need != 0 && h.shape().len() != need {
+                    return None;
+                }
+                streams.push(Stream::Acc(h));
+            }
+            (cls, Value::Arr(a)) => {
+                if a.shape.len() != 1 {
+                    return None;
+                }
+                match n {
+                    None => n = Some(a.shape[0]),
+                    Some(m) if m == a.shape[0] => {}
+                    _ => return None,
+                }
+                streams.push(match (cls, a.elem()) {
+                    (Some((Cls::F, _)) | None, ScalarType::F64) => Stream::F(a.f64s()),
+                    (Some((Cls::I, _)) | None, ScalarType::I64) => Stream::I(a.i64s()),
+                    _ => return None,
+                });
+            }
+            _ => return None,
+        }
+    }
+    Some((n?, streams))
+}
+
+/// Check the capture values against the tape's inferred classes. Captured
+/// `f64` arrays are borrowed whole as gather tables; their rank must match
+/// what the tape's gathers require (`a_ranks`, with `0` = any rank, for
+/// slots only `Len` touches).
+fn check_caps<'a>(k: &JitKernel, captures: &'a [Value]) -> Option<Vec<CapVal<'a>>> {
+    if k.tape.inputs.len() != k.num_params + captures.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(captures.len());
+    for (j, v) in captures.iter().enumerate() {
+        out.push(match (k.tape.inputs[k.num_params + j], v) {
+            (Some((Cls::F, _)), Value::F64(x)) => CapVal::F(*x),
+            (Some((Cls::B, _)), Value::Bool(x)) => CapVal::B(*x),
+            (Some((Cls::I, _)), Value::I64(x)) => CapVal::I(*x),
+            (Some((Cls::C, r)), Value::Acc(h)) => {
+                let need = k.tape.c_ranks[r as usize] as usize;
+                if need != 0 && h.shape().len() != need {
+                    return None;
+                }
+                CapVal::Acc(h)
+            }
+            (Some((Cls::A, r)), Value::Arr(a)) if a.elem() == ScalarType::F64 => {
+                let need = k.tape.a_ranks[r as usize];
+                let rank = a.shape.len();
+                let (d0, d1) = match rank {
+                    1 if need <= 1 => (a.shape[0], 1),
+                    2 if need == 0 || need == 2 => (a.shape[0], a.shape[1]),
+                    _ => return None,
+                };
+                CapVal::A(Table {
+                    data: a.f64s(),
+                    d0,
+                    d1,
+                })
+            }
+            (None, _) => CapVal::Unused,
+            _ => return None,
+        });
+    }
+    Some(out)
+}
+
+/// Accumulator (and order-sensitive element) slots must be float-classified
+/// or dead for flat `f64` values to feed them.
+fn slots_are_f64(k: &JitKernel, lo: usize, hi: usize) -> bool {
+    (lo..hi).all(|p| matches!(k.tape.inputs[p], None | Some((Cls::F, _))))
+}
+
+/// Pull the neutral element as flat floats.
+fn neutral_f64(neutral: &[Value]) -> Option<Vec<f64>> {
+    neutral
+        .iter()
+        .map(|v| match v {
+            Value::F64(x) => Some(*x),
+            _ => None,
+        })
+        .collect()
+}
+
+impl SoacAccel for JitProgram {
+    fn map(
+        &self,
+        cfg: &ExecConfig,
+        kernel: usize,
+        args: &[Value],
+        captures: &[Value],
+    ) -> Option<Vec<Value>> {
+        let k = self.kernels.get(kernel)?.as_ref()?;
+        if args.len() != k.num_params {
+            return None;
+        }
+        let (n, streams) = streams_1d(k, args)?;
+        let caps = check_caps(k, captures)?;
+        #[cfg(feature = "profile")]
+        let _s = fir_trace::span("jit", self.label(kernel));
+        let accs = exec::acc_table(k, &streams, &caps);
+        let fcols = exec::run_map(k, cfg, n, &streams, &caps);
+        // Reassemble in result order: float columns become rank-1 arrays,
+        // accumulator results pass the shared handle through (the VM's
+        // `OutBuf::Acc` collapses a map's acc column to the handle too).
+        let mut fcols = fcols.into_iter();
+        Some(
+            k.tape
+                .rets
+                .iter()
+                .map(|&(c, r)| match c {
+                    Cls::C => Value::Acc(accs[r as usize].clone()),
+                    _ => Value::Arr(Array::from_f64(vec![n], fcols.next().unwrap())),
+                })
+                .collect(),
+        )
+    }
+
+    fn reduce(
+        &self,
+        cfg: &ExecConfig,
+        kernel: usize,
+        neutral: &[Value],
+        args: &[Value],
+        captures: &[Value],
+    ) -> Option<Vec<Value>> {
+        let k = self.kernels.get(kernel)?.as_ref()?;
+        let width = neutral.len();
+        if k.num_params != width + args.len()
+            || k.tape.rets.len() != width
+            || k.tape.num_c != 0
+            || !slots_are_f64(k, 0, k.num_params)
+        {
+            return None;
+        }
+        let ne = neutral_f64(neutral)?;
+        let (n, arrs) = arrs_1d_f64(args)?;
+        let caps = check_caps(k, captures)?;
+        #[cfg(feature = "profile")]
+        let _s = fir_trace::span("jit", self.label(kernel));
+        let acc = exec::run_reduce(k, cfg, n, &ne, &arrs, &caps);
+        Some(acc.into_iter().map(Value::F64).collect())
+    }
+
+    fn redomap(
+        &self,
+        cfg: &ExecConfig,
+        red_kernel: usize,
+        map_kernel: usize,
+        neutral: &[Value],
+        args: &[Value],
+        red_captures: &[Value],
+        map_captures: &[Value],
+    ) -> Option<Vec<Value>> {
+        let rk = self.kernels.get(red_kernel)?.as_ref()?;
+        let mk = self.kernels.get(map_kernel)?.as_ref()?;
+        let width = neutral.len();
+        if mk.num_params != args.len()
+            || rk.num_params != width + mk.tape.rets.len()
+            || rk.tape.rets.len() != width
+            || rk.tape.num_c != 0
+            || mk.tape.num_c != 0
+            || !slots_are_f64(rk, 0, rk.num_params)
+        {
+            return None;
+        }
+        let ne = neutral_f64(neutral)?;
+        let (n, streams) = streams_1d(mk, args)?;
+        let rcaps = check_caps(rk, red_captures)?;
+        let mcaps = check_caps(mk, map_captures)?;
+        #[cfg(feature = "profile")]
+        let _s = fir_trace::span("jit", self.label(red_kernel));
+        let acc = exec::run_redomap(rk, mk, cfg, n, &ne, &streams, &rcaps, &mcaps);
+        Some(acc.into_iter().map(Value::F64).collect())
+    }
+
+    fn scan(
+        &self,
+        _cfg: &ExecConfig,
+        kernel: usize,
+        neutral: &[Value],
+        args: &[Value],
+        captures: &[Value],
+    ) -> Option<Vec<Value>> {
+        let k = self.kernels.get(kernel)?.as_ref()?;
+        let width = neutral.len();
+        if k.num_params != width + args.len()
+            || k.tape.rets.len() != width
+            || k.tape.num_c != 0
+            || !slots_are_f64(k, 0, k.num_params)
+        {
+            return None;
+        }
+        let ne = neutral_f64(neutral)?;
+        let (n, arrs) = arrs_1d_f64(args)?;
+        let caps = check_caps(k, captures)?;
+        #[cfg(feature = "profile")]
+        let _s = fir_trace::span("jit", self.label(kernel));
+        let outs = exec::run_scan(k, n, &ne, &arrs, &caps);
+        Some(
+            outs.into_iter()
+                .map(|d| Value::Arr(Array::from_f64(vec![n], d)))
+                .collect(),
+        )
+    }
+
+    fn region_starts(&self) -> &[u32] {
+        &self.region_starts
+    }
+
+    fn run_region(&self, region: u32, regs: &mut [Value]) -> Option<usize> {
+        self.regions.get(region as usize)?.run(regs)
+    }
+}
+
+/// Specialize a compiled program: lower every SOAC kernel and every
+/// main-body region that fits the tape fragment. `None` when nothing in
+/// the program is specializable (the promotion decision is then cached as
+/// empty and the program stays on the VM tier for good).
+pub fn compile_program(prog: &Program) -> Option<JitProgram> {
+    let kernels: Vec<Option<JitKernel>> = prog.kernels.iter().map(tape::lower_kernel).collect();
+    let (region_starts, regions) = region::lower_regions(&prog.main);
+    if kernels.iter().all(|k| k.is_none()) && regions.is_empty() {
+        return None;
+    }
+    Some(JitProgram {
+        kernels,
+        regions,
+        region_starts,
+        #[cfg(feature = "profile")]
+        labels: (0..prog.kernels.len())
+            .map(|i| prog.kernel_label(i))
+            .collect(),
+    })
+}
+
+/// The factory handed to [`firvm::tier::TierConfig`].
+pub fn accel_factory() -> Arc<AccelFactory> {
+    Arc::new(|prog| compile_program(prog).map(|p| Arc::new(p) as Arc<dyn SoacAccel>))
+}
+
+/// A tier configuration with fresh counters and this crate's factory.
+pub fn tier_config(threshold: u64) -> TierConfig {
+    TierConfig {
+        threshold,
+        factory: accel_factory(),
+        counters: Arc::new(TierCounters::default()),
+    }
+}
+
+/// A tiered VM with the default (parallel) execution configuration.
+pub fn vm(threshold: u64) -> firvm::Vm {
+    vm_with(ExecConfig::default(), tier_config(threshold))
+}
+
+/// A tiered VM over an explicit execution configuration and tier. The VM
+/// gets a private program cache so run counts (and thus `TierStats`) are
+/// deterministic per engine instead of shared process-wide.
+pub fn vm_with(cfg: ExecConfig, tier: TierConfig) -> firvm::Vm {
+    firvm::Vm::with_config(cfg)
+        .with_cache(Arc::new(ProgramCache::new()))
+        .with_tier(tier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::Builder;
+    use fir::ir::{Atom, Fun};
+    use fir::types::Type;
+    use std::sync::atomic::Ordering;
+
+    fn assert_bitwise_eq(a: &[Value], b: &[Value]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            match (x, y) {
+                (Value::F64(u), Value::F64(w)) => {
+                    assert_eq!(u.to_bits(), w.to_bits(), "{u} vs {w}")
+                }
+                (Value::I64(u), Value::I64(w)) => assert_eq!(u, w),
+                (Value::Bool(u), Value::Bool(w)) => assert_eq!(u, w),
+                (Value::Arr(u), Value::Arr(w)) => {
+                    assert_eq!(u.shape, w.shape);
+                    assert_eq!(u.elem(), w.elem());
+                    match u.elem() {
+                        ScalarType::F64 => {
+                            for (p, q) in u.f64s().iter().zip(w.f64s()) {
+                                assert_eq!(p.to_bits(), q.to_bits(), "{p} vs {q}");
+                            }
+                        }
+                        ScalarType::I64 => assert_eq!(u.i64s(), w.i64s()),
+                        ScalarType::Bool => assert_eq!(u.bools(), w.bools()),
+                    }
+                }
+                _ => panic!("value kind mismatch: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    /// Run on the plain VM and a threshold-1 jit VM (both sequential and a
+    /// low-threshold parallel pairing) and require bitwise agreement.
+    fn assert_jit_parity(fun: &Fun, args: &[Value]) {
+        let vm_out = firvm::Vm::sequential().run(fun, args);
+        let jit = vm_with(ExecConfig::sequential(), tier_config(1));
+        let jit_out = jit.run(fun, args);
+        assert_bitwise_eq(&vm_out, &jit_out);
+
+        let par = ExecConfig {
+            parallel: true,
+            num_threads: 4,
+            parallel_threshold: 8,
+        };
+        let vm_par = firvm::Vm::with_config(par.clone()).run(fun, args);
+        let jit_par = vm_with(par, tier_config(1));
+        let jit_par_out = jit_par.run(fun, args);
+        assert_bitwise_eq(&vm_par, &jit_par_out);
+    }
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64) * 0.37 - 3.0).collect()
+    }
+
+    #[test]
+    fn map_kernels_match_bitwise_including_tails() {
+        let mut b = Builder::new();
+        let f = b.build_fun("act", &[Type::arr_f64(1), Type::F64], |b, ps| {
+            let y = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                let s = b.fsigmoid(es[0].into());
+                let t = b.ftanh(s);
+                let c = b.lt(t, Atom::f64(0.25));
+                let sel = b.select(c, Atom::f64(-1.0), t);
+                vec![b.fmul(sel, ps[1].into())]
+            });
+            vec![Atom::Var(y)]
+        });
+        // Lengths around the 4-lane block edge, plus empty.
+        for n in [0usize, 1, 3, 4, 5, 8, 17, 100] {
+            assert_jit_parity(&f, &[Value::from(data(n)), Value::F64(1.75)]);
+        }
+    }
+
+    #[test]
+    fn reduce_and_redomap_keep_the_vm_accumulation_order() {
+        let mut b = Builder::new();
+        let f = b.build_fun("sumsq", &[Type::arr_f64(1)], |b, ps| {
+            let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            let s = b.sum(sq);
+            let m = b.maximum(ps[0]);
+            vec![Atom::Var(s), Atom::Var(m)]
+        });
+        for n in [0usize, 1, 5, 7, 100, 10_000] {
+            assert_jit_parity(&f, &[Value::from(data(n))]);
+        }
+        // The fused form (redomap) after SOAC fusion.
+        let fused = fir_opt::fuse_soacs(&f);
+        for n in [0usize, 1, 5, 7, 100, 10_000] {
+            assert_jit_parity(&fused, &[Value::from(data(n))]);
+        }
+    }
+
+    #[test]
+    fn scans_stay_sequential_and_bitwise() {
+        let mut b = Builder::new();
+        let f = b.build_fun("cumsum", &[Type::arr_f64(1)], |b, ps| {
+            vec![Atom::Var(b.scan_add(ps[0]))]
+        });
+        for n in [0usize, 1, 4, 9, 1000] {
+            assert_jit_parity(&f, &[Value::from(data(n))]);
+        }
+    }
+
+    #[test]
+    fn unsupported_kernels_fall_back_per_kernel() {
+        // The inner kernel constructs an array in its body (iota) — array
+        // construction is permanently outside the tape fragment — while the
+        // sibling kernel is pure scalar math. The program must still
+        // promote, accelerate the scalar kernel, and bitwise-match the VM
+        // on the rest.
+        let mut b = Builder::new();
+        let f = b.build_fun("mixed", &[Type::arr_f64(1)], |b, ps| {
+            let gathered = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                let i = b.to_i64(es[0].into());
+                let im = b.irem(i, Atom::i64(4));
+                let tbl = b.iota(Atom::i64(4));
+                let e = b.index(tbl, &[im]);
+                vec![b.to_f64(e.into())]
+            });
+            let scaled = b.map1(Type::arr_f64(1), &[gathered], |b, es| {
+                let e = b.fexp(es[0].into());
+                vec![b.fadd(e, Atom::f64(0.5))]
+            });
+            vec![Atom::Var(scaled)]
+        });
+        let xs = Value::from(vec![0.0, 1.0, 2.0, 3.0, 5.0, 6.0]);
+
+        let tier = tier_config(1);
+        let counters = Arc::clone(&tier.counters);
+        let jit = vm_with(ExecConfig::sequential(), tier);
+        let vm_out = firvm::Vm::sequential().run(&f, std::slice::from_ref(&xs));
+        let jit_out = jit.run(&f, &[xs]);
+        assert_bitwise_eq(&vm_out, &jit_out);
+        assert_eq!(counters.promotions.load(Ordering::Relaxed), 1);
+        assert!(
+            counters.jit_hits.load(Ordering::Relaxed) >= 1,
+            "the scalar kernel should run jitted"
+        );
+        assert!(
+            counters.fallbacks.load(Ordering::Relaxed) >= 1,
+            "the gather kernel should fall back to the VM"
+        );
+    }
+
+    #[test]
+    fn iota_driven_gather_kernels_match_bitwise() {
+        // The hot pattern vjp transposition emits: a map over iota whose
+        // body gathers from captured arrays at arithmetic of the i64
+        // stream element. The i64 stream, the scalar i64 capture (the
+        // length) and the borrowed gather tables all ride the tape.
+        let mut b = Builder::new();
+        let f = b.build_fun("gather", &[Type::arr_f64(1)], |b, ps| {
+            let n = b.len(ps[0]);
+            let is = b.iota(n);
+            let g = b.map1(Type::arr_f64(1), &[is], |b, es| {
+                let last = b.isub(n, Atom::i64(1));
+                let j = b.isub(last, es[0].into());
+                let x = b.index(ps[0], &[j]);
+                let y = b.index(ps[0], &[es[0].into()]);
+                vec![b.fmul(x.into(), y.into())]
+            });
+            vec![b.sum(g).into()]
+        });
+        for n in [0usize, 1, 3, 4, 5, 17, 100] {
+            assert_jit_parity(&f, &[Value::from(data(n))]);
+        }
+    }
+
+    #[test]
+    fn rank2_gather_kernels_match_bitwise() {
+        // The LSTM-vjp hot pattern: a map whose body reads `w[i][j]` from a
+        // captured rank-2 weight matrix (and `v[i]` from a rank-1 one),
+        // with both indices computed in i64 arithmetic on the stream.
+        let mut b = Builder::new();
+        let f = b.build_fun(
+            "g2",
+            &[Type::arr_f64(1), Type::arr_f64(2), Type::arr_f64(1)],
+            |b, ps| {
+                let n = b.len(ps[0]);
+                let is = b.iota(n);
+                let g = b.map1(Type::arr_f64(1), &[is], |b, es| {
+                    let row = b.irem(es[0].into(), Atom::i64(3));
+                    let col = b.irem(es[0].into(), Atom::i64(4));
+                    let w = b.index(ps[1], &[row, col]);
+                    let v = b.index(ps[2], &[col]);
+                    vec![b.fmul(w.into(), v.into())]
+                });
+                vec![b.sum(g).into()]
+            },
+        );
+        let w = Value::Arr(Array::from_f64(
+            vec![3, 4],
+            (0..12).map(|i| i as f64 * 1.5 - 4.0).collect(),
+        ));
+        let v = Value::from(vec![2.0, -1.0, 0.25, 7.0]);
+        for n in [0usize, 1, 4, 5, 17, 100] {
+            assert_jit_parity(&f, &[Value::from(data(n)), w.clone(), v.clone()]);
+        }
+    }
+
+    #[test]
+    fn main_body_scalar_regions_compile_and_match() {
+        // Straight-line scalar glue in the main body, big enough to clear
+        // the region admission bar.
+        let mut b = Builder::new();
+        let f = b.build_fun("glue", &[Type::F64, Type::F64], |b, ps| {
+            let s = b.fsin(ps[0].into());
+            let c = b.fcos(ps[1].into());
+            let p = b.fmul(s, c);
+            let q = b.fadd(p, Atom::f64(2.5));
+            let r = b.fsqrt(q);
+            let lt = b.lt(r, Atom::f64(1.0));
+            let sel = b.select(lt, s, r);
+            vec![b.fdiv(sel, Atom::f64(3.0))]
+        });
+        let prog = firvm::compile(&f);
+        let jp = compile_program(&prog).expect("scalar program must specialize");
+        assert!(jp.num_regions() >= 1, "main body should yield a region");
+        for (a, b2) in [(0.3, 0.7), (-1.2, 2.0), (5.5, -0.1)] {
+            assert_jit_parity(&f, &[Value::F64(a), Value::F64(b2)]);
+        }
+    }
+
+    #[test]
+    fn gradients_of_vjp_programs_match_bitwise() {
+        use futhark_ad::vjp;
+        let mut b = Builder::new();
+        let f = b.build_fun("obj", &[Type::arr_f64(1), Type::arr_f64(1)], |b, ps| {
+            let prods = b.map1(Type::arr_f64(1), &[ps[0], ps[1]], |b, es| {
+                let m = b.fmul(es[0].into(), es[1].into());
+                vec![b.ftanh(m)]
+            });
+            vec![b.sum(prods).into()]
+        });
+        let df = vjp(&f);
+        let opt = fir_opt::cse(&fir_opt::fuse_soacs(&df));
+        let xs = Value::from(data(37));
+        let ys = Value::from(data(37).iter().map(|x| x * 0.5 + 1.0).collect::<Vec<_>>());
+        let args = [xs, ys, Value::F64(1.0)];
+        assert_jit_parity(&df, &args);
+        assert_jit_parity(&opt, &args);
+    }
+
+    #[test]
+    fn promotion_counts_runs_not_calls_to_prepare() {
+        use interp::Backend;
+        let mut b = Builder::new();
+        let f = b.build_fun("hot", &[Type::arr_f64(1)], |b, ps| {
+            let sq = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            vec![b.sum(sq).into()]
+        });
+        let tier = tier_config(3);
+        let counters = Arc::clone(&tier.counters);
+        let jit = vm_with(ExecConfig::sequential(), tier);
+        let exec = jit.prepare(&f).unwrap();
+        let args = [Value::from(data(16))];
+        exec.run(&args).unwrap();
+        exec.run(&args).unwrap();
+        assert_eq!(
+            counters.promotions.load(Ordering::Relaxed),
+            0,
+            "two runs stay below a threshold of three"
+        );
+        exec.run(&args).unwrap();
+        assert_eq!(
+            counters.promotions.load(Ordering::Relaxed),
+            1,
+            "the third run promotes"
+        );
+        assert!(counters.jit_hits.load(Ordering::Relaxed) >= 1);
+    }
+}

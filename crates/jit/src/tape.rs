@@ -1,0 +1,972 @@
+//! Lowering bytecode to monomorphic scalar tapes.
+//!
+//! A [`Tape`] is the jit's kernel format: a flat sequence of register ops
+//! over three monomorphic register files (`f64`, `bool` and `i64`) plus a
+//! table of borrowed rank-1 `f64` input arrays — no `Value` boxing, no
+//! enum-typed registers, no `Drop` glue on writes. Lowering is a single
+//! forward pass over straight-line bytecode that infers each register's
+//! class from how it is used; anything outside the supported fragment
+//! (jumps, array *construction*, accumulators, multi-dimensional indexing)
+//! rejects the kernel, which then stays on the VM path — the tier is
+//! per-kernel, not all-or-nothing. Arrays enter a tape only as inputs
+//! (parameters or captures) and are read through single-index gathers
+//! ([`Op::IndexF`]) and [`Op::LenA`]; this covers the `a[i]` access
+//! pattern AD transposition produces in abundance.
+//!
+//! Every op reproduces `interp::eval`'s `f64`/`bool` semantics exactly
+//! (same intrinsics, same operand order), so a tape run is bitwise
+//! identical to interpreting the same instructions.
+
+use std::collections::HashMap;
+
+use fir::ir::{BinOp, UnOp};
+use fir::types::{ScalarType, Type};
+use firvm::bytecode::{CodeObject, Instr, Opnd, Reg};
+use firvm::Kernel;
+
+/// Class of a tape register: the three scalar files plus borrowed arrays
+/// and shared accumulator handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Cls {
+    F,
+    B,
+    I,
+    /// A borrowed `f64` input array (gather table).
+    A,
+    /// A shared accumulator handle (scatter-add target).
+    C,
+}
+
+/// Float unary intrinsics, mirroring `eval_unop` on `Value::F64`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FUn {
+    Neg,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    Sqrt,
+    Tanh,
+    Sigmoid,
+    Abs,
+    Recip,
+}
+
+/// Float binary ops, mirroring `eval_binop` on `(Value::F64, Value::F64)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FBin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Min,
+    Max,
+    Rem,
+}
+
+/// Float comparisons (result is a bool register).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FCmp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Bool-typed binary ops.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BBin {
+    And,
+    Or,
+    Eq,
+    Neq,
+}
+
+/// Integer unary ops, mirroring `eval_unop` on `Value::I64`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum IUn {
+    Neg,
+    Abs,
+}
+
+/// Integer binary ops, mirroring `eval_binop` on `(Value::I64, Value::I64)`
+/// — plain Rust operators, so division by zero panics exactly like the VM.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum IBin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Min,
+    Max,
+    Rem,
+}
+
+/// Integer comparisons (result is a bool register).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ICmp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// One tape op. Register operands index the `f64` or `bool` file as the op
+/// dictates; constants live in dedicated registers preloaded at frame
+/// setup, so the hot loop never branches on operand kind.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    /// `f[0] <- f[1]`
+    MovF(u16, u16),
+    /// `b[0] <- b[1]`
+    MovB(u16, u16),
+    /// `f[1] <- op f[2]`
+    Un(FUn, u16, u16),
+    /// `f[1] <- f[2] op f[3]`
+    Bin(FBin, u16, u16, u16),
+    /// `b[1] <- f[2] cmp f[3]`
+    Cmp(FCmp, u16, u16, u16),
+    /// `b[1] <- b[2] op b[3]`
+    BoolBin(BBin, u16, u16, u16),
+    /// `b[0] <- !b[1]`
+    Not(u16, u16),
+    /// `f[0] <- b[1] ? f[2] : f[3]`
+    Sel(u16, u16, u16, u16),
+    /// `b[0] <- b[1] ? b[2] : b[3]`
+    SelB(u16, u16, u16, u16),
+    /// `i[0] <- i[1]`
+    MovI(u16, u16),
+    /// `i[1] <- op i[2]`
+    IntUn(IUn, u16, u16),
+    /// `i[1] <- i[2] op i[3]`
+    IntBin(IBin, u16, u16, u16),
+    /// `b[1] <- i[2] cmp i[3]`
+    IntCmp(ICmp, u16, u16, u16),
+    /// `i[0] <- b[1] ? i[2] : i[3]`
+    SelI(u16, u16, u16, u16),
+    /// `f[0] <- i[1] as f64`
+    CastF(u16, u16),
+    /// `i[0] <- f[1] as i64`
+    CastI(u16, u16),
+    /// `f[0] <- arrays[1][i[2]]` — single-index gather into a rank-1 `f64`
+    /// input array; bounds-checked with the VM's exact panic conditions.
+    IndexF(u16, u16, u16),
+    /// `f[0] <- arrays[1][i[2]][i[3]]` — two-index gather into a rank-2
+    /// `f64` input array (row-major, like `Array::offset_of`).
+    Index2F(u16, u16, u16, u16),
+    /// `i[0] <- arrays[1].len() as i64` (the outer dimension)
+    LenA(u16, u16),
+    /// `accs[0][i[1]] += f[2]` — scatter-add into a rank-1 accumulator.
+    /// Side-effecting: tapes containing these run at lane width 1 so the
+    /// add order is exactly the VM's per-element order.
+    UpdAcc1(u16, u16, u16),
+    /// `accs[0][i[1]][i[2]] += f[3]` — scatter-add into a rank-2
+    /// accumulator (row-major, like `Accum::offset_of`).
+    UpdAcc2(u16, u16, u16, u16),
+}
+
+/// A compiled scalar tape.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Tape {
+    pub ops: Vec<Op>,
+    /// Sizes of the three scalar register files and the array table.
+    pub num_f: usize,
+    pub num_b: usize,
+    pub num_i: usize,
+    pub num_a: usize,
+    pub num_c: usize,
+    /// Constant registers to preload at frame setup.
+    pub f_consts: Vec<(u16, f64)>,
+    pub b_consts: Vec<(u16, bool)>,
+    pub i_consts: Vec<(u16, i64)>,
+    /// Per array-table slot: the rank its gathers require (`0` when only
+    /// `Len` touches it, which accepts any rank).
+    pub a_ranks: Vec<u8>,
+    /// Per accumulator-table slot: the rank its scatter-adds require (`0`
+    /// when the handle is only passed through to a result).
+    pub c_ranks: Vec<u8>,
+    /// For kernel tapes: where each kernel-frame slot (parameters, then
+    /// captures) lands in the tape register file. `None` means the slot is
+    /// never read by the body.
+    pub inputs: Vec<Option<(Cls, u16)>>,
+    /// For kernel tapes: the result registers — float outputs collected
+    /// per element, or accumulator handles passed through.
+    pub rets: Vec<(Cls, u16)>,
+    /// Number of `Un`/`Bin`/`Cmp`/`BoolBin`/`Sel` ops (region admission).
+    pub compute_ops: usize,
+}
+
+/// Where a VM register currently lives in the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Unknown,
+    F(u16),
+    B(u16),
+    I(u16),
+    A(u16),
+    C(u16),
+}
+
+/// The forward lowering pass. `num_inputs` marks the VM register prefix
+/// that may be read before being written (kernel parameters + captures; for
+/// main-body regions, every register).
+pub(crate) struct Lowerer {
+    map: Vec<Slot>,
+    num_inputs: usize,
+    /// `(vm reg, class, tape reg)` for every input actually read.
+    pub inputs: Vec<(Reg, Cls, u16)>,
+    /// VM registers written by the lowered code, in first-write order.
+    pub writes: Vec<Reg>,
+    num_f: usize,
+    num_b: usize,
+    num_i: usize,
+    num_a: usize,
+    num_c: usize,
+    a_ranks: Vec<u8>,
+    c_ranks: Vec<u8>,
+    f_consts: Vec<(u16, f64)>,
+    b_consts: Vec<(u16, bool)>,
+    i_consts: Vec<(u16, i64)>,
+    f_const_ix: HashMap<u64, u16>,
+    b_const_ix: HashMap<bool, u16>,
+    i_const_ix: HashMap<i64, u16>,
+    ops: Vec<Op>,
+    compute_ops: usize,
+}
+
+impl Lowerer {
+    pub(crate) fn new(num_regs: usize, num_inputs: usize) -> Lowerer {
+        Lowerer {
+            map: vec![Slot::Unknown; num_regs],
+            num_inputs,
+            inputs: Vec::new(),
+            writes: Vec::new(),
+            num_f: 0,
+            num_b: 0,
+            num_i: 0,
+            num_a: 0,
+            num_c: 0,
+            a_ranks: Vec::new(),
+            c_ranks: Vec::new(),
+            f_consts: Vec::new(),
+            b_consts: Vec::new(),
+            i_consts: Vec::new(),
+            f_const_ix: HashMap::new(),
+            b_const_ix: HashMap::new(),
+            i_const_ix: HashMap::new(),
+            ops: Vec::new(),
+            compute_ops: 0,
+        }
+    }
+
+    fn alloc_f(&mut self) -> Option<u16> {
+        let r = u16::try_from(self.num_f).ok()?;
+        self.num_f += 1;
+        Some(r)
+    }
+
+    fn alloc_b(&mut self) -> Option<u16> {
+        let r = u16::try_from(self.num_b).ok()?;
+        self.num_b += 1;
+        Some(r)
+    }
+
+    fn alloc_i(&mut self) -> Option<u16> {
+        let r = u16::try_from(self.num_i).ok()?;
+        self.num_i += 1;
+        Some(r)
+    }
+
+    fn alloc_a(&mut self, rank: u8) -> Option<u16> {
+        let r = u16::try_from(self.num_a).ok()?;
+        self.num_a += 1;
+        self.a_ranks.push(rank);
+        Some(r)
+    }
+
+    fn alloc_c(&mut self, rank: u8) -> Option<u16> {
+        let r = u16::try_from(self.num_c).ok()?;
+        self.num_c += 1;
+        self.c_ranks.push(rank);
+        Some(r)
+    }
+
+    fn const_f(&mut self, x: f64) -> Option<u16> {
+        if let Some(&r) = self.f_const_ix.get(&x.to_bits()) {
+            return Some(r);
+        }
+        let r = self.alloc_f()?;
+        self.f_const_ix.insert(x.to_bits(), r);
+        self.f_consts.push((r, x));
+        Some(r)
+    }
+
+    fn const_b(&mut self, x: bool) -> Option<u16> {
+        if let Some(&r) = self.b_const_ix.get(&x) {
+            return Some(r);
+        }
+        let r = self.alloc_b()?;
+        self.b_const_ix.insert(x, r);
+        self.b_consts.push((r, x));
+        Some(r)
+    }
+
+    fn const_i(&mut self, x: i64) -> Option<u16> {
+        if let Some(&r) = self.i_const_ix.get(&x) {
+            return Some(r);
+        }
+        let r = self.alloc_i()?;
+        self.i_const_ix.insert(x, r);
+        self.i_consts.push((r, x));
+        Some(r)
+    }
+
+    /// Read VM register `r` as a float. A first read classifies it: inputs
+    /// get an input binding, anything else is ill-formed straight-line code
+    /// and rejects the tape.
+    fn freg(&mut self, r: Reg) -> Option<u16> {
+        match self.map[r as usize] {
+            Slot::F(i) => Some(i),
+            Slot::B(_) | Slot::I(_) | Slot::A(_) | Slot::C(_) => None,
+            Slot::Unknown => {
+                if (r as usize) >= self.num_inputs {
+                    return None;
+                }
+                let i = self.alloc_f()?;
+                self.map[r as usize] = Slot::F(i);
+                self.inputs.push((r, Cls::F, i));
+                Some(i)
+            }
+        }
+    }
+
+    fn breg(&mut self, r: Reg) -> Option<u16> {
+        match self.map[r as usize] {
+            Slot::B(i) => Some(i),
+            Slot::F(_) | Slot::I(_) | Slot::A(_) | Slot::C(_) => None,
+            Slot::Unknown => {
+                if (r as usize) >= self.num_inputs {
+                    return None;
+                }
+                let i = self.alloc_b()?;
+                self.map[r as usize] = Slot::B(i);
+                self.inputs.push((r, Cls::B, i));
+                Some(i)
+            }
+        }
+    }
+
+    fn ireg(&mut self, r: Reg) -> Option<u16> {
+        match self.map[r as usize] {
+            Slot::I(i) => Some(i),
+            Slot::F(_) | Slot::B(_) | Slot::A(_) | Slot::C(_) => None,
+            Slot::Unknown => {
+                if (r as usize) >= self.num_inputs {
+                    return None;
+                }
+                let i = self.alloc_i()?;
+                self.map[r as usize] = Slot::I(i);
+                self.inputs.push((r, Cls::I, i));
+                Some(i)
+            }
+        }
+    }
+
+    /// Read VM register `r` as an input array used at `rank` (`0` for a
+    /// rank-agnostic use such as `Len`). Arrays are never produced by tape
+    /// ops, so only an input slot can classify as one; mixing gather ranks
+    /// on one slot cannot type-check, so it rejects.
+    fn areg(&mut self, r: Reg, rank: u8) -> Option<u16> {
+        match self.map[r as usize] {
+            Slot::A(i) => {
+                let known = &mut self.a_ranks[i as usize];
+                if *known == 0 {
+                    *known = rank;
+                }
+                if rank == 0 || *known == rank {
+                    Some(i)
+                } else {
+                    None
+                }
+            }
+            Slot::F(_) | Slot::B(_) | Slot::I(_) | Slot::C(_) => None,
+            Slot::Unknown => {
+                if (r as usize) >= self.num_inputs {
+                    return None;
+                }
+                let i = self.alloc_a(rank)?;
+                self.map[r as usize] = Slot::A(i);
+                self.inputs.push((r, Cls::A, i));
+                Some(i)
+            }
+        }
+    }
+
+    /// Read VM register `r` as an accumulator handle scatter-added at
+    /// `rank` indices (`0` for a pass-through use). Handles only enter as
+    /// inputs; updates re-bind their `dst` as an alias of the same slot,
+    /// so one slot updated at two different arities rejects (it could not
+    /// type-check anyway, and the runtime rank check would fail one use).
+    fn creg(&mut self, r: Reg, rank: u8) -> Option<u16> {
+        match self.map[r as usize] {
+            Slot::C(i) => {
+                let known = &mut self.c_ranks[i as usize];
+                if *known == 0 {
+                    *known = rank;
+                }
+                if rank == 0 || *known == rank {
+                    Some(i)
+                } else {
+                    None
+                }
+            }
+            Slot::F(_) | Slot::B(_) | Slot::I(_) | Slot::A(_) => None,
+            Slot::Unknown => {
+                if (r as usize) >= self.num_inputs {
+                    return None;
+                }
+                let i = self.alloc_c(rank)?;
+                self.map[r as usize] = Slot::C(i);
+                self.inputs.push((r, Cls::C, i));
+                Some(i)
+            }
+        }
+    }
+
+    fn fopnd(&mut self, o: &Opnd) -> Option<u16> {
+        match o {
+            Opnd::Reg(r) => self.freg(*r),
+            Opnd::F64(x) => self.const_f(*x),
+            Opnd::I64(_) | Opnd::Bool(_) => None,
+        }
+    }
+
+    fn bopnd(&mut self, o: &Opnd) -> Option<u16> {
+        match o {
+            Opnd::Reg(r) => self.breg(*r),
+            Opnd::Bool(x) => self.const_b(*x),
+            Opnd::F64(_) | Opnd::I64(_) => None,
+        }
+    }
+
+    fn iopnd(&mut self, o: &Opnd) -> Option<u16> {
+        match o {
+            Opnd::Reg(r) => self.ireg(*r),
+            Opnd::I64(x) => self.const_i(*x),
+            Opnd::F64(_) | Opnd::Bool(_) => None,
+        }
+    }
+
+    /// The class an operand is already known to have (no classification).
+    fn known_cls(&self, o: &Opnd) -> Option<Cls> {
+        match o {
+            Opnd::Reg(r) => match self.map[*r as usize] {
+                Slot::F(_) => Some(Cls::F),
+                Slot::B(_) => Some(Cls::B),
+                Slot::I(_) => Some(Cls::I),
+                Slot::A(_) => Some(Cls::A),
+                Slot::C(_) => Some(Cls::C),
+                Slot::Unknown => None,
+            },
+            Opnd::F64(_) => Some(Cls::F),
+            Opnd::Bool(_) => Some(Cls::B),
+            Opnd::I64(_) => Some(Cls::I),
+        }
+    }
+
+    fn note_write(&mut self, r: Reg) {
+        if !self.writes.contains(&r) {
+            self.writes.push(r);
+        }
+    }
+
+    /// Define VM register `r` as a float, reusing its tape register when the
+    /// class is unchanged (straight-line code, so overwriting is safe).
+    fn def_f(&mut self, r: Reg) -> Option<u16> {
+        self.note_write(r);
+        if let Slot::F(i) = self.map[r as usize] {
+            return Some(i);
+        }
+        let i = self.alloc_f()?;
+        self.map[r as usize] = Slot::F(i);
+        Some(i)
+    }
+
+    fn def_b(&mut self, r: Reg) -> Option<u16> {
+        self.note_write(r);
+        if let Slot::B(i) = self.map[r as usize] {
+            return Some(i);
+        }
+        let i = self.alloc_b()?;
+        self.map[r as usize] = Slot::B(i);
+        Some(i)
+    }
+
+    fn def_i(&mut self, r: Reg) -> Option<u16> {
+        self.note_write(r);
+        if let Slot::I(i) = self.map[r as usize] {
+            return Some(i);
+        }
+        let i = self.alloc_i()?;
+        self.map[r as usize] = Slot::I(i);
+        Some(i)
+    }
+
+    fn push_compute(&mut self, op: Op) {
+        self.ops.push(op);
+        self.compute_ops += 1;
+    }
+
+    /// Lower one instruction; `None` rejects the tape (unsupported
+    /// instruction or a register used at two different scalar classes).
+    pub(crate) fn lower_instr(&mut self, instr: &Instr) -> Option<()> {
+        match instr {
+            Instr::Mov { dst, src } => match (src, self.known_cls(src)) {
+                (_, Some(Cls::B)) => {
+                    let s = self.bopnd(src)?;
+                    let d = self.def_b(*dst)?;
+                    self.ops.push(Op::MovB(d, s));
+                    Some(())
+                }
+                (_, Some(Cls::I)) => {
+                    let s = self.iopnd(src)?;
+                    let d = self.def_i(*dst)?;
+                    self.ops.push(Op::MovI(d, s));
+                    Some(())
+                }
+                // Aliasing an input array would need array-typed defs.
+                (_, Some(Cls::A)) => None,
+                // An accumulator `Mov` aliases the shared handle (the VM
+                // clones the `Arc`) — pure re-binding, no op emitted.
+                (Opnd::Reg(r), Some(Cls::C)) => {
+                    let Slot::C(i) = self.map[*r as usize] else {
+                        return None;
+                    };
+                    self.note_write(*dst);
+                    self.map[*dst as usize] = Slot::C(i);
+                    Some(())
+                }
+                _ => {
+                    let s = self.fopnd(src)?;
+                    let d = self.def_f(*dst)?;
+                    self.ops.push(Op::MovF(d, s));
+                    Some(())
+                }
+            },
+            Instr::Un { op, dst, a } => {
+                match op {
+                    UnOp::Not => {
+                        let s = self.bopnd(a)?;
+                        let d = self.def_b(*dst)?;
+                        self.push_compute(Op::Not(d, s));
+                        return Some(());
+                    }
+                    // `(ToF64, F64 x) -> F64(x)` is the identity; an unknown
+                    // operand classifies as i64 — the conversion's only
+                    // non-trivial source type.
+                    UnOp::ToF64 => {
+                        return if self.known_cls(a) == Some(Cls::F) {
+                            let s = self.fopnd(a)?;
+                            let d = self.def_f(*dst)?;
+                            self.ops.push(Op::MovF(d, s));
+                            Some(())
+                        } else {
+                            let s = self.iopnd(a)?;
+                            let d = self.def_f(*dst)?;
+                            self.push_compute(Op::CastF(d, s));
+                            Some(())
+                        };
+                    }
+                    // Dually, `(ToI64, I64 x)` is the identity and an
+                    // unknown operand classifies as f64.
+                    UnOp::ToI64 => {
+                        return if self.known_cls(a) == Some(Cls::I) {
+                            let s = self.iopnd(a)?;
+                            let d = self.def_i(*dst)?;
+                            self.ops.push(Op::MovI(d, s));
+                            Some(())
+                        } else {
+                            let s = self.fopnd(a)?;
+                            let d = self.def_i(*dst)?;
+                            self.push_compute(Op::CastI(d, s));
+                            Some(())
+                        };
+                    }
+                    _ => {}
+                }
+                if self.known_cls(a) == Some(Cls::I) {
+                    let iu = match op {
+                        UnOp::Neg => IUn::Neg,
+                        UnOp::Abs => IUn::Abs,
+                        _ => return None,
+                    };
+                    let s = self.iopnd(a)?;
+                    let d = self.def_i(*dst)?;
+                    self.push_compute(Op::IntUn(iu, d, s));
+                    return Some(());
+                }
+                let fun = match op {
+                    UnOp::Neg => FUn::Neg,
+                    UnOp::Sin => FUn::Sin,
+                    UnOp::Cos => FUn::Cos,
+                    UnOp::Exp => FUn::Exp,
+                    UnOp::Log => FUn::Log,
+                    UnOp::Sqrt => FUn::Sqrt,
+                    UnOp::Tanh => FUn::Tanh,
+                    UnOp::Sigmoid => FUn::Sigmoid,
+                    UnOp::Abs => FUn::Abs,
+                    UnOp::Recip => FUn::Recip,
+                    UnOp::Not | UnOp::ToF64 | UnOp::ToI64 => {
+                        unreachable!("handled above")
+                    }
+                };
+                let s = self.fopnd(a)?;
+                let d = self.def_f(*dst)?;
+                self.push_compute(Op::Un(fun, d, s));
+                Some(())
+            }
+            Instr::Bin { op, dst, a, b } => {
+                // Integer form when either operand is already known i64 (a
+                // well-typed program then forces the other to be too).
+                let int_form =
+                    self.known_cls(a) == Some(Cls::I) || self.known_cls(b) == Some(Cls::I);
+                match op {
+                    BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                        if int_form =>
+                    {
+                        let cmp = match op {
+                            BinOp::Eq => ICmp::Eq,
+                            BinOp::Neq => ICmp::Neq,
+                            BinOp::Lt => ICmp::Lt,
+                            BinOp::Le => ICmp::Le,
+                            BinOp::Gt => ICmp::Gt,
+                            _ => ICmp::Ge,
+                        };
+                        let x = self.iopnd(a)?;
+                        let y = self.iopnd(b)?;
+                        let d = self.def_b(*dst)?;
+                        self.push_compute(Op::IntCmp(cmp, d, x, y));
+                        return Some(());
+                    }
+                    BinOp::Add
+                    | BinOp::Sub
+                    | BinOp::Mul
+                    | BinOp::Div
+                    | BinOp::Pow
+                    | BinOp::Min
+                    | BinOp::Max
+                    | BinOp::Rem
+                        if int_form =>
+                    {
+                        let ib = match op {
+                            BinOp::Add => IBin::Add,
+                            BinOp::Sub => IBin::Sub,
+                            BinOp::Mul => IBin::Mul,
+                            BinOp::Div => IBin::Div,
+                            BinOp::Pow => IBin::Pow,
+                            BinOp::Min => IBin::Min,
+                            BinOp::Max => IBin::Max,
+                            _ => IBin::Rem,
+                        };
+                        let x = self.iopnd(a)?;
+                        let y = self.iopnd(b)?;
+                        let d = self.def_i(*dst)?;
+                        self.push_compute(Op::IntBin(ib, d, x, y));
+                        return Some(());
+                    }
+                    BinOp::And | BinOp::Or => {
+                        let bb = match op {
+                            BinOp::And => BBin::And,
+                            _ => BBin::Or,
+                        };
+                        let x = self.bopnd(a)?;
+                        let y = self.bopnd(b)?;
+                        let d = self.def_b(*dst)?;
+                        self.push_compute(Op::BoolBin(bb, d, x, y));
+                        return Some(());
+                    }
+                    BinOp::Eq | BinOp::Neq => {
+                        // Overloaded over floats and bools; pick the bool
+                        // form when either operand is known boolean.
+                        let bool_form =
+                            self.known_cls(a) == Some(Cls::B) || self.known_cls(b) == Some(Cls::B);
+                        if bool_form {
+                            let bb = match op {
+                                BinOp::Eq => BBin::Eq,
+                                _ => BBin::Neq,
+                            };
+                            let x = self.bopnd(a)?;
+                            let y = self.bopnd(b)?;
+                            let d = self.def_b(*dst)?;
+                            self.push_compute(Op::BoolBin(bb, d, x, y));
+                            return Some(());
+                        }
+                        let cmp = match op {
+                            BinOp::Eq => FCmp::Eq,
+                            _ => FCmp::Neq,
+                        };
+                        let x = self.fopnd(a)?;
+                        let y = self.fopnd(b)?;
+                        let d = self.def_b(*dst)?;
+                        self.push_compute(Op::Cmp(cmp, d, x, y));
+                        return Some(());
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        let cmp = match op {
+                            BinOp::Lt => FCmp::Lt,
+                            BinOp::Le => FCmp::Le,
+                            BinOp::Gt => FCmp::Gt,
+                            _ => FCmp::Ge,
+                        };
+                        let x = self.fopnd(a)?;
+                        let y = self.fopnd(b)?;
+                        let d = self.def_b(*dst)?;
+                        self.push_compute(Op::Cmp(cmp, d, x, y));
+                        return Some(());
+                    }
+                    _ => {}
+                }
+                let fb = match op {
+                    BinOp::Add => FBin::Add,
+                    BinOp::Sub => FBin::Sub,
+                    BinOp::Mul => FBin::Mul,
+                    BinOp::Div => FBin::Div,
+                    BinOp::Pow => FBin::Pow,
+                    BinOp::Min => FBin::Min,
+                    BinOp::Max => FBin::Max,
+                    BinOp::Rem => FBin::Rem,
+                    _ => unreachable!("predicates handled above"),
+                };
+                let x = self.fopnd(a)?;
+                let y = self.fopnd(b)?;
+                let d = self.def_f(*dst)?;
+                self.push_compute(Op::Bin(fb, d, x, y));
+                Some(())
+            }
+            Instr::Select { dst, cond, t, f } => {
+                let c = self.bopnd(cond)?;
+                let bool_form =
+                    self.known_cls(t) == Some(Cls::B) || self.known_cls(f) == Some(Cls::B);
+                let int_form =
+                    self.known_cls(t) == Some(Cls::I) || self.known_cls(f) == Some(Cls::I);
+                if bool_form {
+                    let tv = self.bopnd(t)?;
+                    let fv = self.bopnd(f)?;
+                    let d = self.def_b(*dst)?;
+                    self.push_compute(Op::SelB(d, c, tv, fv));
+                } else if int_form {
+                    let tv = self.iopnd(t)?;
+                    let fv = self.iopnd(f)?;
+                    let d = self.def_i(*dst)?;
+                    self.push_compute(Op::SelI(d, c, tv, fv));
+                } else {
+                    let tv = self.fopnd(t)?;
+                    let fv = self.fopnd(f)?;
+                    let d = self.def_f(*dst)?;
+                    self.push_compute(Op::Sel(d, c, tv, fv));
+                }
+                Some(())
+            }
+            // Scalar gathers into f64 input arrays — the access pattern vjp
+            // transposition produces for every array read: `a[i]` on rank-1
+            // cotangents and `w[i][j]` on rank-2 weight matrices.
+            Instr::Index { dst, arr, idx } => {
+                match &idx[..] {
+                    [i] => {
+                        let a = self.areg(*arr, 1)?;
+                        let i = self.iopnd(i)?;
+                        let d = self.def_f(*dst)?;
+                        self.push_compute(Op::IndexF(d, a, i));
+                    }
+                    [i0, i1] => {
+                        let a = self.areg(*arr, 2)?;
+                        let i0 = self.iopnd(i0)?;
+                        let i1 = self.iopnd(i1)?;
+                        let d = self.def_f(*dst)?;
+                        self.push_compute(Op::Index2F(d, a, i0, i1));
+                    }
+                    _ => return None,
+                }
+                Some(())
+            }
+            Instr::Len { dst, arr } => {
+                let a = self.areg(*arr, 0)?;
+                let d = self.def_i(*dst)?;
+                self.ops.push(Op::LenA(d, a));
+                Some(())
+            }
+            // Scatter-adds into shared accumulators — the write half of vjp
+            // transposition (`dst[i] += v`, `w[i][j] += v`). The executor
+            // calls `Accum::add_at` directly, so the negative-index panic,
+            // the silent out-of-bounds skip and the zero-skip CAS add all
+            // match the VM's `UpdAcc` bit for bit; lane width is pinned to
+            // 1 for tapes containing these (see `run_map`) so adds land in
+            // the VM's per-element order.
+            Instr::UpdAcc { dst, acc, idx, val } => {
+                let v = self.fopnd(val)?;
+                match &idx[..] {
+                    [i] => {
+                        let c = self.creg(*acc, 1)?;
+                        let i = self.iopnd(i)?;
+                        self.push_compute(Op::UpdAcc1(c, i, v));
+                        self.note_write(*dst);
+                        self.map[*dst as usize] = Slot::C(c);
+                    }
+                    [i0, i1] => {
+                        let c = self.creg(*acc, 2)?;
+                        let i0 = self.iopnd(i0)?;
+                        let i1 = self.iopnd(i1)?;
+                        self.push_compute(Op::UpdAcc2(c, i0, i1, v));
+                        self.note_write(*dst);
+                        self.map[*dst as usize] = Slot::C(c);
+                    }
+                    _ => return None,
+                }
+                Some(())
+            }
+            // Everything else — array construction, accumulators, control
+            // flow, SOACs — is outside the tape fragment.
+            _ => None,
+        }
+    }
+
+    /// Current tape-side binding of a VM register (for region outputs).
+    pub(crate) fn binding(&self, r: Reg) -> Option<(Cls, u16)> {
+        match self.map[r as usize] {
+            Slot::F(i) => Some((Cls::F, i)),
+            Slot::B(i) => Some((Cls::B, i)),
+            Slot::I(i) => Some((Cls::I, i)),
+            Slot::A(i) => Some((Cls::A, i)),
+            Slot::C(i) => Some((Cls::C, i)),
+            Slot::Unknown => None,
+        }
+    }
+
+    /// Resolve a kernel result operand: a float register (collected per
+    /// element) or an accumulator slot (handle passed through).
+    fn ret_slot(&mut self, o: &Opnd) -> Option<(Cls, u16)> {
+        if let Opnd::Reg(r) = o {
+            if let Slot::C(i) = self.map[*r as usize] {
+                return Some((Cls::C, i));
+            }
+        }
+        Some((Cls::F, self.fopnd(o)?))
+    }
+
+    /// Finish into a tape with `inputs` indexed by kernel frame slot.
+    fn finish_kernel(self, num_inputs: usize, rets: Vec<(Cls, u16)>) -> Tape {
+        let mut inputs = vec![None; num_inputs];
+        for (r, cls, i) in &self.inputs {
+            inputs[*r as usize] = Some((*cls, *i));
+        }
+        Tape {
+            ops: self.ops,
+            num_f: self.num_f,
+            num_b: self.num_b,
+            num_i: self.num_i,
+            num_a: self.num_a,
+            num_c: self.num_c,
+            a_ranks: self.a_ranks,
+            c_ranks: self.c_ranks,
+            f_consts: self.f_consts,
+            b_consts: self.b_consts,
+            i_consts: self.i_consts,
+            inputs,
+            rets,
+            compute_ops: self.compute_ops,
+        }
+    }
+
+    /// Finish into a bare tape (region form; inputs/outputs tracked by the
+    /// caller via [`Lowerer::inputs`]/[`Lowerer::writes`]).
+    pub(crate) fn finish(self) -> Tape {
+        Tape {
+            ops: self.ops,
+            num_f: self.num_f,
+            num_b: self.num_b,
+            num_i: self.num_i,
+            num_a: self.num_a,
+            num_c: self.num_c,
+            a_ranks: self.a_ranks,
+            c_ranks: self.c_ranks,
+            f_consts: self.f_consts,
+            b_consts: self.b_consts,
+            i_consts: self.i_consts,
+            inputs: Vec::new(),
+            rets: Vec::new(),
+            compute_ops: self.compute_ops,
+        }
+    }
+}
+
+/// A kernel specialized to a tape: the shape-class contract is rank-1
+/// element streams matching each parameter slot's inferred class (`f64` or
+/// `i64`) and capture values matching theirs — scalars broadcast, rank-1
+/// `f64` arrays borrowed whole as gather tables.
+#[derive(Debug, Clone)]
+pub(crate) struct JitKernel {
+    pub tape: Tape,
+    pub num_params: usize,
+    /// The float result registers in result order (precomputed so the map
+    /// hot path never filters `rets` per dispatch).
+    pub f_rets: Vec<u16>,
+}
+
+/// Lower a SOAC kernel body, or `None` when any part of it is outside the
+/// tape fragment (the dispatch then falls back to the VM for this kernel).
+pub(crate) fn lower_kernel(k: &Kernel) -> Option<JitKernel> {
+    // Results must be scalar f64 (flat output buffers) or f64 accumulators
+    // (the shared handle is passed through, never materialized per element).
+    if !k.ret.iter().all(|t| {
+        matches!(
+            t,
+            Type::Scalar(ScalarType::F64)
+                | Type::Acc {
+                    elem: ScalarType::F64,
+                    ..
+                }
+        )
+    }) {
+        return None;
+    }
+    let num_inputs = k.num_params + k.num_captures;
+    let mut lo = Lowerer::new(k.code.num_regs, num_inputs);
+    for instr in &k.code.instrs {
+        lo.lower_instr(instr)?;
+    }
+    let rets = k
+        .code
+        .ret
+        .iter()
+        .map(|o| lo.ret_slot(o))
+        .collect::<Option<Vec<(Cls, u16)>>>()?;
+    let f_rets = rets
+        .iter()
+        .filter_map(|&(c, r)| (c == Cls::F).then_some(r))
+        .collect();
+    Some(JitKernel {
+        tape: lo.finish_kernel(num_inputs, rets),
+        num_params: k.num_params,
+        f_rets,
+    })
+}
+
+/// Lower one straight-line run of main-body instructions; used by the
+/// region scanner.
+pub(crate) fn lower_straight_line(
+    code: &CodeObject,
+    lo_pc: usize,
+    hi_pc: usize,
+) -> Option<Lowerer> {
+    let mut lo = Lowerer::new(code.num_regs, code.num_regs);
+    for instr in &code.instrs[lo_pc..hi_pc] {
+        lo.lower_instr(instr)?;
+    }
+    Some(lo)
+}

@@ -33,7 +33,10 @@ fn main() -> Result<(), ServeError> {
     let collector = std::thread::spawn(|| {
         let mut acc = fir_trace::Trace::default();
         while !DONE.load(Ordering::Acquire) {
-            std::thread::sleep(Duration::from_millis(10));
+            // 2ms, not 10: with `profile` + the jit tier every SOAC
+            // dispatch is a span, and a busy ring can wrap in under 10ms
+            // (which would evict the early compile events).
+            std::thread::sleep(Duration::from_millis(2));
             acc.extend(fir_trace::drain());
         }
         acc.extend(fir_trace::drain());
@@ -42,7 +45,18 @@ fn main() -> Result<(), ServeError> {
 
     // --- Compile + grad directly through the engine (compile/cache/vm
     // spans), on the paper's GMM D5 instance: n=500, d=32, K=25.
-    let engine = Engine::by_name("vm").map_err(ServeError::Exec)?;
+    // `FIR_JIT_THRESHOLD=1` reruns the same workload on the jit-tiered
+    // VM with eager promotion, so the per-phase profile shows the
+    // specialization tier instead (the before/after pair in
+    // EXPERIMENTS.md).
+    let engine = match std::env::var("FIR_JIT_THRESHOLD") {
+        Ok(t) => Engine::builder()
+            .backend_name("vm")
+            .jit_threshold(t.parse().expect("FIR_JIT_THRESHOLD must be an integer"))
+            .build(),
+        Err(_) => Engine::by_name("vm"),
+    }
+    .map_err(ServeError::Exec)?;
     let f = engine
         .compile(&gmm::objective_ir())
         .map_err(ServeError::Exec)?;

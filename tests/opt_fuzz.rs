@@ -1,8 +1,9 @@
 //! Semantics-preservation fuzzing of the optimization pipeline.
 //!
 //! For every randomly generated well-typed program (see `fir-proptest`),
-//! the four configurations {standard pipeline, no pipeline} × {tree-walking
-//! interpreter, firvm bytecode VM} must agree **bitwise** on every result —
+//! the six configurations {standard pipeline, no pipeline} × {tree-walking
+//! interpreter, firvm bytecode VM, jit-tiered VM (threshold 1, so every
+//! program runs on native kernels)} must agree **bitwise** on every result —
 //! the optimizer may only rearrange *which* computations run, never a
 //! single floating-point rounding. Gradients get the same treatment: the
 //! engine derives `vjp` from the pre-pipeline source, so optimized and
@@ -32,16 +33,29 @@ fn cases_from_env(default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// The four engines of the differential square, sharing nothing.
-fn engines() -> [(&'static str, Engine); 4] {
+/// The six engines of the differential square, sharing nothing. The jit
+/// pair runs with a hotness threshold of 1: every program promotes on its
+/// first run, so the native tier executes (or per-kernel falls back) on
+/// every single fuzz case rather than only on re-runs.
+fn engines() -> [(&'static str, Engine); 6] {
     let mk = |backend: &str, pipeline: PassPipeline| {
         Engine::by_name(backend).unwrap().with_pipeline(pipeline)
+    };
+    let mk_jit = |pipeline: PassPipeline| {
+        Engine::builder()
+            .backend_name("vm-seq")
+            .jit_threshold(1)
+            .pipeline(pipeline)
+            .build()
+            .unwrap()
     };
     [
         ("interp+std", mk("interp-seq", PassPipeline::standard())),
         ("interp+none", mk("interp-seq", PassPipeline::none())),
         ("vm+std", mk("vm-seq", PassPipeline::standard())),
         ("vm+none", mk("vm-seq", PassPipeline::none())),
+        ("jit+std", mk_jit(PassPipeline::standard())),
+        ("jit+none", mk_jit(PassPipeline::none())),
     ]
 }
 
@@ -51,7 +65,7 @@ fn engines() -> [(&'static str, Engine); 4] {
 /// two backends may chunk differently from each other), pinning down that
 /// a fused `redomap`'s parallel fold-and-combine is bitwise identical to
 /// the `reduce (map ...)` it replaced.
-fn parallel_pairs() -> [(&'static str, Engine, Engine); 2] {
+fn parallel_pairs() -> [(&'static str, Engine, Engine); 3] {
     use interp::{ExecConfig, Interp};
     let cfg = ExecConfig {
         parallel: true,
@@ -64,11 +78,21 @@ fn parallel_pairs() -> [(&'static str, Engine, Engine); 2] {
         .with_pipeline(PassPipeline::none());
     let vm_std = Engine::with_backend(Box::new(firvm::Vm::with_config(cfg.clone())))
         .with_pipeline(PassPipeline::standard());
-    let vm_none = Engine::with_backend(Box::new(firvm::Vm::with_config(cfg)))
+    let vm_none = Engine::with_backend(Box::new(firvm::Vm::with_config(cfg.clone())))
+        .with_pipeline(PassPipeline::none());
+    // The jit tier under the same forced-parallel config: its reductions
+    // must reuse the VM's chunk boundaries and combine order exactly.
+    let jit_std = Engine::with_backend(Box::new(fir_jit::vm_with(
+        cfg.clone(),
+        fir_jit::tier_config(1),
+    )))
+    .with_pipeline(PassPipeline::standard());
+    let jit_none = Engine::with_backend(Box::new(fir_jit::vm_with(cfg, fir_jit::tier_config(1))))
         .with_pipeline(PassPipeline::none());
     [
         ("interp-par", interp_std, interp_none),
         ("vm-par", vm_std, vm_none),
+        ("jit-par", jit_std, jit_none),
     ]
 }
 
@@ -147,7 +171,7 @@ fn random_gradients_agree_bitwise_and_pass_gradcheck() {
         let (fun, args) = arbitrary_fun(&name, &mut rng, &GenConfig::smooth());
         check_fun(&fun).unwrap_or_else(|e| panic!("{name}: ill-typed: {e}"));
 
-        // Reverse mode, bitwise across all four configurations (vjp is
+        // Reverse mode, bitwise across all six configurations (vjp is
         // derived from the pre-pipeline source, then optimized per engine).
         let reference = engines[0].1.compile(&fun).unwrap().grad(&args).unwrap();
         for (config, engine) in &engines[1..] {
@@ -209,7 +233,7 @@ fn random_gradients_agree_bitwise_and_pass_gradcheck() {
 /// well-typed function, `vmap f` applied to a stacked batch of three
 /// (deterministically perturbed) argument sets must agree **bitwise**,
 /// element by element, with running `f` per example — across
-/// {standard pipeline, none} × {interp, firvm}. This pins down that the
+/// {standard pipeline, none} × {interp, firvm, jit}. This pins down that the
 /// rank-promotion lowering and the re-optimization of the vmapped
 /// program never change a single floating-point rounding.
 #[test]
@@ -269,7 +293,7 @@ fn random_programs_vmap_agrees_with_per_example_execution_bitwise() {
 
 /// All ten workload instances (the paper's nine benchmarks, with HAND in
 /// both its simple and complicated variants), bitwise across
-/// optimized/unoptimized × interp/firvm (sequential configurations, where
+/// optimized/unoptimized × interp/firvm/jit (sequential configurations, where
 /// float reassociation cannot occur) — the acceptance bar for every pass
 /// in the pipeline.
 #[test]
