@@ -11,9 +11,10 @@
 //! fallible end to end and batched calls amortize dispatch across the
 //! persistent worker pool.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use fir::ir::Fun;
 use fir::types::Type;
@@ -46,6 +47,13 @@ struct EngineInner {
     backend: Arc<dyn Backend>,
     pipeline: Mutex<PassPipeline>,
     cache: Mutex<LruCache>,
+    /// Monotonic recency tick shared by the locked cache and the
+    /// published snapshots: hits through either path bump the same
+    /// per-slot atomic, so LRU order stays coherent.
+    tick: AtomicU64,
+    /// The published read-mostly snapshot of the cache and the alias
+    /// index (see [`ViewCell`]): the lock-free hot read path.
+    view: ViewCell,
     /// Derived-program index: `(root source fingerprint, transform
     /// stack)` → the fingerprint of the derived function. Running a
     /// transform (re-deriving a whole `vjp`, say) just to discover that
@@ -101,13 +109,14 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 128;
 struct LruCache {
     map: HashMap<Fingerprint, LruSlot>,
     capacity: usize,
-    tick: u64,
     evictions: usize,
 }
 
 struct LruSlot {
     entry: CacheEntry,
-    last_used: u64,
+    /// Recency tick, shared (`Arc`) with every published [`CacheView`]
+    /// so hits through a lock-free snapshot still bump LRU order.
+    last_used: Arc<AtomicU64>,
 }
 
 impl LruCache {
@@ -115,17 +124,16 @@ impl LruCache {
         LruCache {
             map: HashMap::new(),
             capacity: capacity.max(1),
-            tick: 0,
             evictions: 0,
         }
     }
 
-    /// Look up `key`, marking it most-recently-used on a hit.
-    fn get(&mut self, key: &Fingerprint) -> Option<CacheEntry> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|slot| {
-            slot.last_used = tick;
+    /// Look up `key`, marking it most-recently-used on a hit. `tick` is
+    /// the engine's shared recency counter.
+    fn get(&self, key: &Fingerprint, tick: &AtomicU64) -> Option<CacheEntry> {
+        self.map.get(key).map(|slot| {
+            slot.last_used
+                .store(tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
             slot.entry.clone()
         })
     }
@@ -136,16 +144,20 @@ impl LruCache {
     /// and is returned, alongside the fingerprints evicted to make room
     /// (so the caller can drop derived-program aliases that point at
     /// them).
-    fn insert(&mut self, key: Fingerprint, entry: CacheEntry) -> (CacheEntry, Vec<Fingerprint>) {
-        self.tick += 1;
-        let tick = self.tick;
+    fn insert(
+        &mut self,
+        key: Fingerprint,
+        entry: CacheEntry,
+        tick: &AtomicU64,
+    ) -> (CacheEntry, Vec<Fingerprint>) {
+        let t = tick.fetch_add(1, Ordering::Relaxed) + 1;
         let kept = self
             .map
             .entry(key)
-            .and_modify(|slot| slot.last_used = tick)
+            .and_modify(|slot| slot.last_used.store(t, Ordering::Relaxed))
             .or_insert(LruSlot {
                 entry,
-                last_used: tick,
+                last_used: Arc::new(AtomicU64::new(t)),
             })
             .entry
             .clone();
@@ -154,7 +166,7 @@ impl LruCache {
             let lru = self
                 .map
                 .iter()
-                .min_by_key(|(_, slot)| slot.last_used)
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| *k)
                 .expect("over-capacity cache cannot be empty");
             self.map.remove(&lru);
@@ -162,6 +174,130 @@ impl LruCache {
             evicted.push(lru);
         }
         (kept, evicted)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Published cache snapshots: the lock-free read path
+// ---------------------------------------------------------------------
+
+/// An immutable point-in-time view of the compiled-program cache plus the
+/// derived-program alias index, published as one `Arc` so the hot read
+/// paths — cache hits in [`Engine::compile`], alias hits in
+/// [`CompiledFn::transform`] — never touch the engine mutexes. Entries
+/// share the live cache's recency slots (`Arc<AtomicU64>`), so a hit
+/// through a snapshot still counts for LRU eviction order.
+struct CacheView {
+    map: HashMap<Fingerprint, (CacheEntry, Arc<AtomicU64>)>,
+    aliases: HashMap<(Fingerprint, Vec<Transform>), Fingerprint>,
+}
+
+impl CacheView {
+    fn empty() -> Arc<CacheView> {
+        Arc::new(CacheView {
+            map: HashMap::new(),
+            aliases: HashMap::new(),
+        })
+    }
+}
+
+/// The publication cell: a version counter plus the current snapshot
+/// (arc-swap style, in std only). Readers go through a bounded per-thread
+/// cache keyed by `(engine id, version)` — steady state is one `Acquire`
+/// load and a thread-local scan, no locks and no shared-line writes
+/// beyond the recency bump — and only fall back to the `RwLock` when the
+/// version moved, i.e. after a compile, an eviction, or a pipeline
+/// change. Writers serialize on the write lock and rebuild the snapshot
+/// from the live maps, so the freshest mutation always wins.
+struct ViewCell {
+    /// Process-unique engine id, keying the thread-local snapshot cache.
+    id: u64,
+    version: AtomicU64,
+    current: RwLock<Arc<CacheView>>,
+}
+
+/// Source of process-unique engine ids for [`ViewCell`].
+static ENGINE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// The bound of the per-thread snapshot cache: threads touching many
+/// engines keep at most this many snapshots pinned.
+const VIEW_CACHE_SLOTS: usize = 8;
+
+thread_local! {
+    /// Per-thread `(engine id, version, snapshot)` cache backing
+    /// [`ViewCell::load`]'s lock-free steady state.
+    static VIEW_CACHE: RefCell<Vec<(u64, u64, Arc<CacheView>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+impl ViewCell {
+    fn new() -> ViewCell {
+        ViewCell {
+            id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
+            version: AtomicU64::new(0),
+            current: RwLock::new(CacheView::empty()),
+        }
+    }
+
+    /// The current snapshot. Steady state (no publication since this
+    /// thread last looked) is lock-free.
+    fn load(&self) -> Arc<CacheView> {
+        // Read the version *before* the snapshot so the cached pair is
+        // never tagged fresher than it is; a publication racing between
+        // the two reads only costs one extra refresh on the next load.
+        let version = self.version.load(Ordering::Acquire);
+        let cached = VIEW_CACHE.with(|c| {
+            c.borrow()
+                .iter()
+                .find(|(id, v, _)| *id == self.id && *v == version)
+                .map(|(_, _, view)| Arc::clone(view))
+        });
+        if let Some(view) = cached {
+            return view;
+        }
+        let view = Arc::clone(&self.current.read().unwrap());
+        VIEW_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            cache.retain(|(id, _, _)| *id != self.id);
+            if cache.len() >= VIEW_CACHE_SLOTS {
+                cache.remove(0);
+            }
+            cache.push((self.id, version, Arc::clone(&view)));
+        });
+        view
+    }
+}
+
+impl EngineInner {
+    /// Rebuild and publish the cache snapshot from the live maps. Must be
+    /// called *without* holding `cache`/`derived` (it takes them itself,
+    /// briefly, inside the publication critical section).
+    fn republish(&self) {
+        let mut current = self.view.current.write().unwrap();
+        let map = {
+            let cache = self.cache.lock().unwrap();
+            cache
+                .map
+                .iter()
+                .map(|(k, slot)| (*k, (slot.entry.clone(), Arc::clone(&slot.last_used))))
+                .collect()
+        };
+        let aliases = self.derived.lock().unwrap().clone();
+        *current = Arc::new(CacheView { map, aliases });
+        self.view.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Answer `key` from the published snapshot — the contention-free hot
+    /// path. Bumps LRU recency through the shared slot.
+    fn lookup_published(&self, key: &Fingerprint) -> Option<CacheEntry> {
+        let view = self.view.load();
+        view.map.get(key).map(|(entry, last_used)| {
+            last_used.store(
+                self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            );
+            entry.clone()
+        })
     }
 }
 
@@ -360,6 +496,8 @@ impl Engine {
                 backend,
                 pipeline: Mutex::new(pipeline),
                 cache: Mutex::new(LruCache::new(capacity)),
+                tick: AtomicU64::new(0),
+                view: ViewCell::new(),
                 derived: Mutex::new(HashMap::new()),
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
@@ -412,6 +550,7 @@ impl Engine {
         // happens on pre-pipeline IR), but clear them too so a
         // reconfigured engine starts from a clean slate.
         self.inner.derived.lock().unwrap().clear();
+        self.inner.republish();
     }
 
     /// The name of the engine's backend.
@@ -439,7 +578,17 @@ impl Engine {
         key: Fingerprint,
         fun: &Fun,
     ) -> Result<CacheEntry, FirError> {
-        if let Some(entry) = inner.cache.lock().unwrap().get(&key) {
+        // Hot path: the published snapshot answers without touching the
+        // cache mutex, so concurrent cache hits never contend — the
+        // property the sharded serving tier depends on.
+        if let Some(entry) = inner.lookup_published(&key) {
+            inner.hits.fetch_add(1, Ordering::Relaxed);
+            fir_trace::instant("cache", "hit");
+            return Ok(entry);
+        }
+        // The snapshot may lag a concurrent insert; check the live cache
+        // under its lock before paying for a compile.
+        if let Some(entry) = inner.cache.lock().unwrap().get(&key, &inner.tick) {
             inner.hits.fetch_add(1, Ordering::Relaxed);
             fir_trace::instant("cache", "hit");
             return Ok(entry);
@@ -476,7 +625,7 @@ impl Engine {
         };
         // Another thread may have compiled the same function meanwhile;
         // keep the first entry so the executable stays shared.
-        let (entry, evicted) = inner.cache.lock().unwrap().insert(key, entry);
+        let (entry, evicted) = inner.cache.lock().unwrap().insert(key, entry, &inner.tick);
         if !evicted.is_empty() {
             // Drop aliases that point at evicted programs so the derived
             // index stays proportional to the *live* cache: without this
@@ -490,6 +639,7 @@ impl Engine {
                 .retain(|_, target| !evicted.contains(target));
         }
         inner.misses.fetch_add(1, Ordering::Relaxed);
+        inner.republish();
         Ok(entry)
     }
 
@@ -501,13 +651,34 @@ impl Engine {
         let mut stack = base.stack.clone();
         stack.push(t);
         let alias = (base.root_key, stack);
-        // Hot path: the index knows the derived fingerprint and the cache
-        // still holds it — no derivation at all. (The index guard is
-        // released before the cache lock is taken, so concurrent hot
-        // callers never serialize on both mutexes at once.)
+        // Hot path: the published snapshot answers alias → entry with no
+        // locks at all (a `grad`/`transform` on an already-derived stack
+        // — every serving-batch dispatch — contends on nothing).
+        {
+            let view = inner.view.load();
+            if let Some(key) = view.aliases.get(&alias) {
+                if let Some((entry, last_used)) = view.map.get(key) {
+                    last_used.store(
+                        inner.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                        Ordering::Relaxed,
+                    );
+                    inner.hits.fetch_add(1, Ordering::Relaxed);
+                    fir_trace::instant("cache", "alias-hit");
+                    return Ok(CompiledFn::new(
+                        Arc::clone(inner),
+                        entry.clone(),
+                        base.root_key,
+                        alias.1,
+                    ));
+                }
+            }
+        }
+        // Stale-snapshot fallback: the live index under its lock. (The
+        // index guard is released before the cache lock is taken, so
+        // concurrent callers never serialize on both mutexes at once.)
         let known = inner.derived.lock().unwrap().get(&alias).copied();
         if let Some(key) = known {
-            if let Some(entry) = inner.cache.lock().unwrap().get(&key) {
+            if let Some(entry) = inner.cache.lock().unwrap().get(&key, &inner.tick) {
                 inner.hits.fetch_add(1, Ordering::Relaxed);
                 fir_trace::instant("cache", "alias-hit");
                 return Ok(CompiledFn::new(
@@ -530,6 +701,7 @@ impl Engine {
         let key = fingerprint_pair(&fun);
         let entry = Self::compile_entry(inner, key, &fun)?;
         inner.derived.lock().unwrap().insert(alias.clone(), key);
+        inner.republish();
         Ok(CompiledFn::new(
             Arc::clone(inner),
             entry,
@@ -1770,7 +1942,8 @@ mod tests {
 
     #[test]
     fn jit_unsupported_expressions_fall_back_with_identical_results() {
-        // The kernel gathers through a computed index — outside the jit's
+        // The kernel constructs an array in its body (`iota`) and gathers
+        // through it — array construction is permanently outside the jit's
         // tape fragment — so the tier must decline per-kernel and the VM
         // must produce the result, bitwise-identical to a plain VM engine.
         let mut b = Builder::new();
@@ -1778,7 +1951,11 @@ mod tests {
             let y = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
                 let i = b.to_i64(es[0].into());
                 let im = b.irem(i, fir::ir::Atom::i64(3));
-                vec![b.index(ps[1], &[im]).into()]
+                let tbl = b.iota(fir::ir::Atom::i64(3));
+                let w = b.index(tbl, &[im]);
+                let wf = b.to_f64(w.into());
+                let g = b.index(ps[1], &[im]);
+                vec![b.fmul(wf, g.into())]
             });
             vec![b.sum(y).into()]
         });

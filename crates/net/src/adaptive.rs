@@ -1,0 +1,201 @@
+//! The adaptive batching controller: a feedback loop that retunes every
+//! serving lane's `max_batch_size` / `max_wait` online from live
+//! metrics.
+//!
+//! Static batch policies face a trade-off the operator must guess at
+//! deploy time: a long `max_wait` builds large batches (amortizing
+//! dispatch — the whole point of the serving tier) but adds queueing
+//! latency; a short one keeps latency low but starves the batcher at
+//! high load. The controller measures instead of guessing. Every
+//! [`AdaptiveConfig::interval`] it windows each function's metrics
+//! (`HistogramSnapshot::since`) and applies [`decide`]:
+//!
+//! * **p99 over the SLO** → halve `max_wait`: queueing is the knob that
+//!   hurts tail latency first.
+//! * **queue depth exceeds the batch bound** → double `max_batch_size`
+//!   (and stretch `max_wait` toward its cap): the server is falling
+//!   behind, so buy throughput with bigger batches.
+//! * **p99 far under the SLO** (≤ ¼) with traffic queued → grow
+//!   `max_wait` additively: latency headroom is traded for fuller
+//!   batches.
+//!
+//! Decisions are pure ([`decide`] is a function of the observation
+//! only), deterministic, and clamped to `[min_batch, max_batch] ×
+//! [min_wait, max_wait]`; the controller starts from the configured
+//! static policy, so in the worst case (a workload the feedback cannot
+//! help) it converges back to the static configuration rather than
+//! below it. Every adjustment is recorded as `net`/`adaptive_batch` and
+//! `net`/`adaptive_wait_us` trace counters and counted in the
+//! `adaptive_adjustments` metric.
+
+use std::time::Duration;
+
+use fir_serve::BatchPolicy;
+
+/// Bounds and targets for the feedback controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// How often the controller samples metrics and retunes.
+    pub interval: Duration,
+    /// Lower bound for `max_batch_size`.
+    pub min_batch: usize,
+    /// Upper bound for `max_batch_size`.
+    pub max_batch: usize,
+    /// Lower bound for `max_wait`.
+    pub min_wait: Duration,
+    /// Upper bound for `max_wait`.
+    pub max_wait: Duration,
+    /// The p99 latency objective the controller protects.
+    pub slo: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> AdaptiveConfig {
+        AdaptiveConfig {
+            interval: Duration::from_millis(50),
+            min_batch: 1,
+            max_batch: 256,
+            min_wait: Duration::ZERO,
+            max_wait: Duration::from_millis(5),
+            slo: Duration::from_millis(10),
+        }
+    }
+}
+
+/// One controller sampling window's worth of evidence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Observation {
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// The window's p99 latency in microseconds.
+    pub p99_us: u64,
+    /// Queue depth at the end of the window.
+    pub queue_depth: usize,
+}
+
+/// One feedback step: the next policy for a lane currently at `cur`,
+/// given the window `obs`. Pure and total — unit-testable without a
+/// server or a clock.
+pub fn decide(cur: BatchPolicy, obs: &Observation, cfg: &AdaptiveConfig) -> BatchPolicy {
+    let mut batch = cur.max_batch_size.clamp(cfg.min_batch, cfg.max_batch);
+    let mut wait = cur.max_wait.clamp(cfg.min_wait, cfg.max_wait);
+    let slo_us = cfg.slo.as_micros() as u64;
+
+    if obs.completed > 0 && obs.p99_us > slo_us {
+        // Tail latency violated: shrink the wait before anything else.
+        wait = (wait / 2).max(cfg.min_wait);
+    } else if obs.queue_depth > batch {
+        // Backlog beyond one batch: the dispatcher cannot keep up at
+        // this granularity — buy throughput with bigger cuts.
+        batch = (batch * 2).clamp(cfg.min_batch, cfg.max_batch);
+        wait = (wait + Duration::from_micros(100)).clamp(cfg.min_wait, cfg.max_wait);
+    } else if obs.completed > 0 && obs.queue_depth > 0 && obs.p99_us.saturating_mul(4) <= slo_us {
+        // Plenty of latency headroom and work still queuing: trade some
+        // of it for fuller batches.
+        wait = (wait + Duration::from_micros(50)).clamp(cfg.min_wait, cfg.max_wait);
+    }
+    BatchPolicy {
+        max_batch_size: batch,
+        max_wait: wait,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig::default()
+    }
+
+    fn pol(batch: usize, wait_us: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch_size: batch,
+            max_wait: Duration::from_micros(wait_us),
+        }
+    }
+
+    #[test]
+    fn slo_violation_halves_the_wait() {
+        let next = decide(
+            pol(16, 4000),
+            &Observation {
+                completed: 100,
+                p99_us: 50_000,
+                queue_depth: 3,
+            },
+            &cfg(),
+        );
+        assert_eq!(next.max_wait, Duration::from_micros(2000));
+        assert_eq!(next.max_batch_size, 16);
+        // Repeated violations drive the wait to the floor, not below.
+        let mut p = next;
+        for _ in 0..40 {
+            p = decide(
+                p,
+                &Observation {
+                    completed: 10,
+                    p99_us: 50_000,
+                    queue_depth: 0,
+                },
+                &cfg(),
+            );
+        }
+        assert_eq!(p.max_wait, cfg().min_wait);
+    }
+
+    #[test]
+    fn backlog_doubles_the_batch_up_to_the_cap() {
+        let mut p = pol(4, 100);
+        for _ in 0..10 {
+            p = decide(
+                p,
+                &Observation {
+                    completed: 50,
+                    p99_us: 500,
+                    queue_depth: 10_000,
+                },
+                &cfg(),
+            );
+        }
+        assert_eq!(p.max_batch_size, cfg().max_batch);
+        assert!(p.max_wait > Duration::from_micros(100));
+        assert!(p.max_wait <= cfg().max_wait);
+    }
+
+    #[test]
+    fn latency_headroom_grows_the_wait_additively() {
+        let next = decide(
+            pol(16, 200),
+            &Observation {
+                completed: 100,
+                p99_us: 100, // 100us << 10ms/4
+                queue_depth: 2,
+            },
+            &cfg(),
+        );
+        assert_eq!(next.max_wait, Duration::from_micros(250));
+        // An idle window (no completions, nothing queued) changes nothing.
+        let idle = decide(pol(16, 200), &Observation::default(), &cfg());
+        assert_eq!(idle, pol(16, 200));
+    }
+
+    #[test]
+    fn outputs_always_respect_the_configured_bounds() {
+        let c = cfg();
+        // Start way outside the bounds; one step must clamp back in.
+        let wild = decide(
+            pol(100_000, 10_000_000),
+            &Observation {
+                completed: 1,
+                p99_us: 1,
+                queue_depth: 0,
+            },
+            &c,
+        );
+        assert!(wild.max_batch_size <= c.max_batch);
+        assert!(wild.max_wait <= c.max_wait);
+        let tiny = decide(pol(0, 0), &Observation::default(), &c);
+        assert!(tiny.max_batch_size >= c.min_batch);
+    }
+}

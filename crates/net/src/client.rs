@@ -1,0 +1,198 @@
+//! A blocking client for the fir-net wire protocol.
+//!
+//! [`NetClient`] supports both a simple call-and-wait style
+//! ([`NetClient::call`], [`NetClient::grad`]) and explicit pipelining
+//! ([`NetClient::send_call`] … [`NetClient::recv`]): requests may be
+//! streamed ahead and responses arrive in request order, each tagged
+//! with the id the send returned.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use fir_api::GradOutput;
+use fir_serve::Transform;
+use interp::Value;
+
+use crate::error::NetError;
+use crate::wire::{
+    decode_response, encode_request, write_frame, CallRequest, FrameReader, Poll, WireRequest,
+    WireResponse,
+};
+
+/// A connection to a [`crate::NetServer`].
+pub struct NetClient {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+    next_id: u64,
+    tenant: String,
+}
+
+impl NetClient {
+    /// Connect to `addr` as the anonymous tenant.
+    pub fn connect(addr: &str) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(NetClient {
+            writer,
+            reader: FrameReader::new(stream),
+            next_id: 0,
+            tenant: String::new(),
+        })
+    }
+
+    /// Submit subsequent requests as `tenant`.
+    pub fn with_tenant(mut self, tenant: &str) -> NetClient {
+        self.tenant = tenant.to_string();
+        self
+    }
+
+    fn send(&mut self, req: &WireRequest) -> Result<u64, NetError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let payload = encode_request(id, req)?;
+        write_frame(&mut self.writer, &payload)?;
+        Ok(id)
+    }
+
+    fn call_request(
+        &self,
+        fn_key: &str,
+        transforms: &[Transform],
+        args: Vec<Value>,
+        deadline: Option<Duration>,
+    ) -> CallRequest {
+        CallRequest {
+            fn_key: fn_key.to_string(),
+            transforms: transforms.to_vec(),
+            args,
+            deadline_ms: deadline.map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+            tenant: self.tenant.clone(),
+        }
+    }
+
+    /// Pipeline a `call`; returns the request id to match in
+    /// [`NetClient::recv`].
+    pub fn send_call(
+        &mut self,
+        fn_key: &str,
+        transforms: &[Transform],
+        args: Vec<Value>,
+        deadline: Option<Duration>,
+    ) -> Result<u64, NetError> {
+        let req = WireRequest::Call(self.call_request(fn_key, transforms, args, deadline));
+        self.send(&req)
+    }
+
+    /// Pipeline a `grad`; returns the request id.
+    pub fn send_grad(
+        &mut self,
+        fn_key: &str,
+        transforms: &[Transform],
+        args: Vec<Value>,
+        deadline: Option<Duration>,
+    ) -> Result<u64, NetError> {
+        let req = WireRequest::Grad(self.call_request(fn_key, transforms, args, deadline));
+        self.send(&req)
+    }
+
+    /// Block for the next in-order response: `(request id, response)`.
+    /// Remote errors are returned as [`WireResponse::Error`] — only
+    /// transport/protocol failures are `Err`.
+    pub fn recv(&mut self) -> Result<(u64, WireResponse), NetError> {
+        loop {
+            match self.reader.poll()? {
+                Poll::Frame(payload) => {
+                    let (id, _trace, resp) = decode_response(&payload)?;
+                    return Ok((id, resp));
+                }
+                Poll::Idle => continue,
+                Poll::Eof => return Err(NetError::Io("server closed the connection".to_string())),
+            }
+        }
+    }
+
+    fn expect(&mut self, id: u64) -> Result<WireResponse, NetError> {
+        let (got, resp) = self.recv()?;
+        if got != id {
+            return Err(NetError::Protocol {
+                what: format!("response id {got} does not match request id {id}"),
+            });
+        }
+        if let WireResponse::Error(e) = resp {
+            return Err(NetError::Remote(e));
+        }
+        Ok(resp)
+    }
+
+    /// Execute `fn_key(args)` and wait for the results.
+    pub fn call(&mut self, fn_key: &str, args: Vec<Value>) -> Result<Vec<Value>, NetError> {
+        self.call_t(fn_key, &[], args)
+    }
+
+    /// Execute the transformed function and wait for the results.
+    pub fn call_t(
+        &mut self,
+        fn_key: &str,
+        transforms: &[Transform],
+        args: Vec<Value>,
+    ) -> Result<Vec<Value>, NetError> {
+        let id = self.send_call(fn_key, transforms, args, None)?;
+        match self.expect(id)? {
+            WireResponse::Values(vs) => Ok(vs),
+            other => Err(unexpected("values", &other)),
+        }
+    }
+
+    /// Evaluate the reverse-mode gradient and wait for it.
+    pub fn grad(&mut self, fn_key: &str, args: Vec<Value>) -> Result<GradOutput, NetError> {
+        self.grad_t(fn_key, &[], args)
+    }
+
+    /// Gradient of the transformed function.
+    pub fn grad_t(
+        &mut self,
+        fn_key: &str,
+        transforms: &[Transform],
+        args: Vec<Value>,
+    ) -> Result<GradOutput, NetError> {
+        let id = self.send_grad(fn_key, transforms, args, None)?;
+        match self.expect(id)? {
+            WireResponse::Grad { value, grads } => Ok(GradOutput { value, grads }),
+            other => Err(unexpected("grad", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        let id = self.send(&WireRequest::Ping)?;
+        match self.expect(id)? {
+            WireResponse::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Fetch the server's merged metrics snapshot as JSON.
+    pub fn metrics_json(&mut self) -> Result<String, NetError> {
+        let id = self.send(&WireRequest::Metrics)?;
+        match self.expect(id)? {
+            WireResponse::MetricsJson(m) => Ok(m),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Ask the server process to shut down; resolves once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        let id = self.send(&WireRequest::Shutdown)?;
+        match self.expect(id)? {
+            WireResponse::Bye => Ok(()),
+            other => Err(unexpected("bye", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &WireResponse) -> NetError {
+    NetError::Protocol {
+        what: format!("expected a {wanted} response, got {got:?}"),
+    }
+}

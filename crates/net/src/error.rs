@@ -1,0 +1,176 @@
+//! The network-tier error type and its wire representation.
+//!
+//! Everything that can go wrong between a socket and the serving runtime
+//! is a [`NetError`]. Server-side failures cross the wire as a typed
+//! `{code, message, tenant?}` object (see [`WireError`]); the client
+//! decodes them into [`NetError::Remote`] without ever panicking on
+//! hostile input.
+
+use std::fmt;
+
+use fir_serve::ServeError;
+
+/// A framing-layer failure: the byte stream could not be sliced into
+/// frames (as opposed to a well-framed but malformed payload, which is
+/// [`NetError::Protocol`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`crate::wire::MAX_FRAME`].
+    Oversized {
+        /// The advertised payload length.
+        len: usize,
+    },
+    /// The peer closed the connection in the middle of a frame.
+    Truncated,
+    /// The frame payload is not valid UTF-8.
+    BadUtf8,
+    /// The underlying socket failed.
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len } => write!(
+                f,
+                "frame of {len} bytes exceeds the {} byte limit",
+                crate::wire::MAX_FRAME
+            ),
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::BadUtf8 => write!(f, "frame payload is not valid UTF-8"),
+            FrameError::Io(what) => write!(f, "socket error: {what}"),
+        }
+    }
+}
+
+/// An error from the network serving tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// The byte stream could not be framed.
+    Frame(FrameError),
+    /// A well-framed payload that is not a valid request/response.
+    Protocol {
+        /// What was malformed.
+        what: String,
+    },
+    /// A socket operation failed outside framing.
+    Io(String),
+    /// A serving-layer error, surfaced locally (server side).
+    Serve(ServeError),
+    /// A typed error decoded off the wire (client side): the server's
+    /// `{code, message, tenant?}` object.
+    Remote(WireError),
+    /// The server could not be configured or started.
+    Config {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Frame(e) => write!(f, "framing: {e}"),
+            NetError::Protocol { what } => write!(f, "protocol: {what}"),
+            NetError::Io(what) => write!(f, "io: {what}"),
+            NetError::Serve(e) => write!(f, "serve: {e}"),
+            NetError::Remote(e) => write!(f, "remote {}: {}", e.code, e.message),
+            NetError::Config { what } => write!(f, "config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> NetError {
+        NetError::Frame(e)
+    }
+}
+
+impl From<ServeError> for NetError {
+    fn from(e: ServeError) -> NetError {
+        NetError::Serve(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e.to_string())
+    }
+}
+
+/// The wire form of a server-side error: a stable machine-readable
+/// `code`, a human-readable `message`, and — for tenant-quota sheds —
+/// the tenant that was throttled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// One of the stable codes in [`WireError::CODES`].
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// The tenant named by a quota/fairness shed.
+    pub tenant: Option<String>,
+}
+
+impl WireError {
+    /// Every code the server emits. Clients can match on these without
+    /// parsing messages.
+    pub const CODES: [&'static str; 9] = [
+        "overloaded",
+        "shutting_down",
+        "unknown_fn",
+        "deadline_exceeded",
+        "exec",
+        "config",
+        "internal",
+        "bad_frame",
+        "bad_request",
+    ];
+
+    /// The wire form of a [`ServeError`].
+    pub fn from_serve(e: &ServeError) -> WireError {
+        let code = match e {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::UnknownFn { .. } => "unknown_fn",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Exec(_) => "exec",
+            ServeError::Config { .. } => "config",
+            ServeError::Internal { .. } => "internal",
+        };
+        WireError {
+            code: code.to_string(),
+            message: e.to_string(),
+            tenant: None,
+        }
+    }
+
+    /// The wire form of a tenant-quota shed: `overloaded`, naming the
+    /// tenant whose quota or fairness share was exhausted.
+    pub fn quota(tenant: &str, why: &str) -> WireError {
+        WireError {
+            code: "overloaded".to_string(),
+            message: format!("tenant {tenant:?} {why}"),
+            tenant: Some(tenant.to_string()),
+        }
+    }
+
+    /// A malformed-request error (well-framed, bad payload).
+    pub fn bad_request(what: &str) -> WireError {
+        WireError {
+            code: "bad_request".to_string(),
+            message: what.to_string(),
+            tenant: None,
+        }
+    }
+
+    /// A framing-level error the server reports before closing.
+    pub fn bad_frame(what: &str) -> WireError {
+        WireError {
+            code: "bad_frame".to_string(),
+            message: what.to_string(),
+            tenant: None,
+        }
+    }
+}

@@ -1,0 +1,816 @@
+//! The wire protocol: length-prefixed JSON frames and the value codec.
+//!
+//! Every message is one *frame*: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Requests and responses are
+//! JSON objects; [`interp::Value`]s cross the wire in a typed envelope
+//! that round-trips **bitwise**:
+//!
+//! | value        | wire form                                                 |
+//! |--------------|-----------------------------------------------------------|
+//! | `F64(x)`     | `{"t":"f64","v":1.5}` (non-finite as `"NaN"`/`"Infinity"`/`"-Infinity"`) |
+//! | `I64(n)`     | `{"t":"i64","v":"-42"}` (string: full 64-bit precision)   |
+//! | `Bool(b)`    | `{"t":"bool","v":true}`                                   |
+//! | `Arr`        | `{"t":"arr","elem":"f64","shape":[2,3],"data":[...]}`     |
+//!
+//! Finite `f64`s are emitted with Rust's shortest round-trip `Display`
+//! and re-read by the strict [`fir_trace::json`] parser's correctly
+//! rounded `str::parse::<f64>` — so `encode(decode(x))` is bit-identical
+//! for every finite value (including `-0.0`). `i64`s ride as strings
+//! because JSON numbers only carry 53 bits of integer precision.
+//!
+//! Decoding never panics on hostile input: every malformed shape is a
+//! typed [`NetError::Protocol`] / [`FrameError`].
+
+use std::io::{Read, Write};
+
+use fir::types::ScalarType;
+use fir_serve::Transform;
+use interp::{Array, Value};
+
+use crate::error::{FrameError, NetError, WireError};
+
+use fir_trace::json::{self, Json};
+
+/// Frames larger than this are rejected before allocation — a hostile
+/// length prefix cannot make the server reserve gigabytes.
+pub const MAX_FRAME: usize = 32 << 20;
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// One step of [`FrameReader::poll`].
+#[derive(Debug)]
+pub enum Poll {
+    /// A complete frame's payload.
+    Frame(String),
+    /// The peer closed cleanly at a frame boundary.
+    Eof,
+    /// The read timed out mid-wait; buffered partial state is kept and
+    /// the next `poll` resumes where this one stopped.
+    Idle,
+}
+
+/// An incremental frame decoder over any [`Read`].
+///
+/// Survives read timeouts without losing stream sync: partial header or
+/// body bytes stay buffered across [`FrameReader::poll`] calls, so a
+/// server thread can interleave socket reads with shutdown checks.
+pub struct FrameReader<R> {
+    src: R,
+    header: [u8; 4],
+    header_got: usize,
+    body: Vec<u8>,
+    body_len: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(src: R) -> FrameReader<R> {
+        FrameReader {
+            src,
+            header: [0; 4],
+            header_got: 0,
+            body: Vec::new(),
+            body_len: 0,
+        }
+    }
+
+    /// Advance the decoder by at most one frame.
+    pub fn poll(&mut self) -> Result<Poll, FrameError> {
+        // Header phase: accumulate the 4-byte length prefix.
+        while self.header_got < 4 {
+            let mid_stream = self.header_got > 0;
+            match self.src.read(&mut self.header[self.header_got..]) {
+                Ok(0) => {
+                    return if mid_stream {
+                        Err(FrameError::Truncated)
+                    } else {
+                        Ok(Poll::Eof)
+                    };
+                }
+                Ok(n) => self.header_got += n,
+                Err(e) => return idle_or_io(e),
+            }
+            if self.header_got == 4 {
+                let len = u32::from_be_bytes(self.header) as usize;
+                if len > MAX_FRAME {
+                    return Err(FrameError::Oversized { len });
+                }
+                self.body_len = len;
+                self.body.clear();
+                self.body.reserve(len.min(MAX_FRAME));
+            }
+        }
+        // Body phase: accumulate `body_len` payload bytes.
+        while self.body.len() < self.body_len {
+            let mut chunk = [0u8; 8192];
+            let want = (self.body_len - self.body.len()).min(chunk.len());
+            match self.src.read(&mut chunk[..want]) {
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => self.body.extend_from_slice(&chunk[..n]),
+                Err(e) => return idle_or_io(e),
+            }
+        }
+        self.header_got = 0;
+        let payload = std::mem::take(&mut self.body);
+        match String::from_utf8(payload) {
+            Ok(s) => Ok(Poll::Frame(s)),
+            Err(_) => Err(FrameError::BadUtf8),
+        }
+    }
+}
+
+fn idle_or_io(e: std::io::Error) -> Result<Poll, FrameError> {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Ok(Poll::Idle),
+        std::io::ErrorKind::Interrupted => Ok(Poll::Idle),
+        _ => Err(FrameError::Io(e.to_string())),
+    }
+}
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame<W: Write>(dst: &mut W, payload: &str) -> Result<(), FrameError> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(FrameError::Oversized { len: bytes.len() });
+    }
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    dst.write_all(&frame)
+        .and_then(|()| dst.flush())
+        .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+// ---------------------------------------------------------------------
+// JSON building blocks
+// ---------------------------------------------------------------------
+
+/// Escape a string for a JSON string literal (same rules as the metrics
+/// exporter: `"`/`\` escaped, control characters as `\uXXXX`).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite f64 as a JSON number (shortest round-trip form), a
+/// non-finite one as its sentinel string.
+fn f64_json(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else if x.is_nan() {
+        "\"NaN\"".to_string()
+    } else if x > 0.0 {
+        "\"Infinity\"".to_string()
+    } else {
+        "\"-Infinity\"".to_string()
+    }
+}
+
+fn f64_from_json(j: &Json) -> Result<f64, String> {
+    match j {
+        Json::Num(x) => Ok(*x),
+        Json::Str(s) => match s.as_str() {
+            "NaN" => Ok(f64::NAN),
+            "Infinity" => Ok(f64::INFINITY),
+            "-Infinity" => Ok(f64::NEG_INFINITY),
+            other => Err(format!("not an f64 sentinel: {other:?}")),
+        },
+        other => Err(format!("expected f64, got {other:?}")),
+    }
+}
+
+fn i64_from_json(j: &Json) -> Result<i64, String> {
+    match j {
+        // Canonical form: a decimal string (full 64-bit precision).
+        Json::Str(s) => s.parse::<i64>().map_err(|e| format!("bad i64 {s:?}: {e}")),
+        // Tolerated: an integral JSON number within f64's exact range.
+        Json::Num(x) if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) => Ok(*x as i64),
+        other => Err(format!("expected i64, got {other:?}")),
+    }
+}
+
+fn u64_field(j: &Json, key: &str) -> Result<u64, String> {
+    let v = j.get(key).ok_or_else(|| format!("missing {key:?}"))?;
+    match v {
+        Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Ok(*x as u64),
+        other => Err(format!(
+            "{key:?} must be a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value codec
+// ---------------------------------------------------------------------
+
+/// Encode one [`Value`] into its wire envelope. Accumulator handles are
+/// process-local and never cross the wire.
+pub fn encode_value(v: &Value) -> Result<String, NetError> {
+    match v {
+        Value::F64(x) => Ok(format!("{{\"t\":\"f64\",\"v\":{}}}", f64_json(*x))),
+        Value::I64(n) => Ok(format!("{{\"t\":\"i64\",\"v\":\"{n}\"}}")),
+        Value::Bool(b) => Ok(format!("{{\"t\":\"bool\",\"v\":{b}}}")),
+        Value::Arr(a) => {
+            let shape: Vec<String> = a.shape.iter().map(|d| d.to_string()).collect();
+            let (elem, data) = match a.elem() {
+                ScalarType::F64 => (
+                    "f64",
+                    a.f64s().iter().map(|x| f64_json(*x)).collect::<Vec<_>>(),
+                ),
+                ScalarType::I64 => ("i64", a.i64s().iter().map(|n| format!("\"{n}\"")).collect()),
+                ScalarType::Bool => ("bool", a.bools().iter().map(|b| b.to_string()).collect()),
+            };
+            Ok(format!(
+                "{{\"t\":\"arr\",\"elem\":\"{elem}\",\"shape\":[{}],\"data\":[{}]}}",
+                shape.join(","),
+                data.join(",")
+            ))
+        }
+        Value::Acc(_) => Err(NetError::Protocol {
+            what: "accumulator handles cannot cross the wire".to_string(),
+        }),
+    }
+}
+
+/// Decode one wire envelope back into a [`Value`]. Every malformed shape
+/// — wrong tag, shape/data mismatch, absurd dimensions — is a typed
+/// error, never a panic.
+pub fn decode_value(j: &Json) -> Result<Value, String> {
+    let t = j
+        .get("t")
+        .and_then(Json::as_str)
+        .ok_or("value missing \"t\" tag")?;
+    match t {
+        "f64" => Ok(Value::F64(f64_from_json(
+            j.get("v").ok_or("f64 missing \"v\"")?,
+        )?)),
+        "i64" => Ok(Value::I64(i64_from_json(
+            j.get("v").ok_or("i64 missing \"v\"")?,
+        )?)),
+        "bool" => match j.get("v") {
+            Some(Json::Bool(b)) => Ok(Value::Bool(*b)),
+            other => Err(format!("expected bool \"v\", got {other:?}")),
+        },
+        "arr" => {
+            let shape_j = j
+                .get("shape")
+                .and_then(Json::as_arr)
+                .ok_or("arr missing \"shape\" array")?;
+            let mut shape = Vec::with_capacity(shape_j.len());
+            let mut product = 1usize;
+            for d in shape_j {
+                let d = match d {
+                    Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= usize::MAX as f64 => {
+                        *x as usize
+                    }
+                    other => return Err(format!("bad shape dimension {other:?}")),
+                };
+                product = product
+                    .checked_mul(d)
+                    .ok_or("shape product overflows usize")?;
+                shape.push(d);
+            }
+            let data = j
+                .get("data")
+                .and_then(Json::as_arr)
+                .ok_or("arr missing \"data\" array")?;
+            if data.len() != product {
+                return Err(format!(
+                    "shape {shape:?} wants {product} elements, data has {}",
+                    data.len()
+                ));
+            }
+            let elem = j
+                .get("elem")
+                .and_then(Json::as_str)
+                .ok_or("arr missing \"elem\"")?;
+            match elem {
+                "f64" => {
+                    let xs: Result<Vec<f64>, String> = data.iter().map(f64_from_json).collect();
+                    Ok(Value::Arr(Array::from_f64(shape, xs?)))
+                }
+                "i64" => {
+                    let ns: Result<Vec<i64>, String> = data.iter().map(i64_from_json).collect();
+                    Ok(Value::Arr(Array::from_i64(shape, ns?)))
+                }
+                "bool" => {
+                    let bs: Result<Vec<bool>, String> = data
+                        .iter()
+                        .map(|b| match b {
+                            Json::Bool(b) => Ok(*b),
+                            other => Err(format!("expected bool element, got {other:?}")),
+                        })
+                        .collect();
+                    Ok(Value::Arr(Array::from_bool(shape, bs?)))
+                }
+                other => Err(format!("unknown element type {other:?}")),
+            }
+        }
+        other => Err(format!("unknown value tag {other:?}")),
+    }
+}
+
+fn transform_name(t: Transform) -> &'static str {
+    match t {
+        Transform::Vjp => "vjp",
+        Transform::Jvp => "jvp",
+        Transform::Vmap => "vmap",
+    }
+}
+
+fn transform_from(s: &str) -> Result<Transform, String> {
+    match s {
+        "vjp" => Ok(Transform::Vjp),
+        "jvp" => Ok(Transform::Jvp),
+        "vmap" => Ok(Transform::Vmap),
+        other => Err(format!("unknown transform {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// The payload of a `call` / `grad` request.
+#[derive(Debug, Clone)]
+pub struct CallRequest {
+    /// The registered function key.
+    pub fn_key: String,
+    /// The transform stack, left to right.
+    pub transforms: Vec<Transform>,
+    /// Arguments for the (transformed) function.
+    pub args: Vec<Value>,
+    /// Give up if not executing within this many milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The submitting tenant (empty: anonymous).
+    pub tenant: String,
+}
+
+/// Every request a client can send.
+#[derive(Debug, Clone)]
+pub enum WireRequest {
+    /// Execute the (transformed) function.
+    Call(CallRequest),
+    /// Reverse-mode gradient of the (transformed) function.
+    Grad(CallRequest),
+    /// Liveness probe.
+    Ping,
+    /// Fetch the merged server metrics as JSON.
+    Metrics,
+    /// Ask the server process to shut down gracefully.
+    Shutdown,
+}
+
+/// Encode a request frame payload.
+pub fn encode_request(id: u64, req: &WireRequest) -> Result<String, NetError> {
+    let op = match req {
+        WireRequest::Call(_) => "call",
+        WireRequest::Grad(_) => "grad",
+        WireRequest::Ping => "ping",
+        WireRequest::Metrics => "metrics",
+        WireRequest::Shutdown => "shutdown",
+    };
+    let mut out = format!("{{\"op\":\"{op}\",\"id\":{id}");
+    if let WireRequest::Call(c) | WireRequest::Grad(c) = req {
+        out.push_str(&format!(",\"fn\":\"{}\"", escape(&c.fn_key)));
+        if !c.transforms.is_empty() {
+            let names: Vec<String> = c
+                .transforms
+                .iter()
+                .map(|t| format!("\"{}\"", transform_name(*t)))
+                .collect();
+            out.push_str(&format!(",\"transforms\":[{}]", names.join(",")));
+        }
+        let args: Result<Vec<String>, NetError> = c.args.iter().map(encode_value).collect();
+        out.push_str(&format!(",\"args\":[{}]", args?.join(",")));
+        if let Some(ms) = c.deadline_ms {
+            out.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        if !c.tenant.is_empty() {
+            out.push_str(&format!(",\"tenant\":\"{}\"", escape(&c.tenant)));
+        }
+    }
+    out.push('}');
+    Ok(out)
+}
+
+/// Decode a request frame payload. The request id is extracted
+/// best-effort first (0 if absent/garbled) so even a malformed request
+/// can be answered with the id the client is waiting on.
+pub fn decode_request(payload: &str) -> (u64, Result<WireRequest, NetError>) {
+    let j = match json::parse(payload) {
+        Ok(j) => j,
+        Err(e) => {
+            return (
+                0,
+                Err(NetError::Protocol {
+                    what: format!("request is not JSON: {e}"),
+                }),
+            )
+        }
+    };
+    let id = u64_field(&j, "id").unwrap_or(0);
+    (id, decode_request_body(&j))
+}
+
+fn decode_request_body(j: &Json) -> Result<WireRequest, NetError> {
+    let proto = |what: String| NetError::Protocol { what };
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| proto("request missing \"op\"".to_string()))?;
+    match op {
+        "ping" => Ok(WireRequest::Ping),
+        "metrics" => Ok(WireRequest::Metrics),
+        "shutdown" => Ok(WireRequest::Shutdown),
+        "call" | "grad" => {
+            let fn_key = j
+                .get("fn")
+                .and_then(Json::as_str)
+                .ok_or_else(|| proto(format!("{op} request missing \"fn\"")))?
+                .to_string();
+            let mut transforms = Vec::new();
+            if let Some(ts) = j.get("transforms") {
+                let ts = ts
+                    .as_arr()
+                    .ok_or_else(|| proto("\"transforms\" must be an array".to_string()))?;
+                for t in ts {
+                    let name = t
+                        .as_str()
+                        .ok_or_else(|| proto("transform names must be strings".to_string()))?;
+                    transforms.push(transform_from(name).map_err(proto)?);
+                }
+            }
+            let args_j = j
+                .get("args")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| proto(format!("{op} request missing \"args\" array")))?;
+            let mut args = Vec::with_capacity(args_j.len());
+            for (i, a) in args_j.iter().enumerate() {
+                args.push(decode_value(a).map_err(|e| proto(format!("args[{i}]: {e}")))?);
+            }
+            let deadline_ms = match j.get("deadline_ms") {
+                None => None,
+                Some(_) => Some(u64_field(j, "deadline_ms").map_err(proto)?),
+            };
+            let tenant = j
+                .get("tenant")
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| proto("\"tenant\" must be a string".to_string()))
+                })
+                .transpose()?
+                .unwrap_or_default();
+            let call = CallRequest {
+                fn_key,
+                transforms,
+                args,
+                deadline_ms,
+                tenant,
+            };
+            Ok(if op == "call" {
+                WireRequest::Call(call)
+            } else {
+                WireRequest::Grad(call)
+            })
+        }
+        other => Err(proto(format!("unknown op {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// Every response the server can send. Paired with the request `id` and
+/// a per-request trace id on the wire.
+#[derive(Debug, Clone)]
+pub enum WireResponse {
+    /// A `call`'s results.
+    Values(Vec<Value>),
+    /// A `grad`'s primal values and adjoints.
+    Grad {
+        /// The primal results.
+        value: Vec<Value>,
+        /// The adjoints, in parameter order.
+        grads: Vec<Value>,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// Answer to `metrics`: the merged snapshot, pre-rendered as JSON.
+    MetricsJson(String),
+    /// Answer to `shutdown`: acknowledged, the server is draining.
+    Bye,
+    /// A typed failure.
+    Error(WireError),
+}
+
+/// Encode a response frame payload.
+pub fn encode_response(id: u64, trace: u64, resp: &WireResponse) -> Result<String, NetError> {
+    let body = match resp {
+        WireResponse::Values(vs) => {
+            let vs: Result<Vec<String>, NetError> = vs.iter().map(encode_value).collect();
+            format!("\"ok\":{{\"values\":[{}]}}", vs?.join(","))
+        }
+        WireResponse::Grad { value, grads } => {
+            let vs: Result<Vec<String>, NetError> = value.iter().map(encode_value).collect();
+            let gs: Result<Vec<String>, NetError> = grads.iter().map(encode_value).collect();
+            format!(
+                "\"ok\":{{\"value\":[{}],\"grads\":[{}]}}",
+                vs?.join(","),
+                gs?.join(",")
+            )
+        }
+        WireResponse::Pong => "\"ok\":{\"pong\":true}".to_string(),
+        WireResponse::MetricsJson(m) => format!("\"ok\":{{\"metrics\":\"{}\"}}", escape(m)),
+        WireResponse::Bye => "\"ok\":{\"bye\":true}".to_string(),
+        WireResponse::Error(e) => {
+            let mut err = format!(
+                "\"err\":{{\"code\":\"{}\",\"message\":\"{}\"",
+                escape(&e.code),
+                escape(&e.message)
+            );
+            if let Some(t) = &e.tenant {
+                err.push_str(&format!(",\"tenant\":\"{}\"", escape(t)));
+            }
+            err.push('}');
+            err
+        }
+    };
+    Ok(format!("{{\"id\":{id},\"trace\":{trace},{body}}}"))
+}
+
+/// Decode a response frame payload into `(id, trace, response)`.
+pub fn decode_response(payload: &str) -> Result<(u64, u64, WireResponse), NetError> {
+    let proto = |what: String| NetError::Protocol { what };
+    let j = json::parse(payload).map_err(|e| proto(format!("response is not JSON: {e}")))?;
+    let id = u64_field(&j, "id").map_err(proto)?;
+    let trace = u64_field(&j, "trace").unwrap_or(0);
+    if let Some(err) = j.get("err") {
+        let code = err
+            .get("code")
+            .and_then(Json::as_str)
+            .ok_or_else(|| proto("error missing \"code\"".to_string()))?
+            .to_string();
+        let message = err
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let tenant = err.get("tenant").and_then(Json::as_str).map(str::to_string);
+        return Ok((
+            id,
+            trace,
+            WireResponse::Error(WireError {
+                code,
+                message,
+                tenant,
+            }),
+        ));
+    }
+    let ok = j
+        .get("ok")
+        .ok_or_else(|| proto("response has neither \"ok\" nor \"err\"".to_string()))?;
+    let resp = if let Some(vs) = ok.get("values").and_then(Json::as_arr) {
+        let vs: Result<Vec<Value>, String> = vs.iter().map(decode_value).collect();
+        WireResponse::Values(vs.map_err(proto)?)
+    } else if let Some(vs) = ok.get("value").and_then(Json::as_arr) {
+        let gs = ok
+            .get("grads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| proto("grad response missing \"grads\"".to_string()))?;
+        let value: Result<Vec<Value>, String> = vs.iter().map(decode_value).collect();
+        let grads: Result<Vec<Value>, String> = gs.iter().map(decode_value).collect();
+        WireResponse::Grad {
+            value: value.map_err(proto)?,
+            grads: grads.map_err(proto)?,
+        }
+    } else if ok.get("pong").is_some() {
+        WireResponse::Pong
+    } else if let Some(m) = ok.get("metrics").and_then(Json::as_str) {
+        WireResponse::MetricsJson(m.to_string())
+    } else if ok.get("bye").is_some() {
+        WireResponse::Bye
+    } else {
+        return Err(proto("unrecognized \"ok\" payload".to_string()));
+    };
+    Ok((id, trace, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: &Value) -> Value {
+        let enc = encode_value(v).unwrap();
+        let j = json::parse(&enc).unwrap();
+        decode_value(&j).unwrap()
+    }
+
+    #[test]
+    fn scalars_roundtrip_bitwise() {
+        for x in [
+            0.0,
+            -0.0,
+            1.5,
+            -1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::EPSILON,
+            1e-300,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let got = roundtrip_value(&Value::F64(x));
+            assert_eq!(got.as_f64().to_bits(), x.to_bits(), "x = {x}");
+        }
+        for n in [0i64, -1, i64::MAX, i64::MIN, 1 << 60] {
+            assert_eq!(roundtrip_value(&Value::I64(n)).as_i64(), n);
+        }
+        assert!(roundtrip_value(&Value::Bool(true)).as_bool());
+    }
+
+    #[test]
+    fn arrays_roundtrip_with_shape_and_type() {
+        let a = Value::Arr(Array::from_f64(
+            vec![2, 3],
+            vec![1.0, -0.0, f64::NAN, 4.5, 1e-300, f64::INFINITY],
+        ));
+        let got = roundtrip_value(&a);
+        let (a, g) = (a.as_arr(), got.as_arr());
+        assert_eq!(a.shape, g.shape);
+        for (x, y) in a.f64s().iter().zip(g.f64s()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let b = Value::Arr(Array::from_i64(vec![3], vec![i64::MIN, 0, i64::MAX]));
+        assert_eq!(roundtrip_value(&b).as_arr().i64s(), b.as_arr().i64s());
+        let c = Value::Arr(Array::from_bool(vec![2], vec![true, false]));
+        assert_eq!(roundtrip_value(&c).as_arr().bools(), c.as_arr().bools());
+        // Rank-0 and empty arrays survive too.
+        let d = Value::Arr(Array::from_f64(vec![], vec![2.25]));
+        assert_eq!(roundtrip_value(&d).as_arr().f64s(), &[2.25]);
+        let e = Value::Arr(Array::from_f64(vec![0], vec![]));
+        assert_eq!(roundtrip_value(&e).as_arr().shape, vec![0]);
+    }
+
+    #[test]
+    fn hostile_values_are_typed_errors_not_panics() {
+        for bad in [
+            "{\"t\":\"arr\",\"elem\":\"f64\",\"shape\":[2,3],\"data\":[1]}",
+            "{\"t\":\"arr\",\"elem\":\"f64\",\"shape\":[-1],\"data\":[]}",
+            "{\"t\":\"arr\",\"elem\":\"f64\",\"shape\":[1e300,1e300],\"data\":[]}",
+            "{\"t\":\"arr\",\"elem\":\"wat\",\"shape\":[0],\"data\":[]}",
+            "{\"t\":\"f64\",\"v\":\"nan\"}",
+            "{\"t\":\"i64\",\"v\":1.5}",
+            "{\"t\":\"i64\",\"v\":\"99999999999999999999999\"}",
+            "{\"t\":\"bool\",\"v\":\"true\"}",
+            "{\"t\":\"quux\"}",
+            "{}",
+            "[]",
+        ] {
+            let j = json::parse(bad).unwrap();
+            assert!(decode_value(&j).is_err(), "accepted hostile value {bad}");
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let req = WireRequest::Call(CallRequest {
+            fn_key: "gmm \"v1\"".to_string(),
+            transforms: vec![Transform::Vjp, Transform::Vmap],
+            args: vec![Value::F64(1.5), Value::I64(-7)],
+            deadline_ms: Some(250),
+            tenant: "pro\\tenant".to_string(),
+        });
+        let enc = encode_request(42, &req).unwrap();
+        let (id, got) = decode_request(&enc);
+        assert_eq!(id, 42);
+        // Value has no PartialEq (NaN); compare the re-encoded wire form.
+        assert_eq!(encode_request(42, &got.unwrap()).unwrap(), enc);
+        for simple in [
+            WireRequest::Ping,
+            WireRequest::Metrics,
+            WireRequest::Shutdown,
+        ] {
+            let enc = encode_request(7, &simple).unwrap();
+            let (id, got) = decode_request(&enc);
+            assert_eq!(id, 7);
+            assert_eq!(encode_request(7, &got.unwrap()).unwrap(), enc);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = vec![
+            WireResponse::Values(vec![Value::F64(f64::NAN), Value::Bool(false)]),
+            WireResponse::Grad {
+                value: vec![Value::F64(3.0)],
+                grads: vec![Value::Arr(Array::vec_f64(vec![1.0, -0.0]))],
+            },
+            WireResponse::Pong,
+            WireResponse::MetricsJson("{\"functions\": []}".to_string()),
+            WireResponse::Bye,
+            WireResponse::Error(WireError::quota("free", "rate limit exhausted")),
+            WireResponse::Error(WireError::bad_request("args[0]: unknown value tag")),
+        ];
+        for resp in cases {
+            let enc = encode_response(9, 1234, &resp).unwrap();
+            let (id, trace, got) = decode_response(&enc).unwrap();
+            assert_eq!((id, trace), (9, 1234));
+            // NaN != NaN under PartialEq; compare the re-encoded form.
+            assert_eq!(
+                encode_response(9, 1234, &got).unwrap(),
+                enc,
+                "wire form must be stable"
+            );
+        }
+    }
+
+    #[test]
+    fn framing_rejects_hostile_prefixes() {
+        // Oversized length prefix: rejected before any allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_be_bytes());
+        huge.extend_from_slice(b"xxxx");
+        let mut r = FrameReader::new(&huge[..]);
+        assert!(matches!(r.poll(), Err(FrameError::Oversized { .. })));
+
+        // Truncated frame: the stream ends mid-body.
+        let mut cut = Vec::new();
+        cut.extend_from_slice(&(100u32).to_be_bytes());
+        cut.extend_from_slice(b"only a few bytes");
+        let mut r = FrameReader::new(&cut[..]);
+        assert!(matches!(r.poll(), Err(FrameError::Truncated)));
+
+        // Truncated header.
+        let mut r = FrameReader::new(&[0u8, 0][..]);
+        assert!(matches!(r.poll(), Err(FrameError::Truncated)));
+
+        // Bad UTF-8 payload.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(2u32).to_be_bytes());
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = FrameReader::new(&bad[..]);
+        assert!(matches!(r.poll(), Err(FrameError::BadUtf8)));
+
+        // Clean EOF at a frame boundary.
+        let mut ok = Vec::new();
+        write_frame(&mut ok, "{}").unwrap();
+        let mut r = FrameReader::new(&ok[..]);
+        assert!(matches!(r.poll(), Ok(Poll::Frame(s)) if s == "{}"));
+        assert!(matches!(r.poll(), Ok(Poll::Eof)));
+    }
+
+    #[test]
+    fn frames_survive_interleaved_partial_reads() {
+        // A reader that yields one byte at a time, interleaving WouldBlock
+        // "timeouts" — the decoder must resynchronize across Idle polls.
+        struct Trickle {
+            data: Vec<u8>,
+            pos: usize,
+            tick: bool,
+        }
+        impl std::io::Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.tick = !self.tick;
+                if self.tick {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut data = Vec::new();
+        write_frame(&mut data, "first frame").unwrap();
+        write_frame(&mut data, "second ✓").unwrap();
+        let mut r = FrameReader::new(Trickle {
+            data,
+            pos: 0,
+            tick: false,
+        });
+        let mut frames = Vec::new();
+        loop {
+            match r.poll().unwrap() {
+                Poll::Frame(s) => frames.push(s),
+                Poll::Eof => break,
+                Poll::Idle => continue,
+            }
+        }
+        assert_eq!(frames, vec!["first frame", "second ✓"]);
+    }
+}

@@ -81,6 +81,8 @@ pub mod ticket;
 
 pub use error::ServeError;
 pub use fir_api::Transform;
-pub use metrics::{FnMetricsSnapshot, HistogramSnapshot, MetricsSnapshot};
-pub use server::{BatchPolicy, Request, Server, ServerBuilder};
+pub use metrics::{
+    FnMetricsSnapshot, HistogramSnapshot, MetricsSnapshot, NetStatsSnapshot, TenantCountersSnapshot,
+};
+pub use server::{BatchPolicy, Request, RequestKind, Server, ServerBuilder};
 pub use ticket::Ticket;

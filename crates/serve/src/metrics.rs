@@ -137,6 +137,32 @@ impl HistogramSnapshot {
             .map(|(i, n)| (1u64 << i, *n))
             .collect()
     }
+
+    /// The histogram of only the values recorded *after* `earlier` was
+    /// taken (both snapshots of the same monotonically growing
+    /// histogram) — how a controller windows cumulative counters into a
+    /// recent-interval view. `max` is carried from `self` (the underlying
+    /// histogram only tracks the all-time max), so windowed quantiles
+    /// stay conservative.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Combine two snapshots bucketwise (e.g. the same function's
+    /// latency across engine shards).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            max: self.max.max(other.max),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -203,6 +229,41 @@ pub struct FnMetricsSnapshot {
     pub throughput_rps: f64,
 }
 
+/// Network-tier counters: filled in by the `fir-net` front-end, `None`
+/// for in-process servers.
+#[derive(Debug, Clone, Default)]
+pub struct NetStatsSnapshot {
+    /// Connections the listener has accepted.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Connections that have closed (either side).
+    pub connections_closed: u64,
+    /// Request frames decoded off the wire.
+    pub frames_received: u64,
+    /// Response frames written to the wire.
+    pub frames_sent: u64,
+    /// Frames or requests rejected with a protocol-level error.
+    pub protocol_errors: u64,
+    /// Policy changes applied by the adaptive batching controller.
+    pub adaptive_adjustments: u64,
+    /// One entry per tenant that has submitted at least one request.
+    pub tenants: Vec<TenantCountersSnapshot>,
+}
+
+/// One tenant's admission counters.
+#[derive(Debug, Clone, Default)]
+pub struct TenantCountersSnapshot {
+    /// The tenant name from the wire (empty: anonymous).
+    pub tenant: String,
+    /// Requests admitted past the tenant's quota.
+    pub admitted: u64,
+    /// Requests shed by the tenant's quota or fairness cap.
+    pub shed: u64,
+    /// Requests admitted but not yet responded to.
+    pub in_flight: u64,
+}
+
 /// A machine-readable snapshot of a whole server's metrics.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -213,6 +274,8 @@ pub struct MetricsSnapshot {
     pub pool: PoolUtilization,
     /// One entry per registered function, in registration order.
     pub fns: Vec<FnMetricsSnapshot>,
+    /// Network-tier counters (`None` unless served through `fir-net`).
+    pub net: Option<NetStatsSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -265,7 +328,36 @@ impl MetricsSnapshot {
             out.push('}');
             out.push_str(if i + 1 < self.fns.len() { ",\n" } else { "\n" });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if let Some(net) = &self.net {
+            out.push_str(",\n  \"net\": {");
+            for (k, v) in [
+                ("connections_accepted", net.connections_accepted),
+                ("connections_active", net.connections_active),
+                ("connections_closed", net.connections_closed),
+                ("frames_received", net.frames_received),
+                ("frames_sent", net.frames_sent),
+                ("protocol_errors", net.protocol_errors),
+                ("adaptive_adjustments", net.adaptive_adjustments),
+            ] {
+                out.push_str(&format!("\"{k}\": {v}, "));
+            }
+            out.push_str("\"tenants\": [");
+            for (i, t) in net.tenants.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"tenant\": \"{}\", \"admitted\": {}, \"shed\": {}, \"in_flight\": {}}}",
+                    esc(&t.tenant),
+                    t.admitted,
+                    t.shed,
+                    t.in_flight
+                ));
+                if i + 1 < net.tenants.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -331,6 +423,7 @@ mod tests {
                 queued_jobs: 5,
             },
             fns: vec![m.snapshot("gmm \"grad\"", Duration::from_secs(2))],
+            net: None,
         };
         let json = snap.to_json();
         fir_trace::json::validate(&json).unwrap();
@@ -353,6 +446,7 @@ mod tests {
             uptime: Duration::from_secs(1),
             pool: PoolUtilization::default(),
             fns: vec![FnMetrics::default().snapshot(&hostile, Duration::from_secs(1))],
+            net: None,
         };
         let parsed = fir_trace::json::parse(&snap.to_json()).unwrap();
         let fns = parsed.get("functions").unwrap().as_arr().unwrap();
@@ -360,6 +454,70 @@ mod tests {
         // The escaper itself, spot-checked.
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
         assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn json_escaping_survives_hostile_tenant_names() {
+        // Same hostility budget as the fn-key test, aimed at the net
+        // section: the tenant name comes straight off the wire, so it
+        // must round-trip the JSON export byte for byte.
+        let hostile: String = ('\u{0}'..='\u{1f}')
+            .chain("\"\\/ t€nant 日本語 \u{7f}".chars())
+            .collect();
+        let snap = MetricsSnapshot {
+            uptime: Duration::from_secs(1),
+            pool: PoolUtilization::default(),
+            fns: vec![FnMetrics::default().snapshot("f", Duration::from_secs(1))],
+            net: Some(NetStatsSnapshot {
+                connections_accepted: 3,
+                frames_received: 7,
+                tenants: vec![
+                    TenantCountersSnapshot {
+                        tenant: hostile.clone(),
+                        admitted: 5,
+                        shed: 2,
+                        in_flight: 1,
+                    },
+                    TenantCountersSnapshot::default(),
+                ],
+                ..Default::default()
+            }),
+        };
+        let json = snap.to_json();
+        let parsed = fir_trace::json::parse(&json).unwrap();
+        let net = parsed.get("net").unwrap();
+        assert_eq!(net.get("connections_accepted").unwrap().as_num(), Some(3.0));
+        let tenants = net.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(
+            tenants[0].get("tenant").unwrap().as_str(),
+            Some(hostile.as_str())
+        );
+        assert_eq!(tenants[0].get("shed").unwrap().as_num(), Some(2.0));
+        assert_eq!(tenants[1].get("tenant").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn histogram_windows_and_merges() {
+        let h = Histogram::default();
+        for v in [1u64, 10, 100] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [1000u64, 1000, 1000] {
+            h.record(v);
+        }
+        let later = h.snapshot();
+        // The window holds only the post-`earlier` records.
+        let win = later.since(&earlier);
+        assert_eq!((win.count, win.sum), (3, 3000));
+        assert_eq!(win.quantile(0.5), 1024.min(win.max));
+        // since(self) is empty; merging the window back reproduces the
+        // cumulative snapshot's totals.
+        let empty = later.since(&later);
+        assert_eq!((empty.count, empty.sum), (0, 0));
+        assert_eq!(empty.quantile(0.99), 0);
+        let merged = earlier.merge(&win);
+        assert_eq!((merged.count, merged.sum, merged.max), (6, 3111, 1000));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //!    and returns the final metrics snapshot.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -74,6 +74,50 @@ impl BatchPolicy {
         BatchPolicy {
             max_batch_size: 1,
             max_wait: Duration::ZERO,
+        }
+    }
+}
+
+/// The two request kinds a server accepts. Together with the transform
+/// stack, the kind names a batching *lane* — the unit per-lane policy
+/// tuning ([`Server::set_lane_policy`]) operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Primal calls ([`Server::submit`]).
+    Call,
+    /// Reverse-mode gradients ([`Server::submit_grad`]).
+    Grad,
+}
+
+/// A batching policy whose knobs can be retuned while the server runs:
+/// writers (`set_policy` / an adaptive controller) store through the
+/// atomics, the dispatcher reads them lock-free at every cut.
+struct DynPolicy {
+    max_batch: AtomicUsize,
+    max_wait_ns: AtomicU64,
+}
+
+impl DynPolicy {
+    fn new(p: BatchPolicy) -> DynPolicy {
+        let d = DynPolicy {
+            max_batch: AtomicUsize::new(1),
+            max_wait_ns: AtomicU64::new(0),
+        };
+        d.set(p);
+        d
+    }
+
+    fn set(&self, p: BatchPolicy) {
+        self.max_batch
+            .store(p.max_batch_size.max(1), Ordering::Relaxed);
+        let ns = u64::try_from(p.max_wait.as_nanos()).unwrap_or(u64::MAX);
+        self.max_wait_ns.store(ns, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> BatchPolicy {
+        BatchPolicy {
+            max_batch_size: self.max_batch.load(Ordering::Relaxed),
+            max_wait: Duration::from_nanos(self.max_wait_ns.load(Ordering::Relaxed)),
         }
     }
 }
@@ -161,6 +205,7 @@ pub struct ServerBuilder {
     default_policy: BatchPolicy,
     queue_capacity: usize,
     fns: Vec<(String, Fun, Option<BatchPolicy>)>,
+    warmup: Vec<Vec<Transform>>,
 }
 
 impl ServerBuilder {
@@ -172,7 +217,20 @@ impl ServerBuilder {
             default_policy: BatchPolicy::default(),
             queue_capacity: 1024,
             fns: Vec::new(),
+            warmup: Vec::new(),
         }
+    }
+
+    /// Precompile the given transform stacks for **every** registered
+    /// function during [`ServerBuilder::build`], before any traffic is
+    /// admitted — so the first request of each `(fn, stack)` lane is a
+    /// cache hit instead of paying derivation + compilation inline. Each
+    /// warmed lane is recorded as a `serve`/`warmup` trace span. Stacks
+    /// that do not apply to a function are skipped (their requests will
+    /// report the derivation error at execution, as without warmup).
+    pub fn warmup(mut self, stacks: &[&[Transform]]) -> ServerBuilder {
+        self.warmup.extend(stacks.iter().map(|s| s.to_vec()));
+        self
     }
 
     /// The batching policy for functions registered without their own.
@@ -225,11 +283,19 @@ impl ServerBuilder {
             // without a usable vjp still serve primal calls; their
             // gradient requests resolve with the derivation error.
             let _ = cf.vjp();
+            // Requested warmup lanes: compile each stack now, before the
+            // server exists and can admit traffic.
+            for stack in &self.warmup {
+                let _sp = fir_trace::span("serve", "warmup");
+                let _ = cf.transform(stack);
+            }
             index.insert(key.clone(), fns.len());
             fns.push(FnEntry {
                 key,
                 cf,
-                policy: policy.unwrap_or(self.default_policy),
+                policy: DynPolicy::new(policy.unwrap_or(self.default_policy)),
+                lanes: Mutex::new(Vec::new()),
+                seen_lanes: Mutex::new(Vec::new()),
                 capacity: self.queue_capacity,
                 metrics: FnMetrics::default(),
             });
@@ -240,6 +306,7 @@ impl ServerBuilder {
             index,
             queues: Mutex::new(Queues {
                 shutdown: false,
+                drain_deadline: None,
                 qs: (0..nfns).map(|_| VecDeque::new()).collect(),
             }),
             work_cv: Condvar::new(),
@@ -268,12 +335,64 @@ impl ServerBuilder {
 // Server internals
 // ---------------------------------------------------------------------
 
+/// Identifies one batching lane: the request kind plus its transform
+/// stack.
+type LaneKey = (RequestKind, Vec<Transform>);
+
 struct FnEntry {
     key: String,
     cf: CompiledFn,
-    policy: BatchPolicy,
+    /// The function-level policy: the default for every lane without its
+    /// own override. Atomic so a live server can be retuned.
+    policy: DynPolicy,
+    /// Per-`(kind, stack)` policy overrides, installed by
+    /// [`Server::set_lane_policy`]. Lanes without an entry follow
+    /// `policy`.
+    lanes: Mutex<Vec<(LaneKey, Arc<DynPolicy>)>>,
+    /// Every `(kind, stack)` lane that has carried at least one request —
+    /// what an external policy controller enumerates to tune the server.
+    seen_lanes: Mutex<Vec<(RequestKind, Vec<Transform>)>>,
     capacity: usize,
     metrics: FnMetrics,
+}
+
+impl FnEntry {
+    /// The effective policy of one batching lane: its override if one is
+    /// installed, the function default otherwise.
+    fn policy_for(&self, kind: RequestKind, stack: &[Transform]) -> BatchPolicy {
+        let lanes = self.lanes.lock().unwrap();
+        for ((k, s), p) in lanes.iter() {
+            if *k == kind && s.as_slice() == stack {
+                return p.get();
+            }
+        }
+        self.policy.get()
+    }
+
+    /// The override slot of one lane, created on first use (seeded from
+    /// the current function default).
+    fn lane_slot(&self, kind: RequestKind, stack: &[Transform]) -> Arc<DynPolicy> {
+        let mut lanes = self.lanes.lock().unwrap();
+        for ((k, s), p) in lanes.iter() {
+            if *k == kind && s.as_slice() == stack {
+                return Arc::clone(p);
+            }
+        }
+        let p = Arc::new(DynPolicy::new(self.policy.get()));
+        lanes.push(((kind, stack.to_vec()), Arc::clone(&p)));
+        p
+    }
+
+    /// Record that a request rode lane `(kind, stack)`.
+    fn note_lane(&self, kind: RequestKind, stack: &[Transform]) {
+        let mut seen = self.seen_lanes.lock().unwrap();
+        if !seen
+            .iter()
+            .any(|(k, s)| *k == kind && s.as_slice() == stack)
+        {
+            seen.push((kind, stack.to_vec()));
+        }
+    }
 }
 
 /// A queued request: its payload/ticket, plus the timing the batcher and
@@ -306,16 +425,20 @@ enum Job {
 
 impl Job {
     /// The batching key: requests coalesce only when this matches.
-    fn kind(&self) -> (u8, &[Transform]) {
+    fn kind(&self) -> (RequestKind, &[Transform]) {
         match self {
-            Job::Call { stack, .. } => (0, stack),
-            Job::Grad { stack, .. } => (1, stack),
+            Job::Call { stack, .. } => (RequestKind::Call, stack),
+            Job::Grad { stack, .. } => (RequestKind::Grad, stack),
         }
     }
 }
 
 struct Queues {
     shutdown: bool,
+    /// Set by [`Server::shutdown_within`]: once this instant passes, the
+    /// dispatcher sheds still-queued requests instead of dispatching
+    /// them, so a bounded shutdown cannot hang on a deep queue.
+    drain_deadline: Option<Instant>,
     qs: Vec<VecDeque<Pending>>,
 }
 
@@ -414,7 +537,60 @@ impl Server {
                 .iter()
                 .map(|f| f.metrics.snapshot(&f.key, uptime))
                 .collect(),
+            net: None,
         }
+    }
+
+    /// The function-level batching policy currently in effect for
+    /// `fn_key` (the default of every lane without its own override).
+    pub fn policy(&self, fn_key: &str) -> Result<BatchPolicy, ServeError> {
+        Ok(self.inner.fns[self.resolve(fn_key)?].policy.get())
+    }
+
+    /// Replace `fn_key`'s function-level policy while the server runs.
+    /// Lanes with explicit overrides ([`Server::set_lane_policy`]) keep
+    /// them. Takes effect at the next batch cut.
+    pub fn set_policy(&self, fn_key: &str, policy: BatchPolicy) -> Result<(), ServeError> {
+        let idx = self.resolve(fn_key)?;
+        self.inner.fns[idx].policy.set(policy);
+        // The dispatcher may be asleep on a timer armed under the old
+        // max_wait; wake it so the new policy applies promptly.
+        self.inner.work_cv.notify_all();
+        Ok(())
+    }
+
+    /// The effective policy of one `(kind, transform-stack)` lane.
+    pub fn lane_policy(
+        &self,
+        fn_key: &str,
+        kind: RequestKind,
+        stack: &[Transform],
+    ) -> Result<BatchPolicy, ServeError> {
+        Ok(self.inner.fns[self.resolve(fn_key)?].policy_for(kind, stack))
+    }
+
+    /// Install (or retune) a policy override for one
+    /// `(kind, transform-stack)` lane of `fn_key`, leaving the function
+    /// default and every other lane untouched.
+    pub fn set_lane_policy(
+        &self,
+        fn_key: &str,
+        kind: RequestKind,
+        stack: &[Transform],
+        policy: BatchPolicy,
+    ) -> Result<(), ServeError> {
+        let idx = self.resolve(fn_key)?;
+        self.inner.fns[idx].lane_slot(kind, stack).set(policy);
+        self.inner.work_cv.notify_all();
+        Ok(())
+    }
+
+    /// Every `(kind, transform-stack)` lane of `fn_key` that has carried
+    /// at least one request — what a policy controller enumerates to
+    /// retune a live server lane by lane.
+    pub fn lanes(&self, fn_key: &str) -> Result<Vec<(RequestKind, Vec<Transform>)>, ServeError> {
+        let idx = self.resolve(fn_key)?;
+        Ok(self.inner.fns[idx].seen_lanes.lock().unwrap().clone())
     }
 
     /// Stop admitting requests, drain every queue through the normal
@@ -445,6 +621,39 @@ impl Server {
         self.metrics()
     }
 
+    /// [`Server::shutdown`] with a drain budget: requests still queued
+    /// when `timeout` passes are shed (their tickets resolve
+    /// [`ServeError::ShuttingDown`], counted in the `shed` metric)
+    /// instead of executed, and the wait for in-flight batches is bounded
+    /// by the same deadline — so shutdown cannot hang behind a deep queue
+    /// or a wedged batch. `Duration::ZERO` sheds everything still queued.
+    pub fn shutdown_within(&self, timeout: Duration) -> MetricsSnapshot {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut q = self.inner.queues.lock().unwrap();
+            q.shutdown = true;
+            q.drain_deadline = Some(deadline);
+            self.inner.work_cv.notify_all();
+        }
+        if let Some(handle) = self.dispatcher.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        // Bounded in-flight wait: batches already on the pool cannot be
+        // recalled, but we stop waiting for them at the deadline (their
+        // tickets still resolve whenever the pool gets to them).
+        let mut guard = self.inner.idle_mu.lock().unwrap();
+        while self.inner.in_flight.load(Ordering::Acquire) != 0 && Instant::now() < deadline {
+            let (g, _) = self
+                .inner
+                .idle_cv
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap();
+            guard = g;
+        }
+        drop(guard);
+        self.metrics()
+    }
+
     fn resolve(&self, fn_key: &str) -> Result<usize, ServeError> {
         self.inner
             .index
@@ -458,6 +667,11 @@ impl Server {
 
     fn enqueue(&self, idx: usize, job: Job, deadline: Option<Duration>) -> Result<(), ServeError> {
         let entry = &self.inner.fns[idx];
+        let max_batch = {
+            let (kind, stack) = job.kind();
+            entry.note_lane(kind, stack);
+            entry.policy_for(kind, stack).max_batch_size
+        };
         let now = Instant::now();
         let mut q = self.inner.queues.lock().unwrap();
         if q.shutdown {
@@ -493,7 +707,7 @@ impl Server {
         // batch is ready to cut. Intermediate submissions ride the armed
         // timer — waking the dispatcher per request would burn a core's
         // worth of wakeups exactly when batching is supposed to save it.
-        if len == 1 || len >= entry.policy.max_batch_size {
+        if len == 1 || len >= max_batch {
             self.inner.work_cv.notify_all();
         }
         Ok(())
@@ -502,7 +716,12 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shutdown();
+        // Skip if a shutdown (graceful or bounded) already ran — a
+        // bounded shutdown's decision not to wait out in-flight batches
+        // must not be overridden by an unbounded wait here.
+        if self.dispatcher.lock().unwrap().is_some() {
+            self.shutdown();
+        }
     }
 }
 
@@ -526,6 +745,25 @@ fn cut_batch(queue: &mut VecDeque<Pending>, max: usize) -> Vec<Pending> {
     batch
 }
 
+/// Resolve every still-queued request with [`ServeError::ShuttingDown`]:
+/// the bounded-shutdown path for work that could not drain in time. Each
+/// shed request counts toward its function's `shed` metric, exactly like
+/// admission-time shedding.
+fn shed_all(inner: &Inner, q: &mut Queues) {
+    for (idx, entry) in inner.fns.iter().enumerate() {
+        let queue = &mut q.qs[idx];
+        while let Some(p) = queue.pop_front() {
+            entry.metrics.shed.inc();
+            fir_trace::async_end("serve", "request", p.trace_id, 0);
+            match p.job {
+                Job::Call { ticket, .. } => ticket.fulfill(Err(ServeError::ShuttingDown)),
+                Job::Grad { ticket, .. } => ticket.fulfill(Err(ServeError::ShuttingDown)),
+            }
+        }
+        entry.metrics.queue_depth.set(0);
+    }
+}
+
 /// The single dispatcher thread: waits for work, cuts ready batches, and
 /// submits their execution onto the persistent worker pool. Exits once
 /// shutdown is requested and every queue has drained.
@@ -534,14 +772,26 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
     loop {
         let now = Instant::now();
         let shutting = q.shutdown;
+        // A bounded shutdown whose drain deadline has passed: shed
+        // everything still queued instead of dispatching it, and exit.
+        if shutting && q.drain_deadline.is_some_and(|d| d <= now) {
+            shed_all(inner, &mut q);
+            return;
+        }
         let mut next_due: Option<Instant> = None;
         let mut cut: Option<(usize, Vec<Pending>)> = None;
         for (idx, entry) in inner.fns.iter().enumerate() {
             let queue = &mut q.qs[idx];
             let Some(front) = queue.front() else { continue };
-            let due = front.enqueued + entry.policy.max_wait;
-            if shutting || queue.len() >= entry.policy.max_batch_size || due <= now {
-                let batch = cut_batch(queue, entry.policy.max_batch_size);
+            // Batching is governed by the policy of the lane at the queue
+            // front (cut_batch only coalesces that lane anyway).
+            let pol = {
+                let (kind, stack) = front.job.kind();
+                entry.policy_for(kind, stack)
+            };
+            let due = front.enqueued + pol.max_wait;
+            if shutting || queue.len() >= pol.max_batch_size || due <= now {
+                let batch = cut_batch(queue, pol.max_batch_size);
                 entry.metrics.queue_depth.set(queue.len());
                 cut = Some((idx, batch));
                 break;

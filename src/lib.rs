@@ -42,6 +42,8 @@
 //! * [`fir_opt`] — simplification passes,
 //! * [`fir_serve`] — the concurrent serving runtime (dynamic
 //!   micro-batching, admission control, live metrics) over an `Engine`,
+//! * [`fir_net`] — the network-facing tier over `fir_serve`: TCP wire
+//!   protocol, serving shards, adaptive batching, per-tenant fairness,
 //! * [`fir_trace`] — structured tracing/profiling (Chrome trace export,
 //!   per-phase profile reports) recorded by every layer above,
 //! * [`tape_ad`] — the tape-based (Tapenade-like) baseline,
@@ -50,6 +52,7 @@
 
 pub use fir;
 pub use fir_api;
+pub use fir_net;
 pub use fir_opt;
 pub use fir_serve;
 pub use fir_trace;
@@ -64,4 +67,7 @@ pub use fir_api::{
     CacheStats, CompiledFn, Dual, Engine, EngineBuilder, FirError, GradOutput, OptStats, Pass,
     PassPipeline, PipelineStats, Transform, BACKEND_NAMES,
 };
-pub use fir_serve::{BatchPolicy, Request, ServeError, Server, ServerBuilder, Ticket};
+pub use fir_net::{
+    AdaptiveConfig, NetClient, NetError, NetServer, NetServerBuilder, TenantConfig, TenantPolicy,
+};
+pub use fir_serve::{BatchPolicy, Request, RequestKind, ServeError, Server, ServerBuilder, Ticket};

@@ -278,3 +278,99 @@ fn expired_deadlines_resolve_without_executing() {
     assert_eq!(m.fns[1].expired, 1);
     assert_eq!(m.fns[1].completed, 1);
 }
+
+#[test]
+fn bounded_shutdown_sheds_what_cannot_drain() {
+    // A huge batch size and a long max_wait park every submission in the
+    // queue (the dispatcher sleeps on the max_wait timer), so a
+    // zero-budget shutdown finds them all still queued — it must shed
+    // them promptly as ShuttingDown instead of hanging to execute them.
+    let server = two_fn_server(
+        BatchPolicy {
+            max_batch_size: 64,
+            max_wait: Duration::from_secs(30),
+        },
+        1024,
+    );
+    const N: usize = 8;
+    let tickets: Vec<_> = (0..N)
+        .map(|i| {
+            server
+                .submit(Request::new(GMM, gmm_args(i as u64)))
+                .unwrap()
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let m = server.shutdown_within(Duration::ZERO);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "bounded shutdown took {:?} — it must not wait out max_wait",
+        started.elapsed()
+    );
+    for t in tickets {
+        assert!(matches!(t.wait(), Err(ServeError::ShuttingDown)));
+    }
+    assert_eq!(m.fns[0].shed, N as u64, "every queued request is shed");
+    assert_eq!(m.fns[0].completed, 0);
+    assert_eq!(m.fns[0].queue_depth, 0);
+    // Idempotent with the graceful path: nothing left to drain.
+    assert_eq!(
+        server.submit(Request::new(GMM, gmm_args(0))).err(),
+        Some(ServeError::ShuttingDown)
+    );
+}
+
+#[test]
+fn live_policy_retuning_applies_per_lane() {
+    use futhark_ad_repro::RequestKind;
+    let server = two_fn_server(
+        BatchPolicy {
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(5),
+        },
+        1024,
+    );
+    // Function-level retune is visible immediately...
+    let tuned = BatchPolicy {
+        max_batch_size: 16,
+        max_wait: Duration::from_millis(1),
+    };
+    server.set_policy(GMM, tuned).unwrap();
+    assert_eq!(server.policy(GMM).unwrap(), tuned);
+    // ...and lanes without overrides follow it.
+    assert_eq!(
+        server.lane_policy(GMM, RequestKind::Call, &[]).unwrap(),
+        tuned
+    );
+    // A per-lane override pins that lane only.
+    let vjp_lane = BatchPolicy {
+        max_batch_size: 2,
+        max_wait: Duration::ZERO,
+    };
+    server
+        .set_lane_policy(GMM, RequestKind::Call, &[Transform::Vjp], vjp_lane)
+        .unwrap();
+    assert_eq!(
+        server
+            .lane_policy(GMM, RequestKind::Call, &[Transform::Vjp])
+            .unwrap(),
+        vjp_lane
+    );
+    assert_eq!(
+        server.lane_policy(GMM, RequestKind::Call, &[]).unwrap(),
+        tuned
+    );
+    // Requests still resolve correctly under the retuned policies, and
+    // the lanes they rode are enumerable for an external controller.
+    assert!(server.call(GMM, gmm_args(1)).is_ok());
+    assert!(server.grad(GMM, gmm_args(2)).is_ok());
+    let lanes = server.lanes(GMM).unwrap();
+    assert!(lanes.contains(&(RequestKind::Call, vec![])));
+    assert!(lanes.contains(&(RequestKind::Grad, vec![])));
+    // Unknown keys are typed errors, not panics.
+    assert!(matches!(
+        server.set_policy("nope", tuned),
+        Err(ServeError::UnknownFn { .. })
+    ));
+    server.shutdown();
+}
