@@ -19,7 +19,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use fir::ir::Fun;
 use fir::types::Type;
 use firvm::{fingerprint_pair, TierCounters};
-use interp::{validate_args, Array, Backend, Executable, Value, WorkerPool};
+use interp::{arena, validate_args, Array, Backend, Executable, Value, WorkerPool};
 
 use crate::error::FirError;
 use crate::pipeline::{PassPipeline, PipelineStats};
@@ -95,6 +95,25 @@ struct CacheEntry {
     /// The pipeline-optimized IR the executable was prepared from.
     fun: Arc<Fun>,
     exec: Arc<dyn Executable>,
+    /// The buffer plan, on engines whose pipeline runs [`crate::Pass::MemPlan`]:
+    /// executions open a per-invocation arena scope sized to it. The
+    /// reservation is returned ([`arena::release_slots`]) when the last
+    /// reference — cache slot or [`CompiledFn`] handle — drops.
+    plan: Option<Arc<PlanInfo>>,
+}
+
+/// The memory plan of a compiled program: how many arena buffer slots its
+/// executions may retain between invocations (see
+/// [`fir_opt::BufferPlan`]). Holds the global slot reservation for its
+/// lifetime.
+struct PlanInfo {
+    slots: usize,
+}
+
+impl Drop for PlanInfo {
+    fn drop(&mut self) {
+        arena::release_slots(self.slots);
+    }
 }
 
 /// The default bound of the engine's compiled-program cache (see
@@ -320,6 +339,9 @@ pub struct OptStats {
     pub rewrites: std::collections::BTreeMap<&'static str, usize>,
     /// Wall time spent in each pass, by pass name, nanoseconds.
     pub pass_nanos: std::collections::BTreeMap<&'static str, u64>,
+    /// Arena buffer slots planned across compiled programs (engines whose
+    /// pipeline runs [`crate::Pass::MemPlan`]; summed over cache misses).
+    pub slots_planned: usize,
 }
 
 impl OptStats {
@@ -377,6 +399,14 @@ impl std::fmt::Display for OptStats {
                 write!(f, "{} {pass} {n}", if i == 0 { "" } else { "," })?;
             }
         }
+        if self.slots_planned > 0 {
+            write!(
+                f,
+                ", {} buffer slot{} planned",
+                self.slots_planned,
+                if self.slots_planned == 1 { "" } else { "s" },
+            )?;
+        }
         if self.total_nanos() > 0 {
             write!(f, ", opt time {:.1}ms", self.total_nanos() as f64 / 1e6)?;
         }
@@ -416,6 +446,10 @@ pub struct CacheStats {
     /// Specialization-tier counters, on engines with a jit-tiered backend
     /// (`None` on plain backends).
     pub tier: Option<TierStats>,
+    /// Allocation counters of the execution arena (process-global: shared
+    /// by every engine; see [`interp::alloc_stats`]). `reserved_slots`
+    /// tracks the buffer plans of live memplanned programs.
+    pub arena: interp::AllocStats,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -446,6 +480,16 @@ impl std::fmt::Display for CacheStats {
                 if t.jit_hits == 1 { "" } else { "s" },
                 t.fallbacks,
                 if t.fallbacks == 1 { "" } else { "s" },
+            )?;
+        }
+        if self.arena.reserved_slots > 0 {
+            write!(
+                f,
+                "; arena: {} slots reserved, {} hits, {} heap allocs, {} pooled bytes",
+                self.arena.reserved_slots,
+                self.arena.arena_hits,
+                self.arena.heap_allocs,
+                self.arena.pooled_bytes,
             )?;
         }
         Ok(())
@@ -609,6 +653,21 @@ impl Engine {
             let _span = fir_trace::span("compile", "backend-prepare");
             inner.backend.prepare(&optimized)?
         };
+        // Memplanned pipelines size a per-invocation arena for the
+        // program: compute the buffer plan from the optimized IR and
+        // reserve its slots for the entry's lifetime. (If the concurrent-
+        // insert race below keeps another thread's entry, dropping ours
+        // releases the reservation again.)
+        let plan = if pipeline.passes().contains(&crate::Pass::MemPlan) {
+            let p = fir_opt::plan_buffers(&optimized);
+            let slots = p.slots();
+            arena::reserve_slots(slots);
+            inner.opt.lock().unwrap().slots_planned += slots;
+            fir_trace::instant("compile", "memplan");
+            Some(Arc::new(PlanInfo { slots }))
+        } else {
+            None
+        };
         // An empty pipeline returns a borrow: source and optimized IR are
         // the same function, stored once and shared.
         let (source, optimized) = match optimized {
@@ -622,6 +681,7 @@ impl Engine {
             source,
             fun: optimized,
             exec,
+            plan,
         };
         // Another thread may have compiled the same function meanwhile;
         // keep the first entry so the executable stays shared.
@@ -734,6 +794,7 @@ impl Engine {
                     fallbacks,
                 }
             }),
+            arena: interp::alloc_stats(),
         }
     }
 }
@@ -1042,14 +1103,25 @@ impl CompiledFn {
 
     // -- execution ----------------------------------------------------
 
+    /// Open this program's per-invocation arena scope on the calling
+    /// thread, when the program was compiled with a buffer plan
+    /// ([`Pass::MemPlan`]): buffers the execution publishes can then be
+    /// retained and recycled across invocations, up to the plan's slot
+    /// count. `None` (no plan) leaves allocation behavior untouched.
+    fn arena_scope(&self) -> Option<interp::ArenaScope> {
+        self.entry.plan.as_ref().map(|p| arena::scope(p.slots))
+    }
+
     /// Execute on `args`. Arity/type mismatches and runtime failures are
     /// `Err`, never a panic.
     pub fn call(&self, args: &[Value]) -> Result<Vec<Value>, FirError> {
+        let _arena = self.arena_scope();
         self.entry.exec.run(args).map_err(FirError::from)
     }
 
     /// Execute a function whose first result is a scalar `f64`.
     pub fn call_scalar(&self, args: &[Value]) -> Result<f64, FirError> {
+        let _arena = self.arena_scope();
         self.entry.exec.run_scalar(args).map_err(FirError::from)
     }
 
@@ -1071,7 +1143,9 @@ impl CompiledFn {
     /// `fir-serve` micro-batcher.
     pub fn call_batch_results(&self, batch: &[Vec<Value>]) -> Vec<Result<Vec<Value>, FirError>> {
         let exec = &self.entry.exec;
+        let plan = &self.entry.plan;
         WorkerPool::global().run_tasks(batch.len(), &|i| {
+            let _arena = plan.as_ref().map(|p| arena::scope(p.slots));
             exec.run(&batch[i]).map_err(FirError::from)
         })
     }
@@ -1247,12 +1321,15 @@ impl CompiledFn {
         full: &[Result<Vec<Value>, FirError>],
     ) -> Vec<Result<GradOutput, FirError>> {
         let exec = &handle.entry.exec;
+        let plan = &handle.entry.plan;
         WorkerPool::global().run_tasks(full.len(), &|i| match &full[i] {
             Err(e) => Err(e.clone()),
-            Ok(args) => exec
-                .run(args)
-                .map_err(FirError::from)
-                .map(|out| self.split_grad(out)),
+            Ok(args) => {
+                let _arena = plan.as_ref().map(|p| arena::scope(p.slots));
+                exec.run(args)
+                    .map_err(FirError::from)
+                    .map(|out| self.split_grad(out))
+            }
         })
     }
 
@@ -1833,6 +1910,101 @@ mod tests {
         // The whole-batch wrappers still surface the first failure.
         assert!(f.grad_batch(&[good.clone(), vec![]]).is_err());
         assert_eq!(f.grad_batch(std::slice::from_ref(&good)).unwrap().len(), 1);
+    }
+
+    /// Arena counters are process-global; tests asserting on them
+    /// serialize on this lock so concurrent tests cannot skew the deltas.
+    fn arena_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A program with the memplan target shape: `copy` an argument, update
+    /// the copy, reduce it.
+    fn copyupd(c: f64) -> Fun {
+        use fir::ir::{Atom, Exp};
+        let mut b = Builder::new();
+        b.build_fun("copyupd", &[Type::arr_f64(1)], |b, ps| {
+            let y = b.bind1(Type::arr_f64(1), Exp::Copy(ps[0]));
+            let z = b.bind1(
+                Type::arr_f64(1),
+                Exp::Update {
+                    arr: y,
+                    idx: vec![Atom::i64(0)],
+                    val: Atom::f64(c),
+                },
+            );
+            vec![b.sum(z).into()]
+        })
+    }
+
+    #[test]
+    fn standard_mem_plans_buffers_and_matches_plain_results_bitwise() {
+        let _g = arena_lock();
+        let args = vec![Value::from(vec![1.5, 2.5, 3.5])];
+        let plain = Engine::by_name("vm-seq").unwrap();
+        let want = plain.compile(&copyupd(9.0)).unwrap().call(&args).unwrap();
+        let planned = Engine::builder()
+            .backend_name("vm-seq")
+            .pipeline(PassPipeline::standard_mem())
+            .build()
+            .unwrap();
+        let f = planned.compile(&copyupd(9.0)).unwrap();
+        // Repeated invocations reuse the per-invocation arena; results
+        // stay bitwise-identical to the unplanned engine throughout.
+        for _ in 0..4 {
+            let got = f.call(&args).unwrap();
+            assert_eq!(want[0].as_f64().to_bits(), got[0].as_f64().to_bits());
+        }
+        let opt = planned.opt_stats();
+        assert!(
+            opt.rewrites.get("memplan").copied().unwrap_or(0) >= 1,
+            "the dead-source copy must be rewritten in place: {opt}"
+        );
+        assert!(opt.slots_planned > 0, "{opt}");
+        assert!(opt.to_string().contains("buffer slot"), "{opt}");
+        let stats = planned.cache_stats();
+        assert!(stats.arena.reserved_slots > 0, "{stats}");
+        assert!(stats.to_string().contains("; arena:"), "{stats}");
+    }
+
+    #[test]
+    fn evicting_a_planned_program_returns_its_arena_reservation() {
+        let _g = arena_lock();
+        let engine = Engine::builder()
+            .backend_name("vm-seq")
+            .pipeline(PassPipeline::standard_mem())
+            .cache_capacity(1)
+            .build()
+            .unwrap();
+        let base = interp::alloc_stats().reserved_slots;
+        let f1 = engine.compile(&copyupd(1.0)).unwrap();
+        let after1 = interp::alloc_stats().reserved_slots;
+        assert!(after1 > base, "compiling under standard_mem must reserve");
+        // The reservation is held by the cache slot, not the handle.
+        drop(f1);
+        assert_eq!(interp::alloc_stats().reserved_slots, after1);
+        {
+            // A second program overflows the capacity-1 cache, evicting
+            // the first — and with it, its reservation.
+            let _f2 = engine.compile(&copyupd(2.0)).unwrap();
+            // The thread-local cache-view snapshot can pin the evicted
+            // entry until the next refresh; a hit on the live program
+            // forces one.
+            let _refresh = engine.compile(&copyupd(2.0)).unwrap();
+            assert_eq!(engine.cache_stats().evictions, 1);
+            // copyupd(1.0) and copyupd(2.0) plan identical slot counts,
+            // so the eviction nets out to the single-program level.
+            assert_eq!(interp::alloc_stats().reserved_slots, after1);
+        }
+        // Dropping the engine (and every handle) returns everything —
+        // once this thread's bounded view cache stops pinning the last
+        // published snapshot (churn it with fresh engines).
+        drop(engine);
+        for _ in 0..VIEW_CACHE_SLOTS {
+            Engine::by_name("vm-seq").unwrap().compile(&dot()).unwrap();
+        }
+        assert_eq!(interp::alloc_stats().reserved_slots, base);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub enum Pass {
     Fusion,
     /// Loop/map-invariant code motion ([`fir_opt::hoist_invariants`]).
     Hoist,
+    /// Memory planning ([`fir_opt::memplan()`]): lifetime-based elimination of
+    /// `copy`s whose source is dead, turning functional updates into true
+    /// in-place updates under the CoW runtime.
+    MemPlan,
 }
 
 impl Pass {
@@ -53,6 +57,7 @@ impl Pass {
             Pass::Cse => "cse",
             Pass::Fusion => "fusion",
             Pass::Hoist => "hoist",
+            Pass::MemPlan => "memplan",
         }
     }
 
@@ -80,6 +85,7 @@ impl Pass {
             Pass::Cse => fir_opt::run_pass(name, fir_opt::cse_counted, fun),
             Pass::Fusion => fir_opt::run_pass(name, fir_opt::fuse_soacs_counted, fun),
             Pass::Hoist => fir_opt::run_pass(name, fir_opt::hoist_invariants_counted, fun),
+            Pass::MemPlan => fir_opt::run_pass(name, fir_opt::memplan_counted, fun),
         }
     }
 }
@@ -162,6 +168,26 @@ impl PassPipeline {
                 Pass::Cse,
                 Pass::Fusion,
                 Pass::Hoist,
+                Pass::DeadCode,
+            ],
+            max_iterations: 8,
+        }
+    }
+
+    /// The standard pipeline plus memory planning: after fusion and
+    /// hoisting have settled the program shape, [`Pass::MemPlan`] erases
+    /// `copy`s whose source is dead so consumers update in place, and the
+    /// engine sizes a per-invocation buffer arena from the resulting
+    /// [`fir_opt::BufferPlan`].
+    pub fn standard_mem() -> PassPipeline {
+        PassPipeline {
+            passes: vec![
+                Pass::CopyProp,
+                Pass::ConstantFold,
+                Pass::Cse,
+                Pass::Fusion,
+                Pass::Hoist,
+                Pass::MemPlan,
                 Pass::DeadCode,
             ],
             max_iterations: 8,

@@ -43,7 +43,7 @@
 
 use ad_bench::{header, ratio, row, Report};
 use fir::ir::Fun;
-use fir_api::Engine;
+use fir_api::{Engine, PassPipeline};
 use fir_serve::{BatchPolicy, Request, Server, ServerBuilder};
 use interp::Value;
 use std::time::{Duration, Instant};
@@ -198,6 +198,100 @@ fn serve_workload(
     speedup
 }
 
+/// Memory-planning comparison: the same GMM D=5 gradient load served by
+/// engines differing only in the pass pipeline — `standard()` (every
+/// buffer request hits the heap allocator) vs `standard_mem()` (lifetime
+/// planning, in-place lowering, and a per-invocation buffer arena sized
+/// from the plan). Requests run unbatched so per-request buffer shapes
+/// are stable (the regime the arena targets); reported per configuration:
+/// heap allocations per request, arena hits per request, throughput, and
+/// tail latency. The arena counters come from the server's own metrics
+/// snapshot (`MetricsSnapshot::alloc`), windowed across the measured
+/// load, so the reported allocations/call is exactly what a production
+/// metrics scrape would show.
+fn serve_memplan(report: &mut Report, rounds: usize) {
+    let key = "gmm-grad-d5";
+    let fun = gmm::objective_ir();
+    let args: Vec<Vec<Value>> = (0..CLIENTS)
+        .map(|i| gmm::GmmData::generate(16, 5, 3, i as u64).ir_args())
+        .collect();
+    let requests = (CLIENTS * WINDOW * rounds) as f64;
+    let mut allocs_per_call = [0.0f64; 2];
+    let mut p99 = [0u64; 2];
+    for (slot, (cfg, pipeline)) in [
+        ("unplanned", PassPipeline::standard()),
+        ("planned", PassPipeline::standard_mem()),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let engine = Engine::builder()
+            .backend_name("vm-seq")
+            .pipeline(pipeline)
+            .build()
+            .expect("backend");
+        let server = ServerBuilder::new(engine)
+            .batch_policy(BatchPolicy::unbatched())
+            .queue_capacity(8192)
+            .register(key, &fun)
+            .build()
+            .expect("server build");
+        // Warm to steady state: compile and derive the vjp, and let every
+        // pool worker fill its arena from the first invocations.
+        for _ in 0..4 {
+            for a in &args {
+                server.grad(key, a.clone()).expect("warm-up");
+            }
+        }
+        let alloc0 = server.metrics().alloc;
+        let secs = closed_loop(&server, key, Kind::Grad, &args, rounds);
+        let m = server.shutdown();
+        let f = &m.fns[0];
+        let heap = (m.alloc.heap_allocs - alloc0.heap_allocs) as f64;
+        let hits = (m.alloc.arena_hits - alloc0.arena_hits) as f64;
+        allocs_per_call[slot] = heap / requests;
+        p99[slot] = f.latency_us.quantile(0.99);
+        row(&[
+            format!("{key} [{cfg}]"),
+            format!("{:.0} req/s", requests / secs),
+            format!("{}us", f.latency_us.quantile(0.50)),
+            format!("{}us", f.latency_us.quantile(0.95)),
+            format!("{}us", p99[slot]),
+            format!("{:.1} alloc/req", allocs_per_call[slot]),
+        ]);
+        report.add(
+            &format!("serving:{key}:{cfg}"),
+            &[
+                ("requests", requests),
+                ("throughput_rps", requests / secs),
+                ("latency_p50_us", f.latency_us.quantile(0.50) as f64),
+                ("latency_p95_us", f.latency_us.quantile(0.95) as f64),
+                ("latency_p99_us", p99[slot] as f64),
+                ("allocs_per_call", allocs_per_call[slot]),
+                ("arena_hits_per_call", hits / requests),
+                ("reserved_slots", m.alloc.reserved_slots as f64),
+            ],
+        );
+    }
+    let reduction = allocs_per_call[0] / allocs_per_call[1].max(1e-9);
+    row(&[
+        format!("{key} alloc reduction"),
+        ratio(reduction),
+        String::new(),
+        String::new(),
+        format!("p99 {} -> {}us", p99[0], p99[1]),
+        String::new(),
+    ]);
+    report.add(
+        &format!("serving_memplan:{key}"),
+        &[
+            ("alloc_reduction", reduction),
+            ("p99_unplanned_us", p99[0] as f64),
+            ("p99_planned_us", p99[1] as f64),
+        ],
+    );
+}
+
 fn main() {
     let smoke = std::env::var("SERVE_BENCH_SMOKE").is_ok();
     let rounds = if smoke { 20 } else { 80 };
@@ -266,6 +360,7 @@ fn main() {
         &gmm_small,
         rounds / 4,
     );
+    serve_memplan(&mut report, rounds / 4);
 
     println!();
     let best = s1.max(s2).max(s3);

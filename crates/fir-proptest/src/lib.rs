@@ -7,8 +7,9 @@
 //! transcendentals, `select`, constant indexing, `len`/`replicate`,
 //! `map` (including nested maps over matrix rows, with captured outer
 //! scalars — fodder for the hoisting pass), `reduce` with recognized
-//! associative operators, prefix sums, `if` over scalar conditions, and
-//! bounded sequential `loop`s. Every rank-1 array in a generated program
+//! associative operators, prefix sums, `if` over scalar conditions,
+//! bounded sequential `loop`s, and `copy` + constant-index `update`
+//! pairs (fodder for the memory-planning pass's in-place lowering). Every rank-1 array in a generated program
 //! shares one outer length and every rank-2 array one shape, and indices
 //! are constants within bounds, so programs never trap at runtime.
 //!
@@ -242,7 +243,10 @@ impl Gen<'_> {
     fn stm(&mut self, b: &mut Builder, depth: usize) {
         let has_arr1 = !self.arr1.is_empty();
         let has_arr2 = !self.arr2.is_empty();
-        let choice = self.rng.below(0, 10);
+        // The copy+update arm only exists in the full profile, so the
+        // smooth (gradcheck) corpus is unchanged by its addition.
+        let choices = if self.cfg.smooth { 10 } else { 11 };
+        let choice = self.rng.below(0, choices);
         match choice {
             // Scalar chain.
             0 | 1 => {
@@ -336,6 +340,18 @@ impl Gen<'_> {
                     vec![b.fadd(chain, Atom::Var(acc[0]))]
                 });
                 self.f64s.push(r[0]);
+            }
+            // Copy then constant-index update: the functional in-place
+            // pair the memory planner rewrites into a true in-place write
+            // whenever the copy's source is dead after the update.
+            10 if has_arr1 => {
+                let i = self.pick(self.arr1.len());
+                let arr = self.arr1[i];
+                let y = b.copy(arr);
+                let c = self.rng.below(0, self.n) as i64;
+                let v = self.scalar(b);
+                let out = b.update(y, &[Atom::i64(c)], v);
+                self.arr1.push(out);
             }
             // Map over matrix rows with a nested reduction.
             _ if has_arr2 && depth > 1 => {

@@ -11,7 +11,7 @@
 use fir::ir::ReduceOp;
 use fir::types::{ScalarType, Type};
 use interp::eval::{eval_binop, eval_unop, replicate};
-use interp::{Accum, Array, ExecConfig, Value};
+use interp::{arena, Accum, Array, ExecConfig, Value};
 
 use crate::bytecode::{CodeObject, Instr, Opnd, Program, Reg};
 use crate::kernel::Kernel;
@@ -161,7 +161,9 @@ pub(crate) fn exec(ctx: &ExecCtx, code: &CodeObject, regs: &mut [Value]) {
             }
             Instr::Iota { dst, n } => {
                 let n = read(regs, n).as_i64().max(0);
-                regs[*dst as usize] = Value::Arr(Array::vec_i64((0..n).collect()));
+                let mut data = arena::take_i64(n as usize);
+                data.extend(0..n);
+                regs[*dst as usize] = Value::Arr(Array::vec_i64(data));
             }
             Instr::Replicate { dst, n, val } => {
                 let n = read(regs, n).as_i64().max(0) as usize;
@@ -346,9 +348,9 @@ impl OutBuf {
     fn for_type(ty: &Type, cap: usize) -> OutBuf {
         match ty {
             Type::Acc { .. } => OutBuf::Acc(None),
-            Type::Scalar(ScalarType::F64) => OutBuf::F64(Vec::with_capacity(cap)),
-            Type::Scalar(ScalarType::I64) => OutBuf::I64(Vec::with_capacity(cap)),
-            Type::Scalar(ScalarType::Bool) => OutBuf::Bool(Vec::with_capacity(cap)),
+            Type::Scalar(ScalarType::F64) => OutBuf::F64(arena::take_f64(cap)),
+            Type::Scalar(ScalarType::I64) => OutBuf::I64(arena::take_i64(cap)),
+            Type::Scalar(ScalarType::Bool) => OutBuf::Bool(arena::take_bool(cap)),
             Type::Array { .. } => OutBuf::Vals(Vec::with_capacity(cap)),
         }
     }
@@ -389,30 +391,53 @@ fn assemble_output(ty: &Type, n: usize, chunks: Vec<OutBuf>) -> Value {
     }
     match &chunks[0] {
         OutBuf::F64(_) => {
-            let mut data = Vec::with_capacity(n);
+            // The single-chunk case (sequential execution, the serving hot
+            // path) promotes the chunk buffer to the result directly.
+            let mut data = arena::take_f64(if chunks.len() == 1 { 0 } else { n });
             for c in chunks {
                 match c {
-                    OutBuf::F64(mut v) => data.append(&mut v),
+                    OutBuf::F64(mut v) => {
+                        if data.is_empty() && data.capacity() == 0 {
+                            data = v;
+                        } else {
+                            data.append(&mut v);
+                            arena::give_f64(v);
+                        }
+                    }
                     _ => unreachable!("mixed chunk buffer types"),
                 }
             }
             Value::Arr(Array::from_f64(vec![n], data))
         }
         OutBuf::I64(_) => {
-            let mut data = Vec::with_capacity(n);
+            let mut data = arena::take_i64(if chunks.len() == 1 { 0 } else { n });
             for c in chunks {
                 match c {
-                    OutBuf::I64(mut v) => data.append(&mut v),
+                    OutBuf::I64(mut v) => {
+                        if data.is_empty() && data.capacity() == 0 {
+                            data = v;
+                        } else {
+                            data.append(&mut v);
+                            arena::give_i64(v);
+                        }
+                    }
                     _ => unreachable!("mixed chunk buffer types"),
                 }
             }
             Value::Arr(Array::from_i64(vec![n], data))
         }
         OutBuf::Bool(_) => {
-            let mut data = Vec::with_capacity(n);
+            let mut data = arena::take_bool(if chunks.len() == 1 { 0 } else { n });
             for c in chunks {
                 match c {
-                    OutBuf::Bool(mut v) => data.append(&mut v),
+                    OutBuf::Bool(mut v) => {
+                        if data.is_empty() && data.capacity() == 0 {
+                            data = v;
+                        } else {
+                            data.append(&mut v);
+                            arena::give_bool(v);
+                        }
+                    }
                     _ => unreachable!("mixed chunk buffer types"),
                 }
             }
@@ -819,7 +844,8 @@ fn exec_hist(
         return Value::Arr(acc.to_array());
     }
     let total: usize = shape.iter().product();
-    let mut out = vec![op.neutral_f64(); total];
+    let mut out = arena::take_f64(total);
+    out.resize(total, op.neutral_f64());
     for kk in 0..n {
         let bin = idata[kk];
         if bin >= 0 && (bin as usize) < m {

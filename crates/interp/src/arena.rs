@@ -1,0 +1,403 @@
+//! The per-invocation buffer arena: a thread-local, shape-keyed pool of
+//! flat array buffers, sized by the optimizer's buffer plan
+//! (`fir-opt`'s `memplan::BufferPlan`), so steady-state serving reuses the
+//! same buffers invocation after invocation instead of round-tripping
+//! through the heap allocator.
+//!
+//! # Protocol
+//!
+//! An executor wraps one program invocation in [`scope`]`(slots)`. While a
+//! scope is active on the current thread:
+//!
+//! * [`take_f64`]/[`take_i64`]/[`take_bool`]`(len)` hand out an empty
+//!   buffer with capacity `len`, preferring a pooled buffer of exactly that
+//!   capacity (steady-state serving repeats shapes, so exact-capacity
+//!   keying hits). A pooled take counts as an **arena hit**; anything else
+//!   counts as a **heap allocation** — in active *and* inactive states, so
+//!   planned and unplanned runs report comparable allocation counts.
+//! * [`publish_f64`]/… wrap a filled buffer into the `Arc` the runtime
+//!   value holds, and register a second reference in the arena's *lent*
+//!   list (bounded by the scope's slot count). The lent reference is how
+//!   buffers come back: once every runtime reference is dropped the lent
+//!   entry is the only owner, and the next *harvest* — at scope entry and
+//!   on any take miss, so loop-temporary buffers recycle mid-invocation —
+//!   reclaims it into the free pool.
+//! * [`give_f64`]/… return a raw buffer that never became a value (e.g. a
+//!   worker chunk merged into a bigger buffer).
+//! * [`disown_f64`]/… is the copy-on-write integration: a mutation about
+//!   to `Arc::make_mut` a buffer whose only *other* owner is the lent list
+//!   first drops the lent reference, making the mutation genuinely
+//!   in-place. Without this, pooling would defeat the in-place lowering it
+//!   exists to serve. The buffer is re-registered when the mutated value's
+//!   data is next published (or simply heap-freed — correctness never
+//!   depends on the pool).
+//!
+//! Reused buffers are handed out empty and completely rewritten by their
+//! taker before publication, so pooling is bitwise-invisible; forcing
+//! every take to miss (capacity override 0) must produce identical bits.
+//!
+//! # Accounting
+//!
+//! Global relaxed atomics aggregate across threads: heap allocations,
+//! arena hits, bytes currently pooled, and the engine-side count of
+//! reserved plan slots ([`reserve_slots`]/[`release_slots`] — cache
+//! eviction must return its reservation). [`alloc_stats`] snapshots all
+//! four for `CacheStats` and the serving metrics.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+static HEAP_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARENA_HITS: AtomicU64 = AtomicU64::new(0);
+static POOLED_BYTES: AtomicU64 = AtomicU64::new(0);
+static RESERVED_SLOTS: AtomicU64 = AtomicU64::new(0);
+/// Test hook: forces every scope's capacity. `< 0` means no override.
+static CAP_OVERRIDE: AtomicI64 = AtomicI64::new(-1);
+
+/// A snapshot of the arena's global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Buffer requests served by the heap allocator (monotonic).
+    pub heap_allocs: u64,
+    /// Buffer requests served from the arena pool (monotonic).
+    pub arena_hits: u64,
+    /// Bytes currently sitting in free pools, all threads.
+    pub pooled_bytes: u64,
+    /// Plan slots currently reserved by cached compiled programs.
+    pub reserved_slots: u64,
+}
+
+/// Snapshot the global allocation counters.
+pub fn alloc_stats() -> AllocStats {
+    AllocStats {
+        heap_allocs: HEAP_ALLOCS.load(Ordering::Relaxed),
+        arena_hits: ARENA_HITS.load(Ordering::Relaxed),
+        pooled_bytes: POOLED_BYTES.load(Ordering::Relaxed),
+        reserved_slots: RESERVED_SLOTS.load(Ordering::Relaxed),
+    }
+}
+
+/// Record that a compiled program holding a buffer plan of `n` slots
+/// entered the cache.
+pub fn reserve_slots(n: usize) {
+    RESERVED_SLOTS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Return a reservation made by [`reserve_slots`] (cache eviction, engine
+/// drop).
+pub fn release_slots(n: usize) {
+    RESERVED_SLOTS.fetch_sub(n as u64, Ordering::Relaxed);
+}
+
+/// Force every subsequently-entered scope to the given capacity (tests:
+/// `Some(0)` turns the arena off, making every take a heap fallback).
+/// `None` restores plan-driven capacities.
+pub fn set_capacity_override(cap: Option<usize>) {
+    CAP_OVERRIDE.store(cap.map_or(-1, |c| c as i64), Ordering::Relaxed);
+}
+
+struct Pool<T> {
+    /// Reclaimed buffers, cleared, keyed by exact capacity.
+    free: HashMap<usize, Vec<Vec<T>>>,
+    /// Second references to published buffers; an entry whose runtime
+    /// twin has been dropped (strong count 1) is reclaimable.
+    lent: Vec<Arc<Vec<T>>>,
+}
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Pool {
+            free: HashMap::new(),
+            lent: Vec::new(),
+        }
+    }
+}
+
+impl<T> Pool<T> {
+    fn put_free(&mut self, v: Vec<T>) {
+        POOLED_BYTES.fetch_add((v.capacity() * size_of::<T>()) as u64, Ordering::Relaxed);
+        self.free.entry(v.capacity()).or_default().push(v);
+    }
+
+    /// Move every lent buffer whose runtime references are all gone into
+    /// the free pool.
+    fn harvest(&mut self) {
+        let mut i = 0;
+        while i < self.lent.len() {
+            if Arc::strong_count(&self.lent[i]) == 1 {
+                let arc = self.lent.swap_remove(i);
+                if let Ok(mut v) = Arc::try_unwrap(arc) {
+                    v.clear();
+                    self.put_free(v);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn pop_free(&mut self, len: usize) -> Option<Vec<T>> {
+        let v = self.free.get_mut(&len).and_then(Vec::pop)?;
+        POOLED_BYTES.fetch_sub((v.capacity() * size_of::<T>()) as u64, Ordering::Relaxed);
+        Some(v)
+    }
+
+    fn take(&mut self, len: usize, active: bool) -> Vec<T> {
+        if len == 0 {
+            // `Vec::new` performs no allocation; keep it out of both
+            // counters so the metric stays an allocator-pressure measure.
+            return Vec::new();
+        }
+        if active {
+            if let Some(v) = self.pop_free(len) {
+                ARENA_HITS.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
+            // A miss mid-invocation often just means the previous loop
+            // iteration's buffer has not been reclaimed yet.
+            self.harvest();
+            if let Some(v) = self.pop_free(len) {
+                ARENA_HITS.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
+        }
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(len)
+    }
+
+    fn publish(&mut self, data: Vec<T>, active: bool, capacity: usize) -> Arc<Vec<T>> {
+        let arc = Arc::new(data);
+        if active && !arc.is_empty() {
+            if self.lent.len() >= capacity {
+                self.harvest();
+            }
+            if self.lent.len() < capacity {
+                self.lent.push(Arc::clone(&arc));
+            }
+        }
+        arc
+    }
+
+    fn give(&mut self, mut v: Vec<T>, active: bool) {
+        if active && v.capacity() > 0 {
+            v.clear();
+            self.put_free(v);
+        }
+    }
+
+    fn disown(&mut self, arc: &Arc<Vec<T>>) -> bool {
+        // Only useful when the lent entry is the *single* other owner:
+        // dropping it then enables an in-place `Arc::make_mut`. With more
+        // owners around, the copy-on-write copy happens regardless and the
+        // lent entry should stay for a later harvest.
+        if Arc::strong_count(arc) != 2 {
+            return false;
+        }
+        match self.lent.iter().position(|l| Arc::ptr_eq(l, arc)) {
+            Some(i) => {
+                self.lent.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Arena {
+    f64s: Pool<f64>,
+    i64s: Pool<i64>,
+    bools: Pool<bool>,
+    /// Nesting depth of active scopes; 0 = inactive.
+    depth: usize,
+    /// Lent-list bound, set by the outermost scope.
+    capacity: usize,
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = RefCell::new(Arena::default());
+}
+
+/// RAII guard for one arena-backed invocation on the current thread.
+/// Dropping it deactivates the arena (outermost scope only); pooled
+/// buffers persist across scopes — that persistence *is* the reuse.
+pub struct ArenaScope {
+    activated: bool,
+}
+
+/// Activate the calling thread's arena for one invocation, bounding the
+/// lent list at `slots` (from the program's buffer plan; subject to
+/// [`set_capacity_override`]). A zero capacity yields an inert scope:
+/// every take falls back to the heap.
+pub fn scope(slots: usize) -> ArenaScope {
+    let over = CAP_OVERRIDE.load(Ordering::Relaxed);
+    let slots = if over >= 0 { over as usize } else { slots };
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.depth == 0 {
+            if slots == 0 {
+                return ArenaScope { activated: false };
+            }
+            a.capacity = slots;
+            // Reclaim everything the previous invocation let go of.
+            a.f64s.harvest();
+            a.i64s.harvest();
+            a.bools.harvest();
+        }
+        a.depth += 1;
+        ArenaScope { activated: true }
+    })
+}
+
+impl Drop for ArenaScope {
+    fn drop(&mut self) {
+        if self.activated {
+            ARENA.with(|a| {
+                a.borrow_mut().depth -= 1;
+            });
+        }
+    }
+}
+
+macro_rules! typed_api {
+    ($take:ident, $publish:ident, $give:ident, $disown:ident, $pool:ident, $t:ty) => {
+        /// Get an empty buffer with capacity `len` (pooled when the arena
+        /// is active and has one of exactly that capacity).
+        pub fn $take(len: usize) -> Vec<$t> {
+            ARENA.with(|a| {
+                let mut a = a.borrow_mut();
+                let active = a.depth > 0;
+                a.$pool.take(len, active)
+            })
+        }
+
+        /// Wrap a filled buffer for a runtime value, registering it with
+        /// the active arena so it can be reclaimed once dropped.
+        pub fn $publish(data: Vec<$t>) -> Arc<Vec<$t>> {
+            ARENA.with(|a| {
+                let mut a = a.borrow_mut();
+                let active = a.depth > 0;
+                let capacity = a.capacity;
+                a.$pool.publish(data, active, capacity)
+            })
+        }
+
+        /// Return a buffer that never became a value to the active arena.
+        pub fn $give(v: Vec<$t>) {
+            ARENA.with(|a| {
+                let mut a = a.borrow_mut();
+                let active = a.depth > 0;
+                a.$pool.give(v, active)
+            })
+        }
+
+        /// Drop the arena's lent reference to `arc` when that reference is
+        /// the only other owner, enabling an in-place `Arc::make_mut`.
+        /// Returns whether a reference was dropped.
+        pub fn $disown(arc: &Arc<Vec<$t>>) -> bool {
+            if Arc::strong_count(arc) < 2 {
+                return false;
+            }
+            ARENA.with(|a| a.borrow_mut().$pool.disown(arc))
+        }
+    };
+}
+
+typed_api!(take_f64, publish_f64, give_f64, disown_f64, f64s, f64);
+typed_api!(take_i64, publish_i64, give_i64, disown_i64, i64s, i64);
+typed_api!(take_bool, publish_bool, give_bool, disown_bool, bools, bool);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The capacity override and the counters are process-global; arena
+    /// tests therefore run one at a time.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    // Counter assertions are `>=`: the counters are process-global and
+    // sibling tests run concurrently.
+    #[test]
+    fn inactive_takes_are_heap_fallbacks() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = alloc_stats();
+        let v = take_f64(16);
+        assert_eq!(v.capacity(), 16);
+        let after = alloc_stats();
+        assert!(after.heap_allocs - before.heap_allocs >= 1);
+    }
+
+    #[test]
+    fn published_buffers_recycle_across_scopes() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _s = scope(4);
+        let mut v = take_f64(8);
+        v.extend_from_slice(&[1.0; 8]);
+        let ptr = v.as_ptr();
+        let arc = publish_f64(v);
+        drop(arc); // lent entry is now the only owner
+        let v2 = take_f64(8);
+        assert_eq!(v2.as_ptr(), ptr, "take must reuse the reclaimed buffer");
+        assert!(v2.is_empty(), "reused buffers are handed out empty");
+    }
+
+    #[test]
+    fn disown_enables_unique_ownership() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _s = scope(4);
+        let mut v = take_f64(4);
+        v.extend_from_slice(&[1.0; 4]);
+        let mut arc = publish_f64(v);
+        assert_eq!(Arc::strong_count(&arc), 2);
+        assert!(disown_f64(&arc));
+        assert_eq!(Arc::strong_count(&arc), 1);
+        // make_mut is now in-place (no copy) — and a second disown is a no-op.
+        let ptr = arc.as_ptr();
+        Arc::make_mut(&mut arc)[0] = 9.0;
+        assert_eq!(arc.as_ptr(), ptr);
+        assert!(!disown_f64(&arc));
+    }
+
+    #[test]
+    fn zero_capacity_scope_is_inert() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_capacity_override(Some(0));
+        let before = alloc_stats();
+        {
+            let _s = scope(16);
+            let v = take_i64(8);
+            let _ = publish_i64(v);
+            let v2 = take_i64(8);
+            drop(v2);
+        }
+        let after = alloc_stats();
+        set_capacity_override(None);
+        assert!(after.heap_allocs - before.heap_allocs >= 2);
+    }
+
+    #[test]
+    fn give_feeds_the_free_pool() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _s = scope(4);
+        let mut v = take_bool(8);
+        v.push(true);
+        let ptr = v.as_ptr();
+        give_bool(v);
+        let v2 = take_bool(8);
+        assert_eq!(v2.as_ptr(), ptr);
+        assert!(v2.is_empty());
+    }
+
+    #[test]
+    fn reservations_are_a_gauge() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = alloc_stats().reserved_slots;
+        reserve_slots(5);
+        assert_eq!(alloc_stats().reserved_slots, before + 5);
+        release_slots(5);
+        assert_eq!(alloc_stats().reserved_slots, before);
+    }
+}

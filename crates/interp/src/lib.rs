@@ -26,6 +26,7 @@
 //! ```
 
 pub mod acc;
+pub mod arena;
 pub mod backend;
 pub mod error;
 pub mod eval;
@@ -33,6 +34,7 @@ pub mod pool;
 pub mod value;
 
 pub use acc::Accum;
+pub use arena::{alloc_stats, AllocStats, ArenaScope};
 pub use backend::{validate_args, Backend, Executable};
 pub use error::ExecError;
 pub use eval::{ExecConfig, Interp};

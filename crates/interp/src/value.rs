@@ -11,6 +11,7 @@ use std::sync::Arc;
 use fir::types::{ScalarType, Type};
 
 use crate::acc::Accum;
+use crate::arena;
 
 /// The flat element storage of an array.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +63,7 @@ impl Array {
         );
         Array {
             shape,
-            data: Data::F64(Arc::new(data)),
+            data: Data::F64(arena::publish_f64(data)),
         }
     }
 
@@ -75,7 +76,7 @@ impl Array {
         );
         Array {
             shape,
-            data: Data::I64(Arc::new(data)),
+            data: Data::I64(arena::publish_i64(data)),
         }
     }
 
@@ -88,7 +89,7 @@ impl Array {
         );
         Array {
             shape,
-            data: Data::Bool(Arc::new(data)),
+            data: Data::Bool(arena::publish_bool(data)),
         }
     }
 
@@ -108,9 +109,21 @@ impl Array {
     pub fn zeros(elem: ScalarType, shape: Vec<usize>) -> Array {
         let n: usize = shape.iter().product();
         let data = match elem {
-            ScalarType::F64 => Data::F64(Arc::new(vec![0.0; n])),
-            ScalarType::I64 => Data::I64(Arc::new(vec![0; n])),
-            ScalarType::Bool => Data::Bool(Arc::new(vec![false; n])),
+            ScalarType::F64 => {
+                let mut v = arena::take_f64(n);
+                v.resize(n, 0.0);
+                Data::F64(arena::publish_f64(v))
+            }
+            ScalarType::I64 => {
+                let mut v = arena::take_i64(n);
+                v.resize(n, 0);
+                Data::I64(arena::publish_i64(v))
+            }
+            ScalarType::Bool => {
+                let mut v = arena::take_bool(n);
+                v.resize(n, false);
+                Data::Bool(arena::publish_bool(v))
+            }
         };
         Array { shape, data }
     }
@@ -164,10 +177,14 @@ impl Array {
         }
     }
 
-    /// Mutable `f64` data (copy-on-write).
+    /// Mutable `f64` data (copy-on-write; an arena-lent reference that is
+    /// the only other owner is dropped first so the write is in-place).
     pub fn f64s_mut(&mut self) -> &mut Vec<f64> {
         match &mut self.data {
-            Data::F64(v) => Arc::make_mut(v),
+            Data::F64(v) => {
+                arena::disown_f64(v);
+                Arc::make_mut(v)
+            }
             other => panic!("expected f64 array, got {:?}", other.elem()),
         }
     }
@@ -175,7 +192,10 @@ impl Array {
     /// Mutable `i64` data (copy-on-write).
     pub fn i64s_mut(&mut self) -> &mut Vec<i64> {
         match &mut self.data {
-            Data::I64(v) => Arc::make_mut(v),
+            Data::I64(v) => {
+                arena::disown_i64(v);
+                Arc::make_mut(v)
+            }
             other => panic!("expected i64 array, got {:?}", other.elem()),
         }
     }
@@ -183,7 +203,10 @@ impl Array {
     /// Mutable `bool` data (copy-on-write).
     pub fn bools_mut(&mut self) -> &mut Vec<bool> {
         match &mut self.data {
-            Data::Bool(v) => Arc::make_mut(v),
+            Data::Bool(v) => {
+                arena::disown_bool(v);
+                Arc::make_mut(v)
+            }
             other => panic!("expected bool array, got {:?}", other.elem()),
         }
     }
@@ -217,10 +240,22 @@ impl Array {
             }
         } else {
             let n: usize = sub_shape.iter().product();
+            fn slice<T: Copy>(src: &[T], take: impl Fn(usize) -> Vec<T>) -> Vec<T> {
+                let mut out = take(src.len());
+                out.extend_from_slice(src);
+                out
+            }
             let data = match &self.data {
-                Data::F64(v) => Data::F64(Arc::new(v[off..off + n].to_vec())),
-                Data::I64(v) => Data::I64(Arc::new(v[off..off + n].to_vec())),
-                Data::Bool(v) => Data::Bool(Arc::new(v[off..off + n].to_vec())),
+                Data::F64(v) => {
+                    Data::F64(arena::publish_f64(slice(&v[off..off + n], arena::take_f64)))
+                }
+                Data::I64(v) => {
+                    Data::I64(arena::publish_i64(slice(&v[off..off + n], arena::take_i64)))
+                }
+                Data::Bool(v) => Data::Bool(arena::publish_bool(slice(
+                    &v[off..off + n],
+                    arena::take_bool,
+                ))),
             };
             Value::Arr(Array {
                 shape: sub_shape,
@@ -234,16 +269,28 @@ impl Array {
         let (off, sub_shape) = self.offset_of(idx);
         let n: usize = sub_shape.iter().product();
         match (&mut self.data, val) {
-            (Data::F64(v), Value::F64(x)) => Arc::make_mut(v)[off] = *x,
-            (Data::I64(v), Value::I64(x)) => Arc::make_mut(v)[off] = *x,
-            (Data::Bool(v), Value::Bool(x)) => Arc::make_mut(v)[off] = *x,
+            (Data::F64(v), Value::F64(x)) => {
+                arena::disown_f64(v);
+                Arc::make_mut(v)[off] = *x;
+            }
+            (Data::I64(v), Value::I64(x)) => {
+                arena::disown_i64(v);
+                Arc::make_mut(v)[off] = *x;
+            }
+            (Data::Bool(v), Value::Bool(x)) => {
+                arena::disown_bool(v);
+                Arc::make_mut(v)[off] = *x;
+            }
             (Data::F64(v), Value::Arr(a)) => {
+                arena::disown_f64(v);
                 Arc::make_mut(v)[off..off + n].copy_from_slice(a.f64s())
             }
             (Data::I64(v), Value::Arr(a)) => {
+                arena::disown_i64(v);
                 Arc::make_mut(v)[off..off + n].copy_from_slice(a.i64s())
             }
             (Data::Bool(v), Value::Arr(a)) => {
+                arena::disown_bool(v);
                 Arc::make_mut(v)[off..off + n].copy_from_slice(a.bools())
             }
             (d, v) => panic!("write: element type mismatch {:?} <- {:?}", d.elem(), v),
@@ -254,17 +301,22 @@ impl Array {
     pub fn reverse(&self) -> Array {
         let n = self.len();
         let stride = self.stride();
-        fn rev<T: Copy>(src: &[T], n: usize, stride: usize) -> Vec<T> {
-            let mut out = Vec::with_capacity(src.len());
+        fn rev<T: Copy>(
+            src: &[T],
+            n: usize,
+            stride: usize,
+            take: impl Fn(usize) -> Vec<T>,
+        ) -> Vec<T> {
+            let mut out = take(src.len());
             for i in (0..n).rev() {
                 out.extend_from_slice(&src[i * stride..(i + 1) * stride]);
             }
             out
         }
         let data = match &self.data {
-            Data::F64(v) => Data::F64(Arc::new(rev(v, n, stride))),
-            Data::I64(v) => Data::I64(Arc::new(rev(v, n, stride))),
-            Data::Bool(v) => Data::Bool(Arc::new(rev(v, n, stride))),
+            Data::F64(v) => Data::F64(arena::publish_f64(rev(v, n, stride, arena::take_f64))),
+            Data::I64(v) => Data::I64(arena::publish_i64(rev(v, n, stride, arena::take_i64))),
+            Data::Bool(v) => Data::Bool(arena::publish_bool(rev(v, n, stride, arena::take_bool))),
         };
         Array {
             shape: self.shape.clone(),
@@ -294,33 +346,33 @@ impl Array {
                 shape.extend_from_slice(&a0.shape);
                 match &a0.data {
                     Data::F64(_) => {
-                        let mut data = Vec::with_capacity(shape.iter().product());
+                        let mut data = arena::take_f64(shape.iter().product());
                         for v in elems {
                             data.extend_from_slice(v.as_arr().f64s());
                         }
                         Array {
                             shape,
-                            data: Data::F64(Arc::new(data)),
+                            data: Data::F64(arena::publish_f64(data)),
                         }
                     }
                     Data::I64(_) => {
-                        let mut data = Vec::with_capacity(shape.iter().product());
+                        let mut data = arena::take_i64(shape.iter().product());
                         for v in elems {
                             data.extend_from_slice(v.as_arr().i64s());
                         }
                         Array {
                             shape,
-                            data: Data::I64(Arc::new(data)),
+                            data: Data::I64(arena::publish_i64(data)),
                         }
                     }
                     Data::Bool(_) => {
-                        let mut data = Vec::with_capacity(shape.iter().product());
+                        let mut data = arena::take_bool(shape.iter().product());
                         for v in elems {
                             data.extend_from_slice(v.as_arr().bools());
                         }
                         Array {
                             shape,
-                            data: Data::Bool(Arc::new(data)),
+                            data: Data::Bool(arena::publish_bool(data)),
                         }
                     }
                 }

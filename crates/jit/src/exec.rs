@@ -10,7 +10,7 @@
 //! one-partial shortcut and the sequential partial combine all match the
 //! VM's reduce/redomap execution exactly.
 
-use interp::{Accum, ExecConfig};
+use interp::{arena, Accum, ExecConfig};
 
 use firvm::pool::run_chunked;
 
@@ -617,7 +617,7 @@ pub(crate) fn run_map(
         load_caps(k, &mut f4, &mut b4, &mut i4, caps);
         let (mut f1, mut b1, mut i1) = init_frame::<1>(&k.tape);
         load_caps(k, &mut f1, &mut b1, &mut i1, caps);
-        let mut out: Vec<Vec<f64>> = frets.iter().map(|_| Vec::with_capacity(hi - lo)).collect();
+        let mut out: Vec<Vec<f64>> = frets.iter().map(|_| arena::take_f64(hi - lo)).collect();
         let mut i = lo;
         if block4 {
             while i + 4 <= hi {
@@ -639,10 +639,14 @@ pub(crate) fn run_map(
         }
         out
     });
-    let mut res: Vec<Vec<f64>> = frets.iter().map(|_| Vec::with_capacity(n)).collect();
+    if chunk_outs.len() == 1 {
+        return chunk_outs.into_iter().next().unwrap();
+    }
+    let mut res: Vec<Vec<f64>> = frets.iter().map(|_| arena::take_f64(n)).collect();
     for chunk in chunk_outs {
         for (j, mut col) in chunk.into_iter().enumerate() {
             res[j].append(&mut col);
+            arena::give_f64(col);
         }
     }
     res
@@ -789,7 +793,7 @@ pub(crate) fn run_scan(
     load_caps(k, &mut f, &mut b, &mut ii, caps);
     let mut acc = ne.to_vec();
     let mut elems = vec![0.0f64; args.len()];
-    let mut out: Vec<Vec<f64>> = k.tape.rets.iter().map(|_| Vec::with_capacity(n)).collect();
+    let mut out: Vec<Vec<f64>> = k.tape.rets.iter().map(|_| arena::take_f64(n)).collect();
     for i in 0..n {
         for (j, arr) in args.iter().enumerate() {
             elems[j] = arr[i];

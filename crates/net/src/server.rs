@@ -292,6 +292,13 @@ fn merge_snapshots(snaps: Vec<MetricsSnapshot>) -> MetricsSnapshot {
     let mut merged = iter.next().expect("at least one shard");
     for s in iter {
         merged.uptime = merged.uptime.max(s.uptime);
+        // The arena counters are process-global (each shard snapshotted
+        // the same counters at a slightly different instant); keep the
+        // freshest view of each monotonic counter rather than summing.
+        merged.alloc.heap_allocs = merged.alloc.heap_allocs.max(s.alloc.heap_allocs);
+        merged.alloc.arena_hits = merged.alloc.arena_hits.max(s.alloc.arena_hits);
+        merged.alloc.pooled_bytes = merged.alloc.pooled_bytes.max(s.alloc.pooled_bytes);
+        merged.alloc.reserved_slots = merged.alloc.reserved_slots.max(s.alloc.reserved_slots);
         for f in s.fns {
             match merged.fns.iter_mut().find(|m| m.fn_key == f.fn_key) {
                 None => merged.fns.push(f),

@@ -19,26 +19,31 @@
 //!   whole duplicated SOACs, not just scalar ops.
 //! * [`hoist_invariants`] ([`hoist`]) — loop/map-invariant code motion out
 //!   of SOAC lambdas and sequential loops.
+//! * [`memplan()`] ([`mod@memplan`]) — memory planning: lifetime-based
+//!   elimination of `copy`s whose source is dead afterwards (the in-place
+//!   lowering the CoW runtime then exploits without a deep copy), plus a
+//!   per-program [`BufferPlan`] sizing the executor's per-invocation
+//!   arena.
 //!
 //! Every pass preserves results **bitwise** on every backend and in every
 //! execution configuration: rewrites never reassociate floating-point
 //! operations, constants are compared by bit pattern, value-changing
 //! "identities" like `x * 0.0 -> 0.0` (wrong for `inf`/`NaN`) are not
-//! applied, and `redomap` chunks exactly like the `reduce` it replaces.
-//! One bit-level (not value-level) caveat: folding `x + 0.0 -> x` keeps a
-//! negative zero's sign bit where the unfolded addition would clear it —
-//! `-0.0 == +0.0`, so every comparison and downstream computation is
-//! unaffected.
+//! applied, zero identities fold only for the operand signs that are
+//! exact at the bit level (`x + (-0.0)`, `x - (+0.0)`), and `redomap`
+//! chunks exactly like the `reduce` it replaces.
 
 pub mod cse;
 pub mod fusion;
 pub mod hoist;
+pub mod memplan;
 pub mod simplify;
 pub mod stats;
 
 pub use cse::{cse, cse_counted};
 pub use fusion::{fuse_soacs, fuse_soacs_counted};
 pub use hoist::{hoist_invariants, hoist_invariants_counted};
+pub use memplan::{memplan, memplan_counted, plan_buffers, BufferPlan};
 pub use simplify::{
     constant_fold, constant_fold_counted, copy_propagation, copy_propagation_counted,
     dead_code_elimination, dead_code_elimination_counted, simplify,

@@ -1,0 +1,648 @@
+//! Memory planning: lifetime-based in-place lowering and buffer-slot
+//! planning, run after fusion.
+//!
+//! The pass has two products:
+//!
+//! 1. **In-place lowering** ([`memplan`] / [`memplan_counted`]): a backward
+//!    liveness scan per body finds `let y = copy x` bindings whose source
+//!    `x` has no later use — neither in the remainder of the enclosing
+//!    body, nor in any enclosing scope's remainder, nor in a re-execution
+//!    of the surrounding loop/SOAC body. Such a copy exists only to give a
+//!    downstream consumer (`update`, `scatter`, `withacc`) a uniquely-owned
+//!    buffer; when the source is dead the copy is rewritten to a plain
+//!    alias, copy propagation folds the alias away, and the consumer's
+//!    copy-on-write `Arc::make_mut` then finds a uniquely-held buffer and
+//!    mutates it **in place** instead of deep-copying. The rewrite is
+//!    bitwise-neutral on every backend: the IR is purely functional, so a
+//!    `copy` is semantically the identity — the runtime's copy-on-write
+//!    discipline alone decides whether a physical copy happens.
+//!
+//! 2. **Buffer planning** ([`plan_buffers`]): the same liveness computation
+//!    aggregated per shape class `(element type, rank)` — the maximum
+//!    number of simultaneously-live array bindings at any program point, a
+//!    statement-granularity upper bound on how many distinct buffers per
+//!    class an execution can have in flight. The executor sizes its
+//!    per-invocation arena (`interp::arena`) from the plan's slot count;
+//!    byte sizes are runtime quantities (types carry only rank) and are
+//!    tracked by the arena itself.
+//!
+//! Safety reuses the consumption machinery shared with fusion's
+//! update/scatter guards (`cse::collect_consumed`): a copy
+//! whose *source* id is consumed anywhere in the function is never
+//! rewritten. Binder ids are legally reused across sibling scopes (the
+//! `vjp` transformation re-emits statements with their original ids), so
+//! this conservative function-wide guard keeps the alias introduction away
+//! from any binding that shared mutable state (accumulators, scatter
+//! destinations) might touch. The fixpoint pipeline makes the guard
+//! self-stabilizing: once an eliminated copy turns `update y` into
+//! `update x`, `x` itself joins the consumed set and further copies of it
+//! are left alone.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use fir::free_vars::FreeVars;
+use fir::ir::{Atom, Body, Exp, Fun, Lambda, Stm, VarId};
+use fir::types::{ScalarType, Type};
+
+use crate::cse::collect_consumed;
+
+// ---------------------------------------------------------------------
+// In-place lowering: dead-source copy elimination
+// ---------------------------------------------------------------------
+
+/// Rewrite `let y = copy x` to `let y = x` wherever `x` is provably dead
+/// after the statement (see the module docs for the exact condition).
+pub fn memplan(fun: &Fun) -> Fun {
+    memplan_counted(fun).0
+}
+
+/// [`memplan`], also returning the number of copies eliminated.
+pub fn memplan_counted(fun: &Fun) -> (Fun, usize) {
+    let mut consumed = HashSet::new();
+    collect_consumed(&fun.body, &mut consumed);
+    let mut count = 0;
+    let outer_live = BTreeSet::new();
+    let body = mp_body(&fun.body, &outer_live, &consumed, &mut count);
+    (
+        Fun {
+            name: fun.name.clone(),
+            params: fun.params.clone(),
+            body,
+            ret: fun.ret.clone(),
+        },
+        count,
+    )
+}
+
+/// Backward liveness over one body. `outer_live` is every variable that may
+/// still be read after this body finishes (enclosing remainders) or on a
+/// re-execution of this body (loop/SOAC free variables).
+fn mp_body(
+    body: &Body,
+    outer_live: &BTreeSet<VarId>,
+    consumed: &HashSet<VarId>,
+    count: &mut usize,
+) -> Body {
+    // `live` = variables with a use strictly after the current point,
+    // within this body (the result counts as the final use site).
+    let mut live: BTreeSet<VarId> = BTreeSet::new();
+    for a in &body.result {
+        if let Atom::Var(v) = a {
+            live.insert(*v);
+        }
+    }
+    let mut rev: Vec<Stm> = Vec::with_capacity(body.stms.len());
+    for stm in body.stms.iter().rev() {
+        // Later uses of a name this statement binds refer to *this*
+        // binding, not an earlier one of the same id.
+        for p in &stm.pat {
+            live.remove(&p.var);
+        }
+        let exp = match &stm.exp {
+            Exp::Copy(x)
+                if !live.contains(x) && !outer_live.contains(x) && !consumed.contains(x) =>
+            {
+                *count += 1;
+                Exp::Atom(Atom::Var(*x))
+            }
+            e => mp_exp(e, &live, outer_live, consumed, count),
+        };
+        for v in exp.free_vars() {
+            live.insert(v);
+        }
+        rev.push(Stm::new(stm.pat.clone(), exp));
+    }
+    rev.reverse();
+    Body::new(rev, body.result.clone())
+}
+
+/// The liveness a nested scope at the current point must treat as external:
+/// everything live after the enclosing statement plus everything already
+/// live outside the enclosing body.
+fn child_live(live_after: &BTreeSet<VarId>, outer_live: &BTreeSet<VarId>) -> BTreeSet<VarId> {
+    live_after.union(outer_live).copied().collect()
+}
+
+/// Like [`child_live`], but for bodies that may execute more than once
+/// (loops and SOAC lambdas): any free variable of the expression can be
+/// read again by the next iteration, so it must stay live throughout.
+fn reexec_live(
+    e: &Exp,
+    live_after: &BTreeSet<VarId>,
+    outer_live: &BTreeSet<VarId>,
+) -> BTreeSet<VarId> {
+    let mut out = child_live(live_after, outer_live);
+    out.extend(e.free_vars());
+    out
+}
+
+fn mp_lambda(
+    lam: &Lambda,
+    outer: &BTreeSet<VarId>,
+    consumed: &HashSet<VarId>,
+    count: &mut usize,
+) -> Lambda {
+    Lambda {
+        params: lam.params.clone(),
+        body: mp_body(&lam.body, outer, consumed, count),
+        ret: lam.ret.clone(),
+    }
+}
+
+fn mp_exp(
+    e: &Exp,
+    live_after: &BTreeSet<VarId>,
+    outer_live: &BTreeSet<VarId>,
+    consumed: &HashSet<VarId>,
+    count: &mut usize,
+) -> Exp {
+    match e {
+        Exp::If {
+            cond,
+            then_br,
+            else_br,
+        } => {
+            // Branches are alternatives: each runs at most once, and a
+            // variable only one branch reads need not survive the other.
+            let outer = child_live(live_after, outer_live);
+            Exp::If {
+                cond: *cond,
+                then_br: mp_body(then_br, &outer, consumed, count),
+                else_br: mp_body(else_br, &outer, consumed, count),
+            }
+        }
+        Exp::Loop {
+            params,
+            index,
+            count: loop_count,
+            body,
+        } => {
+            let outer = reexec_live(e, live_after, outer_live);
+            Exp::Loop {
+                params: params.clone(),
+                index: *index,
+                count: *loop_count,
+                body: mp_body(body, &outer, consumed, count),
+            }
+        }
+        Exp::Map { lam, args } => {
+            let outer = reexec_live(e, live_after, outer_live);
+            Exp::Map {
+                lam: mp_lambda(lam, &outer, consumed, count),
+                args: args.clone(),
+            }
+        }
+        Exp::Reduce { lam, neutral, args } => {
+            let outer = reexec_live(e, live_after, outer_live);
+            Exp::Reduce {
+                lam: mp_lambda(lam, &outer, consumed, count),
+                neutral: neutral.clone(),
+                args: args.clone(),
+            }
+        }
+        Exp::Scan { lam, neutral, args } => {
+            let outer = reexec_live(e, live_after, outer_live);
+            Exp::Scan {
+                lam: mp_lambda(lam, &outer, consumed, count),
+                neutral: neutral.clone(),
+                args: args.clone(),
+            }
+        }
+        Exp::Redomap {
+            red_lam,
+            map_lam,
+            neutral,
+            args,
+        } => {
+            let outer = reexec_live(e, live_after, outer_live);
+            Exp::Redomap {
+                red_lam: mp_lambda(red_lam, &outer, consumed, count),
+                map_lam: mp_lambda(map_lam, &outer, consumed, count),
+                neutral: neutral.clone(),
+                args: args.clone(),
+            }
+        }
+        Exp::WithAcc { arrs, lam } => {
+            // The lambda runs once, but its accumulator parameters are live
+            // mutable views of `arrs`; treat everything the expression can
+            // reach as external, like a re-executed scope.
+            let outer = reexec_live(e, live_after, outer_live);
+            Exp::WithAcc {
+                arrs: arrs.clone(),
+                lam: mp_lambda(lam, &outer, consumed, count),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buffer planning
+// ---------------------------------------------------------------------
+
+/// A buffer shape class: element type and rank. Concrete extents are
+/// runtime quantities, so planning groups buffers at this granularity —
+/// the same granularity at which the executor's arena pools buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeClass {
+    pub elem: ScalarType,
+    pub rank: usize,
+}
+
+impl std::fmt::Display for ShapeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for _ in 0..self.rank {
+            write!(f, "[]")?;
+        }
+        write!(f, "{}", self.elem)
+    }
+}
+
+/// The per-program buffer plan: for each shape class, the maximum number
+/// of simultaneously-live array bindings at any statement boundary (a
+/// statement-granularity upper bound, counting every nesting depth).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BufferPlan {
+    classes: Vec<(ShapeClass, usize)>,
+}
+
+impl BufferPlan {
+    /// Total planned buffer slots, summed over shape classes. Sizes the
+    /// executor's per-invocation arena.
+    pub fn slots(&self) -> usize {
+        self.classes.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The per-class maxima, deterministically ordered.
+    pub fn classes(&self) -> &[(ShapeClass, usize)] {
+        &self.classes
+    }
+
+    /// The maximum simultaneously-live count for one class (0 if the class
+    /// never occurs).
+    pub fn max_live(&self, class: ShapeClass) -> usize {
+        self.classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+impl std::fmt::Display for BufferPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} slots (", self.slots())?;
+        for (i, (c, n)) in self.classes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}: {n}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Compute the buffer plan of an (optimized) function: walk every body
+/// backward tracking which array-typed bindings are live, and record the
+/// per-class high-water mark.
+pub fn plan_buffers(fun: &Fun) -> BufferPlan {
+    let mut types: HashMap<VarId, Type> = fun.params.iter().map(|p| (p.var, p.ty)).collect();
+    collect_types(&fun.body, &mut types);
+    let mut max: HashMap<ShapeClass, usize> = HashMap::new();
+    let live_out = BTreeSet::new();
+    plan_body(&fun.body, &live_out, &types, &mut max);
+    let mut classes: Vec<(ShapeClass, usize)> = max.into_iter().collect();
+    classes.sort_by_key(|(c, _)| (c.rank, format!("{}", c.elem)));
+    BufferPlan { classes }
+}
+
+/// Every binder's type, at any depth. Binder ids reused across sibling
+/// scopes collide here; since planning only needs the shape *class*, the
+/// collision is benign (the ids are rebound at the same type by
+/// construction, and a mismatch merely shifts a count between classes).
+fn collect_types(body: &Body, types: &mut HashMap<VarId, Type>) {
+    fn lambda(l: &Lambda, types: &mut HashMap<VarId, Type>) {
+        for p in &l.params {
+            types.insert(p.var, p.ty);
+        }
+        collect_types(&l.body, types);
+    }
+    for stm in &body.stms {
+        for p in &stm.pat {
+            types.insert(p.var, p.ty);
+        }
+        match &stm.exp {
+            Exp::If {
+                then_br, else_br, ..
+            } => {
+                collect_types(then_br, types);
+                collect_types(else_br, types);
+            }
+            Exp::Loop {
+                params,
+                index,
+                body: lb,
+                ..
+            } => {
+                for (p, _) in params {
+                    types.insert(p.var, p.ty);
+                }
+                types.insert(*index, Type::I64);
+                collect_types(lb, types);
+            }
+            Exp::Map { lam, .. }
+            | Exp::Reduce { lam, .. }
+            | Exp::Scan { lam, .. }
+            | Exp::WithAcc { lam, .. } => lambda(lam, types),
+            Exp::Redomap {
+                red_lam, map_lam, ..
+            } => {
+                lambda(red_lam, types);
+                lambda(map_lam, types);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn record(
+    live: &BTreeSet<VarId>,
+    types: &HashMap<VarId, Type>,
+    max: &mut HashMap<ShapeClass, usize>,
+) {
+    let mut here: HashMap<ShapeClass, usize> = HashMap::new();
+    for v in live {
+        if let Some(ty @ Type::Array { .. }) = types.get(v) {
+            let class = ShapeClass {
+                elem: ty.elem(),
+                rank: ty.rank(),
+            };
+            *here.entry(class).or_insert(0) += 1;
+        }
+    }
+    for (class, n) in here {
+        let m = max.entry(class).or_insert(0);
+        *m = (*m).max(n);
+    }
+}
+
+fn plan_lambda(
+    lam: &Lambda,
+    live_out: &BTreeSet<VarId>,
+    types: &HashMap<VarId, Type>,
+    max: &mut HashMap<ShapeClass, usize>,
+) {
+    plan_body(&lam.body, live_out, types, max);
+}
+
+fn plan_body(
+    body: &Body,
+    live_out: &BTreeSet<VarId>,
+    types: &HashMap<VarId, Type>,
+    max: &mut HashMap<ShapeClass, usize>,
+) {
+    let mut live = live_out.clone();
+    for a in &body.result {
+        if let Atom::Var(v) = a {
+            live.insert(*v);
+        }
+    }
+    record(&live, types, max);
+    for stm in body.stms.iter().rev() {
+        for p in &stm.pat {
+            live.remove(&p.var);
+        }
+        // While the statement executes, everything it reads — and the
+        // buffers it is producing — is live on top of everything needed
+        // afterwards; nested scopes see that set as their live-out.
+        let mut during = live.clone();
+        during.extend(stm.exp.free_vars());
+        during.extend(stm.pat.iter().map(|p| p.var));
+        record(&during, types, max);
+        match &stm.exp {
+            Exp::If {
+                then_br, else_br, ..
+            } => {
+                plan_body(then_br, &during, types, max);
+                plan_body(else_br, &during, types, max);
+            }
+            Exp::Loop {
+                body: loop_body, ..
+            } => {
+                plan_body(loop_body, &during, types, max);
+            }
+            Exp::Map { lam, .. } | Exp::Reduce { lam, .. } | Exp::Scan { lam, .. } => {
+                plan_lambda(lam, &during, types, max);
+            }
+            Exp::Redomap {
+                red_lam, map_lam, ..
+            } => {
+                plan_lambda(red_lam, &during, types, max);
+                plan_lambda(map_lam, &during, types, max);
+            }
+            Exp::WithAcc { lam, .. } => plan_lambda(lam, &during, types, max),
+            _ => {}
+        }
+        live.extend(stm.exp.free_vars());
+        record(&live, types, max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::copy_propagation;
+    use fir::builder::Builder;
+    use fir::typecheck::check_fun;
+    use interp::{Interp, Value};
+
+    /// `let y = copy x; let z = y with [0] <- 9.0` where `x` is dead after
+    /// the copy: the copy must be eliminated.
+    fn copy_then_update(live_tail: bool) -> Fun {
+        let mut b = Builder::new();
+        b.build_fun("cu", &[Type::arr_f64(1)], |b, ps| {
+            let y = b.bind1(Type::arr_f64(1), Exp::Copy(ps[0]));
+            let z = b.bind1(
+                Type::arr_f64(1),
+                Exp::Update {
+                    arr: y,
+                    idx: vec![Atom::i64(0)],
+                    val: Atom::f64(9.0),
+                },
+            );
+            if live_tail {
+                // A later read of x keeps the copy protective.
+                let t = b.bind1(
+                    Type::F64,
+                    Exp::Index {
+                        arr: ps[0],
+                        idx: vec![Atom::i64(0)],
+                    },
+                );
+                let s = b.bind1(
+                    Type::F64,
+                    Exp::Index {
+                        arr: z,
+                        idx: vec![Atom::i64(0)],
+                    },
+                );
+                vec![b.fadd(Atom::Var(t), Atom::Var(s))]
+            } else {
+                vec![Atom::Var(z)]
+            }
+        })
+    }
+
+    fn count_copies(fun: &Fun) -> usize {
+        fn body(b: &Body) -> usize {
+            b.stms
+                .iter()
+                .map(|s| match &s.exp {
+                    Exp::Copy(_) => 1,
+                    Exp::If {
+                        then_br, else_br, ..
+                    } => body(then_br) + body(else_br),
+                    Exp::Loop { body: lb, .. } => body(lb),
+                    Exp::Map { lam, .. }
+                    | Exp::Reduce { lam, .. }
+                    | Exp::Scan { lam, .. }
+                    | Exp::WithAcc { lam, .. } => body(&lam.body),
+                    Exp::Redomap {
+                        red_lam, map_lam, ..
+                    } => body(&red_lam.body) + body(&map_lam.body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        body(&fun.body)
+    }
+
+    #[test]
+    fn dead_source_copy_is_eliminated_bitwise() {
+        let fun = copy_then_update(false);
+        let (planned, n) = memplan_counted(&fun);
+        assert_eq!(n, 1, "the protective copy of a dead source goes away");
+        assert_eq!(count_copies(&planned), 0);
+        check_fun(&planned).unwrap();
+        // After copy propagation the update consumes the parameter directly.
+        let propagated = copy_propagation(&planned);
+        let has_direct_update = propagated
+            .body
+            .stms
+            .iter()
+            .any(|s| matches!(&s.exp, Exp::Update { arr, .. } if *arr == fun.params[0].var));
+        assert!(has_direct_update, "alias must fold into the consumer");
+        let args = [Value::from(vec![1.0, 2.0, 3.0])];
+        let a = Interp::sequential().run(&fun, &args);
+        let b = Interp::sequential().run(&propagated, &args);
+        assert_eq!(a[0].as_arr().f64s(), b[0].as_arr().f64s());
+    }
+
+    #[test]
+    fn live_source_copy_is_kept() {
+        let fun = copy_then_update(true);
+        let (planned, n) = memplan_counted(&fun);
+        assert_eq!(n, 0, "a later read of the source keeps the copy");
+        assert_eq!(count_copies(&planned), 1);
+    }
+
+    #[test]
+    fn loop_carried_source_copy_is_kept() {
+        // The copied variable is free in the loop body: the next iteration
+        // reads it again, so the copy must survive.
+        let mut b = Builder::new();
+        let fun = b.build_fun("lc", &[Type::arr_f64(1)], |b, ps| {
+            let r = b.loop_(
+                &[(Type::arr_f64(1), Atom::Var(ps[0]))],
+                Atom::i64(3),
+                |b, _i, acc| {
+                    let y = b.bind1(Type::arr_f64(1), Exp::Copy(ps[0]));
+                    let z = b.bind1(
+                        Type::arr_f64(1),
+                        Exp::Update {
+                            arr: y,
+                            idx: vec![Atom::i64(0)],
+                            val: Atom::f64(1.0),
+                        },
+                    );
+                    let _ = acc;
+                    vec![Atom::Var(z)]
+                },
+            );
+            vec![r[0].into()]
+        });
+        let (_, n) = memplan_counted(&fun);
+        assert_eq!(n, 0, "loop re-execution keeps the source live");
+    }
+
+    #[test]
+    fn consumed_source_guard_blocks_the_rewrite() {
+        // x is scatter-consumed elsewhere: the conservative guard keeps the
+        // copy even though liveness alone would allow the rewrite.
+        let mut b = Builder::new();
+        let fun = b.build_fun(
+            "cg",
+            &[Type::arr_f64(1), Type::arr_i64(1), Type::arr_f64(1)],
+            |b, ps| {
+                let s = b.bind1(
+                    Type::arr_f64(1),
+                    Exp::Scatter {
+                        dest: ps[0],
+                        inds: ps[1],
+                        vals: ps[2],
+                    },
+                );
+                let y = b.bind1(Type::arr_f64(1), Exp::Copy(ps[0]));
+                let z = b.bind1(
+                    Type::arr_f64(1),
+                    Exp::Update {
+                        arr: y,
+                        idx: vec![Atom::i64(0)],
+                        val: Atom::f64(9.0),
+                    },
+                );
+                vec![Atom::Var(s), Atom::Var(z)]
+            },
+        );
+        let (_, n) = memplan_counted(&fun);
+        assert_eq!(n, 0, "a consumed source id is never aliased");
+    }
+
+    #[test]
+    fn buffer_plan_counts_simultaneously_live_arrays() {
+        let mut b = Builder::new();
+        let fun = b.build_fun("bp", &[Type::arr_f64(1)], |b, ps| {
+            // Two rank-1 f64 arrays live at once (a and b feed the final
+            // map), plus the parameter.
+            let a = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fmul(es[0].into(), es[0].into())]
+            });
+            let c = b.map1(Type::arr_f64(1), &[ps[0]], |b, es| {
+                vec![b.fadd(es[0].into(), Atom::f64(1.0))]
+            });
+            let d = b.map1(Type::arr_f64(1), &[a, c], |b, es| {
+                vec![b.fadd(es[0].into(), es[1].into())]
+            });
+            vec![Atom::Var(d)]
+        });
+        let plan = plan_buffers(&fun);
+        let class = ShapeClass {
+            elem: ScalarType::F64,
+            rank: 1,
+        };
+        assert!(
+            plan.max_live(class) >= 3,
+            "param + two intermediates live at once, got {plan}"
+        );
+        assert_eq!(plan.slots(), plan.classes().iter().map(|(_, n)| n).sum());
+        assert!(format!("{plan}").contains("slots"));
+    }
+
+    #[test]
+    fn memplan_is_idempotent() {
+        let fun = copy_then_update(false);
+        let (once, _) = memplan_counted(&fun);
+        let (twice, n) = memplan_counted(&once);
+        assert_eq!(n, 0);
+        assert_eq!(once, twice);
+    }
+}

@@ -421,16 +421,17 @@ fn cf_exp(e: &Exp, count: &mut usize) -> Exp {
             // Note the identities that are deliberately *absent*:
             // `x * 0.0 -> 0.0` is not value-preserving (`inf * 0 = NaN`,
             // `NaN * 0 = NaN`, `-x * 0 = -0.0`), and `x - x`/`x / x` never
-            // fold for the same reason. `x + 0.0 -> x` is value-preserving
-            // for every input; the one bit-level caveat (`-0.0 + 0.0` is
-            // `+0.0`, the fold keeps `-0.0`) is documented at the crate
-            // level — the equality `-0.0 == +0.0` still holds. The `Sub`
-            // identity is restricted to a *positive*-zero subtrahend (bit
-            // pattern 0) so it is exact: `x - (-0.0)` would clear the sign
-            // of `x = -0.0`.
+            // fold for the same reason. The zero identities are restricted
+            // to the operand signs that are *bitwise* exact under
+            // round-to-nearest: `x + (-0.0) -> x` holds for every `x`
+            // (including `x = -0.0`), but `x + (+0.0)` clears a negative
+            // zero's sign bit, so a positive-zero addend never folds.
+            // Dually, `x - (+0.0) -> x` (bit pattern 0) is exact while
+            // `x - (-0.0)` would clear the sign of `x = -0.0`.
+            let neg_zero = (-0.0f64).to_bits();
             let simplified = match (op, f64_of(a), f64_of(b)) {
-                (BinOp::Add, Some(x), _) if x == 0.0 => Some(Exp::Atom(*b)),
-                (BinOp::Add, _, Some(y)) if y == 0.0 => Some(Exp::Atom(*a)),
+                (BinOp::Add, Some(x), _) if x.to_bits() == neg_zero => Some(Exp::Atom(*b)),
+                (BinOp::Add, _, Some(y)) if y.to_bits() == neg_zero => Some(Exp::Atom(*a)),
                 (BinOp::Sub, _, Some(y)) if y.to_bits() == 0 => Some(Exp::Atom(*a)),
                 (BinOp::Mul, Some(x), _) if x == 1.0 => Some(Exp::Atom(*b)),
                 (BinOp::Mul, _, Some(y)) if y == 1.0 => Some(Exp::Atom(*a)),
@@ -564,6 +565,39 @@ mod tests {
         let a = Interp::sequential().run(&fun, &args)[0].as_f64();
         let b = Interp::sequential().run(&simplified, &args)[0].as_f64();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn add_negative_zero_folds_and_positive_zero_does_not() {
+        // `x + (-0.0) -> x` is bitwise-exact for every x under
+        // round-to-nearest, so the fold fires and the binding vanishes.
+        let mut b = Builder::new();
+        let neg = b.build_fun("addneg", &[Type::F64], |b, ps| {
+            vec![b.fadd(ps[0].into(), Atom::f64(-0.0))]
+        });
+        let simplified = simplify(&neg);
+        check_fun(&simplified).unwrap();
+        assert!(
+            count_stms(&simplified) < count_stms(&neg),
+            "x + (-0.0) must fold away"
+        );
+        let r = Interp::sequential().run(&simplified, &[Value::F64(-0.0)])[0].as_f64();
+        assert_eq!(r.to_bits(), (-0.0f64).to_bits());
+
+        // `x + (+0.0)` clears the sign of x = -0.0, so it must survive.
+        let mut b = Builder::new();
+        let pos = b.build_fun("addpos", &[Type::F64], |b, ps| {
+            vec![b.fadd(ps[0].into(), Atom::f64(0.0))]
+        });
+        let simplified = simplify(&pos);
+        check_fun(&simplified).unwrap();
+        assert_eq!(
+            count_stms(&simplified),
+            count_stms(&pos),
+            "x + (+0.0) must NOT fold: it would pin -0.0's sign bit"
+        );
+        let r = Interp::sequential().run(&simplified, &[Value::F64(-0.0)])[0].as_f64();
+        assert_eq!(r.to_bits(), 0u64, "-0.0 + 0.0 is +0.0 in hardware");
     }
 
     #[test]

@@ -274,6 +274,12 @@ pub struct MetricsSnapshot {
     pub pool: PoolUtilization,
     /// One entry per registered function, in registration order.
     pub fns: Vec<FnMetricsSnapshot>,
+    /// Execution-arena allocation counters at snapshot time
+    /// ([`interp::alloc_stats`]; process-global, shared by every server in
+    /// the process). `heap_allocs` and `arena_hits` are monotonic, so
+    /// windowing two snapshots and dividing by completed requests yields
+    /// allocations per call.
+    pub alloc: interp::AllocStats,
     /// Network-tier counters (`None` unless served through `fir-net`).
     pub net: Option<NetStatsSnapshot>,
 }
@@ -296,6 +302,13 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "  \"pool\": {{\"workers\": {}, \"busy_workers\": {}, \"queued_jobs\": {}}},\n",
             self.pool.workers, self.pool.busy_workers, self.pool.queued_jobs
+        ));
+        out.push_str(&format!(
+            "  \"alloc\": {{\"heap_allocs\": {}, \"arena_hits\": {}, \"pooled_bytes\": {}, \"reserved_slots\": {}}},\n",
+            self.alloc.heap_allocs,
+            self.alloc.arena_hits,
+            self.alloc.pooled_bytes,
+            self.alloc.reserved_slots
         ));
         out.push_str("  \"functions\": [\n");
         for (i, f) in self.fns.iter().enumerate() {
@@ -423,6 +436,7 @@ mod tests {
                 queued_jobs: 5,
             },
             fns: vec![m.snapshot("gmm \"grad\"", Duration::from_secs(2))],
+            alloc: interp::AllocStats::default(),
             net: None,
         };
         let json = snap.to_json();
@@ -446,6 +460,7 @@ mod tests {
             uptime: Duration::from_secs(1),
             pool: PoolUtilization::default(),
             fns: vec![FnMetrics::default().snapshot(&hostile, Duration::from_secs(1))],
+            alloc: interp::AllocStats::default(),
             net: None,
         };
         let parsed = fir_trace::json::parse(&snap.to_json()).unwrap();
@@ -468,6 +483,7 @@ mod tests {
             uptime: Duration::from_secs(1),
             pool: PoolUtilization::default(),
             fns: vec![FnMetrics::default().snapshot("f", Duration::from_secs(1))],
+            alloc: interp::AllocStats::default(),
             net: Some(NetStatsSnapshot {
                 connections_accepted: 3,
                 frames_received: 7,

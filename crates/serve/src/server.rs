@@ -537,6 +537,7 @@ impl Server {
                 .iter()
                 .map(|f| f.metrics.snapshot(&f.key, uptime))
                 .collect(),
+            alloc: interp::alloc_stats(),
             net: None,
         }
     }

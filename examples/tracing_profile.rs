@@ -49,6 +49,11 @@ fn main() -> Result<(), ServeError> {
     // VM with eager promotion, so the per-phase profile shows the
     // specialization tier instead (the before/after pair in
     // EXPERIMENTS.md).
+    // `FIR_MEMPLAN=1` swaps in `PassPipeline::standard_mem()`, so the
+    // profile additionally shows the memory-planning pass (`opt/memplan`)
+    // and the `compile/memplan` buffer-plan instant (the EXPERIMENTS.md
+    // "Memory planning" excerpt).
+    let memplan = std::env::var("FIR_MEMPLAN").is_ok();
     let engine = match std::env::var("FIR_JIT_THRESHOLD") {
         Ok(t) => Engine::builder()
             .backend_name("vm")
@@ -57,6 +62,11 @@ fn main() -> Result<(), ServeError> {
         Err(_) => Engine::by_name("vm"),
     }
     .map_err(ServeError::Exec)?;
+    let engine = if memplan {
+        engine.with_pipeline(futhark_ad_repro::PassPipeline::standard_mem())
+    } else {
+        engine
+    };
     let f = engine
         .compile(&gmm::objective_ir())
         .map_err(ServeError::Exec)?;

@@ -1,9 +1,10 @@
 //! Semantics-preservation fuzzing of the optimization pipeline.
 //!
 //! For every randomly generated well-typed program (see `fir-proptest`),
-//! the six configurations {standard pipeline, no pipeline} × {tree-walking
-//! interpreter, firvm bytecode VM, jit-tiered VM (threshold 1, so every
-//! program runs on native kernels)} must agree **bitwise** on every result —
+//! the nine configurations {standard pipeline, standard + memory planning
+//! (`memplan`), no pipeline} × {tree-walking interpreter, firvm bytecode
+//! VM, jit-tiered VM (threshold 1, so every program runs on native
+//! kernels)} must agree **bitwise** on every result —
 //! the optimizer may only rearrange *which* computations run, never a
 //! single floating-point rounding. Gradients get the same treatment: the
 //! engine derives `vjp` from the pre-pipeline source, so optimized and
@@ -33,11 +34,14 @@ fn cases_from_env(default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// The six engines of the differential square, sharing nothing. The jit
-/// pair runs with a hotness threshold of 1: every program promotes on its
-/// first run, so the native tier executes (or per-kernel falls back) on
-/// every single fuzz case rather than only on re-runs.
-fn engines() -> [(&'static str, Engine); 6] {
+/// The nine engines of the differential square, sharing nothing. The jit
+/// configurations run with a hotness threshold of 1: every program promotes
+/// on its first run, so the native tier executes (or per-kernel falls back)
+/// on every single fuzz case rather than only on re-runs. The `+mem`
+/// column runs the standard pipeline with the `memplan` pass appended, so
+/// dead-source copy elimination and arena-backed buffer reuse face the
+/// same bitwise bar as every other rewrite.
+fn engines() -> [(&'static str, Engine); 9] {
     let mk = |backend: &str, pipeline: PassPipeline| {
         Engine::by_name(backend).unwrap().with_pipeline(pipeline)
     };
@@ -56,6 +60,11 @@ fn engines() -> [(&'static str, Engine); 6] {
         ("vm+none", mk("vm-seq", PassPipeline::none())),
         ("jit+std", mk_jit(PassPipeline::standard())),
         ("jit+none", mk_jit(PassPipeline::none())),
+        // Appended after the original six so positional references (the
+        // forward-mode check compiles on engines[2] = vm+std) stay stable.
+        ("interp+mem", mk("interp-seq", PassPipeline::standard_mem())),
+        ("vm+mem", mk("vm-seq", PassPipeline::standard_mem())),
+        ("jit+mem", mk_jit(PassPipeline::standard_mem())),
     ]
 }
 
@@ -171,7 +180,7 @@ fn random_gradients_agree_bitwise_and_pass_gradcheck() {
         let (fun, args) = arbitrary_fun(&name, &mut rng, &GenConfig::smooth());
         check_fun(&fun).unwrap_or_else(|e| panic!("{name}: ill-typed: {e}"));
 
-        // Reverse mode, bitwise across all six configurations (vjp is
+        // Reverse mode, bitwise across all nine configurations (vjp is
         // derived from the pre-pipeline source, then optimized per engine).
         let reference = engines[0].1.compile(&fun).unwrap().grad(&args).unwrap();
         for (config, engine) in &engines[1..] {
@@ -229,11 +238,52 @@ fn random_gradients_agree_bitwise_and_pass_gradcheck() {
     }
 }
 
+/// A pinned (non-random) case for the signed-zero constant folds: the
+/// standard pipeline folds `x + (-0.0)` but must leave `x + (+0.0)`
+/// intact, and all nine configurations have to agree bitwise on a program
+/// whose inputs and intermediates include `-0.0` itself — the exact value
+/// the fold's restriction to negative-zero addends protects.
+#[test]
+fn negative_zero_addend_pin_case_stays_bitwise() {
+    use fir::ir::Atom;
+    use fir::types::Type;
+    let mut b = fir::builder::Builder::new();
+    let fun = b.build_fun("negzero", &[Type::F64, Type::arr_f64(1)], |b, ps| {
+        let folds = b.fadd(ps[0].into(), Atom::f64(-0.0));
+        let stays = b.fadd(ps[0].into(), Atom::f64(0.0));
+        let m = b.map1(Type::arr_f64(1), &[ps[1]], |b, es| {
+            vec![b.fadd(es[0].into(), Atom::f64(-0.0))]
+        });
+        let s = b.sum(m);
+        let t = b.fadd(folds, stays);
+        vec![b.fadd(t, Atom::Var(s)), Atom::Var(m)]
+    });
+    check_fun(&fun).unwrap();
+    let args = vec![
+        Value::F64(-0.0),
+        Value::Arr(interp::Array::from_f64(vec![3], vec![-0.0, 0.0, -1.5])),
+    ];
+    let engines = engines();
+    let reference = engines[0].1.compile(&fun).unwrap().call(&args).unwrap();
+    for (config, engine) in &engines[1..] {
+        let got = engine.compile(&fun).unwrap().call(&args).unwrap();
+        assert_bitwise_eq("negzero", config, &reference, &got);
+    }
+    // The mapped `e + (-0.0)` keeps -0.0 elements bit-exactly (an
+    // optimizer that folded it to identity and one that executed the add
+    // agree only because the identity is bitwise-true).
+    let Value::Arr(arr) = &reference[1] else {
+        panic!("negzero: expected an array result");
+    };
+    assert_eq!(arr.f64s()[0].to_bits(), (-0.0f64).to_bits());
+    assert_eq!(arr.f64s()[1].to_bits(), 0u64);
+}
+
 /// The vmap transform over the generated programs: for every random
 /// well-typed function, `vmap f` applied to a stacked batch of three
 /// (deterministically perturbed) argument sets must agree **bitwise**,
 /// element by element, with running `f` per example — across
-/// {standard pipeline, none} × {interp, firvm, jit}. This pins down that the
+/// {standard, standard+memplan, none} × {interp, firvm, jit}. This pins down that the
 /// rank-promotion lowering and the re-optimization of the vmapped
 /// program never change a single floating-point rounding.
 #[test]
@@ -293,7 +343,7 @@ fn random_programs_vmap_agrees_with_per_example_execution_bitwise() {
 
 /// All ten workload instances (the paper's nine benchmarks, with HAND in
 /// both its simple and complicated variants), bitwise across
-/// optimized/unoptimized × interp/firvm/jit (sequential configurations, where
+/// optimized/memplanned/unoptimized × interp/firvm/jit (sequential configurations, where
 /// float reassociation cannot occur) — the acceptance bar for every pass
 /// in the pipeline.
 #[test]
