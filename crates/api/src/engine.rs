@@ -13,6 +13,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -28,6 +29,22 @@ use crate::transform::Transform;
 
 /// A structural fingerprint (see [`firvm::fingerprint_pair`]).
 type Fingerprint = (u64, u64);
+
+/// The persistent-store identity of a compilation: the *root* source
+/// fingerprint plus the canonical transform-stack string (`""` for the
+/// root itself). `try_load` is cleared when the caller already consulted
+/// the store for this identity.
+struct Persist {
+    root: Fingerprint,
+    stack: String,
+    try_load: bool,
+}
+
+/// The canonical transform-stack string of a persistent-store key:
+/// transform names in application order, comma-joined (`"vjp,vmap"`).
+fn stack_key(stack: &[Transform]) -> String {
+    stack.iter().map(|t| t.name()).collect::<Vec<_>>().join(",")
+}
 
 // ---------------------------------------------------------------------
 // Engine
@@ -73,6 +90,13 @@ struct EngineInner {
     /// VM with [`EngineBuilder::jit_threshold`]). Shared with the
     /// backend's `TierConfig`; surfaced through [`CacheStats::tier`].
     tier: Option<Arc<TierCounters>>,
+    /// The on-disk compile cache ([`EngineBuilder::persistent_cache`]):
+    /// consulted after an in-memory miss, before any typecheck/derive/
+    /// optimize/prepare work, and written back after every compile. A
+    /// persistent hit rebuilds the in-memory entry from disk without
+    /// counting as an engine hit *or* miss — `misses` keeps meaning
+    /// "compilations actually performed".
+    persistent: Option<Arc<fir_cache::Store>>,
 }
 
 /// One compiled function in the engine cache: the optimized IR and the
@@ -450,6 +474,9 @@ pub struct CacheStats {
     /// by every engine; see [`interp::alloc_stats`]). `reserved_slots`
     /// tracks the buffer plans of live memplanned programs.
     pub arena: interp::AllocStats,
+    /// Counters of the persistent on-disk compile cache, on engines built
+    /// with [`EngineBuilder::persistent_cache`] (`None` otherwise).
+    pub persistent: Option<fir_cache::PersistentStats>,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -492,6 +519,20 @@ impl std::fmt::Display for CacheStats {
                 self.arena.pooled_bytes,
             )?;
         }
+        if let Some(p) = &self.persistent {
+            write!(
+                f,
+                "; persistent: {} hit{}, {} miss{}, {} store{}, {} invalidation{}",
+                p.hits,
+                if p.hits == 1 { "" } else { "s" },
+                p.misses,
+                if p.misses == 1 { "" } else { "es" },
+                p.stores,
+                if p.stores == 1 { "" } else { "s" },
+                p.invalidations,
+                if p.invalidations == 1 { "" } else { "s" },
+            )?;
+        }
         Ok(())
     }
 }
@@ -526,7 +567,7 @@ impl Engine {
     }
 
     fn on_backend(backend: Arc<dyn Backend>, pipeline: PassPipeline, capacity: usize) -> Engine {
-        Engine::on_backend_tiered(backend, pipeline, capacity, None)
+        Engine::on_backend_tiered(backend, pipeline, capacity, None, None)
     }
 
     fn on_backend_tiered(
@@ -534,6 +575,7 @@ impl Engine {
         pipeline: PassPipeline,
         capacity: usize,
         tier: Option<Arc<TierCounters>>,
+        persistent: Option<Arc<fir_cache::Store>>,
     ) -> Engine {
         Engine {
             inner: Arc::new(EngineInner {
@@ -547,6 +589,7 @@ impl Engine {
                 misses: AtomicUsize::new(0),
                 opt: Mutex::new(OptStats::default()),
                 tier,
+                persistent,
             }),
         }
     }
@@ -574,11 +617,14 @@ impl Engine {
     /// variant next to the original.
     pub fn with_pipeline(self, pipeline: PassPipeline) -> Engine {
         let capacity = self.inner.cache.lock().unwrap().capacity;
+        // The persistent store is shared: its key includes the pipeline
+        // configuration, so variants never collide on disk.
         Engine::on_backend_tiered(
             Arc::clone(&self.inner.backend),
             pipeline,
             capacity,
             self.inner.tier.clone(),
+            self.inner.persistent.clone(),
         )
     }
 
@@ -611,16 +657,26 @@ impl Engine {
 
     fn compile_with(inner: &Arc<EngineInner>, fun: &Fun) -> Result<CompiledFn, FirError> {
         let key = fingerprint_pair(fun);
-        let entry = Self::compile_entry(inner, key, fun)?;
+        let persist = Persist {
+            root: key,
+            stack: String::new(),
+            try_load: true,
+        };
+        let entry = Self::compile_entry(inner, key, fun, Some(persist))?;
         Ok(CompiledFn::new(Arc::clone(inner), entry, key, Vec::new()))
     }
 
     /// Compile `fun` under `key` (its fingerprint), answering from the
-    /// cache when possible and counting the hit/miss either way.
+    /// cache when possible and counting the hit/miss either way. `persist`
+    /// names the on-disk identity of this compilation — the *root*
+    /// fingerprint plus the canonical transform-stack string — when the
+    /// result should flow through the persistent store (with `try_load`
+    /// cleared when the caller already consulted it).
     fn compile_entry(
         inner: &Arc<EngineInner>,
         key: Fingerprint,
         fun: &Fun,
+        persist: Option<Persist>,
     ) -> Result<CacheEntry, FirError> {
         // Hot path: the published snapshot answers without touching the
         // cache mutex, so concurrent cache hits never contend — the
@@ -636,6 +692,15 @@ impl Engine {
             inner.hits.fetch_add(1, Ordering::Relaxed);
             fir_trace::instant("cache", "hit");
             return Ok(entry);
+        }
+        // The persistent tier, before any compile work: a disk hit
+        // rebuilds the in-memory entry and skips typecheck, pipeline, and
+        // backend compilation entirely.
+        if let Some(p) = persist.as_ref().filter(|p| p.try_load) {
+            if let Some((loaded_key, entry)) = Self::persist_load(inner, p.root, &p.stack) {
+                debug_assert_eq!(loaded_key, key, "root entry keyed off its own source");
+                return Ok(entry);
+            }
         }
         fir_trace::instant("cache", "miss");
         let _compile_span = fir_trace::span_str("compile", &fun.name);
@@ -700,7 +765,119 @@ impl Engine {
         }
         inner.misses.fetch_add(1, Ordering::Relaxed);
         inner.republish();
+        if let Some(p) = &persist {
+            Self::persist_store(inner, p.root, &p.stack, &entry);
+        }
         Ok(entry)
+    }
+
+    /// Consult the persistent store for the program of `(root, stack)`
+    /// under the engine's current pipeline and backend. On a hit, rebuild
+    /// the in-memory [`CacheEntry`] — adopting the decoded bytecode into
+    /// the VM's program cache with a **fresh** tier slot (promotion state
+    /// is never persisted) — insert it into the LRU cache under the
+    /// decoded source's fingerprint, and return both. Neither engine
+    /// `hits` nor `misses` move: those count in-memory outcomes, and the
+    /// CI warm-start check relies on `misses == 0` meaning "no compile
+    /// ran".
+    fn persist_load(
+        inner: &Arc<EngineInner>,
+        root: Fingerprint,
+        stack: &str,
+    ) -> Option<(Fingerprint, CacheEntry)> {
+        let store = inner.persistent.as_ref()?;
+        let pipeline = inner.pipeline.lock().unwrap().clone();
+        let pipeline_key = pipeline.cache_key();
+        let pkey = fir_cache::StoreKey {
+            fingerprint: root,
+            transforms: stack,
+            pipeline: &pipeline_key,
+            backend: inner.backend.name(),
+        };
+        let cached = {
+            let _span = fir_trace::span("cache", "load");
+            store.load(&pkey)?
+        };
+        let key = fingerprint_pair(&cached.source);
+        if stack.is_empty() && key != root {
+            // A root entry's source must *be* the root function; anything
+            // else is a stale or colliding entry.
+            store.invalidate(&pkey);
+            return None;
+        }
+        let source = Arc::new(cached.source);
+        let optimized = match cached.optimized {
+            Some(f) => Arc::new(f),
+            None => Arc::clone(&source),
+        };
+        let exec = match inner.backend.as_any().downcast_ref::<firvm::Vm>() {
+            Some(vm) => vm.prepare_adopted(&optimized, cached.program),
+            // A non-VM backend cannot adopt bytecode; re-prepare from the
+            // stored optimized IR, which still skips the typecheck, the
+            // derivation, and the pipeline.
+            None => match inner.backend.prepare(&optimized) {
+                Ok(exec) => exec,
+                Err(_) => {
+                    store.invalidate(&pkey);
+                    return None;
+                }
+            },
+        };
+        let plan = if pipeline.passes().contains(&crate::Pass::MemPlan) {
+            let slots = fir_opt::plan_buffers(&optimized).slots();
+            arena::reserve_slots(slots);
+            Some(Arc::new(PlanInfo { slots }))
+        } else {
+            None
+        };
+        let entry = CacheEntry {
+            source,
+            fun: optimized,
+            exec,
+            plan,
+        };
+        let (entry, evicted) = inner.cache.lock().unwrap().insert(key, entry, &inner.tick);
+        if !evicted.is_empty() {
+            inner
+                .derived
+                .lock()
+                .unwrap()
+                .retain(|_, target| !evicted.contains(target));
+        }
+        fir_trace::instant("cache", "persistent-hit");
+        inner.republish();
+        Some((key, entry))
+    }
+
+    /// Write a freshly compiled entry back to the persistent store, best
+    /// effort: backends whose executables carry no extractable bytecode
+    /// (the interpreter) and I/O failures are silently skipped — the
+    /// store is a cache, never a correctness dependency.
+    fn persist_store(inner: &EngineInner, root: Fingerprint, stack: &str, entry: &CacheEntry) {
+        let Some(store) = inner.persistent.as_ref() else {
+            return;
+        };
+        let Some(program) = firvm::Vm::program_of(entry.exec.as_ref()) else {
+            return;
+        };
+        let pipeline_key = inner.pipeline.lock().unwrap().cache_key();
+        let pkey = fir_cache::StoreKey {
+            fingerprint: root,
+            transforms: stack,
+            pipeline: &pipeline_key,
+            backend: inner.backend.name(),
+        };
+        let cached = fir_cache::CachedEntry {
+            source: (*entry.source).clone(),
+            optimized: if Arc::ptr_eq(&entry.source, &entry.fun) {
+                None
+            } else {
+                Some((*entry.fun).clone())
+            },
+            program: (*program).clone(),
+        };
+        let _span = fir_trace::span("cache", "store");
+        let _ = store.store(&pkey, &cached);
     }
 
     /// Apply one [`Transform`] on top of `base` (a handle whose stack is
@@ -749,6 +926,22 @@ impl Engine {
                 ));
             }
         }
+        // The persistent tier, *before* deriving: a disk hit hands back
+        // the already-derived, already-compiled program, skipping the
+        // derivation itself (for `vjp` of a large workload, the dominant
+        // cost). The loaded entry lands in the LRU cache under the
+        // decoded source's fingerprint and is aliased like a compiled one.
+        let stack_str = stack_key(&alias.1);
+        if let Some((key, entry)) = Self::persist_load(inner, base.root_key, &stack_str) {
+            inner.derived.lock().unwrap().insert(alias.clone(), key);
+            inner.republish();
+            return Ok(CompiledFn::new(
+                Arc::clone(inner),
+                entry,
+                base.root_key,
+                alias.1,
+            ));
+        }
         // Derive from the pre-pipeline source of the base handle (which
         // already carries `base.stack` applied to the root), so gradients
         // are identical whatever pipeline the engine runs. Derivation is
@@ -759,7 +952,12 @@ impl Engine {
             t.apply(&base.entry.source)?
         };
         let key = fingerprint_pair(&fun);
-        let entry = Self::compile_entry(inner, key, &fun)?;
+        let persist = Persist {
+            root: base.root_key,
+            stack: stack_str,
+            try_load: false,
+        };
+        let entry = Self::compile_entry(inner, key, &fun, Some(persist))?;
         inner.derived.lock().unwrap().insert(alias.clone(), key);
         inner.republish();
         Ok(CompiledFn::new(
@@ -795,6 +993,7 @@ impl Engine {
                 }
             }),
             arena: interp::alloc_stats(),
+            persistent: self.inner.persistent.as_ref().map(|s| s.stats()),
         }
     }
 }
@@ -829,6 +1028,7 @@ pub struct EngineBuilder {
     pipeline: PassPipeline,
     cache_capacity: usize,
     jit_threshold: Option<u64>,
+    persistent_cache: Option<PathBuf>,
 }
 
 impl Default for EngineBuilder {
@@ -847,6 +1047,7 @@ impl EngineBuilder {
             pipeline: PassPipeline::standard(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             jit_threshold: None,
+            persistent_cache: None,
         }
     }
 
@@ -891,6 +1092,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Persist compiled programs under `dir` (created if missing) and
+    /// consult that directory before compiling: across process restarts,
+    /// a program whose `(source fingerprint, transform stack, pipeline,
+    /// backend, format version)` matches an on-disk entry loads its
+    /// bytecode instead of re-deriving, re-optimizing, and re-compiling.
+    /// Any mismatch — including a codec format-version bump — recompiles
+    /// and overwrites the stale entry. Several processes may share one
+    /// directory (writes are atomic); counters surface through
+    /// [`CacheStats::persistent`].
+    pub fn persistent_cache(mut self, dir: impl Into<PathBuf>) -> EngineBuilder {
+        self.persistent_cache = Some(dir.into());
+        self
+    }
+
     /// Build the engine. Fails on an unknown backend name, or on a
     /// [`EngineBuilder::jit_threshold`] paired with a backend that has no
     /// jit tier.
@@ -912,11 +1127,20 @@ impl EngineBuilder {
                 (backend, None)
             }
         };
+        let persistent = match self.persistent_cache {
+            None => None,
+            Some(dir) => Some(Arc::new(fir_cache::Store::open(&dir).map_err(|e| {
+                FirError::Unsupported {
+                    what: format!("persistent cache directory `{}`: {e}", dir.display()),
+                }
+            })?)),
+        };
         Ok(Engine::on_backend_tiered(
             Arc::from(backend),
             self.pipeline,
             self.cache_capacity,
             tier,
+            persistent,
         ))
     }
 

@@ -86,6 +86,7 @@ pub use engine::{
     DEFAULT_CACHE_CAPACITY,
 };
 pub use error::FirError;
+pub use fir_cache::PersistentStats;
 pub use pipeline::{Pass, PassPipeline, PipelineStats};
 pub use registry::{backend_by_name, default_backend_name, BACKEND_ENV_VAR, BACKEND_NAMES};
 pub use transform::Transform;

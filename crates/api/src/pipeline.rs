@@ -234,6 +234,17 @@ impl PassPipeline {
         self.max_iterations
     }
 
+    /// A canonical string identifying this pipeline's configuration —
+    /// pass names in application order plus the iteration bound, e.g.
+    /// `"copy-prop,const-fold,cse,fusion,hoist,dce@8"` (`"@1"` alone for
+    /// the empty pipeline). Part of the persistent compile-cache key, so
+    /// two engines share on-disk entries exactly when they optimize
+    /// identically.
+    pub fn cache_key(&self) -> String {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        format!("{}@{}", names.join(","), self.max_iterations)
+    }
+
     /// Apply the pipeline. The empty pipeline borrows its input instead of
     /// deep-cloning it.
     pub fn apply<'f>(&self, fun: &'f Fun) -> Cow<'f, Fun> {

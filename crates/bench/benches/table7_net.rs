@@ -35,13 +35,13 @@
 //! `NET_BENCH_SMOKE=1` shrinks the sweep for CI.
 
 use ad_bench::{header, ratio, row, Report};
-use fir_api::Engine;
+use fir_api::{Engine, Transform};
 use fir_net::{AdaptiveConfig, NetClient, NetServerBuilder};
 use fir_serve::BatchPolicy;
 use interp::Value;
 use std::io::BufRead;
 use std::time::{Duration, Instant};
-use workloads::gmm;
+use workloads::{adbench, gmm, kmeans, lstm, mc};
 
 const CLIENTS: usize = 4;
 
@@ -64,13 +64,38 @@ fn server_main() {
             max_wait: Duration::from_micros(200),
         },
     };
-    let mut builder = NetServerBuilder::new(Engine::by_name("vm-seq").expect("backend"))
+    let mut engine_builder = Engine::builder().backend_name("vm-seq");
+    if let Ok(dir) = std::env::var("NET_CACHE_DIR") {
+        engine_builder = engine_builder.persistent_cache(dir);
+    }
+    let engine = engine_builder.build().expect("backend");
+    let mut builder = NetServerBuilder::new(engine)
         .shards(shards)
         .handlers(CLIENTS + 2)
         .batch_policy(policy)
-        .queue_capacity(8192)
-        .register("gmm", &gmm::objective_ir())
-        .warmup(&[&[]]);
+        .queue_capacity(8192);
+    if mode == "coldstart" {
+        // The full nine-workload deployment the fir_net_server binary
+        // serves, both lanes warmed — the realistic AOT-warmup payload.
+        let lstm_data = lstm::LstmData::generate(4, 3, 4, 2, 0);
+        let dlstm_data = adbench::DlstmData::generate(8, 4, 4, 0);
+        builder = builder
+            .register("gmm", &gmm::objective_ir())
+            .register("kmeans-dense", &kmeans::dense_objective_ir())
+            .register("kmeans-sparse", &kmeans::sparse_objective_ir())
+            .register("lstm", &lstm::objective_ir(lstm_data.h, lstm_data.bs))
+            .register("ba", &adbench::ba_objective_ir())
+            .register("hand-simple", &adbench::hand_objective_ir(false))
+            .register("hand-complicated", &adbench::hand_objective_ir(true))
+            .register("d-lstm", &adbench::dlstm_objective_ir(dlstm_data.h))
+            .register(
+                "xsbench",
+                &mc::xsbench_ir(mc::XsData::generate(8, 4, 64, 0).g),
+            )
+            .warmup(&[&[], &[Transform::Vjp]]);
+    } else {
+        builder = builder.register("gmm", &gmm::objective_ir()).warmup(&[&[]]);
+    }
     if mode == "adaptive" {
         builder = builder.adaptive(AdaptiveConfig {
             interval: Duration::from_millis(10),
@@ -89,14 +114,24 @@ fn server_main() {
 
 /// Spawn the server child and return (child, addr).
 fn spawn_server(mode: &str, shards: usize) -> (std::process::Child, String) {
+    spawn_server_with(mode, shards, None)
+}
+
+fn spawn_server_with(
+    mode: &str,
+    shards: usize,
+    cache_dir: Option<&std::path::Path>,
+) -> (std::process::Child, String) {
     let exe = std::env::current_exe().expect("current_exe");
-    let mut child = std::process::Command::new(exe)
-        .env("NET_ROLE", "server")
+    let mut cmd = std::process::Command::new(exe);
+    cmd.env("NET_ROLE", "server")
         .env("NET_MODE", mode)
         .env("NET_SHARDS", shards.to_string())
-        .stdout(std::process::Stdio::piped())
-        .spawn()
-        .expect("spawn server child");
+        .stdout(std::process::Stdio::piped());
+    if let Some(dir) = cache_dir {
+        cmd.env("NET_CACHE_DIR", dir);
+    }
+    let mut child = cmd.spawn().expect("spawn server child");
     let stdout = child.stdout.take().expect("child stdout");
     let mut lines = std::io::BufReader::new(stdout).lines();
     let addr = loop {
@@ -261,6 +296,56 @@ fn report_cfg(report: &mut Report, label: &str, slo_us: u64, s: &Sustainable) {
     );
 }
 
+/// Process-level cold start: wall-clock from spawning the server child
+/// to its `LISTENING` line (process start + engine build + nine
+/// workloads compiled and both lanes warmed + listener bound), from an
+/// empty persistent-cache directory vs the populated one the first run
+/// wrote. Unlike the in-process comparison in table7_serving, this ratio
+/// is diluted by constant process/bind overhead — it is the end-to-end
+/// deployment number an operator would see.
+fn net_coldstart(report: &mut Report) {
+    let dir = std::env::temp_dir().join(format!("fir-net-coldstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut secs = [0.0f64; 2];
+    for (i, cfg) in ["cold compile", "warm cache-load"].into_iter().enumerate() {
+        let t0 = Instant::now();
+        let (mut child, addr) = spawn_server_with("coldstart", 1, Some(&dir));
+        secs[i] = t0.elapsed().as_secs_f64();
+        NetClient::connect(&addr)
+            .expect("connect for shutdown")
+            .shutdown_server()
+            .expect("shutdown op");
+        let status = child.wait().expect("server child");
+        assert!(status.success(), "server exited with {status:?}");
+        row(&[
+            format!("coldstart 9 workloads [{cfg}]"),
+            format!("{:.1} ms", secs[i] * 1e3),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let speedup = secs[0] / secs[1].max(1e-9);
+    row(&[
+        "coldstart cold/warm".to_string(),
+        ratio(speedup),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    report.add(
+        "net:coldstart",
+        &[
+            ("cold_spawn_to_listen_s", secs[0]),
+            ("warm_spawn_to_listen_s", secs[1]),
+            ("speedup", speedup),
+        ],
+    );
+}
+
 fn main() {
     if std::env::var("NET_ROLE").as_deref() == Ok("server") {
         server_main();
@@ -350,6 +435,8 @@ fn main() {
         "net:shard_ratio",
         &[("qps_ratio", shard_ratio), ("shards", nshards as f64)],
     );
+
+    net_coldstart(&mut report);
 
     report.write();
 }

@@ -43,11 +43,11 @@
 
 use ad_bench::{header, ratio, row, Report};
 use fir::ir::Fun;
-use fir_api::{Engine, PassPipeline};
+use fir_api::{Engine, PassPipeline, Transform};
 use fir_serve::{BatchPolicy, Request, Server, ServerBuilder};
 use interp::Value;
 use std::time::{Duration, Instant};
-use workloads::{gmm, kmeans};
+use workloads::{adbench, gmm, kmeans, lstm, mc};
 
 const CLIENTS: usize = 8;
 const WINDOW: usize = 16;
@@ -292,6 +292,124 @@ fn serve_memplan(report: &mut Report, rounds: usize) {
     );
 }
 
+/// The nine paper workloads the `fir_net_server` binary serves, as
+/// `(key, IR)` pairs — the warmup set the cold-start comparison below
+/// compiles (or loads) end to end.
+fn nine_workloads() -> Vec<(&'static str, Fun)> {
+    let lstm_data = lstm::LstmData::generate(4, 3, 4, 2, 0);
+    let dlstm_data = adbench::DlstmData::generate(8, 4, 4, 0);
+    vec![
+        ("gmm", gmm::objective_ir()),
+        ("kmeans-dense", kmeans::dense_objective_ir()),
+        ("kmeans-sparse", kmeans::sparse_objective_ir()),
+        ("lstm", lstm::objective_ir(lstm_data.h, lstm_data.bs)),
+        ("ba", adbench::ba_objective_ir()),
+        ("hand-simple", adbench::hand_objective_ir(false)),
+        ("hand-complicated", adbench::hand_objective_ir(true)),
+        ("d-lstm", adbench::dlstm_objective_ir(dlstm_data.h)),
+        (
+            "xsbench",
+            mc::xsbench_ir(mc::XsData::generate(8, 4, 64, 0).g),
+        ),
+    ]
+}
+
+/// Build (and warm) a nine-workload server against `dir` as the
+/// persistent cache, returning the build wall-clock and the final
+/// metrics snapshot. The build compiles every registered function plus
+/// its plain and reverse-mode warmup lanes — on the first run that is
+/// 18 full compilations written to disk; on the second it is 18 decode
+/// + validate loads.
+fn build_nine(
+    dir: &std::path::Path,
+    funs: &[(&'static str, Fun)],
+) -> (f64, fir_serve::MetricsSnapshot) {
+    let engine = Engine::builder()
+        .backend_name("vm-seq")
+        .persistent_cache(dir)
+        .build()
+        .expect("engine with persistent cache");
+    let mut b = ServerBuilder::new(engine)
+        .batch_policy(BatchPolicy::unbatched())
+        .warmup(&[&[], &[Transform::Vjp]]);
+    for (key, fun) in funs {
+        b = b.register(key, fun);
+    }
+    let t0 = Instant::now();
+    let server = b.build().expect("server build");
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, server.shutdown())
+}
+
+/// Cold-start comparison: time-to-warm for the full nine-workload
+/// deployment (compile + vjp derivation for every function) from an
+/// empty persistent cache vs from the populated one the first run left
+/// behind. The warm build is asserted to perform zero fresh
+/// compilations — every lane must come off disk — so the ratio is
+/// exactly "AOT warmup speedup", the tentpole claim CI checks (>= 5x).
+fn serve_coldstart(report: &mut Report) {
+    let funs = nine_workloads();
+    let dir = std::env::temp_dir().join(format!("fir-bench-coldstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (cold_s, cold_m) = build_nine(&dir, &funs);
+    let cold_cache = cold_m.cache.expect("engine cache stats");
+    let stored = cold_cache.persistent.expect("persistent stats").stores;
+    assert!(
+        stored >= 2 * funs.len() as u64,
+        "cold build must persist both lanes of every workload, stored {stored}"
+    );
+
+    let (warm_s, warm_m) = build_nine(&dir, &funs);
+    let warm_cache = warm_m.cache.expect("engine cache stats");
+    let loaded = warm_cache.persistent.expect("persistent stats").hits;
+    assert_eq!(
+        warm_cache.misses, 0,
+        "warm build must not compile anything: {warm_cache}"
+    );
+    assert!(
+        loaded >= 2 * funs.len() as u64,
+        "warm build must load both lanes of every workload, loaded {loaded}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = cold_s / warm_s.max(1e-9);
+    for (cfg, secs, note) in [
+        ("cold compile", cold_s, format!("{stored} stores")),
+        ("warm cache-load", warm_s, format!("{loaded} loads")),
+    ] {
+        row(&[
+            format!("coldstart 9 workloads [{cfg}]"),
+            format!("{:.1} ms", secs * 1e3),
+            String::new(),
+            String::new(),
+            String::new(),
+            note,
+        ]);
+    }
+    row(&[
+        "coldstart cold/warm".to_string(),
+        ratio(speedup),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    report.add(
+        "coldstart:nine-workloads",
+        &[
+            ("workloads", funs.len() as f64),
+            ("lanes_per_workload", 2.0),
+            ("cold_compile_s", cold_s),
+            ("warm_load_s", warm_s),
+            ("speedup", speedup),
+            ("persistent_stores", stored as f64),
+            ("persistent_hits", loaded as f64),
+            ("warm_compiles", warm_cache.misses as f64),
+        ],
+    );
+}
+
 fn main() {
     let smoke = std::env::var("SERVE_BENCH_SMOKE").is_ok();
     let rounds = if smoke { 20 } else { 80 };
@@ -361,6 +479,7 @@ fn main() {
         rounds / 4,
     );
     serve_memplan(&mut report, rounds / 4);
+    serve_coldstart(&mut report);
 
     println!();
     let best = s1.max(s2).max(s3);

@@ -1,0 +1,173 @@
+//! Property tests for the persistent-cache codec: randomized round-trips
+//! over generator-produced programs, and hostile-byte fuzzing that must
+//! always produce typed errors — never a panic, never a silently-wrong
+//! decode.
+//!
+//! The corruption properties are exact, not probabilistic: the payload
+//! checksum is FNV-1a, whose per-byte step `state = (state ^ b) * prime`
+//! is a bijection of `state` for fixed `b` (the prime is odd), so *any*
+//! single-byte change to the payload changes the checksum, and changes to
+//! the header hit a dedicated validation (magic, version, declared
+//! length). Every single-byte flip must therefore be rejected.
+
+use fir_cache::{
+    decode_fun, decode_program, encode_fun, encode_program, CacheError, FORMAT_VERSION,
+};
+use fir_proptest::{arbitrary_fun, GenConfig};
+use interp::Value;
+use proptest::TestRng;
+
+fn cases() -> usize {
+    std::env::var("OPT_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Bitwise value equality (NaN payloads included — the codec stores
+/// `f64::to_bits`, so nothing may canonicalize).
+fn assert_bitwise(a: &Value, b: &Value) {
+    match (a, b) {
+        (Value::F64(x), Value::F64(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+        (Value::I64(x), Value::I64(y)) => assert_eq!(x, y),
+        (Value::Bool(x), Value::Bool(y)) => assert_eq!(x, y),
+        (Value::Arr(x), Value::Arr(y)) => {
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.data.elem(), y.data.elem());
+            match x.data.elem() {
+                fir::types::ScalarType::F64 => {
+                    for (p, q) in x.f64s().iter().zip(y.f64s()) {
+                        assert_eq!(p.to_bits(), q.to_bits());
+                    }
+                }
+                fir::types::ScalarType::I64 => assert_eq!(x.i64s(), y.i64s()),
+                fir::types::ScalarType::Bool => assert_eq!(x.bools(), y.bools()),
+            }
+        }
+        (a, b) => panic!("shape mismatch: {a:?} vs {b:?}"),
+    }
+}
+
+/// Round trip: every generated program re-encodes to the exact same
+/// bytes after a decode, and the decoded program *executes* bitwise
+/// identically to the one compiled in-process. Funs round-trip too,
+/// preserving their structural fingerprint (the store's key).
+#[test]
+fn generated_programs_round_trip_and_execute_identically() {
+    let mut rng = TestRng::deterministic();
+    let vm = firvm::Vm::sequential();
+    for case in 0..cases() {
+        let name = format!("prop_codec_{case}");
+        let (fun, args) = arbitrary_fun(&name, &mut rng, &GenConfig::default());
+
+        let program = firvm::compile(&fun);
+        let bytes = encode_program(&program);
+        let decoded = decode_program(&bytes).expect("round trip decodes");
+        assert_eq!(
+            bytes,
+            encode_program(&decoded),
+            "case {case}: decode must be the encoder's exact inverse"
+        );
+
+        let want = vm.run_program(&program, &args);
+        let got = vm.run_program(&decoded, &args);
+        assert_eq!(want.len(), got.len(), "case {case}");
+        for (w, g) in want.iter().zip(&got) {
+            assert_bitwise(w, g);
+        }
+
+        let fun_bytes = encode_fun(&fun);
+        let fun_back = decode_fun(&fun_bytes).expect("fun round trip");
+        assert_eq!(
+            firvm::fingerprint_pair(&fun),
+            firvm::fingerprint_pair(&fun_back),
+            "case {case}: the store keys off this fingerprint"
+        );
+    }
+}
+
+/// Every single-byte flip anywhere in an encoded document is rejected
+/// with a typed error (see the module docs for why this is exact).
+#[test]
+fn every_byte_flip_is_rejected() {
+    let mut rng = TestRng::deterministic();
+    for case in 0..cases().min(12) {
+        let name = format!("prop_flip_{case}");
+        let (fun, _) = arbitrary_fun(&name, &mut rng, &GenConfig::default());
+        let bytes = encode_program(&firvm::compile(&fun));
+        // Exhaustive over positions for small documents, sampled for
+        // large ones (keeps the test under a second).
+        let positions: Vec<usize> = if bytes.len() <= 512 {
+            (0..bytes.len()).collect()
+        } else {
+            (0..512).map(|_| rng.below(0, bytes.len())).collect()
+        };
+        for pos in positions {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << rng.below(0, 8);
+            let err = decode_program(&corrupt)
+                .expect_err(&format!("case {case}: flip at {pos} must be rejected"));
+            // Any variant is acceptable; what matters is that it is a
+            // typed error, produced without panicking.
+            let _ = err.to_string();
+        }
+    }
+}
+
+/// Every proper prefix of an encoded document is rejected: truncation
+/// can never yield a program.
+#[test]
+fn every_truncation_is_rejected() {
+    let mut rng = TestRng::deterministic();
+    let (fun, _) = arbitrary_fun("prop_trunc", &mut rng, &GenConfig::default());
+    let bytes = encode_program(&firvm::compile(&fun));
+    for len in 0..bytes.len() {
+        let err = decode_program(&bytes[..len])
+            .expect_err(&format!("prefix of {len}/{} must be rejected", bytes.len()));
+        let expected = match len {
+            // Not even a complete magic: indistinguishable from a
+            // foreign file, reported as such.
+            0..=3 => matches!(err, CacheError::BadMagic),
+            _ => matches!(
+                err,
+                CacheError::Truncated { .. } | CacheError::LengthMismatch { .. }
+            ),
+        };
+        assert!(expected, "prefix of {len}: got {err:?}");
+    }
+    // And appending trailing garbage is rejected too — a document is
+    // exactly one frame.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(decode_program(&padded).is_err(), "trailing bytes accepted");
+}
+
+/// A document from a future format version is refused up front with
+/// `UnsupportedVersion` — the store treats that as "recompile and
+/// overwrite", never "try to parse anyway".
+#[test]
+fn future_format_versions_are_refused() {
+    let mut rng = TestRng::deterministic();
+    let (fun, _) = arbitrary_fun("prop_version", &mut rng, &GenConfig::default());
+    let mut bytes = encode_program(&firvm::compile(&fun));
+    for bump in [1u32, 7, u32::MAX - FORMAT_VERSION] {
+        let v = FORMAT_VERSION + bump;
+        bytes[4..8].copy_from_slice(&v.to_le_bytes());
+        match decode_program(&bytes) {
+            Err(CacheError::UnsupportedVersion { found }) => assert_eq!(found, v),
+            other => panic!("version {v}: expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+}
+
+/// Random garbage (not even a frame) never panics the decoder.
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = TestRng::deterministic();
+    for _ in 0..256 {
+        let len = rng.below(0, 200);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert!(decode_program(&garbage).is_err());
+        assert!(decode_fun(&garbage).is_err());
+    }
+}

@@ -184,6 +184,30 @@ pub struct Program {
 }
 
 impl Program {
+    /// Assemble a program from parts (the persistent-cache decode path).
+    /// Kernel trace labels are re-interned here rather than carried in the
+    /// serialized form, so the on-disk format is identical with and without
+    /// the `profile` feature.
+    pub fn assemble(
+        name: String,
+        main: CodeObject,
+        kernels: Vec<Kernel>,
+        num_params: usize,
+    ) -> Program {
+        #[cfg(feature = "profile")]
+        let kernel_labels = (0..kernels.len())
+            .map(|i| fir_trace::intern(&format!("{name}#k{i}")))
+            .collect();
+        Program {
+            name,
+            main,
+            kernels,
+            num_params,
+            #[cfg(feature = "profile")]
+            kernel_labels,
+        }
+    }
+
     /// The trace label of kernel `i`.
     #[cfg(feature = "profile")]
     pub fn kernel_label(&self, i: usize) -> &'static str {

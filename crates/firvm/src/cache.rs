@@ -127,6 +127,36 @@ impl ProgramCache {
         }
         (prog, slot)
     }
+
+    /// Insert an externally compiled program (e.g. decoded from a
+    /// persistent on-disk cache) under `fun`'s fingerprint. The program
+    /// gets a **fresh** [`TierSlot`]: adopted programs start cold at run
+    /// count 0 and re-promote through the jit tier like freshly compiled
+    /// ones — promotion state is never persisted. On a race with a
+    /// concurrent compile or adopt of the same function, the first entry
+    /// wins and is returned (with its accumulated hotness).
+    pub fn adopt(&self, fun: &Fun, prog: Program) -> (Arc<Program>, Arc<TierSlot>) {
+        let key = fingerprint_salted(fun, 0);
+        let key2 = fingerprint_salted(fun, 1);
+        let prog = Arc::new(prog);
+        let slot = Arc::new(TierSlot::default());
+        let mut map = self.map.lock().unwrap();
+        let entries = map.entry(key).or_default();
+        for (fp2, cached, cached_slot) in entries.iter() {
+            if *fp2 == key2 {
+                return (Arc::clone(cached), Arc::clone(cached_slot));
+            }
+        }
+        entries.push((key2, Arc::clone(&prog), Arc::clone(&slot)));
+        let total: usize = map.values().map(|v| v.len()).sum();
+        if total > self.capacity {
+            map.retain(|_, v| {
+                v.retain(|(_, p, _)| Arc::ptr_eq(p, &prog));
+                !v.is_empty()
+            });
+        }
+        (prog, slot)
+    }
 }
 
 /// A structural fingerprint of a function: stable across identically

@@ -147,6 +147,37 @@ impl Vm {
     pub fn run_program(&self, prog: &Program, args: &[Value]) -> Vec<Value> {
         vm::run_program(prog, &self.cfg, args)
     }
+
+    /// Prepare an executable from an already-compiled [`Program`] (e.g.
+    /// decoded from a persistent on-disk cache), adopting it into this
+    /// VM's program cache instead of compiling `fun`. The adopted program
+    /// starts with a fresh tier slot (run count 0, never pre-promoted); if
+    /// a program for `fun` is already cached, that one is used instead.
+    /// The caller is responsible for `prog` actually being a compilation
+    /// of the type-correct `fun` — the persistent-cache load path
+    /// guarantees this via fingerprint verification and decode-time
+    /// structural validation.
+    pub fn prepare_adopted(&self, fun: &Fun, prog: Program) -> Arc<dyn Executable> {
+        let (prog, slot) = self.cache().adopt(fun, prog);
+        Arc::new(PreparedVm {
+            cfg: self.cfg.clone(),
+            prog,
+            slot,
+            tier: self.tier.clone(),
+            name: fun.name.clone(),
+            params: fun.params.iter().map(|p| p.ty).collect(),
+            ret: fun.ret.clone(),
+        })
+    }
+
+    /// The compiled bytecode behind an executable this backend prepared,
+    /// `None` for executables of other backends. The persistent-cache
+    /// store path uses this to serialize exactly what `prepare` compiled.
+    pub fn program_of(exec: &dyn Executable) -> Option<Arc<Program>> {
+        exec.as_any()
+            .downcast_ref::<PreparedVm>()
+            .map(|p| Arc::clone(&p.prog))
+    }
 }
 
 /// Count one run on `slot` and execute, through the accelerator when the
@@ -205,6 +236,10 @@ impl Executable for PreparedVm {
             message: interp::error::panic_message(p),
         })
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 impl Backend for Vm {
@@ -237,6 +272,10 @@ impl Backend for Vm {
             params: fun.params.iter().map(|p| p.ty).collect(),
             ret: fun.ret.clone(),
         }))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

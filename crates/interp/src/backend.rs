@@ -58,6 +58,12 @@ pub trait Executable: Send + Sync {
             }),
         }
     }
+
+    /// The concrete prepared value, for layers that can exploit a specific
+    /// backend's representation (e.g. persisting a VM's compiled bytecode).
+    /// Callers must treat a failed downcast as "not that backend", never an
+    /// error.
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// An executor of type-checked `fir` functions.
@@ -85,6 +91,10 @@ pub trait Backend: Send + Sync {
             .and_then(|exec| exec.run_scalar(args))
             .unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// The concrete backend value, for layers that can exploit a specific
+    /// backend (see [`Executable::as_any`]).
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// Validate a call's arguments against the declared parameter types.
@@ -141,6 +151,10 @@ impl Executable for PreparedInterp {
             }
         })
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 impl Backend for Interp {
@@ -155,6 +169,10 @@ impl Backend for Interp {
             params: fun.params.iter().map(|p| p.ty).collect(),
             fun: Arc::new(fun.clone()),
         }))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

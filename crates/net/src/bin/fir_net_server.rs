@@ -10,6 +10,10 @@
 //! * `FIR_NET_ADAPTIVE` — `0` disables the adaptive batching
 //!   controller (default on).
 //! * `FIR_NET_ENGINE`   — engine backend name (default `vm-seq`).
+//! * `FIR_CACHE_DIR`    — directory for the persistent compile cache
+//!   (default off). With it set, the warmup before the listener opens
+//!   loads precompiled programs from disk instead of recompiling, and
+//!   every fresh compile is written back for the next process.
 //!
 //! Two tenants are pre-configured: `free` (2 requests/s, burst 2,
 //! weight 1 — easy to drive over quota in demos) and `pro` (1000/s,
@@ -35,10 +39,18 @@ fn main() {
     let adaptive = env_or("FIR_NET_ADAPTIVE", "1") != "0";
     let engine_name = env_or("FIR_NET_ENGINE", "vm-seq");
 
-    let engine = match Engine::by_name(&engine_name) {
+    let cache_dir = std::env::var("FIR_CACHE_DIR")
+        .ok()
+        .filter(|d| !d.is_empty());
+
+    let mut engine_builder = Engine::builder().backend_name(&engine_name);
+    if let Some(dir) = &cache_dir {
+        engine_builder = engine_builder.persistent_cache(dir);
+    }
+    let engine = match engine_builder.build() {
         Ok(e) => e,
         Err(e) => {
-            eprintln!("unknown engine {engine_name:?}: {e}");
+            eprintln!("could not build engine {engine_name:?}: {e}");
             std::process::exit(2);
         }
     };
@@ -113,6 +125,14 @@ fn main() {
         if adaptive { "on" } else { "off" },
         t0.elapsed()
     );
+    if cache_dir.is_some() {
+        if let Some(p) = server.metrics().cache.and_then(|c| c.persistent) {
+            eprintln!(
+                "fir-net: persistent cache: {} hits, {} misses, {} stores",
+                p.hits, p.misses, p.stores
+            );
+        }
+    }
 
     server.run_until_shutdown_requested();
     eprintln!("fir-net: shutdown requested, draining (5s bound)");

@@ -299,6 +299,12 @@ fn merge_snapshots(snaps: Vec<MetricsSnapshot>) -> MetricsSnapshot {
         merged.alloc.arena_hits = merged.alloc.arena_hits.max(s.alloc.arena_hits);
         merged.alloc.pooled_bytes = merged.alloc.pooled_bytes.max(s.alloc.pooled_bytes);
         merged.alloc.reserved_slots = merged.alloc.reserved_slots.max(s.alloc.reserved_slots);
+        // Every shard clones the same engine, so the compile-cache
+        // counters are one set of atomics snapshotted per shard — any
+        // one view suffices; don't sum them.
+        if merged.cache.is_none() {
+            merged.cache = s.cache;
+        }
         for f in s.fns {
             match merged.fns.iter_mut().find(|m| m.fn_key == f.fn_key) {
                 None => merged.fns.push(f),

@@ -280,6 +280,12 @@ pub struct MetricsSnapshot {
     /// windowing two snapshots and dividing by completed requests yields
     /// allocations per call.
     pub alloc: interp::AllocStats,
+    /// Compile-cache counters of the engine the server compiles through
+    /// (`None` when the snapshot was assembled without an engine, e.g. in
+    /// unit tests). Includes the persistent on-disk cache counters when
+    /// the engine was built with [`fir_api::EngineBuilder::persistent_cache`],
+    /// which is how warm-start deployments verify they served from disk.
+    pub cache: Option<fir_api::CacheStats>,
     /// Network-tier counters (`None` unless served through `fir-net`).
     pub net: Option<NetStatsSnapshot>,
 }
@@ -342,6 +348,25 @@ impl MetricsSnapshot {
             out.push_str(if i + 1 < self.fns.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]");
+        if let Some(cache) = &self.cache {
+            out.push_str(",\n  \"cache\": {");
+            for (k, v) in [
+                ("hits", cache.hits),
+                ("misses", cache.misses),
+                ("entries", cache.entries),
+                ("evictions", cache.evictions),
+            ] {
+                out.push_str(&format!("\"{k}\": {v}, "));
+            }
+            out.push_str(&format!("\"capacity\": {}", cache.capacity));
+            if let Some(p) = &cache.persistent {
+                out.push_str(&format!(
+                    ", \"persistent\": {{\"hits\": {}, \"misses\": {}, \"stores\": {}, \"invalidations\": {}}}",
+                    p.hits, p.misses, p.stores, p.invalidations
+                ));
+            }
+            out.push('}');
+        }
         if let Some(net) = &self.net {
             out.push_str(",\n  \"net\": {");
             for (k, v) in [
@@ -437,6 +462,7 @@ mod tests {
             },
             fns: vec![m.snapshot("gmm \"grad\"", Duration::from_secs(2))],
             alloc: interp::AllocStats::default(),
+            cache: None,
             net: None,
         };
         let json = snap.to_json();
@@ -461,6 +487,7 @@ mod tests {
             pool: PoolUtilization::default(),
             fns: vec![FnMetrics::default().snapshot(&hostile, Duration::from_secs(1))],
             alloc: interp::AllocStats::default(),
+            cache: None,
             net: None,
         };
         let parsed = fir_trace::json::parse(&snap.to_json()).unwrap();
@@ -484,6 +511,7 @@ mod tests {
             pool: PoolUtilization::default(),
             fns: vec![FnMetrics::default().snapshot("f", Duration::from_secs(1))],
             alloc: interp::AllocStats::default(),
+            cache: None,
             net: Some(NetStatsSnapshot {
                 connections_accepted: 3,
                 frames_received: 7,

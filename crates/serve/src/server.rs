@@ -302,6 +302,7 @@ impl ServerBuilder {
         }
         let nfns = fns.len();
         let inner = Arc::new(Inner {
+            engine: self.engine,
             fns,
             index,
             queues: Mutex::new(Queues {
@@ -443,6 +444,10 @@ struct Queues {
 }
 
 struct Inner {
+    /// The engine every registered function compiled through — retained
+    /// so [`Server::metrics`] can surface its cache counters (in-memory
+    /// and, when configured, the persistent on-disk tier).
+    engine: Engine,
     fns: Vec<FnEntry>,
     index: HashMap<String, usize>,
     queues: Mutex<Queues>,
@@ -538,6 +543,7 @@ impl Server {
                 .map(|f| f.metrics.snapshot(&f.key, uptime))
                 .collect(),
             alloc: interp::alloc_stats(),
+            cache: Some(self.inner.engine.cache_stats()),
             net: None,
         }
     }

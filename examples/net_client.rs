@@ -56,6 +56,28 @@ fn main() -> Result<(), NetError> {
     // so this is dominated by connect + one round trip).
     let mut client = NetClient::connect(&addr)?;
     client.ping()?;
+
+    // FIR_NET_EXPECT_WARM=1 (CI's second net_smoke run, sharing a
+    // FIR_CACHE_DIR with the first): assert — before any request could
+    // trigger a compile — that the server's warmup was answered entirely
+    // by the persistent on-disk cache, i.e. zero fresh compilations.
+    if std::env::var("FIR_NET_EXPECT_WARM").as_deref() == Ok("1") {
+        let parsed = fir_trace::json::parse(&client.metrics_json()?).expect("metrics JSON parses");
+        let cache = parsed.get("cache").expect("cache section in metrics");
+        let misses = cache.get("misses").and_then(|v| v.as_num()).unwrap();
+        let persistent = cache.get("persistent").expect("persistent cache section");
+        let phits = persistent.get("hits").and_then(|v| v.as_num()).unwrap();
+        assert_eq!(
+            misses, 0.0,
+            "a warm server must not compile anything: {cache:?}"
+        );
+        assert!(
+            phits > 0.0,
+            "a warm server must have loaded from disk: {cache:?}"
+        );
+        println!("warm start verified: {phits:.0} persistent-cache loads, 0 compiles");
+    }
+
     let args = gmm::GmmData::generate(20, 3, 2, 1).ir_args();
     let first = client.call("gmm", args.clone())?;
     println!(

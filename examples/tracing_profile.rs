@@ -1,7 +1,7 @@
 //! End-to-end observability: capture a structured trace of the GMM D5
 //! gradient — compile pipeline, cache lookups, VM execution, worker
 //! pool, and a served `[Vjp]` request — then export it as Chrome
-//! trace-event JSON (`trace_gmm.json`, loadable in Perfetto or
+//! trace-event JSON (`target/trace_gmm.json`, loadable in Perfetto or
 //! `chrome://tracing`) and print the aggregated per-phase profile.
 //!
 //! Tracing is off by default (one relaxed atomic load per potential
@@ -109,9 +109,12 @@ fn main() -> Result<(), ServeError> {
             "expected events from the {layer} layer"
         );
     }
-    std::fs::write("trace_gmm.json", &chrome).expect("write trace_gmm.json");
+    // Write under target/ so example runs never litter the source tree.
+    std::fs::create_dir_all("target").expect("create target/");
+    let out = "target/trace_gmm.json";
+    std::fs::write(out, &chrome).expect("write trace_gmm.json");
     println!(
-        "\nwrote trace_gmm.json ({} events from {} threads) — open in Perfetto",
+        "\nwrote {out} ({} events from {} threads) — open in Perfetto",
         trace.events.len(),
         trace.threads.len()
     );

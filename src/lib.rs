@@ -40,6 +40,9 @@
 //! * [`futhark_ad`] — forward (`jvp`) and reverse (`vjp`) AD (the paper's
 //!   contribution),
 //! * [`fir_opt`] — simplification passes,
+//! * [`fir_cache`] — the persistent on-disk compile cache (versioned
+//!   bytecode codec + fingerprint-keyed store) behind
+//!   [`EngineBuilder::persistent_cache`],
 //! * [`fir_serve`] — the concurrent serving runtime (dynamic
 //!   micro-batching, admission control, live metrics) over an `Engine`,
 //! * [`fir_net`] — the network-facing tier over `fir_serve`: TCP wire
@@ -52,6 +55,7 @@
 
 pub use fir;
 pub use fir_api;
+pub use fir_cache;
 pub use fir_net;
 pub use fir_opt;
 pub use fir_serve;
@@ -65,7 +69,7 @@ pub use workloads;
 
 pub use fir_api::{
     CacheStats, CompiledFn, Dual, Engine, EngineBuilder, FirError, GradOutput, OptStats, Pass,
-    PassPipeline, PipelineStats, Transform, BACKEND_NAMES,
+    PassPipeline, PersistentStats, PipelineStats, Transform, BACKEND_NAMES,
 };
 pub use fir_net::{
     AdaptiveConfig, NetClient, NetError, NetServer, NetServerBuilder, TenantConfig, TenantPolicy,

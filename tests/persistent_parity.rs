@@ -1,0 +1,172 @@
+//! Persistent-cache parity: for every workload in `crates/workloads`,
+//! a program decoded from the on-disk cache must be bitwise-identical in
+//! behaviour to the freshly compiled one — primal values *and*
+//! reverse-mode gradients (both run on the sequential VM, where float
+//! reassociation cannot occur, so bitwise equality is the right bar).
+//!
+//! The first engine compiles and populates a throwaway store directory;
+//! a second engine against the same directory — asserted to perform
+//! zero compilations — replays the exact same calls from decoded
+//! programs.
+
+use fir::ir::Fun;
+use futhark_ad_repro::{Engine, EngineBuilder};
+use interp::Value;
+use workloads::{adbench, gmm, kmeans, lstm, mc};
+
+fn ten_workloads() -> Vec<(&'static str, Fun, Vec<Value>)> {
+    let lstm_data = lstm::LstmData::generate(6, 4, 5, 2, 4);
+    let dlstm_data = adbench::DlstmData::generate(10, 6, 6, 8);
+    let xs_data = mc::XsData::generate(16, 6, 256, 9);
+    let rs_data = mc::RsData::generate(6, 4, 3, 128, 10);
+    vec![
+        (
+            "gmm",
+            gmm::objective_ir(),
+            gmm::GmmData::generate(40, 4, 5, 1).ir_args(),
+        ),
+        (
+            "kmeans-dense",
+            kmeans::dense_objective_ir(),
+            kmeans::KmeansData::generate(200, 4, 5, 2).ir_args(),
+        ),
+        (
+            "kmeans-sparse",
+            kmeans::sparse_objective_ir(),
+            kmeans::SparseKmeansData::generate(120, 16, 4, 5, 3).ir_args(),
+        ),
+        (
+            "lstm",
+            lstm::objective_ir(lstm_data.h, lstm_data.bs),
+            lstm_data.ir_args(),
+        ),
+        (
+            "ba",
+            adbench::ba_objective_ir(),
+            adbench::BaData::generate(8, 40, 160, 5).ir_args(),
+        ),
+        (
+            "hand-simple",
+            adbench::hand_objective_ir(false),
+            adbench::HandData::generate(16, 5, 6).ir_args(false),
+        ),
+        (
+            "hand-complicated",
+            adbench::hand_objective_ir(true),
+            adbench::HandData::generate(16, 5, 7).ir_args(true),
+        ),
+        (
+            "d-lstm",
+            adbench::dlstm_objective_ir(dlstm_data.h),
+            dlstm_data.ir_args(),
+        ),
+        ("xsbench", mc::xsbench_ir(xs_data.g), xs_data.ir_args()),
+        ("rsbench", mc::rsbench_ir(4, 3), rs_data.ir_args()),
+    ]
+}
+
+fn assert_values_bitwise(name: &str, what: &str, a: &[Value], b: &[Value]) {
+    assert_eq!(a.len(), b.len(), "{name}: {what} arity");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        match (x, y) {
+            (Value::F64(p), Value::F64(q)) => {
+                assert_eq!(p.to_bits(), q.to_bits(), "{name}: {what}[{i}]")
+            }
+            (Value::Arr(p), Value::Arr(q)) => {
+                assert_eq!(p.shape, q.shape, "{name}: {what}[{i}] shape");
+                for (u, v) in p.f64s().iter().zip(q.f64s()) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{name}: {what}[{i}]");
+                }
+            }
+            other => panic!("{name}: {what}[{i}] unexpected value kinds {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn decoded_programs_match_fresh_compiles_bitwise_on_all_workloads() {
+    let dir = std::env::temp_dir().join(format!("fir-test-parity-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workloads = ten_workloads();
+
+    // Pass 1: fresh compiles, persisted to `dir`.
+    let fresh = EngineBuilder::new()
+        .backend_name("vm-seq")
+        .cache_capacity(2 * workloads.len())
+        .persistent_cache(&dir)
+        .build()
+        .unwrap();
+    let mut want = Vec::new();
+    for (name, fun, args) in &workloads {
+        let cf = fresh.compile(fun).unwrap();
+        let primal = cf.call(args).unwrap();
+        let grad = cf.grad(args).unwrap();
+        want.push((name, primal, grad));
+    }
+    let stored = fresh.cache_stats().persistent.unwrap().stores;
+    assert!(
+        stored >= 2 * workloads.len() as u64,
+        "every workload must persist its root and vjp programs, stored {stored}"
+    );
+
+    // Pass 2: a fresh engine (the "next process") replays everything
+    // from decoded programs — zero compilations allowed.
+    let warm = EngineBuilder::new()
+        .backend_name("vm-seq")
+        .cache_capacity(2 * workloads.len())
+        .persistent_cache(&dir)
+        .build()
+        .unwrap();
+    for ((name, fun, args), (_, want_primal, want_grad)) in workloads.iter().zip(&want) {
+        let cf = warm.compile(fun).unwrap();
+        let primal = cf.call(args).unwrap();
+        let grad = cf.grad(args).unwrap();
+        assert_values_bitwise(name, "primal", &primal, want_primal);
+        assert_values_bitwise(name, "grad value", &grad.value, &want_grad.value);
+        assert_values_bitwise(name, "grads", &grad.grads, &want_grad.grads);
+    }
+    let stats = warm.cache_stats();
+    assert_eq!(
+        stats.misses, 0,
+        "the warm engine must decode, not compile: {stats}"
+    );
+    assert!(
+        stats.persistent.unwrap().hits >= 2 * workloads.len() as u64,
+        "every root and vjp program must come off disk: {stats}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same parity through the parallel VM: decoded programs feed the
+/// same execution paths (worker pool, kernels) as compiled ones.
+#[test]
+fn decoded_programs_run_on_the_parallel_vm() {
+    let dir = std::env::temp_dir().join(format!("fir-test-parity-par-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fun = gmm::objective_ir();
+    let args = gmm::GmmData::generate(40, 4, 5, 1).ir_args();
+
+    let fresh = Engine::builder()
+        .backend_name("vm")
+        .persistent_cache(&dir)
+        .build()
+        .unwrap();
+    let want = fresh.compile(&fun).unwrap().grad(&args).unwrap();
+
+    let warm = Engine::builder()
+        .backend_name("vm")
+        .persistent_cache(&dir)
+        .build()
+        .unwrap();
+    let got = warm.compile(&fun).unwrap().grad(&args).unwrap();
+    assert_eq!(warm.cache_stats().misses, 0);
+
+    // Parallel reductions may reassociate between runs only if schedules
+    // differ by data layout — the decoded program has identical bytecode,
+    // so same-process runs of equal programs still agree to tolerance.
+    let denom = want.scalar().abs().max(1.0);
+    assert!((got.scalar() - want.scalar()).abs() / denom < 1e-9);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
